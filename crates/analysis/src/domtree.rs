@@ -1,0 +1,181 @@
+//! Dominator computation.
+//!
+//! The rewriter uses dominators when choosing program points for the P3
+//! predicate (a P3 instance placed in a block dominated by the definition of
+//! its symbolic register is guaranteed to see an initialized value), and the
+//! attack-side trace simplifier uses them when rebuilding structured control
+//! flow from a simplified CFG.
+
+use crate::cfg::{BlockId, Cfg};
+
+/// Immediate-dominator tree of a CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomTree {
+    /// `idom[b]` — immediate dominator of block `b` (`None` for the entry
+    /// and for unreachable blocks).
+    pub idom: Vec<Option<BlockId>>,
+}
+
+/// Computes the dominator tree with the classic iterative algorithm
+/// (Cooper/Harvey/Kennedy) over the reverse post order.
+pub fn compute(cfg: &Cfg) -> DomTree {
+    let n = cfg.blocks.len();
+    let rpo = cfg.reverse_post_order();
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, b) in rpo.iter().enumerate() {
+        rpo_index[b.0] = i;
+    }
+    let preds = cfg.predecessors();
+
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    let entry = cfg.entry();
+    idom[entry.0] = Some(entry);
+
+    let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+        while a != b {
+            while rpo_index[a.0] > rpo_index[b.0] {
+                a = idom[a.0].expect("processed block has idom");
+            }
+            while rpo_index[b.0] > rpo_index[a.0] {
+                b = idom[b.0].expect("processed block has idom");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.0] {
+                if idom[p.0].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.0] != Some(ni) {
+                    idom[b.0] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Normalize: the entry has no immediate dominator.
+    idom[entry.0] = None;
+    DomTree { idom }
+}
+
+impl DomTree {
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = Some(b);
+        while let Some(c) = cur {
+            if c == a {
+                return true;
+            }
+            cur = self.idom[c.0];
+        }
+        false
+    }
+
+    /// The immediate dominator of `b`.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{self, Terminator};
+    use raindrop_machine::{Assembler, Cond, ImageBuilder, Inst, Reg};
+
+    #[test]
+    fn diamond_dominators() {
+        let mut a = Assembler::new();
+        let els = a.new_label();
+        let join = a.new_label();
+        a.inst(Inst::CmpI(Reg::Rdi, 0));
+        a.jcc(Cond::Ne, els);
+        a.inst(Inst::MovRI(Reg::Rax, 1));
+        a.jmp(join);
+        a.bind(els);
+        a.inst(Inst::MovRI(Reg::Rax, 2));
+        a.bind(join);
+        a.inst(Inst::Ret);
+        let mut b = ImageBuilder::new();
+        b.add_function("f", a);
+        let img = b.build().unwrap();
+        let cfg = cfg::reconstruct(&img, "f").unwrap();
+        let dom = compute(&cfg);
+
+        let entry = cfg.entry();
+        let join = cfg
+            .blocks
+            .iter()
+            .find(|b| matches!(b.term, Terminator::Return))
+            .unwrap()
+            .id;
+        // The entry dominates everything; neither arm dominates the join.
+        for b in &cfg.blocks {
+            assert!(dom.dominates(entry, b.id));
+        }
+        assert_eq!(dom.idom(join), Some(entry));
+        for b in &cfg.blocks {
+            if b.id != entry && b.id != join {
+                assert!(!dom.dominates(b.id, join), "{} should not dominate join", b.id);
+            }
+        }
+        assert_eq!(dom.idom(entry), None);
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        let done = a.new_label();
+        a.inst(Inst::MovRI(Reg::Rax, 0));
+        a.bind(top);
+        a.inst(Inst::CmpI(Reg::Rdi, 0));
+        a.jcc(Cond::E, done);
+        a.inst(Inst::AluI(raindrop_machine::AluOp::Sub, Reg::Rdi, 1));
+        a.jmp(top);
+        a.bind(done);
+        a.inst(Inst::Ret);
+        let mut b = ImageBuilder::new();
+        b.add_function("f", a);
+        let img = b.build().unwrap();
+        let cfg = cfg::reconstruct(&img, "f").unwrap();
+        let dom = compute(&cfg);
+        let header = cfg
+            .blocks
+            .iter()
+            .find(|b| matches!(b.term, Terminator::Branch { .. }))
+            .unwrap()
+            .id;
+        for blk in &cfg.blocks {
+            if blk.id != cfg.entry() {
+                assert!(
+                    dom.dominates(cfg.entry(), blk.id),
+                    "entry dominates {}",
+                    blk.id
+                );
+            }
+        }
+        // The body (the sub/jmp block) is dominated by the header.
+        let body = cfg
+            .blocks
+            .iter()
+            .find(|b| matches!(b.term, Terminator::Jump(_)))
+            .unwrap()
+            .id;
+        assert!(dom.dominates(header, body));
+        assert!(!dom.dominates(body, header));
+    }
+}

@@ -1,0 +1,45 @@
+//! # raindrop-analysis
+//!
+//! Binary analyses supporting the ROP rewriter of the *raindrop*
+//! reproduction. These stand in for the off-the-shelf tooling the paper
+//! leans on (Ghidra/angr/radare2 for CFG reconstruction, angr for liveness
+//! and symbolic-register discovery):
+//!
+//! * [`cfg`] — control-flow-graph reconstruction from function bytes,
+//!   including the switch-table heuristic of the paper's appendix;
+//! * [`liveness`] — backward register and condition-flag liveness;
+//! * [`domtree`] — dominator trees;
+//! * [`dataflow`] — forward "input-derived register" analysis used to place
+//!   the P3 predicate.
+//!
+//! # Example
+//!
+//! ```
+//! use raindrop_machine::{Assembler, ImageBuilder, Inst, Reg};
+//! use raindrop_analysis::{cfg, liveness};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut asm = Assembler::new();
+//! asm.inst(Inst::MovRR(Reg::Rax, Reg::Rdi)).inst(Inst::Ret);
+//! let mut builder = ImageBuilder::new();
+//! builder.add_function("id", asm);
+//! let image = builder.build()?;
+//! let graph = cfg::reconstruct(&image, "id")?;
+//! let live = liveness::analyze(&graph);
+//! assert!(live.live_in[graph.entry().0].contains(Reg::Rdi));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod dataflow;
+pub mod domtree;
+pub mod liveness;
+
+pub use cfg::{BasicBlock, BlockId, Cfg, CfgError, FuncCode, Terminator};
+pub use dataflow::{input_derived, InputDerived};
+pub use domtree::{compute as dominators, DomTree};
+pub use liveness::{analyze as liveness_analyze, Liveness};

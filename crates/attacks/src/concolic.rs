@@ -1,0 +1,1046 @@
+//! Concolic (dynamic symbolic) execution — the reproduction's S2E stand-in.
+//!
+//! A shadow executor runs the target function concretely on the RM64
+//! emulator while propagating [`SymExpr`]s for registers and memory bytes
+//! that depend on the attacker-controlled input. Every conditional branch
+//! whose flags depend on the input yields a path constraint; the DSE driver
+//! performs generational search — negate one constraint at a time, ask the
+//! solver for an input, re-execute — until the goal is reached or the work
+//! budget runs out. The cost unit is emulated instructions, so the relative
+//! slowdowns caused by ROP chains, P1/P3 and VM interpreters are measured on
+//! the same scale the paper uses wall-clock time for.
+
+use crate::sym::{invert, BinKind, SymExpr, UnKind};
+use raindrop_machine::{AluOp, Cond, EmuError, Emulator, Image, Inst, Reg};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// Cap on shadow-expression size; larger expressions are concretized, the
+/// standard concolic fallback (§VII-C3 discusses its limits on table
+/// lookups).
+const MAX_EXPR_SIZE: usize = 512;
+
+/// How the symbolic input reaches the target function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputSpec {
+    /// A single 64-bit register argument (variable 0), masked to
+    /// `size_bytes` meaningful bytes. This is the RandomFuns shape.
+    RegisterArg {
+        /// Number of meaningful input bytes (1, 2, 4 or 8).
+        size_bytes: usize,
+    },
+    /// `len` input bytes in guest memory at `addr` (variables `0..len`),
+    /// each in `0..=255`. Extra arguments are passed unchanged. This is the
+    /// base64 shape.
+    MemoryBuffer {
+        /// Guest address of the buffer.
+        addr: u64,
+        /// Number of symbolic bytes.
+        len: usize,
+        /// Concrete arguments passed to the function (e.g. the length).
+        args: Vec<u64>,
+    },
+}
+
+impl InputSpec {
+    /// Number of input variables.
+    pub fn vars(&self) -> usize {
+        match self {
+            InputSpec::RegisterArg { .. } => 1,
+            InputSpec::MemoryBuffer { len, .. } => *len,
+        }
+    }
+
+    /// Domain mask of one variable.
+    pub fn var_mask(&self) -> u64 {
+        match self {
+            InputSpec::RegisterArg { size_bytes } => {
+                if *size_bytes >= 8 {
+                    u64::MAX
+                } else {
+                    (1u64 << (8 * size_bytes)) - 1
+                }
+            }
+            InputSpec::MemoryBuffer { .. } => 0xff,
+        }
+    }
+}
+
+/// One recorded path constraint.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Left flag operand.
+    pub lhs: Rc<SymExpr>,
+    /// Right flag operand.
+    pub rhs: Rc<SymExpr>,
+    /// Whether the flags came from a subtraction (`cmp`) or an AND (`test`).
+    pub flag_is_sub: bool,
+    /// The branch condition.
+    pub cond: Cond,
+    /// Whether the branch was taken in the recorded execution.
+    pub taken: bool,
+}
+
+impl Constraint {
+    /// Evaluates the branch outcome for a concrete input assignment.
+    pub fn outcome(&self, input: &[u64]) -> bool {
+        let a = self.lhs.eval(input);
+        let b = self.rhs.eval(input);
+        let mut flags = raindrop_machine::Flags::cleared();
+        if self.flag_is_sub {
+            flags.set_sub(a, b, false);
+        } else {
+            flags.set_logic(a & b);
+        }
+        self.cond.eval(flags)
+    }
+
+    /// Whether the constraint holds in the direction observed at record
+    /// time for the given input.
+    pub fn satisfied_as_recorded(&self, input: &[u64]) -> bool {
+        self.outcome(input) == self.taken
+    }
+}
+
+/// Result of one shadowed execution.
+#[derive(Debug, Clone)]
+pub struct PathRecord {
+    /// Return value of the function.
+    pub return_value: u64,
+    /// Path constraints whose operands mention the input.
+    pub constraints: Vec<Constraint>,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Probe indices observed set after the run.
+    pub probes_hit: BTreeSet<u32>,
+}
+
+/// Shadow state: symbolic expressions for registers and memory.
+///
+/// Memory is tracked at two granularities to keep expressions small: whole
+/// 64-bit words stored at an exact address (the common case — stack slots,
+/// locals, VM operand stacks) and individual bytes (byte-oriented workloads
+/// such as base64). A 64-bit reload of a word stored at the same address
+/// returns the original expression unchanged, so values round-tripped
+/// through push/pop or spill slots do not blow up.
+struct Shadow {
+    regs: [Option<Rc<SymExpr>>; 16],
+    words: HashMap<u64, Rc<SymExpr>>,
+    bytes: HashMap<u64, Rc<SymExpr>>,
+    flags: Option<(Rc<SymExpr>, Rc<SymExpr>, bool)>,
+}
+
+impl Shadow {
+    fn new() -> Shadow {
+        Shadow {
+            regs: Default::default(),
+            words: HashMap::new(),
+            bytes: HashMap::new(),
+            flags: None,
+        }
+    }
+
+    fn reg_symbolic(&self, r: Reg) -> bool {
+        self.regs[r.index()].is_some()
+    }
+
+    fn set_reg(&mut self, r: Reg, e: Option<Rc<SymExpr>>) {
+        let e = e.filter(|e| e.is_symbolic() && e.size() <= MAX_EXPR_SIZE);
+        self.regs[r.index()] = e;
+    }
+
+    fn clear_range(&mut self, addr: u64, len: u64) {
+        for i in 0..len {
+            self.bytes.remove(&addr.wrapping_add(i));
+        }
+        for d in 0..8u64 {
+            let w = addr.wrapping_sub(d);
+            if let Some(_) = self.words.get(&w) {
+                // Overlap test: word [w, w+8) vs [addr, addr+len).
+                if w < addr.wrapping_add(len) && addr < w.wrapping_add(8) {
+                    self.words.remove(&w);
+                }
+            }
+        }
+        for i in 1..len {
+            self.words.remove(&addr.wrapping_add(i));
+        }
+    }
+
+    fn mem_symbolic(&self, addr: u64, len: u64) -> bool {
+        (0..len).any(|i| self.bytes.contains_key(&addr.wrapping_add(i)))
+            || (0..(len + 7)).any(|d| {
+                let w = addr.wrapping_add(len).wrapping_sub(1).wrapping_sub(d);
+                self.words.contains_key(&w) && w.wrapping_add(8) > addr
+            })
+    }
+
+    fn mem_byte(&self, addr: u64, concrete: u8) -> Rc<SymExpr> {
+        if let Some(e) = self.bytes.get(&addr) {
+            return e.clone();
+        }
+        for d in 0..8u64 {
+            let w = addr.wrapping_sub(d);
+            if let Some(e) = self.words.get(&w) {
+                return SymExpr::bin(
+                    BinKind::And,
+                    SymExpr::bin(BinKind::Shr, e.clone(), SymExpr::constant(8 * d)),
+                    SymExpr::constant(0xff),
+                );
+            }
+        }
+        SymExpr::constant(concrete as u64)
+    }
+
+    fn load64(&self, addr: u64, concrete: u64) -> Rc<SymExpr> {
+        if let Some(e) = self.words.get(&addr) {
+            return e.clone();
+        }
+        if !self.mem_symbolic(addr, 8) {
+            return SymExpr::constant(concrete);
+        }
+        let mut acc = SymExpr::constant(0);
+        for i in 0..8u64 {
+            let byte = self.mem_byte(addr + i, (concrete >> (8 * i)) as u8);
+            acc = SymExpr::bin(
+                BinKind::Or,
+                acc,
+                SymExpr::bin(BinKind::Shl, byte, SymExpr::constant(8 * i)),
+            );
+        }
+        if acc.size() > MAX_EXPR_SIZE {
+            SymExpr::constant(concrete)
+        } else {
+            acc
+        }
+    }
+
+    fn store64(&mut self, addr: u64, expr: Option<Rc<SymExpr>>) {
+        self.clear_range(addr, 8);
+        if let Some(e) = expr {
+            if e.is_symbolic() && e.size() <= MAX_EXPR_SIZE {
+                self.words.insert(addr, e);
+            }
+        }
+    }
+
+    fn store8(&mut self, addr: u64, expr: Option<Rc<SymExpr>>) {
+        self.clear_range(addr, 1);
+        if let Some(e) = expr {
+            if e.is_symbolic() && e.size() <= MAX_EXPR_SIZE {
+                self.bytes
+                    .insert(addr, SymExpr::bin(BinKind::And, e, SymExpr::constant(0xff)));
+            }
+        }
+    }
+}
+
+/// Runs the target once with a concrete input while recording symbolic path
+/// constraints.
+///
+/// # Errors
+///
+/// Propagates emulator errors (budget exhaustion, decode faults — both are
+/// treated by the DSE driver as "this path costs too much / derails").
+pub fn shadow_run(
+    image: &Image,
+    func: &str,
+    spec: &InputSpec,
+    input: &[u64],
+    budget: u64,
+) -> Result<PathRecord, EmuError> {
+    let mut emu = Emulator::new(image);
+    emu.set_budget(budget);
+    let faddr = image.function(func).expect("target exists").addr;
+    let mut shadow = Shadow::new();
+
+    // Seed the concrete input and its shadow.
+    let args: Vec<u64> = match spec {
+        InputSpec::RegisterArg { .. } => {
+            let v = input[0] & spec.var_mask();
+            shadow.set_reg(Reg::Rdi, Some(SymExpr::input(0)));
+            vec![v]
+        }
+        InputSpec::MemoryBuffer { addr, len, args } => {
+            for i in 0..*len {
+                emu.mem.write_u8(addr + i as u64, input.get(i).copied().unwrap_or(0) as u8);
+                shadow.bytes.insert(addr + i as u64, SymExpr::input(i));
+            }
+            args.clone()
+        }
+    };
+
+    // Mirror Emulator::call's setup so stepping can be interleaved with the
+    // shadow propagation.
+    emu.cpu.set_reg(Reg::Rsp, raindrop_machine::STACK_TOP);
+    for (r, v) in Reg::ARGS.iter().zip(&args) {
+        emu.cpu.set_reg(*r, *v);
+    }
+    let sp = emu.cpu.reg(Reg::Rsp) - 8;
+    emu.cpu.set_reg(Reg::Rsp, sp);
+    emu.mem.write_u64(sp, raindrop_machine::RETURN_SENTINEL);
+    emu.cpu.rip = faddr;
+
+    let mut constraints = Vec::new();
+    let return_value;
+    loop {
+        // Peek at the instruction before executing it so operand
+        // expressions can be captured from the pre-state.
+        let mut buf = [0u8; 20];
+        emu.mem.read_bytes(emu.cpu.rip, &mut buf);
+        let decoded = raindrop_machine::decode(&buf)
+            .map(|(i, _)| i)
+            .map_err(|source| EmuError::Decode { addr: emu.cpu.rip, source })?;
+        let pre = PreState::capture(&emu, &shadow, &decoded);
+
+        match emu.step()? {
+            Some(raindrop_machine::RunExit::Returned(v)) => {
+                return_value = v;
+                break;
+            }
+            Some(raindrop_machine::RunExit::Halted) => {
+                return_value = emu.reg(Reg::Rax);
+                break;
+            }
+            None => {}
+        }
+        propagate(&decoded, &pre, &emu, &mut shadow, &mut constraints);
+        if emu.cpu.rip == raindrop_machine::RETURN_SENTINEL {
+            return_value = emu.reg(Reg::Rax);
+            break;
+        }
+    }
+
+    // Probe coverage from the concrete memory.
+    let mut probes_hit = BTreeSet::new();
+    if let Ok(probe_base) = image.symbol(raindrop_synth::PROBE_ARRAY) {
+        for i in 0..raindrop_synth::minic::MAX_PROBES as u32 {
+            if emu.mem.read_u64(probe_base + 8 * i as u64) != 0 {
+                probes_hit.insert(i);
+            }
+        }
+    }
+
+    Ok(PathRecord {
+        return_value,
+        constraints,
+        instructions: emu.stats().instructions,
+        probes_hit,
+    })
+}
+
+/// Pre-execution facts an instruction's shadow propagation needs: the
+/// concrete register file before the step (destination registers get
+/// overwritten by it) and the resolved memory-operand address.
+struct PreState {
+    concrete_regs: [u64; 16],
+    mem_addr: Option<u64>,
+    mem_concrete: u64,
+    any_symbolic: bool,
+}
+
+impl PreState {
+    fn capture(emu: &Emulator, shadow: &Shadow, inst: &Inst) -> PreState {
+        let mut concrete_regs = [0u64; 16];
+        for r in Reg::ALL {
+            concrete_regs[r.index()] = emu.reg(r);
+        }
+        let mut any = inst.regs_read().iter().any(|r| shadow.reg_symbolic(r));
+        let mem_addr = inst.mem_operand().map(|m| {
+            let mut a = m.disp as i64 as u64;
+            if let Some(b) = m.base {
+                a = a.wrapping_add(emu.reg(b));
+            }
+            if let Some(i) = m.index {
+                a = a.wrapping_add(emu.reg(i).wrapping_mul(m.scale as u64));
+            }
+            a
+        });
+        let mut mem_concrete = 0;
+        if let Some(addr) = mem_addr {
+            mem_concrete = emu.mem.read_u64(addr);
+            if shadow.mem_symbolic(addr, 8) {
+                any = true;
+            }
+        }
+        PreState { concrete_regs, mem_addr, mem_concrete, any_symbolic: any }
+    }
+}
+
+/// The expression a register held before the instruction executed.
+fn op_expr(shadow: &Shadow, pre: &PreState, r: Reg) -> Rc<SymExpr> {
+    shadow.regs[r.index()]
+        .clone()
+        .unwrap_or_else(|| SymExpr::constant(pre.concrete_regs[r.index()]))
+}
+
+fn alu_kind(op: AluOp) -> BinKind {
+    match op {
+        AluOp::Add | AluOp::Adc => BinKind::Add,
+        AluOp::Sub | AluOp::Sbb => BinKind::Sub,
+        AluOp::And => BinKind::And,
+        AluOp::Or => BinKind::Or,
+        AluOp::Xor => BinKind::Xor,
+    }
+}
+
+/// Propagates shadow state across one executed instruction. `emu` holds the
+/// post-state; `pre` holds operand expressions captured before execution.
+fn propagate(
+    inst: &Inst,
+    pre: &PreState,
+    emu: &Emulator,
+    shadow: &mut Shadow,
+    constraints: &mut Vec<Constraint>,
+) {
+    use Inst::*;
+    match *inst {
+        MovRR(d, s) => {
+            let e = shadow.regs[s.index()].clone();
+            shadow.set_reg(d, e);
+        }
+        MovRI(d, _) => shadow.set_reg(d, None),
+        Load(d, _) => {
+            let addr = pre.mem_addr.expect("load has mem");
+            let e = shadow.load64(addr, emu.reg(d));
+            shadow.set_reg(d, Some(e));
+        }
+        LoadB(d, _) | LoadSxB(d, _) => {
+            let addr = pre.mem_addr.expect("load has mem");
+            let byte = shadow.mem_byte(addr, emu.mem.read_u8(addr));
+            let e = if matches!(inst, LoadSxB(..)) {
+                SymExpr::un(UnKind::SextByte, byte)
+            } else {
+                byte
+            };
+            shadow.set_reg(d, Some(e));
+        }
+        Store(_, s) => {
+            let addr = pre.mem_addr.expect("store has mem");
+            let e = shadow.regs[s.index()].clone();
+            shadow.store64(addr, e);
+        }
+        StoreI(_, _) => {
+            let addr = pre.mem_addr.expect("store has mem");
+            shadow.store64(addr, None);
+        }
+        StoreB(_, s) => {
+            let addr = pre.mem_addr.expect("store has mem");
+            let e = shadow.regs[s.index()].clone();
+            shadow.store8(addr, e);
+        }
+        Lea(d, _) => shadow.set_reg(d, None),
+        Push(r) => {
+            let sp = emu.reg(Reg::Rsp);
+            let e = shadow.regs[r.index()].clone();
+            shadow.store64(sp, e);
+        }
+        PushI(_) => {
+            let sp = emu.reg(Reg::Rsp);
+            shadow.store64(sp, None);
+        }
+        Pop(d) => {
+            let sp = emu.reg(Reg::Rsp).wrapping_sub(8);
+            let e = if shadow.mem_symbolic(sp, 8) {
+                Some(shadow.load64(sp, emu.reg(d)))
+            } else {
+                None
+            };
+            shadow.set_reg(d, e);
+        }
+        Alu(op, d, s) => {
+            if pre.any_symbolic {
+                let e = SymExpr::bin(alu_kind(op), op_expr(shadow, pre, d), op_expr(shadow, pre, s));
+                shadow.flags = Some((e.clone(), SymExpr::constant(0), true));
+                shadow.set_reg(d, Some(e));
+            } else {
+                shadow.set_reg(d, None);
+                shadow.flags = None;
+            }
+        }
+        AluI(op, d, imm) => {
+            if shadow.reg_symbolic(d) {
+                let pre_d = op_expr(shadow, pre, d);
+                let e = SymExpr::bin(alu_kind(op), pre_d, SymExpr::constant(imm as i64 as u64));
+                shadow.flags = Some((e.clone(), SymExpr::constant(0), true));
+                shadow.set_reg(d, Some(e));
+            } else {
+                shadow.set_reg(d, None);
+                shadow.flags = None;
+            }
+        }
+        AluM(op, d, _) => {
+            let addr = pre.mem_addr.expect("mem operand");
+            if pre.any_symbolic {
+                let pre_d = op_expr(shadow, pre, d);
+                let m = shadow.load64(addr, pre.mem_concrete);
+                let e = SymExpr::bin(alu_kind(op), pre_d, m);
+                shadow.flags = Some((e.clone(), SymExpr::constant(0), true));
+                shadow.set_reg(d, Some(e));
+            } else {
+                shadow.set_reg(d, None);
+                shadow.flags = None;
+            }
+        }
+        AluStore(op, _, s) => {
+            let addr = pre.mem_addr.expect("mem operand");
+            if pre.any_symbolic {
+                let m = shadow.load64(addr, pre.mem_concrete);
+                let e = SymExpr::bin(alu_kind(op), m, op_expr(shadow, pre, s));
+                shadow.store64(addr, Some(e.clone()));
+                shadow.flags = Some((e, SymExpr::constant(0), true));
+            } else {
+                shadow.store64(addr, None);
+                shadow.flags = None;
+            }
+        }
+        Neg(r) => {
+            if shadow.reg_symbolic(r) {
+                let pre_r = op_expr(shadow, pre, r);
+                let e = SymExpr::un(UnKind::Neg, pre_r.clone());
+                // neg sets flags as 0 - r.
+                shadow.flags = Some((SymExpr::constant(0), pre_r, true));
+                shadow.set_reg(r, Some(e));
+            } else {
+                shadow.set_reg(r, None);
+                shadow.flags = None;
+            }
+        }
+        Not(r) => {
+            if shadow.reg_symbolic(r) {
+                let pre_r = op_expr(shadow, pre, r);
+                shadow.set_reg(r, Some(SymExpr::un(UnKind::Not, pre_r)));
+            } else {
+                shadow.set_reg(r, None);
+            }
+        }
+        Mul(d, s) => {
+            if pre.any_symbolic {
+                let pre_d = op_expr(shadow, pre, d);
+                let e = SymExpr::bin(BinKind::Mul, pre_d, op_expr(shadow, pre, s));
+                shadow.set_reg(d, Some(e));
+            } else {
+                shadow.set_reg(d, None);
+            }
+            shadow.flags = None;
+        }
+        MulI(d, s, imm) => {
+            if shadow.reg_symbolic(s) {
+                let e = SymExpr::bin(
+                    BinKind::Mul,
+                    op_expr(shadow, pre, s),
+                    SymExpr::constant(imm as i64 as u64),
+                );
+                shadow.set_reg(d, Some(e));
+            } else {
+                shadow.set_reg(d, None);
+            }
+            shadow.flags = None;
+        }
+        Div(d, s) | Rem(d, s) => {
+            if pre.any_symbolic {
+                let kind = if matches!(inst, Div(..)) { BinKind::Div } else { BinKind::Rem };
+                let pre_d = op_expr(shadow, pre, d);
+                let e = SymExpr::bin(kind, pre_d, op_expr(shadow, pre, s));
+                shadow.set_reg(d, Some(e));
+            } else {
+                shadow.set_reg(d, None);
+            }
+        }
+        Shl(r, i) | Shr(r, i) | Sar(r, i) => {
+            if shadow.reg_symbolic(r) {
+                let kind = match inst {
+                    Shl(..) => BinKind::Shl,
+                    Shr(..) => BinKind::Shr,
+                    _ => BinKind::Sar,
+                };
+                let pre_r = op_expr(shadow, pre, r);
+                let e = SymExpr::bin(kind, pre_r, SymExpr::constant(i as u64));
+                shadow.set_reg(r, Some(e));
+            } else {
+                shadow.set_reg(r, None);
+            }
+            shadow.flags = None;
+        }
+        ShlR(d, s) | ShrR(d, s) => {
+            if pre.any_symbolic {
+                let kind = if matches!(inst, ShlR(..)) { BinKind::Shl } else { BinKind::Shr };
+                let pre_d = op_expr(shadow, pre, d);
+                let e = SymExpr::bin(kind, pre_d, op_expr(shadow, pre, s));
+                shadow.set_reg(d, Some(e));
+            } else {
+                shadow.set_reg(d, None);
+            }
+            shadow.flags = None;
+        }
+        Cmp(a, bb) => {
+            if pre.any_symbolic {
+                shadow.flags = Some((op_expr(shadow, pre, a), op_expr(shadow, pre, bb), true));
+            } else {
+                shadow.flags = None;
+            }
+        }
+        CmpI(a, imm) => {
+            if shadow.reg_symbolic(a) {
+                shadow.flags =
+                    Some((op_expr(shadow, pre, a), SymExpr::constant(imm as i64 as u64), true));
+            } else {
+                shadow.flags = None;
+            }
+        }
+        CmpMI(_, imm) => {
+            let addr = pre.mem_addr.expect("mem operand");
+            if shadow.mem_symbolic(addr, 8) {
+                shadow.flags = Some((
+                    shadow.load64(addr, pre.mem_concrete),
+                    SymExpr::constant(imm as i64 as u64),
+                    true,
+                ));
+            } else {
+                shadow.flags = None;
+            }
+        }
+        Test(a, bb) => {
+            if pre.any_symbolic {
+                shadow.flags = Some((op_expr(shadow, pre, a), op_expr(shadow, pre, bb), false));
+            } else {
+                shadow.flags = None;
+            }
+        }
+        TestI(a, imm) => {
+            if shadow.reg_symbolic(a) {
+                shadow.flags =
+                    Some((op_expr(shadow, pre, a), SymExpr::constant(imm as i64 as u64), false));
+            } else {
+                shadow.flags = None;
+            }
+        }
+        Cmov(cond, d, s) => {
+            // Model as a select driven by the concrete outcome, but record
+            // the implicit constraint like a branch.
+            if let Some((lhs, rhs, is_sub)) = shadow.flags.clone() {
+                if lhs.is_symbolic() || rhs.is_symbolic() {
+                    constraints.push(Constraint {
+                        lhs,
+                        rhs,
+                        flag_is_sub: is_sub,
+                        cond,
+                        taken: cond.eval(emu.cpu.flags),
+                    });
+                }
+            }
+            if cond.eval(emu.cpu.flags) {
+                let e = shadow.regs[s.index()].clone();
+                shadow.set_reg(d, e);
+            }
+        }
+        Set(cond, d) => {
+            if let Some((lhs, rhs, is_sub)) = shadow.flags.clone() {
+                if lhs.is_symbolic() || rhs.is_symbolic() {
+                    // The produced 0/1 value is expressible for the
+                    // conditions the workloads and the rewriter generate.
+                    let diff = if is_sub {
+                        SymExpr::bin(BinKind::Sub, lhs.clone(), rhs.clone())
+                    } else {
+                        SymExpr::bin(BinKind::And, lhs.clone(), rhs.clone())
+                    };
+                    let e = match cond {
+                        Cond::E => SymExpr::bin(BinKind::Eq, diff, SymExpr::constant(0)),
+                        Cond::Ne => SymExpr::bin(
+                            BinKind::Xor,
+                            SymExpr::bin(BinKind::Eq, diff, SymExpr::constant(0)),
+                            SymExpr::constant(1),
+                        ),
+                        Cond::B => SymExpr::bin(BinKind::Ult, lhs.clone(), rhs.clone()),
+                        Cond::Ae => SymExpr::bin(
+                            BinKind::Xor,
+                            SymExpr::bin(BinKind::Ult, lhs.clone(), rhs.clone()),
+                            SymExpr::constant(1),
+                        ),
+                        Cond::A => SymExpr::bin(BinKind::Ult, rhs.clone(), lhs.clone()),
+                        Cond::Be => SymExpr::bin(
+                            BinKind::Xor,
+                            SymExpr::bin(BinKind::Ult, rhs.clone(), lhs.clone()),
+                            SymExpr::constant(1),
+                        ),
+                        _ => SymExpr::constant(cond.eval(emu.cpu.flags) as u64),
+                    };
+                    constraints.push(Constraint {
+                        lhs,
+                        rhs,
+                        flag_is_sub: is_sub,
+                        cond,
+                        taken: cond.eval(emu.cpu.flags),
+                    });
+                    shadow.set_reg(d, Some(e));
+                    return;
+                }
+            }
+            shadow.set_reg(d, None);
+        }
+        Jcc(cond, _) => {
+            if let Some((lhs, rhs, is_sub)) = shadow.flags.clone() {
+                if lhs.is_symbolic() || rhs.is_symbolic() {
+                    constraints.push(Constraint {
+                        lhs,
+                        rhs,
+                        flag_is_sub: is_sub,
+                        cond,
+                        taken: cond.eval(emu.cpu.flags),
+                    });
+                }
+            }
+        }
+        XchgRR(a, bb) => {
+            let ea = shadow.regs[a.index()].clone();
+            let eb = shadow.regs[bb.index()].clone();
+            shadow.set_reg(a, eb);
+            shadow.set_reg(bb, ea);
+        }
+        XchgRM(r, _) => {
+            let addr = pre.mem_addr.expect("mem operand");
+            let er = shadow.regs[r.index()].clone();
+            let em = if shadow.mem_symbolic(addr, 8) {
+                Some(shadow.load64(addr, emu.reg(r)))
+            } else {
+                None
+            };
+            shadow.store64(addr, er);
+            shadow.set_reg(r, em);
+        }
+        Call(_) | CallReg(_) => {
+            // The return-address slot is concrete.
+            let sp = emu.reg(Reg::Rsp);
+            shadow.store64(sp, None);
+        }
+        Jmp(_) | JmpReg(_) | JmpMem(_) | Ret | Leave | Nop | Hlt => {}
+    }
+}
+
+/// Work limits of one DSE attack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DseBudget {
+    /// Total emulated instructions across all explored paths.
+    pub total_instructions: u64,
+    /// Per-path instruction budget.
+    pub per_path_instructions: u64,
+    /// Maximum number of explored paths.
+    pub max_paths: usize,
+    /// Wall-clock limit.
+    pub max_wall: Duration,
+}
+
+impl Default for DseBudget {
+    fn default() -> Self {
+        DseBudget {
+            total_instructions: 40_000_000,
+            per_path_instructions: 4_000_000,
+            max_paths: 400,
+            max_wall: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Attack goal (§III of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Goal {
+    /// G1: find an input making the function return the given value.
+    Secret {
+        /// The return value that signals success (1 for the point test).
+        want: u64,
+    },
+    /// G2: cover all reachable coverage probes of the original function.
+    Coverage {
+        /// Number of probes that exist.
+        total_probes: u32,
+    },
+}
+
+/// Outcome of a DSE attack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseOutcome {
+    /// Whether the goal was reached within the budget.
+    pub success: bool,
+    /// The input that reached the goal (secret finding).
+    pub witness: Option<Vec<u64>>,
+    /// Paths (re-)executed.
+    pub paths: usize,
+    /// Total emulated instructions.
+    pub instructions: u64,
+    /// Wall-clock time spent.
+    pub wall: Duration,
+    /// Probes covered (coverage goal).
+    pub probes_covered: usize,
+    /// Constraints collected on the longest path.
+    pub max_constraints: usize,
+}
+
+/// The concolic attacker.
+pub struct DseAttack<'a> {
+    image: &'a Image,
+    func: &'a str,
+    spec: InputSpec,
+    budget: DseBudget,
+    rng: ChaCha8Rng,
+}
+
+impl<'a> DseAttack<'a> {
+    /// Creates an attack instance.
+    pub fn new(image: &'a Image, func: &'a str, spec: InputSpec, budget: DseBudget) -> Self {
+        use rand::SeedableRng;
+        DseAttack { image, func, spec, budget, rng: ChaCha8Rng::seed_from_u64(0xa77ac4) }
+    }
+
+    fn solve(
+        &mut self,
+        prefix: &[Constraint],
+        negated: &Constraint,
+        current: &[u64],
+    ) -> Option<Vec<u64>> {
+        let want_outcome = !negated.taken;
+        let mask = self.spec.var_mask();
+        let check = |input: &[u64]| {
+            prefix.iter().all(|c| c.satisfied_as_recorded(input))
+                && negated.outcome(input) == want_outcome
+        };
+
+        // Strategy 1: inversion of an equality/inequality on a single
+        // variable occurrence.
+        let mut vars: BTreeSet<usize> = negated.lhs.variables();
+        vars.extend(negated.rhs.variables());
+        if negated.flag_is_sub {
+            for &var in &vars {
+                let rhs_val = negated.rhs.eval(current);
+                if let Some(v) = invert(&negated.lhs, rhs_val, var, current) {
+                    let mut cand = current.to_vec();
+                    cand[var] = v & mask;
+                    if check(&cand) {
+                        return Some(cand);
+                    }
+                }
+                let lhs_val = negated.lhs.eval(current);
+                if let Some(v) = invert(&negated.rhs, lhs_val, var, current) {
+                    let mut cand = current.to_vec();
+                    cand[var] = v & mask;
+                    if check(&cand) {
+                        return Some(cand);
+                    }
+                }
+                // For strict inequalities try a small neighbourhood around
+                // the equality solution.
+                if let Some(v) = invert(&negated.lhs, rhs_val.wrapping_add(1), var, current) {
+                    let mut cand = current.to_vec();
+                    cand[var] = v & mask;
+                    if check(&cand) {
+                        return Some(cand);
+                    }
+                }
+            }
+        }
+
+        // Strategy 2: exhaustive search when the involved domain is small
+        // (single byte-sized variable, or a 1/2-byte register argument).
+        if vars.len() == 1 {
+            let var = *vars.iter().next().expect("non-empty");
+            let domain: u64 = match &self.spec {
+                InputSpec::RegisterArg { size_bytes } if *size_bytes <= 2 => {
+                    1u64 << (8 * *size_bytes)
+                }
+                InputSpec::MemoryBuffer { .. } => 256,
+                _ => 0,
+            };
+            if domain > 0 {
+                let mut cand = current.to_vec();
+                for v in 0..domain {
+                    cand[var] = v;
+                    if check(&cand) {
+                        return Some(cand);
+                    }
+                }
+            }
+        }
+
+        // Strategy 3: bounded random search over the involved variables.
+        let mut cand = current.to_vec();
+        for _ in 0..2000 {
+            for &var in &vars {
+                cand[var] = self.rng.gen::<u64>() & mask;
+            }
+            if check(&cand) {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    /// Runs the attack.
+    pub fn run(&mut self, goal: Goal) -> DseOutcome {
+        let start = Instant::now();
+        let vars = self.spec.vars();
+        let mask = self.spec.var_mask();
+        let mut queue: VecDeque<Vec<u64>> = VecDeque::new();
+        queue.push_back(vec![0u64; vars]);
+        queue.push_back(vec![mask; vars]);
+        let mut seen: BTreeSet<Vec<u64>> = queue.iter().cloned().collect();
+
+        let mut total_instructions = 0u64;
+        let mut paths = 0usize;
+        let mut covered: BTreeSet<u32> = BTreeSet::new();
+        let mut max_constraints = 0usize;
+
+        while let Some(input) = queue.pop_front() {
+            if start.elapsed() > self.budget.max_wall
+                || total_instructions > self.budget.total_instructions
+                || paths > self.budget.max_paths
+            {
+                break;
+            }
+            let record = match shadow_run(
+                self.image,
+                self.func,
+                &self.spec,
+                &input,
+                self.budget
+                    .per_path_instructions
+                    .min(self.budget.total_instructions.saturating_sub(total_instructions).max(1)),
+            ) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            paths += 1;
+            total_instructions += record.instructions;
+            covered.extend(record.probes_hit.iter().copied());
+            max_constraints = max_constraints.max(record.constraints.len());
+
+            let done = match goal {
+                Goal::Secret { want } => record.return_value == want,
+                Goal::Coverage { total_probes } => covered.len() as u32 >= total_probes,
+            };
+            if done {
+                return DseOutcome {
+                    success: true,
+                    witness: Some(input),
+                    paths,
+                    instructions: total_instructions,
+                    wall: start.elapsed(),
+                    probes_covered: covered.len(),
+                    max_constraints,
+                };
+            }
+
+            // Generational search: negate each constraint in turn (deepest
+            // first so new behaviour near the end of the path is reached
+            // quickly, which matters for the final secret check).
+            let n = record.constraints.len();
+            for i in (0..n).rev() {
+                if start.elapsed() > self.budget.max_wall {
+                    break;
+                }
+                let negated = &record.constraints[i];
+                if let Some(cand) = self.solve(&record.constraints[..i], negated, &input) {
+                    if seen.insert(cand.clone()) {
+                        queue.push_back(cand);
+                    }
+                }
+            }
+        }
+
+        DseOutcome {
+            success: false,
+            witness: None,
+            paths,
+            instructions: total_instructions,
+            wall: start.elapsed(),
+            probes_covered: covered.len(),
+            max_constraints,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raindrop_synth::{codegen, randomfuns, Goal as RfGoal};
+
+    fn small_rf(goal: RfGoal, input_size: usize) -> raindrop_synth::RandomFun {
+        randomfuns::generate(raindrop_synth::RandomFunConfig {
+            structure: randomfuns::Ctrl::if_(randomfuns::Ctrl::bb(4), randomfuns::Ctrl::bb(4)),
+            structure_name: "(if (bb 4) (bb 4))".into(),
+            input_size,
+            seed: 5,
+            goal,
+            loop_size: 3,
+        })
+    }
+
+    #[test]
+    fn shadow_run_collects_constraints_and_return_value() {
+        let rf = small_rf(RfGoal::SecretFinding, 4);
+        let image = codegen::compile(&rf.program).unwrap();
+        let spec = InputSpec::RegisterArg { size_bytes: 4 };
+        let rec = shadow_run(&image, &rf.name, &spec, &[0], 10_000_000).unwrap();
+        assert_eq!(rec.return_value, 0, "input 0 is (almost surely) not the secret");
+        assert!(!rec.constraints.is_empty(), "branches on the input were recorded");
+        assert!(rec.instructions > 0);
+        // Constraints must be consistent with the concrete run.
+        for c in &rec.constraints {
+            assert!(c.satisfied_as_recorded(&[0]));
+        }
+    }
+
+    #[test]
+    fn dse_cracks_an_unprotected_point_test() {
+        for size in [1usize, 2, 4, 8] {
+            let rf = small_rf(RfGoal::SecretFinding, size);
+            let image = codegen::compile(&rf.program).unwrap();
+            let mut attack = DseAttack::new(
+                &image,
+                &rf.name,
+                InputSpec::RegisterArg { size_bytes: size },
+                DseBudget::default(),
+            );
+            let outcome = attack.run(Goal::Secret { want: 1 });
+            assert!(outcome.success, "native {size}-byte function should be cracked");
+            let witness = outcome.witness.unwrap()[0] & raindrop_synth::input_mask(size);
+            // The witness must actually pass the check (it may differ from
+            // the generator's secret only if a hash collision exists).
+            let mut emu = Emulator::new(&image);
+            assert_eq!(emu.call_named(&image, &rf.name, &[witness]).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn dse_reaches_full_probe_coverage_on_native_code() {
+        let rf = small_rf(RfGoal::CodeCoverage, 4);
+        let image = codegen::compile(&rf.program).unwrap();
+        let mut attack = DseAttack::new(
+            &image,
+            &rf.name,
+            InputSpec::RegisterArg { size_bytes: 4 },
+            DseBudget::default(),
+        );
+        let outcome = attack.run(Goal::Coverage { total_probes: rf.probe_count });
+        assert!(outcome.success, "covered {}/{}", outcome.probes_covered, rf.probe_count);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_failure_gracefully() {
+        let rf = small_rf(RfGoal::SecretFinding, 8);
+        let image = codegen::compile(&rf.program).unwrap();
+        let tiny = DseBudget {
+            total_instructions: 200,
+            per_path_instructions: 50,
+            max_paths: 2,
+            max_wall: Duration::from_millis(200),
+        };
+        let mut attack =
+            DseAttack::new(&image, &rf.name, InputSpec::RegisterArg { size_bytes: 8 }, tiny);
+        let outcome = attack.run(Goal::Secret { want: 1 });
+        assert!(!outcome.success);
+        assert!(outcome.paths <= 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! # raindrop-attacks
+//!
+//! The attacker toolbox of the *raindrop* reproduction: the automated
+//! deobfuscation techniques §III and §VII of the paper measure the
+//! obfuscation against.
+//!
+//! * [`sym`] — the symbolic-expression language and the inversion-based
+//!   solver (the reproduction's stand-in for an SMT backend);
+//! * [`concolic`] — dynamic symbolic execution (the S2E stand-in): shadowed
+//!   concrete runs, path constraints, generational search, goals G1
+//!   (secret finding) and G2 (code coverage), all under explicit work
+//!   budgets;
+//! * [`tds`] — taint-driven simplification of execution traces (attack
+//!   surface A3);
+//! * [`ropaware`] — ROPMEMU-style flag-flip exploration and
+//!   ROPDissector-style gadget guessing (attack surfaces A2/A1).
+//!
+//! # Example
+//!
+//! ```
+//! use raindrop_attacks::concolic::{DseAttack, DseBudget, Goal, InputSpec};
+//! use raindrop_synth::{codegen, randomfuns};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a small point-test function and crack its secret.
+//! let rf = randomfuns::generate(raindrop_synth::RandomFunConfig {
+//!     structure: randomfuns::Ctrl::if_(randomfuns::Ctrl::bb(4), randomfuns::Ctrl::bb(4)),
+//!     structure_name: "(if (bb 4) (bb 4))".into(),
+//!     input_size: 2,
+//!     seed: 1,
+//!     goal: randomfuns::Goal::SecretFinding,
+//!     loop_size: 2,
+//! });
+//! let image = codegen::compile(&rf.program)?;
+//! let mut attack = DseAttack::new(
+//!     &image,
+//!     &rf.name,
+//!     InputSpec::RegisterArg { size_bytes: 2 },
+//!     DseBudget::default(),
+//! );
+//! let outcome = attack.run(Goal::Secret { want: 1 });
+//! assert!(outcome.success);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concolic;
+pub mod ropaware;
+pub mod sym;
+pub mod tds;
+
+pub use concolic::{
+    shadow_run, Constraint, DseAttack, DseBudget, DseOutcome, Goal, InputSpec, PathRecord,
+};
+pub use ropaware::{chain_symbol, flip_exploration, gadget_guess, FlipReport, GuessReport};
+pub use sym::{invert, BinKind, SymExpr, UnKind};
+pub use tds::{simplify, simplify_trace, TdsReport};

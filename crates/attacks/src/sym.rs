@@ -1,0 +1,379 @@
+//! Symbolic expressions over the attacker-controlled input.
+//!
+//! The concolic attacker shadows a concrete execution with expressions over
+//! a small set of input *variables* (the register argument of a RandomFuns
+//! target, or the bytes of an input buffer for the base64 case study).
+//! Expressions support direct evaluation — the solver works by inversion and
+//! bounded search rather than an SMT backend, which is the reproduction's
+//! stand-in for angr/S2E's solver (see DESIGN.md).
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Binary operators of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (x/0 = 0, matching the workloads' semantics).
+    Div,
+    /// Unsigned remainder (x%0 = x).
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (count masked to 6 bits).
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+    /// Equality, producing 0 or 1.
+    Eq,
+    /// Unsigned less-than, producing 0 or 1.
+    Ult,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnKind {
+    /// Two's complement negation.
+    Neg,
+    /// Bitwise NOT.
+    Not,
+    /// Sign extension of the low byte.
+    SextByte,
+}
+
+/// A symbolic expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymExpr {
+    /// A concrete 64-bit constant.
+    Const(u64),
+    /// Input variable `i`.
+    Input(usize),
+    /// Binary operation.
+    Bin(BinKind, Rc<SymExpr>, Rc<SymExpr>),
+    /// Unary operation.
+    Un(UnKind, Rc<SymExpr>),
+}
+
+impl SymExpr {
+    /// Shared constant zero.
+    pub fn zero() -> Rc<SymExpr> {
+        Rc::new(SymExpr::Const(0))
+    }
+
+    /// Wraps a constant.
+    pub fn constant(v: u64) -> Rc<SymExpr> {
+        Rc::new(SymExpr::Const(v))
+    }
+
+    /// Wraps an input variable.
+    pub fn input(i: usize) -> Rc<SymExpr> {
+        Rc::new(SymExpr::Input(i))
+    }
+
+    /// Builds a binary node with local constant folding.
+    pub fn bin(kind: BinKind, a: Rc<SymExpr>, b: Rc<SymExpr>) -> Rc<SymExpr> {
+        if let (SymExpr::Const(x), SymExpr::Const(y)) = (a.as_ref(), b.as_ref()) {
+            return SymExpr::constant(eval_bin(kind, *x, *y));
+        }
+        Rc::new(SymExpr::Bin(kind, a, b))
+    }
+
+    /// Builds a unary node with local constant folding.
+    pub fn un(kind: UnKind, a: Rc<SymExpr>) -> Rc<SymExpr> {
+        if let SymExpr::Const(x) = a.as_ref() {
+            return SymExpr::constant(eval_un(kind, *x));
+        }
+        Rc::new(SymExpr::Un(kind, a))
+    }
+
+    /// Evaluates the expression for a concrete assignment of the input
+    /// variables (missing variables read as zero).
+    pub fn eval(&self, input: &[u64]) -> u64 {
+        match self {
+            SymExpr::Const(v) => *v,
+            SymExpr::Input(i) => input.get(*i).copied().unwrap_or(0),
+            SymExpr::Bin(k, a, b) => eval_bin(*k, a.eval(input), b.eval(input)),
+            SymExpr::Un(k, a) => eval_un(*k, a.eval(input)),
+        }
+    }
+
+    /// Whether the expression mentions any input variable.
+    pub fn is_symbolic(&self) -> bool {
+        match self {
+            SymExpr::Const(_) => false,
+            SymExpr::Input(_) => true,
+            SymExpr::Bin(_, a, b) => a.is_symbolic() || b.is_symbolic(),
+            SymExpr::Un(_, a) => a.is_symbolic(),
+        }
+    }
+
+    /// The set of input variables the expression depends on.
+    pub fn variables(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<usize>) {
+        match self {
+            SymExpr::Const(_) => {}
+            SymExpr::Input(i) => {
+                out.insert(*i);
+            }
+            SymExpr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            SymExpr::Un(_, a) => a.collect_vars(out),
+        }
+    }
+
+    /// Number of nodes in the expression tree (used to bound expression
+    /// growth during shadow execution).
+    pub fn size(&self) -> usize {
+        match self {
+            SymExpr::Const(_) | SymExpr::Input(_) => 1,
+            SymExpr::Bin(_, a, b) => 1 + a.size() + b.size(),
+            SymExpr::Un(_, a) => 1 + a.size(),
+        }
+    }
+
+    /// Number of times any input variable occurs in the tree.
+    pub fn input_occurrences(&self) -> usize {
+        match self {
+            SymExpr::Const(_) => 0,
+            SymExpr::Input(_) => 1,
+            SymExpr::Bin(_, a, b) => a.input_occurrences() + b.input_occurrences(),
+            SymExpr::Un(_, a) => a.input_occurrences(),
+        }
+    }
+}
+
+fn eval_bin(kind: BinKind, a: u64, b: u64) -> u64 {
+    match kind {
+        BinKind::Add => a.wrapping_add(b),
+        BinKind::Sub => a.wrapping_sub(b),
+        BinKind::Mul => a.wrapping_mul(b),
+        BinKind::Div => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        BinKind::Rem => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        BinKind::And => a & b,
+        BinKind::Or => a | b,
+        BinKind::Xor => a ^ b,
+        BinKind::Shl => a << (b & 63),
+        BinKind::Shr => a >> (b & 63),
+        BinKind::Sar => ((a as i64) >> (b & 63)) as u64,
+        BinKind::Eq => (a == b) as u64,
+        BinKind::Ult => (a < b) as u64,
+    }
+}
+
+fn eval_un(kind: UnKind, a: u64) -> u64 {
+    match kind {
+        UnKind::Neg => (a as i64).wrapping_neg() as u64,
+        UnKind::Not => !a,
+        UnKind::SextByte => a as u8 as i8 as i64 as u64,
+    }
+}
+
+/// Attempts to find a value of variable `var` such that `expr == target`,
+/// assuming all other variables keep the values in `input`. Succeeds when
+/// the variable occurs exactly once along an invertible operator chain.
+pub fn invert(expr: &SymExpr, target: u64, var: usize, input: &[u64]) -> Option<u64> {
+    match expr {
+        SymExpr::Const(v) => {
+            if *v == target {
+                Some(input.get(var).copied().unwrap_or(0))
+            } else {
+                None
+            }
+        }
+        SymExpr::Input(i) => {
+            if *i == var {
+                Some(target)
+            } else {
+                None
+            }
+        }
+        SymExpr::Un(k, a) => {
+            let new_target = match k {
+                UnKind::Neg => (target as i64).wrapping_neg() as u64,
+                UnKind::Not => !target,
+                UnKind::SextByte => {
+                    // Invertible only if the target is a valid sign extension.
+                    let low = target as u8;
+                    if (low as i8 as i64 as u64) == target {
+                        // Any value with that low byte works; keep the rest 0.
+                        low as u64
+                    } else {
+                        return None;
+                    }
+                }
+            };
+            invert(a, new_target, var, input)
+        }
+        SymExpr::Bin(k, a, b) => {
+            let a_has = a.variables().contains(&var);
+            let b_has = b.variables().contains(&var);
+            if a_has && b_has {
+                return None;
+            }
+            if !a_has && !b_has {
+                return None;
+            }
+            let (sym, other_value, var_on_left) = if a_has {
+                (a.as_ref(), b.eval(input), true)
+            } else {
+                (b.as_ref(), a.eval(input), false)
+            };
+            let new_target = match (k, var_on_left) {
+                (BinKind::Add, _) => target.wrapping_sub(other_value),
+                (BinKind::Xor, _) => target ^ other_value,
+                (BinKind::Sub, true) => target.wrapping_add(other_value),
+                (BinKind::Sub, false) => other_value.wrapping_sub(target),
+                (BinKind::Mul, _) => {
+                    if other_value % 2 == 0 {
+                        return None;
+                    }
+                    target.wrapping_mul(mod_inverse(other_value))
+                }
+                (BinKind::And, _) => {
+                    // x & m == target requires target ⊆ m; any x with those
+                    // bits works, pick target itself.
+                    if target & other_value == target {
+                        target
+                    } else {
+                        return None;
+                    }
+                }
+                (BinKind::Or, _) => {
+                    // x | m == target requires m ⊆ target.
+                    if other_value & target == other_value {
+                        target & !other_value
+                    } else {
+                        return None;
+                    }
+                }
+                (BinKind::Shl, true) => {
+                    let s = other_value & 63;
+                    if target.trailing_zeros() as u64 >= s {
+                        target >> s
+                    } else {
+                        return None;
+                    }
+                }
+                (BinKind::Shr, true) => {
+                    let s = other_value & 63;
+                    if target.leading_zeros() as u64 >= s {
+                        target << s
+                    } else {
+                        return None;
+                    }
+                }
+                _ => return None,
+            };
+            invert(sym, new_target, var, input)
+        }
+    }
+}
+
+/// Modular inverse of an odd 64-bit value (Newton iteration).
+fn mod_inverse(a: u64) -> u64 {
+    debug_assert!(a % 2 == 1);
+    let mut x = a; // correct to 3 bits
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Rc<SymExpr> {
+        SymExpr::input(0)
+    }
+
+    #[test]
+    fn evaluation_and_constant_folding() {
+        let e = SymExpr::bin(BinKind::Add, SymExpr::constant(2), SymExpr::constant(40));
+        assert_eq!(*e, SymExpr::Const(42), "constants fold");
+        let e = SymExpr::bin(BinKind::Mul, x(), SymExpr::constant(3));
+        assert_eq!(e.eval(&[7]), 21);
+        assert!(e.is_symbolic());
+        assert_eq!(e.variables().len(), 1);
+        assert_eq!(e.size(), 3);
+        assert_eq!(e.input_occurrences(), 1);
+    }
+
+    #[test]
+    fn inversion_of_affine_and_xor_chains() {
+        // ((x ^ 0x55) + 100) * 7 == target
+        let e = SymExpr::bin(
+            BinKind::Mul,
+            SymExpr::bin(
+                BinKind::Add,
+                SymExpr::bin(BinKind::Xor, x(), SymExpr::constant(0x55)),
+                SymExpr::constant(100),
+            ),
+            SymExpr::constant(7),
+        );
+        let want = 0xDEADBEEFu64;
+        let target = e.eval(&[want]);
+        let got = invert(&e, target, 0, &[0]).expect("invertible");
+        assert_eq!(e.eval(&[got]), target);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn inversion_of_not_neg_sub_div_free_chain() {
+        // ~( 1000 - x ) == target
+        let e = SymExpr::un(UnKind::Not, SymExpr::bin(BinKind::Sub, SymExpr::constant(1000), x()));
+        let target = e.eval(&[123]);
+        let got = invert(&e, target, 0, &[0]).unwrap();
+        assert_eq!(e.eval(&[got]), target);
+    }
+
+    #[test]
+    fn inversion_through_and_mask_respects_feasibility() {
+        let e = SymExpr::bin(BinKind::And, x(), SymExpr::constant(0xffff));
+        assert_eq!(invert(&e, 0x1234, 0, &[0]), Some(0x1234));
+        assert_eq!(invert(&e, 0x1_0000, 0, &[0]), None, "target outside the mask");
+    }
+
+    #[test]
+    fn inversion_gives_up_on_multiple_occurrences() {
+        let e = SymExpr::bin(BinKind::Add, x(), x());
+        assert_eq!(invert(&e, 10, 0, &[0]), None);
+    }
+
+    #[test]
+    fn mod_inverse_is_correct() {
+        for a in [1u64, 3, 5, 7, 0xDEADBEEF | 1, u64::MAX] {
+            assert_eq!(a.wrapping_mul(mod_inverse(a)), 1, "a = {a}");
+        }
+    }
+}

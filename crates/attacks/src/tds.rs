@@ -1,0 +1,201 @@
+//! Taint-driven simplification (TDS) — the general, semantics-based trace
+//! simplifier of Yadegari et al. that the paper treats as attack surface A3.
+//!
+//! The attacker records a concrete execution trace of the obfuscated
+//! function, taints the attacker-controlled input, and keeps only the
+//! instructions that (transitively) take part in the input-to-output
+//! computation; everything else — interpreter dispatch, ROP `ret` plumbing,
+//! dynamically dead gadget instructions — is simplification fodder. Exactly
+//! as the paper argues, the P3 predicate couples its opaque computations with
+//! input-derived values and (second variant) with later branch decisions, so
+//! the simplifier cannot drop them without unsoundness.
+
+use raindrop_machine::{Image, Inst, Reg, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Result of a TDS pass over one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TdsReport {
+    /// Total instructions in the recorded trace.
+    pub trace_len: usize,
+    /// Instructions kept because they are tainted by the input and reach
+    /// the output (the simplified trace).
+    pub relevant: usize,
+    /// Instructions recognized as pure dispatch overhead (`ret`-driven chain
+    /// stepping or interpreter VPC handling) that the simplifier removed.
+    pub dispatch_removed: usize,
+    /// Fraction of the trace removed by simplification.
+    pub reduction: f64,
+    /// Distinct code addresses remaining in the simplified trace.
+    pub simplified_unique_addresses: usize,
+}
+
+/// Runs the obfuscated function concretely with tracing and applies
+/// taint-driven simplification. `input` is passed as the first argument and
+/// is the taint source.
+pub fn simplify(image: &Image, func: &str, input: u64, budget: u64) -> TdsReport {
+    let mut emu = raindrop_machine::Emulator::new(image);
+    emu.set_budget(budget);
+    emu.set_tracing(true);
+    let _ = emu.call_named(image, func, &[input]);
+    let trace = emu.take_trace();
+    simplify_trace(&trace)
+}
+
+/// Applies the simplification to an already-recorded trace.
+pub fn simplify_trace(trace: &Trace) -> TdsReport {
+    // Forward taint: registers/memory locations derived from the input
+    // (rdi at entry).
+    let mut tainted_regs: HashSet<Reg> = HashSet::new();
+    tainted_regs.insert(Reg::Rdi);
+    let mut tainted_mem: HashSet<u64> = HashSet::new();
+    let mut tainted_entries: Vec<bool> = vec![false; trace.len()];
+
+    for (i, e) in trace.iter().enumerate() {
+        let reads_tainted_reg = e
+            .inst
+            .regs_read()
+            .iter()
+            .any(|r| tainted_regs.contains(&r));
+        let reads_tainted_mem = e
+            .mem
+            .iter()
+            .filter(|m| !m.is_write)
+            .any(|m| tainted_mem.contains(&(m.addr & !7)));
+        let tainted = reads_tainted_reg || reads_tainted_mem;
+        tainted_entries[i] = tainted;
+
+        // Propagate.
+        for (r, _) in &e.reg_writes {
+            if tainted {
+                tainted_regs.insert(*r);
+            } else {
+                tainted_regs.remove(r);
+            }
+        }
+        for m in e.mem.iter().filter(|m| m.is_write) {
+            if tainted {
+                tainted_mem.insert(m.addr & !7);
+            } else {
+                tainted_mem.remove(&(m.addr & !7));
+            }
+        }
+    }
+
+    // Backward relevance: start from the final rax definition and the last
+    // tainted memory writes, keep everything that feeds them. A lightweight
+    // backward slice over registers suffices for the counts the experiments
+    // report.
+    let mut needed_regs: HashSet<Reg> = HashSet::new();
+    needed_regs.insert(Reg::Rax);
+    let mut relevant_entries = vec![false; trace.len()];
+    for (i, e) in trace.iter().enumerate().rev() {
+        let defines_needed = e.reg_writes.iter().any(|(r, _)| needed_regs.contains(r));
+        let writes_mem = e.mem.iter().any(|m| m.is_write);
+        if (defines_needed || writes_mem) && tainted_entries[i] {
+            relevant_entries[i] = true;
+            for (r, _) in &e.reg_writes {
+                needed_regs.remove(r);
+            }
+            for r in e.inst.regs_read().iter() {
+                needed_regs.insert(r);
+            }
+        }
+    }
+
+    // Dispatch overhead: ret-stepping and stack-pointer bookkeeping that is
+    // not tainted.
+    let dispatch_removed = trace
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| {
+            !tainted_entries[*i]
+                && (matches!(e.inst, Inst::Ret | Inst::Pop(_) | Inst::Push(_))
+                    || e.inst.regs_written().contains(Reg::Rsp))
+        })
+        .count();
+
+    let relevant = relevant_entries.iter().filter(|r| **r).count();
+    let simplified_unique_addresses = trace
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| relevant_entries[*i])
+        .map(|(_, e)| e.addr)
+        .collect::<HashSet<_>>()
+        .len();
+    let trace_len = trace.len();
+    TdsReport {
+        trace_len,
+        relevant,
+        dispatch_removed,
+        reduction: if trace_len == 0 {
+            0.0
+        } else {
+            1.0 - relevant as f64 / trace_len as f64
+        },
+        simplified_unique_addresses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raindrop::{Rewriter, RopConfig};
+    use raindrop_synth::{codegen, randomfuns, Goal};
+
+    fn sample() -> (raindrop_machine::Image, String, u64) {
+        let rf = randomfuns::generate(raindrop_synth::RandomFunConfig {
+            structure: randomfuns::Ctrl::if_(randomfuns::Ctrl::bb(4), randomfuns::Ctrl::bb(4)),
+            structure_name: "(if (bb 4) (bb 4))".into(),
+            input_size: 2,
+            seed: 3,
+            goal: Goal::SecretFinding,
+            loop_size: 3,
+        });
+        let image = codegen::compile(&rf.program).unwrap();
+        (image, rf.name, rf.secret_input)
+    }
+
+    #[test]
+    fn native_trace_is_mostly_relevant_computation() {
+        let (image, name, secret) = sample();
+        let report = simplify(&image, &name, secret, 10_000_000);
+        assert!(report.trace_len > 0);
+        assert!(report.relevant > 0);
+        assert!(report.reduction < 0.95, "little to simplify in native code");
+    }
+
+    #[test]
+    fn rop_chain_dispatch_is_removable_but_p3_is_not() {
+        let (image, name, secret) = sample();
+
+        // Plain ROP (no P3): the chain adds huge amounts of untainted
+        // dispatch that TDS strips away.
+        let mut plain = image.clone();
+        let mut rw = Rewriter::new(&mut plain, RopConfig::plain());
+        rw.rewrite_function(&mut plain, &name).unwrap();
+        let plain_report = simplify(&plain, &name, secret, 50_000_000);
+        assert!(plain_report.trace_len > 5 * 100, "chains execute many more instructions");
+        assert!(plain_report.dispatch_removed > 0);
+        assert!(
+            plain_report.reduction > 0.5,
+            "most of a plain chain is removable dispatch (got {:.2})",
+            plain_report.reduction
+        );
+
+        // ROP with P3 at every point: the opaque loops are tainted by the
+        // input, so the relevant (non-simplifiable) instruction count grows
+        // substantially compared to the plain chain.
+        let mut hard = image.clone();
+        let mut rw = Rewriter::new(&mut hard, RopConfig::ropk(1.0));
+        rw.rewrite_function(&mut hard, &name).unwrap();
+        let hard_report = simplify(&hard, &name, secret, 50_000_000);
+        assert!(
+            hard_report.relevant as f64 > plain_report.relevant as f64 * 1.5,
+            "P3 keeps input-coupled work in the simplified trace ({} vs {})",
+            hard_report.relevant,
+            plain_report.relevant
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Criterion benchmarks backing Table II's cost dimension: the work a DSE
+//! attacker spends on one representative function under the NATIVE, ROPk and
+//! nVM configurations, for both paper goals (secret finding and coverage).
+//!
+//! Absolute times are emulator-bound; the interesting output is the ratio
+//! between configurations, which should follow the paper's ordering
+//! NATIVE < nVM (low n) < ROPk (growing with k).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raindrop_attacks::concolic::{DseAttack, DseBudget, Goal, InputSpec};
+use raindrop_bench::{prepare_randomfun, ObfKind};
+use raindrop_obfvm::ImplicitAt;
+use raindrop_synth::{generate_randomfun, paper_structures, Goal as RfGoal, RandomFunConfig};
+use std::time::Duration;
+
+fn target(goal: RfGoal) -> raindrop_synth::RandomFun {
+    let (name, structure) = paper_structures().into_iter().next().unwrap();
+    generate_randomfun(RandomFunConfig {
+        structure,
+        structure_name: name,
+        input_size: 1,
+        seed: 3,
+        goal,
+        loop_size: 2,
+    })
+}
+
+fn budget() -> DseBudget {
+    DseBudget {
+        total_instructions: 3_000_000,
+        per_path_instructions: 500_000,
+        max_paths: 60,
+        max_wall: Duration::from_secs(5),
+    }
+}
+
+fn bench_secret_finding(c: &mut Criterion) {
+    let rf = target(RfGoal::SecretFinding);
+    let mut group = c.benchmark_group("table2_secret_finding");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("native", ObfKind::Native),
+        ("rop_k005", ObfKind::Rop { k: 0.05 }),
+        ("rop_k100", ObfKind::Rop { k: 1.00 }),
+        ("vm1", ObfKind::Vm { layers: 1, implicit: ImplicitAt::None }),
+    ] {
+        let image = prepare_randomfun(&rf, &kind, 1).expect("prepares");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut attack = DseAttack::new(
+                    &image,
+                    &rf.name,
+                    InputSpec::RegisterArg { size_bytes: 1 },
+                    budget(),
+                );
+                attack.run(Goal::Secret { want: 1 })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let rf = target(RfGoal::CodeCoverage);
+    let mut group = c.benchmark_group("table2_coverage");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("native", ObfKind::Native),
+        ("rop_k050", ObfKind::Rop { k: 0.50 }),
+    ] {
+        let image = prepare_randomfun(&rf, &kind, 1).expect("prepares");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut attack = DseAttack::new(
+                    &image,
+                    &rf.name,
+                    InputSpec::RegisterArg { size_bytes: 1 },
+                    budget(),
+                );
+                attack.run(Goal::Coverage { total_probes: rf.probe_count })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_secret_finding, bench_coverage);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the rewriter's building blocks: emulator
+//! throughput, gadget-catalog requests (scan + synthesis + diversity), P1
+//! array generation, whole-function chain crafting at different P3 fractions
+//! (the Table III ablation), and the VM obfuscation baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use raindrop::{P1Config, P1Instance, Rewriter, RopConfig};
+use raindrop_gadgets::{CatalogConfig, GadgetCatalog, GadgetOp};
+use raindrop_machine::{Emulator, Reg, RegSet};
+use raindrop_obfvm::{apply, VmConfig};
+use raindrop_synth::{codegen, workloads};
+
+fn bench_emulator_throughput(c: &mut Criterion) {
+    let w = workloads::fannkuch();
+    let image = codegen::compile(&w.program).expect("compiles");
+    c.bench_function("emulator_fannkuch_native", |b| {
+        b.iter(|| {
+            let mut emu = Emulator::new(&image);
+            emu.set_budget(10_000_000_000);
+            emu.call_named(&image, &w.entry, &w.args).expect("runs")
+        });
+    });
+}
+
+fn bench_gadget_requests(c: &mut Criterion) {
+    let w = workloads::fasta();
+    let image = codegen::compile(&w.program).expect("compiles");
+    c.bench_function("catalog_1k_requests", |b| {
+        b.iter(|| {
+            let mut img = image.clone();
+            let mut catalog = GadgetCatalog::from_image(&img, CatalogConfig::default());
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let mut total = 0u64;
+            for i in 0..1000u64 {
+                let reg = Reg::ALL[(i % 14 + 1) as usize];
+                let g = catalog.request(
+                    &mut img,
+                    GadgetOp::Pop(if reg.is_sp() { Reg::Rax } else { reg }),
+                    RegSet::EMPTY,
+                    i % 3 == 0,
+                    &mut rng,
+                );
+                total += g.addr;
+            }
+            total
+        });
+    });
+}
+
+fn bench_p1_generation(c: &mut Criterion) {
+    c.bench_function("p1_array_generation_default", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        b.iter(|| P1Instance::generate(P1Config::default(), &mut rng));
+    });
+}
+
+fn bench_rewriting_by_fraction(c: &mut Criterion) {
+    let w = workloads::pidigits();
+    let image = codegen::compile(&w.program).expect("compiles");
+    let mut group = c.benchmark_group("rewrite_pidigits");
+    group.sample_size(10);
+    for k in [0.0, 0.5, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k:.2}")), &k, |b, &k| {
+            b.iter(|| {
+                let mut img = image.clone();
+                let mut rw = Rewriter::new(&mut img, RopConfig::ropk(k).with_seed(1));
+                rw.rewrite_functions(&mut img, w.obfuscate.iter().map(|s| s.as_str()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_vm_obfuscation(c: &mut Criterion) {
+    let w = workloads::fannkuch();
+    let mut group = c.benchmark_group("vm_obfuscation");
+    group.sample_size(10);
+    for layers in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |b, &layers| {
+            b.iter(|| {
+                let mut p = w.program.clone();
+                for f in &w.obfuscate {
+                    p = apply(&p, f, VmConfig::plain(layers)).expect("virtualizes");
+                }
+                codegen::compile(&p).expect("compiles")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_emulator_throughput,
+    bench_gadget_requests,
+    bench_p1_generation,
+    bench_rewriting_by_fraction,
+    bench_vm_obfuscation
+);
+criterion_main!(benches);

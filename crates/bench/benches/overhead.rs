@@ -1,0 +1,43 @@
+//! Criterion benchmarks backing Fig. 5: emulated execution of a clbg kernel
+//! under increasing obfuscation strength, plus the rewriter's own throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raindrop::{Rewriter, RopConfig};
+use raindrop_bench::{workload_cycles, ObfKind};
+use raindrop_obfvm::ImplicitAt;
+use raindrop_synth::codegen;
+
+fn bench_workload_overhead(c: &mut Criterion) {
+    let w = raindrop_synth::workloads::pidigits();
+    let mut group = c.benchmark_group("fig5_pidigits");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("native", ObfKind::Native),
+        ("rop_k025", ObfKind::Rop { k: 0.25 }),
+        ("rop_k100", ObfKind::Rop { k: 1.00 }),
+        ("vm2_implast", ObfKind::Vm { layers: 2, implicit: ImplicitAt::Last }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| workload_cycles(&w, &kind, 1).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rewriter_throughput(c: &mut Criterion) {
+    let w = raindrop_synth::workloads::fasta();
+    let image = codegen::compile(&w.program).expect("compiles");
+    let mut group = c.benchmark_group("rewriter");
+    group.sample_size(10);
+    group.bench_function("rewrite_fasta_full", |b| {
+        b.iter(|| {
+            let mut img = image.clone();
+            let mut rw = Rewriter::new(&mut img, RopConfig::full());
+            rw.rewrite_functions(&mut img, w.obfuscate.iter().map(|s| s.as_str()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload_overhead, bench_rewriter_throughput);
+criterion_main!(benches);

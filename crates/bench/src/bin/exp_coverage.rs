@@ -1,0 +1,60 @@
+//! §VII-C1: rewriting coverage over the coreutils-like corpus, with the
+//! failure-class breakdown the paper reports.
+
+use raindrop::{FailureClass, Rewriter, RopConfig};
+use raindrop_bench::*;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize)]
+struct Report {
+    total_functions: usize,
+    attempted: usize,
+    rewritten: usize,
+    coverage: f64,
+    failures: BTreeMap<String, usize>,
+}
+
+fn main() {
+    let full = is_full_run();
+    let count = if full { 1354 } else { 250 };
+    let corpus = raindrop_synth::corpus::generate(count, 8);
+    let mut image = corpus.image.clone();
+    let mut rw = Rewriter::new(&mut image, RopConfig::full());
+    let names: Vec<&str> = corpus.entries.iter().map(|e| e.name.as_str()).collect();
+    let report = rw.rewrite_functions(&mut image, names.iter().copied());
+
+    let mut failures: BTreeMap<String, usize> = BTreeMap::new();
+    for (_, reason) in &report.failures {
+        let class = if reason.contains("pivot stub") {
+            format!("{:?}", FailureClass::TooShort)
+        } else if reason.contains("register pressure") {
+            format!("{:?}", FailureClass::RegisterPressure)
+        } else if reason.contains("unsupported") {
+            format!("{:?}", FailureClass::UnsupportedInstruction)
+        } else {
+            format!("{:?}", FailureClass::Other)
+        };
+        *failures.entry(class).or_default() += 1;
+    }
+    let attempted = report.rewritten.len() + report.failures.len();
+    let out = Report {
+        total_functions: count,
+        attempted,
+        rewritten: report.rewritten.len(),
+        coverage: report.coverage(),
+        failures,
+    };
+    println!(
+        "corpus: {} functions, rewritten {}/{} ({:.1}%)",
+        out.total_functions,
+        out.rewritten,
+        out.attempted,
+        out.coverage * 100.0
+    );
+    for (class, n) in &out.failures {
+        println!("  failure {class}: {n}");
+    }
+    write_json("exp_coverage", &out);
+    let _ = is_full_run;
+}

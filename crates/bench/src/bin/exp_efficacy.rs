@@ -1,0 +1,97 @@
+//! §VII-A: per-predicate efficacy — P1/P3 against DSE, P2 against the
+//! ROPMEMU-style flag flipping, gadget confusion against gadget guessing,
+//! P3 against taint-driven simplification.
+
+use raindrop::{Rewriter, RopConfig};
+use raindrop_attacks::concolic::{DseAttack, Goal, InputSpec};
+use raindrop_attacks::{chain_symbol, flip_exploration, gadget_guess, simplify};
+use raindrop_bench::*;
+use raindrop_synth::{codegen, randomfuns, Goal as RfGoal};
+use serde::Serialize;
+
+#[derive(Serialize, Default)]
+struct Report {
+    dse: Vec<(String, bool, u64)>,
+    flip: Vec<(String, usize, usize, usize)>,
+    guess: Vec<(String, usize, usize)>,
+    tds: Vec<(String, usize, usize)>,
+}
+
+fn sample(goal: RfGoal) -> raindrop_synth::RandomFun {
+    randomfuns::generate(raindrop_synth::RandomFunConfig {
+        structure: randomfuns::Ctrl::for_(randomfuns::Ctrl::if_(
+            randomfuns::Ctrl::bb(4),
+            randomfuns::Ctrl::bb(4),
+        )),
+        structure_name: "(for (if (bb 4) (bb 4)))".into(),
+        input_size: 4,
+        seed: 3,
+        goal,
+        loop_size: 5,
+    })
+}
+
+fn main() {
+    let full = is_full_run();
+    let budget = dse_budget(!full);
+    let mut report = Report::default();
+    let rf = sample(RfGoal::SecretFinding);
+
+    println!("== A1/A3: DSE (secret finding) against P1/P3 ==");
+    for (label, kind) in [
+        ("NATIVE", ObfKind::Native),
+        ("ROP-P1 only", ObfKind::Rop { k: 0.0 }),
+        ("ROP-P1+P3", ObfKind::Rop { k: 1.0 }),
+    ] {
+        let image = prepare_randomfun(&rf, &kind, 1).expect("prepare");
+        let mut attack = DseAttack::new(
+            &image,
+            &rf.name,
+            InputSpec::RegisterArg { size_bytes: rf.config.input_size },
+            budget,
+        );
+        let out = attack.run(Goal::Secret { want: 1 });
+        println!("  {label:<14} success={} instructions={}", out.success, out.instructions);
+        report.dse.push((label.to_string(), out.success, out.instructions));
+    }
+
+    println!("== A2: flag flipping (ROPMEMU) with and without P2 ==");
+    for (label, p2) in [("ROP without P2", false), ("ROP with P2", true)] {
+        let mut cfg = RopConfig::plain();
+        cfg.p2 = p2;
+        let mut image = codegen::compile(&rf.program).unwrap();
+        let mut rw = Rewriter::new(&mut image, cfg);
+        rw.rewrite_function(&mut image, &rf.name).unwrap();
+        let r = flip_exploration(&image, &rf.name, 0, 100_000_000);
+        println!(
+            "  {label:<16} leaks={} new_blocks={} derailed={}",
+            r.leak_sites, r.new_blocks, r.derailed_runs
+        );
+        report.flip.push((label.to_string(), r.leak_sites, r.new_blocks, r.derailed_runs));
+    }
+
+    println!("== A1: gadget guessing with and without confusion ==");
+    for (label, confusion) in [("no confusion", false), ("confusion", true)] {
+        let mut cfg = RopConfig::plain();
+        cfg.gadget_confusion = confusion;
+        let mut image = codegen::compile(&rf.program).unwrap();
+        let mut rw = Rewriter::new(&mut image, cfg);
+        rw.rewrite_function(&mut image, &rf.name).unwrap();
+        let g = gadget_guess(&image, &chain_symbol(&rf.name));
+        println!(
+            "  {label:<16} plausible={} unaligned_candidates={}",
+            g.plausible_pointers, g.unaligned_candidates
+        );
+        report.guess.push((label.to_string(), g.plausible_pointers, g.unaligned_candidates));
+    }
+
+    println!("== A3: taint-driven simplification against P3 ==");
+    for (label, kind) in [("ROP plain", ObfKind::Rop { k: 0.0 }), ("ROP P3 k=1", ObfKind::Rop { k: 1.0 })] {
+        let image = prepare_randomfun(&rf, &kind, 1).expect("prepare");
+        let t = simplify(&image, &rf.name, rf.secret_input, 200_000_000);
+        println!("  {label:<14} trace={} relevant={}", t.trace_len, t.relevant);
+        report.tds.push((label.to_string(), t.trace_len, t.relevant));
+    }
+
+    write_json("exp_efficacy", &report);
+}

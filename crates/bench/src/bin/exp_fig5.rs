@@ -1,0 +1,42 @@
+//! Figure 5: run-time overhead of ROPk on the clbg kernels, normalized to
+//! the 2VM-IMPlast baseline.
+
+use raindrop_bench::*;
+use raindrop_obfvm::ImplicitAt;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: String,
+    baseline_cycles: u64,
+    slowdown_vs_baseline: Vec<(String, f64)>,
+}
+
+fn main() {
+    let full = is_full_run();
+    let ks = if full { ropk_fractions() } else { vec![0.05, 0.25, 1.00] };
+    let baseline = ObfKind::Vm { layers: 2, implicit: ImplicitAt::Last };
+    let mut rows = Vec::new();
+    println!("{:<14} {}", "BENCHMARK", "slowdown of ROPk vs 2VM-IMPlast");
+    for w in raindrop_synth::clbg_suite() {
+        let base = match workload_cycles(&w, &baseline, 1) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("  {}: baseline failed: {e}", w.name);
+                continue;
+            }
+        };
+        let mut slowdowns = Vec::new();
+        for k in &ks {
+            match workload_cycles(&w, &ObfKind::Rop { k: *k }, 1) {
+                Ok(c) => slowdowns.push((format!("ROP{k:.2}"), c as f64 / base as f64)),
+                Err(e) => eprintln!("  {} ROP{k:.2}: {e}", w.name),
+            }
+        }
+        let text: Vec<String> =
+            slowdowns.iter().map(|(n, s)| format!("{n}={s:.2}x")).collect();
+        println!("{:<14} {}", w.name, text.join("  "));
+        rows.push(Row { benchmark: w.name.clone(), baseline_cycles: base, slowdown_vs_baseline: slowdowns });
+    }
+    write_json("exp_fig5", &rows);
+}

@@ -1,0 +1,27 @@
+//! Table II: successful attacks per configuration (secret finding + coverage).
+
+use raindrop_bench::*;
+use raindrop_synth::Goal;
+
+fn main() {
+    let full = is_full_run();
+    let secret_funs = randomfun_population(Goal::SecretFinding, full);
+    let coverage_funs = randomfun_population(Goal::CodeCoverage, full);
+    let configs = table2_configurations(full);
+    let budget = dse_budget(!full);
+    eprintln!(
+        "Table II: {} functions x {} configurations ({})",
+        secret_funs.len(),
+        configs.len(),
+        if full { "full" } else { "quick" }
+    );
+    let rows = run_table2(&secret_funs, &coverage_funs, &configs, budget);
+    println!("{:<14} {:>14} {:>10} {:>18}", "CONFIGURATION", "FOUND", "AVG TIME", "100% POINTS");
+    for r in &rows {
+        println!(
+            "{:<14} {:>10}/{:<3} {:>8.1}s {:>14}/{:<3}",
+            r.config, r.secrets_found, r.attempted, r.avg_secret_seconds, r.fully_covered, r.attempted
+        );
+    }
+    write_json("exp_table2", &rows);
+}

@@ -1,0 +1,54 @@
+//! Table III: rewriter statistics per clbg benchmark (program points N,
+//! total gadgets A, unique gadgets B, gadgets per point C) for each ROPk.
+
+use raindrop::{Rewriter, RopConfig};
+use raindrop_bench::*;
+use raindrop_synth::codegen;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: String,
+    k: f64,
+    program_points: u64,
+    total_gadgets: u64,
+    unique_gadgets: u64,
+    gadgets_per_point: f64,
+}
+
+fn main() {
+    let full = is_full_run();
+    let ks = if full { ropk_fractions() } else { vec![0.0, 0.25, 1.00] };
+    let mut rows = Vec::new();
+    println!("{:<14} {:>6} {:>8} {:>8} {:>8} {:>8}", "BENCHMARK", "k", "N", "A", "B", "C");
+    for w in raindrop_synth::clbg_suite() {
+        for k in &ks {
+            let mut image = match codegen::compile(&w.program) {
+                Ok(i) => i,
+                Err(e) => {
+                    eprintln!("{}: {e}", w.name);
+                    continue;
+                }
+            };
+            let mut rw = Rewriter::new(&mut image, RopConfig::ropk(*k));
+            let report = rw.rewrite_functions(&mut image, w.obfuscate.iter().map(|s| s.as_str()));
+            let n = report.program_points();
+            let stats = report.gadgets;
+            let c = if n > 0 { stats.total_used as f64 / n as f64 } else { 0.0 };
+            println!(
+                "{:<14} {:>6.2} {:>8} {:>8} {:>8} {:>8.2}",
+                w.name, k, n, stats.total_used, stats.unique_used, c
+            );
+            rows.push(Row {
+                benchmark: w.name.clone(),
+                k: *k,
+                program_points: n,
+                total_gadgets: stats.total_used,
+                unique_gadgets: stats.unique_used,
+                gadgets_per_point: c,
+            });
+        }
+    }
+    write_json("exp_table3", &rows);
+    let _ = prepare_image; // keep the shared helpers linked for docs
+}

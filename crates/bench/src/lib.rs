@@ -1,0 +1,368 @@
+//! # raindrop-bench
+//!
+//! The experiment harness: one driver per table/figure of the paper's
+//! evaluation (§VII), plus Criterion micro-benchmarks. Each driver prints
+//! the same rows/series the paper reports and writes a JSON file next to the
+//! textual output so EXPERIMENTS.md can record paper-vs-measured.
+//!
+//! Binaries (run with `cargo run -p raindrop-bench --release --bin <name>`):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `exp_table2` | Table II — secret finding & code coverage under the Table I configurations |
+//! | `exp_fig5` | Fig. 5 — run-time slowdown of ROPk vs 2VM-IMPlast on the clbg kernels |
+//! | `exp_table3` | Table III — per-benchmark gadget statistics |
+//! | `exp_coverage` | §VII-C1 — rewriting coverage over the corpus |
+//! | `exp_base64` | §VII-C3 — base64 case study |
+//! | `exp_efficacy` | §VII-A — per-predicate efficacy against DSE/TDS/ROP-aware tools |
+//!
+//! Every driver accepts `--full` for a larger run and defaults to a
+//! laptop-scale quick run (fewer functions, smaller budgets); the scale used
+//! is recorded in the JSON output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use raindrop::{Rewriter, RopConfig};
+use raindrop_attacks::concolic::{DseAttack, DseBudget, Goal as AttackGoal, InputSpec};
+use raindrop_machine::{Emulator, Image};
+use raindrop_obfvm::{ImplicitAt, VmConfig};
+use raindrop_synth::{codegen, RandomFun, Workload};
+use serde::Serialize;
+use std::time::Duration;
+
+/// An obfuscation configuration of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ObfKind {
+    /// Unprotected baseline.
+    Native,
+    /// `ROPk` — ROP rewriting with P3 at fraction `k`.
+    Rop {
+        /// P3 fraction `k`.
+        k: f64,
+    },
+    /// `nVM(-IMPx)` — nested virtualization.
+    Vm {
+        /// Number of layers.
+        layers: usize,
+        /// Implicit-VPC placement.
+        implicit: ImplicitAt,
+    },
+}
+
+impl ObfKind {
+    /// Table I-style label.
+    pub fn label(&self) -> String {
+        match self {
+            ObfKind::Native => "NATIVE".to_string(),
+            ObfKind::Rop { k } => format!("ROP{k:.2}"),
+            ObfKind::Vm { layers, implicit } => VmConfig::with_implicit(*layers, *implicit).label(),
+        }
+    }
+}
+
+/// The configurations of Table II, in the paper's row order. The quick run
+/// drops the 3VM rows (their interpreters are enormous in emulation time);
+/// `--full` includes them.
+pub fn table2_configurations(full: bool) -> Vec<ObfKind> {
+    let mut out = vec![ObfKind::Native];
+    for k in [0.05, 0.25, 0.50, 0.75, 1.00] {
+        out.push(ObfKind::Rop { k });
+    }
+    out.push(ObfKind::Vm { layers: 1, implicit: ImplicitAt::All });
+    out.push(ObfKind::Vm { layers: 2, implicit: ImplicitAt::None });
+    out.push(ObfKind::Vm { layers: 2, implicit: ImplicitAt::First });
+    out.push(ObfKind::Vm { layers: 2, implicit: ImplicitAt::Last });
+    out.push(ObfKind::Vm { layers: 2, implicit: ImplicitAt::All });
+    if full {
+        out.push(ObfKind::Vm { layers: 3, implicit: ImplicitAt::None });
+        out.push(ObfKind::Vm { layers: 3, implicit: ImplicitAt::First });
+        out.push(ObfKind::Vm { layers: 3, implicit: ImplicitAt::Last });
+        out.push(ObfKind::Vm { layers: 3, implicit: ImplicitAt::All });
+    }
+    out
+}
+
+/// The ROPk fractions used by Fig. 5 and Table III.
+pub fn ropk_fractions() -> Vec<f64> {
+    vec![0.0, 0.05, 0.25, 0.50, 0.75, 1.00]
+}
+
+/// Errors produced while preparing an obfuscated image.
+#[derive(Debug)]
+pub enum PrepareError {
+    /// VM obfuscation failed.
+    Vm(raindrop_obfvm::VmError),
+    /// Code generation / linking failed.
+    Codegen(raindrop_machine::AsmError),
+    /// ROP rewriting failed.
+    Rewrite(raindrop::RewriteError),
+}
+
+impl std::fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrepareError::Vm(e) => write!(f, "vm obfuscation failed: {e}"),
+            PrepareError::Codegen(e) => write!(f, "code generation failed: {e}"),
+            PrepareError::Rewrite(e) => write!(f, "rop rewriting failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+/// Compiles `program`, applying the obfuscation `kind` to the listed
+/// functions (VM obfuscation happens at the MiniC level before compilation,
+/// ROP rewriting on the compiled image).
+pub fn prepare_image(
+    program: &raindrop_synth::Program,
+    functions: &[String],
+    kind: &ObfKind,
+    seed: u64,
+) -> Result<Image, PrepareError> {
+    let mut program = program.clone();
+    if let ObfKind::Vm { layers, implicit } = kind {
+        let cfg = VmConfig { layers: *layers, implicit: *implicit, seed };
+        for f in functions {
+            program = raindrop_obfvm::apply(&program, f, cfg).map_err(PrepareError::Vm)?;
+        }
+    }
+    let mut image = codegen::compile(&program).map_err(PrepareError::Codegen)?;
+    if let ObfKind::Rop { k } = kind {
+        let mut rewriter = Rewriter::new(&mut image, RopConfig::ropk(*k).with_seed(seed));
+        for f in functions {
+            rewriter
+                .rewrite_function(&mut image, f)
+                .map_err(PrepareError::Rewrite)?;
+        }
+    }
+    Ok(image)
+}
+
+/// Prepares an image for a [`RandomFun`] under a configuration.
+pub fn prepare_randomfun(rf: &RandomFun, kind: &ObfKind, seed: u64) -> Result<Image, PrepareError> {
+    prepare_image(&rf.program, &[rf.name.clone()], kind, seed)
+}
+
+/// Runs a workload under a configuration and returns the emulated cycle
+/// count (the run-time proxy used for Fig. 5).
+pub fn workload_cycles(w: &Workload, kind: &ObfKind, seed: u64) -> Result<u64, PrepareError> {
+    let image = prepare_image(&w.program, &w.obfuscate, kind, seed)?;
+    let mut emu = Emulator::new(&image);
+    emu.set_budget(20_000_000_000);
+    emu.call_named(&image, &w.entry, &w.args)
+        .expect("workload runs to completion");
+    Ok(emu.stats().cycles)
+}
+
+/// DSE budgets: the paper gives each attack one hour on a Xeon server; the
+/// quick budget is scaled so an unprotected function is cracked in well
+/// under a second while a ~50x slowdown still exhausts it.
+pub fn dse_budget(quick: bool) -> DseBudget {
+    if quick {
+        DseBudget {
+            total_instructions: 12_000_000,
+            per_path_instructions: 2_000_000,
+            max_paths: 100,
+            max_wall: Duration::from_secs(5),
+        }
+    } else {
+        DseBudget {
+            total_instructions: 400_000_000,
+            per_path_instructions: 20_000_000,
+            max_paths: 2_000,
+            max_wall: Duration::from_secs(120),
+        }
+    }
+}
+
+/// One Table II row: secret-finding and coverage results for a
+/// configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Configuration label.
+    pub config: String,
+    /// Functions whose secret was found.
+    pub secrets_found: usize,
+    /// Average wall-clock seconds of the successful secret attacks.
+    pub avg_secret_seconds: f64,
+    /// Functions fully covered.
+    pub fully_covered: usize,
+    /// Functions attempted.
+    pub attempted: usize,
+}
+
+/// Runs the Table II experiment over the given random functions and
+/// configurations.
+pub fn run_table2(
+    secret_funs: &[RandomFun],
+    coverage_funs: &[RandomFun],
+    configs: &[ObfKind],
+    budget: DseBudget,
+) -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    for kind in configs {
+        let mut secrets_found = 0usize;
+        let mut secret_time = 0.0f64;
+        let mut fully_covered = 0usize;
+        let mut attempted = 0usize;
+        for (rf_secret, rf_cov) in secret_funs.iter().zip(coverage_funs) {
+            attempted += 1;
+            // G1: secret finding.
+            if let Ok(image) = prepare_randomfun(rf_secret, kind, 1) {
+                let mut attack = DseAttack::new(
+                    &image,
+                    &rf_secret.name,
+                    InputSpec::RegisterArg { size_bytes: rf_secret.config.input_size },
+                    budget,
+                );
+                let outcome = attack.run(AttackGoal::Secret { want: 1 });
+                if outcome.success {
+                    secrets_found += 1;
+                    secret_time += outcome.wall.as_secs_f64();
+                }
+            }
+            // G2: code coverage.
+            if let Ok(image) = prepare_randomfun(rf_cov, kind, 1) {
+                let mut attack = DseAttack::new(
+                    &image,
+                    &rf_cov.name,
+                    InputSpec::RegisterArg { size_bytes: rf_cov.config.input_size },
+                    budget,
+                );
+                let outcome =
+                    attack.run(AttackGoal::Coverage { total_probes: rf_cov.probe_count });
+                if outcome.success {
+                    fully_covered += 1;
+                }
+            }
+        }
+        eprintln!("  [{}] done", kind.label());
+        rows.push(Table2Row {
+            config: kind.label(),
+            secrets_found,
+            avg_secret_seconds: if secrets_found > 0 {
+                secret_time / secrets_found as f64
+            } else {
+                0.0
+            },
+            fully_covered,
+            attempted,
+        });
+    }
+    rows
+}
+
+/// Writes a JSON report next to the textual output.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = format!("{name}.json");
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if std::fs::write(&path, s).is_ok() {
+                println!("[report written to {path}]");
+            }
+        }
+        Err(e) => eprintln!("could not serialize report: {e}"),
+    }
+}
+
+/// Parses the common `--full` flag.
+pub fn is_full_run() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Generates a laptop-scale subset of the 72-function population: one seed
+/// per structure and the two smallest input sizes (quick) or the full 72
+/// (`full`).
+pub fn randomfun_population(goal: raindrop_synth::Goal, full: bool) -> Vec<RandomFun> {
+    if full {
+        raindrop_synth::paper_suite(goal, 8)
+    } else {
+        raindrop_synth::paper_structures()
+            .into_iter()
+            .flat_map(|(name, structure)| {
+                [1usize, 4].into_iter().map(move |input_size| {
+                    raindrop_synth::generate_randomfun(raindrop_synth::RandomFunConfig {
+                        structure: structure.clone(),
+                        structure_name: name.clone(),
+                        input_size,
+                        seed: 1,
+                        goal,
+                        loop_size: 3,
+                    })
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raindrop_synth::{randomfuns, Goal};
+
+    fn tiny_rf(goal: Goal) -> RandomFun {
+        randomfuns::generate(raindrop_synth::RandomFunConfig {
+            structure: randomfuns::Ctrl::if_(randomfuns::Ctrl::bb(4), randomfuns::Ctrl::bb(4)),
+            structure_name: "(if (bb 4) (bb 4))".into(),
+            input_size: 1,
+            seed: 2,
+            goal,
+            loop_size: 2,
+        })
+    }
+
+    #[test]
+    fn table2_configuration_list_matches_table_i() {
+        let configs = table2_configurations(true);
+        assert_eq!(configs.len(), 15);
+        assert_eq!(configs[0].label(), "NATIVE");
+        assert_eq!(configs[1].label(), "ROP0.05");
+        assert_eq!(configs.last().unwrap().label(), "3VM-IMPall");
+        assert!(table2_configurations(false).len() < 15);
+    }
+
+    #[test]
+    fn prepare_image_supports_all_kinds() {
+        let rf = tiny_rf(Goal::SecretFinding);
+        for kind in [
+            ObfKind::Native,
+            ObfKind::Rop { k: 0.0 },
+            ObfKind::Vm { layers: 1, implicit: ImplicitAt::None },
+        ] {
+            let image = prepare_randomfun(&rf, &kind, 1).expect("prepares");
+            let mut emu = Emulator::new(&image);
+            emu.set_budget(200_000_000);
+            assert_eq!(
+                emu.call_named(&image, &rf.name, &[rf.secret_input]).unwrap(),
+                1,
+                "{} preserves semantics",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn native_is_cracked_and_not_easier_than_rop_under_the_quick_budget() {
+        let rf = tiny_rf(Goal::SecretFinding);
+        let budget = dse_budget(true);
+        let rows = run_table2(
+            std::slice::from_ref(&rf),
+            &[tiny_rf(Goal::CodeCoverage)],
+            &[ObfKind::Native, ObfKind::Rop { k: 1.0 }],
+            budget,
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].secrets_found, 1, "native function cracked");
+        assert!(rows[1].secrets_found <= rows[0].secrets_found);
+    }
+
+    #[test]
+    fn workload_cycles_grow_with_obfuscation() {
+        let w = raindrop_synth::workloads::pidigits();
+        let native = workload_cycles(&w, &ObfKind::Native, 1).unwrap();
+        let rop = workload_cycles(&w, &ObfKind::Rop { k: 0.05 }, 1).unwrap();
+        assert!(native > 0);
+        assert!(rop > native, "ROP rewriting costs cycles ({rop} vs {native})");
+    }
+}

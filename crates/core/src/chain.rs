@@ -1,0 +1,354 @@
+//! Chain intermediate representation and layout resolution.
+//!
+//! A ROP chain is a sequence of 8-byte slots (gadget addresses interleaved
+//! with immediate data operands, §II-B). During crafting the chain is kept
+//! symbolic: branch displacements reference *labels* (block starts or item
+//! positions) that only become concrete RSP-relative displacements once the
+//! layout is final — "similarly to what a compiler assembler does with
+//! labels" (§IV-B2). This module holds that symbolic form and resolves it.
+
+use raindrop_analysis::BlockId;
+use raindrop_gadgets::GadgetOp;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What a symbolic branch displacement points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaTarget {
+    /// The start of a translated basic block.
+    Block(BlockId),
+    /// A specific chain item (used by the intra-chain loops P3 introduces).
+    Item(usize),
+}
+
+/// One element of the symbolic chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChainItem {
+    /// The address of a gadget (one 8-byte slot). `junk_pops` records how
+    /// many extra chain slots the gadget consumes through junk `pop`s; the
+    /// crafter emits matching [`ChainItem::Imm`] filler right after.
+    Gadget {
+        /// Absolute address of the gadget in `.text`.
+        addr: u64,
+        /// Number of junk `pop`s in the gadget.
+        junk_pops: usize,
+        /// The operation the gadget was requested for (debugging/statistics).
+        op: GadgetOp,
+    },
+    /// An immediate 8-byte data operand.
+    Imm(u64),
+    /// A branch displacement slot: resolves to
+    /// `offset(target) - (offset(anchor) + 8 + 8*junk_pops(anchor)) + bias`.
+    ///
+    /// `anchor` is the index of the `add rsp, reg` gadget item that performs
+    /// the displacement, and `bias` is the negated P1 array share `-a` (zero
+    /// when P1 is disabled).
+    BranchDelta {
+        /// Where the branch goes.
+        target: DeltaTarget,
+        /// Item index of the RSP-adding gadget.
+        anchor: usize,
+        /// Constant added to the resolved displacement.
+        bias: i64,
+    },
+    /// Marks the start of a translated basic block (zero bytes).
+    BlockStart(BlockId),
+    /// Raw padding bytes (used by gadget confusion's unaligned RSP skips).
+    Pad(Vec<u8>),
+}
+
+impl ChainItem {
+    /// Size of the item in the laid-out chain.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            ChainItem::Gadget { .. } | ChainItem::Imm(_) | ChainItem::BranchDelta { .. } => 8,
+            ChainItem::BlockStart(_) => 0,
+            ChainItem::Pad(bytes) => bytes.len(),
+        }
+    }
+}
+
+/// A deferred patch of the original `.text`: switch-table dispatch stores an
+/// RSP displacement at the address of each original case block (Appendix A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchPatch {
+    /// Address in `.text` where the 8-byte displacement is written.
+    pub text_addr: u64,
+    /// The case block the displacement leads to.
+    pub target: DeltaTarget,
+    /// Item index of the RSP-adding gadget of the switch dispatch.
+    pub anchor: usize,
+}
+
+/// Errors raised while resolving a chain layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// A displacement references a block that was never emitted.
+    UnknownBlock(BlockId),
+    /// A displacement references an item index that does not exist.
+    UnknownItem(usize),
+    /// An anchor index does not reference a gadget item.
+    BadAnchor(usize),
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::UnknownBlock(b) => write!(f, "chain references unemitted block {b}"),
+            ChainError::UnknownItem(i) => write!(f, "chain references unknown item {i}"),
+            ChainError::BadAnchor(i) => write!(f, "item {i} used as anchor is not a gadget"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A fully resolved chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedChain {
+    /// The raw bytes to place in `.data`.
+    pub bytes: Vec<u8>,
+    /// Resolved switch patches: `(text address, displacement value)`.
+    pub switch_values: Vec<(u64, i64)>,
+}
+
+/// The symbolic chain built by the crafter.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Chain {
+    /// Chain items in execution-layout order.
+    pub items: Vec<ChainItem>,
+    /// Deferred switch-table text patches.
+    pub switch_patches: Vec<SwitchPatch>,
+}
+
+impl Chain {
+    /// Creates an empty chain.
+    pub fn new() -> Chain {
+        Chain::default()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the chain has no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of 8-byte gadget-address slots (column A contribution of
+    /// Table III counts gadget uses; this is that per-chain count).
+    pub fn gadget_slots(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| matches!(i, ChainItem::Gadget { .. }))
+            .count()
+    }
+
+    /// Total size of the laid-out chain in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.items.iter().map(ChainItem::byte_len).sum()
+    }
+
+    /// Byte offset of every item in the laid-out chain.
+    pub fn offsets(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.items.len());
+        let mut off = 0usize;
+        for item in &self.items {
+            out.push(off);
+            off += item.byte_len();
+        }
+        out
+    }
+
+    fn target_offset(
+        &self,
+        offsets: &[usize],
+        block_starts: &BTreeMap<BlockId, usize>,
+        target: DeltaTarget,
+    ) -> Result<usize, ChainError> {
+        match target {
+            DeltaTarget::Block(b) => {
+                let idx = *block_starts.get(&b).ok_or(ChainError::UnknownBlock(b))?;
+                Ok(offsets[idx])
+            }
+            DeltaTarget::Item(i) => offsets.get(i).copied().ok_or(ChainError::UnknownItem(i)),
+        }
+    }
+
+    fn anchor_landing(&self, offsets: &[usize], anchor: usize) -> Result<usize, ChainError> {
+        match self.items.get(anchor) {
+            Some(ChainItem::Gadget { junk_pops, .. }) => {
+                Ok(offsets[anchor] + 8 + 8 * junk_pops)
+            }
+            _ => Err(ChainError::BadAnchor(anchor)),
+        }
+    }
+
+    /// Resolves the chain into raw bytes and switch-patch values.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a displacement references a missing block/item or an
+    /// anchor that is not a gadget item.
+    pub fn resolve(&self) -> Result<ResolvedChain, ChainError> {
+        let offsets = self.offsets();
+        let mut block_starts: BTreeMap<BlockId, usize> = BTreeMap::new();
+        for (i, item) in self.items.iter().enumerate() {
+            if let ChainItem::BlockStart(b) = item {
+                block_starts.entry(*b).or_insert(i);
+            }
+        }
+
+        let mut bytes = Vec::with_capacity(self.byte_len());
+        for item in &self.items {
+            match item {
+                ChainItem::Gadget { addr, .. } => bytes.extend_from_slice(&addr.to_le_bytes()),
+                ChainItem::Imm(v) => bytes.extend_from_slice(&v.to_le_bytes()),
+                ChainItem::BranchDelta { target, anchor, bias } => {
+                    let t = self.target_offset(&offsets, &block_starts, *target)?;
+                    let landing = self.anchor_landing(&offsets, *anchor)?;
+                    let delta = t as i64 - landing as i64 + bias;
+                    bytes.extend_from_slice(&delta.to_le_bytes());
+                }
+                ChainItem::BlockStart(_) => {}
+                ChainItem::Pad(p) => bytes.extend_from_slice(p),
+            }
+        }
+
+        let mut switch_values = Vec::with_capacity(self.switch_patches.len());
+        for patch in &self.switch_patches {
+            let t = self.target_offset(&offsets, &block_starts, patch.target)?;
+            let landing = self.anchor_landing(&offsets, patch.anchor)?;
+            switch_values.push((patch.text_addr, t as i64 - landing as i64));
+        }
+
+        Ok(ResolvedChain { bytes, switch_values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gadget(addr: u64, junk: usize) -> ChainItem {
+        ChainItem::Gadget { addr, junk_pops: junk, op: GadgetOp::Unclassified }
+    }
+
+    #[test]
+    fn layout_offsets_account_for_zero_width_markers_and_padding() {
+        let chain = Chain {
+            items: vec![
+                ChainItem::BlockStart(BlockId(0)),
+                gadget(0x1000, 0),
+                ChainItem::Imm(42),
+                ChainItem::Pad(vec![0xAA; 3]),
+                gadget(0x2000, 1),
+                ChainItem::Imm(0),
+            ],
+            switch_patches: vec![],
+        };
+        assert_eq!(chain.offsets(), vec![0, 0, 8, 16, 19, 27]);
+        assert_eq!(chain.byte_len(), 35);
+        assert_eq!(chain.gadget_slots(), 2);
+    }
+
+    #[test]
+    fn forward_branch_delta_resolves() {
+        // Layout: [pop g][delta][addrsp g][ ...skipped imm... ][BlockStart target][g]
+        let mut chain = Chain::new();
+        chain.items.push(ChainItem::BlockStart(BlockId(0)));
+        chain.items.push(gadget(0x1000, 0)); // pop reg
+        chain.items.push(ChainItem::BranchDelta {
+            target: DeltaTarget::Block(BlockId(1)),
+            anchor: 3,
+            bias: 0,
+        });
+        chain.items.push(gadget(0x1100, 0)); // add rsp, reg (anchor)
+        chain.items.push(ChainItem::Imm(0xdead)); // skipped slot
+        chain.items.push(ChainItem::BlockStart(BlockId(1)));
+        chain.items.push(gadget(0x1200, 0));
+        let resolved = chain.resolve().unwrap();
+        // The delta slot is at byte offset 8..16; its value should be
+        // offset(block1)=32 minus landing (anchor offset 16 + 8) = 8.
+        let delta = i64::from_le_bytes(resolved.bytes[8..16].try_into().unwrap());
+        assert_eq!(delta, 8);
+    }
+
+    #[test]
+    fn junk_pops_shift_the_anchor_landing() {
+        let mut chain = Chain::new();
+        chain.items.push(gadget(0x1000, 0)); // pop reg
+        chain.items.push(ChainItem::BranchDelta {
+            target: DeltaTarget::Item(5),
+            anchor: 2,
+            bias: 0,
+        });
+        chain.items.push(gadget(0x1100, 1)); // add rsp with one junk pop
+        chain.items.push(ChainItem::Imm(0)); // junk filler
+        chain.items.push(ChainItem::Imm(0xbeef)); // skipped
+        chain.items.push(gadget(0x1200, 0)); // target item
+        let resolved = chain.resolve().unwrap();
+        let delta = i64::from_le_bytes(resolved.bytes[8..16].try_into().unwrap());
+        // target offset = 40, landing = 16 + 8 + 8 = 32 → delta 8.
+        assert_eq!(delta, 8);
+    }
+
+    #[test]
+    fn negative_bias_is_applied() {
+        let mut chain = Chain::new();
+        chain.items.push(gadget(0x1000, 0));
+        chain.items.push(ChainItem::BranchDelta {
+            target: DeltaTarget::Item(3),
+            anchor: 2,
+            bias: -5,
+        });
+        chain.items.push(gadget(0x1100, 0));
+        chain.items.push(gadget(0x1200, 0));
+        let resolved = chain.resolve().unwrap();
+        let delta = i64::from_le_bytes(resolved.bytes[8..16].try_into().unwrap());
+        assert_eq!(delta, 0 - 5, "target lands right after the anchor, minus the bias");
+    }
+
+    #[test]
+    fn unknown_block_is_an_error() {
+        let mut chain = Chain::new();
+        chain.items.push(gadget(0x1000, 0));
+        chain.items.push(ChainItem::BranchDelta {
+            target: DeltaTarget::Block(BlockId(9)),
+            anchor: 0,
+            bias: 0,
+        });
+        assert_eq!(chain.resolve(), Err(ChainError::UnknownBlock(BlockId(9))));
+    }
+
+    #[test]
+    fn bad_anchor_is_an_error() {
+        let mut chain = Chain::new();
+        chain.items.push(ChainItem::Imm(1));
+        chain.items.push(ChainItem::BranchDelta {
+            target: DeltaTarget::Item(0),
+            anchor: 0,
+            bias: 0,
+        });
+        assert_eq!(chain.resolve(), Err(ChainError::BadAnchor(0)));
+    }
+
+    #[test]
+    fn switch_patches_resolve_to_displacements() {
+        let mut chain = Chain::new();
+        chain.items.push(gadget(0x1000, 0)); // anchor (add rsp)
+        chain.items.push(ChainItem::Imm(1)); // slot right after landing
+        chain.items.push(ChainItem::BlockStart(BlockId(2)));
+        chain.items.push(gadget(0x1200, 0));
+        chain.switch_patches.push(SwitchPatch {
+            text_addr: 0x4000,
+            target: DeltaTarget::Block(BlockId(2)),
+            anchor: 0,
+        });
+        let resolved = chain.resolve().unwrap();
+        assert_eq!(resolved.switch_values, vec![(0x4000, 8)]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Materialization (§IV-B3): fixing the chain layout, embedding it in the
+//! binary, and replacing the original function body with the pivoting stub.
+
+use crate::chain::Chain;
+use crate::error::RewriteError;
+use crate::runtime::RopRuntime;
+use raindrop_machine::Image;
+
+/// Result of materializing one function's chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Materialized {
+    /// Address of the chain in `.data`.
+    pub chain_addr: u64,
+    /// Size of the chain in bytes.
+    pub chain_len: usize,
+    /// Size of the pivot stub patched over the original body.
+    pub stub_len: usize,
+}
+
+/// Resolves the chain, appends it to `.data`, patches the original function
+/// with the pivot stub and applies switch-table displacement patches.
+///
+/// # Errors
+///
+/// Fails when the chain cannot be resolved, the function body cannot hold
+/// the stub, or a switch patch would overlap the stub.
+pub fn materialize(
+    image: &mut Image,
+    runtime: &RopRuntime,
+    func_name: &str,
+    chain: &Chain,
+) -> Result<Materialized, RewriteError> {
+    let func = image.function(func_name)?.clone();
+    let stub_len = RopRuntime::pivot_stub_len();
+    if func.size < stub_len {
+        return Err(RewriteError::FunctionTooShort { size: func.size, needed: stub_len });
+    }
+
+    let resolved = chain.resolve().map_err(|e| RewriteError::UnsupportedInstruction {
+        addr: func.addr,
+        inst: format!("chain resolution failed: {e}"),
+    })?;
+
+    // Switch patches must not collide with the pivot stub we are about to
+    // write over the function entry.
+    for (text_addr, _) in &resolved.switch_values {
+        if *text_addr < func.addr + stub_len {
+            return Err(RewriteError::UnsupportedInstruction {
+                addr: *text_addr,
+                inst: "switch case overlaps the pivot stub".to_string(),
+            });
+        }
+    }
+
+    let chain_name = format!("__rop_chain_{func_name}");
+    let chain_addr = image.append_data(Some(&chain_name), &resolved.bytes);
+
+    // Overwrite the whole original body: pivot stub first, `hlt` filler for
+    // the rest so stray execution traps instead of running stale code.
+    let stub = runtime.pivot_stub(chain_addr);
+    let mut body = vec![0x01u8; func.size as usize];
+    body[..stub.len()].copy_from_slice(&stub);
+    image.patch_text(func.addr, &body)?;
+
+    // Switch displacements are written after the body replacement so they
+    // survive it.
+    for (text_addr, value) in &resolved.switch_values {
+        image.patch_text(*text_addr, &value.to_le_bytes())?;
+    }
+
+    Ok(Materialized { chain_addr, chain_len: resolved.bytes.len(), stub_len: stub.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainItem;
+    use crate::config::RopConfig;
+    use raindrop_gadgets::GadgetOp;
+    use raindrop_machine::{encode_all, Assembler, Emulator, Inst, Reg};
+
+    fn image_with_big_function() -> Image {
+        let mut a = Assembler::new();
+        // Plenty of bytes so the stub fits.
+        for _ in 0..12 {
+            a.inst(Inst::MovRI(Reg::Rax, 7));
+        }
+        a.inst(Inst::Ret);
+        let mut b = raindrop_machine::ImageBuilder::new();
+        b.add_function("f", a);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn materialized_chain_is_entered_through_the_stub() {
+        let mut img = image_with_big_function();
+        let cfg = RopConfig::default();
+        let rt = RopRuntime::install(&mut img, &cfg);
+
+        // Hand-build a tiny chain: rax = 99, then unpivot (same sequence the
+        // crafter's epilogue lowering produces).
+        let pop_rax = img.append_text(None, &encode_all(&[Inst::Pop(Reg::Rax), Inst::Ret]));
+        let pop_r10 = img.append_text(None, &encode_all(&[Inst::Pop(Reg::R10), Inst::Ret]));
+        let pop_r11 = img.append_text(None, &encode_all(&[Inst::Pop(Reg::R11), Inst::Ret]));
+        let sub_store = img.append_text(
+            None,
+            &encode_all(&[
+                Inst::AluStore(raindrop_machine::AluOp::Sub, raindrop_machine::Mem::base(Reg::R10), Reg::R11),
+                Inst::Ret,
+            ]),
+        );
+        let add_load = img.append_text(
+            None,
+            &encode_all(&[
+                Inst::AluM(raindrop_machine::AluOp::Add, Reg::R10, raindrop_machine::Mem::base(Reg::R10)),
+                Inst::Ret,
+            ]),
+        );
+        let add_rr = img.append_text(
+            None,
+            &encode_all(&[Inst::Alu(raindrop_machine::AluOp::Add, Reg::R10, Reg::R11), Inst::Ret]),
+        );
+        let load_rsp = img.append_text(
+            None,
+            &encode_all(&[Inst::Load(Reg::Rsp, raindrop_machine::Mem::base(Reg::R10)), Inst::Ret]),
+        );
+
+        let mk = |addr| ChainItem::Gadget { addr, junk_pops: 0, op: GadgetOp::Unclassified };
+        let chain = Chain {
+            items: vec![
+                mk(pop_rax),
+                ChainItem::Imm(99),
+                mk(pop_r10),
+                ChainItem::Imm(rt.ss_addr),
+                mk(pop_r11),
+                ChainItem::Imm(8),
+                mk(sub_store),
+                mk(add_load),
+                mk(add_rr),
+                mk(load_rsp),
+            ],
+            switch_patches: vec![],
+        };
+
+        let m = materialize(&mut img, &rt, "f", &chain).unwrap();
+        assert!(img.in_data(m.chain_addr));
+        assert_eq!(m.chain_len, 10 * 8);
+
+        let mut emu = Emulator::new(&img);
+        let ret = emu.call_named(&img, "f", &[]).unwrap();
+        assert_eq!(ret, 99);
+        assert_eq!(emu.mem.read_u64(rt.ss_addr), 0, "stack-switch slot released");
+    }
+
+    #[test]
+    fn too_short_functions_are_rejected() {
+        let mut a = Assembler::new();
+        a.inst(Inst::Ret);
+        let mut b = raindrop_machine::ImageBuilder::new();
+        b.add_function("tiny", a);
+        let mut img = b.build().unwrap();
+        let cfg = RopConfig::default();
+        let rt = RopRuntime::install(&mut img, &cfg);
+        let chain = Chain { items: vec![ChainItem::Imm(0)], switch_patches: vec![] };
+        assert!(matches!(
+            materialize(&mut img, &rt, "tiny", &chain),
+            Err(RewriteError::FunctionTooShort { .. })
+        ));
+    }
+}

@@ -1,0 +1,265 @@
+//! The three strengthening predicates of §V.
+//!
+//! * **P1** (anti-disassembly): branch displacements are split into a share
+//!   `a` hidden in a periodic opaque array and a branch-specific remainder
+//!   `δ - a`; this module generates the array and the per-ordinal shares.
+//! * **P2** (anti-brute-force): opaque stack-pointer adjustments tied to the
+//!   operands of equality branches; this module holds the per-block plan the
+//!   crafter executes.
+//! * **P3** (state-space widening): opaque recomputations / array updates
+//!   driven by input-derived registers; this module holds the site-selection
+//!   policy.
+
+use crate::config::P1Config;
+use rand::Rng;
+use raindrop_machine::{Cond, Reg};
+use serde::{Deserialize, Serialize};
+
+/// A generated P1 instance for one function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P1Instance {
+    /// Configuration the instance was generated with.
+    pub config: P1Config,
+    /// Absolute address of the array in `.data` (filled in by the crafter
+    /// after appending [`P1Instance::array_bytes`]).
+    pub array_addr: u64,
+    /// The hidden share `a_b` for each branch ordinal `b` in `0..n`.
+    pub shares: Vec<u64>,
+    /// The raw array cells.
+    pub cells: Vec<u64>,
+}
+
+impl P1Instance {
+    /// Generates a fresh instance: for every branch ordinal `b`, every
+    /// `s`-strided cell `A[j*s + b]` holds a random value congruent to the
+    /// ordinal's share modulo `m`; the remaining cells hold garbage.
+    pub fn generate<R: Rng + ?Sized>(config: P1Config, rng: &mut R) -> P1Instance {
+        assert!(config.s >= config.n, "period must cover every ordinal");
+        assert!(config.m > config.n as u64, "modulus must exceed the ordinal count");
+        let shares: Vec<u64> = (0..config.n).map(|_| rng.gen_range(0..config.m)).collect();
+        let mut cells = vec![0u64; config.cells()];
+        for (i, cell) in cells.iter_mut().enumerate() {
+            let pos_in_period = i % config.s;
+            if pos_in_period < config.n {
+                // q ≡ a (mod m), with a random multiple of m added on top so
+                // every cell looks different.
+                let a = shares[pos_in_period];
+                let k = rng.gen_range(1..(u32::MAX as u64 / config.m));
+                *cell = a + k * config.m;
+            } else {
+                // Garbage cell.
+                *cell = rng.gen::<u32>() as u64;
+            }
+        }
+        P1Instance { config, array_addr: 0, shares, cells }
+    }
+
+    /// Serializes the array cells to bytes (little-endian 64-bit cells).
+    pub fn array_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.cells.len() * 8);
+        for c in &self.cells {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    /// The share for branch ordinal `b` (`b` is reduced modulo `n`, so any
+    /// number of branches can reuse the `n` encoded ordinals).
+    pub fn share_for(&self, branch_index: usize) -> (usize, u64) {
+        let ordinal = branch_index % self.config.n;
+        (ordinal, self.shares[ordinal])
+    }
+
+    /// Reference extraction: what the emitted chain computes at run time,
+    /// `A[f(x)*s + ordinal] mod m`, for any period index `f(x)`.
+    pub fn extract(&self, period: usize, ordinal: usize) -> u64 {
+        let idx = (period % self.config.p) * self.config.s + ordinal;
+        self.cells[idx] % self.config.m
+    }
+}
+
+/// The P2 adjustment planned for the entry of one block (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum P2Adjust {
+    /// The block is reached when `lhs == rhs` held: insert
+    /// `rsp += x * (lhs - rhs)` (zero on the legitimate path).
+    WhenEqual {
+        /// Left operand register of the guarding comparison.
+        lhs: Reg,
+        /// Right operand.
+        rhs: P2Operand,
+        /// Multiplier `x` (a multiple of 8).
+        x: u64,
+    },
+    /// The block is reached when `lhs != rhs` held: insert
+    /// `rsp += x * (1 - notZero(lhs - rhs))`.
+    WhenNotEqual {
+        /// Left operand register of the guarding comparison.
+        lhs: Reg,
+        /// Right operand.
+        rhs: P2Operand,
+        /// Multiplier `x` (a multiple of 8).
+        x: u64,
+    },
+}
+
+/// Right-hand operand of the comparison guarding a P2-protected branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum P2Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate operand.
+    Imm(i64),
+}
+
+impl P2Adjust {
+    /// Builds the pair of adjustments for an equality-style branch guarded
+    /// by `cmp lhs, rhs; j<cond>`, returning `(taken_path, fallthrough_path)`
+    /// adjustments. Only `je`/`jne` are eligible; other conditions return
+    /// `None` (the paper presents P2 on equality checks).
+    pub fn for_branch<R: Rng + ?Sized>(
+        cond: Cond,
+        lhs: Reg,
+        rhs: P2Operand,
+        rng: &mut R,
+    ) -> Option<(P2Adjust, P2Adjust)> {
+        let x = (rng.gen_range(1..8u64)) * 8;
+        match cond {
+            Cond::E => Some((
+                P2Adjust::WhenEqual { lhs, rhs, x },
+                P2Adjust::WhenNotEqual { lhs, rhs, x },
+            )),
+            Cond::Ne => Some((
+                P2Adjust::WhenNotEqual { lhs, rhs, x },
+                P2Adjust::WhenEqual { lhs, rhs, x },
+            )),
+            _ => None,
+        }
+    }
+
+    /// Reference semantics of the adjustment: the RSP delta it produces for
+    /// concrete operand values (zero on the legitimate path).
+    pub fn delta(&self, lhs_value: u64, rhs_value: u64) -> u64 {
+        let diff = lhs_value.wrapping_sub(rhs_value);
+        match self {
+            P2Adjust::WhenEqual { x, .. } => x.wrapping_mul(diff),
+            P2Adjust::WhenNotEqual { x, .. } => {
+                let not_zero = (!((!diff) & diff.wrapping_add(u64::MAX)) >> 63) & 1;
+                x.wrapping_mul(1 - not_zero)
+            }
+        }
+    }
+}
+
+/// P3 site-selection policy: which fraction of eligible program points get a
+/// state-forking instance, decided per point with a deterministic RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct P3Policy {
+    /// Fraction `k` of eligible points to shield.
+    pub fraction: f64,
+}
+
+impl P3Policy {
+    /// Whether to instrument this point (eligibility must be checked by the
+    /// caller: enough dead registers and an input-derived live register).
+    pub fn select<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.fraction > 0.0 && rng.gen_bool(self.fraction.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::P1Config;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn p1_array_respects_the_periodic_invariant() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let cfg = P1Config { n: 4, s: 6, p: 16, m: 11 };
+        let inst = P1Instance::generate(cfg, &mut rng);
+        assert_eq!(inst.cells.len(), 6 * 16);
+        assert_eq!(inst.shares.len(), 4);
+        for period in 0..cfg.p {
+            for ordinal in 0..cfg.n {
+                assert_eq!(
+                    inst.extract(period, ordinal),
+                    inst.shares[ordinal],
+                    "period {period}, ordinal {ordinal}"
+                );
+            }
+        }
+        // Cells are diversified, not the bare share value.
+        let distinct: std::collections::HashSet<u64> = inst.cells.iter().copied().collect();
+        assert!(distinct.len() > cfg.n * 2);
+    }
+
+    #[test]
+    fn p1_share_for_wraps_branch_indices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = P1Instance::generate(P1Config::default(), &mut rng);
+        let (o0, a0) = inst.share_for(0);
+        let (o4, a4) = inst.share_for(4);
+        assert_eq!(o0, o4);
+        assert_eq!(a0, a4);
+        assert_eq!(inst.share_for(3).0, 3);
+    }
+
+    #[test]
+    fn p1_array_bytes_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = P1Instance::generate(P1Config::default(), &mut rng);
+        let bytes = inst.array_bytes();
+        assert_eq!(bytes.len(), inst.cells.len() * 8);
+        let first = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        assert_eq!(first, inst.cells[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must cover")]
+    fn p1_rejects_short_periods() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = P1Instance::generate(P1Config { n: 4, s: 2, p: 8, m: 7 }, &mut rng);
+    }
+
+    #[test]
+    fn p2_is_neutral_on_the_legitimate_path_and_diverts_otherwise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (taken, fall) =
+            P2Adjust::for_branch(Cond::E, Reg::Rax, P2Operand::Imm(5), &mut rng).unwrap();
+        // Taken path of `je` is reached when equal: delta must be 0.
+        assert_eq!(taken.delta(5, 5), 0);
+        assert_ne!(taken.delta(6, 5), 0, "flipping the branch without fixing data diverts RSP");
+        // Fallthrough of `je` is reached when different: delta must be 0.
+        assert_eq!(fall.delta(6, 5), 0);
+        assert_ne!(fall.delta(5, 5), 0);
+        // Non-equality conditions are not eligible.
+        assert!(P2Adjust::for_branch(Cond::L, Reg::Rax, P2Operand::Imm(1), &mut rng).is_none());
+    }
+
+    #[test]
+    fn p2_not_zero_formulation_is_flag_independent_and_total() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (_, fall) =
+            P2Adjust::for_branch(Cond::E, Reg::Rbx, P2Operand::Reg(Reg::Rcx), &mut rng).unwrap();
+        for (l, r) in [(0u64, 0u64), (1, 0), (0, 1), (u64::MAX, 0), (7, 7), (u64::MAX, u64::MAX)] {
+            let d = fall.delta(l, r);
+            if l == r {
+                assert_ne!(d, 0);
+            } else {
+                assert_eq!(d, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn p3_policy_fraction_is_respected_statistically() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let policy = P3Policy { fraction: 0.25 };
+        let hits = (0..4000).filter(|_| policy.select(&mut rng)).count();
+        assert!((800..1200).contains(&hits), "got {hits} selections out of 4000");
+        let never = P3Policy { fraction: 0.0 };
+        assert!(!(0..100).any(|_| never.select(&mut rng)));
+    }
+}

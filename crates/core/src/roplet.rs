@@ -1,0 +1,175 @@
+//! Roplets: the rewriter's intermediate representation (§IV-B1).
+//!
+//! The translation stage turns every original instruction into one (or a
+//! few) *roplets* — basic operations annotated with liveness facts — and the
+//! chain-crafting stage lowers roplets to gadgets. The classification below
+//! follows the eight kinds the paper enumerates; RM64 has no RIP-relative
+//! addressing (globals are reached through absolute addresses already), so
+//! the "instruction pointer reference" kind exists but is never produced by
+//! the classifier.
+
+use raindrop_machine::{Inst, Reg, RegSet};
+use serde::{Deserialize, Serialize};
+
+/// The kind of basic operation an original instruction maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RopletKind {
+    /// Direct intra-procedural transfer (`jmp`, `j<cc>`).
+    IntraTransfer,
+    /// Indirect intra-procedural transfer through a switch table.
+    SwitchTransfer,
+    /// Inter-procedural transfer: direct or indirect call.
+    InterCall,
+    /// Inter-procedural tail jump (`jmp reg` at function end).
+    TailJump,
+    /// Function epilogue (`ret`, `leave`).
+    Epilogue,
+    /// Direct stack access with dedicated primitives (`push`, `pop`).
+    DirectStackAccess,
+    /// The stack pointer is referenced as a source/destination operand or in
+    /// an address computation.
+    StackPtrRef,
+    /// RIP-relative global access (never produced on RM64; kept for parity
+    /// with the paper's taxonomy).
+    IpRef,
+    /// `mov`-like data movement that is none of the above.
+    DataMove,
+    /// Arithmetic/logic, comparisons and other flag-producing operations.
+    Alu,
+}
+
+/// A roplet: the original instruction, its classification and the liveness
+/// facts the chain crafter needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Roplet {
+    /// Address of the original instruction.
+    pub addr: u64,
+    /// The original instruction.
+    pub inst: Inst,
+    /// Classification.
+    pub kind: RopletKind,
+    /// Registers live immediately after the original instruction.
+    pub live_after: RegSet,
+    /// Whether the condition flags are live immediately after the original
+    /// instruction.
+    pub flags_live_after: bool,
+    /// Registers holding input-derived values immediately before the
+    /// instruction (used to place P3).
+    pub input_derived: RegSet,
+}
+
+/// Classifies an instruction into its roplet kind.
+pub fn classify(inst: &Inst) -> RopletKind {
+    use Inst::*;
+    match inst {
+        Jmp(_) | Jcc(..) => RopletKind::IntraTransfer,
+        JmpMem(_) => RopletKind::SwitchTransfer,
+        JmpReg(_) => RopletKind::TailJump,
+        Call(_) | CallReg(_) => RopletKind::InterCall,
+        Ret | Hlt | Leave => RopletKind::Epilogue,
+        Push(_) | PushI(_) | Pop(_) => RopletKind::DirectStackAccess,
+        _ => {
+            let touches_sp = inst.regs_read().contains(Reg::Rsp)
+                || inst.regs_written().contains(Reg::Rsp)
+                || inst.mem_operand().map(|m| m.uses_sp()).unwrap_or(false);
+            if touches_sp {
+                RopletKind::StackPtrRef
+            } else if matches!(
+                inst,
+                MovRR(..)
+                    | MovRI(..)
+                    | Load(..)
+                    | Store(..)
+                    | StoreI(..)
+                    | LoadB(..)
+                    | LoadSxB(..)
+                    | StoreB(..)
+                    | Lea(..)
+                    | Cmov(..)
+                    | Set(..)
+                    | XchgRR(..)
+                    | XchgRM(..)
+            ) {
+                RopletKind::DataMove
+            } else {
+                RopletKind::Alu
+            }
+        }
+    }
+}
+
+impl Roplet {
+    /// Builds a roplet from an instruction and its annotations.
+    pub fn new(
+        addr: u64,
+        inst: Inst,
+        live_after: RegSet,
+        flags_live_after: bool,
+        input_derived: RegSet,
+    ) -> Roplet {
+        Roplet { addr, kind: classify(&inst), inst, live_after, flags_live_after, input_derived }
+    }
+
+    /// Registers the lowering of this roplet must not clobber: everything
+    /// live after the instruction plus the instruction's own operands.
+    pub fn protected_regs(&self) -> RegSet {
+        self.live_after
+            .union(self.inst.regs_read())
+            .union(self.inst.regs_written())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raindrop_machine::{AluOp, Cond, Mem};
+
+    #[test]
+    fn classification_matches_the_papers_taxonomy() {
+        assert_eq!(classify(&Inst::Jmp(4)), RopletKind::IntraTransfer);
+        assert_eq!(classify(&Inst::Jcc(Cond::E, -4)), RopletKind::IntraTransfer);
+        assert_eq!(classify(&Inst::JmpMem(Mem::abs(0x400000))), RopletKind::SwitchTransfer);
+        assert_eq!(classify(&Inst::JmpReg(Reg::Rax)), RopletKind::TailJump);
+        assert_eq!(classify(&Inst::Call(0)), RopletKind::InterCall);
+        assert_eq!(classify(&Inst::CallReg(Reg::R11)), RopletKind::InterCall);
+        assert_eq!(classify(&Inst::Ret), RopletKind::Epilogue);
+        assert_eq!(classify(&Inst::Leave), RopletKind::Epilogue);
+        assert_eq!(classify(&Inst::Push(Reg::Rbp)), RopletKind::DirectStackAccess);
+        assert_eq!(classify(&Inst::Pop(Reg::Rbp)), RopletKind::DirectStackAccess);
+        assert_eq!(
+            classify(&Inst::MovRR(Reg::Rbp, Reg::Rsp)),
+            RopletKind::StackPtrRef,
+            "reading RSP as a source operand"
+        );
+        assert_eq!(
+            classify(&Inst::Load(Reg::Rax, Mem::base_disp(Reg::Rsp, 8))),
+            RopletKind::StackPtrRef,
+            "RSP used in an address computation"
+        );
+        assert_eq!(
+            classify(&Inst::AluI(AluOp::Sub, Reg::Rsp, 32)),
+            RopletKind::StackPtrRef,
+            "altering RSP"
+        );
+        assert_eq!(classify(&Inst::MovRR(Reg::Rax, Reg::Rbx)), RopletKind::DataMove);
+        assert_eq!(classify(&Inst::Load(Reg::Rax, Mem::base(Reg::Rdi))), RopletKind::DataMove);
+        assert_eq!(classify(&Inst::Alu(AluOp::Add, Reg::Rax, Reg::Rbx)), RopletKind::Alu);
+        assert_eq!(classify(&Inst::Cmp(Reg::Rax, Reg::Rbx)), RopletKind::Alu);
+    }
+
+    #[test]
+    fn protected_regs_cover_operands_and_live_set() {
+        let r = Roplet::new(
+            0x1000,
+            Inst::Alu(AluOp::Add, Reg::Rax, Reg::Rbx),
+            RegSet::from_regs([Reg::Rdi]),
+            false,
+            RegSet::EMPTY,
+        );
+        assert!(r.protected_regs().contains(Reg::Rax));
+        assert!(r.protected_regs().contains(Reg::Rbx));
+        assert!(r.protected_regs().contains(Reg::Rdi));
+        assert!(!r.protected_regs().contains(Reg::R11));
+        assert_eq!(r.kind, RopletKind::Alu);
+    }
+}

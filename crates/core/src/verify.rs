@@ -1,0 +1,217 @@
+//! Differential verification of rewritten functions.
+//!
+//! The paper validates functional correctness by running the coreutils test
+//! suite over the obfuscated binaries (§VII-C1). The equivalent here is a
+//! differential tester: run the original and the rewritten image on the same
+//! inputs in two emulators and compare return values (and, optionally, the
+//! contents of a designated memory region such as an output buffer).
+
+use raindrop_machine::{EmuError, Emulator, Image};
+use serde::{Deserialize, Serialize};
+
+/// One differential test case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestCase {
+    /// Arguments passed in the ABI registers.
+    pub args: Vec<u64>,
+    /// Bytes written to guest memory before the call: `(address, bytes)`.
+    pub memory: Vec<(u64, Vec<u8>)>,
+    /// Memory region compared after the call: `(address, length)`.
+    pub compare_region: Option<(u64, usize)>,
+}
+
+impl TestCase {
+    /// A register-only test case.
+    pub fn args(args: &[u64]) -> TestCase {
+        TestCase { args: args.to_vec(), memory: Vec::new(), compare_region: None }
+    }
+}
+
+/// Outcome of a differential run of one test case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Return values (and compared regions) matched.
+    Match {
+        /// The common return value.
+        value: u64,
+    },
+    /// Return values differed.
+    ReturnMismatch {
+        /// Original function's return value.
+        original: u64,
+        /// Rewritten function's return value.
+        rewritten: u64,
+    },
+    /// Return values matched but the compared memory region differed.
+    MemoryMismatch {
+        /// First differing offset within the compared region.
+        offset: usize,
+    },
+    /// One of the two executions faulted.
+    ExecutionError {
+        /// Rendered emulator error.
+        error: String,
+        /// Whether the error occurred in the rewritten (true) or original
+        /// (false) image.
+        in_rewritten: bool,
+    },
+}
+
+impl Verdict {
+    /// Whether the verdict counts as equivalent behaviour.
+    pub fn is_match(&self) -> bool {
+        matches!(self, Verdict::Match { .. })
+    }
+}
+
+fn run_one(image: &Image, func: &str, case: &TestCase) -> Result<(u64, Vec<u8>), EmuError> {
+    let mut emu = Emulator::new(image);
+    for (addr, bytes) in &case.memory {
+        emu.mem.write_bytes(*addr, bytes);
+    }
+    let f = image.function(func).expect("function exists").addr;
+    let ret = emu.call(f, &case.args)?;
+    let region = match case.compare_region {
+        Some((addr, len)) => {
+            let mut buf = vec![0u8; len];
+            emu.mem.read_bytes(addr, &mut buf);
+            buf
+        }
+        None => Vec::new(),
+    };
+    Ok((ret, region))
+}
+
+/// Runs one differential test case against the original and rewritten
+/// images.
+pub fn check_case(original: &Image, rewritten: &Image, func: &str, case: &TestCase) -> Verdict {
+    let orig = match run_one(original, func, case) {
+        Ok(v) => v,
+        Err(e) => return Verdict::ExecutionError { error: format!("{e}"), in_rewritten: false },
+    };
+    let new = match run_one(rewritten, func, case) {
+        Ok(v) => v,
+        Err(e) => return Verdict::ExecutionError { error: format!("{e}"), in_rewritten: true },
+    };
+    if orig.0 != new.0 {
+        return Verdict::ReturnMismatch { original: orig.0, rewritten: new.0 };
+    }
+    if let Some(offset) = orig.1.iter().zip(&new.1).position(|(a, b)| a != b) {
+        return Verdict::MemoryMismatch { offset };
+    }
+    Verdict::Match { value: orig.0 }
+}
+
+/// Runs a batch of differential test cases; returns the verdicts in order.
+pub fn check_function(
+    original: &Image,
+    rewritten: &Image,
+    func: &str,
+    cases: &[TestCase],
+) -> Vec<Verdict> {
+    cases
+        .iter()
+        .map(|c| check_case(original, rewritten, func, c))
+        .collect()
+}
+
+/// Convenience: `true` iff every case matches.
+pub fn equivalent(original: &Image, rewritten: &Image, func: &str, cases: &[TestCase]) -> bool {
+    check_function(original, rewritten, func, cases)
+        .iter()
+        .all(Verdict::is_match)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RopConfig;
+    use crate::rewriter::Rewriter;
+    use raindrop_machine::{AluOp, Assembler, Cond, ImageBuilder, Inst, Mem, Reg};
+
+    fn abs_diff_image() -> Image {
+        let mut a = Assembler::new();
+        let swap = a.new_label();
+        let done = a.new_label();
+        a.inst(Inst::Push(Reg::Rbp));
+        a.inst(Inst::MovRR(Reg::Rbp, Reg::Rsp));
+        a.inst(Inst::AluI(AluOp::Sub, Reg::Rsp, 16));
+        a.inst(Inst::Store(Mem::base_disp(Reg::Rbp, -8), Reg::Rdi));
+        a.inst(Inst::Load(Reg::Rdi, Mem::base_disp(Reg::Rbp, -8)));
+        a.inst(Inst::MovRR(Reg::Rax, Reg::Rdi));
+        a.inst(Inst::Cmp(Reg::Rdi, Reg::Rsi));
+        a.jcc(Cond::B, swap);
+        a.inst(Inst::Alu(AluOp::Sub, Reg::Rax, Reg::Rsi));
+        a.jmp(done);
+        a.bind(swap);
+        a.inst(Inst::MovRR(Reg::Rax, Reg::Rsi));
+        a.inst(Inst::Alu(AluOp::Sub, Reg::Rax, Reg::Rdi));
+        a.bind(done);
+        a.inst(Inst::Leave);
+        a.inst(Inst::Ret);
+        let mut b = ImageBuilder::new();
+        b.add_function("absdiff", a);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rewritten_function_is_equivalent_on_register_cases() {
+        let original = abs_diff_image();
+        let mut obf = original.clone();
+        let mut rw = Rewriter::new(&mut obf, RopConfig::full());
+        rw.rewrite_function(&mut obf, "absdiff").unwrap();
+        let cases: Vec<TestCase> = [(9u64, 4u64), (4, 9), (0, 0), (u64::MAX, 1)]
+            .iter()
+            .map(|(a, b)| TestCase::args(&[*a, *b]))
+            .collect();
+        assert!(equivalent(&original, &obf, "absdiff", &cases));
+    }
+
+    #[test]
+    fn mismatches_are_detected() {
+        let original = abs_diff_image();
+        // Compare the function against a *different* image where the
+        // function body computes something else entirely.
+        let mut other_builder = ImageBuilder::new();
+        let mut a = Assembler::new();
+        a.inst(Inst::MovRI(Reg::Rax, 1234));
+        a.inst(Inst::Ret);
+        other_builder.add_function("absdiff", a);
+        let other = other_builder.build().unwrap();
+        let verdicts = check_function(&original, &other, "absdiff", &[TestCase::args(&[9, 4])]);
+        assert!(matches!(verdicts[0], Verdict::ReturnMismatch { original: 5, rewritten: 1234 }));
+        assert!(!verdicts[0].is_match());
+    }
+
+    #[test]
+    fn memory_regions_are_compared() {
+        // A function writing its argument to a fixed global; compare that
+        // global after the call.
+        let mut b = ImageBuilder::new();
+        let global = b.add_bss("out", 8);
+        let mut a = Assembler::new();
+        a.inst(Inst::Store(Mem::abs(global as i32), Reg::Rdi));
+        a.inst(Inst::MovRI(Reg::Rax, 0));
+        a.inst(Inst::Ret);
+        b.add_function("store", a);
+        let original = b.build().unwrap();
+        let case = TestCase {
+            args: vec![0xAB],
+            memory: vec![],
+            compare_region: Some((global, 8)),
+        };
+        let verdict = check_case(&original, &original, "store", &case);
+        assert!(verdict.is_match());
+    }
+
+    #[test]
+    fn execution_errors_are_reported() {
+        let original = abs_diff_image();
+        let mut broken = original.clone();
+        // Corrupt the function with undecodable bytes.
+        let addr = broken.function("absdiff").unwrap().addr;
+        broken.patch_text(addr, &[0xFF; 4]).unwrap();
+        let verdict = check_case(&original, &broken, "absdiff", &TestCase::args(&[1, 2]));
+        assert!(matches!(verdict, Verdict::ExecutionError { in_rewritten: true, .. }));
+    }
+}

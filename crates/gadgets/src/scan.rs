@@ -1,0 +1,166 @@
+//! Gadget scanning over an image's `.text` section.
+//!
+//! The scanner mirrors what exploitation tooling (and the paper's gadget
+//! finder) does: locate every `ret` byte in `.text`, then speculatively
+//! decode backwards-compatible start offsets and keep every sequence that
+//! decodes cleanly into a short instruction run ending exactly at the `ret`.
+//! The same machinery doubles as the attacker-side "gadget guessing"
+//! primitive of ROPDissector (§VII-A2), which gadget confusion is designed to
+//! overwhelm.
+
+use crate::gadget::{classify, Gadget, GadgetEnding};
+use raindrop_machine::{decode, Image, Inst, OP_RET};
+
+/// Scanner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanConfig {
+    /// Maximum number of instructions preceding the terminator.
+    pub max_insts: usize,
+    /// Maximum number of bytes to look back before each `ret`.
+    pub max_lookback: usize,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig { max_insts: 4, max_lookback: 48 }
+    }
+}
+
+/// Scans the whole `.text` section for ret-terminated gadgets.
+pub fn scan_image(image: &Image, config: ScanConfig) -> Vec<Gadget> {
+    scan_bytes(&image.text, image.text_base, config)
+}
+
+/// Scans an arbitrary byte region (loaded at `base`) for gadgets.
+pub fn scan_bytes(bytes: &[u8], base: u64, config: ScanConfig) -> Vec<Gadget> {
+    let mut out = Vec::new();
+    for (ret_off, _) in bytes.iter().enumerate().filter(|(_, b)| **b == OP_RET) {
+        let lookback_start = ret_off.saturating_sub(config.max_lookback);
+        for start in lookback_start..=ret_off {
+            if let Some(insts) = decode_exact(&bytes[start..ret_off], config.max_insts) {
+                // Reject sequences containing control flow: they would not
+                // reach the ret.
+                if insts
+                    .iter()
+                    .any(|i| i.is_terminator() || i.is_call() || matches!(i, Inst::Hlt))
+                {
+                    continue;
+                }
+                let (op, clobbers, junk_pops, pollutes_flags) =
+                    classify(&insts, GadgetEnding::Ret);
+                out.push(Gadget {
+                    addr: base + start as u64,
+                    insts,
+                    ending: GadgetEnding::Ret,
+                    op,
+                    clobbers,
+                    junk_pops,
+                    pollutes_flags,
+                    artificial: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Attempts to decode `bytes` as a sequence of at most `max_insts`
+/// instructions covering the slice exactly.
+fn decode_exact(bytes: &[u8], max_insts: usize) -> Option<Vec<Inst>> {
+    let mut insts = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        if insts.len() >= max_insts {
+            return None;
+        }
+        let (inst, len) = decode(&bytes[pos..]).ok()?;
+        if pos + len > bytes.len() {
+            return None;
+        }
+        insts.push(inst);
+        pos += len;
+    }
+    Some(insts)
+}
+
+/// Speculative decode at an arbitrary offset: decodes up to `max_insts`
+/// instructions starting at `offset`, stopping at the first `ret`,
+/// terminator or decode failure. This is the attacker-facing primitive used
+/// by the ROP-aware tools; it is defined here so the gadget pool and the
+/// attack share one implementation.
+pub fn speculative_decode(bytes: &[u8], offset: usize, max_insts: usize) -> Vec<Inst> {
+    let mut out = Vec::new();
+    let mut pos = offset;
+    while pos < bytes.len() && out.len() < max_insts {
+        match decode(&bytes[pos..]) {
+            Ok((inst, len)) => {
+                let stop = inst.is_terminator();
+                out.push(inst);
+                pos += len;
+                if stop {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadget::GadgetOp;
+    use raindrop_machine::{encode_all, AluOp, Reg};
+
+    fn pool_bytes() -> Vec<u8> {
+        encode_all(&[
+            Inst::Pop(Reg::Rdi),
+            Inst::Ret,
+            Inst::Alu(AluOp::Add, Reg::Rsp, Reg::Rsi),
+            Inst::Ret,
+            Inst::Pop(Reg::Rsi),
+            Inst::Pop(Reg::Rbp),
+            Inst::Ret,
+        ])
+    }
+
+    #[test]
+    fn finds_all_intended_gadgets() {
+        let gadgets = scan_bytes(&pool_bytes(), 0x5000, ScanConfig::default());
+        assert!(gadgets.iter().any(|g| g.op == GadgetOp::Pop(Reg::Rdi)));
+        assert!(gadgets.iter().any(|g| g.op == GadgetOp::AddRsp(Reg::Rsi)));
+        assert!(gadgets.iter().any(|g| g.op == GadgetOp::Pop(Reg::Rbp) && g.junk_pops == vec![Reg::Rsi]));
+    }
+
+    #[test]
+    fn finds_unintended_suffix_gadgets() {
+        // The pop rsi; pop rbp; ret gadget contains the shorter pop rbp; ret.
+        let gadgets = scan_bytes(&pool_bytes(), 0, ScanConfig::default());
+        let pop_rbp: Vec<_> = gadgets
+            .iter()
+            .filter(|g| g.op == GadgetOp::Pop(Reg::Rbp) && g.insts.len() == 1)
+            .collect();
+        assert_eq!(pop_rbp.len(), 1, "suffix gadget discovered");
+    }
+
+    #[test]
+    fn control_flow_in_prefix_is_not_a_gadget() {
+        let bytes = encode_all(&[Inst::Jmp(2), Inst::Ret]);
+        let gadgets = scan_bytes(&bytes, 0, ScanConfig::default());
+        assert!(gadgets.iter().all(|g| !g.insts.iter().any(|i| matches!(i, Inst::Jmp(_)))));
+    }
+
+    #[test]
+    fn speculative_decode_stops_at_ret_or_garbage() {
+        let bytes = pool_bytes();
+        let seq = speculative_decode(&bytes, 0, 8);
+        assert_eq!(seq.len(), 2);
+        assert!(matches!(seq[1], Inst::Ret));
+        // Decoding from inside an instruction either fails fast or produces
+        // a short bogus sequence — it must never panic.
+        for off in 0..bytes.len() {
+            let _ = speculative_decode(&bytes, off, 8);
+        }
+    }
+}

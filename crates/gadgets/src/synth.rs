@@ -1,0 +1,189 @@
+//! Artificial gadget synthesis.
+//!
+//! The paper's key deployment observation (§IV-A1): unlike an attacker, the
+//! obfuscator controls the binary, so any missing gadget can be *added* as
+//! dead code in `.text`, and — most importantly — many diversified variants
+//! of one same operation can be created. A variant differs from the plain
+//! gadget by junk instructions that are dynamically dead in the surrounding
+//! chain (extra `pop`s fed junk immediates, register moves over dead
+//! registers), which defeats byte-pattern recognition of specific sequences.
+
+use crate::gadget::{classify, Gadget, GadgetEnding, GadgetOp};
+use rand::Rng;
+use raindrop_machine::{Inst, Reg, RegSet};
+
+/// Controls how much junk is woven into synthesized gadgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Maximum number of junk instructions inserted before the primary
+    /// operation.
+    pub max_junk: usize,
+    /// Probability that each junk slot is filled.
+    pub junk_prob: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig { max_junk: 2, junk_prob: 0.6 }
+    }
+}
+
+/// Registers that junk instructions may freely use as scratch.
+fn scratch_candidates(op: GadgetOp, avoid: RegSet) -> Vec<Reg> {
+    let mut reserved = avoid;
+    reserved.insert(Reg::Rsp);
+    if let Some(inst) = op.primary_inst() {
+        reserved = reserved.union(inst.regs_read()).union(inst.regs_written());
+    }
+    if let GadgetOp::XchgRspMemJmp(a, t) = op {
+        reserved.insert(a);
+        reserved.insert(t);
+    }
+    Reg::ALL
+        .iter()
+        .copied()
+        .filter(|r| !reserved.contains(*r))
+        .collect()
+}
+
+/// Synthesizes one gadget variant for `op`.
+///
+/// Junk instructions only touch registers outside `avoid_clobber` (and the
+/// operation's own registers). When `preserve_flags` is set, junk is limited
+/// to flag-neutral instructions so the gadget can be used at points where the
+/// original program's status register is live.
+pub fn synthesize<R: Rng + ?Sized>(
+    op: GadgetOp,
+    avoid_clobber: RegSet,
+    preserve_flags: bool,
+    config: SynthConfig,
+    rng: &mut R,
+) -> Gadget {
+    let scratch = scratch_candidates(op, avoid_clobber);
+    let mut insts: Vec<Inst> = Vec::new();
+
+    // The JOP stack-switch gadget must stay a bare two-instruction sequence:
+    // its classification (and the call protocol built on it) admits no junk.
+    let allow_junk = !matches!(op, GadgetOp::XchgRspMemJmp(..));
+    if allow_junk && !scratch.is_empty() {
+        for _ in 0..config.max_junk {
+            if rng.gen_bool(config.junk_prob) {
+                let a = scratch[rng.gen_range(0..scratch.len())];
+                let b = scratch[rng.gen_range(0..scratch.len())];
+                // A small menu of dynamically dead junk. Flag-writing junk is
+                // only allowed when the caller said flags are dead here.
+                let choice = rng.gen_range(0..if preserve_flags { 3 } else { 5 });
+                let junk = match choice {
+                    0 => Inst::MovRR(a, b),
+                    1 => Inst::MovRI(a, rng.gen_range(0..0x10000) as i64),
+                    2 => Inst::Not(a),
+                    3 => Inst::AluI(raindrop_machine::AluOp::Xor, a, rng.gen_range(0..256)),
+                    _ => Inst::Pop(a),
+                };
+                insts.push(junk);
+            }
+        }
+    }
+
+    let ending = match op {
+        GadgetOp::XchgRspMemJmp(addr_reg, target) => {
+            insts.push(Inst::XchgRM(Reg::Rsp, raindrop_machine::Mem::base(addr_reg)));
+            GadgetEnding::JmpReg(target)
+        }
+        _ => {
+            insts.push(op.primary_inst().unwrap_or(Inst::Nop));
+            GadgetEnding::Ret
+        }
+    };
+
+    let (classified_op, clobbers, junk_pops, pollutes_flags) = classify(&insts, ending);
+    debug_assert_eq!(
+        classified_op, op,
+        "synthesized gadget must classify back to the requested operation"
+    );
+    Gadget {
+        addr: 0, // assigned when the gadget is appended to the image
+        insts,
+        ending,
+        op,
+        clobbers,
+        junk_pops,
+        pollutes_flags,
+        artificial: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use raindrop_machine::AluOp;
+
+    #[test]
+    fn synthesized_gadget_classifies_to_requested_op() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for op in [
+            GadgetOp::Pop(Reg::Rdi),
+            GadgetOp::AddRsp(Reg::Rsi),
+            GadgetOp::Alu(AluOp::Adc, Reg::Rcx, Reg::Rcx),
+            GadgetOp::Cmov(raindrop_machine::Cond::Ne, Reg::Rax, Reg::Rbx),
+            GadgetOp::Load(Reg::Rax, Reg::Rdi),
+            GadgetOp::Store(Reg::Rdi, Reg::Rax),
+            GadgetOp::XchgRspMemJmp(Reg::Rbx, Reg::Rcx),
+        ] {
+            let g = synthesize(op, RegSet::EMPTY, false, SynthConfig::default(), &mut rng);
+            assert_eq!(g.op, op);
+            assert!(g.artificial);
+            assert!(!g.encode().is_empty());
+        }
+    }
+
+    #[test]
+    fn junk_respects_avoid_set() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let avoid = RegSet::from_regs([Reg::Rax, Reg::Rbx, Reg::Rcx, Reg::Rdx, Reg::Rdi, Reg::Rsi]);
+        for _ in 0..50 {
+            let g = synthesize(
+                GadgetOp::Pop(Reg::R8),
+                avoid,
+                false,
+                SynthConfig { max_junk: 3, junk_prob: 1.0 },
+                &mut rng,
+            );
+            assert!(g.clobbers.intersection(avoid).is_empty(), "clobbers {}", g.clobbers);
+        }
+    }
+
+    #[test]
+    fn flag_preserving_variants_do_not_pollute_flags() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let g = synthesize(
+                GadgetOp::MovRR(Reg::Rax, Reg::Rbx),
+                RegSet::EMPTY,
+                true,
+                SynthConfig { max_junk: 3, junk_prob: 1.0 },
+                &mut rng,
+            );
+            assert!(!g.pollutes_flags, "gadget {g} pollutes flags");
+        }
+    }
+
+    #[test]
+    fn diversity_produces_distinct_encodings() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut encodings = std::collections::HashSet::new();
+        for _ in 0..30 {
+            let g = synthesize(
+                GadgetOp::Pop(Reg::Rdi),
+                RegSet::EMPTY,
+                false,
+                SynthConfig { max_junk: 2, junk_prob: 0.8 },
+                &mut rng,
+            );
+            encodings.insert(g.encode());
+        }
+        assert!(encodings.len() > 5, "expected diversified variants, got {}", encodings.len());
+    }
+}

@@ -1,0 +1,416 @@
+//! Tests for gadget scanning, classification, synthesis and the catalog —
+//! the "Gadget Finder" component of the rewriter (Fig. 2) plus the
+//! diversity/confusion properties §V-D builds on.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use raindrop_gadgets::{
+    classify, scan_bytes, scan_image, speculative_decode, synthesize, CatalogConfig, Gadget,
+    GadgetCatalog, GadgetEnding, GadgetOp, ScanConfig, SynthConfig,
+};
+use raindrop_machine::{
+    encode_all, AluOp, Assembler, Emulator, ImageBuilder, Image, Inst, Reg, RegSet, OP_RET,
+    RETURN_SENTINEL,
+};
+
+fn stub_image() -> Image {
+    let mut asm = Assembler::new();
+    asm.inst(Inst::Ret);
+    let mut b = ImageBuilder::new();
+    b.add_function("stub", asm);
+    b.build().unwrap()
+}
+
+// --- scanning -------------------------------------------------------------
+
+#[test]
+fn scanning_finds_the_pop_ret_gadgets_present_in_code() {
+    let bytes = encode_all(&[
+        Inst::MovRI(Reg::Rax, 1),
+        Inst::Pop(Reg::Rdi),
+        Inst::Ret,
+        Inst::Alu(AluOp::Add, Reg::Rax, Reg::Rbx),
+        Inst::Ret,
+    ]);
+    let gadgets = scan_bytes(&bytes, 0x10_000, ScanConfig::default());
+    assert!(
+        gadgets
+            .iter()
+            .any(|g| matches!(g.op, GadgetOp::Pop(Reg::Rdi)) && g.insts.len() == 1),
+        "pop rdi; ret found"
+    );
+    assert!(
+        gadgets
+            .iter()
+            .any(|g| matches!(g.op, GadgetOp::Alu(AluOp::Add, Reg::Rax, Reg::Rbx))),
+        "add rax, rbx; ret found"
+    );
+    // None of the scanned gadgets is marked artificial.
+    assert!(gadgets.iter().all(|g| !g.artificial));
+}
+
+#[test]
+fn scanning_never_includes_control_flow_inside_a_gadget() {
+    let bytes = encode_all(&[
+        Inst::Call(12),
+        Inst::MovRI(Reg::Rax, 3),
+        Inst::Ret,
+        Inst::Jmp(-5),
+        Inst::Pop(Reg::Rcx),
+        Inst::Ret,
+    ]);
+    let gadgets = scan_bytes(&bytes, 0x10_000, ScanConfig::default());
+    for g in &gadgets {
+        assert!(
+            !g.insts.iter().any(|i| i.is_terminator() || i.is_call()),
+            "gadget at {:#x} contains control flow: {:?}",
+            g.addr,
+            g.insts
+        );
+    }
+}
+
+#[test]
+fn scan_addresses_point_at_the_gadget_bytes() {
+    let base = 0x4_0000u64;
+    let bytes = encode_all(&[Inst::Neg(Reg::Rax), Inst::Pop(Reg::Rsi), Inst::Ret]);
+    let gadgets = scan_bytes(&bytes, base, ScanConfig::default());
+    for g in &gadgets {
+        let off = (g.addr - base) as usize;
+        // Re-decoding from the recorded address yields the recorded insts.
+        let redecoded = speculative_decode(&bytes, off, 8);
+        assert!(redecoded.len() >= g.insts.len());
+        assert_eq!(&redecoded[..g.insts.len()], g.insts.as_slice());
+    }
+}
+
+#[test]
+fn scan_image_covers_every_ret_in_text() {
+    let mut img = stub_image();
+    img.append_text(None, &encode_all(&[Inst::Pop(Reg::R8), Inst::Ret]));
+    img.append_text(None, &encode_all(&[Inst::MovRR(Reg::Rdx, Reg::Rcx), Inst::Ret]));
+    let gadgets = scan_image(&img, ScanConfig::default());
+    let ret_count = img.text.iter().filter(|b| **b == OP_RET).count();
+    assert!(ret_count >= 3);
+    assert!(gadgets.iter().any(|g| matches!(g.op, GadgetOp::Pop(Reg::R8))));
+    assert!(gadgets.iter().any(|g| matches!(g.op, GadgetOp::MovRR(Reg::Rdx, Reg::Rcx))));
+}
+
+#[test]
+fn speculative_decode_stops_at_ret_and_survives_garbage() {
+    let mut bytes = encode_all(&[Inst::Pop(Reg::Rax), Inst::Ret, Inst::Pop(Reg::Rbx), Inst::Ret]);
+    let insts = speculative_decode(&bytes, 0, 16);
+    assert_eq!(insts.last(), Some(&Inst::Ret));
+    assert!(insts.len() <= 2, "decoding stops at the first ret");
+    // Garbage start offsets must not panic.
+    bytes.insert(0, 0xF7);
+    for off in 0..bytes.len() {
+        let _ = speculative_decode(&bytes, off, 16);
+    }
+}
+
+// --- classification ----------------------------------------------------------
+
+#[test]
+fn classification_identifies_primary_op_clobbers_and_junk_pops() {
+    // mov r10, 5 ; pop rcx ; pop rdi ; ret — requested as a pop rdi gadget
+    // the classifier must see: one junk pop (rcx), clobbers r10.
+    let insts = vec![Inst::MovRI(Reg::R10, 5), Inst::Pop(Reg::Rcx), Inst::Pop(Reg::Rdi)];
+    let (op, clobbers, junk, pollutes) = classify(&insts, GadgetEnding::Ret);
+    assert_eq!(op, GadgetOp::Pop(Reg::Rdi), "the last pop is the primary operation");
+    assert!(clobbers.contains(Reg::R10) || clobbers.contains(Reg::Rcx));
+    assert_eq!(junk, vec![Reg::Rcx]);
+    assert!(!pollutes, "mov and pop do not write flags");
+}
+
+#[test]
+fn flag_writing_junk_is_reported_as_pollution() {
+    let insts = vec![Inst::AluI(AluOp::Xor, Reg::R11, 3), Inst::Pop(Reg::Rdi)];
+    let (op, _, _, pollutes) = classify(&insts, GadgetEnding::Ret);
+    assert_eq!(op, GadgetOp::Pop(Reg::Rdi));
+    assert!(pollutes, "xor writes the flags");
+}
+
+#[test]
+fn add_rsp_gadgets_classify_as_the_rop_branch_primitive() {
+    let insts = vec![Inst::Alu(AluOp::Add, Reg::Rsp, Reg::Rsi)];
+    let (op, ..) = classify(&insts, GadgetEnding::Ret);
+    assert_eq!(op, GadgetOp::AddRsp(Reg::Rsi));
+}
+
+#[test]
+fn gadget_chain_slots_count_the_address_plus_every_pop() {
+    let g = Gadget {
+        addr: 0x1000,
+        insts: vec![Inst::Pop(Reg::Rcx), Inst::MovRR(Reg::Rax, Reg::Rbx), Inst::Pop(Reg::Rdi)],
+        ending: GadgetEnding::Ret,
+        op: GadgetOp::Pop(Reg::Rdi),
+        clobbers: RegSet::EMPTY,
+        junk_pops: vec![Reg::Rcx],
+        pollutes_flags: false,
+        artificial: true,
+    };
+    assert_eq!(g.chain_slots(), 3, "1 address slot + 2 pops");
+    assert_eq!(g.byte_len(), g.encode().len());
+    assert_eq!(*g.encode().last().unwrap(), OP_RET);
+}
+
+// --- synthesis -----------------------------------------------------------------
+
+#[test]
+fn synthesized_gadgets_respect_the_clobber_set() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let avoid = RegSet::from_regs([Reg::Rax, Reg::Rbx, Reg::Rdi, Reg::Rsi]);
+    for _ in 0..200 {
+        let g = synthesize(GadgetOp::Pop(Reg::Rdx), avoid, false, SynthConfig::default(), &mut rng);
+        assert_eq!(g.op, GadgetOp::Pop(Reg::Rdx));
+        assert!(g.artificial);
+        assert!(
+            g.clobbers.intersection(avoid).is_empty(),
+            "junk clobbers a protected register: {:?}",
+            g.insts
+        );
+        assert_eq!(g.ending, GadgetEnding::Ret);
+    }
+}
+
+#[test]
+fn flag_preserving_synthesis_never_emits_flag_writing_junk() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for _ in 0..200 {
+        let g = synthesize(
+            GadgetOp::MovRR(Reg::Rax, Reg::Rbx),
+            RegSet::EMPTY,
+            true,
+            SynthConfig { max_junk: 3, junk_prob: 1.0 },
+            &mut rng,
+        );
+        assert!(!g.pollutes_flags, "flag pollution in {:?}", g.insts);
+    }
+}
+
+#[test]
+fn synthesis_produces_diverse_variants_for_one_operation() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut distinct = std::collections::BTreeSet::new();
+    for _ in 0..64 {
+        let g = synthesize(
+            GadgetOp::Pop(Reg::Rdi),
+            RegSet::EMPTY,
+            false,
+            SynthConfig { max_junk: 2, junk_prob: 0.8 },
+            &mut rng,
+        );
+        distinct.insert(g.encode());
+    }
+    assert!(
+        distinct.len() >= 8,
+        "the synthesizer produced only {} distinct encodings for one op",
+        distinct.len()
+    );
+}
+
+#[test]
+fn synthesized_gadgets_execute_correctly_as_chain_steps() {
+    // Place a synthesized pop-rdi gadget into an image and drive it as a
+    // one-gadget ROP chain: rdi must receive the immediate.
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let mut img = stub_image();
+    let g = synthesize(GadgetOp::Pop(Reg::Rdi), RegSet::EMPTY, false, SynthConfig::default(), &mut rng);
+    let addr = img.append_text(None, &g.encode());
+    let mut chain = Vec::new();
+    let junk_count = g.chain_slots() - 2; // one slot for the address, one real pop
+    chain.extend_from_slice(&addr.to_le_bytes());
+    // The primary pop is the *last* pop in the gadget; junk pops precede it.
+    for _ in 0..junk_count {
+        chain.extend_from_slice(&0xdeadu64.to_le_bytes());
+    }
+    chain.extend_from_slice(&1234u64.to_le_bytes());
+    chain.extend_from_slice(&RETURN_SENTINEL.to_le_bytes());
+    let chain_addr = img.append_data(Some("c"), &chain);
+    let mut emu = Emulator::new(&img);
+    emu.set_reg(Reg::Rsp, chain_addr);
+    emu.cpu.rip = img.symbol("stub").unwrap();
+    emu.run().unwrap();
+    assert_eq!(emu.reg(Reg::Rdi), 1234);
+}
+
+// --- the catalog -----------------------------------------------------------------
+
+#[test]
+fn catalog_requests_always_return_a_suitable_gadget() {
+    let mut img = stub_image();
+    let mut catalog = GadgetCatalog::from_image(&img, CatalogConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let avoid = RegSet::from_regs([Reg::Rax, Reg::Rdi]);
+    for op in [
+        GadgetOp::Pop(Reg::Rsi),
+        GadgetOp::AddRsp(Reg::Rsi),
+        GadgetOp::MovRR(Reg::Rcx, Reg::Rdx),
+        GadgetOp::Alu(AluOp::Xor, Reg::R8, Reg::R9),
+        GadgetOp::Neg(Reg::R10),
+    ] {
+        let g = catalog.request(&mut img, op, avoid, true, &mut rng);
+        assert_eq!(g.op, op);
+        assert!(g.clobbers.intersection(avoid).is_empty());
+        assert!(!g.pollutes_flags);
+        assert!(img.in_text(g.addr), "gadget lives in .text");
+    }
+    let stats = catalog.stats();
+    assert_eq!(stats.total_used, 5);
+    assert!(stats.unique_used <= stats.total_used);
+    assert!(stats.pool_size >= stats.unique_used);
+}
+
+#[test]
+fn catalog_reuses_and_diversifies_according_to_its_configuration() {
+    let mut img = stub_image();
+    // diversity 0: after the first synthesis, the same gadget is reused.
+    let mut cfg = CatalogConfig::default();
+    cfg.diversity = 0.0;
+    cfg.max_variants_per_op = 4;
+    let mut catalog = GadgetCatalog::from_image(&img, cfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut addrs = std::collections::BTreeSet::new();
+    for _ in 0..20 {
+        let g = catalog.request(&mut img, GadgetOp::Pop(Reg::R12), RegSet::EMPTY, false, &mut rng);
+        addrs.insert(g.addr);
+    }
+    assert_eq!(addrs.len(), 1, "no diversity requested → one variant reused");
+    let stats = catalog.stats();
+    assert_eq!(stats.total_used, 20);
+    assert_eq!(stats.unique_used, 1);
+
+    // diversity 1: up to max_variants_per_op variants appear.
+    let mut img2 = stub_image();
+    let mut cfg2 = CatalogConfig::default();
+    cfg2.diversity = 1.0;
+    cfg2.max_variants_per_op = 3;
+    let mut catalog2 = GadgetCatalog::from_image(&img2, cfg2);
+    let mut addrs2 = std::collections::BTreeSet::new();
+    for _ in 0..30 {
+        let g = catalog2.request(&mut img2, GadgetOp::Pop(Reg::R13), RegSet::EMPTY, false, &mut rng);
+        addrs2.insert(g.addr);
+    }
+    assert!(addrs2.len() >= 2, "diversity produces multiple variants");
+    assert!(addrs2.len() <= 3, "but no more than max_variants_per_op");
+}
+
+#[test]
+fn artificial_gadgets_grow_text_and_are_counted() {
+    let mut img = stub_image();
+    let before = img.text.len();
+    let mut catalog = GadgetCatalog::from_image(&img, CatalogConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    for r in [Reg::Rbx, Reg::R14, Reg::R15] {
+        catalog.request(&mut img, GadgetOp::Pop(r), RegSet::EMPTY, false, &mut rng);
+    }
+    assert!(img.text.len() > before, "artificial gadgets appended as dead code");
+    assert!(catalog.stats().artificial >= 1);
+    assert!(catalog.pool_size() >= 3);
+}
+
+#[test]
+fn reset_stats_clears_usage_but_keeps_the_pool() {
+    let mut img = stub_image();
+    let mut catalog = GadgetCatalog::from_image(&img, CatalogConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    catalog.request(&mut img, GadgetOp::Pop(Reg::Rax), RegSet::EMPTY, false, &mut rng);
+    let pool = catalog.pool_size();
+    assert!(catalog.stats().total_used > 0);
+    catalog.reset_stats();
+    assert_eq!(catalog.stats().total_used, 0);
+    assert_eq!(catalog.pool_size(), pool);
+}
+
+// --- property tests ---------------------------------------------------------------
+
+fn any_gadget_op() -> impl Strategy<Value = GadgetOp> {
+    let reg = (0usize..16).prop_map(|i| Reg::ALL[i]).prop_filter("not rsp", |r| !r.is_sp());
+    let reg2 = (0usize..16).prop_map(|i| Reg::ALL[i]).prop_filter("not rsp", |r| !r.is_sp());
+    let alu = (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i]);
+    prop_oneof![
+        reg.clone().prop_map(GadgetOp::Pop),
+        reg.clone().prop_map(GadgetOp::AddRsp),
+        (reg.clone(), reg2.clone()).prop_map(|(a, b)| GadgetOp::MovRR(a, b)),
+        (alu, reg.clone(), reg2.clone()).prop_map(|(op, a, b)| GadgetOp::Alu(op, a, b)),
+        reg.clone().prop_map(GadgetOp::Neg),
+        reg.clone().prop_map(GadgetOp::Not),
+        (reg.clone(), reg2.clone()).prop_map(|(a, b)| GadgetOp::Load(a, b)),
+        (reg.clone(), reg2.clone()).prop_map(|(a, b)| GadgetOp::Store(a, b)),
+        (reg, 1u8..32).prop_map(|(r, i)| GadgetOp::ShlImm(r, i)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Synthesis → classification is the identity on the primary operation,
+    /// and the encoded bytes always end in `ret`.
+    #[test]
+    fn synthesis_classification_roundtrip(op in any_gadget_op(), seed in any::<u64>(),
+                                          preserve_flags in any::<bool>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = synthesize(op, RegSet::EMPTY, preserve_flags, SynthConfig::default(), &mut rng);
+        prop_assert_eq!(g.op, op);
+        prop_assert_eq!(*g.encode().last().unwrap(), OP_RET);
+        if preserve_flags {
+            // Junk must not pollute; the primary op itself may (e.g. neg).
+            let primary_writes = op.primary_inst().map(|i| i.writes_flags()).unwrap_or(false);
+            prop_assert!(!g.pollutes_flags || primary_writes);
+        }
+        // Re-scanning the encoded bytes finds a gadget with the same op at
+        // some offset (the gadget is visible to an attacker's scanner too).
+        let scanned = scan_bytes(&g.encode(), 0x10_000, ScanConfig { max_insts: 8, max_lookback: 64 });
+        prop_assert!(scanned.iter().any(|s| s.op == op));
+    }
+
+    /// Classification never reports the primary operation's own destination
+    /// as a clobber.
+    #[test]
+    fn classification_excludes_primary_destination_from_clobbers(op in any_gadget_op(), seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = synthesize(op, RegSet::EMPTY, false, SynthConfig::default(), &mut rng);
+        if let Some(primary) = op.primary_inst() {
+            for r in primary.regs_written().iter() {
+                prop_assert!(!g.clobbers.contains(r),
+                    "primary destination {:?} listed as clobber in {:?}", r, g.insts);
+            }
+        }
+    }
+}
+
+#[test]
+fn retired_ranges_are_never_served_again() {
+    // Scan an image whose only pop-r9 gadget lives inside a function that is
+    // about to be rewritten (its body will be erased): after retiring that
+    // range, requests must synthesize a fresh artificial gadget elsewhere.
+    let mut asm = Assembler::new();
+    asm.inst(Inst::MovRI(Reg::Rax, 1))
+        .inst(Inst::Pop(Reg::R9))
+        .inst(Inst::Ret);
+    let mut b = ImageBuilder::new();
+    b.add_function("victim", asm);
+    let mut img = b.build().unwrap();
+    let victim = img.function("victim").unwrap().clone();
+
+    let mut catalog = GadgetCatalog::from_image(&img, CatalogConfig { diversity: 0.0, ..CatalogConfig::default() });
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let before = catalog.request(&mut img, GadgetOp::Pop(Reg::R9), RegSet::EMPTY, false, &mut rng);
+    assert!(
+        before.addr >= victim.addr && before.addr < victim.addr + victim.size,
+        "without retirement the scanned in-function gadget is preferred"
+    );
+
+    let retired = catalog.retire_range(victim.addr, victim.addr + victim.size);
+    assert!(retired >= 1);
+    let after = catalog.request(&mut img, GadgetOp::Pop(Reg::R9), RegSet::EMPTY, false, &mut rng);
+    assert!(
+        after.addr >= victim.addr + victim.size,
+        "after retirement only gadgets outside the erased body are served"
+    );
+    assert!(after.artificial);
+    // Retiring the same range again is a no-op.
+    assert_eq!(catalog.retire_range(victim.addr, victim.addr + victim.size), 0);
+}

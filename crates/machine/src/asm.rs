@@ -1,0 +1,424 @@
+//! A small two-pass assembler with labels and symbol references.
+//!
+//! The assembler is the interface between anything that produces RM64 code —
+//! the MiniC code generator in `raindrop-synth`, the VM obfuscator, the
+//! artificial-gadget synthesizer and the pivot stubs of the ROP rewriter —
+//! and the binary image. It supports:
+//!
+//! * local labels for intra-function branches (`jmp`/`jcc` with relative
+//!   displacements resolved at assembly time);
+//! * symbolic references to functions and data (`call sym`,
+//!   `mov reg, &sym`, absolute loads/stores of a global), resolved by the
+//!   [`ImageBuilder`](crate::image::ImageBuilder) at link time.
+
+use crate::flags::Cond;
+use crate::inst::{Inst, Mem};
+use crate::reg::Reg;
+use crate::{encode, DecodeError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A local, intra-function branch target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(usize);
+
+/// One assembler item: either a concrete instruction or something whose
+/// encoding depends on label/symbol resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AsmItem {
+    /// A concrete instruction.
+    Inst(Inst),
+    /// `jmp label`
+    JmpLabel(Label),
+    /// `j<cc> label`
+    JccLabel(Cond, Label),
+    /// `call symbol` (direct, relative call to a named function).
+    CallSym(String),
+    /// `mov reg, &symbol` — loads the absolute address of a symbol.
+    MovSymAddr(Reg, String),
+    /// `push &symbol` — pushes the absolute address of a symbol (64-bit).
+    ///
+    /// `push imm32` would truncate the address, so the item lowers to
+    /// `mov scratch, &sym; push scratch` with the scratch register supplied
+    /// at construction.
+    PushSymAddr(Reg, String),
+    /// `lea reg, [symbol + disp]` — absolute address of a global plus offset.
+    LeaSym(Reg, String, i32),
+}
+
+/// Error produced during assembly or linking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AsmError {
+    /// A label was referenced but never bound.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    RebindLabel(Label),
+    /// A symbol could not be resolved by the image builder.
+    UnknownSymbol(String),
+    /// A relative displacement does not fit in 32 bits.
+    DisplacementTooLarge {
+        /// Address the displacement is taken from.
+        from: u64,
+        /// Target address.
+        to: u64,
+    },
+    /// A symbol address does not fit in the 32-bit absolute addressing form.
+    SymbolOutOfRange(String, u64),
+    /// Re-decoding the produced bytes failed (internal consistency check).
+    Encoding(DecodeError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {:?} referenced but never bound", l),
+            AsmError::RebindLabel(l) => write!(f, "label {:?} bound twice", l),
+            AsmError::UnknownSymbol(s) => write!(f, "unknown symbol `{s}`"),
+            AsmError::DisplacementTooLarge { from, to } => {
+                write!(f, "displacement from {from:#x} to {to:#x} does not fit in 32 bits")
+            }
+            AsmError::SymbolOutOfRange(s, a) => {
+                write!(f, "symbol `{s}` at {a:#x} outside 32-bit absolute range")
+            }
+            AsmError::Encoding(e) => write!(f, "encoding self-check failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Resolves symbol names to absolute addresses at link time.
+pub trait SymbolResolver {
+    /// Returns the absolute address of `name`, or `None` if unknown.
+    fn resolve(&self, name: &str) -> Option<u64>;
+}
+
+impl SymbolResolver for HashMap<String, u64> {
+    fn resolve(&self, name: &str) -> Option<u64> {
+        self.get(name).copied()
+    }
+}
+
+impl SymbolResolver for std::collections::BTreeMap<String, u64> {
+    fn resolve(&self, name: &str) -> Option<u64> {
+        self.get(name).copied()
+    }
+}
+
+/// Builds a function body instruction by instruction.
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    items: Vec<AsmItem>,
+    labels: Vec<Option<usize>>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds a label to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound; binding twice is always a
+    /// caller bug.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label {label:?} bound twice"
+        );
+        self.labels[label.0] = Some(self.items.len());
+    }
+
+    /// Appends a concrete instruction.
+    pub fn inst(&mut self, inst: Inst) -> &mut Self {
+        self.items.push(AsmItem::Inst(inst));
+        self
+    }
+
+    /// Appends several concrete instructions.
+    pub fn insts<I: IntoIterator<Item = Inst>>(&mut self, insts: I) -> &mut Self {
+        for i in insts {
+            self.inst(i);
+        }
+        self
+    }
+
+    /// Appends `jmp label`.
+    pub fn jmp(&mut self, label: Label) -> &mut Self {
+        self.items.push(AsmItem::JmpLabel(label));
+        self
+    }
+
+    /// Appends `j<cc> label`.
+    pub fn jcc(&mut self, cond: Cond, label: Label) -> &mut Self {
+        self.items.push(AsmItem::JccLabel(cond, label));
+        self
+    }
+
+    /// Appends `call symbol`.
+    pub fn call_sym(&mut self, name: impl Into<String>) -> &mut Self {
+        self.items.push(AsmItem::CallSym(name.into()));
+        self
+    }
+
+    /// Appends `mov reg, &symbol`.
+    pub fn mov_sym_addr(&mut self, reg: Reg, name: impl Into<String>) -> &mut Self {
+        self.items.push(AsmItem::MovSymAddr(reg, name.into()));
+        self
+    }
+
+    /// Appends a push of a symbol's absolute address through `scratch`.
+    pub fn push_sym_addr(&mut self, scratch: Reg, name: impl Into<String>) -> &mut Self {
+        self.items.push(AsmItem::PushSymAddr(scratch, name.into()));
+        self
+    }
+
+    /// Appends `lea reg, [&symbol + disp]`.
+    pub fn lea_sym(&mut self, reg: Reg, name: impl Into<String>, disp: i32) -> &mut Self {
+        self.items.push(AsmItem::LeaSym(reg, name.into(), disp));
+        self
+    }
+
+    /// Loads the 64-bit global at `&symbol + disp` into `reg`
+    /// (`mov reg, qword [sym + disp]` using absolute addressing).
+    pub fn load_sym(&mut self, reg: Reg, name: impl Into<String>, disp: i32) -> &mut Self {
+        // Encoded through MovSymAddr at link time would waste a register, so
+        // record it as a LeaSym-like item: we rely on symbols living in the
+        // low 2 GiB and use absolute memory operands. The resolution happens
+        // in `assemble`, which rewrites the displacement.
+        self.items.push(AsmItem::LeaSym(reg, name.into(), disp));
+        self.items.push(AsmItem::Inst(Inst::Load(reg, Mem::base(reg))));
+        self
+    }
+
+    /// Number of items appended so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no items have been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The items appended so far.
+    pub fn items(&self) -> &[AsmItem] {
+        &self.items
+    }
+
+    fn item_len(item: &AsmItem) -> usize {
+        match item {
+            AsmItem::Inst(i) => encode::encoded_len(i),
+            AsmItem::JmpLabel(_) => encode::encoded_len(&Inst::Jmp(0)),
+            AsmItem::JccLabel(c, _) => encode::encoded_len(&Inst::Jcc(*c, 0)),
+            AsmItem::CallSym(_) => encode::encoded_len(&Inst::Call(0)),
+            AsmItem::MovSymAddr(r, _) => encode::encoded_len(&Inst::MovRI(*r, 0)),
+            AsmItem::PushSymAddr(r, _) => {
+                encode::encoded_len(&Inst::MovRI(*r, 0)) + encode::encoded_len(&Inst::Push(*r))
+            }
+            AsmItem::LeaSym(r, _, _) => encode::encoded_len(&Inst::MovRI(*r, 0)),
+        }
+    }
+
+    /// Size in bytes of the assembled output (independent of resolution).
+    pub fn byte_len(&self) -> usize {
+        self.items.iter().map(Self::item_len).sum()
+    }
+
+    /// Assembles the function at absolute address `base`, resolving symbols
+    /// through `resolver`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unbound labels, unknown symbols or out-of-range
+    /// displacements.
+    pub fn assemble(&self, base: u64, resolver: &dyn SymbolResolver) -> Result<Vec<u8>, AsmError> {
+        // Pass 1: assign an offset to every item and every label.
+        let mut offsets = Vec::with_capacity(self.items.len() + 1);
+        let mut off = 0usize;
+        for item in &self.items {
+            offsets.push(off);
+            off += Self::item_len(item);
+        }
+        offsets.push(off);
+
+        let label_off = |l: Label| -> Result<usize, AsmError> {
+            let idx = self.labels[l.0].ok_or(AsmError::UnboundLabel(l))?;
+            Ok(offsets[idx])
+        };
+
+        // Pass 2: emit.
+        let mut out = Vec::with_capacity(off);
+        for (idx, item) in self.items.iter().enumerate() {
+            let here = offsets[idx];
+            match item {
+                AsmItem::Inst(i) => encode::encode_into(i, &mut out),
+                AsmItem::JmpLabel(l) => {
+                    let target = label_off(*l)?;
+                    let next = here + Self::item_len(item);
+                    let rel = target as i64 - next as i64;
+                    let rel = i32::try_from(rel).map_err(|_| AsmError::DisplacementTooLarge {
+                        from: base + next as u64,
+                        to: base + target as u64,
+                    })?;
+                    encode::encode_into(&Inst::Jmp(rel), &mut out);
+                }
+                AsmItem::JccLabel(c, l) => {
+                    let target = label_off(*l)?;
+                    let next = here + Self::item_len(item);
+                    let rel = target as i64 - next as i64;
+                    let rel = i32::try_from(rel).map_err(|_| AsmError::DisplacementTooLarge {
+                        from: base + next as u64,
+                        to: base + target as u64,
+                    })?;
+                    encode::encode_into(&Inst::Jcc(*c, rel), &mut out);
+                }
+                AsmItem::CallSym(name) => {
+                    let target = resolver
+                        .resolve(name)
+                        .ok_or_else(|| AsmError::UnknownSymbol(name.clone()))?;
+                    let next = base + (here + Self::item_len(item)) as u64;
+                    let rel = target as i64 - next as i64;
+                    let rel = i32::try_from(rel).map_err(|_| AsmError::DisplacementTooLarge {
+                        from: next,
+                        to: target,
+                    })?;
+                    encode::encode_into(&Inst::Call(rel), &mut out);
+                }
+                AsmItem::MovSymAddr(r, name) => {
+                    let target = resolver
+                        .resolve(name)
+                        .ok_or_else(|| AsmError::UnknownSymbol(name.clone()))?;
+                    encode::encode_into(&Inst::MovRI(*r, target as i64), &mut out);
+                }
+                AsmItem::PushSymAddr(r, name) => {
+                    let target = resolver
+                        .resolve(name)
+                        .ok_or_else(|| AsmError::UnknownSymbol(name.clone()))?;
+                    encode::encode_into(&Inst::MovRI(*r, target as i64), &mut out);
+                    encode::encode_into(&Inst::Push(*r), &mut out);
+                }
+                AsmItem::LeaSym(r, name, disp) => {
+                    let target = resolver
+                        .resolve(name)
+                        .ok_or_else(|| AsmError::UnknownSymbol(name.clone()))?;
+                    let addr = (target as i64).wrapping_add(*disp as i64);
+                    encode::encode_into(&Inst::MovRI(*r, addr), &mut out);
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), off);
+        Ok(out)
+    }
+}
+
+/// Convenience resolver with no symbols, for purely local code.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoSymbols;
+
+impl SymbolResolver for NoSymbols {
+    fn resolve(&self, _name: &str) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::AluOp;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        let done = a.new_label();
+        a.bind(top);
+        a.inst(Inst::AluI(AluOp::Sub, Reg::Rdi, 1));
+        a.jcc(Cond::E, done);
+        a.jmp(top);
+        a.bind(done);
+        a.inst(Inst::Ret);
+        let bytes = a.assemble(0x1000, &NoSymbols).unwrap();
+        let decoded = encode::decode_all(&bytes).unwrap();
+        // sub, jcc, jmp, ret
+        assert_eq!(decoded.len(), 4);
+        match decoded[2].1 {
+            Inst::Jmp(rel) => {
+                let next = decoded[2].0 + encode::encoded_len(&Inst::Jmp(0));
+                assert_eq!(next as i64 + rel as i64, 0, "jmp goes back to offset 0");
+            }
+            other => panic!("expected jmp, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Assembler::new();
+        let l = a.new_label();
+        a.jmp(l);
+        assert!(matches!(a.assemble(0, &NoSymbols), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn rebinding_label_panics() {
+        let mut a = Assembler::new();
+        let l = a.new_label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn call_symbol_is_relative() {
+        let mut syms = HashMap::new();
+        syms.insert("callee".to_string(), 0x2000u64);
+        let mut a = Assembler::new();
+        a.call_sym("callee");
+        a.inst(Inst::Ret);
+        let bytes = a.assemble(0x1000, &syms).unwrap();
+        let decoded = encode::decode_all(&bytes).unwrap();
+        match decoded[0].1 {
+            Inst::Call(rel) => {
+                let next = 0x1000 + encode::encoded_len(&Inst::Call(0)) as u64;
+                assert_eq!(next.wrapping_add(rel as i64 as u64), 0x2000);
+            }
+            other => panic!("expected call, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_symbol_is_an_error() {
+        let mut a = Assembler::new();
+        a.call_sym("nope");
+        assert!(matches!(
+            a.assemble(0, &NoSymbols),
+            Err(AsmError::UnknownSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn byte_len_matches_assembled_length() {
+        let mut syms = HashMap::new();
+        syms.insert("g".to_string(), 0x4000u64);
+        let mut a = Assembler::new();
+        let l = a.new_label();
+        a.mov_sym_addr(Reg::Rax, "g");
+        a.push_sym_addr(Reg::R11, "g");
+        a.lea_sym(Reg::Rbx, "g", 8);
+        a.load_sym(Reg::Rcx, "g", 0);
+        a.jmp(l);
+        a.bind(l);
+        a.inst(Inst::Ret);
+        let bytes = a.assemble(0x1000, &syms).unwrap();
+        assert_eq!(bytes.len(), a.byte_len());
+    }
+}

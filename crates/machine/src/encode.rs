@@ -1,0 +1,623 @@
+//! Binary encoding and decoding of RM64 instructions.
+//!
+//! The encoding is byte-oriented and variable-length, like x86-64: one opcode
+//! byte followed by operand bytes. `ret` encodes to the single byte `0x2A`
+//! (x86-64 uses `0xC3`), which is what the gadget scanner looks for, and any
+//! byte offset may be used as a decode start — exactly the property that
+//! gadget confusion (§V-D of the paper) exploits with unaligned stack-pointer
+//! updates.
+
+use crate::flags::Cond;
+use crate::inst::{AluOp, Inst, Mem};
+use crate::reg::Reg;
+use std::fmt;
+
+/// Opcode byte of `ret`; exposed so the gadget scanner can look for it.
+pub const OP_RET: u8 = 0x2A;
+
+mod op {
+    pub const NOP: u8 = 0x00;
+    pub const HLT: u8 = 0x01;
+    pub const MOV_RR: u8 = 0x02;
+    pub const MOV_RI: u8 = 0x03;
+    pub const LOAD: u8 = 0x04;
+    pub const STORE: u8 = 0x05;
+    pub const STORE_I: u8 = 0x06;
+    pub const LOAD_B: u8 = 0x07;
+    pub const LOAD_SX_B: u8 = 0x08;
+    pub const STORE_B: u8 = 0x09;
+    pub const LEA: u8 = 0x0A;
+    pub const PUSH: u8 = 0x0B;
+    pub const PUSH_I: u8 = 0x0C;
+    pub const POP: u8 = 0x0D;
+    pub const ALU: u8 = 0x0E;
+    pub const ALU_I: u8 = 0x0F;
+    pub const ALU_M: u8 = 0x10;
+    pub const ALU_STORE: u8 = 0x11;
+    pub const NEG: u8 = 0x12;
+    pub const NOT: u8 = 0x13;
+    pub const MUL: u8 = 0x14;
+    pub const MUL_I: u8 = 0x15;
+    pub const DIV: u8 = 0x16;
+    pub const REM: u8 = 0x17;
+    pub const SHL: u8 = 0x18;
+    pub const SHR: u8 = 0x19;
+    pub const SAR: u8 = 0x1A;
+    pub const SHL_R: u8 = 0x1B;
+    pub const SHR_R: u8 = 0x1C;
+    pub const CMP: u8 = 0x1D;
+    pub const CMP_I: u8 = 0x1E;
+    pub const CMP_MI: u8 = 0x1F;
+    pub const TEST: u8 = 0x20;
+    pub const TEST_I: u8 = 0x21;
+    pub const CMOV: u8 = 0x22;
+    pub const SET: u8 = 0x23;
+    pub const JMP: u8 = 0x24;
+    pub const JMP_REG: u8 = 0x25;
+    pub const JMP_MEM: u8 = 0x26;
+    pub const JCC: u8 = 0x27;
+    pub const CALL: u8 = 0x28;
+    pub const CALL_REG: u8 = 0x29;
+    pub const RET: u8 = super::OP_RET;
+    pub const LEAVE: u8 = 0x2B;
+    pub const XCHG_RR: u8 = 0x2C;
+    pub const XCHG_RM: u8 = 0x2D;
+}
+
+/// Error produced when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte stream ended in the middle of an instruction.
+    Truncated,
+    /// The opcode byte does not name an instruction.
+    BadOpcode(u8),
+    /// A register operand byte was not a valid register.
+    BadRegister(u8),
+    /// A condition-code byte was not a valid condition.
+    BadCondition(u8),
+    /// An ALU-operation byte was not a valid operation.
+    BadAluOp(u8),
+    /// A memory-operand scale byte was not 1, 2, 4 or 8.
+    BadScale(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "instruction truncated"),
+            DecodeError::BadOpcode(b) => write!(f, "invalid opcode byte {b:#04x}"),
+            DecodeError::BadRegister(b) => write!(f, "invalid register encoding {b:#04x}"),
+            DecodeError::BadCondition(b) => write!(f, "invalid condition encoding {b:#04x}"),
+            DecodeError::BadAluOp(b) => write!(f, "invalid ALU operation encoding {b:#04x}"),
+            DecodeError::BadScale(b) => write!(f, "invalid memory scale {b:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const NO_REG: u8 = 0xFF;
+
+fn put_reg(out: &mut Vec<u8>, r: Reg) {
+    out.push(r.index() as u8);
+}
+
+fn put_i32(out: &mut Vec<u8>, v: i32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_mem(out: &mut Vec<u8>, m: Mem) {
+    out.push(m.base.map(|r| r.index() as u8).unwrap_or(NO_REG));
+    out.push(m.index.map(|r| r.index() as u8).unwrap_or(NO_REG));
+    out.push(m.scale);
+    put_i32(out, m.disp);
+}
+
+/// Encodes a single instruction, appending its bytes to `out`.
+pub fn encode_into(inst: &Inst, out: &mut Vec<u8>) {
+    use Inst::*;
+    match *inst {
+        Nop => out.push(op::NOP),
+        Hlt => out.push(op::HLT),
+        MovRR(d, s) => {
+            out.push(op::MOV_RR);
+            put_reg(out, d);
+            put_reg(out, s);
+        }
+        MovRI(d, i) => {
+            out.push(op::MOV_RI);
+            put_reg(out, d);
+            put_i64(out, i);
+        }
+        Load(d, m) => {
+            out.push(op::LOAD);
+            put_reg(out, d);
+            put_mem(out, m);
+        }
+        Store(m, s) => {
+            out.push(op::STORE);
+            put_reg(out, s);
+            put_mem(out, m);
+        }
+        StoreI(m, i) => {
+            out.push(op::STORE_I);
+            put_mem(out, m);
+            put_i32(out, i);
+        }
+        LoadB(d, m) => {
+            out.push(op::LOAD_B);
+            put_reg(out, d);
+            put_mem(out, m);
+        }
+        LoadSxB(d, m) => {
+            out.push(op::LOAD_SX_B);
+            put_reg(out, d);
+            put_mem(out, m);
+        }
+        StoreB(m, s) => {
+            out.push(op::STORE_B);
+            put_reg(out, s);
+            put_mem(out, m);
+        }
+        Lea(d, m) => {
+            out.push(op::LEA);
+            put_reg(out, d);
+            put_mem(out, m);
+        }
+        Push(r) => {
+            out.push(op::PUSH);
+            put_reg(out, r);
+        }
+        PushI(i) => {
+            out.push(op::PUSH_I);
+            put_i32(out, i);
+        }
+        Pop(r) => {
+            out.push(op::POP);
+            put_reg(out, r);
+        }
+        Alu(o, d, s) => {
+            out.push(op::ALU);
+            out.push(o.index());
+            put_reg(out, d);
+            put_reg(out, s);
+        }
+        AluI(o, d, i) => {
+            out.push(op::ALU_I);
+            out.push(o.index());
+            put_reg(out, d);
+            put_i32(out, i);
+        }
+        AluM(o, d, m) => {
+            out.push(op::ALU_M);
+            out.push(o.index());
+            put_reg(out, d);
+            put_mem(out, m);
+        }
+        AluStore(o, m, s) => {
+            out.push(op::ALU_STORE);
+            out.push(o.index());
+            put_reg(out, s);
+            put_mem(out, m);
+        }
+        Neg(r) => {
+            out.push(op::NEG);
+            put_reg(out, r);
+        }
+        Not(r) => {
+            out.push(op::NOT);
+            put_reg(out, r);
+        }
+        Mul(d, s) => {
+            out.push(op::MUL);
+            put_reg(out, d);
+            put_reg(out, s);
+        }
+        MulI(d, s, i) => {
+            out.push(op::MUL_I);
+            put_reg(out, d);
+            put_reg(out, s);
+            put_i32(out, i);
+        }
+        Div(d, s) => {
+            out.push(op::DIV);
+            put_reg(out, d);
+            put_reg(out, s);
+        }
+        Rem(d, s) => {
+            out.push(op::REM);
+            put_reg(out, d);
+            put_reg(out, s);
+        }
+        Shl(r, i) => {
+            out.push(op::SHL);
+            put_reg(out, r);
+            out.push(i);
+        }
+        Shr(r, i) => {
+            out.push(op::SHR);
+            put_reg(out, r);
+            out.push(i);
+        }
+        Sar(r, i) => {
+            out.push(op::SAR);
+            put_reg(out, r);
+            out.push(i);
+        }
+        ShlR(d, s) => {
+            out.push(op::SHL_R);
+            put_reg(out, d);
+            put_reg(out, s);
+        }
+        ShrR(d, s) => {
+            out.push(op::SHR_R);
+            put_reg(out, d);
+            put_reg(out, s);
+        }
+        Cmp(a, b) => {
+            out.push(op::CMP);
+            put_reg(out, a);
+            put_reg(out, b);
+        }
+        CmpI(a, i) => {
+            out.push(op::CMP_I);
+            put_reg(out, a);
+            put_i32(out, i);
+        }
+        CmpMI(m, i) => {
+            out.push(op::CMP_MI);
+            put_mem(out, m);
+            put_i32(out, i);
+        }
+        Test(a, b) => {
+            out.push(op::TEST);
+            put_reg(out, a);
+            put_reg(out, b);
+        }
+        TestI(a, i) => {
+            out.push(op::TEST_I);
+            put_reg(out, a);
+            put_i32(out, i);
+        }
+        Cmov(c, d, s) => {
+            out.push(op::CMOV);
+            out.push(c.index());
+            put_reg(out, d);
+            put_reg(out, s);
+        }
+        Set(c, d) => {
+            out.push(op::SET);
+            out.push(c.index());
+            put_reg(out, d);
+        }
+        Jmp(o) => {
+            out.push(op::JMP);
+            put_i32(out, o);
+        }
+        JmpReg(r) => {
+            out.push(op::JMP_REG);
+            put_reg(out, r);
+        }
+        JmpMem(m) => {
+            out.push(op::JMP_MEM);
+            put_mem(out, m);
+        }
+        Jcc(c, o) => {
+            out.push(op::JCC);
+            out.push(c.index());
+            put_i32(out, o);
+        }
+        Call(o) => {
+            out.push(op::CALL);
+            put_i32(out, o);
+        }
+        CallReg(r) => {
+            out.push(op::CALL_REG);
+            put_reg(out, r);
+        }
+        Ret => out.push(op::RET),
+        Leave => out.push(op::LEAVE),
+        XchgRR(a, b) => {
+            out.push(op::XCHG_RR);
+            put_reg(out, a);
+            put_reg(out, b);
+        }
+        XchgRM(r, m) => {
+            out.push(op::XCHG_RM);
+            put_reg(out, r);
+            put_mem(out, m);
+        }
+    }
+}
+
+/// Encodes a single instruction into a freshly allocated byte vector.
+pub fn encode(inst: &Inst) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    encode_into(inst, &mut out);
+    out
+}
+
+/// Encodes a sequence of instructions back-to-back.
+pub fn encode_all<'a, I: IntoIterator<Item = &'a Inst>>(insts: I) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in insts {
+        encode_into(i, &mut out);
+    }
+    out
+}
+
+/// Length in bytes of an instruction's encoding.
+pub fn encoded_len(inst: &Inst) -> usize {
+    // Encoding is cheap; reuse it rather than maintaining a parallel table.
+    encode(inst).len()
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        let b = self.u8()?;
+        Reg::from_index(b).ok_or(DecodeError::BadRegister(b))
+    }
+
+    fn cond(&mut self) -> Result<Cond, DecodeError> {
+        let b = self.u8()?;
+        Cond::from_index(b).ok_or(DecodeError::BadCondition(b))
+    }
+
+    fn alu(&mut self) -> Result<AluOp, DecodeError> {
+        let b = self.u8()?;
+        AluOp::from_index(b).ok_or(DecodeError::BadAluOp(b))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(&self.bytes[self.pos..self.pos + 4]);
+        self.pos += 4;
+        Ok(i32::from_le_bytes(buf))
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        if self.pos + 8 > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.bytes[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(i64::from_le_bytes(buf))
+    }
+
+    fn mem(&mut self) -> Result<Mem, DecodeError> {
+        let base_b = self.u8()?;
+        let index_b = self.u8()?;
+        let scale = self.u8()?;
+        let disp = self.i32()?;
+        let base = if base_b == NO_REG {
+            None
+        } else {
+            Some(Reg::from_index(base_b).ok_or(DecodeError::BadRegister(base_b))?)
+        };
+        let index = if index_b == NO_REG {
+            None
+        } else {
+            Some(Reg::from_index(index_b).ok_or(DecodeError::BadRegister(index_b))?)
+        };
+        if !matches!(scale, 1 | 2 | 4 | 8) {
+            return Err(DecodeError::BadScale(scale));
+        }
+        Ok(Mem { base, index, scale, disp })
+    }
+}
+
+/// Decodes one instruction from the front of `bytes`.
+///
+/// Returns the instruction and the number of bytes it occupies.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the bytes do not form a valid instruction;
+/// speculative decoding at arbitrary offsets (gadget scanning) relies on this
+/// to reject non-code bytes.
+pub fn decode(bytes: &[u8]) -> Result<(Inst, usize), DecodeError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let opcode = c.u8()?;
+    let inst = match opcode {
+        op::NOP => Inst::Nop,
+        op::HLT => Inst::Hlt,
+        op::MOV_RR => Inst::MovRR(c.reg()?, c.reg()?),
+        op::MOV_RI => Inst::MovRI(c.reg()?, c.i64()?),
+        op::LOAD => Inst::Load(c.reg()?, c.mem()?),
+        op::STORE => {
+            let s = c.reg()?;
+            Inst::Store(c.mem()?, s)
+        }
+        op::STORE_I => Inst::StoreI(c.mem()?, c.i32()?),
+        op::LOAD_B => Inst::LoadB(c.reg()?, c.mem()?),
+        op::LOAD_SX_B => Inst::LoadSxB(c.reg()?, c.mem()?),
+        op::STORE_B => {
+            let s = c.reg()?;
+            Inst::StoreB(c.mem()?, s)
+        }
+        op::LEA => Inst::Lea(c.reg()?, c.mem()?),
+        op::PUSH => Inst::Push(c.reg()?),
+        op::PUSH_I => Inst::PushI(c.i32()?),
+        op::POP => Inst::Pop(c.reg()?),
+        op::ALU => Inst::Alu(c.alu()?, c.reg()?, c.reg()?),
+        op::ALU_I => Inst::AluI(c.alu()?, c.reg()?, c.i32()?),
+        op::ALU_M => Inst::AluM(c.alu()?, c.reg()?, c.mem()?),
+        op::ALU_STORE => {
+            let o = c.alu()?;
+            let s = c.reg()?;
+            Inst::AluStore(o, c.mem()?, s)
+        }
+        op::NEG => Inst::Neg(c.reg()?),
+        op::NOT => Inst::Not(c.reg()?),
+        op::MUL => Inst::Mul(c.reg()?, c.reg()?),
+        op::MUL_I => Inst::MulI(c.reg()?, c.reg()?, c.i32()?),
+        op::DIV => Inst::Div(c.reg()?, c.reg()?),
+        op::REM => Inst::Rem(c.reg()?, c.reg()?),
+        op::SHL => Inst::Shl(c.reg()?, c.u8()?),
+        op::SHR => Inst::Shr(c.reg()?, c.u8()?),
+        op::SAR => Inst::Sar(c.reg()?, c.u8()?),
+        op::SHL_R => Inst::ShlR(c.reg()?, c.reg()?),
+        op::SHR_R => Inst::ShrR(c.reg()?, c.reg()?),
+        op::CMP => Inst::Cmp(c.reg()?, c.reg()?),
+        op::CMP_I => Inst::CmpI(c.reg()?, c.i32()?),
+        op::CMP_MI => Inst::CmpMI(c.mem()?, c.i32()?),
+        op::TEST => Inst::Test(c.reg()?, c.reg()?),
+        op::TEST_I => Inst::TestI(c.reg()?, c.i32()?),
+        op::CMOV => Inst::Cmov(c.cond()?, c.reg()?, c.reg()?),
+        op::SET => Inst::Set(c.cond()?, c.reg()?),
+        op::JMP => Inst::Jmp(c.i32()?),
+        op::JMP_REG => Inst::JmpReg(c.reg()?),
+        op::JMP_MEM => Inst::JmpMem(c.mem()?),
+        op::JCC => Inst::Jcc(c.cond()?, c.i32()?),
+        op::CALL => Inst::Call(c.i32()?),
+        op::CALL_REG => Inst::CallReg(c.reg()?),
+        op::RET => Inst::Ret,
+        op::LEAVE => Inst::Leave,
+        op::XCHG_RR => Inst::XchgRR(c.reg()?, c.reg()?),
+        op::XCHG_RM => Inst::XchgRM(c.reg()?, c.mem()?),
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok((inst, c.pos))
+}
+
+/// Decodes a straight-line sequence of instructions covering all of `bytes`.
+///
+/// # Errors
+///
+/// Fails if any instruction is malformed or the final instruction is
+/// truncated.
+pub fn decode_all(bytes: &[u8]) -> Result<Vec<(usize, Inst)>, DecodeError> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let (inst, len) = decode(&bytes[pos..])?;
+        out.push((pos, inst));
+        pos += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::Cond;
+
+    fn sample_insts() -> Vec<Inst> {
+        use Inst::*;
+        vec![
+            Nop,
+            Hlt,
+            MovRR(Reg::Rax, Reg::Rdi),
+            MovRI(Reg::Rcx, -12345678901234),
+            Load(Reg::Rax, Mem::base_disp(Reg::Rbp, -8)),
+            Store(Mem::base_index(Reg::Rdi, Reg::Rcx, 8, 16), Reg::Rdx),
+            StoreI(Mem::abs(0x4000), -1),
+            LoadB(Reg::Rax, Mem::base(Reg::Rsi)),
+            LoadSxB(Reg::Rbx, Mem::base_disp(Reg::Rsi, 3)),
+            StoreB(Mem::base(Reg::Rdi), Reg::Rax),
+            Lea(Reg::Rax, Mem::base_index(Reg::Rbx, Reg::Rcx, 4, -32)),
+            Push(Reg::Rbp),
+            PushI(0x1234),
+            Pop(Reg::Rdi),
+            Alu(AluOp::Adc, Reg::Rcx, Reg::Rcx),
+            AluI(AluOp::Add, Reg::Rsp, 0x18),
+            AluM(AluOp::Xor, Reg::Rax, Mem::base(Reg::Rdi)),
+            AluStore(AluOp::Sub, Mem::base_disp(Reg::Rbp, -16), Reg::Rax),
+            Neg(Reg::Rax),
+            Not(Reg::Rdx),
+            Mul(Reg::Rax, Reg::Rbx),
+            MulI(Reg::Rax, Reg::Rbx, 24),
+            Div(Reg::Rax, Reg::Rcx),
+            Rem(Reg::Rdx, Reg::Rcx),
+            Shl(Reg::Rax, 3),
+            Shr(Reg::Rbx, 63),
+            Sar(Reg::Rcx, 1),
+            ShlR(Reg::Rax, Reg::Rcx),
+            ShrR(Reg::Rbx, Reg::Rcx),
+            Cmp(Reg::Rax, Reg::Rbx),
+            CmpI(Reg::Rdi, 0),
+            CmpMI(Mem::base_disp(Reg::Rsp, 8), 42),
+            Test(Reg::Rax, Reg::Rax),
+            TestI(Reg::Rcx, 1),
+            Cmov(Cond::Ne, Reg::Rax, Reg::Rbx),
+            Set(Cond::L, Reg::Rdx),
+            Jmp(-128),
+            JmpReg(Reg::Rax),
+            JmpMem(Mem::base_index(Reg::Rbx, Reg::Rax, 8, 0)),
+            Jcc(Cond::A, 1024),
+            Call(0x1000),
+            CallReg(Reg::R11),
+            Ret,
+            Leave,
+            XchgRR(Reg::Rax, Reg::Rsp),
+            XchgRM(Reg::Rsp, Mem::base(Reg::Rax)),
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for inst in sample_insts() {
+            let bytes = encode(&inst);
+            let (decoded, len) = decode(&bytes).expect("decodes");
+            assert_eq!(decoded, inst);
+            assert_eq!(len, bytes.len());
+            assert_eq!(encoded_len(&inst), bytes.len());
+        }
+    }
+
+    #[test]
+    fn sequence_roundtrips() {
+        let insts = sample_insts();
+        let bytes = encode_all(&insts);
+        let decoded = decode_all(&bytes).expect("decodes");
+        assert_eq!(decoded.len(), insts.len());
+        for ((_, d), orig) in decoded.iter().zip(&insts) {
+            assert_eq!(d, orig);
+        }
+    }
+
+    #[test]
+    fn ret_is_single_byte() {
+        assert_eq!(encode(&Inst::Ret), vec![OP_RET]);
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(decode(&[0xF0]), Err(DecodeError::BadOpcode(0xF0)));
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn truncated_operand_rejected() {
+        let bytes = encode(&Inst::MovRI(Reg::Rax, 0x11223344));
+        assert_eq!(decode(&bytes[..5]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_register_and_scale_rejected() {
+        assert_eq!(decode(&[op::PUSH, 16]), Err(DecodeError::BadRegister(16)));
+        // Load with scale 3.
+        let mut bytes = vec![op::LOAD, 0 /* rax */];
+        bytes.extend_from_slice(&[0xFF, 0xFF, 3, 0, 0, 0, 0]);
+        assert_eq!(decode(&bytes), Err(DecodeError::BadScale(3)));
+    }
+}

@@ -1,0 +1,307 @@
+//! CPU condition flags.
+//!
+//! RM64 keeps the four x86-64 arithmetic flags the ROP encoding cares about:
+//! carry, zero, sign and overflow. The paper's branch encoding leaks one of
+//! these into a register (e.g. `neg rax; adc rcx, rcx` leaks "RAX != 0"
+//! through the carry flag), so the emulator models them bit-exactly for the
+//! operations that chains and the rewriter rely on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The arithmetic condition flags of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Flags {
+    /// Carry flag: unsigned overflow / borrow.
+    pub cf: bool,
+    /// Zero flag: result was zero.
+    pub zf: bool,
+    /// Sign flag: most significant bit of the result.
+    pub sf: bool,
+    /// Overflow flag: signed overflow.
+    pub of: bool,
+}
+
+impl Flags {
+    /// All flags cleared.
+    pub fn cleared() -> Flags {
+        Flags::default()
+    }
+
+    /// Packs the flags into a small integer (bit 0 = CF, 1 = ZF, 2 = SF, 3 = OF).
+    pub fn to_bits(self) -> u8 {
+        (self.cf as u8) | (self.zf as u8) << 1 | (self.sf as u8) << 2 | (self.of as u8) << 3
+    }
+
+    /// Unpacks flags previously packed with [`Flags::to_bits`].
+    pub fn from_bits(bits: u8) -> Flags {
+        Flags {
+            cf: bits & 1 != 0,
+            zf: bits & 2 != 0,
+            sf: bits & 4 != 0,
+            of: bits & 8 != 0,
+        }
+    }
+
+    /// Sets ZF/SF from a 64-bit result (used by logical operations, which
+    /// also clear CF and OF as on x86-64).
+    pub fn set_logic(&mut self, result: u64) {
+        self.cf = false;
+        self.of = false;
+        self.zf = result == 0;
+        self.sf = (result as i64) < 0;
+    }
+
+    /// Updates flags for `a + b (+ carry_in)`.
+    pub fn set_add(&mut self, a: u64, b: u64, carry_in: bool) -> u64 {
+        let (r1, c1) = a.overflowing_add(b);
+        let (r, c2) = r1.overflowing_add(carry_in as u64);
+        self.cf = c1 || c2;
+        self.zf = r == 0;
+        self.sf = (r as i64) < 0;
+        // Signed overflow: operands share sign, result differs.
+        let sa = (a as i64) < 0;
+        let sb = (b as i64) < 0;
+        let sr = (r as i64) < 0;
+        self.of = (sa == sb) && (sr != sa);
+        r
+    }
+
+    /// Updates flags for `a - b (- borrow_in)` and returns the result.
+    pub fn set_sub(&mut self, a: u64, b: u64, borrow_in: bool) -> u64 {
+        let (r1, c1) = a.overflowing_sub(b);
+        let (r, c2) = r1.overflowing_sub(borrow_in as u64);
+        self.cf = c1 || c2;
+        self.zf = r == 0;
+        self.sf = (r as i64) < 0;
+        let sa = (a as i64) < 0;
+        let sb = (b as i64) < 0;
+        let sr = (r as i64) < 0;
+        self.of = (sa != sb) && (sr != sa);
+        r
+    }
+
+    /// Updates flags for `neg a` (two's complement). Matches x86-64: CF is
+    /// set iff the operand was non-zero.
+    pub fn set_neg(&mut self, a: u64) -> u64 {
+        let r = (a as i64).wrapping_neg() as u64;
+        self.cf = a != 0;
+        self.zf = r == 0;
+        self.sf = (r as i64) < 0;
+        self.of = a == i64::MIN as u64;
+        r
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{}]",
+            if self.cf { 'C' } else { '-' },
+            if self.zf { 'Z' } else { '-' },
+            if self.sf { 'S' } else { '-' },
+            if self.of { 'O' } else { '-' }
+        )
+    }
+}
+
+/// Branch/conditional-move conditions, mirroring the x86-64 condition codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal / zero (`ZF`).
+    E = 0,
+    /// Not equal / not zero (`!ZF`).
+    Ne = 1,
+    /// Signed less-than (`SF != OF`).
+    L = 2,
+    /// Signed less-or-equal (`ZF || SF != OF`).
+    Le = 3,
+    /// Signed greater-than (`!ZF && SF == OF`).
+    G = 4,
+    /// Signed greater-or-equal (`SF == OF`).
+    Ge = 5,
+    /// Unsigned below (`CF`).
+    B = 6,
+    /// Unsigned below-or-equal (`CF || ZF`).
+    Be = 7,
+    /// Unsigned above (`!CF && !ZF`).
+    A = 8,
+    /// Unsigned above-or-equal (`!CF`).
+    Ae = 9,
+    /// Sign set.
+    S = 10,
+    /// Sign clear.
+    Ns = 11,
+    /// Overflow set.
+    O = 12,
+    /// Overflow clear.
+    No = 13,
+}
+
+impl Cond {
+    /// All condition codes.
+    pub const ALL: [Cond; 14] = [
+        Cond::E,
+        Cond::Ne,
+        Cond::L,
+        Cond::Le,
+        Cond::G,
+        Cond::Ge,
+        Cond::B,
+        Cond::Be,
+        Cond::A,
+        Cond::Ae,
+        Cond::S,
+        Cond::Ns,
+        Cond::O,
+        Cond::No,
+    ];
+
+    /// Evaluates the condition against a flag state.
+    pub fn eval(self, f: Flags) -> bool {
+        match self {
+            Cond::E => f.zf,
+            Cond::Ne => !f.zf,
+            Cond::L => f.sf != f.of,
+            Cond::Le => f.zf || f.sf != f.of,
+            Cond::G => !f.zf && f.sf == f.of,
+            Cond::Ge => f.sf == f.of,
+            Cond::B => f.cf,
+            Cond::Be => f.cf || f.zf,
+            Cond::A => !f.cf && !f.zf,
+            Cond::Ae => !f.cf,
+            Cond::S => f.sf,
+            Cond::Ns => !f.sf,
+            Cond::O => f.of,
+            Cond::No => !f.of,
+        }
+    }
+
+    /// The logically negated condition (`E` ↔ `Ne`, `L` ↔ `Ge`, …).
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::E => Cond::Ne,
+            Cond::Ne => Cond::E,
+            Cond::L => Cond::Ge,
+            Cond::Ge => Cond::L,
+            Cond::Le => Cond::G,
+            Cond::G => Cond::Le,
+            Cond::B => Cond::Ae,
+            Cond::Ae => Cond::B,
+            Cond::Be => Cond::A,
+            Cond::A => Cond::Be,
+            Cond::S => Cond::Ns,
+            Cond::Ns => Cond::S,
+            Cond::O => Cond::No,
+            Cond::No => Cond::O,
+        }
+    }
+
+    /// Numeric encoding used by the instruction encoder.
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Builds a condition from its numeric encoding.
+    pub fn from_index(idx: u8) -> Option<Cond> {
+        Cond::ALL.get(idx as usize).copied()
+    }
+
+    /// The x86-style mnemonic suffix (e.g. `"ne"`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::L => "l",
+            Cond::Le => "le",
+            Cond::G => "g",
+            Cond::Ge => "ge",
+            Cond::B => "b",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::Ae => "ae",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+            Cond::O => "o",
+            Cond::No => "no",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sets_carry_and_zero() {
+        let mut f = Flags::cleared();
+        let r = f.set_add(u64::MAX, 1, false);
+        assert_eq!(r, 0);
+        assert!(f.cf);
+        assert!(f.zf);
+    }
+
+    #[test]
+    fn sub_sets_borrow() {
+        let mut f = Flags::cleared();
+        let r = f.set_sub(0, 1, false);
+        assert_eq!(r, u64::MAX);
+        assert!(f.cf);
+        assert!(!f.zf);
+        assert!(f.sf);
+    }
+
+    #[test]
+    fn neg_carry_matches_x86() {
+        let mut f = Flags::cleared();
+        assert_eq!(f.set_neg(0), 0);
+        assert!(!f.cf, "neg 0 clears CF");
+        let r = f.set_neg(5);
+        assert_eq!(r as i64, -5);
+        assert!(f.cf, "neg non-zero sets CF");
+    }
+
+    #[test]
+    fn signed_overflow_detected() {
+        let mut f = Flags::cleared();
+        f.set_add(i64::MAX as u64, 1, false);
+        assert!(f.of);
+        f.set_sub(i64::MIN as u64, 1, false);
+        assert!(f.of);
+    }
+
+    #[test]
+    fn cond_negation_is_involutive_and_complementary() {
+        // Exhaustively check every flag combination.
+        for bits in 0..16u8 {
+            let f = Flags::from_bits(bits);
+            for c in Cond::ALL {
+                assert_eq!(c.negate().negate(), c);
+                assert_ne!(c.eval(f), c.negate().eval(f), "cond {c} flags {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn cond_roundtrip_through_index() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_index(c.index()), Some(c));
+        }
+        assert_eq!(Cond::from_index(14), None);
+    }
+
+    #[test]
+    fn flags_roundtrip_bits() {
+        for bits in 0..16u8 {
+            assert_eq!(Flags::from_bits(bits).to_bits(), bits);
+        }
+    }
+}

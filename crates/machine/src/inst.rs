@@ -1,0 +1,608 @@
+//! The RM64 instruction set.
+//!
+//! RM64 is a compact, x86-64-shaped instruction set: variable-length byte
+//! encoding, a hardware stack through `push`/`pop`/`call`/`ret`, condition
+//! flags, conditional moves and memory operands of the form
+//! `base + index*scale + disp`. It is deliberately a *subset* of x86-64 —
+//! just large enough that (a) a small compiler can target it, (b) a ROP chain
+//! written for it uses exactly the idioms of the paper (`pop r; ret`,
+//! `add rsp, r; ret`, `neg`/`adc` flag leaks, `xchg rsp, [mem]; jmp r`), and
+//! (c) byte-level gadget scanning and unaligned decoding behave like on the
+//! real ISA.
+
+use crate::flags::Cond;
+use crate::reg::{Reg, RegSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Binary ALU operations that read and write their destination register and
+/// update the condition flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AluOp {
+    /// Addition.
+    Add = 0,
+    /// Subtraction.
+    Sub = 1,
+    /// Bitwise AND.
+    And = 2,
+    /// Bitwise OR.
+    Or = 3,
+    /// Bitwise XOR.
+    Xor = 4,
+    /// Add-with-carry (reads CF).
+    Adc = 5,
+    /// Subtract-with-borrow (reads CF).
+    Sbb = 6,
+}
+
+impl AluOp {
+    /// All ALU operations.
+    pub const ALL: [AluOp; 7] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Adc,
+        AluOp::Sbb,
+    ];
+
+    /// Numeric encoding.
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes the numeric encoding.
+    pub fn from_index(idx: u8) -> Option<AluOp> {
+        AluOp::ALL.get(idx as usize).copied()
+    }
+
+    /// Whether the operation reads the carry flag.
+    pub fn reads_carry(self) -> bool {
+        matches!(self, AluOp::Adc | AluOp::Sbb)
+    }
+
+    /// Mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Adc => "adc",
+            AluOp::Sbb => "sbb",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A memory operand: `[base + index*scale + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mem {
+    /// Optional base register.
+    pub base: Option<Reg>,
+    /// Optional index register.
+    pub index: Option<Reg>,
+    /// Scale applied to the index register (1, 2, 4 or 8).
+    pub scale: u8,
+    /// Signed displacement.
+    pub disp: i32,
+}
+
+impl Mem {
+    /// `[base]`
+    pub fn base(base: Reg) -> Mem {
+        Mem { base: Some(base), index: None, scale: 1, disp: 0 }
+    }
+
+    /// `[base + disp]`
+    pub fn base_disp(base: Reg, disp: i32) -> Mem {
+        Mem { base: Some(base), index: None, scale: 1, disp }
+    }
+
+    /// `[base + index*scale + disp]`
+    pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i32) -> Mem {
+        Mem { base: Some(base), index: Some(index), scale, disp }
+    }
+
+    /// `[disp]` — absolute addressing (what RIP-relative accesses to global
+    /// storage get rewritten into, §IV-B1).
+    pub fn abs(disp: i32) -> Mem {
+        Mem { base: None, index: None, scale: 1, disp }
+    }
+
+    /// Registers read when computing the effective address.
+    pub fn regs(&self) -> RegSet {
+        let mut s = RegSet::new();
+        if let Some(b) = self.base {
+            s.insert(b);
+        }
+        if let Some(i) = self.index {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Whether the address depends on the stack pointer.
+    pub fn uses_sp(&self) -> bool {
+        self.base == Some(Reg::Rsp) || self.index == Some(Reg::Rsp)
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut wrote = false;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some(i) = self.index {
+            if wrote {
+                write!(f, " + ")?;
+            }
+            write!(f, "{i}*{}", self.scale)?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                if self.disp >= 0 {
+                    write!(f, " + {:#x}", self.disp)?;
+                } else {
+                    write!(f, " - {:#x}", -(self.disp as i64))?;
+                }
+            } else {
+                write!(f, "{:#x}", self.disp)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// A single RM64 instruction.
+///
+/// The operand order follows Intel syntax: destination first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Inst {
+    /// No operation.
+    Nop,
+    /// Halt the machine (used as a top-level sentinel, never emitted by the
+    /// code generator inside functions).
+    Hlt,
+    /// `mov dst, src`
+    MovRR(Reg, Reg),
+    /// `mov dst, imm64`
+    MovRI(Reg, i64),
+    /// `mov dst, qword [mem]`
+    Load(Reg, Mem),
+    /// `mov qword [mem], src`
+    Store(Mem, Reg),
+    /// `mov qword [mem], imm32` (sign-extended)
+    StoreI(Mem, i32),
+    /// `movzx dst, byte [mem]`
+    LoadB(Reg, Mem),
+    /// `movsx dst, byte [mem]`
+    LoadSxB(Reg, Mem),
+    /// `mov byte [mem], src_low8`
+    StoreB(Mem, Reg),
+    /// `lea dst, [mem]`
+    Lea(Reg, Mem),
+    /// `push src`
+    Push(Reg),
+    /// `push imm32` (sign-extended)
+    PushI(i32),
+    /// `pop dst`
+    Pop(Reg),
+    /// `op dst, src`
+    Alu(AluOp, Reg, Reg),
+    /// `op dst, imm32` (sign-extended)
+    AluI(AluOp, Reg, i32),
+    /// `op dst, qword [mem]`
+    AluM(AluOp, Reg, Mem),
+    /// `op qword [mem], src`
+    AluStore(AluOp, Mem, Reg),
+    /// `neg dst`
+    Neg(Reg),
+    /// `not dst`
+    Not(Reg),
+    /// `imul dst, src` (low 64 bits)
+    Mul(Reg, Reg),
+    /// `imul dst, src, imm32`
+    MulI(Reg, Reg, i32),
+    /// `div dst, src` — unsigned division, quotient in `dst`.
+    ///
+    /// This deviates from the x86-64 `RDX:RAX` convention to keep the code
+    /// generator simple; the deviation is irrelevant to the obfuscation.
+    Div(Reg, Reg),
+    /// `rem dst, src` — unsigned remainder in `dst` (same note as [`Inst::Div`]).
+    Rem(Reg, Reg),
+    /// `shl dst, imm8`
+    Shl(Reg, u8),
+    /// `shr dst, imm8` (logical)
+    Shr(Reg, u8),
+    /// `sar dst, imm8` (arithmetic)
+    Sar(Reg, u8),
+    /// `shl dst, src` (variable shift, low 6 bits of `src`)
+    ShlR(Reg, Reg),
+    /// `shr dst, src` (variable logical shift)
+    ShrR(Reg, Reg),
+    /// `cmp a, b`
+    Cmp(Reg, Reg),
+    /// `cmp a, imm32`
+    CmpI(Reg, i32),
+    /// `cmp qword [mem], imm32`
+    CmpMI(Mem, i32),
+    /// `test a, b`
+    Test(Reg, Reg),
+    /// `test a, imm32`
+    TestI(Reg, i32),
+    /// `cmov<cc> dst, src`
+    Cmov(Cond, Reg, Reg),
+    /// `set<cc> dst` — dst = cc ? 1 : 0 (whole register, unlike x86's 8-bit).
+    Set(Cond, Reg),
+    /// `jmp rel32` — relative to the address of the *next* instruction.
+    Jmp(i32),
+    /// `jmp reg`
+    JmpReg(Reg),
+    /// `jmp qword [mem]`
+    JmpMem(Mem),
+    /// `j<cc> rel32`
+    Jcc(Cond, i32),
+    /// `call rel32`
+    Call(i32),
+    /// `call reg`
+    CallReg(Reg),
+    /// `ret`
+    Ret,
+    /// `leave` (`mov rsp, rbp; pop rbp`)
+    Leave,
+    /// `xchg a, b`
+    XchgRR(Reg, Reg),
+    /// `xchg reg, qword [mem]`
+    XchgRM(Reg, Mem),
+}
+
+impl Inst {
+    /// Registers the instruction reads (including address computations and
+    /// the implicit stack-pointer reads of `push`/`pop`/`ret`/`call`).
+    pub fn regs_read(&self) -> RegSet {
+        use Inst::*;
+        let mut s = RegSet::new();
+        match *self {
+            Nop | Hlt => {}
+            MovRR(_, src) => {
+                s.insert(src);
+            }
+            MovRI(_, _) => {}
+            Load(_, m) | LoadB(_, m) | LoadSxB(_, m) | Lea(_, m) => {
+                s = m.regs();
+            }
+            Store(m, src) | StoreB(m, src) | AluStore(_, m, src) => {
+                s = m.regs();
+                s.insert(src);
+            }
+            StoreI(m, _) | CmpMI(m, _) | JmpMem(m) => {
+                s = m.regs();
+            }
+            Push(r) => {
+                s.insert(r);
+                s.insert(Reg::Rsp);
+            }
+            PushI(_) => {
+                s.insert(Reg::Rsp);
+            }
+            Pop(_) => {
+                s.insert(Reg::Rsp);
+            }
+            Alu(_, dst, src) | Mul(dst, src) | Div(dst, src) | Rem(dst, src) | ShlR(dst, src)
+            | ShrR(dst, src) => {
+                s.insert(dst);
+                s.insert(src);
+            }
+            AluI(_, dst, _) | Shl(dst, _) | Shr(dst, _) | Sar(dst, _) | Neg(dst) | Not(dst) => {
+                s.insert(dst);
+            }
+            AluM(_, dst, m) => {
+                s = m.regs();
+                s.insert(dst);
+            }
+            MulI(_, src, _) => {
+                s.insert(src);
+            }
+            Cmp(a, b) | Test(a, b) => {
+                s.insert(a);
+                s.insert(b);
+            }
+            CmpI(a, _) | TestI(a, _) => {
+                s.insert(a);
+            }
+            Cmov(_, dst, src) => {
+                s.insert(dst);
+                s.insert(src);
+            }
+            Set(_, _) => {}
+            Jmp(_) | Jcc(_, _) => {}
+            JmpReg(r) | CallReg(r) => {
+                s.insert(r);
+                if matches!(self, CallReg(_)) {
+                    s.insert(Reg::Rsp);
+                }
+            }
+            Call(_) => {
+                s.insert(Reg::Rsp);
+            }
+            Ret => {
+                s.insert(Reg::Rsp);
+            }
+            Leave => {
+                s.insert(Reg::Rbp);
+                s.insert(Reg::Rsp);
+            }
+            XchgRR(a, b) => {
+                s.insert(a);
+                s.insert(b);
+            }
+            XchgRM(r, m) => {
+                s = m.regs();
+                s.insert(r);
+            }
+        }
+        s
+    }
+
+    /// Registers the instruction writes (including the implicit stack-pointer
+    /// updates of `push`/`pop`/`ret`/`call`).
+    pub fn regs_written(&self) -> RegSet {
+        use Inst::*;
+        let mut s = RegSet::new();
+        match *self {
+            Nop | Hlt | Store(..) | StoreI(..) | StoreB(..) | AluStore(..) | Cmp(..) | CmpI(..)
+            | CmpMI(..) | Test(..) | TestI(..) | Jmp(_) | Jcc(..) | JmpMem(_) => {}
+            MovRR(d, _) | MovRI(d, _) | Load(d, _) | LoadB(d, _) | LoadSxB(d, _) | Lea(d, _)
+            | Alu(_, d, _) | AluI(_, d, _) | AluM(_, d, _) | Neg(d) | Not(d) | Mul(d, _)
+            | MulI(d, _, _) | Div(d, _) | Rem(d, _) | Shl(d, _) | Shr(d, _) | Sar(d, _)
+            | ShlR(d, _) | ShrR(d, _) | Cmov(_, d, _) | Set(_, d) => {
+                s.insert(d);
+            }
+            Push(_) | PushI(_) | Call(_) | CallReg(_) | Ret => {
+                s.insert(Reg::Rsp);
+            }
+            Pop(d) => {
+                s.insert(d);
+                s.insert(Reg::Rsp);
+            }
+            Leave => {
+                s.insert(Reg::Rsp);
+                s.insert(Reg::Rbp);
+            }
+            JmpReg(_) => {}
+            XchgRR(a, b) => {
+                s.insert(a);
+                s.insert(b);
+            }
+            XchgRM(r, _) => {
+                s.insert(r);
+            }
+        }
+        s
+    }
+
+    /// Whether the instruction writes the condition flags.
+    pub fn writes_flags(&self) -> bool {
+        use Inst::*;
+        matches!(
+            self,
+            Alu(..)
+                | AluI(..)
+                | AluM(..)
+                | AluStore(..)
+                | Neg(_)
+                | Not(_)
+                | Mul(..)
+                | MulI(..)
+                | Div(..)
+                | Rem(..)
+                | Shl(..)
+                | Shr(..)
+                | Sar(..)
+                | ShlR(..)
+                | ShrR(..)
+                | Cmp(..)
+                | CmpI(..)
+                | CmpMI(..)
+                | Test(..)
+                | TestI(..)
+        )
+    }
+
+    /// Whether the instruction reads the condition flags.
+    pub fn reads_flags(&self) -> bool {
+        use Inst::*;
+        match self {
+            Jcc(..) | Cmov(..) | Set(..) => true,
+            Alu(op, _, _) | AluI(op, _, _) | AluM(op, _, _) | AluStore(op, _, _) => {
+                op.reads_carry()
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the instruction touches memory (other than the stack pushes
+    /// and pops implied by control flow).
+    pub fn touches_memory(&self) -> bool {
+        use Inst::*;
+        matches!(
+            self,
+            Load(..)
+                | Store(..)
+                | StoreI(..)
+                | LoadB(..)
+                | LoadSxB(..)
+                | StoreB(..)
+                | AluM(..)
+                | AluStore(..)
+                | CmpMI(..)
+                | JmpMem(_)
+                | XchgRM(..)
+                | Push(_)
+                | PushI(_)
+                | Pop(_)
+        )
+    }
+
+    /// Whether the instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        use Inst::*;
+        matches!(self, Jmp(_) | JmpReg(_) | JmpMem(_) | Jcc(..) | Ret | Hlt)
+    }
+
+    /// Whether the instruction is a call (direct or indirect).
+    pub fn is_call(&self) -> bool {
+        matches!(self, Inst::Call(_) | Inst::CallReg(_))
+    }
+
+    /// The memory operand of the instruction, if it has one.
+    pub fn mem_operand(&self) -> Option<Mem> {
+        use Inst::*;
+        match *self {
+            Load(_, m) | Store(m, _) | StoreI(m, _) | LoadB(_, m) | LoadSxB(_, m)
+            | StoreB(m, _) | Lea(_, m) | AluM(_, _, m) | AluStore(_, m, _) | CmpMI(m, _)
+            | JmpMem(m) | XchgRM(_, m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Replaces the memory operand, if the instruction has one.
+    pub fn with_mem_operand(self, new: Mem) -> Inst {
+        use Inst::*;
+        match self {
+            Load(r, _) => Load(r, new),
+            Store(_, r) => Store(new, r),
+            StoreI(_, i) => StoreI(new, i),
+            LoadB(r, _) => LoadB(r, new),
+            LoadSxB(r, _) => LoadSxB(r, new),
+            StoreB(_, r) => StoreB(new, r),
+            Lea(r, _) => Lea(r, new),
+            AluM(op, r, _) => AluM(op, r, new),
+            AluStore(op, _, r) => AluStore(op, new, r),
+            CmpMI(_, i) => CmpMI(new, i),
+            JmpMem(_) => JmpMem(new),
+            XchgRM(r, _) => XchgRM(r, new),
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Inst::*;
+        match *self {
+            Nop => write!(f, "nop"),
+            Hlt => write!(f, "hlt"),
+            MovRR(d, s) => write!(f, "mov {d}, {s}"),
+            MovRI(d, i) => write!(f, "mov {d}, {i:#x}"),
+            Load(d, m) => write!(f, "mov {d}, qword {m}"),
+            Store(m, s) => write!(f, "mov qword {m}, {s}"),
+            StoreI(m, i) => write!(f, "mov qword {m}, {i:#x}"),
+            LoadB(d, m) => write!(f, "movzx {d}, byte {m}"),
+            LoadSxB(d, m) => write!(f, "movsx {d}, byte {m}"),
+            StoreB(m, s) => write!(f, "mov byte {m}, {s}"),
+            Lea(d, m) => write!(f, "lea {d}, {m}"),
+            Push(r) => write!(f, "push {r}"),
+            PushI(i) => write!(f, "push {i:#x}"),
+            Pop(r) => write!(f, "pop {r}"),
+            Alu(op, d, s) => write!(f, "{op} {d}, {s}"),
+            AluI(op, d, i) => write!(f, "{op} {d}, {i:#x}"),
+            AluM(op, d, m) => write!(f, "{op} {d}, qword {m}"),
+            AluStore(op, m, s) => write!(f, "{op} qword {m}, {s}"),
+            Neg(r) => write!(f, "neg {r}"),
+            Not(r) => write!(f, "not {r}"),
+            Mul(d, s) => write!(f, "imul {d}, {s}"),
+            MulI(d, s, i) => write!(f, "imul {d}, {s}, {i:#x}"),
+            Div(d, s) => write!(f, "div {d}, {s}"),
+            Rem(d, s) => write!(f, "rem {d}, {s}"),
+            Shl(r, i) => write!(f, "shl {r}, {i}"),
+            Shr(r, i) => write!(f, "shr {r}, {i}"),
+            Sar(r, i) => write!(f, "sar {r}, {i}"),
+            ShlR(d, s) => write!(f, "shl {d}, {s}"),
+            ShrR(d, s) => write!(f, "shr {d}, {s}"),
+            Cmp(a, b) => write!(f, "cmp {a}, {b}"),
+            CmpI(a, i) => write!(f, "cmp {a}, {i:#x}"),
+            CmpMI(m, i) => write!(f, "cmp qword {m}, {i:#x}"),
+            Test(a, b) => write!(f, "test {a}, {b}"),
+            TestI(a, i) => write!(f, "test {a}, {i:#x}"),
+            Cmov(c, d, s) => write!(f, "cmov{c} {d}, {s}"),
+            Set(c, d) => write!(f, "set{c} {d}"),
+            Jmp(o) => write!(f, "jmp {o:+#x}"),
+            JmpReg(r) => write!(f, "jmp {r}"),
+            JmpMem(m) => write!(f, "jmp qword {m}"),
+            Jcc(c, o) => write!(f, "j{c} {o:+#x}"),
+            Call(o) => write!(f, "call {o:+#x}"),
+            CallReg(r) => write!(f, "call {r}"),
+            Ret => write!(f, "ret"),
+            Leave => write!(f, "leave"),
+            XchgRR(a, b) => write!(f, "xchg {a}, {b}"),
+            XchgRM(r, m) => write!(f, "xchg {r}, qword {m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_touch_stack_pointer() {
+        assert!(Inst::Push(Reg::Rax).regs_read().contains(Reg::Rsp));
+        assert!(Inst::Push(Reg::Rax).regs_written().contains(Reg::Rsp));
+        assert!(Inst::Pop(Reg::Rdi).regs_written().contains(Reg::Rdi));
+        assert!(Inst::Pop(Reg::Rdi).regs_written().contains(Reg::Rsp));
+    }
+
+    #[test]
+    fn adc_reads_flags_add_does_not() {
+        assert!(Inst::Alu(AluOp::Adc, Reg::Rcx, Reg::Rcx).reads_flags());
+        assert!(!Inst::Alu(AluOp::Add, Reg::Rcx, Reg::Rcx).reads_flags());
+        assert!(Inst::Alu(AluOp::Add, Reg::Rcx, Reg::Rcx).writes_flags());
+    }
+
+    #[test]
+    fn terminators_classified() {
+        assert!(Inst::Ret.is_terminator());
+        assert!(Inst::Jmp(4).is_terminator());
+        assert!(Inst::Jcc(Cond::E, -8).is_terminator());
+        assert!(!Inst::Call(0).is_terminator());
+        assert!(!Inst::MovRR(Reg::Rax, Reg::Rbx).is_terminator());
+    }
+
+    #[test]
+    fn mem_operand_roundtrip() {
+        let m = Mem::base_disp(Reg::Rbp, -16);
+        let i = Inst::Load(Reg::Rax, m);
+        assert_eq!(i.mem_operand(), Some(m));
+        let m2 = Mem::base_disp(Reg::R12, 8);
+        assert_eq!(i.with_mem_operand(m2).mem_operand(), Some(m2));
+        assert_eq!(Inst::Ret.mem_operand(), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let i = Inst::AluM(AluOp::Add, Reg::Rax, Mem::base_index(Reg::Rdi, Reg::Rcx, 8, 0x10));
+        assert_eq!(format!("{i}"), "add rax, qword [rdi + rcx*8 + 0x10]");
+    }
+
+    #[test]
+    fn mem_regs_collects_base_and_index() {
+        let m = Mem::base_index(Reg::Rdi, Reg::Rsp, 1, 0);
+        assert!(m.uses_sp());
+        assert_eq!(m.regs().len(), 2);
+        assert!(!Mem::abs(0x100).uses_sp());
+    }
+}

@@ -1,0 +1,121 @@
+//! Sparse byte-addressable guest memory.
+//!
+//! Memory is organized in 4 KiB pages allocated on first touch, which keeps
+//! the emulator cheap even though the guest address space spans text, data,
+//! heap, the native stack and the separate region ROP chains live in.
+
+use std::collections::HashMap;
+
+/// Size of a memory page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Sparse, paged guest memory.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        let key = addr / PAGE_SIZE as u64;
+        self.pages
+            .entry(key)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte. Untouched memory reads as zero.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        let key = addr / PAGE_SIZE as u64;
+        match self.pages.get(&key) {
+            Some(p) => p[(addr % PAGE_SIZE as u64) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let off = (addr % PAGE_SIZE as u64) as usize;
+        self.page_mut(addr)[off] = value;
+    }
+
+    /// Reads a little-endian 64-bit word (may cross a page boundary).
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian 64-bit word.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+    }
+
+    /// Writes all of `bytes` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Number of pages that have been touched.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Resident memory in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0x1234), 0);
+        assert_eq!(m.read_u64(0xdead_beef), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn u64_roundtrip_within_page() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(0x1000), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u8(0x1000), 0x88, "little endian");
+    }
+
+    #[test]
+    fn u64_roundtrip_across_page_boundary() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE as u64 - 3;
+        m.write_u64(addr, u64::MAX - 1);
+        assert_eq!(m.read_u64(addr), u64::MAX - 1);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(0x8000 - 100, &data);
+        let mut back = vec![0u8; 256];
+        m.read_bytes(0x8000 - 100, &mut back);
+        assert_eq!(back, data);
+    }
+}

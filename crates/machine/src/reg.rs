@@ -1,0 +1,307 @@
+//! General-purpose registers of the RM64 machine.
+//!
+//! RM64 mirrors the x86-64 register file: sixteen 64-bit general purpose
+//! registers, one of which ([`Reg::Rsp`]) is the stack pointer that the
+//! return-oriented-programming encoding repurposes as a virtual program
+//! counter. Register identity (not just count) matters to the rewriter:
+//! the ABI argument registers and the callee-saved set follow the SysV
+//! convention so that compiler-shaped code from `raindrop-synth` looks like
+//! the gcc output the paper rewrites.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A general-purpose 64-bit register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Reg {
+    /// Accumulator; function return value.
+    Rax = 0,
+    /// Fourth argument register.
+    Rcx = 1,
+    /// Third argument register.
+    Rdx = 2,
+    /// Callee-saved.
+    Rbx = 3,
+    /// Stack pointer. In ROP chains this acts as the virtual program counter.
+    Rsp = 4,
+    /// Frame pointer (callee-saved).
+    Rbp = 5,
+    /// Second argument register.
+    Rsi = 6,
+    /// First argument register.
+    Rdi = 7,
+    /// Fifth argument register.
+    R8 = 8,
+    /// Sixth argument register.
+    R9 = 9,
+    /// Caller-saved scratch.
+    R10 = 10,
+    /// Caller-saved scratch.
+    R11 = 11,
+    /// Callee-saved.
+    R12 = 12,
+    /// Callee-saved.
+    R13 = 13,
+    /// Callee-saved.
+    R14 = 14,
+    /// Callee-saved.
+    R15 = 15,
+}
+
+impl Reg {
+    /// All sixteen registers in encoding order.
+    pub const ALL: [Reg; 16] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rbx,
+        Reg::Rsp,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Argument-passing registers, in order (SysV-like ABI).
+    pub const ARGS: [Reg; 6] = [Reg::Rdi, Reg::Rsi, Reg::Rdx, Reg::Rcx, Reg::R8, Reg::R9];
+
+    /// Registers a callee must preserve.
+    pub const CALLEE_SAVED: [Reg; 6] = [Reg::Rbx, Reg::Rbp, Reg::R12, Reg::R13, Reg::R14, Reg::R15];
+
+    /// Caller-saved (scratch) registers, excluding the stack pointer.
+    pub const CALLER_SAVED: [Reg; 9] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+    ];
+
+    /// Numeric encoding of the register (0..=15).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a register from its numeric encoding.
+    ///
+    /// Returns `None` when `idx >= 16`.
+    pub fn from_index(idx: u8) -> Option<Reg> {
+        Reg::ALL.get(idx as usize).copied()
+    }
+
+    /// Returns `true` for the stack pointer.
+    #[inline]
+    pub fn is_sp(self) -> bool {
+        self == Reg::Rsp
+    }
+
+    /// The conventional lowercase mnemonic (e.g. `"rax"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Rax => "rax",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rbx => "rbx",
+            Reg::Rsp => "rsp",
+            Reg::Rbp => "rbp",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+            Reg::R8 => "r8",
+            Reg::R9 => "r9",
+            Reg::R10 => "r10",
+            Reg::R11 => "r11",
+            Reg::R12 => "r12",
+            Reg::R13 => "r13",
+            Reg::R14 => "r14",
+            Reg::R15 => "r15",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A compact set of registers, used pervasively by liveness analysis and the
+/// register allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct RegSet(u16);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+    /// The set of all sixteen registers.
+    pub const FULL: RegSet = RegSet(u16::MAX);
+
+    /// Creates an empty set.
+    pub fn new() -> RegSet {
+        RegSet(0)
+    }
+
+    /// Creates a set from an iterator of registers.
+    pub fn from_regs<I: IntoIterator<Item = Reg>>(iter: I) -> RegSet {
+        let mut s = RegSet::new();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// Inserts a register; returns `true` if it was not present.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let bit = 1u16 << r.index();
+        let was = self.0 & bit != 0;
+        self.0 |= bit;
+        !was
+    }
+
+    /// Removes a register; returns `true` if it was present.
+    pub fn remove(&mut self, r: Reg) -> bool {
+        let bit = 1u16 << r.index();
+        let was = self.0 & bit != 0;
+        self.0 &= !bit;
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, r: Reg) -> bool {
+        self.0 & (1u16 << r.index()) != 0
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & !other.0)
+    }
+
+    /// Iterates over the members in encoding order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        let bits = self.0;
+        Reg::ALL
+            .iter()
+            .copied()
+            .filter(move |r| bits & (1u16 << r.index()) != 0)
+    }
+
+    /// Raw bitmask (bit *i* set means register *i* is a member).
+    pub fn bits(&self) -> u16 {
+        self.0
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> Self {
+        RegSet::from_regs(iter)
+    }
+}
+
+impl Extend<Reg> for RegSet {
+    fn extend<T: IntoIterator<Item = Reg>>(&mut self, iter: T) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+impl fmt::Display for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_roundtrip_through_index() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_index(r.index() as u8), Some(r));
+        }
+        assert_eq!(Reg::from_index(16), None);
+    }
+
+    #[test]
+    fn regset_insert_remove_contains() {
+        let mut s = RegSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Reg::Rax));
+        assert!(!s.insert(Reg::Rax));
+        assert!(s.contains(Reg::Rax));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Reg::Rax));
+        assert!(!s.remove(Reg::Rax));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn regset_set_algebra() {
+        let a = RegSet::from_regs([Reg::Rax, Reg::Rbx, Reg::Rcx]);
+        let b = RegSet::from_regs([Reg::Rbx, Reg::Rdx]);
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersection(b).len(), 1);
+        assert!(a.intersection(b).contains(Reg::Rbx));
+        assert_eq!(a.difference(b).len(), 2);
+        assert!(!a.difference(b).contains(Reg::Rbx));
+    }
+
+    #[test]
+    fn regset_iterates_in_encoding_order() {
+        let s = RegSet::from_regs([Reg::Rdi, Reg::Rax, Reg::R15]);
+        let v: Vec<Reg> = s.iter().collect();
+        assert_eq!(v, vec![Reg::Rax, Reg::Rdi, Reg::R15]);
+    }
+
+    #[test]
+    fn abi_sets_are_disjoint_where_expected() {
+        for r in Reg::CALLEE_SAVED {
+            assert!(!Reg::CALLER_SAVED.contains(&r));
+        }
+        assert!(!Reg::CALLER_SAVED.contains(&Reg::Rsp));
+        assert!(!Reg::CALLEE_SAVED.contains(&Reg::Rsp));
+    }
+}

@@ -1,0 +1,727 @@
+//! Instruction-level semantics tests for the RM64 emulator.
+//!
+//! Every test builds a tiny function with the [`Assembler`], runs it through
+//! [`Emulator::call_named`] and checks the architectural effect the ROP
+//! rewriter and the attack tooling rely on (flag behaviour for the
+//! `neg`/`adc` leak idiom, stack discipline of `push`/`pop`/`call`/`ret`,
+//! shift masking, byte loads, `cmov`/`set`, `leave`, `xchg`, …).
+
+use raindrop_machine::{
+    AluOp, Assembler, Cond, EmuError, Emulator, Flags, ImageBuilder, Inst, Mem, Reg, RunExit,
+    DATA_BASE, RETURN_SENTINEL, STACK_TOP,
+};
+
+/// Builds a one-function image and runs it with the given arguments.
+fn run(build: impl FnOnce(&mut Assembler), args: &[u64]) -> u64 {
+    let mut asm = Assembler::new();
+    build(&mut asm);
+    let mut b = ImageBuilder::new();
+    b.add_function("f", asm);
+    let img = b.build().unwrap();
+    let mut emu = Emulator::new(&img);
+    emu.call_named(&img, "f", args).unwrap()
+}
+
+/// Same as [`run`] but returns the emulator for further inspection.
+fn run_emu(build: impl FnOnce(&mut Assembler), args: &[u64]) -> (u64, Emulator) {
+    let mut asm = Assembler::new();
+    build(&mut asm);
+    let mut b = ImageBuilder::new();
+    b.add_function("f", asm);
+    let img = b.build().unwrap();
+    let mut emu = Emulator::new(&img);
+    let r = emu.call_named(&img, "f", args).unwrap();
+    (r, emu)
+}
+
+// --- data movement -------------------------------------------------------
+
+#[test]
+fn mov_between_registers_and_immediates() {
+    let r = run(
+        |a| {
+            a.inst(Inst::MovRI(Reg::Rax, -1))
+                .inst(Inst::MovRR(Reg::Rbx, Reg::Rax))
+                .inst(Inst::MovRI(Reg::Rax, 7))
+                .inst(Inst::Alu(AluOp::Add, Reg::Rax, Reg::Rbx))
+                .inst(Inst::Ret);
+        },
+        &[],
+    );
+    assert_eq!(r, 6, "7 + (-1) wrapping in 64 bits");
+}
+
+#[test]
+fn negative_mov_immediate_is_sign_extended() {
+    let r = run(
+        |a| {
+            a.inst(Inst::MovRI(Reg::Rax, -1234)).inst(Inst::Ret);
+        },
+        &[],
+    );
+    assert_eq!(r, (-1234i64) as u64);
+}
+
+#[test]
+fn load_and_store_roundtrip_through_the_stack_frame() {
+    let r = run(
+        |a| {
+            a.inst(Inst::Push(Reg::Rbp))
+                .inst(Inst::MovRR(Reg::Rbp, Reg::Rsp))
+                .inst(Inst::AluI(AluOp::Sub, Reg::Rsp, 32))
+                .inst(Inst::Store(Mem::base_disp(Reg::Rbp, -8), Reg::Rdi))
+                .inst(Inst::StoreI(Mem::base_disp(Reg::Rbp, -16), 100))
+                .inst(Inst::Load(Reg::Rax, Mem::base_disp(Reg::Rbp, -8)))
+                .inst(Inst::AluM(AluOp::Add, Reg::Rax, Mem::base_disp(Reg::Rbp, -16)))
+                .inst(Inst::Leave)
+                .inst(Inst::Ret);
+        },
+        &[42],
+    );
+    assert_eq!(r, 142);
+}
+
+#[test]
+fn store_immediate_is_sign_extended_to_64_bits() {
+    let r = run(
+        |a| {
+            a.inst(Inst::Push(Reg::Rbp))
+                .inst(Inst::MovRR(Reg::Rbp, Reg::Rsp))
+                .inst(Inst::AluI(AluOp::Sub, Reg::Rsp, 16))
+                .inst(Inst::StoreI(Mem::base_disp(Reg::Rbp, -8), -1))
+                .inst(Inst::Load(Reg::Rax, Mem::base_disp(Reg::Rbp, -8)))
+                .inst(Inst::Leave)
+                .inst(Inst::Ret);
+        },
+        &[],
+    );
+    assert_eq!(r, u64::MAX);
+}
+
+#[test]
+fn byte_loads_zero_and_sign_extend() {
+    // data byte 0x80: LoadB gives 0x80, LoadSxB gives 0xffff...ff80.
+    let mut b = ImageBuilder::new();
+    let mut asm = Assembler::new();
+    asm.lea_sym(Reg::Rcx, "byte_val", 0)
+        .inst(Inst::LoadB(Reg::Rax, Mem::base(Reg::Rcx)))
+        .inst(Inst::LoadSxB(Reg::Rbx, Mem::base(Reg::Rcx)))
+        .inst(Inst::Alu(AluOp::Xor, Reg::Rax, Reg::Rbx))
+        .inst(Inst::Ret);
+    b.add_function("f", asm);
+    b.add_data("byte_val", &[0x80u8]);
+    let img = b.build().unwrap();
+    let mut emu = Emulator::new(&img);
+    let r = emu.call_named(&img, "f", &[]).unwrap();
+    assert_eq!(r, 0x80 ^ 0xffff_ffff_ffff_ff80);
+}
+
+#[test]
+fn byte_store_writes_only_the_low_byte() {
+    let mut b = ImageBuilder::new();
+    let mut asm = Assembler::new();
+    asm.lea_sym(Reg::Rcx, "buf", 0)
+        .inst(Inst::MovRI(Reg::Rdx, 0x1234))
+        .inst(Inst::StoreB(Mem::base(Reg::Rcx), Reg::Rdx))
+        .inst(Inst::Load(Reg::Rax, Mem::base(Reg::Rcx)))
+        .inst(Inst::Ret);
+    b.add_function("f", asm);
+    b.add_data("buf", &[0xff; 8]);
+    let img = b.build().unwrap();
+    let mut emu = Emulator::new(&img);
+    let r = emu.call_named(&img, "f", &[]).unwrap();
+    assert_eq!(r, 0xffff_ffff_ffff_ff34, "only the low byte is replaced");
+}
+
+#[test]
+fn lea_computes_base_index_scale_disp_without_touching_memory() {
+    let (r, emu) = run_emu(
+        |a| {
+            a.inst(Inst::MovRI(Reg::Rbx, 1000))
+                .inst(Inst::MovRI(Reg::Rcx, 3))
+                .inst(Inst::Lea(Reg::Rax, Mem::base_index(Reg::Rbx, Reg::Rcx, 8, 5)))
+                .inst(Inst::Ret);
+        },
+        &[],
+    );
+    assert_eq!(r, 1000 + 3 * 8 + 5);
+    assert_eq!(emu.stats().mem_reads, 1, "only the final `ret` touches memory");
+}
+
+#[test]
+fn xchg_swaps_registers_and_memory() {
+    let mut b = ImageBuilder::new();
+    let mut asm = Assembler::new();
+    asm.lea_sym(Reg::Rcx, "cell", 0)
+        .inst(Inst::MovRI(Reg::Rax, 7))
+        .inst(Inst::MovRI(Reg::Rbx, 9))
+        .inst(Inst::XchgRR(Reg::Rax, Reg::Rbx))
+        // rax = 9, rbx = 7; now swap rax with the memory cell (holds 100).
+        .inst(Inst::XchgRM(Reg::Rax, Mem::base(Reg::Rcx)))
+        // rax = 100, cell = 9. Return rax*1000 + cell + rbx.
+        .inst(Inst::MulI(Reg::Rax, Reg::Rax, 1000))
+        .inst(Inst::AluM(AluOp::Add, Reg::Rax, Mem::base(Reg::Rcx)))
+        .inst(Inst::Alu(AluOp::Add, Reg::Rax, Reg::Rbx))
+        .inst(Inst::Ret);
+    b.add_function("f", asm);
+    b.add_data("cell", &100u64.to_le_bytes());
+    let img = b.build().unwrap();
+    let mut emu = Emulator::new(&img);
+    assert_eq!(emu.call_named(&img, "f", &[]).unwrap(), 100_000 + 9 + 7);
+}
+
+// --- ALU, shifts, multiplication, division -------------------------------
+
+#[test]
+fn alu_reference_semantics() {
+    let cases: [(AluOp, u64, u64, u64); 7] = [
+        (AluOp::Add, 3, 4, 7),
+        (AluOp::Sub, 3, 4, 3u64.wrapping_sub(4)),
+        (AluOp::And, 0b1100, 0b1010, 0b1000),
+        (AluOp::Or, 0b1100, 0b1010, 0b1110),
+        (AluOp::Xor, 0b1100, 0b1010, 0b0110),
+        (AluOp::Adc, u64::MAX, 0, u64::MAX), // carry starts cleared
+        (AluOp::Sbb, 10, 3, 7),
+    ];
+    for (op, a, b, want) in cases {
+        let got = run(
+            |asm| {
+                asm.inst(Inst::MovRR(Reg::Rax, Reg::Rdi))
+                    .inst(Inst::Alu(op, Reg::Rax, Reg::Rsi))
+                    .inst(Inst::Ret);
+            },
+            &[a, b],
+        );
+        assert_eq!(got, want, "{op:?} {a} {b}");
+    }
+}
+
+#[test]
+fn adc_after_neg_implements_the_carry_leak_of_figure_1() {
+    // rcx = (rax != 0) ? 1 : 0, exactly the Figure 1 idiom.
+    for (rax, want) in [(0u64, 0u64), (1, 1), (u64::MAX, 1), (123456, 1)] {
+        let got = run(
+            |asm| {
+                asm.inst(Inst::MovRR(Reg::Rax, Reg::Rdi))
+                    .inst(Inst::MovRI(Reg::Rcx, 0))
+                    .inst(Inst::Neg(Reg::Rax))
+                    .inst(Inst::Alu(AluOp::Adc, Reg::Rcx, Reg::Rcx))
+                    .inst(Inst::MovRR(Reg::Rax, Reg::Rcx))
+                    .inst(Inst::Ret);
+            },
+            &[rax],
+        );
+        assert_eq!(got, want, "rax = {rax}");
+    }
+}
+
+#[test]
+fn sbb_consumes_the_borrow_produced_by_a_previous_compare() {
+    // cmp 1, 2 sets CF (borrow); sbb rax, rax then yields -1.
+    let got = run(
+        |asm| {
+            asm.inst(Inst::MovRI(Reg::Rbx, 1))
+                .inst(Inst::CmpI(Reg::Rbx, 2))
+                .inst(Inst::MovRI(Reg::Rax, 0))
+                .inst(Inst::Alu(AluOp::Sbb, Reg::Rax, Reg::Rax))
+                .inst(Inst::Ret);
+        },
+        &[],
+    );
+    assert_eq!(got, u64::MAX);
+}
+
+#[test]
+fn shifts_mask_their_count_to_six_bits() {
+    let got = run(
+        |asm| {
+            asm.inst(Inst::MovRI(Reg::Rax, 1))
+                .inst(Inst::MovRI(Reg::Rcx, 65)) // 65 & 63 == 1
+                .inst(Inst::ShlR(Reg::Rax, Reg::Rcx))
+                .inst(Inst::Ret);
+        },
+        &[],
+    );
+    assert_eq!(got, 2);
+}
+
+#[test]
+fn arithmetic_shift_preserves_the_sign() {
+    let got = run(
+        |asm| {
+            asm.inst(Inst::MovRI(Reg::Rax, -16))
+                .inst(Inst::Sar(Reg::Rax, 2))
+                .inst(Inst::Ret);
+        },
+        &[],
+    );
+    assert_eq!(got as i64, -4);
+    let logical = run(
+        |asm| {
+            asm.inst(Inst::MovRI(Reg::Rax, -16))
+                .inst(Inst::Shr(Reg::Rax, 2))
+                .inst(Inst::Ret);
+        },
+        &[],
+    );
+    assert_eq!(logical, ((-16i64) as u64) >> 2);
+}
+
+#[test]
+fn multiplication_keeps_the_low_64_bits() {
+    let got = run(
+        |asm| {
+            asm.inst(Inst::MovRR(Reg::Rax, Reg::Rdi))
+                .inst(Inst::Mul(Reg::Rax, Reg::Rsi))
+                .inst(Inst::Ret);
+        },
+        &[u64::MAX, 3],
+    );
+    assert_eq!(got, u64::MAX.wrapping_mul(3));
+}
+
+#[test]
+fn division_and_remainder_are_unsigned() {
+    let q = run(
+        |asm| {
+            asm.inst(Inst::MovRR(Reg::Rax, Reg::Rdi))
+                .inst(Inst::Div(Reg::Rax, Reg::Rsi))
+                .inst(Inst::Ret);
+        },
+        &[u64::MAX, 10],
+    );
+    assert_eq!(q, u64::MAX / 10);
+    let r = run(
+        |asm| {
+            asm.inst(Inst::MovRR(Reg::Rax, Reg::Rdi))
+                .inst(Inst::Rem(Reg::Rax, Reg::Rsi))
+                .inst(Inst::Ret);
+        },
+        &[u64::MAX, 10],
+    );
+    assert_eq!(r, u64::MAX % 10);
+}
+
+#[test]
+fn division_by_zero_is_a_fault_not_a_silent_value() {
+    let mut asm = Assembler::new();
+    asm.inst(Inst::MovRI(Reg::Rax, 10))
+        .inst(Inst::MovRI(Reg::Rbx, 0))
+        .inst(Inst::Div(Reg::Rax, Reg::Rbx))
+        .inst(Inst::Ret);
+    let mut b = ImageBuilder::new();
+    b.add_function("f", asm);
+    let img = b.build().unwrap();
+    let mut emu = Emulator::new(&img);
+    let err = emu.call_named(&img, "f", &[]).unwrap_err();
+    assert!(matches!(err, EmuError::DivideByZero { .. }), "{err:?}");
+}
+
+#[test]
+fn not_leaves_flags_untouched_like_x86() {
+    // Set ZF with a compare, then `not`; a following sete must still see ZF.
+    let got = run(
+        |asm| {
+            asm.inst(Inst::MovRI(Reg::Rbx, 5))
+                .inst(Inst::CmpI(Reg::Rbx, 5))
+                .inst(Inst::Not(Reg::Rbx))
+                .inst(Inst::Set(Cond::E, Reg::Rax))
+                .inst(Inst::Ret);
+        },
+        &[],
+    );
+    assert_eq!(got, 1, "ZF survived the `not`");
+}
+
+// --- conditions, cmov, set ------------------------------------------------
+
+#[test]
+fn all_comparison_conditions_match_their_reference_predicates() {
+    let pairs: [(u64, u64); 6] =
+        [(1, 2), (2, 1), (5, 5), (0, u64::MAX), (u64::MAX, 0), (i64::MIN as u64, 1)];
+    let preds: [(Cond, fn(u64, u64) -> bool); 10] = [
+        (Cond::E, |a, b| a == b),
+        (Cond::Ne, |a, b| a != b),
+        (Cond::L, |a, b| (a as i64) < (b as i64)),
+        (Cond::Le, |a, b| (a as i64) <= (b as i64)),
+        (Cond::G, |a, b| (a as i64) > (b as i64)),
+        (Cond::Ge, |a, b| (a as i64) >= (b as i64)),
+        (Cond::B, |a, b| a < b),
+        (Cond::Be, |a, b| a <= b),
+        (Cond::A, |a, b| a > b),
+        (Cond::Ae, |a, b| a >= b),
+    ];
+    for (a, b) in pairs {
+        for (cond, reference) in preds {
+            let got = run(
+                |asm| {
+                    asm.inst(Inst::Cmp(Reg::Rdi, Reg::Rsi))
+                        .inst(Inst::Set(cond, Reg::Rax))
+                        .inst(Inst::Ret);
+                },
+                &[a, b],
+            );
+            assert_eq!(got, reference(a, b) as u64, "cmp {a}, {b}; set{cond:?}");
+        }
+    }
+}
+
+#[test]
+fn cond_negate_is_an_involution_and_flips_the_outcome() {
+    for cond in Cond::ALL {
+        assert_eq!(cond.negate().negate(), cond);
+        // Exhaustively check every flag combination.
+        for bits in 0..16u8 {
+            let f = Flags::from_bits(bits);
+            assert_eq!(cond.eval(f), !cond.negate().eval(f), "{cond:?} on {f}");
+        }
+    }
+}
+
+#[test]
+fn flags_bits_roundtrip() {
+    for bits in 0..16u8 {
+        assert_eq!(Flags::from_bits(bits).to_bits(), bits);
+    }
+}
+
+#[test]
+fn cmov_only_moves_when_the_condition_holds() {
+    for (a, b) in [(3u64, 9u64), (9, 3), (4, 4)] {
+        let got = run(
+            |asm| {
+                // rax = max(a, b) via cmov.
+                asm.inst(Inst::MovRR(Reg::Rax, Reg::Rdi))
+                    .inst(Inst::Cmp(Reg::Rax, Reg::Rsi))
+                    .inst(Inst::Cmov(Cond::B, Reg::Rax, Reg::Rsi))
+                    .inst(Inst::Ret);
+            },
+            &[a, b],
+        );
+        assert_eq!(got, a.max(b));
+    }
+}
+
+// --- control flow ----------------------------------------------------------
+
+#[test]
+fn conditional_branches_select_the_right_path() {
+    // f(x) = x == 0 ? 111 : 222, with an explicit jcc/jmp diamond.
+    for (x, want) in [(0u64, 111u64), (5, 222)] {
+        let got = run(
+            |asm| {
+                let else_l = asm.new_label();
+                let join = asm.new_label();
+                asm.inst(Inst::TestI(Reg::Rdi, -1));
+                asm.jcc(Cond::Ne, else_l);
+                asm.inst(Inst::MovRI(Reg::Rax, 111));
+                asm.jmp(join);
+                asm.bind(else_l);
+                asm.inst(Inst::MovRI(Reg::Rax, 222));
+                asm.bind(join);
+                asm.inst(Inst::Ret);
+            },
+            &[x],
+        );
+        assert_eq!(got, want, "x = {x}");
+    }
+}
+
+#[test]
+fn loops_terminate_and_accumulate() {
+    // f(n) = sum(1..=n)
+    let got = run(
+        |asm| {
+            let head = asm.new_label();
+            let done = asm.new_label();
+            asm.inst(Inst::MovRI(Reg::Rax, 0)).inst(Inst::MovRI(Reg::Rcx, 1));
+            asm.bind(head);
+            asm.inst(Inst::Cmp(Reg::Rcx, Reg::Rdi));
+            asm.jcc(Cond::A, done);
+            asm.inst(Inst::Alu(AluOp::Add, Reg::Rax, Reg::Rcx));
+            asm.inst(Inst::AluI(AluOp::Add, Reg::Rcx, 1));
+            asm.jmp(head);
+            asm.bind(done);
+            asm.inst(Inst::Ret);
+        },
+        &[100],
+    );
+    assert_eq!(got, 5050);
+}
+
+#[test]
+fn calls_push_the_return_address_and_ret_pops_it() {
+    // callee(x) = x + 1; caller calls it twice.
+    let mut callee = Assembler::new();
+    callee
+        .inst(Inst::MovRR(Reg::Rax, Reg::Rdi))
+        .inst(Inst::AluI(AluOp::Add, Reg::Rax, 1))
+        .inst(Inst::Ret);
+    let mut caller = Assembler::new();
+    caller.call_sym("callee");
+    caller.inst(Inst::MovRR(Reg::Rdi, Reg::Rax));
+    caller.call_sym("callee");
+    caller.inst(Inst::Ret);
+    let mut b = ImageBuilder::new();
+    b.add_function("caller", caller);
+    b.add_function("callee", callee);
+    let img = b.build().unwrap();
+    let mut emu = Emulator::new(&img);
+    assert_eq!(emu.call_named(&img, "caller", &[40]).unwrap(), 42);
+    assert_eq!(emu.stats().calls, 2);
+    assert!(emu.stats().rets >= 3);
+}
+
+#[test]
+fn indirect_calls_through_a_register_work() {
+    let mut callee = Assembler::new();
+    callee.inst(Inst::MovRI(Reg::Rax, 77)).inst(Inst::Ret);
+    let mut caller = Assembler::new();
+    caller.mov_sym_addr(Reg::R10, "callee");
+    caller.inst(Inst::CallReg(Reg::R10));
+    caller.inst(Inst::Ret);
+    let mut b = ImageBuilder::new();
+    b.add_function("caller", caller);
+    b.add_function("callee", callee);
+    let img = b.build().unwrap();
+    let mut emu = Emulator::new(&img);
+    assert_eq!(emu.call_named(&img, "caller", &[]).unwrap(), 77);
+}
+
+#[test]
+fn jmp_through_memory_reads_the_target_from_a_table() {
+    // A one-entry "switch table" holding the address of the target block.
+    let mut target = Assembler::new();
+    target.inst(Inst::MovRI(Reg::Rax, 1234)).inst(Inst::Ret);
+    let mut entry = Assembler::new();
+    entry.lea_sym(Reg::Rcx, "table", 0);
+    entry.inst(Inst::JmpMem(Mem::base(Reg::Rcx)));
+    let mut b = ImageBuilder::new();
+    b.add_function("entry", entry);
+    b.add_function("target", target);
+    b.add_bss("table", 8);
+    let img = b.build().unwrap();
+    let target_addr = img.symbol("target").unwrap();
+    let table = img.symbol("table").unwrap();
+    let mut emu = Emulator::new(&img);
+    emu.mem.write_u64(table, target_addr);
+    assert_eq!(emu.call_named(&img, "entry", &[]).unwrap(), 1234);
+}
+
+#[test]
+fn hlt_exits_with_the_halted_exit_reason() {
+    let mut asm = Assembler::new();
+    asm.inst(Inst::MovRI(Reg::Rax, 9)).inst(Inst::Hlt);
+    let mut b = ImageBuilder::new();
+    b.add_function("f", asm);
+    let img = b.build().unwrap();
+    let mut emu = Emulator::new(&img);
+    emu.cpu.rip = img.symbol("f").unwrap();
+    emu.set_reg(Reg::Rsp, STACK_TOP);
+    assert_eq!(emu.run().unwrap(), RunExit::Halted);
+    assert_eq!(emu.reg(Reg::Rax), 9);
+}
+
+// --- stack discipline and the ROP-relevant pivots --------------------------
+
+#[test]
+fn push_pop_pairs_restore_the_stack_pointer() {
+    let (_, emu) = run_emu(
+        |asm| {
+            asm.inst(Inst::Push(Reg::Rdi))
+                .inst(Inst::Push(Reg::Rsi))
+                .inst(Inst::PushI(33))
+                .inst(Inst::Pop(Reg::Rax))
+                .inst(Inst::Pop(Reg::Rbx))
+                .inst(Inst::Pop(Reg::Rcx))
+                .inst(Inst::Ret);
+        },
+        &[1, 2],
+    );
+    // After a balanced function call the stack pointer is back above the
+    // sentinel slot.
+    assert_eq!(emu.reg(Reg::Rsp), STACK_TOP);
+    assert_eq!(emu.reg(Reg::Rax), 33);
+    assert_eq!(emu.reg(Reg::Rbx), 2);
+    assert_eq!(emu.reg(Reg::Rcx), 1);
+}
+
+#[test]
+fn ret_driven_chain_execution_uses_rsp_as_program_counter() {
+    // Lay two pop-gadgets' addresses in .data and "execute" them by pointing
+    // RSP at the pseudo-chain — the fundamental ROP dispatch the whole
+    // design builds on.
+    let mut b = ImageBuilder::new();
+    let mut stub = Assembler::new();
+    stub.inst(Inst::Ret);
+    b.add_function("stub", stub);
+    let mut img = b.build().unwrap();
+    let g1 = img.append_text(None, &raindrop_machine::encode_all(&[Inst::Pop(Reg::Rax), Inst::Ret]));
+    let g2 = img.append_text(
+        None,
+        &raindrop_machine::encode_all(&[Inst::Alu(AluOp::Add, Reg::Rax, Reg::Rax), Inst::Ret]),
+    );
+    let mut chain = Vec::new();
+    for v in [g1, 21, g2, RETURN_SENTINEL] {
+        chain.extend_from_slice(&v.to_le_bytes());
+    }
+    let chain_addr = img.append_data(Some("chain"), &chain);
+    let mut emu = Emulator::new(&img);
+    emu.set_reg(Reg::Rsp, chain_addr);
+    emu.cpu.rip = img.symbol("stub").unwrap();
+    let exit = emu.run().unwrap();
+    assert_eq!(exit, RunExit::Returned(42));
+}
+
+#[test]
+fn budget_exhaustion_is_reported_not_looped_forever() {
+    let mut asm = Assembler::new();
+    let head = asm.new_label();
+    asm.bind(head);
+    asm.jmp(head);
+    let mut b = ImageBuilder::new();
+    b.add_function("spin", asm);
+    let img = b.build().unwrap();
+    let mut emu = Emulator::new(&img);
+    emu.set_budget(1_000);
+    let err = emu.call_named(&img, "spin", &[]).unwrap_err();
+    match err {
+        EmuError::BudgetExceeded { executed } => assert_eq!(executed, 1_000),
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn decoding_garbage_is_a_fault() {
+    let mut b = ImageBuilder::new();
+    let mut asm = Assembler::new();
+    asm.inst(Inst::Ret);
+    b.add_function("stub", asm);
+    let mut img = b.build().unwrap();
+    let garbage = img.append_text(None, &[0xFF, 0xFE, 0xFD, 0xFC]);
+    let mut emu = Emulator::new(&img);
+    emu.set_reg(Reg::Rsp, STACK_TOP - 8);
+    emu.mem.write_u64(STACK_TOP - 8, RETURN_SENTINEL);
+    emu.cpu.rip = garbage;
+    let err = emu.run().unwrap_err();
+    assert!(matches!(err, EmuError::Decode { .. }), "{err:?}");
+}
+
+// --- statistics, snapshots, traces -----------------------------------------
+
+#[test]
+fn execution_is_deterministic_across_fresh_emulators() {
+    let w = |asm: &mut Assembler| {
+        let head = asm.new_label();
+        let done = asm.new_label();
+        asm.inst(Inst::MovRI(Reg::Rax, 1)).inst(Inst::MovRI(Reg::Rcx, 0));
+        asm.bind(head);
+        asm.inst(Inst::Cmp(Reg::Rcx, Reg::Rdi));
+        asm.jcc(Cond::Ae, done);
+        asm.inst(Inst::MulI(Reg::Rax, Reg::Rax, 3));
+        asm.inst(Inst::AluI(AluOp::Xor, Reg::Rax, 0x55));
+        asm.inst(Inst::AluI(AluOp::Add, Reg::Rcx, 1));
+        asm.jmp(head);
+        asm.bind(done);
+        asm.inst(Inst::Ret);
+    };
+    let (r1, e1) = run_emu(w, &[57]);
+    let (r2, e2) = run_emu(w, &[57]);
+    assert_eq!(r1, r2);
+    assert_eq!(e1.stats(), e2.stats());
+}
+
+#[test]
+fn cycle_accounting_charges_memory_and_division_extra() {
+    let (_, cheap) = run_emu(
+        |a| {
+            a.inst(Inst::MovRI(Reg::Rax, 1)).inst(Inst::Ret);
+        },
+        &[],
+    );
+    let (_, expensive) = run_emu(
+        |a| {
+            a.inst(Inst::MovRI(Reg::Rax, 100))
+                .inst(Inst::MovRI(Reg::Rbx, 3))
+                .inst(Inst::Div(Reg::Rax, Reg::Rbx))
+                .inst(Inst::Ret);
+        },
+        &[],
+    );
+    assert!(expensive.stats().cycles > cheap.stats().cycles + 10);
+    assert!(cheap.stats().cycles >= cheap.stats().instructions);
+}
+
+#[test]
+fn snapshot_and_restore_reproduce_the_same_final_state() {
+    let mut asm = Assembler::new();
+    asm.inst(Inst::MovRR(Reg::Rax, Reg::Rdi))
+        .inst(Inst::MulI(Reg::Rax, Reg::Rax, 7))
+        .inst(Inst::AluI(AluOp::Add, Reg::Rax, 13))
+        .inst(Inst::Ret);
+    let mut b = ImageBuilder::new();
+    b.add_function("f", asm);
+    let img = b.build().unwrap();
+
+    let mut emu = Emulator::new(&img);
+    let snap = emu.snapshot();
+    let first = emu.call_named(&img, "f", &[11]).unwrap();
+    emu.restore(&snap);
+    let second = emu.call_named(&img, "f", &[11]).unwrap();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn traces_record_rets_and_branch_outcomes() {
+    let mut asm = Assembler::new();
+    let skip = asm.new_label();
+    asm.inst(Inst::TestI(Reg::Rdi, -1));
+    asm.jcc(Cond::E, skip);
+    asm.inst(Inst::MovRI(Reg::Rax, 1));
+    asm.bind(skip);
+    asm.inst(Inst::Ret);
+    let mut b = ImageBuilder::new();
+    b.add_function("f", asm);
+    let img = b.build().unwrap();
+    let mut emu = Emulator::new(&img);
+    emu.set_tracing(true);
+    emu.call_named(&img, "f", &[5]).unwrap();
+    let trace = emu.take_trace();
+    assert!(!trace.is_empty());
+    assert_eq!(trace.ret_indices().len(), 1, "one ret executed");
+    let branch = trace.iter().find(|e| matches!(e.inst, Inst::Jcc(..))).unwrap();
+    assert_eq!(branch.branch_taken, Some(false), "input 5 falls through");
+    // The ret entry pops one slot: its RSP delta is +8.
+    let ret_entry = &trace.entries[trace.ret_indices()[0]];
+    assert_eq!(ret_entry.rsp_delta(), 8);
+}
+
+#[test]
+fn heap_allocations_are_aligned_and_disjoint() {
+    let mut asm = Assembler::new();
+    asm.inst(Inst::Ret);
+    let mut b = ImageBuilder::new();
+    b.add_function("f", asm);
+    let img = b.build().unwrap();
+    let mut emu = Emulator::new(&img);
+    let a = emu.heap_alloc(24);
+    let b2 = emu.heap_alloc(100);
+    let c = emu.heap_alloc(1);
+    assert_eq!(a % 16, 0);
+    assert_eq!(b2 % 16, 0);
+    assert!(b2 >= a + 24);
+    assert!(c >= b2 + 100);
+}
+
+#[test]
+fn data_section_contents_are_visible_to_the_program() {
+    let mut b = ImageBuilder::new();
+    let mut asm = Assembler::new();
+    asm.load_sym(Reg::Rax, "value", 0).inst(Inst::Ret);
+    b.add_function("f", asm);
+    b.add_data("value", &0xfeed_face_dead_beefu64.to_le_bytes());
+    let img = b.build().unwrap();
+    assert!(img.symbol("value").unwrap() >= DATA_BASE);
+    let mut emu = Emulator::new(&img);
+    assert_eq!(emu.call_named(&img, "f", &[]).unwrap(), 0xfeed_face_dead_beef);
+}

@@ -1,0 +1,411 @@
+//! Property-based tests over the RM64 ISA: encoding round-trips, flag
+//! semantics against a bit-precise reference, register-set algebra, memory
+//! model behaviour and assembler layout invariants.
+//!
+//! These invariants are what the whole reproduction stands on: the gadget
+//! scanner and the ROP-aware attacker both re-decode bytes at arbitrary
+//! offsets, the chain crafter relies on exact encoded lengths, and the
+//! P1/P2 predicates rely on x86-64-faithful flag behaviour.
+
+use proptest::prelude::*;
+use raindrop_machine::{
+    decode, decode_all, encode, encode_all, encoded_len, AluOp, Assembler, Cond, Emulator, Flags,
+    ImageBuilder, Inst, Mem, Memory, Reg, RegSet,
+};
+
+// --- strategies -------------------------------------------------------------
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0usize..16).prop_map(|i| Reg::ALL[i])
+}
+
+fn any_non_sp_reg() -> impl Strategy<Value = Reg> {
+    any_reg().prop_filter("not rsp", |r| !r.is_sp())
+}
+
+fn any_alu_op() -> impl Strategy<Value = AluOp> {
+    (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+}
+
+fn any_cond() -> impl Strategy<Value = Cond> {
+    (0usize..Cond::ALL.len()).prop_map(|i| Cond::ALL[i])
+}
+
+fn any_mem() -> impl Strategy<Value = Mem> {
+    (any_reg(), any_reg(), 0usize..4, any::<i32>(), any::<bool>(), any::<bool>()).prop_map(
+        |(base, index, scale_idx, disp, with_base, with_index)| {
+            let scale = [1u8, 2, 4, 8][scale_idx];
+            match (with_base, with_index) {
+                (true, true) => Mem::base_index(base, index, scale, disp),
+                (true, false) => Mem::base_disp(base, disp),
+                _ => Mem::abs(disp),
+            }
+        },
+    )
+}
+
+/// A strategy producing every instruction shape the encoder supports.
+fn any_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::Hlt),
+        Just(Inst::Ret),
+        Just(Inst::Leave),
+        (any_reg(), any_reg()).prop_map(|(a, b)| Inst::MovRR(a, b)),
+        (any_reg(), any::<i64>()).prop_map(|(a, v)| Inst::MovRI(a, v)),
+        (any_reg(), any_mem()).prop_map(|(r, m)| Inst::Load(r, m)),
+        (any_mem(), any_reg()).prop_map(|(m, r)| Inst::Store(m, r)),
+        (any_mem(), any::<i32>()).prop_map(|(m, v)| Inst::StoreI(m, v)),
+        (any_reg(), any_mem()).prop_map(|(r, m)| Inst::LoadB(r, m)),
+        (any_reg(), any_mem()).prop_map(|(r, m)| Inst::LoadSxB(r, m)),
+        (any_mem(), any_reg()).prop_map(|(m, r)| Inst::StoreB(m, r)),
+        (any_reg(), any_mem()).prop_map(|(r, m)| Inst::Lea(r, m)),
+        any_reg().prop_map(Inst::Push),
+        any::<i32>().prop_map(Inst::PushI),
+        any_reg().prop_map(Inst::Pop),
+        (any_alu_op(), any_reg(), any_reg()).prop_map(|(op, a, b)| Inst::Alu(op, a, b)),
+        (any_alu_op(), any_reg(), any::<i32>()).prop_map(|(op, a, v)| Inst::AluI(op, a, v)),
+        (any_alu_op(), any_reg(), any_mem()).prop_map(|(op, a, m)| Inst::AluM(op, a, m)),
+        (any_alu_op(), any_mem(), any_reg()).prop_map(|(op, m, r)| Inst::AluStore(op, m, r)),
+        any_reg().prop_map(Inst::Neg),
+        any_reg().prop_map(Inst::Not),
+        (any_reg(), any_reg()).prop_map(|(a, b)| Inst::Mul(a, b)),
+        (any_reg(), any_reg(), any::<i32>()).prop_map(|(a, b, v)| Inst::MulI(a, b, v)),
+        (any_reg(), any_reg()).prop_map(|(a, b)| Inst::Div(a, b)),
+        (any_reg(), any_reg()).prop_map(|(a, b)| Inst::Rem(a, b)),
+        (any_reg(), 0u8..64).prop_map(|(r, i)| Inst::Shl(r, i)),
+        (any_reg(), 0u8..64).prop_map(|(r, i)| Inst::Shr(r, i)),
+        (any_reg(), 0u8..64).prop_map(|(r, i)| Inst::Sar(r, i)),
+        (any_reg(), any_reg()).prop_map(|(a, b)| Inst::ShlR(a, b)),
+        (any_reg(), any_reg()).prop_map(|(a, b)| Inst::ShrR(a, b)),
+        (any_reg(), any_reg()).prop_map(|(a, b)| Inst::Cmp(a, b)),
+        (any_reg(), any::<i32>()).prop_map(|(a, v)| Inst::CmpI(a, v)),
+        (any_mem(), any::<i32>()).prop_map(|(m, v)| Inst::CmpMI(m, v)),
+        (any_reg(), any_reg()).prop_map(|(a, b)| Inst::Test(a, b)),
+        (any_reg(), any::<i32>()).prop_map(|(a, v)| Inst::TestI(a, v)),
+        (any_cond(), any_reg(), any_reg()).prop_map(|(c, a, b)| Inst::Cmov(c, a, b)),
+        (any_cond(), any_reg()).prop_map(|(c, r)| Inst::Set(c, r)),
+        any::<i32>().prop_map(Inst::Jmp),
+        any_reg().prop_map(Inst::JmpReg),
+        any_mem().prop_map(Inst::JmpMem),
+        (any_cond(), any::<i32>()).prop_map(|(c, v)| Inst::Jcc(c, v)),
+        any::<i32>().prop_map(Inst::Call),
+        any_reg().prop_map(Inst::CallReg),
+        (any_reg(), any_reg()).prop_map(|(a, b)| Inst::XchgRR(a, b)),
+        (any_reg(), any_mem()).prop_map(|(r, m)| Inst::XchgRM(r, m)),
+    ]
+}
+
+// --- encoding ---------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// encode → decode is the identity on instructions, and the decoder
+    /// consumes exactly the encoded length.
+    #[test]
+    fn encode_decode_roundtrip(inst in any_inst()) {
+        let bytes = encode(&inst);
+        prop_assert_eq!(bytes.len(), encoded_len(&inst));
+        let (decoded, len) = decode(&bytes).expect("decodes");
+        prop_assert_eq!(len, bytes.len());
+        prop_assert_eq!(decoded, inst);
+    }
+
+    /// decode_all over a concatenation recovers the original sequence with
+    /// correct byte offsets.
+    #[test]
+    fn decode_all_recovers_instruction_streams(insts in prop::collection::vec(any_inst(), 1..24)) {
+        let bytes = encode_all(&insts);
+        let decoded = decode_all(&bytes).expect("whole stream decodes");
+        prop_assert_eq!(decoded.len(), insts.len());
+        let mut expected_off = 0usize;
+        for ((off, inst), original) in decoded.iter().zip(&insts) {
+            prop_assert_eq!(*off, expected_off);
+            prop_assert_eq!(inst, original);
+            expected_off += encoded_len(original);
+        }
+        prop_assert_eq!(expected_off, bytes.len());
+    }
+
+    /// `ret` is a single byte everywhere (the property that makes ret-oriented
+    /// gadget scanning — and gadget confusion — meaningful).
+    #[test]
+    fn ret_is_always_one_byte(prefix in prop::collection::vec(any_inst(), 0..8)) {
+        let mut bytes = encode_all(&prefix);
+        let ret_off = bytes.len();
+        bytes.extend_from_slice(&encode(&Inst::Ret));
+        prop_assert_eq!(bytes.len(), ret_off + 1);
+        prop_assert_eq!(bytes[ret_off], raindrop_machine::OP_RET);
+    }
+
+    /// Register read/write sets never contain more than the architectural
+    /// register count and `regs_written` of a pure read never includes a
+    /// memory base register.
+    #[test]
+    fn register_use_def_sets_are_well_formed(inst in any_inst()) {
+        let reads = inst.regs_read();
+        let writes = inst.regs_written();
+        prop_assert!(reads.len() <= 16);
+        prop_assert!(writes.len() <= 16);
+        // Pure compares/tests/jumps never write a general-purpose register.
+        if matches!(inst, Inst::Cmp(..) | Inst::CmpI(..) | Inst::CmpMI(..) | Inst::Test(..)
+            | Inst::TestI(..) | Inst::Jmp(_) | Inst::Jcc(..) | Inst::JmpReg(_) | Inst::JmpMem(_)
+            | Inst::Store(..) | Inst::StoreI(..) | Inst::StoreB(..) | Inst::Nop | Inst::Hlt) {
+            prop_assert!(writes.difference(RegSet::from_regs([Reg::Rsp])).is_empty(),
+                "{:?} writes {:?}", inst, writes);
+        }
+    }
+}
+
+// --- flags vs. a bit-precise x86-64 reference --------------------------------
+
+/// Reference add with carry, computing CF/ZF/SF/OF the x86-64 way.
+fn ref_add(a: u64, b: u64, cin: bool) -> (u64, bool, bool, bool, bool) {
+    let r = a.wrapping_add(b).wrapping_add(cin as u64);
+    let cf = (a as u128 + b as u128 + cin as u128) > u64::MAX as u128;
+    let zf = r == 0;
+    let sf = (r as i64) < 0;
+    let of = ((a ^ r) & (b ^ r) & 0x8000_0000_0000_0000) != 0;
+    (r, cf, zf, sf, of)
+}
+
+/// Reference subtract with borrow.
+fn ref_sub(a: u64, b: u64, bin: bool) -> (u64, bool, bool, bool, bool) {
+    let r = a.wrapping_sub(b).wrapping_sub(bin as u64);
+    let cf = (a as u128) < (b as u128 + bin as u128);
+    let zf = r == 0;
+    let sf = (r as i64) < 0;
+    let of = ((a ^ b) & (a ^ r) & 0x8000_0000_0000_0000) != 0;
+    (r, cf, zf, sf, of)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn flag_add_matches_x86(a in any::<u64>(), b in any::<u64>(), cin in any::<bool>()) {
+        let mut f = Flags::cleared();
+        let r = f.set_add(a, b, cin);
+        let (er, ecf, ezf, esf, eof) = ref_add(a, b, cin);
+        prop_assert_eq!(r, er);
+        prop_assert_eq!((f.cf, f.zf, f.sf, f.of), (ecf, ezf, esf, eof));
+    }
+
+    #[test]
+    fn flag_sub_matches_x86(a in any::<u64>(), b in any::<u64>(), bin in any::<bool>()) {
+        let mut f = Flags::cleared();
+        let r = f.set_sub(a, b, bin);
+        let (er, ecf, ezf, esf, eof) = ref_sub(a, b, bin);
+        prop_assert_eq!(r, er);
+        prop_assert_eq!((f.cf, f.zf, f.sf, f.of), (ecf, ezf, esf, eof));
+    }
+
+    /// `neg` sets CF exactly when the operand was non-zero: the property the
+    /// Figure 1 branch encoding (and P2's notZero) is built on.
+    #[test]
+    fn flag_neg_carry_tracks_nonzero(a in any::<u64>()) {
+        let mut f = Flags::cleared();
+        let r = f.set_neg(a);
+        prop_assert_eq!(r, (a as i64).wrapping_neg() as u64);
+        prop_assert_eq!(f.cf, a != 0);
+        prop_assert_eq!(f.zf, a == 0);
+    }
+
+    /// Signed/unsigned comparison conditions evaluated on sub-flags agree
+    /// with the native Rust comparisons.
+    #[test]
+    fn conditions_after_compare_match_reference(a in any::<u64>(), b in any::<u64>()) {
+        let mut f = Flags::cleared();
+        f.set_sub(a, b, false);
+        prop_assert_eq!(Cond::E.eval(f), a == b);
+        prop_assert_eq!(Cond::Ne.eval(f), a != b);
+        prop_assert_eq!(Cond::B.eval(f), a < b);
+        prop_assert_eq!(Cond::Be.eval(f), a <= b);
+        prop_assert_eq!(Cond::A.eval(f), a > b);
+        prop_assert_eq!(Cond::Ae.eval(f), a >= b);
+        prop_assert_eq!(Cond::L.eval(f), (a as i64) < (b as i64));
+        prop_assert_eq!(Cond::Le.eval(f), (a as i64) <= (b as i64));
+        prop_assert_eq!(Cond::G.eval(f), (a as i64) > (b as i64));
+        prop_assert_eq!(Cond::Ge.eval(f), (a as i64) >= (b as i64));
+    }
+
+    /// Condition negation flips evaluation for every flag combination.
+    #[test]
+    fn cond_negation_flips(bits in 0u8..16) {
+        let f = Flags::from_bits(bits);
+        for c in Cond::ALL {
+            prop_assert_eq!(c.eval(f), !c.negate().eval(f));
+        }
+    }
+
+    #[test]
+    fn cond_index_roundtrip(idx in 0u8..14) {
+        let c = Cond::from_index(idx).unwrap();
+        prop_assert_eq!(c.index(), idx);
+    }
+}
+
+// --- register sets -----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn regset_algebra(xs in prop::collection::vec(any_reg(), 0..16),
+                      ys in prop::collection::vec(any_reg(), 0..16)) {
+        let a = RegSet::from_regs(xs.iter().copied());
+        let b = RegSet::from_regs(ys.iter().copied());
+        // Union/intersection/difference agree with membership.
+        for r in Reg::ALL {
+            prop_assert_eq!(a.union(b).contains(r), a.contains(r) || b.contains(r));
+            prop_assert_eq!(a.intersection(b).contains(r), a.contains(r) && b.contains(r));
+            prop_assert_eq!(a.difference(b).contains(r), a.contains(r) && !b.contains(r));
+        }
+        // Iteration visits exactly the members.
+        let via_iter = RegSet::from_regs(a.iter());
+        prop_assert_eq!(via_iter, a);
+        prop_assert_eq!(a.len(), Reg::ALL.iter().filter(|r| a.contains(**r)).count());
+        prop_assert_eq!(a.is_empty(), a.len() == 0);
+    }
+
+    #[test]
+    fn regset_insert_remove(r in any_reg(), seed in prop::collection::vec(any_reg(), 0..10)) {
+        let mut s = RegSet::from_regs(seed);
+        let was_present = s.contains(r);
+        let inserted = s.insert(r);
+        prop_assert_eq!(inserted, !was_present);
+        prop_assert!(s.contains(r));
+        let removed = s.remove(r);
+        prop_assert!(removed);
+        prop_assert!(!s.contains(r));
+    }
+
+    #[test]
+    fn reg_index_roundtrip(r in any_reg()) {
+        prop_assert_eq!(Reg::from_index(r.index() as u8), Some(r));
+        prop_assert!(!r.name().is_empty());
+    }
+}
+
+// --- memory model ------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn memory_u64_roundtrips_and_is_little_endian(addr in 0u64..0x10_0000, v in any::<u64>()) {
+        let mut m = Memory::new();
+        m.write_u64(addr, v);
+        prop_assert_eq!(m.read_u64(addr), v);
+        // Byte-wise view is little-endian.
+        for (i, b) in v.to_le_bytes().iter().enumerate() {
+            prop_assert_eq!(m.read_u8(addr + i as u64), *b);
+        }
+    }
+
+    #[test]
+    fn memory_bulk_and_scalar_access_agree(addr in 0u64..0x10_0000,
+                                            data in prop::collection::vec(any::<u8>(), 1..256)) {
+        let mut m = Memory::new();
+        m.write_bytes(addr, &data);
+        let mut back = vec![0u8; data.len()];
+        m.read_bytes(addr, &mut back);
+        prop_assert_eq!(&back, &data);
+        for (i, b) in data.iter().enumerate() {
+            prop_assert_eq!(m.read_u8(addr + i as u64), *b);
+        }
+    }
+
+    #[test]
+    fn unwritten_memory_reads_as_zero(addr in 0u64..0x40_0000) {
+        let m = Memory::new();
+        prop_assert_eq!(m.read_u64(addr), 0);
+        prop_assert_eq!(m.read_u8(addr), 0);
+        prop_assert_eq!(m.resident_pages(), 0);
+    }
+
+    /// Writes that straddle a page boundary land in both pages correctly.
+    #[test]
+    fn cross_page_writes_are_consistent(offset_in_page in 4090u64..4096, v in any::<u64>()) {
+        let mut m = Memory::new();
+        let addr = 8 * 4096 + offset_in_page;
+        m.write_u64(addr, v);
+        prop_assert_eq!(m.read_u64(addr), v);
+        prop_assert!(m.resident_pages() >= 1);
+    }
+}
+
+// --- assembler / emulator agreement ------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A straight-line sequence of register-only arithmetic evaluated by the
+    /// emulator matches an interpreter over the same instructions.
+    #[test]
+    fn straight_line_alu_matches_interpretation(
+        ops in prop::collection::vec((any_alu_op(), any_non_sp_reg(), any::<i32>()), 1..20),
+        init in any::<u64>(),
+    ) {
+        // Interpreter over a 16-register file (flags ignored: no Adc/Sbb).
+        let ops: Vec<_> = ops
+            .into_iter()
+            .filter(|(op, _, _)| !op.reads_carry())
+            .collect();
+        prop_assume!(!ops.is_empty());
+
+        let mut regs = [0u64; 16];
+        regs[Reg::Rdi.index()] = init;
+        for (op, r, imm) in &ops {
+            let a = regs[r.index()];
+            let b = *imm as i64 as u64;
+            let v = match op {
+                AluOp::Add => a.wrapping_add(b),
+                AluOp::Sub => a.wrapping_sub(b),
+                AluOp::And => a & b,
+                AluOp::Or => a | b,
+                AluOp::Xor => a ^ b,
+                AluOp::Adc | AluOp::Sbb => unreachable!("filtered"),
+            };
+            regs[r.index()] = v;
+        }
+
+        let mut asm = Assembler::new();
+        for (op, r, imm) in &ops {
+            asm.inst(Inst::AluI(*op, *r, *imm));
+        }
+        asm.inst(Inst::MovRR(Reg::Rax, ops.last().unwrap().1));
+        asm.inst(Inst::Ret);
+        let mut b = ImageBuilder::new();
+        b.add_function("f", asm);
+        let img = b.build().unwrap();
+        let mut emu = Emulator::new(&img);
+        let got = emu.call_named(&img, "f", &[init]).unwrap();
+        prop_assert_eq!(got, regs[ops.last().unwrap().1.index()]);
+    }
+
+    /// Assembler byte_len matches the built image's function size, and every
+    /// encoded function decodes cleanly from its first byte.
+    #[test]
+    fn assembled_functions_have_consistent_sizes(
+        insts in prop::collection::vec(any_inst().prop_filter("no control flow", |i| {
+            !i.is_terminator() && !i.is_call() && !matches!(i, Inst::Hlt)
+        }), 1..30)
+    ) {
+        let mut asm = Assembler::new();
+        for i in &insts {
+            asm.inst(*i);
+        }
+        asm.inst(Inst::Ret);
+        let expected_len = asm.byte_len();
+        let mut b = ImageBuilder::new();
+        b.add_function("f", asm);
+        let img = b.build().unwrap();
+        let func = img.function("f").unwrap();
+        prop_assert_eq!(func.size as usize, expected_len);
+        let bytes = img.function_bytes("f").unwrap();
+        let decoded = decode_all(bytes).expect("function body decodes");
+        prop_assert_eq!(decoded.len(), insts.len() + 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Tests for the Tigress-style VM obfuscation baseline: semantic
+//! preservation across layers and implicit-VPC settings, label naming of
+//! Table I, nesting cost growth, and per-program ISA randomization.
+
+use raindrop_machine::Emulator;
+use raindrop_obfvm::{apply, ImplicitAt, VmConfig, VmError};
+use raindrop_synth::minic::{BinOp, Expr, Function, Program, Stmt};
+use raindrop_synth::{codegen, generate_randomfun, paper_structures, Goal, Interp, RandomFunConfig};
+
+fn sample_program() -> Program {
+    // f(x) = sum of (x ^ i) * 3 for i in 0..10, with a data-dependent branch.
+    let f = Function {
+        name: "target".into(),
+        params: 1,
+        locals: 2,
+        body: vec![
+            Stmt::Assign(0, Expr::c(0)),
+            Stmt::Assign(1, Expr::c(0)),
+            Stmt::While(
+                Expr::bin(BinOp::Lt, Expr::Var(1), Expr::c(10)),
+                vec![
+                    Stmt::Assign(
+                        0,
+                        Expr::bin(
+                            BinOp::Add,
+                            Expr::Var(0),
+                            Expr::bin(
+                                BinOp::Mul,
+                                Expr::bin(BinOp::Xor, Expr::Arg(0), Expr::Var(1)),
+                                Expr::c(3),
+                            ),
+                        ),
+                    ),
+                    Stmt::Assign(1, Expr::bin(BinOp::Add, Expr::Var(1), Expr::c(1))),
+                ],
+            ),
+            Stmt::If(
+                Expr::bin(BinOp::Gt, Expr::Var(0), Expr::c(1000)),
+                vec![Stmt::Return(Expr::bin(BinOp::Sub, Expr::Var(0), Expr::c(1000)))],
+                vec![Stmt::Return(Expr::Var(0))],
+            ),
+        ],
+    };
+    Program::new().with_function(f)
+}
+
+fn run_native(program: &Program, func: &str, x: u64) -> u64 {
+    let mut interp = Interp::new(program);
+    interp.call(func, &[x]).unwrap()
+}
+
+fn run_compiled(program: &Program, func: &str, x: u64) -> (u64, u64) {
+    let image = codegen::compile(program).unwrap();
+    let mut emu = Emulator::new(&image);
+    emu.set_budget(50_000_000_000);
+    let r = emu.call_named(&image, func, &[x]).unwrap();
+    (r, emu.stats().instructions)
+}
+
+#[test]
+fn every_implicit_setting_preserves_semantics_at_one_layer() {
+    let program = sample_program();
+    let inputs = [0u64, 7, 12345];
+    let expected: Vec<u64> = inputs.iter().map(|x| run_native(&program, "target", *x)).collect();
+
+    for implicit in [ImplicitAt::None, ImplicitAt::First, ImplicitAt::Last, ImplicitAt::All] {
+        let cfg = VmConfig { layers: 1, implicit, seed: 11 };
+        let virtualized = apply(&program, "target", cfg).unwrap();
+        for (x, want) in inputs.iter().zip(&expected) {
+            let (got, _) = run_compiled(&virtualized, "target", *x);
+            assert_eq!(got, *want, "{} diverges on {x}", cfg.label());
+        }
+    }
+}
+
+#[test]
+fn nested_virtualization_preserves_semantics() {
+    let program = sample_program();
+    let inputs = [0u64, 12345];
+    for implicit in [ImplicitAt::None, ImplicitAt::Last] {
+        let cfg = VmConfig { layers: 2, implicit, seed: 11 };
+        let virtualized = apply(&program, "target", cfg).unwrap();
+        for x in inputs {
+            let (got, _) = run_compiled(&virtualized, "target", x);
+            assert_eq!(got, run_native(&program, "target", x), "{} diverges on {x}", cfg.label());
+        }
+    }
+}
+
+#[test]
+fn labels_match_table_i_terminology() {
+    assert_eq!(VmConfig::plain(2).label(), "2VM");
+    assert_eq!(VmConfig::with_implicit(1, ImplicitAt::All).label(), "1VM-IMPall");
+    assert_eq!(VmConfig::with_implicit(3, ImplicitAt::First).label(), "3VM-IMPfirst");
+    assert_eq!(VmConfig::with_implicit(2, ImplicitAt::Last).label(), "2VM-IMPlast");
+}
+
+#[test]
+fn virtualization_cost_grows_with_nesting_and_implicit_flows() {
+    let program = sample_program();
+    let (_, native_cost) = run_compiled(&program, "target", 7);
+
+    let vm1 = apply(&program, "target", VmConfig::plain(1)).unwrap();
+    let (_, vm1_cost) = run_compiled(&vm1, "target", 7);
+    let vm2 = apply(&program, "target", VmConfig::plain(2)).unwrap();
+    let (_, vm2_cost) = run_compiled(&vm2, "target", 7);
+    let vm2_imp = apply(&program, "target", VmConfig::with_implicit(2, ImplicitAt::Last)).unwrap();
+    let (_, vm2_imp_cost) = run_compiled(&vm2_imp, "target", 7);
+
+    assert!(vm1_cost > native_cost * 3, "one VM layer costs at least a few dispatches per op");
+    assert!(vm2_cost > vm1_cost * 3, "nesting multiplies the interpretation overhead");
+    assert!(vm2_imp_cost > vm2_cost, "implicit VPC loads add further work");
+}
+
+#[test]
+fn different_seeds_randomize_the_bytecode_encoding() {
+    let program = sample_program();
+    let a = apply(&program, "target", VmConfig { layers: 1, implicit: ImplicitAt::None, seed: 1 })
+        .unwrap();
+    let b = apply(&program, "target", VmConfig { layers: 1, implicit: ImplicitAt::None, seed: 2 })
+        .unwrap();
+    // The generated programs (bytecode tables and/or handler order) differ,
+    // but both behave like the original.
+    assert_ne!(a, b, "per-program random instruction sets");
+    for x in [3u64, 99] {
+        assert_eq!(run_compiled(&a, "target", x).0, run_native(&program, "target", x));
+        assert_eq!(run_compiled(&b, "target", x).0, run_native(&program, "target", x));
+    }
+}
+
+#[test]
+fn virtualizing_an_unknown_function_is_an_error() {
+    let program = sample_program();
+    let err = apply(&program, "missing", VmConfig::plain(1)).unwrap_err();
+    assert!(matches!(err, VmError::UnknownFunction(_) | VmError::Unsupported(_)), "{err:?}");
+}
+
+#[test]
+fn randomfuns_survive_virtualization_and_keep_their_secret() {
+    let (name, structure) = paper_structures().into_iter().next().unwrap();
+    let rf = generate_randomfun(RandomFunConfig {
+        structure,
+        structure_name: name,
+        input_size: 1,
+        seed: 5,
+        goal: Goal::SecretFinding,
+        loop_size: 2,
+    });
+    let vm = apply(&rf.program, &rf.name, VmConfig::with_implicit(1, ImplicitAt::All)).unwrap();
+    let image = codegen::compile(&vm).unwrap();
+    let mut emu = Emulator::new(&image);
+    emu.set_budget(20_000_000_000);
+    assert_eq!(
+        emu.call_named(&image, &rf.name, &[rf.secret_input]).unwrap(),
+        1,
+        "the virtualized point test still accepts the secret"
+    );
+    let mut emu = Emulator::new(&image);
+    emu.set_budget(20_000_000_000);
+    let other = (rf.secret_input ^ 1) & rf.input_mask();
+    if other != rf.secret_input {
+        assert_eq!(emu.call_named(&image, &rf.name, &[other]).unwrap(), 0);
+    }
+}
+
+#[test]
+fn vm_and_rop_obfuscation_compose_like_section_iv_c_claims() {
+    // The paper notes the rewriter could ingest code already protected by
+    // Tigress VM obfuscation. Reproduce that: virtualize first, compile,
+    // then ROP-rewrite the virtualized function.
+    use raindrop::{Rewriter, RopConfig};
+    let program = sample_program();
+    let vm = apply(&program, "target", VmConfig::plain(1)).unwrap();
+    let mut image = codegen::compile(&vm).unwrap();
+    let original = image.clone();
+    let mut rewriter = Rewriter::new(&mut image, RopConfig::ropk(0.05).with_seed(3));
+    rewriter.rewrite_function(&mut image, "target").unwrap();
+    for x in [0u64, 7, 12345] {
+        let mut e_vm = Emulator::new(&original);
+        e_vm.set_budget(50_000_000_000);
+        let mut e_both = Emulator::new(&image);
+        e_both.set_budget(50_000_000_000);
+        let want = e_vm.call_named(&original, "target", &[x]).unwrap();
+        assert_eq!(want, run_native(&program, "target", x));
+        assert_eq!(e_both.call_named(&image, "target", &[x]).unwrap(), want);
+    }
+}

@@ -1,0 +1,459 @@
+//! MiniC → RM64 code generation.
+//!
+//! A deliberately simple, gcc-`-O0`-shaped code generator: every function
+//! gets a frame pointer, locals live in stack slots, expressions are
+//! evaluated through `rax`/`rcx` with the hardware stack holding
+//! intermediates, and comparisons compile to the `cmp`/`j<cc>` (or
+//! `cmp`/`set<cc>`) idioms the ROP rewriter's branch encoding expects. The
+//! output is a linked [`Image`] ready to be executed, rewritten or
+//! virtualized.
+
+use crate::minic::{BinOp, Expr, Function, Program, Stmt, UnOp, MAX_PROBES, PROBE_ARRAY};
+use raindrop_machine::{
+    AluOp, AsmError, Assembler, Cond, Image, ImageBuilder, Inst, Mem, Reg,
+};
+
+/// Compiles a MiniC program into a linked image.
+///
+/// # Errors
+///
+/// Fails when linking fails (unknown callee, displacement overflow).
+pub fn compile(program: &Program) -> Result<Image, AsmError> {
+    let mut builder = ImageBuilder::new();
+    builder.add_bss(PROBE_ARRAY, MAX_PROBES * 8);
+    for g in &program.globals {
+        builder.add_data(g.name.clone(), &g.bytes);
+    }
+    for f in &program.functions {
+        let asm = compile_function(f)?;
+        builder.add_function(f.name.clone(), asm);
+    }
+    builder.build()
+}
+
+struct FnCtx<'a> {
+    f: &'a Function,
+    asm: Assembler,
+}
+
+impl<'a> FnCtx<'a> {
+    fn local_slot(&self, id: usize) -> Mem {
+        Mem::base_disp(Reg::Rbp, -8 * (id as i32 + 1))
+    }
+
+    fn arg_slot(&self, idx: usize) -> Mem {
+        Mem::base_disp(Reg::Rbp, -8 * ((self.f.locals + idx) as i32 + 1))
+    }
+
+    fn frame_size(&self) -> i32 {
+        let slots = self.f.locals + self.f.params;
+        let bytes = 8 * slots as i32;
+        (bytes + 15) & !15
+    }
+}
+
+fn cond_of(op: BinOp) -> Option<Cond> {
+    Some(match op {
+        BinOp::Eq => Cond::E,
+        BinOp::Ne => Cond::Ne,
+        BinOp::Lt => Cond::B,
+        BinOp::Le => Cond::Be,
+        BinOp::Gt => Cond::A,
+        BinOp::Ge => Cond::Ae,
+        _ => return None,
+    })
+}
+
+/// Compiles a single function to an assembler body.
+///
+/// # Errors
+///
+/// Currently infallible at this stage (errors surface at link time), but the
+/// signature leaves room for per-function validation.
+pub fn compile_function(f: &Function) -> Result<Assembler, AsmError> {
+    let mut ctx = FnCtx { f, asm: Assembler::new() };
+    // Prologue.
+    ctx.asm.inst(Inst::Push(Reg::Rbp));
+    ctx.asm.inst(Inst::MovRR(Reg::Rbp, Reg::Rsp));
+    ctx.asm.inst(Inst::AluI(AluOp::Sub, Reg::Rsp, ctx.frame_size() + 16));
+    for i in 0..f.params.min(Reg::ARGS.len()) {
+        let slot = ctx.arg_slot(i);
+        ctx.asm.inst(Inst::Store(slot, Reg::ARGS[i]));
+    }
+    gen_stmts(&mut ctx, &f.body);
+    // Implicit `return 0` so every path ends in a well-formed epilogue.
+    ctx.asm.inst(Inst::MovRI(Reg::Rax, 0));
+    ctx.asm.inst(Inst::Leave);
+    ctx.asm.inst(Inst::Ret);
+    Ok(ctx.asm)
+}
+
+fn gen_stmts(ctx: &mut FnCtx<'_>, stmts: &[Stmt]) {
+    for s in stmts {
+        gen_stmt(ctx, s);
+    }
+}
+
+fn gen_stmt(ctx: &mut FnCtx<'_>, stmt: &Stmt) {
+    match stmt {
+        Stmt::Assign(v, e) => {
+            gen_expr(ctx, e);
+            let slot = ctx.local_slot(*v);
+            ctx.asm.inst(Inst::Store(slot, Reg::Rax));
+        }
+        Stmt::Store(addr, value) => {
+            gen_expr(ctx, addr);
+            ctx.asm.inst(Inst::Push(Reg::Rax));
+            gen_expr(ctx, value);
+            ctx.asm.inst(Inst::MovRR(Reg::Rcx, Reg::Rax));
+            ctx.asm.inst(Inst::Pop(Reg::Rax));
+            ctx.asm.inst(Inst::Store(Mem::base(Reg::Rax), Reg::Rcx));
+        }
+        Stmt::StoreByte(addr, value) => {
+            gen_expr(ctx, addr);
+            ctx.asm.inst(Inst::Push(Reg::Rax));
+            gen_expr(ctx, value);
+            ctx.asm.inst(Inst::MovRR(Reg::Rcx, Reg::Rax));
+            ctx.asm.inst(Inst::Pop(Reg::Rax));
+            ctx.asm.inst(Inst::StoreB(Mem::base(Reg::Rax), Reg::Rcx));
+        }
+        Stmt::If(cond, then_branch, else_branch) => {
+            let else_l = ctx.asm.new_label();
+            let end_l = ctx.asm.new_label();
+            gen_branch_condition(ctx, cond, else_l);
+            gen_stmts(ctx, then_branch);
+            ctx.asm.jmp(end_l);
+            ctx.asm.bind(else_l);
+            gen_stmts(ctx, else_branch);
+            ctx.asm.bind(end_l);
+        }
+        Stmt::While(cond, body) => {
+            let head = ctx.asm.new_label();
+            let exit = ctx.asm.new_label();
+            ctx.asm.bind(head);
+            gen_branch_condition(ctx, cond, exit);
+            gen_stmts(ctx, body);
+            ctx.asm.jmp(head);
+            ctx.asm.bind(exit);
+        }
+        Stmt::Return(e) => {
+            gen_expr(ctx, e);
+            ctx.asm.inst(Inst::Leave);
+            ctx.asm.inst(Inst::Ret);
+        }
+        Stmt::ExprStmt(e) => gen_expr(ctx, e),
+        Stmt::Probe(id) => {
+            // __probes[id] = 1, through a scratch register so the store uses
+            // plain absolute addressing resolved at link time.
+            ctx.asm.lea_sym(Reg::Rcx, PROBE_ARRAY, (*id as i32) * 8);
+            ctx.asm.inst(Inst::StoreI(Mem::base(Reg::Rcx), 1));
+        }
+    }
+}
+
+/// Emits the comparison + conditional jump to `false_target` taken when
+/// `cond` is false. Keeps `cmp` adjacent to `j<cc>` — the flag-liveness
+/// pattern the ROP rewriter's branch lowering (and P2) relies on.
+fn gen_branch_condition(ctx: &mut FnCtx<'_>, cond: &Expr, false_target: raindrop_machine::Label) {
+    if let Expr::Bin(op, a, b) = cond {
+        if let Some(cc) = cond_of(*op) {
+            gen_expr(ctx, a);
+            ctx.asm.inst(Inst::Push(Reg::Rax));
+            gen_expr(ctx, b);
+            ctx.asm.inst(Inst::MovRR(Reg::Rcx, Reg::Rax));
+            ctx.asm.inst(Inst::Pop(Reg::Rax));
+            ctx.asm.inst(Inst::Cmp(Reg::Rax, Reg::Rcx));
+            ctx.asm.jcc(cc.negate(), false_target);
+            return;
+        }
+    }
+    gen_expr(ctx, cond);
+    ctx.asm.inst(Inst::Test(Reg::Rax, Reg::Rax));
+    ctx.asm.jcc(Cond::E, false_target);
+}
+
+fn gen_expr(ctx: &mut FnCtx<'_>, expr: &Expr) {
+    match expr {
+        Expr::Const(v) => {
+            ctx.asm.inst(Inst::MovRI(Reg::Rax, *v));
+        }
+        Expr::Var(id) => {
+            let slot = ctx.local_slot(*id);
+            ctx.asm.inst(Inst::Load(Reg::Rax, slot));
+        }
+        Expr::Arg(i) => {
+            let slot = ctx.arg_slot(*i);
+            ctx.asm.inst(Inst::Load(Reg::Rax, slot));
+        }
+        Expr::GlobalAddr(name) => {
+            ctx.asm.mov_sym_addr(Reg::Rax, name.clone());
+        }
+        Expr::Un(op, a) => {
+            gen_expr(ctx, a);
+            match op {
+                UnOp::Neg => ctx.asm.inst(Inst::Neg(Reg::Rax)),
+                UnOp::Not => ctx.asm.inst(Inst::Not(Reg::Rax)),
+            };
+        }
+        Expr::Load(addr) => {
+            gen_expr(ctx, addr);
+            ctx.asm.inst(Inst::Load(Reg::Rax, Mem::base(Reg::Rax)));
+        }
+        Expr::LoadByte(addr) => {
+            gen_expr(ctx, addr);
+            ctx.asm.inst(Inst::LoadB(Reg::Rax, Mem::base(Reg::Rax)));
+        }
+        Expr::Call(name, args) => {
+            assert!(args.len() <= Reg::ARGS.len(), "at most 6 arguments supported");
+            for a in args {
+                gen_expr(ctx, a);
+                ctx.asm.inst(Inst::Push(Reg::Rax));
+            }
+            for i in (0..args.len()).rev() {
+                ctx.asm.inst(Inst::Pop(Reg::ARGS[i]));
+            }
+            ctx.asm.call_sym(name.clone());
+        }
+        Expr::Bin(op, a, b) => {
+            gen_expr(ctx, a);
+            ctx.asm.inst(Inst::Push(Reg::Rax));
+            gen_expr(ctx, b);
+            ctx.asm.inst(Inst::MovRR(Reg::Rcx, Reg::Rax));
+            ctx.asm.inst(Inst::Pop(Reg::Rax));
+            gen_binop(ctx, *op);
+        }
+    }
+}
+
+fn gen_binop(ctx: &mut FnCtx<'_>, op: BinOp) {
+    match op {
+        BinOp::Add => {
+            ctx.asm.inst(Inst::Alu(AluOp::Add, Reg::Rax, Reg::Rcx));
+        }
+        BinOp::Sub => {
+            ctx.asm.inst(Inst::Alu(AluOp::Sub, Reg::Rax, Reg::Rcx));
+        }
+        BinOp::And => {
+            ctx.asm.inst(Inst::Alu(AluOp::And, Reg::Rax, Reg::Rcx));
+        }
+        BinOp::Or => {
+            ctx.asm.inst(Inst::Alu(AluOp::Or, Reg::Rax, Reg::Rcx));
+        }
+        BinOp::Xor => {
+            ctx.asm.inst(Inst::Alu(AluOp::Xor, Reg::Rax, Reg::Rcx));
+        }
+        BinOp::Mul => {
+            ctx.asm.inst(Inst::Mul(Reg::Rax, Reg::Rcx));
+        }
+        BinOp::Shl => {
+            ctx.asm.inst(Inst::ShlR(Reg::Rax, Reg::Rcx));
+        }
+        BinOp::Shr => {
+            ctx.asm.inst(Inst::ShrR(Reg::Rax, Reg::Rcx));
+        }
+        BinOp::Div | BinOp::Rem => {
+            // MiniC defines x/0 = 0 and x%0 = x, so guard the hardware
+            // divide (which faults on zero).
+            let zero = ctx.asm.new_label();
+            let done = ctx.asm.new_label();
+            ctx.asm.inst(Inst::Test(Reg::Rcx, Reg::Rcx));
+            ctx.asm.jcc(Cond::E, zero);
+            let inst = if op == BinOp::Div {
+                Inst::Div(Reg::Rax, Reg::Rcx)
+            } else {
+                Inst::Rem(Reg::Rax, Reg::Rcx)
+            };
+            ctx.asm.inst(inst);
+            ctx.asm.jmp(done);
+            ctx.asm.bind(zero);
+            if op == BinOp::Div {
+                ctx.asm.inst(Inst::MovRI(Reg::Rax, 0));
+            }
+            ctx.asm.bind(done);
+        }
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let cc = cond_of(op).expect("comparison");
+            ctx.asm.inst(Inst::Cmp(Reg::Rax, Reg::Rcx));
+            ctx.asm.inst(Inst::Set(cc, Reg::Rax));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minic::Global;
+    use raindrop_machine::Emulator;
+
+    fn run(p: &Program, func: &str, args: &[u64]) -> u64 {
+        let img = compile(p).unwrap();
+        let mut emu = Emulator::new(&img);
+        emu.call_named(&img, func, args).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_comparisons() {
+        // f(a, b) = (a*3 + b) ^ (a < b)
+        let f = Function {
+            name: "f".into(),
+            params: 2,
+            locals: 1,
+            body: vec![
+                Stmt::Assign(
+                    0,
+                    Expr::bin(
+                        BinOp::Xor,
+                        Expr::bin(
+                            BinOp::Add,
+                            Expr::bin(BinOp::Mul, Expr::Arg(0), Expr::c(3)),
+                            Expr::Arg(1),
+                        ),
+                        Expr::bin(BinOp::Lt, Expr::Arg(0), Expr::Arg(1)),
+                    ),
+                ),
+                Stmt::Return(Expr::Var(0)),
+            ],
+        };
+        let p = Program::new().with_function(f);
+        assert_eq!(run(&p, "f", &[2, 10]), (2 * 3 + 10) ^ 1);
+        assert_eq!(run(&p, "f", &[10, 2]), (10 * 3 + 2) ^ 0);
+    }
+
+    #[test]
+    fn control_flow_loops_and_ifs() {
+        // sum of 1..=n for even n, n*2 otherwise
+        let f = Function {
+            name: "f".into(),
+            params: 1,
+            locals: 2,
+            body: vec![
+                Stmt::Assign(0, Expr::c(0)),
+                Stmt::Assign(1, Expr::Arg(0)),
+                Stmt::If(
+                    Expr::bin(BinOp::Eq, Expr::bin(BinOp::And, Expr::Arg(0), Expr::c(1)), Expr::c(0)),
+                    vec![Stmt::While(
+                        Expr::bin(BinOp::Gt, Expr::Var(1), Expr::c(0)),
+                        vec![
+                            Stmt::Assign(0, Expr::bin(BinOp::Add, Expr::Var(0), Expr::Var(1))),
+                            Stmt::Assign(1, Expr::bin(BinOp::Sub, Expr::Var(1), Expr::c(1))),
+                        ],
+                    )],
+                    vec![Stmt::Assign(0, Expr::bin(BinOp::Mul, Expr::Arg(0), Expr::c(2)))],
+                ),
+                Stmt::Return(Expr::Var(0)),
+            ],
+        };
+        let p = Program::new().with_function(f);
+        assert_eq!(run(&p, "f", &[10]), 55);
+        assert_eq!(run(&p, "f", &[7]), 14);
+    }
+
+    #[test]
+    fn division_by_zero_is_total() {
+        let f = Function {
+            name: "d".into(),
+            params: 2,
+            locals: 0,
+            body: vec![Stmt::Return(Expr::bin(BinOp::Div, Expr::Arg(0), Expr::Arg(1)))],
+        };
+        let p = Program::new().with_function(f);
+        assert_eq!(run(&p, "d", &[12, 4]), 3);
+        assert_eq!(run(&p, "d", &[12, 0]), 0);
+    }
+
+    #[test]
+    fn globals_memory_and_calls() {
+        // helper(x) = x + 1; f(i) = table[i] + helper(i), table = [10,20,30]
+        let mut table = Vec::new();
+        for v in [10u64, 20, 30] {
+            table.extend_from_slice(&v.to_le_bytes());
+        }
+        let helper = Function {
+            name: "helper".into(),
+            params: 1,
+            locals: 0,
+            body: vec![Stmt::Return(Expr::bin(BinOp::Add, Expr::Arg(0), Expr::c(1)))],
+        };
+        let f = Function {
+            name: "f".into(),
+            params: 1,
+            locals: 1,
+            body: vec![
+                Stmt::Assign(
+                    0,
+                    Expr::Load(Box::new(Expr::bin(
+                        BinOp::Add,
+                        Expr::GlobalAddr("table".into()),
+                        Expr::bin(BinOp::Mul, Expr::Arg(0), Expr::c(8)),
+                    ))),
+                ),
+                Stmt::Return(Expr::bin(
+                    BinOp::Add,
+                    Expr::Var(0),
+                    Expr::Call("helper".into(), vec![Expr::Arg(0)]),
+                )),
+            ],
+        };
+        let p = Program { functions: vec![helper, f], globals: vec![Global { name: "table".into(), bytes: table }] };
+        assert_eq!(run(&p, "f", &[0]), 10 + 1);
+        assert_eq!(run(&p, "f", &[2]), 30 + 3);
+    }
+
+    #[test]
+    fn probes_write_into_the_probe_array() {
+        let f = Function {
+            name: "probed".into(),
+            params: 1,
+            locals: 0,
+            body: vec![
+                Stmt::Probe(0),
+                Stmt::If(
+                    Expr::bin(BinOp::Eq, Expr::Arg(0), Expr::c(1)),
+                    vec![Stmt::Probe(1)],
+                    vec![Stmt::Probe(2)],
+                ),
+                Stmt::Return(Expr::c(0)),
+            ],
+        };
+        let p = Program::new().with_function(f);
+        let img = compile(&p).unwrap();
+        let probes = img.symbol(PROBE_ARRAY).unwrap();
+        let mut emu = Emulator::new(&img);
+        emu.call_named(&img, "probed", &[1]).unwrap();
+        assert_eq!(emu.mem.read_u64(probes), 1);
+        assert_eq!(emu.mem.read_u64(probes + 8), 1);
+        assert_eq!(emu.mem.read_u64(probes + 16), 0);
+    }
+
+    #[test]
+    fn bytes_and_stores() {
+        // Writes "ab" into a buffer and reads it back combined.
+        let f = Function {
+            name: "bytes".into(),
+            params: 0,
+            locals: 0,
+            body: vec![
+                Stmt::StoreByte(Expr::GlobalAddr("buf".into()), Expr::c(0x61)),
+                Stmt::StoreByte(
+                    Expr::bin(BinOp::Add, Expr::GlobalAddr("buf".into()), Expr::c(1)),
+                    Expr::c(0x62),
+                ),
+                Stmt::Return(Expr::bin(
+                    BinOp::Add,
+                    Expr::LoadByte(Box::new(Expr::GlobalAddr("buf".into()))),
+                    Expr::bin(
+                        BinOp::Mul,
+                        Expr::LoadByte(Box::new(Expr::bin(
+                            BinOp::Add,
+                            Expr::GlobalAddr("buf".into()),
+                            Expr::c(1),
+                        ))),
+                        Expr::c(256),
+                    ),
+                )),
+            ],
+        };
+        let p = Program::new().with_function(f).with_global("buf", vec![0u8; 8]);
+        assert_eq!(run(&p, "bytes", &[]), 0x61 + 0x62 * 256);
+    }
+}

@@ -1,0 +1,472 @@
+//! A reference interpreter for MiniC programs.
+//!
+//! The interpreter provides ground truth that is independent of the RM64
+//! code generator: the same [`Program`] can be evaluated directly and by
+//! compiling it with [`crate::codegen`] and running the result on the
+//! emulator, and the two must agree. This is the oracle the property tests
+//! use to validate the code generator, the VM obfuscation baseline and —
+//! transitively — the ROP rewriter.
+//!
+//! # Example
+//!
+//! ```
+//! use raindrop_synth::{interp::Interp, minic::{BinOp, Expr, Function, Program, Stmt}};
+//!
+//! let f = Function {
+//!     name: "add3".into(),
+//!     params: 1,
+//!     locals: 0,
+//!     body: vec![Stmt::Return(Expr::bin(BinOp::Add, Expr::Arg(0), Expr::c(3)))],
+//! };
+//! let program = Program::new().with_function(f);
+//! let mut interp = Interp::new(&program);
+//! assert_eq!(interp.call("add3", &[39]).unwrap(), 42);
+//! ```
+
+use crate::minic::{Expr, Function, Program, Stmt, PROBE_ARRAY};
+use std::collections::{BTreeMap, HashMap};
+
+/// Base address used for globals, mirroring the code generator's data
+/// placement so that address arithmetic on global pointers behaves the same.
+const GLOBAL_BASE: u64 = 0x0040_0000;
+
+/// Errors raised while interpreting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The named function does not exist in the program.
+    UnknownFunction(String),
+    /// A `GlobalAddr` expression referenced an unknown global.
+    UnknownGlobal(String),
+    /// The step budget was exhausted (runaway loop or recursion).
+    BudgetExceeded,
+    /// Call nesting exceeded the maximum depth.
+    CallDepthExceeded,
+    /// A function was called with more arguments than it declares or more
+    /// than the 6-register ABI supports.
+    BadArity {
+        /// The function name.
+        name: String,
+        /// Arguments supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            InterpError::UnknownGlobal(n) => write!(f, "unknown global `{n}`"),
+            InterpError::BudgetExceeded => write!(f, "interpreter step budget exhausted"),
+            InterpError::CallDepthExceeded => write!(f, "call depth limit exceeded"),
+            InterpError::BadArity { name, got } => {
+                write!(f, "function `{name}` called with {got} arguments")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// What a statement evaluation asked the enclosing block to do.
+enum Flow {
+    Next,
+    Return(u64),
+}
+
+/// The MiniC reference interpreter.
+///
+/// Memory is byte-addressable and zero-initialized, like the emulator's
+/// guest memory; globals are laid out sequentially from a fixed base.
+#[derive(Debug, Clone)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    /// Sparse byte memory.
+    mem: BTreeMap<u64, u8>,
+    globals: HashMap<String, u64>,
+    /// Remaining statement/expression budget.
+    budget: u64,
+    /// Coverage probes hit so far, in execution order.
+    probes: Vec<u32>,
+    depth: usize,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter over `program` with the default budget.
+    pub fn new(program: &'p Program) -> Interp<'p> {
+        Interp::with_budget(program, 50_000_000)
+    }
+
+    /// Creates an interpreter with an explicit step budget.
+    pub fn with_budget(program: &'p Program, budget: u64) -> Interp<'p> {
+        let mut globals = HashMap::new();
+        let mut mem = BTreeMap::new();
+        let mut next = GLOBAL_BASE;
+        for g in &program.globals {
+            globals.insert(g.name.clone(), next);
+            for (i, b) in g.bytes.iter().enumerate() {
+                if *b != 0 {
+                    mem.insert(next + i as u64, *b);
+                }
+            }
+            next += (g.bytes.len() as u64 + 15) & !15;
+        }
+        // The probe array exists implicitly when any function probes.
+        globals.entry(PROBE_ARRAY.to_string()).or_insert_with(|| {
+            let addr = next;
+            addr
+        });
+        Interp { program, mem, globals, budget, probes: Vec::new(), depth: 0 }
+    }
+
+    /// The address assigned to a global, if it exists.
+    pub fn global_addr(&self, name: &str) -> Option<u64> {
+        self.globals.get(name).copied()
+    }
+
+    /// Coverage probes hit so far, in execution order.
+    pub fn probes(&self) -> &[u32] {
+        &self.probes
+    }
+
+    /// Distinct coverage probes hit so far.
+    pub fn distinct_probes(&self) -> std::collections::BTreeSet<u32> {
+        self.probes.iter().copied().collect()
+    }
+
+    /// Reads a 64-bit little-endian value from interpreter memory.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut v = 0u64;
+        for i in 0..8 {
+            v |= (self.read_u8(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Reads one byte from interpreter memory.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.mem.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes a 64-bit little-endian value to interpreter memory.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Writes one byte to interpreter memory.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        if value == 0 {
+            self.mem.remove(&addr);
+        } else {
+            self.mem.insert(addr, value);
+        }
+    }
+
+    /// Writes a byte buffer to interpreter memory.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads `buf.len()` bytes from interpreter memory.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+    }
+
+    /// Calls a function by name with up to six arguments and returns its
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the function is unknown, arity is exceeded, or
+    /// the step budget runs out.
+    pub fn call(&mut self, name: &str, args: &[u64]) -> Result<u64, InterpError> {
+        let func = self
+            .program
+            .function(name)
+            .ok_or_else(|| InterpError::UnknownFunction(name.to_string()))?;
+        if args.len() > 6 {
+            return Err(InterpError::BadArity { name: name.to_string(), got: args.len() });
+        }
+        if self.depth >= 256 {
+            return Err(InterpError::CallDepthExceeded);
+        }
+        self.depth += 1;
+        let result = self.run_function(func, args);
+        self.depth -= 1;
+        result
+    }
+
+    fn charge(&mut self) -> Result<(), InterpError> {
+        if self.budget == 0 {
+            return Err(InterpError::BudgetExceeded);
+        }
+        self.budget -= 1;
+        Ok(())
+    }
+
+    fn run_function(&mut self, func: &'p Function, args: &[u64]) -> Result<u64, InterpError> {
+        let mut frame = Frame {
+            args: {
+                let mut a = [0u64; 6];
+                a[..args.len()].copy_from_slice(args);
+                a
+            },
+            locals: vec![0u64; func.locals],
+        };
+        match self.run_block(&func.body, &mut frame)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Next => Ok(0),
+        }
+    }
+
+    fn run_block(&mut self, stmts: &'p [Stmt], frame: &mut Frame) -> Result<Flow, InterpError> {
+        for stmt in stmts {
+            match self.run_stmt(stmt, frame)? {
+                Flow::Next => {}
+                flow @ Flow::Return(_) => return Ok(flow),
+            }
+        }
+        Ok(Flow::Next)
+    }
+
+    fn run_stmt(&mut self, stmt: &'p Stmt, frame: &mut Frame) -> Result<Flow, InterpError> {
+        self.charge()?;
+        match stmt {
+            Stmt::Assign(var, e) => {
+                let v = self.eval(e, frame)?;
+                if *var < frame.locals.len() {
+                    frame.locals[*var] = v;
+                }
+                Ok(Flow::Next)
+            }
+            Stmt::Store(addr, value) => {
+                let a = self.eval(addr, frame)?;
+                let v = self.eval(value, frame)?;
+                self.write_u64(a, v);
+                Ok(Flow::Next)
+            }
+            Stmt::StoreByte(addr, value) => {
+                let a = self.eval(addr, frame)?;
+                let v = self.eval(value, frame)?;
+                self.write_u8(a, v as u8);
+                Ok(Flow::Next)
+            }
+            Stmt::If(cond, then_b, else_b) => {
+                let c = self.eval(cond, frame)?;
+                if c != 0 {
+                    self.run_block(then_b, frame)
+                } else {
+                    self.run_block(else_b, frame)
+                }
+            }
+            Stmt::While(cond, body) => {
+                while self.eval(cond, frame)? != 0 {
+                    match self.run_block(body, frame)? {
+                        Flow::Next => {}
+                        flow @ Flow::Return(_) => return Ok(flow),
+                    }
+                }
+                Ok(Flow::Next)
+            }
+            Stmt::Return(e) => {
+                let v = self.eval(e, frame)?;
+                Ok(Flow::Return(v))
+            }
+            Stmt::ExprStmt(e) => {
+                self.eval(e, frame)?;
+                Ok(Flow::Next)
+            }
+            Stmt::Probe(id) => {
+                self.probes.push(*id);
+                // Mirror the code generator: probes also set a byte in the
+                // probe array so memory-comparing oracles agree.
+                if let Some(base) = self.globals.get(PROBE_ARRAY).copied() {
+                    self.write_u8(base + *id as u64, 1);
+                }
+                Ok(Flow::Next)
+            }
+        }
+    }
+
+    fn eval(&mut self, expr: &'p Expr, frame: &mut Frame) -> Result<u64, InterpError> {
+        self.charge()?;
+        Ok(match expr {
+            Expr::Const(v) => *v as u64,
+            Expr::Var(i) => frame.locals.get(*i).copied().unwrap_or(0),
+            Expr::Arg(i) => frame.args.get(*i).copied().unwrap_or(0),
+            Expr::GlobalAddr(name) => self
+                .globals
+                .get(name)
+                .copied()
+                .ok_or_else(|| InterpError::UnknownGlobal(name.clone()))?,
+            Expr::Un(op, a) => {
+                let a = self.eval(a, frame)?;
+                op.eval(a)
+            }
+            Expr::Bin(op, a, b) => {
+                let a = self.eval(a, frame)?;
+                let b = self.eval(b, frame)?;
+                op.eval(a, b)
+            }
+            Expr::Load(a) => {
+                let addr = self.eval(a, frame)?;
+                self.read_u64(addr)
+            }
+            Expr::LoadByte(a) => {
+                let addr = self.eval(a, frame)?;
+                self.read_u8(addr) as u64
+            }
+            Expr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, frame)?);
+                }
+                self.call(name, &vals)?
+            }
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    args: [u64; 6],
+    locals: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minic::{BinOp, UnOp};
+
+    fn simple_program() -> Program {
+        let double = Function {
+            name: "double".into(),
+            params: 1,
+            locals: 0,
+            body: vec![Stmt::Return(Expr::bin(BinOp::Mul, Expr::Arg(0), Expr::c(2)))],
+        };
+        let sum_to_n = Function {
+            name: "sum_to_n".into(),
+            params: 1,
+            locals: 2,
+            body: vec![
+                Stmt::Assign(0, Expr::c(0)),
+                Stmt::Assign(1, Expr::c(1)),
+                Stmt::While(
+                    Expr::bin(BinOp::Le, Expr::Var(1), Expr::Arg(0)),
+                    vec![
+                        Stmt::Assign(0, Expr::bin(BinOp::Add, Expr::Var(0), Expr::Var(1))),
+                        Stmt::Assign(1, Expr::bin(BinOp::Add, Expr::Var(1), Expr::c(1))),
+                    ],
+                ),
+                Stmt::Return(Expr::Var(0)),
+            ],
+        };
+        let wrapper = Function {
+            name: "wrapper".into(),
+            params: 1,
+            locals: 0,
+            body: vec![Stmt::Return(Expr::Call(
+                "double".into(),
+                vec![Expr::Call("sum_to_n".into(), vec![Expr::Arg(0)])],
+            ))],
+        };
+        Program::new().with_function(double).with_function(sum_to_n).with_function(wrapper)
+    }
+
+    #[test]
+    fn arithmetic_loops_and_calls_evaluate() {
+        let p = simple_program();
+        let mut i = Interp::new(&p);
+        assert_eq!(i.call("double", &[21]).unwrap(), 42);
+        assert_eq!(i.call("sum_to_n", &[100]).unwrap(), 5050);
+        assert_eq!(i.call("wrapper", &[10]).unwrap(), 110);
+    }
+
+    #[test]
+    fn globals_memory_and_byte_ops_work() {
+        let f = Function {
+            name: "poke".into(),
+            params: 1,
+            locals: 1,
+            body: vec![
+                Stmt::Assign(0, Expr::GlobalAddr("buf".into())),
+                Stmt::StoreByte(Expr::Var(0), Expr::Arg(0)),
+                Stmt::Store(
+                    Expr::bin(BinOp::Add, Expr::Var(0), Expr::c(8)),
+                    Expr::un(UnOp::Not, Expr::Arg(0)),
+                ),
+                Stmt::Return(Expr::bin(
+                    BinOp::Add,
+                    Expr::LoadByte(Expr::Var(0).into()),
+                    Expr::Load(Box::new(Expr::bin(BinOp::Add, Expr::Var(0), Expr::c(8)))),
+                )),
+            ],
+        };
+        let p = Program::new().with_function(f).with_global("buf", vec![0u8; 16]);
+        let mut i = Interp::new(&p);
+        let got = i.call("poke", &[0x41]).unwrap();
+        assert_eq!(got, 0x41u64.wrapping_add(!0x41u64));
+        let addr = i.global_addr("buf").unwrap();
+        assert_eq!(i.read_u8(addr), 0x41);
+    }
+
+    #[test]
+    fn probes_are_recorded_in_order() {
+        let f = Function {
+            name: "probed".into(),
+            params: 1,
+            locals: 0,
+            body: vec![
+                Stmt::Probe(0),
+                Stmt::If(Expr::Arg(0), vec![Stmt::Probe(1)], vec![Stmt::Probe(2)]),
+                Stmt::Probe(3),
+                Stmt::Return(Expr::c(0)),
+            ],
+        };
+        let p = Program::new().with_function(f);
+        let mut i = Interp::new(&p);
+        i.call("probed", &[1]).unwrap();
+        assert_eq!(i.probes(), &[0, 1, 3]);
+        i.call("probed", &[0]).unwrap();
+        assert_eq!(i.distinct_probes().len(), 4);
+    }
+
+    #[test]
+    fn runaway_loops_hit_the_budget() {
+        let f = Function {
+            name: "spin".into(),
+            params: 0,
+            locals: 0,
+            body: vec![Stmt::While(Expr::c(1), vec![Stmt::ExprStmt(Expr::c(0))])],
+        };
+        let p = Program::new().with_function(f);
+        let mut i = Interp::with_budget(&p, 10_000);
+        assert_eq!(i.call("spin", &[]), Err(InterpError::BudgetExceeded));
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let p = Program::new();
+        let mut i = Interp::new(&p);
+        assert_eq!(i.call("nope", &[]), Err(InterpError::UnknownFunction("nope".into())));
+    }
+
+    #[test]
+    fn division_by_zero_is_total_like_the_minic_reference() {
+        let f = Function {
+            name: "divz".into(),
+            params: 2,
+            locals: 0,
+            body: vec![Stmt::Return(Expr::bin(BinOp::Div, Expr::Arg(0), Expr::Arg(1)))],
+        };
+        let p = Program::new().with_function(f);
+        let mut i = Interp::new(&p);
+        assert_eq!(i.call("divz", &[10, 0]).unwrap(), BinOp::Div.eval(10, 0));
+    }
+}

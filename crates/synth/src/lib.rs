@@ -1,0 +1,55 @@
+//! # raindrop-synth
+//!
+//! Workload synthesis for the *raindrop* reproduction: everything the
+//! paper's evaluation compiles with gcc or generates with Tigress is
+//! produced here as MiniC and compiled to RM64 by a small code generator.
+//!
+//! * [`minic`] — the MiniC IR;
+//! * [`codegen`] — MiniC → RM64 compilation;
+//! * [`randomfuns`] — the 72 Tigress-style random hash functions of §VII-B
+//!   (Table IV control structures, point-test and coverage flavours);
+//! * [`workloads`] — the ten clbg shootout kernels (Fig. 5 / Table III) and
+//!   the base64 case study (§VII-C3), plus the bump-allocator runtime;
+//! * [`corpus`] — the coreutils-like corpus for the rewriting-coverage
+//!   experiment (§VII-C1).
+//!
+//! # Example
+//!
+//! ```
+//! use raindrop_synth::{codegen, workloads};
+//! use raindrop_machine::Emulator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let w = workloads::base64();
+//! let image = codegen::compile(&w.program)?;
+//! let mut emu = Emulator::new(&image);
+//! let input = image.symbol("b64_in")?;
+//! emu.mem.write_bytes(input, b"Man");
+//! emu.call_named(&image, "base64_encode", &[3])?;
+//! let out = image.symbol("b64_out")?;
+//! let mut buf = [0u8; 4];
+//! emu.mem.read_bytes(out, &mut buf);
+//! assert_eq!(&buf, b"TWFu");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod corpus;
+pub mod interp;
+pub mod minic;
+pub mod randomfuns;
+pub mod workloads;
+
+pub use codegen::{compile, compile_function};
+pub use interp::{Interp, InterpError};
+pub use corpus::{Corpus, CorpusEntry, CorpusKind};
+pub use minic::{BinOp, Expr, Function, Global, Program, Stmt, UnOp, PROBE_ARRAY};
+pub use randomfuns::{
+    generate as generate_randomfun, input_mask, paper_structures, paper_suite, Ctrl, Goal,
+    RandomFun, RandomFunConfig,
+};
+pub use workloads::{base64, clbg_suite, Workload};

@@ -1,0 +1,293 @@
+//! MiniC: a small structured IR standing in for the C sources the paper
+//! compiles with gcc.
+//!
+//! Everything the evaluation needs — the Tigress-style random hash functions,
+//! the clbg shootout kernels, base64, the coreutils-like corpus and the VM
+//! obfuscator's interpreters — is written in (or generated as) MiniC and then
+//! compiled to RM64 machine code by [`codegen`](crate::codegen), so the ROP
+//! rewriter always sees realistic, compiler-shaped binary functions.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a local variable within a function.
+pub type VarId = usize;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (UB-free: division by zero yields zero).
+    Div,
+    /// Unsigned remainder (remainder by zero yields the dividend).
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (by the low 6 bits).
+    Shl,
+    /// Logical shift right (by the low 6 bits).
+    Shr,
+    /// Equality (1 or 0).
+    Eq,
+    /// Inequality (1 or 0).
+    Ne,
+    /// Unsigned less-than (1 or 0).
+    Lt,
+    /// Unsigned less-or-equal (1 or 0).
+    Le,
+    /// Unsigned greater-than (1 or 0).
+    Gt,
+    /// Unsigned greater-or-equal (1 or 0).
+    Ge,
+}
+
+impl BinOp {
+    /// Whether the operator yields a 0/1 truth value.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// Reference semantics on unsigned 64-bit values.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a << (b & 63),
+            BinOp::Shr => a >> (b & 63),
+            BinOp::Eq => (a == b) as u64,
+            BinOp::Ne => (a != b) as u64,
+            BinOp::Lt => (a < b) as u64,
+            BinOp::Le => (a <= b) as u64,
+            BinOp::Gt => (a > b) as u64,
+            BinOp::Ge => (a >= b) as u64,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Two's complement negation.
+    Neg,
+    /// Bitwise NOT.
+    Not,
+}
+
+impl UnOp {
+    /// Reference semantics.
+    pub fn eval(self, a: u64) -> u64 {
+        match self {
+            UnOp::Neg => (a as i64).wrapping_neg() as u64,
+            UnOp::Not => !a,
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A 64-bit constant.
+    Const(i64),
+    /// A local variable.
+    Var(VarId),
+    /// The `i`-th function argument (0-based, at most 6).
+    Arg(usize),
+    /// The absolute address of a named global data object.
+    GlobalAddr(String),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// 64-bit load from the address the operand evaluates to.
+    Load(Box<Expr>),
+    /// Zero-extended byte load.
+    LoadByte(Box<Expr>),
+    /// Call to another MiniC (or native) function with up to 6 arguments.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor: `a op b`.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `op a`.
+    pub fn un(op: UnOp, a: Expr) -> Expr {
+        Expr::Un(op, Box::new(a))
+    }
+
+    /// Convenience constructor for a constant.
+    pub fn c(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `var = expr`.
+    Assign(VarId, Expr),
+    /// 64-bit store: `*(addr) = value`.
+    Store(Expr, Expr),
+    /// Byte store: `*(u8*)(addr) = value & 0xff`.
+    StoreByte(Expr, Expr),
+    /// `if (cond != 0) { then } else { otherwise }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond != 0) { body }`.
+    While(Expr, Vec<Stmt>),
+    /// `return expr`.
+    Return(Expr),
+    /// Evaluate an expression for its side effects (typically a call).
+    ExprStmt(Expr),
+    /// Coverage probe: records that control reached this point (Tigress
+    /// `RandomFunsTrace`-style annotation of CFG split/join points).
+    Probe(u32),
+}
+
+/// A MiniC function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name (also its symbol in the image).
+    pub name: String,
+    /// Number of parameters (at most 6, passed in registers).
+    pub params: usize,
+    /// Number of local variables.
+    pub locals: usize,
+    /// Function body.
+    pub body: Vec<Stmt>,
+}
+
+/// A global data object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Initial contents.
+    pub bytes: Vec<u8>,
+}
+
+/// A MiniC program: functions plus global data.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Functions, in definition order.
+    pub functions: Vec<Function>,
+    /// Global data objects.
+    pub globals: Vec<Global>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Adds a function and returns `self` for chaining.
+    pub fn with_function(mut self, f: Function) -> Program {
+        self.functions.push(f);
+        self
+    }
+
+    /// Adds a global and returns `self` for chaining.
+    pub fn with_global(mut self, name: impl Into<String>, bytes: Vec<u8>) -> Program {
+        self.globals.push(Global { name: name.into(), bytes });
+        self
+    }
+
+    /// Looks a function up by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Total number of statements across all functions (a rough size
+    /// measure used by the corpus generator).
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If(_, a, b) => 1 + count(a) + count(b),
+                    Stmt::While(_, body) => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        self.functions.iter().map(|f| count(&f.body)).sum()
+    }
+}
+
+/// Name of the global array coverage probes write into.
+pub const PROBE_ARRAY: &str = "__probes";
+/// Maximum number of coverage probes per program.
+pub const MAX_PROBES: usize = 256;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_reference_semantics() {
+        assert_eq!(BinOp::Add.eval(u64::MAX, 1), 0);
+        assert_eq!(BinOp::Div.eval(10, 0), 0, "division by zero is defined");
+        assert_eq!(BinOp::Rem.eval(10, 0), 10);
+        assert_eq!(BinOp::Shl.eval(1, 65), 2, "shift counts are masked");
+        assert_eq!(BinOp::Lt.eval(1, 2), 1);
+        assert_eq!(BinOp::Ge.eval(1, 2), 0);
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Xor.is_comparison());
+    }
+
+    #[test]
+    fn unop_reference_semantics() {
+        assert_eq!(UnOp::Neg.eval(5), (-5i64) as u64);
+        assert_eq!(UnOp::Not.eval(0), u64::MAX);
+    }
+
+    #[test]
+    fn program_builders_and_stmt_count() {
+        let f = Function {
+            name: "f".into(),
+            params: 1,
+            locals: 1,
+            body: vec![
+                Stmt::Assign(0, Expr::Arg(0)),
+                Stmt::If(
+                    Expr::bin(BinOp::Eq, Expr::Var(0), Expr::c(3)),
+                    vec![Stmt::Return(Expr::c(1))],
+                    vec![Stmt::Return(Expr::c(0))],
+                ),
+            ],
+        };
+        let p = Program::new().with_function(f).with_global("tab", vec![1, 2, 3]);
+        assert!(p.function("f").is_some());
+        assert!(p.function("g").is_none());
+        assert_eq!(p.stmt_count(), 4);
+        assert_eq!(p.globals[0].bytes.len(), 3);
+    }
+}

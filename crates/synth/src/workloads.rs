@@ -1,0 +1,922 @@
+//! CPU-bound workloads: the ten clbg shootout kernels of Fig. 5 / Table III,
+//! the base64 case study of §VII-C3, and the tiny allocator runtime they
+//! share.
+//!
+//! The real Computer Language Benchmarks Game programs are I/O-heavy C; here
+//! each kernel is a self-contained MiniC function (plus helpers) with the
+//! same structural character the paper relies on — allocation-heavy
+//! (b-trees), permutation-heavy (fannkuch), table-driven byte processing
+//! (fasta, rev-comp, regex-redux, base64), numeric loops (mandelbrot,
+//! n-body, pidigits, sp-norm with a short helper called from a tight loop).
+//! Run time is measured in emulated cycles, so absolute scale differences
+//! from the originals do not matter; only relative slowdowns do.
+
+use crate::minic::{BinOp, Expr, Function, Global, Program, Stmt, UnOp};
+use raindrop_machine::HEAP_BASE;
+
+/// A named benchmark workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Benchmark name (matches the paper's Fig. 5 labels).
+    pub name: String,
+    /// The MiniC program.
+    pub program: Program,
+    /// Entry function to call.
+    pub entry: String,
+    /// Arguments for the entry function.
+    pub args: Vec<u64>,
+    /// Functions that the obfuscation experiments rewrite (the runtime
+    /// helpers such as `malloc` stay native, as in the paper).
+    pub obfuscate: Vec<String>,
+}
+
+// --- tiny expression DSL -------------------------------------------------
+
+fn c(v: i64) -> Expr {
+    Expr::Const(v)
+}
+fn v(i: usize) -> Expr {
+    Expr::Var(i)
+}
+fn arg(i: usize) -> Expr {
+    Expr::Arg(i)
+}
+fn b(op: BinOp, x: Expr, y: Expr) -> Expr {
+    Expr::bin(op, x, y)
+}
+fn add(x: Expr, y: Expr) -> Expr {
+    b(BinOp::Add, x, y)
+}
+fn sub(x: Expr, y: Expr) -> Expr {
+    b(BinOp::Sub, x, y)
+}
+fn mul(x: Expr, y: Expr) -> Expr {
+    b(BinOp::Mul, x, y)
+}
+fn and(x: Expr, y: Expr) -> Expr {
+    b(BinOp::And, x, y)
+}
+fn xor(x: Expr, y: Expr) -> Expr {
+    b(BinOp::Xor, x, y)
+}
+fn shr(x: Expr, y: Expr) -> Expr {
+    b(BinOp::Shr, x, y)
+}
+fn load(a: Expr) -> Expr {
+    Expr::Load(Box::new(a))
+}
+fn loadb(a: Expr) -> Expr {
+    Expr::LoadByte(Box::new(a))
+}
+fn call(name: &str, args: Vec<Expr>) -> Expr {
+    Expr::Call(name.to_string(), args)
+}
+fn gaddr(name: &str) -> Expr {
+    Expr::GlobalAddr(name.to_string())
+}
+fn assign(i: usize, e: Expr) -> Stmt {
+    Stmt::Assign(i, e)
+}
+fn ret(e: Expr) -> Stmt {
+    Stmt::Return(e)
+}
+fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::While(cond, body)
+}
+fn if_(cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+    Stmt::If(cond, then, els)
+}
+fn func(name: &str, params: usize, locals: usize, body: Vec<Stmt>) -> Function {
+    Function { name: name.to_string(), params, locals, body }
+}
+
+// --- shared runtime -------------------------------------------------------
+
+/// The bump-allocator runtime every allocation-using workload links against:
+/// `malloc(size)` advances a global break pointer (16-byte aligned), `free`
+/// is a no-op — enough for benchmark-style allocation patterns, and calls to
+/// them from ROP-rewritten code exercise the ROP→native pivoting path.
+pub fn runtime_functions() -> (Vec<Function>, Vec<Global>) {
+    let heap_ptr = Global { name: "__heap_ptr".into(), bytes: HEAP_BASE.to_le_bytes().to_vec() };
+    let malloc = func(
+        "malloc",
+        1,
+        1,
+        vec![
+            assign(0, load(gaddr("__heap_ptr"))),
+            Stmt::Store(
+                gaddr("__heap_ptr"),
+                and(
+                    add(add(v(0), arg(0)), c(15)),
+                    Expr::un(UnOp::Not, c(15)),
+                ),
+            ),
+            ret(v(0)),
+        ],
+    );
+    let free = func("free", 1, 0, vec![ret(c(0))]);
+    (vec![malloc, free], vec![heap_ptr])
+}
+
+fn with_runtime(mut functions: Vec<Function>, mut globals: Vec<Global>) -> Program {
+    let (rt_f, rt_g) = runtime_functions();
+    functions.extend(rt_f);
+    globals.extend(rt_g);
+    Program { functions, globals }
+}
+
+// --- kernels ---------------------------------------------------------------
+
+/// `b-trees`: builds perfect binary trees with `malloc`, sums node checks.
+pub fn btrees() -> Workload {
+    // node layout: [left, right, value]
+    let build = func(
+        "bt_build",
+        2, // (depth, item)
+        2,
+        vec![
+            assign(0, call("malloc", vec![c(24)])),
+            if_(
+                b(BinOp::Gt, arg(0), c(0)),
+                vec![
+                    Stmt::Store(v(0), call("bt_build", vec![sub(arg(0), c(1)), mul(arg(1), c(2))])),
+                    Stmt::Store(
+                        add(v(0), c(8)),
+                        call("bt_build", vec![sub(arg(0), c(1)), add(mul(arg(1), c(2)), c(1))]),
+                    ),
+                ],
+                vec![Stmt::Store(v(0), c(0)), Stmt::Store(add(v(0), c(8)), c(0))],
+            ),
+            Stmt::Store(add(v(0), c(16)), arg(1)),
+            ret(v(0)),
+        ],
+    );
+    let check = func(
+        "bt_check",
+        1,
+        1,
+        vec![
+            assign(0, load(add(arg(0), c(16)))),
+            if_(
+                b(BinOp::Ne, load(arg(0)), c(0)),
+                vec![assign(
+                    0,
+                    add(
+                        v(0),
+                        sub(
+                            call("bt_check", vec![load(arg(0))]),
+                            call("bt_check", vec![load(add(arg(0), c(8)))]),
+                        ),
+                    ),
+                )],
+                vec![],
+            ),
+            ret(v(0)),
+        ],
+    );
+    let main = func(
+        "btrees_main",
+        1,
+        3,
+        vec![
+            assign(0, c(0)), // checksum
+            assign(1, c(0)), // i
+            while_(
+                b(BinOp::Lt, v(1), c(8)),
+                vec![
+                    assign(2, call("bt_build", vec![arg(0), v(1)])),
+                    assign(0, add(v(0), call("bt_check", vec![v(2)]))),
+                    Stmt::ExprStmt(call("free", vec![v(2)])),
+                    assign(1, add(v(1), c(1))),
+                ],
+            ),
+            ret(v(0)),
+        ],
+    );
+    Workload {
+        name: "b-trees".into(),
+        program: with_runtime(vec![build, check, main], vec![]),
+        entry: "btrees_main".into(),
+        args: vec![5],
+        obfuscate: vec!["btrees_main".into(), "bt_build".into(), "bt_check".into()],
+    }
+}
+
+/// `fannkuch`: pancake-flip counting over permutations of 0..n.
+pub fn fannkuch() -> Workload {
+    let buf = Global { name: "fk_perm".into(), bytes: vec![0u8; 16 * 8] };
+    let flip = func(
+        "fk_flips",
+        0,
+        4,
+        vec![
+            assign(0, c(0)), // flips
+            while_(
+                b(BinOp::Ne, load(gaddr("fk_perm")), c(0)),
+                vec![
+                    assign(1, load(gaddr("fk_perm"))), // k = perm[0]
+                    assign(2, c(0)),                   // i
+                    while_(
+                        b(BinOp::Lt, v(2), b(BinOp::Div, add(v(1), c(1)), c(2))),
+                        vec![
+                            assign(3, load(add(gaddr("fk_perm"), mul(v(2), c(8))))),
+                            Stmt::Store(
+                                add(gaddr("fk_perm"), mul(v(2), c(8))),
+                                load(add(gaddr("fk_perm"), mul(sub(v(1), v(2)), c(8)))),
+                            ),
+                            Stmt::Store(add(gaddr("fk_perm"), mul(sub(v(1), v(2)), c(8))), v(3)),
+                            assign(2, add(v(2), c(1))),
+                        ],
+                    ),
+                    assign(0, add(v(0), c(1))),
+                ],
+            ),
+            ret(v(0)),
+        ],
+    );
+    // Enumerate rotations of an initial permutation as a cheap stand-in for
+    // the full permutation generator, counting total flips.
+    let main = func(
+        "fannkuch_main",
+        1,
+        4,
+        vec![
+            assign(0, c(0)), // total
+            assign(1, c(0)), // rotation r
+            while_(
+                b(BinOp::Lt, v(1), arg(0)),
+                vec![
+                    assign(2, c(0)),
+                    while_(
+                        b(BinOp::Lt, v(2), c(7)),
+                        vec![
+                            Stmt::Store(
+                                add(gaddr("fk_perm"), mul(v(2), c(8))),
+                                b(BinOp::Rem, add(v(2), v(1)), c(7)),
+                            ),
+                            assign(2, add(v(2), c(1))),
+                        ],
+                    ),
+                    assign(0, add(v(0), call("fk_flips", vec![]))),
+                    assign(1, add(v(1), c(1))),
+                ],
+            ),
+            ret(v(0)),
+        ],
+    );
+    Workload {
+        name: "fannkuch".into(),
+        program: with_runtime(vec![flip, main], vec![buf]),
+        entry: "fannkuch_main".into(),
+        args: vec![20],
+        obfuscate: vec!["fannkuch_main".into(), "fk_flips".into()],
+    }
+}
+
+fn lcg_next(state_var: usize) -> Stmt {
+    assign(
+        state_var,
+        and(
+            add(mul(v(state_var), c(6364136223846793005)), c(1442695040888963407)),
+            c(u64::MAX as i64),
+        ),
+    )
+}
+
+/// `fasta`: pseudo-random sequence generation into a buffer.
+pub fn fasta() -> Workload {
+    let buf = Global { name: "fasta_buf".into(), bytes: vec![0u8; 4096] };
+    let main = func(
+        "fasta_main",
+        1,
+        3,
+        vec![
+            assign(0, c(42)), // rng state
+            assign(1, c(0)),  // i
+            assign(2, c(0)),  // checksum
+            while_(
+                b(BinOp::Lt, v(1), arg(0)),
+                vec![
+                    lcg_next(0),
+                    Stmt::StoreByte(
+                        add(gaddr("fasta_buf"), and(v(1), c(4095))),
+                        add(c(65), and(shr(v(0), c(33)), c(3))),
+                    ),
+                    assign(2, add(v(2), loadb(add(gaddr("fasta_buf"), and(v(1), c(4095)))))),
+                    assign(1, add(v(1), c(1))),
+                ],
+            ),
+            ret(v(2)),
+        ],
+    );
+    Workload {
+        name: "fasta".into(),
+        program: with_runtime(vec![main], vec![buf]),
+        entry: "fasta_main".into(),
+        args: vec![1500],
+        obfuscate: vec!["fasta_main".into()],
+    }
+}
+
+/// `fasta-redux`: like `fasta` but through a cumulative lookup table.
+pub fn fasta_redux() -> Workload {
+    let mut table = Vec::new();
+    for i in 0..16u64 {
+        table.extend_from_slice(&(65 + (i % 4)).to_le_bytes());
+    }
+    let tab = Global { name: "fr_table".into(), bytes: table };
+    let buf = Global { name: "fr_buf".into(), bytes: vec![0u8; 4096] };
+    let main = func(
+        "fasta_redux_main",
+        1,
+        3,
+        vec![
+            assign(0, c(1337)),
+            assign(1, c(0)),
+            assign(2, c(0)),
+            while_(
+                b(BinOp::Lt, v(1), arg(0)),
+                vec![
+                    lcg_next(0),
+                    Stmt::StoreByte(
+                        add(gaddr("fr_buf"), and(v(1), c(4095))),
+                        load(add(gaddr("fr_table"), mul(and(shr(v(0), c(30)), c(15)), c(8)))),
+                    ),
+                    assign(2, xor(v(2), loadb(add(gaddr("fr_buf"), and(v(1), c(4095)))))),
+                    assign(1, add(v(1), c(1))),
+                ],
+            ),
+            ret(v(2)),
+        ],
+    );
+    Workload {
+        name: "fasta-redux".into(),
+        program: with_runtime(vec![main], vec![tab, buf]),
+        entry: "fasta_redux_main".into(),
+        args: vec![1500],
+        obfuscate: vec!["fasta_redux_main".into()],
+    }
+}
+
+/// `mandelbrot`: fixed-point escape-time iteration over a small grid.
+pub fn mandelbrot() -> Workload {
+    // Fixed point with 16 fractional bits; grid arg(0) x arg(0).
+    let main = func(
+        "mandelbrot_main",
+        1,
+        8,
+        vec![
+            assign(0, c(0)), // count
+            assign(1, c(0)), // y
+            while_(
+                b(BinOp::Lt, v(1), arg(0)),
+                vec![
+                    assign(2, c(0)), // x
+                    while_(
+                        b(BinOp::Lt, v(2), arg(0)),
+                        vec![
+                            // zr = zi = 0; iterate 16 times with c = (x, y) scaled.
+                            assign(3, c(0)),
+                            assign(4, c(0)),
+                            assign(5, c(0)), // iter
+                            while_(
+                                b(BinOp::Lt, v(5), c(16)),
+                                vec![
+                                    // zr2 = (zr*zr - zi*zi) >> 16 + cx
+                                    assign(
+                                        6,
+                                        add(
+                                            shr(sub(mul(v(3), v(3)), mul(v(4), v(4))), c(16)),
+                                            sub(mul(v(2), c(1024)), c(98304)),
+                                        ),
+                                    ),
+                                    // zi = 2*zr*zi >> 16 + cy
+                                    assign(
+                                        4,
+                                        add(
+                                            shr(mul(mul(v(3), v(4)), c(2)), c(16)),
+                                            sub(mul(v(1), c(1024)), c(65536)),
+                                        ),
+                                    ),
+                                    assign(3, v(6)),
+                                    assign(5, add(v(5), c(1))),
+                                ],
+                            ),
+                            // count += (|zr| < 2.0 in fixed point)
+                            if_(
+                                b(BinOp::Lt, and(v(3), c(0x7fff_ffff)), c(131072)),
+                                vec![assign(0, add(v(0), c(1)))],
+                                vec![],
+                            ),
+                            assign(2, add(v(2), c(1))),
+                        ],
+                    ),
+                    assign(1, add(v(1), c(1))),
+                ],
+            ),
+            ret(v(0)),
+        ],
+    );
+    Workload {
+        name: "mandelbrot".into(),
+        program: with_runtime(vec![main], vec![]),
+        entry: "mandelbrot_main".into(),
+        args: vec![12],
+        obfuscate: vec!["mandelbrot_main".into()],
+    }
+}
+
+/// `n-body`: integer-only leapfrog integration of three bodies in 1-D.
+pub fn nbody() -> Workload {
+    let state = Global { name: "nb_state".into(), bytes: vec![0u8; 6 * 8] };
+    let advance = func(
+        "nb_advance",
+        0,
+        3,
+        vec![
+            assign(0, c(0)),
+            while_(
+                b(BinOp::Lt, v(0), c(3)),
+                vec![
+                    // v[i] += (pos[(i+1)%3] - pos[i]) / 16
+                    assign(
+                        1,
+                        sub(
+                            load(add(gaddr("nb_state"), mul(b(BinOp::Rem, add(v(0), c(1)), c(3)), c(8)))),
+                            load(add(gaddr("nb_state"), mul(v(0), c(8)))),
+                        ),
+                    ),
+                    Stmt::Store(
+                        add(gaddr("nb_state"), add(c(24), mul(v(0), c(8)))),
+                        add(
+                            load(add(gaddr("nb_state"), add(c(24), mul(v(0), c(8))))),
+                            b(BinOp::Div, v(1), c(16)),
+                        ),
+                    ),
+                    // pos[i] += v[i] / 4
+                    Stmt::Store(
+                        add(gaddr("nb_state"), mul(v(0), c(8))),
+                        add(
+                            load(add(gaddr("nb_state"), mul(v(0), c(8)))),
+                            b(BinOp::Div, load(add(gaddr("nb_state"), add(c(24), mul(v(0), c(8))))), c(4)),
+                        ),
+                    ),
+                    assign(0, add(v(0), c(1))),
+                ],
+            ),
+            ret(c(0)),
+        ],
+    );
+    let main = func(
+        "nbody_main",
+        1,
+        2,
+        vec![
+            Stmt::Store(gaddr("nb_state"), c(1000)),
+            Stmt::Store(add(gaddr("nb_state"), c(8)), c(2000)),
+            Stmt::Store(add(gaddr("nb_state"), c(16)), c(4000)),
+            assign(0, c(0)),
+            while_(
+                b(BinOp::Lt, v(0), arg(0)),
+                vec![Stmt::ExprStmt(call("nb_advance", vec![])), assign(0, add(v(0), c(1)))],
+            ),
+            ret(add(load(gaddr("nb_state")), load(add(gaddr("nb_state"), c(8))))),
+        ],
+    );
+    Workload {
+        name: "n-body".into(),
+        program: with_runtime(vec![advance, main], vec![state]),
+        entry: "nbody_main".into(),
+        args: vec![150],
+        obfuscate: vec!["nbody_main".into(), "nb_advance".into()],
+    }
+}
+
+/// `pidigits`: a simplified integer spigot producing digits of π-like series.
+pub fn pidigits() -> Workload {
+    let main = func(
+        "pidigits_main",
+        1,
+        6,
+        vec![
+            assign(0, c(1)),  // q
+            assign(1, c(0)),  // r
+            assign(2, c(1)),  // t
+            assign(3, c(1)),  // k
+            assign(4, c(0)),  // digits emitted
+            assign(5, c(0)),  // checksum
+            while_(
+                b(BinOp::Lt, v(4), arg(0)),
+                vec![
+                    // Next-state updates of the spigot recurrence (bounded to
+                    // stay within 64 bits by periodic renormalization).
+                    assign(1, add(mul(v(1), v(3)), mul(v(0), c(2)))),
+                    assign(0, mul(v(0), v(3))),
+                    assign(2, mul(v(2), add(mul(v(3), c(2)), c(1)))),
+                    assign(3, add(v(3), c(1))),
+                    if_(
+                        b(BinOp::Gt, v(2), c(1 << 40)),
+                        vec![
+                            assign(0, b(BinOp::Div, v(0), c(1 << 20))),
+                            assign(1, b(BinOp::Div, v(1), c(1 << 20))),
+                            assign(2, b(BinOp::Div, v(2), c(1 << 20))),
+                        ],
+                        vec![],
+                    ),
+                    assign(5, add(v(5), b(BinOp::Div, add(mul(v(0), c(3)), v(1)), add(v(2), c(1))))),
+                    assign(4, add(v(4), c(1))),
+                ],
+            ),
+            ret(v(5)),
+        ],
+    );
+    Workload {
+        name: "pidigits".into(),
+        program: with_runtime(vec![main], vec![]),
+        entry: "pidigits_main".into(),
+        args: vec![400],
+        obfuscate: vec!["pidigits_main".into()],
+    }
+}
+
+/// `regex-redux`: count pattern matches over a generated byte buffer.
+pub fn regex_redux() -> Workload {
+    let buf = Global { name: "re_buf".into(), bytes: vec![0u8; 2048] };
+    let main = func(
+        "regex_redux_main",
+        1,
+        4,
+        vec![
+            // Fill the buffer with a 4-letter alphabet.
+            assign(0, c(7)),
+            assign(1, c(0)),
+            while_(
+                b(BinOp::Lt, v(1), c(2048)),
+                vec![
+                    lcg_next(0),
+                    Stmt::StoreByte(add(gaddr("re_buf"), v(1)), add(c(97), and(shr(v(0), c(21)), c(3)))),
+                    assign(1, add(v(1), c(1))),
+                ],
+            ),
+            // Count occurrences of "aba"-style patterns parameterized by arg.
+            assign(2, c(0)),
+            assign(1, c(0)),
+            while_(
+                b(BinOp::Lt, v(1), c(2046)),
+                vec![
+                    if_(
+                        b(
+                            BinOp::Eq,
+                            add(
+                                add(
+                                    loadb(add(gaddr("re_buf"), v(1))),
+                                    mul(loadb(add(gaddr("re_buf"), add(v(1), c(1)))), c(256)),
+                                ),
+                                mul(loadb(add(gaddr("re_buf"), add(v(1), c(2)))), c(65536)),
+                            ),
+                            arg(0),
+                        ),
+                        vec![assign(2, add(v(2), c(1)))],
+                        vec![],
+                    ),
+                    assign(1, add(v(1), c(1))),
+                ],
+            ),
+            ret(v(2)),
+        ],
+    );
+    // Pattern "aba" = 0x61 + 0x62*256 + 0x61*65536.
+    Workload {
+        name: "regex-redux".into(),
+        program: with_runtime(vec![main], vec![buf]),
+        entry: "regex_redux_main".into(),
+        args: vec![0x61 + 0x62 * 256 + 0x61 * 65536],
+        obfuscate: vec!["regex_redux_main".into()],
+    }
+}
+
+/// `rev-comp`: reverse-complement of a byte buffer through a lookup table.
+pub fn rev_comp() -> Workload {
+    let mut table = vec![0u8; 256];
+    for (a, b) in [(b'A', b'T'), (b'T', b'A'), (b'C', b'G'), (b'G', b'C')] {
+        table[a as usize] = b;
+    }
+    let tab = Global { name: "rc_table".into(), bytes: table };
+    let buf = Global { name: "rc_buf".into(), bytes: vec![0u8; 2048] };
+    let main = func(
+        "rev_comp_main",
+        1,
+        4,
+        vec![
+            assign(0, c(99)),
+            assign(1, c(0)),
+            while_(
+                b(BinOp::Lt, v(1), arg(0)),
+                vec![
+                    lcg_next(0),
+                    Stmt::StoreByte(
+                        add(gaddr("rc_buf"), v(1)),
+                        load(add(
+                            gaddr("rc_table_sel"),
+                            mul(and(shr(v(0), c(17)), c(3)), c(8)),
+                        )),
+                    ),
+                    assign(1, add(v(1), c(1))),
+                ],
+            ),
+            // Reverse-complement in place.
+            assign(1, c(0)),
+            assign(2, sub(arg(0), c(1))),
+            while_(
+                b(BinOp::Lt, v(1), v(2)),
+                vec![
+                    assign(3, loadb(add(gaddr("rc_buf"), v(1)))),
+                    Stmt::StoreByte(
+                        add(gaddr("rc_buf"), v(1)),
+                        loadb(add(gaddr("rc_table"), loadb(add(gaddr("rc_buf"), v(2))))),
+                    ),
+                    Stmt::StoreByte(add(gaddr("rc_buf"), v(2)), loadb(add(gaddr("rc_table"), v(3)))),
+                    assign(1, add(v(1), c(1))),
+                    assign(2, sub(v(2), c(1))),
+                ],
+            ),
+            ret(add(loadb(gaddr("rc_buf")), loadb(add(gaddr("rc_buf"), c(1))))),
+        ],
+    );
+    let mut sel = Vec::new();
+    for ch in [b'A', b'C', b'G', b'T'] {
+        sel.extend_from_slice(&(ch as u64).to_le_bytes());
+    }
+    let sel_tab = Global { name: "rc_table_sel".into(), bytes: sel };
+    Workload {
+        name: "rev-comp".into(),
+        program: with_runtime(vec![main], vec![tab, buf, sel_tab]),
+        entry: "rev_comp_main".into(),
+        args: vec![1024],
+        obfuscate: vec!["rev_comp_main".into()],
+    }
+}
+
+/// `sp-norm`: spectral-norm-style matrix-vector products where the matrix
+/// entry is computed by a short helper called from a tight loop (the
+/// worst-case pivoting pattern discussed in §VII-C2).
+pub fn sp_norm() -> Workload {
+    let vec_u = Global { name: "sn_u".into(), bytes: vec![0u8; 16 * 8] };
+    let vec_v = Global { name: "sn_v".into(), bytes: vec![0u8; 16 * 8] };
+    let eval_a = func(
+        "sn_eval_a",
+        2,
+        1,
+        vec![
+            assign(
+                0,
+                add(
+                    b(BinOp::Div, mul(add(arg(0), arg(1)), add(add(arg(0), arg(1)), c(1))), c(2)),
+                    add(arg(0), c(1)),
+                ),
+            ),
+            ret(b(BinOp::Div, c(1 << 20), add(v(0), c(1)))),
+        ],
+    );
+    let main = func(
+        "sp_norm_main",
+        1,
+        4,
+        vec![
+            assign(0, c(0)),
+            while_(
+                b(BinOp::Lt, v(0), c(8)),
+                vec![
+                    Stmt::Store(add(gaddr("sn_u"), mul(v(0), c(8))), c(1 << 10)),
+                    assign(0, add(v(0), c(1))),
+                ],
+            ),
+            assign(3, c(0)), // checksum
+            assign(0, c(0)), // outer iteration
+            while_(
+                b(BinOp::Lt, v(0), arg(0)),
+                vec![
+                    assign(1, c(0)), // i
+                    while_(
+                        b(BinOp::Lt, v(1), c(8)),
+                        vec![
+                            assign(2, c(0)), // j
+                            Stmt::Store(add(gaddr("sn_v"), mul(v(1), c(8))), c(0)),
+                            while_(
+                                b(BinOp::Lt, v(2), c(8)),
+                                vec![
+                                    Stmt::Store(
+                                        add(gaddr("sn_v"), mul(v(1), c(8))),
+                                        add(
+                                            load(add(gaddr("sn_v"), mul(v(1), c(8)))),
+                                            mul(
+                                                call("sn_eval_a", vec![v(1), v(2)]),
+                                                shr(load(add(gaddr("sn_u"), mul(v(2), c(8)))), c(10)),
+                                            ),
+                                        ),
+                                    ),
+                                    assign(2, add(v(2), c(1))),
+                                ],
+                            ),
+                            assign(1, add(v(1), c(1))),
+                        ],
+                    ),
+                    assign(3, add(v(3), load(gaddr("sn_v")))),
+                    assign(0, add(v(0), c(1))),
+                ],
+            ),
+            ret(v(3)),
+        ],
+    );
+    Workload {
+        name: "sp-norm".into(),
+        program: with_runtime(vec![eval_a, main], vec![vec_u, vec_v]),
+        entry: "sp_norm_main".into(),
+        args: vec![6],
+        obfuscate: vec!["sp_norm_main".into(), "sn_eval_a".into()],
+    }
+}
+
+/// The ten clbg kernels of Fig. 5 / Table III, in the paper's order.
+pub fn clbg_suite() -> Vec<Workload> {
+    vec![
+        btrees(),
+        fannkuch(),
+        fasta(),
+        fasta_redux(),
+        mandelbrot(),
+        nbody(),
+        pidigits(),
+        regex_redux(),
+        rev_comp(),
+        sp_norm(),
+    ]
+}
+
+/// The base64 reference encoder of §VII-C3: encodes `len` bytes from a fixed
+/// input buffer into an output buffer through the standard alphabet table
+/// (byte manipulations + table lookups).
+pub fn base64() -> Workload {
+    let alphabet = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let tab = Global { name: "b64_table".into(), bytes: alphabet.to_vec() };
+    let inp = Global { name: "b64_in".into(), bytes: vec![0u8; 64] };
+    let out = Global { name: "b64_out".into(), bytes: vec![0u8; 128] };
+    // base64_encode(len) -> checksum of output; reads b64_in, writes b64_out.
+    // Groups shorter than three bytes are zero-filled and the unused output
+    // characters become '=' padding, exactly like the reference b64.c the
+    // paper's case study obfuscates (RFC 4648).
+    let encode = func(
+        "base64_encode",
+        1,
+        8,
+        vec![
+            assign(0, c(0)), // i (input index)
+            assign(1, c(0)), // o (output index)
+            assign(5, c(0)), // checksum
+            while_(
+                b(BinOp::Lt, v(0), arg(0)),
+                vec![
+                    // Second and third group bytes are zero past the input end.
+                    assign(6, c(0)),
+                    assign(7, c(0)),
+                    Stmt::If(
+                        b(BinOp::Lt, add(v(0), c(1)), arg(0)),
+                        vec![assign(6, loadb(add(gaddr("b64_in"), add(v(0), c(1)))))],
+                        vec![],
+                    ),
+                    Stmt::If(
+                        b(BinOp::Lt, add(v(0), c(2)), arg(0)),
+                        vec![assign(7, loadb(add(gaddr("b64_in"), add(v(0), c(2)))))],
+                        vec![],
+                    ),
+                    // Pack the (zero-filled) three input bytes into a 24-bit group.
+                    assign(
+                        2,
+                        add(
+                            add(
+                                mul(loadb(add(gaddr("b64_in"), v(0))), c(65536)),
+                                mul(v(6), c(256)),
+                            ),
+                            v(7),
+                        ),
+                    ),
+                    assign(3, c(0)), // k
+                    while_(
+                        b(BinOp::Lt, v(3), c(4)),
+                        vec![
+                            assign(
+                                4,
+                                and(shr(v(2), mul(sub(c(3), v(3)), c(6))), c(63)),
+                            ),
+                            assign(4, loadb(add(gaddr("b64_table"), v(4)))),
+                            // '=' padding for the output positions that map to
+                            // bytes beyond the input.
+                            Stmt::If(
+                                and(
+                                    b(BinOp::Eq, v(3), c(2)),
+                                    b(BinOp::Ge, add(v(0), c(1)), arg(0)),
+                                ),
+                                vec![assign(4, c(61))],
+                                vec![],
+                            ),
+                            Stmt::If(
+                                and(
+                                    b(BinOp::Eq, v(3), c(3)),
+                                    b(BinOp::Ge, add(v(0), c(2)), arg(0)),
+                                ),
+                                vec![assign(4, c(61))],
+                                vec![],
+                            ),
+                            Stmt::StoreByte(add(gaddr("b64_out"), add(v(1), v(3))), v(4)),
+                            assign(5, add(v(5), v(4))),
+                            assign(3, add(v(3), c(1))),
+                        ],
+                    ),
+                    assign(0, add(v(0), c(3))),
+                    assign(1, add(v(1), c(4))),
+                ],
+            ),
+            ret(v(5)),
+        ],
+    );
+    Workload {
+        name: "base64".into(),
+        program: with_runtime(vec![encode], vec![tab, inp, out]),
+        entry: "base64_encode".into(),
+        args: vec![24],
+        obfuscate: vec!["base64_encode".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::compile;
+    use raindrop_machine::Emulator;
+
+    fn run(w: &Workload) -> u64 {
+        let img = compile(&w.program).unwrap();
+        let mut emu = Emulator::new(&img);
+        emu.call_named(&img, &w.entry, &w.args).unwrap()
+    }
+
+    #[test]
+    fn all_clbg_kernels_compile_and_run() {
+        for w in clbg_suite() {
+            let value = run(&w);
+            // Every kernel produces a non-trivial checksum and declares at
+            // least one function to obfuscate.
+            assert!(!w.obfuscate.is_empty(), "{}", w.name);
+            // The checksum itself is workload-specific; determinism is the
+            // property we rely on.
+            let again = run(&w);
+            assert_eq!(value, again, "{} must be deterministic", w.name);
+        }
+    }
+
+    #[test]
+    fn btrees_exercises_the_allocator() {
+        let w = btrees();
+        let img = compile(&w.program).unwrap();
+        let mut emu = Emulator::new(&img);
+        emu.call_named(&img, &w.entry, &w.args).unwrap();
+        let heap_ptr = img.symbol("__heap_ptr").unwrap();
+        assert!(emu.mem.read_u64(heap_ptr) > raindrop_machine::HEAP_BASE, "allocations happened");
+        assert!(emu.stats().calls > 10, "recursive build performs many calls");
+    }
+
+    #[test]
+    fn base64_encodes_known_vector() {
+        let w = base64();
+        let img = compile(&w.program).unwrap();
+        let mut emu = Emulator::new(&img);
+        let inp = img.symbol("b64_in").unwrap();
+        emu.mem.write_bytes(inp, b"Man");
+        emu.call_named(&img, "base64_encode", &[3]).unwrap();
+        let out = img.symbol("b64_out").unwrap();
+        let mut buf = [0u8; 4];
+        emu.mem.read_bytes(out, &mut buf);
+        assert_eq!(&buf, b"TWFu", "RFC 4648 test vector");
+    }
+
+    #[test]
+    fn sp_norm_calls_its_helper_in_a_tight_loop() {
+        let w = sp_norm();
+        let img = compile(&w.program).unwrap();
+        let mut emu = Emulator::new(&img);
+        emu.call_named(&img, &w.entry, &w.args).unwrap();
+        assert!(emu.stats().calls >= 6 * 8 * 8, "eval_a called per matrix element");
+    }
+
+    #[test]
+    fn rev_comp_produces_complemented_bytes() {
+        let w = rev_comp();
+        let img = compile(&w.program).unwrap();
+        let mut emu = Emulator::new(&img);
+        emu.call_named(&img, &w.entry, &w.args).unwrap();
+        let buf = img.symbol("rc_buf").unwrap();
+        let mut bytes = vec![0u8; 16];
+        emu.mem.read_bytes(buf, &mut bytes);
+        assert!(bytes.iter().all(|b| b"ACGT".contains(b)), "alphabet preserved: {bytes:?}");
+    }
+}

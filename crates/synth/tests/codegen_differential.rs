@@ -1,0 +1,419 @@
+//! Differential tests of the MiniC → RM64 code generator against the
+//! reference interpreter, plus structural checks on the RandomFuns
+//! population (Table IV), the clbg workloads (Fig. 5 / Table III) and the
+//! coreutils-like corpus (§VII-C1).
+
+use proptest::prelude::*;
+use raindrop_machine::Emulator;
+use raindrop_synth::minic::{BinOp, Expr, Function, Program, Stmt, UnOp};
+use raindrop_synth::{
+    codegen, corpus, generate_randomfun, input_mask, paper_structures, paper_suite, workloads,
+    CorpusKind, Goal, Interp, RandomFunConfig,
+};
+
+/// Runs a program both ways and asserts the results agree.
+fn assert_agrees(program: &Program, func: &str, args: &[u64]) {
+    let mut interp = Interp::new(program);
+    let expected = interp.call(func, args).expect("interpreter succeeds");
+    let image = codegen::compile(program).expect("compiles");
+    let mut emu = Emulator::new(&image);
+    emu.set_budget(2_000_000_000);
+    let got = emu.call_named(&image, func, args).expect("runs");
+    assert_eq!(got, expected, "{func}({args:?})");
+}
+
+// --- hand-written programs -----------------------------------------------------
+
+#[test]
+fn collatz_total_stopping_time_agrees() {
+    let f = Function {
+        name: "collatz".into(),
+        params: 1,
+        locals: 2,
+        body: vec![
+            Stmt::Assign(0, Expr::Arg(0)),
+            Stmt::Assign(1, Expr::c(0)),
+            Stmt::While(
+                Expr::bin(BinOp::Gt, Expr::Var(0), Expr::c(1)),
+                vec![
+                    Stmt::If(
+                        Expr::bin(BinOp::And, Expr::Var(0), Expr::c(1)),
+                        vec![Stmt::Assign(
+                            0,
+                            Expr::bin(
+                                BinOp::Add,
+                                Expr::bin(BinOp::Mul, Expr::Var(0), Expr::c(3)),
+                                Expr::c(1),
+                            ),
+                        )],
+                        vec![Stmt::Assign(0, Expr::bin(BinOp::Div, Expr::Var(0), Expr::c(2)))],
+                    ),
+                    Stmt::Assign(1, Expr::bin(BinOp::Add, Expr::Var(1), Expr::c(1))),
+                ],
+            ),
+            Stmt::Return(Expr::Var(1)),
+        ],
+    };
+    let p = Program::new().with_function(f);
+    for n in [1u64, 2, 7, 27, 97, 1000] {
+        assert_agrees(&p, "collatz", &[n]);
+    }
+}
+
+#[test]
+fn nested_calls_and_globals_agree() {
+    let store = Function {
+        name: "store_at".into(),
+        params: 2,
+        locals: 0,
+        body: vec![
+            Stmt::Store(
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::GlobalAddr("cells".into()),
+                    Expr::bin(BinOp::Mul, Expr::Arg(0), Expr::c(8)),
+                ),
+                Expr::Arg(1),
+            ),
+            Stmt::Return(Expr::c(0)),
+        ],
+    };
+    let sum = Function {
+        name: "sum_cells".into(),
+        params: 1,
+        locals: 2,
+        body: vec![
+            Stmt::Assign(0, Expr::c(0)),
+            Stmt::Assign(1, Expr::c(0)),
+            Stmt::While(
+                Expr::bin(BinOp::Lt, Expr::Var(1), Expr::Arg(0)),
+                vec![
+                    Stmt::Assign(
+                        0,
+                        Expr::bin(
+                            BinOp::Add,
+                            Expr::Var(0),
+                            Expr::Load(Box::new(Expr::bin(
+                                BinOp::Add,
+                                Expr::GlobalAddr("cells".into()),
+                                Expr::bin(BinOp::Mul, Expr::Var(1), Expr::c(8)),
+                            ))),
+                        ),
+                    ),
+                    Stmt::Assign(1, Expr::bin(BinOp::Add, Expr::Var(1), Expr::c(1))),
+                ],
+            ),
+            Stmt::Return(Expr::Var(0)),
+        ],
+    };
+    let driver = Function {
+        name: "driver".into(),
+        params: 1,
+        locals: 1,
+        body: vec![
+            Stmt::Assign(0, Expr::c(0)),
+            Stmt::While(
+                Expr::bin(BinOp::Lt, Expr::Var(0), Expr::c(8)),
+                vec![
+                    Stmt::ExprStmt(Expr::Call(
+                        "store_at".into(),
+                        vec![
+                            Expr::Var(0),
+                            Expr::bin(BinOp::Mul, Expr::Var(0), Expr::Arg(0)),
+                        ],
+                    )),
+                    Stmt::Assign(0, Expr::bin(BinOp::Add, Expr::Var(0), Expr::c(1))),
+                ],
+            ),
+            Stmt::Return(Expr::Call("sum_cells".into(), vec![Expr::c(8)])),
+        ],
+    };
+    let p = Program::new()
+        .with_function(store)
+        .with_function(sum)
+        .with_function(driver)
+        .with_global("cells", vec![0u8; 64]);
+    for x in [0u64, 1, 3, 1000] {
+        assert_agrees(&p, "driver", &[x]);
+    }
+}
+
+#[test]
+fn byte_memory_and_unary_operators_agree() {
+    let f = Function {
+        name: "bytes".into(),
+        params: 1,
+        locals: 1,
+        body: vec![
+            Stmt::StoreByte(Expr::GlobalAddr("buf".into()), Expr::Arg(0)),
+            Stmt::StoreByte(
+                Expr::bin(BinOp::Add, Expr::GlobalAddr("buf".into()), Expr::c(1)),
+                Expr::un(UnOp::Not, Expr::Arg(0)),
+            ),
+            Stmt::Assign(
+                0,
+                Expr::bin(
+                    BinOp::Or,
+                    Expr::LoadByte(Box::new(Expr::GlobalAddr("buf".into()))),
+                    Expr::bin(
+                        BinOp::Shl,
+                        Expr::LoadByte(Box::new(Expr::bin(
+                            BinOp::Add,
+                            Expr::GlobalAddr("buf".into()),
+                            Expr::c(1),
+                        ))),
+                        Expr::c(8),
+                    ),
+                ),
+            ),
+            Stmt::Return(Expr::un(UnOp::Neg, Expr::Var(0))),
+        ],
+    };
+    let p = Program::new().with_function(f).with_global("buf", vec![0u8; 2]);
+    for x in [0u64, 0x41, 0xff, 0x1234] {
+        assert_agrees(&p, "bytes", &[x]);
+    }
+}
+
+// --- property test: random expression programs -----------------------------------
+
+/// A small strategy for arithmetic expressions over two arguments and two
+/// locals (depth-bounded).
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(Expr::Const),
+        (0usize..2).prop_map(Expr::Arg),
+        (0usize..2).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::Xor),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner)
+                .prop_map(|(op, a)| Expr::un(op, a)),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random straight-line + conditional programs evaluate identically under
+    /// the interpreter and the compiled RM64 code.
+    #[test]
+    fn random_programs_compile_to_equivalent_code(
+        init0 in arb_expr(2),
+        init1 in arb_expr(2),
+        cond in arb_expr(2),
+        then_e in arb_expr(3),
+        else_e in arb_expr(3),
+        result in arb_expr(3),
+        args in prop::collection::vec(any::<u64>(), 2),
+    ) {
+        let f = Function {
+            name: "rand_fn".into(),
+            params: 2,
+            locals: 2,
+            body: vec![
+                Stmt::Assign(0, init0),
+                Stmt::Assign(1, init1),
+                Stmt::If(cond, vec![Stmt::Assign(0, then_e)], vec![Stmt::Assign(1, else_e)]),
+                Stmt::Return(result),
+            ],
+        };
+        let p = Program::new().with_function(f);
+        let mut interp = Interp::new(&p);
+        let expected = interp.call("rand_fn", &args).unwrap();
+        let image = codegen::compile(&p).unwrap();
+        let mut emu = Emulator::new(&image);
+        emu.set_budget(100_000_000);
+        let got = emu.call_named(&image, "rand_fn", &args).unwrap();
+        prop_assert_eq!(got, expected);
+    }
+}
+
+// --- RandomFuns population (§VII-B, Table IV) ------------------------------------
+
+#[test]
+fn the_paper_structures_match_table_iv() {
+    let structures = paper_structures();
+    assert_eq!(structures.len(), 6, "six control structures");
+    // Table IV: depth / #if / #loops per structure. `Ctrl::depth()` counts
+    // the basic-block leaves as one level, so every Table IV depth appears
+    // shifted by one.
+    let expected = [(2, 1, 0), (3, 1, 1), (3, 0, 2), (4, 1, 2), (4, 3, 1), (4, 5, 0)];
+    let mut seen: Vec<(usize, usize, usize)> = structures
+        .iter()
+        .map(|(_, c)| (c.depth(), c.if_count(), c.loop_count()))
+        .collect();
+    let mut want: Vec<(usize, usize, usize)> = expected.to_vec();
+    seen.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(seen, want);
+}
+
+#[test]
+fn the_full_suite_has_72_functions() {
+    let suite = paper_suite(Goal::SecretFinding, 4);
+    assert_eq!(suite.len(), 72, "6 structures × 4 input sizes × 3 seeds");
+    let sizes: std::collections::BTreeSet<usize> =
+        suite.iter().map(|rf| rf.config.input_size).collect();
+    assert_eq!(sizes.into_iter().collect::<Vec<_>>(), vec![1, 2, 4, 8]);
+}
+
+#[test]
+fn randomfun_generation_is_deterministic_and_the_secret_validates() {
+    let (name, structure) = paper_structures().into_iter().nth(1).unwrap();
+    let config = RandomFunConfig {
+        structure,
+        structure_name: name,
+        input_size: 2,
+        seed: 3,
+        goal: Goal::SecretFinding,
+        loop_size: 3,
+    };
+    let a = generate_randomfun(config.clone());
+    let b = generate_randomfun(config);
+    assert_eq!(a.program, b.program, "same seed, same program");
+    assert_eq!(a.secret_input, b.secret_input);
+    assert_eq!(a.secret_input & !input_mask(2), 0, "secret fits the declared input size");
+
+    // The point test accepts the secret and rejects a couple of other inputs.
+    let image = codegen::compile(&a.program).unwrap();
+    let mut emu = Emulator::new(&image);
+    emu.set_budget(500_000_000);
+    assert_eq!(emu.call_named(&image, &a.name, &[a.secret_input]).unwrap(), 1);
+    let mut rejected = 0;
+    for probe in [a.secret_input ^ 1, a.secret_input.wrapping_add(7) & a.input_mask(), 0] {
+        if probe == a.secret_input {
+            continue;
+        }
+        let mut emu = Emulator::new(&image);
+        emu.set_budget(500_000_000);
+        if emu.call_named(&image, &a.name, &[probe]).unwrap() == 0 {
+            rejected += 1;
+        }
+    }
+    assert!(rejected >= 1, "the point test is not a constant function");
+}
+
+#[test]
+fn coverage_flavour_emits_probes_and_the_interpreter_agrees_with_the_emulator() {
+    let (name, structure) = paper_structures().into_iter().next().unwrap();
+    let rf = generate_randomfun(RandomFunConfig {
+        structure,
+        structure_name: name,
+        input_size: 1,
+        seed: 2,
+        goal: Goal::CodeCoverage,
+        loop_size: 3,
+    });
+    assert!(rf.probe_count > 0, "coverage flavour annotates split/join points");
+    let image = codegen::compile(&rf.program).unwrap();
+    for input in 0..8u64 {
+        let mut interp = Interp::new(&rf.program);
+        let expected = interp.call(&rf.name, &[input]).unwrap();
+        let mut emu = Emulator::new(&image);
+        emu.set_budget(500_000_000);
+        assert_eq!(emu.call_named(&image, &rf.name, &[input]).unwrap(), expected);
+    }
+}
+
+// --- clbg workloads and base64 (§VII-C) --------------------------------------------
+
+#[test]
+fn every_clbg_kernel_compiles_runs_and_is_deterministic() {
+    let suite = workloads::clbg_suite();
+    assert_eq!(suite.len(), 10, "the ten kernels of Fig. 5 / Table III");
+    let names: Vec<&str> = suite.iter().map(|w| w.name.as_str()).collect();
+    for expected in
+        ["b-trees", "fannkuch", "fasta", "mandelbrot", "n-body", "pidigits", "sp-norm"]
+    {
+        assert!(names.contains(&expected), "{expected} missing from the suite");
+    }
+    for w in &suite {
+        let image = codegen::compile(&w.program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let mut e1 = Emulator::new(&image);
+        e1.set_budget(20_000_000_000);
+        let r1 = e1.call_named(&image, &w.entry, &w.args).unwrap();
+        let mut e2 = Emulator::new(&image);
+        e2.set_budget(20_000_000_000);
+        let r2 = e2.call_named(&image, &w.entry, &w.args).unwrap();
+        assert_eq!(r1, r2, "{} is deterministic", w.name);
+        assert!(!w.obfuscate.is_empty(), "{} declares functions to obfuscate", w.name);
+        for f in &w.obfuscate {
+            assert!(w.program.function(f).is_some(), "{}: obfuscation target {f} exists", w.name);
+        }
+    }
+}
+
+#[test]
+fn base64_reference_vectors_hold() {
+    // RFC 4648 test vectors, written through guest memory.
+    let w = workloads::base64();
+    let image = codegen::compile(&w.program).unwrap();
+    let input_addr = image.symbol("b64_in").unwrap();
+    let output_addr = image.symbol("b64_out").unwrap();
+    for (plain, encoded) in [
+        ("f", "Zg=="),
+        ("fo", "Zm8="),
+        ("foo", "Zm9v"),
+        ("foob", "Zm9vYg=="),
+        ("fooba", "Zm9vYmE="),
+        ("foobar", "Zm9vYmFy"),
+    ] {
+        let mut emu = Emulator::new(&image);
+        emu.set_budget(500_000_000);
+        emu.mem.write_bytes(input_addr, plain.as_bytes());
+        emu.call_named(&image, "base64_encode", &[plain.len() as u64]).unwrap();
+        let mut buf = vec![0u8; encoded.len()];
+        emu.mem.read_bytes(output_addr, &mut buf);
+        assert_eq!(&buf, encoded.as_bytes(), "base64({plain})");
+    }
+}
+
+// --- corpus (§VII-C1) -----------------------------------------------------------------
+
+#[test]
+fn the_corpus_is_heterogeneous_and_reproducible() {
+    let c1 = corpus::generate(200, 42);
+    let c2 = corpus::generate(200, 42);
+    assert_eq!(c1.entries, c2.entries, "same seed, same corpus");
+    assert_eq!(c1.image.text, c2.image.text);
+    assert!(c1.entries.len() >= 200);
+    // Every declared entry exists in the image.
+    for e in &c1.entries {
+        assert!(c1.image.function(&e.name).is_ok(), "{} missing", e.name);
+    }
+    // The failure-bucket kinds of §VII-C1 are all represented.
+    for kind in [
+        CorpusKind::Ordinary,
+        CorpusKind::Tiny,
+        CorpusKind::RegisterPressure,
+        CorpusKind::Unsupported,
+    ] {
+        assert!(!c1.names_of(kind).is_empty(), "{kind:?} bucket is empty");
+    }
+    // Ordinary functions dominate, as in coreutils.
+    assert!(c1.names_of(CorpusKind::Ordinary).len() * 2 > c1.entries.len());
+    // Tiny functions really are tiny.
+    for name in c1.names_of(CorpusKind::Tiny) {
+        assert!(c1.image.function(name).unwrap().size < 60);
+    }
+}

@@ -1,0 +1,120 @@
+//! The attacker's workbench (§VII-A in miniature): take one Tigress-style
+//! function, protect it under several Table I configurations, and throw the
+//! whole automated toolbox at each variant — DSE for secret finding (G1) and
+//! code coverage (G2), taint-driven simplification (A3), ROPMEMU-style flag
+//! flipping (A2) and ROPDissector-style gadget guessing (A1).
+//!
+//! Run with `cargo run --release -p raindrop-bench --example attack_workbench`.
+
+use raindrop::{Rewriter, RopConfig};
+use raindrop_attacks::concolic::{DseAttack, DseBudget, Goal, InputSpec};
+use raindrop_attacks::{chain_symbol, flip_exploration, gadget_guess, simplify};
+use raindrop_bench::{prepare_randomfun, ObfKind};
+use raindrop_machine::Image;
+use raindrop_obfvm::ImplicitAt;
+use raindrop_synth::{codegen, generate_randomfun, paper_structures, Goal as RfGoal, RandomFun, RandomFunConfig};
+use std::time::Duration;
+
+fn protect_rop(rf: &RandomFun, config: RopConfig) -> Image {
+    let mut image = codegen::compile(&rf.program).expect("compiles");
+    let mut rw = Rewriter::new(&mut image, config);
+    rw.rewrite_function(&mut image, &rf.name).expect("rewrites");
+    image
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (name, structure) = paper_structures().into_iter().nth(1).unwrap();
+    let rf = generate_randomfun(RandomFunConfig {
+        structure,
+        structure_name: name.clone(),
+        input_size: 2,
+        seed: 7,
+        goal: RfGoal::SecretFinding,
+        loop_size: 3,
+    });
+    let rf_cov = generate_randomfun(RandomFunConfig {
+        structure: paper_structures().into_iter().nth(1).unwrap().1,
+        structure_name: name,
+        input_size: 2,
+        seed: 7,
+        goal: RfGoal::CodeCoverage,
+        loop_size: 3,
+    });
+    println!("target: {} (secret {:#x}, {} coverage probes)\n", rf.name, rf.secret_input, rf_cov.probe_count);
+
+    let budget = DseBudget {
+        total_instructions: 15_000_000,
+        per_path_instructions: 2_000_000,
+        max_paths: 120,
+        max_wall: Duration::from_secs(10),
+    };
+
+    // The variants under test. ROP configurations are built explicitly so P2
+    // and gadget confusion are on for the ROP-aware attacks.
+    let mut full_rop = RopConfig::full();
+    full_rop.seed = 11;
+    let variants: Vec<(String, Image, Image)> = vec![
+        (
+            "NATIVE".to_string(),
+            prepare_randomfun(&rf, &ObfKind::Native, 1)?,
+            prepare_randomfun(&rf_cov, &ObfKind::Native, 1)?,
+        ),
+        (
+            "2VM-IMPlast".to_string(),
+            prepare_randomfun(&rf, &ObfKind::Vm { layers: 2, implicit: ImplicitAt::Last }, 1)?,
+            prepare_randomfun(&rf_cov, &ObfKind::Vm { layers: 2, implicit: ImplicitAt::Last }, 1)?,
+        ),
+        (
+            "ROP(plain)".to_string(),
+            protect_rop(&rf, RopConfig::plain().with_seed(11)),
+            protect_rop(&rf_cov, RopConfig::plain().with_seed(11)),
+        ),
+        (
+            "ROP(full)".to_string(),
+            protect_rop(&rf, full_rop.clone()),
+            protect_rop(&rf_cov, full_rop),
+        ),
+    ];
+
+    println!(
+        "{:<12} {:>8} {:>10} {:>8} {:>10} {:>9} {:>10} {:>11} {:>10}",
+        "config", "G1", "G1 instr", "G2", "G2 instr", "TDS keep", "flip new", "flip derail", "guess cand"
+    );
+    for (label, secret_img, cov_img) in &variants {
+        let mut g1 = DseAttack::new(
+            secret_img,
+            &rf.name,
+            InputSpec::RegisterArg { size_bytes: 2 },
+            budget,
+        );
+        let g1_out = g1.run(Goal::Secret { want: 1 });
+        let mut g2 = DseAttack::new(
+            cov_img,
+            &rf_cov.name,
+            InputSpec::RegisterArg { size_bytes: 2 },
+            budget,
+        );
+        let g2_out = g2.run(Goal::Coverage { total_probes: rf_cov.probe_count });
+
+        let tds = simplify(secret_img, &rf.name, rf.secret_input, 100_000_000);
+        let flip = flip_exploration(cov_img, &rf_cov.name, 1, 50_000_000);
+        let guess = gadget_guess(secret_img, &chain_symbol(&rf.name));
+
+        println!(
+            "{:<12} {:>8} {:>10} {:>8} {:>10} {:>8.0}% {:>10} {:>11} {:>10}",
+            label,
+            if g1_out.success { "cracked" } else { "resists" },
+            g1_out.instructions,
+            if g2_out.success { "covered" } else { "partial" },
+            g2_out.instructions,
+            100.0 * tds.relevant as f64 / tds.trace_len.max(1) as f64,
+            flip.new_blocks,
+            flip.derailed_runs,
+            guess.unaligned_candidates,
+        );
+    }
+    println!("\nG1 = secret finding, G2 = code coverage (both under the same fixed budget).");
+    println!("TDS keep = fraction of the trace the simplifier must keep; flip = ROPMEMU-style");
+    println!("flag flipping; guess = ROPDissector-style speculative gadget candidates.");
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Figure 1 of the paper, reproduced by hand: a ROP chain with non-linear
+//! control flow that assigns `rdi = 1` when `rax == 0` and `rdi = 2`
+//! otherwise, using the `neg`/`adc` carry leak and a variable RSP addend.
+//!
+//! The example prints the chain layout (gadget addresses interleaved with
+//! immediates) and then executes it for a few values of `rax`, tracing the
+//! stack pointer so the "RSP as program counter" behaviour is visible.
+//!
+//! Run with `cargo run --release -p raindrop-bench --example figure1`.
+
+use raindrop_machine::{encode_all, AluOp, Assembler, Emulator, ImageBuilder, Inst, Reg};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A minimal image: one stub function whose bare `ret` ignites the chain.
+    let mut stub = Assembler::new();
+    stub.inst(Inst::Ret);
+    let mut builder = ImageBuilder::new();
+    builder.add_function("stub", stub);
+    let mut image = builder.build()?;
+
+    // The gadget pool of Figure 1, appended to .text as dead code.
+    let mut gadget = |name: &str, insts: &[Inst]| {
+        let mut v = insts.to_vec();
+        v.push(Inst::Ret);
+        let addr = image.append_text(None, &encode_all(&v));
+        println!("  gadget {addr:#x}  {name}");
+        addr
+    };
+    println!("gadget pool:");
+    let pop_rcx = gadget("pop rcx; ret", &[Inst::Pop(Reg::Rcx)]);
+    let neg_rax = gadget("neg rax; ret", &[Inst::Neg(Reg::Rax)]);
+    let adc = gadget("adc rcx, rcx; ret", &[Inst::Alu(AluOp::Adc, Reg::Rcx, Reg::Rcx)]);
+    let pop_rsi = gadget("pop rsi; ret", &[Inst::Pop(Reg::Rsi)]);
+    let neg_rcx = gadget("neg rcx; ret", &[Inst::Neg(Reg::Rcx)]);
+    let and_rsi_rcx = gadget("and rsi, rcx; ret", &[Inst::Alu(AluOp::And, Reg::Rsi, Reg::Rcx)]);
+    let add_rsp_rsi = gadget("add rsp, rsi; ret", &[Inst::Alu(AluOp::Add, Reg::Rsp, Reg::Rsi)]);
+    let pop_rdi = gadget("pop rdi; ret", &[Inst::Pop(Reg::Rdi)]);
+    let pop_rsi_rbp = gadget("pop rsi; pop rbp; ret", &[Inst::Pop(Reg::Rsi), Inst::Pop(Reg::Rbp)]);
+    let hlt = image.append_text(None, &encode_all(&[Inst::Hlt]));
+
+    // The chain: `rdi = (rax == 0) ? 1 : 2`, then halt.
+    let chain: Vec<(u64, &str)> = vec![
+        (pop_rcx, "pop rcx"),
+        (0x0, "  imm 0"),
+        (neg_rax, "neg rax            (CF = rax != 0)"),
+        (adc, "adc rcx, rcx       (rcx = CF)"),
+        (pop_rsi, "pop rsi"),
+        (0x18, "  imm 0x18         (branch displacement)"),
+        (neg_rcx, "neg rcx            (0 or -1)"),
+        (and_rsi_rcx, "and rsi, rcx       (0 or 0x18)"),
+        (add_rsp_rsi, "add rsp, rsi       <-- the ROP branch"),
+        (pop_rdi, "pop rdi            fall-through path"),
+        (0x1, "  imm 1"),
+        (pop_rsi_rbp, "pop rsi; pop rbp   skips the alternative segment"),
+        (pop_rdi, "pop rdi            taken path"),
+        (0x2, "  imm 2"),
+        (hlt, "hlt                (chain end for this demo)"),
+    ];
+
+    let mut bytes = Vec::new();
+    for (v, _) in &chain {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    let chain_addr = image.append_data(Some("fig1_chain"), &bytes);
+    println!("\nchain at {chain_addr:#x}:");
+    for (i, (v, label)) in chain.iter().enumerate() {
+        println!("  +{:#04x}  {v:#012x}  {label}", i * 8);
+    }
+
+    for rax in [0u64, 5, u64::MAX] {
+        let mut emu = Emulator::new(&image);
+        emu.set_tracing(true);
+        emu.set_reg(Reg::Rax, rax);
+        emu.set_reg(Reg::Rsp, chain_addr);
+        emu.cpu.rip = image.symbol("stub")?;
+        emu.run()?;
+        let trace = emu.take_trace();
+        let rsp_path: Vec<String> = trace
+            .iter()
+            .filter(|e| matches!(e.inst, Inst::Ret))
+            .map(|e| format!("+{:#x}", e.rsp_before - chain_addr))
+            .collect();
+        println!(
+            "\nrax = {rax:<22} -> rdi = {}   (RSP visited chain offsets: {})",
+            emu.reg(Reg::Rdi),
+            rsp_path.join(" ")
+        );
+        assert_eq!(emu.reg(Reg::Rdi), if rax == 0 { 1 } else { 2 });
+    }
+    Ok(())
+}

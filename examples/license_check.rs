@@ -1,0 +1,51 @@
+//! A license-check scenario: generate a Tigress-style point-test function,
+//! protect it with increasing strength, and attack each variant with the
+//! concolic engine under a fixed work budget.
+//!
+//! Run with `cargo run --release -p raindrop-bench --example license_check`.
+
+use raindrop_attacks::concolic::{DseAttack, DseBudget, Goal, InputSpec};
+use raindrop_bench::{prepare_randomfun, ObfKind};
+use raindrop_synth::{randomfuns, Goal as RfGoal};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rf = randomfuns::generate(raindrop_synth::RandomFunConfig {
+        structure: randomfuns::Ctrl::for_(randomfuns::Ctrl::if_(
+            randomfuns::Ctrl::bb(4),
+            randomfuns::Ctrl::bb(4),
+        )),
+        structure_name: "(for (if (bb 4) (bb 4)))".into(),
+        input_size: 4,
+        seed: 42,
+        goal: RfGoal::SecretFinding,
+        loop_size: 4,
+    });
+    println!("license key (secret input): {:#x}", rf.secret_input);
+
+    let budget = DseBudget {
+        total_instructions: 10_000_000,
+        per_path_instructions: 2_000_000,
+        max_paths: 100,
+        max_wall: Duration::from_secs(5),
+    };
+    for kind in [ObfKind::Native, ObfKind::Rop { k: 0.0 }, ObfKind::Rop { k: 1.0 }] {
+        let image = prepare_randomfun(&rf, &kind, 7)?;
+        let mut attack = DseAttack::new(
+            &image,
+            &rf.name,
+            InputSpec::RegisterArg { size_bytes: 4 },
+            budget,
+        );
+        let out = attack.run(Goal::Secret { want: 1 });
+        println!(
+            "{:<10} cracked={} paths={} instructions={} witness={:?}",
+            kind.label(),
+            out.success,
+            out.paths,
+            out.instructions,
+            out.witness.map(|w| format!("{:#x}", w[0]))
+        );
+    }
+    Ok(())
+}

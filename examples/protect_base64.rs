@@ -1,0 +1,43 @@
+//! Protecting a real encoding routine: rewrite the base64 encoder into a ROP
+//! chain, verify it still matches RFC 4648 output, and show the run-time
+//! cost.
+//!
+//! Run with `cargo run --release -p raindrop-bench --example protect_base64`.
+
+use raindrop::{Rewriter, RopConfig};
+use raindrop_machine::Emulator;
+use raindrop_synth::{codegen, workloads};
+
+fn encode(image: &raindrop_machine::Image, data: &[u8]) -> Result<(String, u64), Box<dyn std::error::Error>> {
+    let mut emu = Emulator::new(image);
+    emu.set_budget(5_000_000_000);
+    emu.mem.write_bytes(image.symbol("b64_in")?, data);
+    emu.call_named(image, "base64_encode", &[data.len() as u64])?;
+    let out_len = data.len().div_ceil(3) * 4;
+    let mut buf = vec![0u8; out_len];
+    emu.mem.read_bytes(image.symbol("b64_out")?, &mut buf);
+    Ok((String::from_utf8_lossy(&buf).into_owned(), emu.stats().cycles))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = workloads::base64();
+    let original = codegen::compile(&w.program)?;
+    let mut protected = original.clone();
+    let mut rewriter = Rewriter::new(&mut protected, RopConfig::full());
+    rewriter.rewrite_function(&mut protected, "base64_encode")?;
+
+    for input in [b"Man".as_slice(), b"light work.".as_slice()] {
+        let (plain, plain_cycles) = encode(&original, input)?;
+        let (obf, obf_cycles) = encode(&protected, input)?;
+        assert_eq!(plain, obf);
+        println!(
+            "base64({:?}) = {}   native {} cycles, ROP {} cycles ({:.1}x)",
+            String::from_utf8_lossy(input),
+            obf,
+            plain_cycles,
+            obf_cycles,
+            obf_cycles as f64 / plain_cycles as f64
+        );
+    }
+    Ok(())
+}

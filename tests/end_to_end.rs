@@ -1,0 +1,83 @@
+//! End-to-end integration tests across crates: synth → obfuscate (VM and/or
+//! ROP) → run → attack, plus a property test on the differential verifier.
+
+use proptest::prelude::*;
+use raindrop::{equivalent, Rewriter, RopConfig, TestCase};
+use raindrop_bench::{prepare_randomfun, ObfKind};
+use raindrop_machine::Emulator;
+use raindrop_obfvm::ImplicitAt;
+use raindrop_synth::{codegen, randomfuns, Goal};
+
+fn sample_rf(seed: u64, input_size: usize, goal: Goal) -> raindrop_synth::RandomFun {
+    randomfuns::generate(raindrop_synth::RandomFunConfig {
+        structure: randomfuns::Ctrl::for_(randomfuns::Ctrl::if_(
+            randomfuns::Ctrl::bb(4),
+            randomfuns::Ctrl::bb(4),
+        )),
+        structure_name: "(for (if (bb 4) (bb 4)))".into(),
+        input_size,
+        seed,
+        goal,
+        loop_size: 3,
+    })
+}
+
+#[test]
+fn rop_over_vm_obfuscated_code_still_works() {
+    // §IV-C: the rewriter can be applied on top of already-obfuscated code.
+    let rf = sample_rf(5, 2, Goal::SecretFinding);
+    let vm_program =
+        raindrop_obfvm::apply(&rf.program, &rf.name, raindrop_obfvm::VmConfig::plain(1)).unwrap();
+    let mut image = codegen::compile(&vm_program).unwrap();
+    let mut rw = Rewriter::new(&mut image, RopConfig::ropk(0.25));
+    rw.rewrite_function(&mut image, &rf.name).unwrap();
+    let mut emu = Emulator::new(&image);
+    emu.set_budget(2_000_000_000);
+    assert_eq!(emu.call_named(&image, &rf.name, &[rf.secret_input]).unwrap(), 1);
+    assert_eq!(emu.call_named(&image, &rf.name, &[rf.secret_input ^ 1]).unwrap(), 0);
+}
+
+#[test]
+fn every_table1_family_preserves_point_test_semantics() {
+    let rf = sample_rf(9, 1, Goal::SecretFinding);
+    for kind in [
+        ObfKind::Native,
+        ObfKind::Rop { k: 0.05 },
+        ObfKind::Rop { k: 1.0 },
+        ObfKind::Vm { layers: 1, implicit: ImplicitAt::All },
+        ObfKind::Vm { layers: 2, implicit: ImplicitAt::Last },
+    ] {
+        let image = prepare_randomfun(&rf, &kind, 3).expect("prepare");
+        let mut emu = Emulator::new(&image);
+        emu.set_budget(2_000_000_000);
+        assert_eq!(
+            emu.call_named(&image, &rf.name, &[rf.secret_input]).unwrap(),
+            1,
+            "{}",
+            kind.label()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Differential property: for random inputs, the ROP-rewritten coverage
+    /// flavour computes exactly the same hash as the original.
+    #[test]
+    fn rewritten_hash_function_is_equivalent_on_random_inputs(
+        seed in 1u64..6,
+        inputs in proptest::collection::vec(any::<u64>(), 1..5)
+    ) {
+        let rf = sample_rf(seed, 2, Goal::CodeCoverage);
+        let original = codegen::compile(&rf.program).unwrap();
+        let mut protected = original.clone();
+        let mut rw = Rewriter::new(&mut protected, RopConfig::full());
+        rw.rewrite_function(&mut protected, &rf.name).unwrap();
+        let cases: Vec<TestCase> = inputs
+            .iter()
+            .map(|i| TestCase::args(&[i & rf.input_mask()]))
+            .collect();
+        prop_assert!(equivalent(&original, &protected, &rf.name, &cases));
+    }
+}

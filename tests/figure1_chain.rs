@@ -1,0 +1,64 @@
+//! Figure 1 of the paper: a hand-built ROP chain with a non-linear control
+//! flow that assigns RDI = 1 when RAX == 0 and RDI = 2 otherwise, using the
+//! neg/adc flag leak and a variable RSP addend.
+
+use raindrop_machine::{encode_all, AluOp, Emulator, ImageBuilder, Inst, Mem, Reg, Assembler};
+
+#[test]
+fn figure1_branching_chain_behaves_as_published() {
+    // Gadget pool (the instruction sequences shown in the figure).
+    let mut builder = ImageBuilder::new();
+    let mut stub = Assembler::new();
+    stub.inst(Inst::Ret);
+    builder.add_function("stub", stub);
+    let mut image = builder.build().unwrap();
+
+    let g = |image: &mut raindrop_machine::Image, insts: &[Inst]| {
+        let mut v = insts.to_vec();
+        v.push(Inst::Ret);
+        image.append_text(None, &encode_all(&v))
+    };
+    let pop_rcx = g(&mut image, &[Inst::Pop(Reg::Rcx)]);
+    let neg_rax = g(&mut image, &[Inst::Neg(Reg::Rax)]);
+    let adc = g(&mut image, &[Inst::Alu(AluOp::Adc, Reg::Rcx, Reg::Rcx)]);
+    let pop_rsi = g(&mut image, &[Inst::Pop(Reg::Rsi)]);
+    let neg_rcx = g(&mut image, &[Inst::Neg(Reg::Rcx)]);
+    let and_rsi_rcx = g(&mut image, &[Inst::Alu(AluOp::And, Reg::Rsi, Reg::Rcx)]);
+    let add_rsp_rsi = g(&mut image, &[Inst::Alu(AluOp::Add, Reg::Rsp, Reg::Rsi)]);
+    let pop_rdi = g(&mut image, &[Inst::Pop(Reg::Rdi)]);
+    let pop_rsi_rbp = g(&mut image, &[Inst::Pop(Reg::Rsi), Inst::Pop(Reg::Rbp)]);
+    let hlt = image.append_text(None, &encode_all(&[Inst::Hlt]));
+
+    // The chain of Figure 1 (gadget addresses interleaved with immediates).
+    let chain: Vec<u64> = vec![
+        pop_rcx, 0x0,            // rcx = 0
+        neg_rax,                  // CF = (rax != 0)
+        adc,                      // rcx = CF
+        pop_rsi, 0x18,            // rsi = 0x18 (branch displacement)
+        neg_rcx,                  // rcx = 0 or -1
+        and_rsi_rcx,              // rsi = 0 or 0x18
+        add_rsp_rsi,              // the ROP branch (skips 0x18 bytes = 3 slots)
+        // fall-through path (rax == 0): rdi = 1, then the pop rsi/rbp gadget
+        // disposes of the alternative 0x10-byte segment [pop rdi, 0x2] below
+        pop_rdi, 0x1,
+        pop_rsi_rbp,
+        // taken path (rax != 0): rdi = 2
+        pop_rdi, 0x2,
+        // next: halt so the test can observe the registers
+        hlt,
+    ];
+    let mut bytes = Vec::new();
+    for v in &chain {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    let chain_addr = image.append_data(Some("fig1_chain"), &bytes);
+
+    for (rax, expected_rdi) in [(0u64, 1u64), (5, 2), (u64::MAX, 2)] {
+        let mut emu = Emulator::new(&image);
+        emu.set_reg(Reg::Rax, rax);
+        emu.set_reg(Reg::Rsp, chain_addr);
+        emu.cpu.rip = image.symbol("stub").unwrap(); // a bare `ret` starts the chain
+        emu.run().unwrap();
+        assert_eq!(emu.reg(Reg::Rdi), expected_rdi, "rax = {rax}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Cross-crate integration test for the stack-switching runtime (Figs. 3-4):
+//! ROP-rewritten functions calling native helpers, other ROP functions and
+//! themselves (recursion), with the ss array staying balanced.
+
+use raindrop::{Rewriter, RopConfig, SS_SYMBOL};
+use raindrop_machine::Emulator;
+use raindrop_synth::minic::{BinOp, Expr, Function, Program, Stmt};
+use raindrop_synth::codegen;
+
+fn fib_program() -> Program {
+    // fib(n) recursive + a native helper add3(a, b) = a + b + 3 used inside.
+    let add3 = Function {
+        name: "add3".into(),
+        params: 2,
+        locals: 0,
+        body: vec![Stmt::Return(Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, Expr::Arg(0), Expr::Arg(1)),
+            Expr::c(3),
+        ))],
+    };
+    let fib = Function {
+        name: "fib".into(),
+        params: 1,
+        locals: 1,
+        body: vec![
+            Stmt::If(
+                Expr::bin(BinOp::Lt, Expr::Arg(0), Expr::c(2)),
+                vec![Stmt::Return(Expr::Arg(0))],
+                vec![],
+            ),
+            Stmt::Assign(
+                0,
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::Call("fib".into(), vec![Expr::bin(BinOp::Sub, Expr::Arg(0), Expr::c(1))]),
+                    Expr::Call("fib".into(), vec![Expr::bin(BinOp::Sub, Expr::Arg(0), Expr::c(2))]),
+                ),
+            ),
+            Stmt::Return(Expr::Var(0)),
+        ],
+    };
+    let driver = Function {
+        name: "driver".into(),
+        params: 1,
+        locals: 0,
+        body: vec![Stmt::Return(Expr::Call(
+            "add3".into(),
+            vec![
+                Expr::Call("fib".into(), vec![Expr::Arg(0)]),
+                Expr::Call("fib".into(), vec![Expr::bin(BinOp::Sub, Expr::Arg(0), Expr::c(1))]),
+            ],
+        ))],
+    };
+    Program { functions: vec![add3, fib, driver], globals: vec![] }
+}
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib(n - 1) + fib(n - 2)
+    }
+}
+
+#[test]
+fn rop_to_native_and_rop_to_rop_calls_with_recursion() {
+    let program = fib_program();
+    let original = codegen::compile(&program).unwrap();
+
+    // Rewrite fib and driver, keep add3 native: the driver chain calls both
+    // a ROP function (fib, recursive) and a native one (add3).
+    let mut protected = original.clone();
+    let mut rw = Rewriter::new(&mut protected, RopConfig::full());
+    rw.rewrite_function(&mut protected, "fib").unwrap();
+    rw.rewrite_function(&mut protected, "driver").unwrap();
+
+    for n in [2u64, 5, 8, 10] {
+        let mut emu_orig = Emulator::new(&original);
+        let mut emu_obf = Emulator::new(&protected);
+        emu_obf.set_budget(2_000_000_000);
+        let expected = emu_orig.call_named(&original, "driver", &[n]).unwrap();
+        assert_eq!(expected, fib(n) + fib(n - 1) + 3);
+        let got = emu_obf.call_named(&protected, "driver", &[n]).unwrap();
+        assert_eq!(got, expected, "driver({n})");
+        // The stack-switching array must be balanced after every call.
+        let ss = protected.symbol(SS_SYMBOL).unwrap();
+        assert_eq!(emu_obf.mem.read_u64(ss), 0, "ss count balanced after driver({n})");
+    }
+}
