@@ -13,16 +13,7 @@ use std::fmt;
 
 /// Identifier of a basic block within a [`Cfg`].
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub struct BlockId(pub usize);
 
@@ -54,10 +45,7 @@ impl FuncCode {
 
     /// The instruction starting at `addr`, if any.
     pub fn inst_at(&self, addr: u64) -> Option<&Inst> {
-        self.insts
-            .iter()
-            .find(|(a, _)| *a == addr)
-            .map(|(_, i)| i)
+        self.insts.iter().find(|(a, _)| *a == addr).map(|(_, i)| i)
     }
 }
 
@@ -259,10 +247,7 @@ impl Cfg {
 
     /// Number of conditional branches in the function.
     pub fn branch_count(&self) -> usize {
-        self.blocks
-            .iter()
-            .filter(|b| matches!(b.term, Terminator::Branch { .. }))
-            .count()
+        self.blocks.iter().filter(|b| matches!(b.term, Terminator::Branch { .. })).count()
     }
 }
 
@@ -277,10 +262,8 @@ pub fn decode_function(image: &Image, name: &str) -> Result<FuncCode, CfgError> 
     let mut insts = Vec::new();
     let mut off = 0usize;
     while off < bytes.len() {
-        let (inst, len) = decode(&bytes[off..]).map_err(|source| CfgError::Decode {
-            addr: sym.addr + off as u64,
-            source,
-        })?;
+        let (inst, len) = decode(&bytes[off..])
+            .map_err(|source| CfgError::Decode { addr: sym.addr + off as u64, source })?;
         insts.push((sym.addr + off as u64, inst));
         off += len;
     }
@@ -304,8 +287,7 @@ fn switch_targets(image: &Image, func: &FuncCode, mem: Mem) -> Option<(u64, Vec<
     }
     let mut targets = Vec::new();
     let mut addr = table_addr;
-    loop {
-        let Ok(bytes) = image.data_slice(addr, 8) else { break };
+    while let Ok(bytes) = image.data_slice(addr, 8) {
         let entry = u64::from_le_bytes(bytes.try_into().expect("8-byte slice"));
         if entry < func.addr || entry >= func.end_addr() {
             break;
@@ -393,10 +375,8 @@ pub fn reconstruct_from_code(image: &Image, func: &FuncCode) -> Result<Cfg, CfgE
                 // `jmp reg` not backed by a recognizable table is rejected.
                 return Err(CfgError::UnresolvedIndirectJump { addr: *addr });
             }
-            Inst::Ret | Inst::Hlt => {
-                if next < end_addr {
-                    leaders.insert(next);
-                }
+            Inst::Ret | Inst::Hlt if next < end_addr => {
+                leaders.insert(next);
             }
             _ => {}
         }
@@ -404,21 +384,14 @@ pub fn reconstruct_from_code(image: &Image, func: &FuncCode) -> Result<Cfg, CfgE
 
     // Pass 2: carve blocks between leaders.
     let leader_list: Vec<u64> = leaders.iter().copied().collect();
-    let addr_to_block: BTreeMap<u64, BlockId> = leader_list
-        .iter()
-        .enumerate()
-        .map(|(i, a)| (*a, BlockId(i)))
-        .collect();
+    let addr_to_block: BTreeMap<u64, BlockId> =
+        leader_list.iter().enumerate().map(|(i, a)| (*a, BlockId(i))).collect();
 
     let mut blocks = Vec::with_capacity(leader_list.len());
     for (i, &start) in leader_list.iter().enumerate() {
         let block_end = leader_list.get(i + 1).copied().unwrap_or(end_addr);
-        let insts: Vec<(u64, Inst)> = func
-            .insts
-            .iter()
-            .filter(|(a, _)| *a >= start && *a < block_end)
-            .cloned()
-            .collect();
+        let insts: Vec<(u64, Inst)> =
+            func.insts.iter().filter(|(a, _)| *a >= start && *a < block_end).cloned().collect();
         let last = insts.last().cloned();
         let term = match last {
             Some((addr, Inst::Ret)) | Some((addr, Inst::Hlt)) => {
@@ -622,10 +595,7 @@ mod tests {
         let mut b = ImageBuilder::new();
         b.add_function("bad", a);
         let img = b.build().unwrap();
-        assert!(matches!(
-            reconstruct(&img, "bad"),
-            Err(CfgError::TargetOutsideFunction { .. })
-        ));
+        assert!(matches!(reconstruct(&img, "bad"), Err(CfgError::TargetOutsideFunction { .. })));
     }
 
     #[test]

@@ -280,9 +280,6 @@ mod tests {
         );
         let b2 = cfg2.entry();
         let call_idx = cfg2.block(b2).insts.len() - 2;
-        assert!(
-            !d2.before(b2, call_idx).contains(Reg::Rdi),
-            "constant argument not derived"
-        );
+        assert!(!d2.before(b2, call_idx).contains(Reg::Rdi), "constant argument not derived");
     }
 }

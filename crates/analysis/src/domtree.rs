@@ -116,12 +116,7 @@ mod tests {
         let dom = compute(&cfg);
 
         let entry = cfg.entry();
-        let join = cfg
-            .blocks
-            .iter()
-            .find(|b| matches!(b.term, Terminator::Return))
-            .unwrap()
-            .id;
+        let join = cfg.blocks.iter().find(|b| matches!(b.term, Terminator::Return)).unwrap().id;
         // The entry dominates everything; neither arm dominates the join.
         for b in &cfg.blocks {
             assert!(dom.dominates(entry, b.id));
@@ -153,28 +148,15 @@ mod tests {
         let img = b.build().unwrap();
         let cfg = cfg::reconstruct(&img, "f").unwrap();
         let dom = compute(&cfg);
-        let header = cfg
-            .blocks
-            .iter()
-            .find(|b| matches!(b.term, Terminator::Branch { .. }))
-            .unwrap()
-            .id;
+        let header =
+            cfg.blocks.iter().find(|b| matches!(b.term, Terminator::Branch { .. })).unwrap().id;
         for blk in &cfg.blocks {
             if blk.id != cfg.entry() {
-                assert!(
-                    dom.dominates(cfg.entry(), blk.id),
-                    "entry dominates {}",
-                    blk.id
-                );
+                assert!(dom.dominates(cfg.entry(), blk.id), "entry dominates {}", blk.id);
             }
         }
         // The body (the sub/jmp block) is dominated by the header.
-        let body = cfg
-            .blocks
-            .iter()
-            .find(|b| matches!(b.term, Terminator::Jump(_)))
-            .unwrap()
-            .id;
+        let body = cfg.blocks.iter().find(|b| matches!(b.term, Terminator::Jump(_))).unwrap().id;
         assert!(dom.dominates(header, body));
         assert!(!dom.dominates(body, header));
     }

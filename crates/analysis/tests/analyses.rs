@@ -83,12 +83,8 @@ fn loop_back_edges_are_recovered() {
     let g = cfg::reconstruct(&img, "f").unwrap();
     // Some block must have a successor with a lower or equal id (the back
     // edge to the loop head).
-    let has_back_edge = g.blocks.iter().any(|b| {
-        b.term
-            .successors()
-            .iter()
-            .any(|s| g.block(*s).start <= b.start)
-    });
+    let has_back_edge =
+        g.blocks.iter().any(|b| b.term.successors().iter().any(|s| g.block(*s).start <= b.start));
     assert!(has_back_edge, "loop produces a back edge");
     let preds = g.predecessors();
     // The loop head has two predecessors: entry and the latch.
@@ -216,9 +212,7 @@ fn arguments_read_on_entry_are_live_in() {
 #[test]
 fn dead_registers_are_not_live_in() {
     let img = image_of(|a| {
-        a.inst(Inst::MovRI(Reg::Rax, 7))
-            .inst(Inst::MovRR(Reg::Rbx, Reg::Rax))
-            .inst(Inst::Ret);
+        a.inst(Inst::MovRI(Reg::Rax, 7)).inst(Inst::MovRR(Reg::Rbx, Reg::Rax)).inst(Inst::Ret);
     });
     let g = cfg::reconstruct(&img, "f").unwrap();
     let live = liveness::analyze(&g);
@@ -317,12 +311,7 @@ fn branch_arms_do_not_dominate_each_other_but_dominate_nothing_past_the_join() {
     assert!(!dom.dominates(taken, fallthrough));
     assert!(!dom.dominates(fallthrough, taken));
     // The join block is dominated by the entry only.
-    let join = g
-        .blocks
-        .iter()
-        .find(|b| b.term == Terminator::Return)
-        .map(|b| b.id)
-        .unwrap();
+    let join = g.blocks.iter().find(|b| b.term == Terminator::Return).map(|b| b.id).unwrap();
     assert!(dom.dominates(g.entry(), join));
     assert!(!dom.dominates(taken, join));
     assert_eq!(dom.idom(join), Some(g.entry()));
@@ -337,11 +326,7 @@ fn loop_head_dominates_the_loop_body() {
     // predecessor with the higher address) must be dominated by it.
     let preds = g.predecessors();
     let head = g.blocks.iter().find(|b| preds[b.id.0].len() >= 2).unwrap().id;
-    let latch = preds[head.0]
-        .iter()
-        .copied()
-        .max_by_key(|p| g.block(*p).start)
-        .unwrap();
+    let latch = preds[head.0].iter().copied().max_by_key(|p| g.block(*p).start).unwrap();
     assert!(dom.dominates(head, latch));
 }
 
@@ -365,9 +350,7 @@ fn arguments_start_out_derived_and_constants_do_not() {
 #[test]
 fn overwriting_with_a_constant_kills_the_derived_status() {
     let img = image_of(|a| {
-        a.inst(Inst::MovRR(Reg::Rax, Reg::Rdi))
-            .inst(Inst::MovRI(Reg::Rax, 0))
-            .inst(Inst::Ret);
+        a.inst(Inst::MovRR(Reg::Rax, Reg::Rdi)).inst(Inst::MovRI(Reg::Rax, 0)).inst(Inst::Ret);
     });
     let g = cfg::reconstruct(&img, "f").unwrap();
     let derived = dataflow::input_derived(&g, RegSet::from_regs(Reg::ARGS));

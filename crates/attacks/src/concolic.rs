@@ -159,7 +159,7 @@ impl Shadow {
         }
         for d in 0..8u64 {
             let w = addr.wrapping_sub(d);
-            if let Some(_) = self.words.get(&w) {
+            if self.words.contains_key(&w) {
                 // Overlap test: word [w, w+8) vs [addr, addr+len).
                 if w < addr.wrapping_add(len) && addr < w.wrapping_add(8) {
                     self.words.remove(&w);
@@ -232,8 +232,7 @@ impl Shadow {
         self.clear_range(addr, 1);
         if let Some(e) = expr {
             if e.is_symbolic() && e.size() <= MAX_EXPR_SIZE {
-                self.bytes
-                    .insert(addr, SymExpr::bin(BinKind::And, e, SymExpr::constant(0xff)));
+                self.bytes.insert(addr, SymExpr::bin(BinKind::And, e, SymExpr::constant(0xff)));
             }
         }
     }
@@ -325,12 +324,7 @@ pub fn shadow_run(
         }
     }
 
-    Ok(PathRecord {
-        return_value,
-        constraints,
-        instructions: emu.stats().instructions,
-        probes_hit,
-    })
+    Ok(PathRecord { return_value, constraints, instructions: emu.stats().instructions, probes_hit })
 }
 
 /// Pre-execution facts an instruction's shadow propagation needs: the
@@ -445,16 +439,14 @@ fn propagate(
         }
         Pop(d) => {
             let sp = emu.reg(Reg::Rsp).wrapping_sub(8);
-            let e = if shadow.mem_symbolic(sp, 8) {
-                Some(shadow.load64(sp, emu.reg(d)))
-            } else {
-                None
-            };
+            let e =
+                if shadow.mem_symbolic(sp, 8) { Some(shadow.load64(sp, emu.reg(d))) } else { None };
             shadow.set_reg(d, e);
         }
         Alu(op, d, s) => {
             if pre.any_symbolic {
-                let e = SymExpr::bin(alu_kind(op), op_expr(shadow, pre, d), op_expr(shadow, pre, s));
+                let e =
+                    SymExpr::bin(alu_kind(op), op_expr(shadow, pre, d), op_expr(shadow, pre, s));
                 shadow.flags = Some((e.clone(), SymExpr::constant(0), true));
                 shadow.set_reg(d, Some(e));
             } else {

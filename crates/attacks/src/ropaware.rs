@@ -36,11 +36,7 @@ pub struct FlipReport {
 }
 
 fn chain_offsets(image: &Image, emu_trace: &[u64]) -> BTreeSet<u64> {
-    emu_trace
-        .iter()
-        .copied()
-        .filter(|rsp| image.in_data(*rsp))
-        .collect()
+    emu_trace.iter().copied().filter(|rsp| image.in_data(*rsp)).collect()
 }
 
 /// Runs the chain once, recording the RSP values at every `ret`, while

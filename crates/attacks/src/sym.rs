@@ -165,13 +165,7 @@ fn eval_bin(kind: BinKind, a: u64, b: u64) -> u64 {
         BinKind::Add => a.wrapping_add(b),
         BinKind::Sub => a.wrapping_sub(b),
         BinKind::Mul => a.wrapping_mul(b),
-        BinKind::Div => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
+        BinKind::Div => a.checked_div(b).unwrap_or(0),
         BinKind::Rem => {
             if b == 0 {
                 a
@@ -259,23 +253,17 @@ pub fn invert(expr: &SymExpr, target: u64, var: usize, input: &[u64]) -> Option<
                     }
                     target.wrapping_mul(mod_inverse(other_value))
                 }
-                (BinKind::And, _) => {
+                (BinKind::And, _)
                     // x & m == target requires target ⊆ m; any x with those
                     // bits works, pick target itself.
-                    if target & other_value == target {
+                    if target & other_value == target => {
                         target
-                    } else {
-                        return None;
                     }
-                }
-                (BinKind::Or, _) => {
+                (BinKind::Or, _)
                     // x | m == target requires m ⊆ target.
-                    if other_value & target == other_value {
+                    if other_value & target == other_value => {
                         target & !other_value
-                    } else {
-                        return None;
                     }
-                }
                 (BinKind::Shl, true) => {
                     let s = other_value & 63;
                     if target.trailing_zeros() as u64 >= s {

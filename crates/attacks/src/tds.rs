@@ -53,16 +53,9 @@ pub fn simplify_trace(trace: &Trace) -> TdsReport {
     let mut tainted_entries: Vec<bool> = vec![false; trace.len()];
 
     for (i, e) in trace.iter().enumerate() {
-        let reads_tainted_reg = e
-            .inst
-            .regs_read()
-            .iter()
-            .any(|r| tainted_regs.contains(&r));
-        let reads_tainted_mem = e
-            .mem
-            .iter()
-            .filter(|m| !m.is_write)
-            .any(|m| tainted_mem.contains(&(m.addr & !7)));
+        let reads_tainted_reg = e.inst.regs_read().iter().any(|r| tainted_regs.contains(&r));
+        let reads_tainted_mem =
+            e.mem.iter().filter(|m| !m.is_write).any(|m| tainted_mem.contains(&(m.addr & !7)));
         let tainted = reads_tainted_reg || reads_tainted_mem;
         tainted_entries[i] = tainted;
 
@@ -129,11 +122,7 @@ pub fn simplify_trace(trace: &Trace) -> TdsReport {
         trace_len,
         relevant,
         dispatch_removed,
-        reduction: if trace_len == 0 {
-            0.0
-        } else {
-            1.0 - relevant as f64 / trace_len as f64
-        },
+        reduction: if trace_len == 0 { 0.0 } else { 1.0 - relevant as f64 / trace_len as f64 },
         simplified_unique_addresses,
     }
 }

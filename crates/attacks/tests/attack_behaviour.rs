@@ -8,10 +8,14 @@ use std::time::Duration;
 
 use raindrop::{Rewriter, RopConfig};
 use raindrop_attacks::concolic::{DseAttack, DseBudget, Goal as AttackGoal, InputSpec};
-use raindrop_attacks::{chain_symbol, flip_exploration, gadget_guess, invert, simplify, SymExpr, BinKind};
+use raindrop_attacks::{
+    chain_symbol, flip_exploration, gadget_guess, invert, simplify, BinKind, SymExpr,
+};
 use raindrop_machine::{Emulator, Image};
 use raindrop_obfvm::{apply, ImplicitAt, VmConfig};
-use raindrop_synth::{codegen, generate_randomfun, paper_structures, Goal, RandomFun, RandomFunConfig};
+use raindrop_synth::{
+    codegen, generate_randomfun, paper_structures, Goal, RandomFun, RandomFunConfig,
+};
 
 /// A small point-test function (G1 flavour) with a 1-byte input.
 fn secret_fun(seed: u64) -> RandomFun {
@@ -61,12 +65,8 @@ fn rop_protect(rf: &RandomFun, k: f64, seed: u64) -> Image {
 fn dse_cracks_the_native_secret_and_reports_a_valid_witness() {
     let rf = secret_fun(1);
     let image = codegen::compile(&rf.program).unwrap();
-    let mut attack = DseAttack::new(
-        &image,
-        &rf.name,
-        InputSpec::RegisterArg { size_bytes: 1 },
-        quick_budget(),
-    );
+    let mut attack =
+        DseAttack::new(&image, &rf.name, InputSpec::RegisterArg { size_bytes: 1 }, quick_budget());
     let outcome = attack.run(AttackGoal::Secret { want: 1 });
     assert!(outcome.success, "native code falls quickly: {outcome:?}");
     let witness = outcome.witness.expect("witness returned")[0];
@@ -82,12 +82,8 @@ fn dse_cracks_the_native_secret_and_reports_a_valid_witness() {
 fn dse_reaches_full_coverage_on_native_code() {
     let rf = coverage_fun(2);
     let image = codegen::compile(&rf.program).unwrap();
-    let mut attack = DseAttack::new(
-        &image,
-        &rf.name,
-        InputSpec::RegisterArg { size_bytes: 1 },
-        quick_budget(),
-    );
+    let mut attack =
+        DseAttack::new(&image, &rf.name, InputSpec::RegisterArg { size_bytes: 1 }, quick_budget());
     let outcome = attack.run(AttackGoal::Coverage { total_probes: rf.probe_count });
     assert!(outcome.success, "all probes reached: {outcome:?}");
     assert_eq!(outcome.probes_covered as u32, rf.probe_count);
@@ -99,12 +95,8 @@ fn p3_at_full_fraction_exhausts_the_budget_that_cracked_native_code() {
     let native = codegen::compile(&rf.program).unwrap();
     let protected = rop_protect(&rf, 1.0, 7);
 
-    let mut native_attack = DseAttack::new(
-        &native,
-        &rf.name,
-        InputSpec::RegisterArg { size_bytes: 1 },
-        quick_budget(),
-    );
+    let mut native_attack =
+        DseAttack::new(&native, &rf.name, InputSpec::RegisterArg { size_bytes: 1 }, quick_budget());
     let native_outcome = native_attack.run(AttackGoal::Secret { want: 1 });
     assert!(native_outcome.success);
 
@@ -151,10 +143,7 @@ fn dse_cost_grows_monotonically_with_the_obfuscation_dial() {
     }
     assert!(cost[0].0, "native is fully covered");
     assert!(cost[1].1 > cost[0].1, "the ROP encoding alone already costs more to explore");
-    assert!(
-        !cost[2].0 || cost[2].1 >= cost[1].1,
-        "P3 does not make exploration cheaper: {cost:?}"
-    );
+    assert!(!cost[2].0 || cost[2].1 >= cost[1].1, "P3 does not make exploration cheaper: {cost:?}");
 }
 
 #[test]

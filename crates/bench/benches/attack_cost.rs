@@ -64,10 +64,7 @@ fn bench_coverage(c: &mut Criterion) {
     let rf = target(RfGoal::CodeCoverage);
     let mut group = c.benchmark_group("table2_coverage");
     group.sample_size(10);
-    for (label, kind) in [
-        ("native", ObfKind::Native),
-        ("rop_k050", ObfKind::Rop { k: 0.50 }),
-    ] {
+    for (label, kind) in [("native", ObfKind::Native), ("rop_k050", ObfKind::Rop { k: 0.50 })] {
         let image = prepare_randomfun(&rf, &kind, 1).expect("prepares");
         group.bench_function(label, |b| {
             b.iter(|| {

@@ -4,13 +4,13 @@
 //! (the Table III ablation), and the VM obfuscation baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use raindrop::{P1Config, P1Instance, Rewriter, RopConfig};
 use raindrop_gadgets::{CatalogConfig, GadgetCatalog, GadgetOp};
 use raindrop_machine::{Emulator, Reg, RegSet};
 use raindrop_obfvm::{apply, VmConfig};
 use raindrop_synth::{codegen, workloads};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 fn bench_emulator_throughput(c: &mut Criterion) {
     let w = workloads::fannkuch();

@@ -46,7 +46,8 @@ fn main() {
         emu.set_budget(20_000_000_000);
         emu.mem.write_bytes(inp, secret);
         let target = emu.call_named(&image, &w.entry, &[input_len as u64]).unwrap();
-        let spec = InputSpec::MemoryBuffer { addr: inp, len: input_len, args: vec![input_len as u64] };
+        let spec =
+            InputSpec::MemoryBuffer { addr: inp, len: input_len, args: vec![input_len as u64] };
         let mut attack = DseAttack::new(&image, &w.entry, spec, budget);
         let outcome = attack.run(Goal::Secret { want: target });
         println!(

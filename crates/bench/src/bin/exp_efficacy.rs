@@ -86,7 +86,9 @@ fn main() {
     }
 
     println!("== A3: taint-driven simplification against P3 ==");
-    for (label, kind) in [("ROP plain", ObfKind::Rop { k: 0.0 }), ("ROP P3 k=1", ObfKind::Rop { k: 1.0 })] {
+    for (label, kind) in
+        [("ROP plain", ObfKind::Rop { k: 0.0 }), ("ROP P3 k=1", ObfKind::Rop { k: 1.0 })]
+    {
         let image = prepare_randomfun(&rf, &kind, 1).expect("prepare");
         let t = simplify(&image, &rf.name, rf.secret_input, 200_000_000);
         println!("  {label:<14} trace={} relevant={}", t.trace_len, t.relevant);

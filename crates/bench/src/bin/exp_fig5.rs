@@ -17,7 +17,7 @@ fn main() {
     let ks = if full { ropk_fractions() } else { vec![0.05, 0.25, 1.00] };
     let baseline = ObfKind::Vm { layers: 2, implicit: ImplicitAt::Last };
     let mut rows = Vec::new();
-    println!("{:<14} {}", "BENCHMARK", "slowdown of ROPk vs 2VM-IMPlast");
+    println!("{:<14} slowdown of ROPk vs 2VM-IMPlast", "BENCHMARK");
     for w in raindrop_synth::clbg_suite() {
         let base = match workload_cycles(&w, &baseline, 1) {
             Ok(c) => c,
@@ -33,10 +33,13 @@ fn main() {
                 Err(e) => eprintln!("  {} ROP{k:.2}: {e}", w.name),
             }
         }
-        let text: Vec<String> =
-            slowdowns.iter().map(|(n, s)| format!("{n}={s:.2}x")).collect();
+        let text: Vec<String> = slowdowns.iter().map(|(n, s)| format!("{n}={s:.2}x")).collect();
         println!("{:<14} {}", w.name, text.join("  "));
-        rows.push(Row { benchmark: w.name.clone(), baseline_cycles: base, slowdown_vs_baseline: slowdowns });
+        rows.push(Row {
+            benchmark: w.name.clone(),
+            baseline_cycles: base,
+            slowdown_vs_baseline: slowdowns,
+        });
     }
     write_json("exp_fig5", &rows);
 }

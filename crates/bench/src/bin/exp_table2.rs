@@ -20,7 +20,12 @@ fn main() {
     for r in &rows {
         println!(
             "{:<14} {:>10}/{:<3} {:>8.1}s {:>14}/{:<3}",
-            r.config, r.secrets_found, r.attempted, r.avg_secret_seconds, r.fully_covered, r.attempted
+            r.config,
+            r.secrets_found,
+            r.attempted,
+            r.avg_secret_seconds,
+            r.fully_covered,
+            r.attempted
         );
     }
     write_json("exp_table2", &rows);

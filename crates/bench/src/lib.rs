@@ -131,9 +131,7 @@ pub fn prepare_image(
     if let ObfKind::Rop { k } = kind {
         let mut rewriter = Rewriter::new(&mut image, RopConfig::ropk(*k).with_seed(seed));
         for f in functions {
-            rewriter
-                .rewrite_function(&mut image, f)
-                .map_err(PrepareError::Rewrite)?;
+            rewriter.rewrite_function(&mut image, f).map_err(PrepareError::Rewrite)?;
         }
     }
     Ok(image)
@@ -141,7 +139,7 @@ pub fn prepare_image(
 
 /// Prepares an image for a [`RandomFun`] under a configuration.
 pub fn prepare_randomfun(rf: &RandomFun, kind: &ObfKind, seed: u64) -> Result<Image, PrepareError> {
-    prepare_image(&rf.program, &[rf.name.clone()], kind, seed)
+    prepare_image(&rf.program, std::slice::from_ref(&rf.name), kind, seed)
 }
 
 /// Runs a workload under a configuration and returns the emulated cycle
@@ -150,8 +148,7 @@ pub fn workload_cycles(w: &Workload, kind: &ObfKind, seed: u64) -> Result<u64, P
     let image = prepare_image(&w.program, &w.obfuscate, kind, seed)?;
     let mut emu = Emulator::new(&image);
     emu.set_budget(20_000_000_000);
-    emu.call_named(&image, &w.entry, &w.args)
-        .expect("workload runs to completion");
+    emu.call_named(&image, &w.entry, &w.args).expect("workload runs to completion");
     Ok(emu.stats().cycles)
 }
 
@@ -230,8 +227,7 @@ pub fn run_table2(
                     InputSpec::RegisterArg { size_bytes: rf_cov.config.input_size },
                     budget,
                 );
-                let outcome =
-                    attack.run(AttackGoal::Coverage { total_probes: rf_cov.probe_count });
+                let outcome = attack.run(AttackGoal::Coverage { total_probes: rf_cov.probe_count });
                 if outcome.success {
                     fully_covered += 1;
                 }

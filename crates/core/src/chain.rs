@@ -141,10 +141,7 @@ impl Chain {
     /// Number of 8-byte gadget-address slots (column A contribution of
     /// Table III counts gadget uses; this is that per-chain count).
     pub fn gadget_slots(&self) -> usize {
-        self.items
-            .iter()
-            .filter(|i| matches!(i, ChainItem::Gadget { .. }))
-            .count()
+        self.items.iter().filter(|i| matches!(i, ChainItem::Gadget { .. })).count()
     }
 
     /// Total size of the laid-out chain in bytes.
@@ -180,9 +177,7 @@ impl Chain {
 
     fn anchor_landing(&self, offsets: &[usize], anchor: usize) -> Result<usize, ChainError> {
         match self.items.get(anchor) {
-            Some(ChainItem::Gadget { junk_pops, .. }) => {
-                Ok(offsets[anchor] + 8 + 8 * junk_pops)
-            }
+            Some(ChainItem::Gadget { junk_pops, .. }) => Ok(offsets[anchor] + 8 + 8 * junk_pops),
             _ => Err(ChainError::BadAnchor(anchor)),
         }
     }

@@ -16,11 +16,11 @@ use crate::error::RewriteError;
 use crate::predicates::{P1Instance, P2Adjust, P2Operand, P3Policy};
 use crate::roplet::{classify, RopletKind};
 use crate::runtime::RopRuntime;
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use raindrop_analysis::{BlockId, Cfg, InputDerived, Liveness, Terminator};
 use raindrop_gadgets::{GadgetCatalog, GadgetOp};
 use raindrop_machine::{AluOp, Cond, Image, Inst, Mem, Reg, RegSet};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 
 /// Per-function crafting statistics.
@@ -169,7 +169,8 @@ impl<'a> Crafter<'a> {
                 Inst::CmpI(a, i) => (a, P2Operand::Imm(i as i64)),
                 _ => continue,
             };
-            if let Some((adj_taken, adj_fall)) = P2Adjust::for_branch(*cond, lhs, rhs, &mut self.rng)
+            if let Some((adj_taken, adj_fall)) =
+                P2Adjust::for_branch(*cond, lhs, rhs, &mut self.rng)
             {
                 self.p2_plan.insert(taken, adj_taken);
                 self.p2_plan.insert(fallthrough, adj_fall);
@@ -191,11 +192,7 @@ impl<'a> Crafter<'a> {
         let avoid = avoid.union(self.scratch_in_use);
         let g = self.catalog.request(self.image, op, avoid, pf, &mut self.rng);
         let idx = self.chain.items.len();
-        self.chain.items.push(ChainItem::Gadget {
-            addr: g.addr,
-            junk_pops: g.junk_pops.len(),
-            op,
-        });
+        self.chain.items.push(ChainItem::Gadget { addr: g.addr, junk_pops: g.junk_pops.len(), op });
         for _ in 0..g.junk_pops.len() {
             let junk = self.rng.gen::<u32>() as u64;
             self.chain.items.push(ChainItem::Imm(junk));
@@ -251,12 +248,8 @@ impl<'a> Crafter<'a> {
 
     fn pick_scratch(&mut self, protected: RegSet, count: usize) -> Result<Vec<Reg>, RewriteError> {
         let blocked = protected.union(self.scratch_in_use);
-        let picked: Vec<Reg> = SCRATCH_ORDER
-            .iter()
-            .copied()
-            .filter(|r| !blocked.contains(*r))
-            .take(count)
-            .collect();
+        let picked: Vec<Reg> =
+            SCRATCH_ORDER.iter().copied().filter(|r| !blocked.contains(*r)).take(count).collect();
         if picked.len() < count {
             Err(RewriteError::RegisterPressure { addr: self.cfg.entry_addr })
         } else {
@@ -421,9 +414,8 @@ impl<'a> Crafter<'a> {
                 };
                 // Keep the comparison operands intact when the successors
                 // carry P2 adjustments that re-read them.
-                let live_out = live_out.union(
-                    self.p2_protect.get(&id).copied().unwrap_or(RegSet::EMPTY),
-                );
+                let live_out =
+                    live_out.union(self.p2_protect.get(&id).copied().unwrap_or(RegSet::EMPTY));
                 self.preserve_flags = true;
                 self.emit_branch(Some(cond), taken, live_out, id)?;
                 self.stats.program_points += 1;
@@ -737,7 +729,7 @@ impl<'a> Crafter<'a> {
     fn emit_unaligned_skip(&mut self, avoid: RegSet) -> Result<(), RewriteError> {
         self.release_scratch();
         let t = self.pick_scratch(avoid, 1)?[0];
-        let eta: u64 = self.rng.gen_range(1..8) + 8 * self.rng.gen_range(0..2u64);
+        let eta: u64 = self.rng.gen_range(1..8u64) + 8 * self.rng.gen_range(0..2u64);
         self.gadget(GadgetOp::Pop(t), avoid, false);
         self.chain.items.push(ChainItem::Imm(eta));
         self.gadget(GadgetOp::AddRsp(t), avoid, false);
@@ -748,7 +740,8 @@ impl<'a> Crafter<'a> {
         } else {
             pool[self.rng.gen_range(0..pool.len())].addr
         };
-        let bytes: Vec<u8> = seed_addr.to_le_bytes().into_iter().cycle().take(eta as usize).collect();
+        let bytes: Vec<u8> =
+            seed_addr.to_le_bytes().into_iter().cycle().take(eta as usize).collect();
         self.chain.items.push(ChainItem::Pad(bytes));
         Ok(())
     }
@@ -768,10 +761,8 @@ impl<'a> Crafter<'a> {
         let pf = self.preserve_flags;
         let kind = classify(inst);
 
-        let unsupported = |inst: &Inst| RewriteError::UnsupportedInstruction {
-            addr,
-            inst: format!("{inst}"),
-        };
+        let unsupported =
+            |inst: &Inst| RewriteError::UnsupportedInstruction { addr, inst: format!("{inst}") };
 
         match kind {
             RopletKind::DataMove | RopletKind::Alu => {
@@ -779,7 +770,9 @@ impl<'a> Crafter<'a> {
             }
             RopletKind::DirectStackAccess => match *inst {
                 Inst::Push(r) => {
-                    let ts = self.pick_scratch(protected, 3).map_err(|_| RewriteError::RegisterPressure { addr })?;
+                    let ts = self
+                        .pick_scratch(protected, 3)
+                        .map_err(|_| RewriteError::RegisterPressure { addr })?;
                     let (t1, t2, t3) = (ts[0], ts[1], ts[2]);
                     self.emit_other_rsp_ptr(t1, protected);
                     self.gadget(GadgetOp::Load(t2, t1), protected, pf);
@@ -789,7 +782,9 @@ impl<'a> Crafter<'a> {
                     self.gadget(GadgetOp::Store(t2, r), protected, pf);
                 }
                 Inst::PushI(v) => {
-                    let ts = self.pick_scratch(protected, 3).map_err(|_| RewriteError::RegisterPressure { addr })?;
+                    let ts = self
+                        .pick_scratch(protected, 3)
+                        .map_err(|_| RewriteError::RegisterPressure { addr })?;
                     let (t1, t2, t3) = (ts[0], ts[1], ts[2]);
                     self.emit_other_rsp_ptr(t1, protected);
                     self.gadget(GadgetOp::Load(t2, t1), protected, pf);
@@ -803,7 +798,9 @@ impl<'a> Crafter<'a> {
                     if r == Reg::Rsp {
                         return Err(unsupported(inst));
                     }
-                    let ts = self.pick_scratch(protected, 3).map_err(|_| RewriteError::RegisterPressure { addr })?;
+                    let ts = self
+                        .pick_scratch(protected, 3)
+                        .map_err(|_| RewriteError::RegisterPressure { addr })?;
                     let (t1, t2, t3) = (ts[0], ts[1], ts[2]);
                     self.emit_other_rsp_ptr(t1, protected);
                     self.gadget(GadgetOp::Load(t2, t1), protected, pf);
@@ -817,7 +814,9 @@ impl<'a> Crafter<'a> {
             RopletKind::StackPtrRef => self.lower_stack_ptr_ref(addr, inst, protected, pf)?,
             RopletKind::Epilogue => match inst {
                 Inst::Leave => {
-                    let ts = self.pick_scratch(protected, 3).map_err(|_| RewriteError::RegisterPressure { addr })?;
+                    let ts = self
+                        .pick_scratch(protected, 3)
+                        .map_err(|_| RewriteError::RegisterPressure { addr })?;
                     let (t1, t2, t3) = (ts[0], ts[1], ts[2]);
                     // other_rsp = rbp; rbp = *other_rsp; other_rsp += 8.
                     self.emit_other_rsp_ptr(t1, protected);
@@ -1001,10 +1000,7 @@ impl<'a> Crafter<'a> {
                 self.gadget(GadgetOp::MovRR(b, t), protected, pf);
             }
             _ => {
-                return Err(RewriteError::UnsupportedInstruction {
-                    addr,
-                    inst: format!("{inst}"),
-                })
+                return Err(RewriteError::UnsupportedInstruction { addr, inst: format!("{inst}") })
             }
         }
         Ok(())
@@ -1071,10 +1067,7 @@ impl<'a> Crafter<'a> {
                 self.lower_plain(addr, inst, protected, pf)?;
             }
             _ => {
-                return Err(RewriteError::UnsupportedInstruction {
-                    addr,
-                    inst: format!("{inst}"),
-                })
+                return Err(RewriteError::UnsupportedInstruction { addr, inst: format!("{inst}") })
             }
         }
         Ok(())

@@ -65,8 +65,8 @@ pub mod craft;
 pub mod error;
 pub mod materialize;
 pub mod predicates;
-pub mod roplet;
 pub mod rewriter;
+pub mod roplet;
 pub mod runtime;
 pub mod verify;
 

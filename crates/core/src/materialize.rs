@@ -105,14 +105,22 @@ mod tests {
         let sub_store = img.append_text(
             None,
             &encode_all(&[
-                Inst::AluStore(raindrop_machine::AluOp::Sub, raindrop_machine::Mem::base(Reg::R10), Reg::R11),
+                Inst::AluStore(
+                    raindrop_machine::AluOp::Sub,
+                    raindrop_machine::Mem::base(Reg::R10),
+                    Reg::R11,
+                ),
                 Inst::Ret,
             ]),
         );
         let add_load = img.append_text(
             None,
             &encode_all(&[
-                Inst::AluM(raindrop_machine::AluOp::Add, Reg::R10, raindrop_machine::Mem::base(Reg::R10)),
+                Inst::AluM(
+                    raindrop_machine::AluOp::Add,
+                    Reg::R10,
+                    raindrop_machine::Mem::base(Reg::R10),
+                ),
                 Inst::Ret,
             ]),
         );

@@ -11,8 +11,8 @@
 //!   policy.
 
 use crate::config::P1Config;
-use rand::Rng;
 use raindrop_machine::{Cond, Reg};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A generated P1 instance for one function.
@@ -125,14 +125,12 @@ impl P2Adjust {
     ) -> Option<(P2Adjust, P2Adjust)> {
         let x = (rng.gen_range(1..8u64)) * 8;
         match cond {
-            Cond::E => Some((
-                P2Adjust::WhenEqual { lhs, rhs, x },
-                P2Adjust::WhenNotEqual { lhs, rhs, x },
-            )),
-            Cond::Ne => Some((
-                P2Adjust::WhenNotEqual { lhs, rhs, x },
-                P2Adjust::WhenEqual { lhs, rhs, x },
-            )),
+            Cond::E => {
+                Some((P2Adjust::WhenEqual { lhs, rhs, x }, P2Adjust::WhenNotEqual { lhs, rhs, x }))
+            }
+            Cond::Ne => {
+                Some((P2Adjust::WhenNotEqual { lhs, rhs, x }, P2Adjust::WhenEqual { lhs, rhs, x }))
+            }
             _ => None,
         }
     }

@@ -130,11 +130,7 @@ impl Rewriter {
 
         // Derive a per-function seed so each function gets independent (but
         // reproducible) obfuscation-time choices.
-        let seed = self
-            .config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(func.addr);
+        let seed = self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(func.addr);
 
         let crafter = Crafter::new(
             image,

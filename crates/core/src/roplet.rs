@@ -113,9 +113,7 @@ impl Roplet {
     /// Registers the lowering of this roplet must not clobber: everything
     /// live after the instruction plus the instruction's own operands.
     pub fn protected_regs(&self) -> RegSet {
-        self.live_after
-            .union(self.inst.regs_read())
-            .union(self.inst.regs_written())
+        self.live_after.union(self.inst.regs_read()).union(self.inst.regs_written())
     }
 }
 

@@ -45,7 +45,9 @@ impl RopRuntime {
         };
         let spill_addr = match image.symbol(SPILL_SYMBOL) {
             Ok(a) => a,
-            Err(_) => image.append_data(Some(SPILL_SYMBOL), &vec![0u8; config.spill_slots.max(1) * 8]),
+            Err(_) => {
+                image.append_data(Some(SPILL_SYMBOL), &vec![0u8; config.spill_slots.max(1) * 8])
+            }
         };
         let func_ret_gadget = match image.symbol(FUNC_RET_SYMBOL) {
             Ok(a) => a,
@@ -170,14 +172,22 @@ mod tests {
         let pop_rax = img.append_text(None, &encode_all(&[Inst::Pop(Reg::Rax), Inst::Ret]));
         let pop_r11 = img.append_text(None, &encode_all(&[Inst::Pop(Reg::R11), Inst::Ret]));
         let pop_r10 = img.append_text(None, &encode_all(&[Inst::Pop(Reg::R10), Inst::Ret]));
-        let sub_store =
-            img.append_text(None, &encode_all(&[Inst::AluStore(AluOp::Sub, Mem::base(Reg::R11), Reg::R10), Inst::Ret]));
-        let add_load =
-            img.append_text(None, &encode_all(&[Inst::AluM(AluOp::Add, Reg::R11, Mem::base(Reg::R11)), Inst::Ret]));
-        let add_r11_r10 =
-            img.append_text(None, &encode_all(&[Inst::Alu(AluOp::Add, Reg::R11, Reg::R10), Inst::Ret]));
-        let load_rsp =
-            img.append_text(None, &encode_all(&[Inst::Load(Reg::Rsp, Mem::base(Reg::R11)), Inst::Ret]));
+        let sub_store = img.append_text(
+            None,
+            &encode_all(&[Inst::AluStore(AluOp::Sub, Mem::base(Reg::R11), Reg::R10), Inst::Ret]),
+        );
+        let add_load = img.append_text(
+            None,
+            &encode_all(&[Inst::AluM(AluOp::Add, Reg::R11, Mem::base(Reg::R11)), Inst::Ret]),
+        );
+        let add_r11_r10 = img.append_text(
+            None,
+            &encode_all(&[Inst::Alu(AluOp::Add, Reg::R11, Reg::R10), Inst::Ret]),
+        );
+        let load_rsp = img.append_text(
+            None,
+            &encode_all(&[Inst::Load(Reg::Rsp, Mem::base(Reg::R11)), Inst::Ret]),
+        );
 
         // Chain: pop rax, 42 = return value; then the unpivot sequence of
         // Appendix A: ss[0] -= 8; r11 = ss + ss[0] + 8; rsp = [r11]; ret.

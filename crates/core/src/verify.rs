@@ -64,8 +64,33 @@ impl Verdict {
     }
 }
 
-fn run_one(image: &Image, func: &str, case: &TestCase) -> Result<(u64, Vec<u8>), EmuError> {
+/// Instruction-budget multiplier granted to the rewritten run, relative to
+/// the instructions the original run actually executed.
+///
+/// Full-strength rewriting costs a few gadgets per program point plus the
+/// P3 opaque loops (≤ 257 iterations of ~8 gadgets each per site), which
+/// stays orders of magnitude below this bound. A rewrite that *diverges* —
+/// e.g. a corrupted chain looping on itself — hits the budget quickly and
+/// is reported as an [`Verdict::ExecutionError`]. The derived budget is
+/// additionally clamped to the emulator's default
+/// ([`raindrop_machine::DEFAULT_BUDGET`]), so it is always a reduction,
+/// never an extension.
+pub const VERIFY_BUDGET_MULTIPLIER: u64 = 50_000;
+
+/// Minimum instruction budget for the rewritten run, so trivially small
+/// originals still leave room for runtime installation and chain dispatch.
+pub const VERIFY_BUDGET_FLOOR: u64 = 2_000_000;
+
+fn run_one(
+    image: &Image,
+    func: &str,
+    case: &TestCase,
+    budget: Option<u64>,
+) -> Result<(u64, Vec<u8>, u64), EmuError> {
     let mut emu = Emulator::new(image);
+    if let Some(budget) = budget {
+        emu.set_budget(budget);
+    }
     for (addr, bytes) in &case.memory {
         emu.mem.write_bytes(*addr, bytes);
     }
@@ -79,17 +104,26 @@ fn run_one(image: &Image, func: &str, case: &TestCase) -> Result<(u64, Vec<u8>),
         }
         None => Vec::new(),
     };
-    Ok((ret, region))
+    Ok((ret, region, emu.stats().instructions))
 }
 
 /// Runs one differential test case against the original and rewritten
 /// images.
+///
+/// The rewritten run's instruction budget is derived from the original
+/// run's measured cost ([`VERIFY_BUDGET_MULTIPLIER`] ×, with a
+/// [`VERIFY_BUDGET_FLOOR`]), so a diverging rewrite fails fast with an
+/// [`Verdict::ExecutionError`] rather than exhausting the emulator default.
 pub fn check_case(original: &Image, rewritten: &Image, func: &str, case: &TestCase) -> Verdict {
-    let orig = match run_one(original, func, case) {
+    let orig = match run_one(original, func, case, None) {
         Ok(v) => v,
         Err(e) => return Verdict::ExecutionError { error: format!("{e}"), in_rewritten: false },
     };
-    let new = match run_one(rewritten, func, case) {
+    let budget = orig
+        .2
+        .saturating_mul(VERIFY_BUDGET_MULTIPLIER)
+        .clamp(VERIFY_BUDGET_FLOOR, raindrop_machine::DEFAULT_BUDGET);
+    let new = match run_one(rewritten, func, case, Some(budget)) {
         Ok(v) => v,
         Err(e) => return Verdict::ExecutionError { error: format!("{e}"), in_rewritten: true },
     };
@@ -109,17 +143,12 @@ pub fn check_function(
     func: &str,
     cases: &[TestCase],
 ) -> Vec<Verdict> {
-    cases
-        .iter()
-        .map(|c| check_case(original, rewritten, func, c))
-        .collect()
+    cases.iter().map(|c| check_case(original, rewritten, func, c)).collect()
 }
 
 /// Convenience: `true` iff every case matches.
 pub fn equivalent(original: &Image, rewritten: &Image, func: &str, cases: &[TestCase]) -> bool {
-    check_function(original, rewritten, func, cases)
-        .iter()
-        .all(Verdict::is_match)
+    check_function(original, rewritten, func, cases).iter().all(Verdict::is_match)
 }
 
 #[cfg(test)]
@@ -195,11 +224,7 @@ mod tests {
         a.inst(Inst::Ret);
         b.add_function("store", a);
         let original = b.build().unwrap();
-        let case = TestCase {
-            args: vec![0xAB],
-            memory: vec![],
-            compare_region: Some((global, 8)),
-        };
+        let case = TestCase { args: vec![0xAB], memory: vec![], compare_region: Some((global, 8)) };
         let verdict = check_case(&original, &original, "store", &case);
         assert!(verdict.is_match());
     }

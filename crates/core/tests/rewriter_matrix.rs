@@ -5,12 +5,10 @@
 
 use proptest::prelude::*;
 use raindrop::{
-    equivalent, FailureClass, RewriteError, Rewriter, RopConfig, P3Variant, RopRuntime, TestCase,
+    equivalent, FailureClass, P3Variant, RewriteError, Rewriter, RopConfig, RopRuntime, TestCase,
     Verdict,
 };
-use raindrop_machine::{
-    AluOp, Assembler, Cond, Emulator, Image, ImageBuilder, Inst, Mem, Reg,
-};
+use raindrop_machine::{AluOp, Assembler, Cond, Emulator, Image, ImageBuilder, Inst, Mem, Reg};
 
 // --- function zoo -----------------------------------------------------------
 
@@ -288,7 +286,11 @@ fn recursive_rop_functions_nest_activations_correctly() {
         for n in [0u64, 1, 2, 5, 10] {
             let mut emu = Emulator::new(&obf);
             emu.set_budget(1_000_000_000);
-            assert_eq!(emu.call_named(&obf, "fact", &[n]).unwrap(), ref_factorial(n), "{label}, n = {n}");
+            assert_eq!(
+                emu.call_named(&obf, "fact", &[n]).unwrap(),
+                ref_factorial(n),
+                "{label}, n = {n}"
+            );
         }
     }
 }
@@ -406,10 +408,8 @@ fn the_verifier_detects_a_broken_rewrite() {
     let off = (report.chain_addr - obf.data_base) as usize + report.chain_len / 2;
     obf.data[off] ^= 0xff;
     let cases = arg_cases();
-    let verdicts: Vec<Verdict> = cases
-        .iter()
-        .map(|c| raindrop::check_case(&original, &obf, "f", c))
-        .collect();
+    let verdicts: Vec<Verdict> =
+        cases.iter().map(|c| raindrop::check_case(&original, &obf, "f", c)).collect();
     assert!(
         verdicts.iter().any(|v| !v.is_match()),
         "corrupting the chain must be observable: {verdicts:?}"
@@ -456,8 +456,7 @@ fn the_pivot_stub_length_constant_matches_the_emitted_stub() {
 #[test]
 fn spill_slots_are_consecutive_and_bounded() {
     let mut img = single_function_image("f", f_diamond);
-    let mut cfg = RopConfig::default();
-    cfg.spill_slots = 4;
+    let cfg = RopConfig { spill_slots: 4, ..RopConfig::default() };
     let rt = RopRuntime::install(&mut img, &cfg);
     for i in 0..4 {
         assert_eq!(rt.spill_slot(i), rt.spill_addr + 8 * i as u64);

@@ -11,8 +11,8 @@
 use crate::gadget::{Gadget, GadgetOp};
 use crate::scan::{scan_image, ScanConfig};
 use crate::synth::{synthesize, SynthConfig};
-use rand::Rng;
 use raindrop_machine::{Image, RegSet};
+use rand::Rng;
 use std::collections::HashMap;
 
 /// Catalog configuration.
@@ -198,9 +198,9 @@ impl GadgetCatalog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use raindrop_machine::{Assembler, ImageBuilder, Inst, Reg};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use raindrop_machine::{Assembler, ImageBuilder, Inst, Reg};
 
     fn empty_image() -> Image {
         let mut a = Assembler::new();
@@ -229,10 +229,7 @@ mod tests {
         let mut img = empty_image();
         // The noop function itself contains a `ret`, and appending a
         // hand-made pop gadget makes it discoverable by the scan.
-        img.append_text(
-            None,
-            &raindrop_machine::encode_all(&[Inst::Pop(Reg::Rdi), Inst::Ret]),
-        );
+        img.append_text(None, &raindrop_machine::encode_all(&[Inst::Pop(Reg::Rdi), Inst::Ret]));
         let mut cat = GadgetCatalog::from_image(
             &img,
             CatalogConfig { diversity: 0.0, ..CatalogConfig::default() },
@@ -287,7 +284,8 @@ mod tests {
     #[test]
     fn diversity_zero_converges_to_a_single_variant() {
         let mut img = empty_image();
-        let mut cat = GadgetCatalog::new(CatalogConfig { diversity: 0.0, ..CatalogConfig::default() });
+        let mut cat =
+            GadgetCatalog::new(CatalogConfig { diversity: 0.0, ..CatalogConfig::default() });
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..10 {
             cat.request(&mut img, GadgetOp::Neg(Reg::Rax), RegSet::EMPTY, false, &mut rng);

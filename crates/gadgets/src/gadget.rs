@@ -193,11 +193,7 @@ impl Gadget {
     /// Total number of chain slots the gadget consumes when executed: one
     /// for its own address plus one per `pop` (primary or junk).
     pub fn chain_slots(&self) -> usize {
-        1 + self
-            .insts
-            .iter()
-            .filter(|i| matches!(i, Inst::Pop(_)))
-            .count()
+        1 + self.insts.iter().filter(|i| matches!(i, Inst::Pop(_))).count()
     }
 
     /// Byte length of the encoded gadget, including the terminator.
@@ -206,11 +202,7 @@ impl Gadget {
             GadgetEnding::Ret => raindrop_machine::encoded_len(&Inst::Ret),
             GadgetEnding::JmpReg(r) => raindrop_machine::encoded_len(&Inst::JmpReg(r)),
         };
-        self.insts
-            .iter()
-            .map(raindrop_machine::encoded_len)
-            .sum::<usize>()
-            + term
+        self.insts.iter().map(raindrop_machine::encoded_len).sum::<usize>() + term
     }
 
     /// Encodes the gadget (instructions plus terminator) to bytes.
@@ -255,7 +247,12 @@ pub fn classify(insts: &[Inst], ending: GadgetEnding) -> (GadgetOp, RegSet, Vec<
             if let Inst::XchgRM(Reg::Rsp, m) = insts[0] {
                 if m.index.is_none() && m.disp == 0 {
                     if let Some(base) = m.base {
-                        return (GadgetOp::XchgRspMemJmp(base, target), RegSet::new(), vec![], false);
+                        return (
+                            GadgetOp::XchgRspMemJmp(base, target),
+                            RegSet::new(),
+                            vec![],
+                            false,
+                        );
                     }
                 }
             }
@@ -276,8 +273,12 @@ pub fn classify(insts: &[Inst], ending: GadgetEnding) -> (GadgetOp, RegSet, Vec<
             Inst::MovRR(d, _) | Inst::MovRI(d, _) | Inst::Not(d) => {
                 clobbers.insert(*d);
             }
-            Inst::Alu(_, d, _) | Inst::AluI(_, d, _) | Inst::Neg(d) | Inst::Shl(d, _)
-            | Inst::Shr(d, _) | Inst::Sar(d, _) => {
+            Inst::Alu(_, d, _)
+            | Inst::AluI(_, d, _)
+            | Inst::Neg(d)
+            | Inst::Shl(d, _)
+            | Inst::Shr(d, _)
+            | Inst::Sar(d, _) => {
                 clobbers.insert(*d);
                 pollutes_flags = true;
             }
@@ -387,10 +388,7 @@ mod tests {
     #[test]
     fn memory_prefix_is_rejected() {
         let (op, ..) = classify(
-            &[
-                Inst::Store(Mem::base(Reg::Rdi), Reg::Rax),
-                Inst::MovRR(Reg::Rax, Reg::Rbx),
-            ],
+            &[Inst::Store(Mem::base(Reg::Rdi), Reg::Rax), Inst::MovRR(Reg::Rax, Reg::Rbx)],
             GadgetEnding::Ret,
         );
         assert_eq!(op, GadgetOp::Unclassified);

@@ -40,14 +40,11 @@ pub fn scan_bytes(bytes: &[u8], base: u64, config: ScanConfig) -> Vec<Gadget> {
             if let Some(insts) = decode_exact(&bytes[start..ret_off], config.max_insts) {
                 // Reject sequences containing control flow: they would not
                 // reach the ret.
-                if insts
-                    .iter()
-                    .any(|i| i.is_terminator() || i.is_call() || matches!(i, Inst::Hlt))
+                if insts.iter().any(|i| i.is_terminator() || i.is_call() || matches!(i, Inst::Hlt))
                 {
                     continue;
                 }
-                let (op, clobbers, junk_pops, pollutes_flags) =
-                    classify(&insts, GadgetEnding::Ret);
+                let (op, clobbers, junk_pops, pollutes_flags) = classify(&insts, GadgetEnding::Ret);
                 out.push(Gadget {
                     addr: base + start as u64,
                     insts,
@@ -130,7 +127,9 @@ mod tests {
         let gadgets = scan_bytes(&pool_bytes(), 0x5000, ScanConfig::default());
         assert!(gadgets.iter().any(|g| g.op == GadgetOp::Pop(Reg::Rdi)));
         assert!(gadgets.iter().any(|g| g.op == GadgetOp::AddRsp(Reg::Rsi)));
-        assert!(gadgets.iter().any(|g| g.op == GadgetOp::Pop(Reg::Rbp) && g.junk_pops == vec![Reg::Rsi]));
+        assert!(gadgets
+            .iter()
+            .any(|g| g.op == GadgetOp::Pop(Reg::Rbp) && g.junk_pops == vec![Reg::Rsi]));
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! registers), which defeats byte-pattern recognition of specific sequences.
 
 use crate::gadget::{classify, Gadget, GadgetEnding, GadgetOp};
-use rand::Rng;
 use raindrop_machine::{Inst, Reg, RegSet};
+use rand::Rng;
 
 /// Controls how much junk is woven into synthesized gadgets.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,11 +39,7 @@ fn scratch_candidates(op: GadgetOp, avoid: RegSet) -> Vec<Reg> {
         reserved.insert(a);
         reserved.insert(t);
     }
-    Reg::ALL
-        .iter()
-        .copied()
-        .filter(|r| !reserved.contains(*r))
-        .collect()
+    Reg::ALL.iter().copied().filter(|r| !reserved.contains(*r)).collect()
 }
 
 /// Synthesizes one gadget variant for `op`.
@@ -116,9 +112,9 @@ pub fn synthesize<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use raindrop_machine::AluOp;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use raindrop_machine::AluOp;
 
     #[test]
     fn synthesized_gadget_classifies_to_requested_op() {

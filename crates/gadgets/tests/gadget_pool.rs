@@ -3,16 +3,16 @@
 //! diversity/confusion properties §V-D builds on.
 
 use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use raindrop_gadgets::{
     classify, scan_bytes, scan_image, speculative_decode, synthesize, CatalogConfig, Gadget,
     GadgetCatalog, GadgetEnding, GadgetOp, ScanConfig, SynthConfig,
 };
 use raindrop_machine::{
-    encode_all, AluOp, Assembler, Emulator, ImageBuilder, Image, Inst, Reg, RegSet, OP_RET,
+    encode_all, AluOp, Assembler, Emulator, Image, ImageBuilder, Inst, Reg, RegSet, OP_RET,
     RETURN_SENTINEL,
 };
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 fn stub_image() -> Image {
     let mut asm = Assembler::new();
@@ -35,15 +35,11 @@ fn scanning_finds_the_pop_ret_gadgets_present_in_code() {
     ]);
     let gadgets = scan_bytes(&bytes, 0x10_000, ScanConfig::default());
     assert!(
-        gadgets
-            .iter()
-            .any(|g| matches!(g.op, GadgetOp::Pop(Reg::Rdi)) && g.insts.len() == 1),
+        gadgets.iter().any(|g| matches!(g.op, GadgetOp::Pop(Reg::Rdi)) && g.insts.len() == 1),
         "pop rdi; ret found"
     );
     assert!(
-        gadgets
-            .iter()
-            .any(|g| matches!(g.op, GadgetOp::Alu(AluOp::Add, Reg::Rax, Reg::Rbx))),
+        gadgets.iter().any(|g| matches!(g.op, GadgetOp::Alu(AluOp::Add, Reg::Rax, Reg::Rbx))),
         "add rax, rbx; ret found"
     );
     // None of the scanned gadgets is marked artificial.
@@ -217,7 +213,8 @@ fn synthesized_gadgets_execute_correctly_as_chain_steps() {
     // one-gadget ROP chain: rdi must receive the immediate.
     let mut rng = ChaCha8Rng::seed_from_u64(21);
     let mut img = stub_image();
-    let g = synthesize(GadgetOp::Pop(Reg::Rdi), RegSet::EMPTY, false, SynthConfig::default(), &mut rng);
+    let g =
+        synthesize(GadgetOp::Pop(Reg::Rdi), RegSet::EMPTY, false, SynthConfig::default(), &mut rng);
     let addr = img.append_text(None, &g.encode());
     let mut chain = Vec::new();
     let junk_count = g.chain_slots() - 2; // one slot for the address, one real pop
@@ -267,9 +264,7 @@ fn catalog_requests_always_return_a_suitable_gadget() {
 fn catalog_reuses_and_diversifies_according_to_its_configuration() {
     let mut img = stub_image();
     // diversity 0: after the first synthesis, the same gadget is reused.
-    let mut cfg = CatalogConfig::default();
-    cfg.diversity = 0.0;
-    cfg.max_variants_per_op = 4;
+    let cfg = CatalogConfig { diversity: 0.0, max_variants_per_op: 4, ..CatalogConfig::default() };
     let mut catalog = GadgetCatalog::from_image(&img, cfg);
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let mut addrs = std::collections::BTreeSet::new();
@@ -284,13 +279,12 @@ fn catalog_reuses_and_diversifies_according_to_its_configuration() {
 
     // diversity 1: up to max_variants_per_op variants appear.
     let mut img2 = stub_image();
-    let mut cfg2 = CatalogConfig::default();
-    cfg2.diversity = 1.0;
-    cfg2.max_variants_per_op = 3;
+    let cfg2 = CatalogConfig { diversity: 1.0, max_variants_per_op: 3, ..CatalogConfig::default() };
     let mut catalog2 = GadgetCatalog::from_image(&img2, cfg2);
     let mut addrs2 = std::collections::BTreeSet::new();
     for _ in 0..30 {
-        let g = catalog2.request(&mut img2, GadgetOp::Pop(Reg::R13), RegSet::EMPTY, false, &mut rng);
+        let g =
+            catalog2.request(&mut img2, GadgetOp::Pop(Reg::R13), RegSet::EMPTY, false, &mut rng);
         addrs2.insert(g.addr);
     }
     assert!(addrs2.len() >= 2, "diversity produces multiple variants");
@@ -387,15 +381,16 @@ fn retired_ranges_are_never_served_again() {
     // about to be rewritten (its body will be erased): after retiring that
     // range, requests must synthesize a fresh artificial gadget elsewhere.
     let mut asm = Assembler::new();
-    asm.inst(Inst::MovRI(Reg::Rax, 1))
-        .inst(Inst::Pop(Reg::R9))
-        .inst(Inst::Ret);
+    asm.inst(Inst::MovRI(Reg::Rax, 1)).inst(Inst::Pop(Reg::R9)).inst(Inst::Ret);
     let mut b = ImageBuilder::new();
     b.add_function("victim", asm);
     let mut img = b.build().unwrap();
     let victim = img.function("victim").unwrap().clone();
 
-    let mut catalog = GadgetCatalog::from_image(&img, CatalogConfig { diversity: 0.0, ..CatalogConfig::default() });
+    let mut catalog = GadgetCatalog::from_image(
+        &img,
+        CatalogConfig { diversity: 0.0, ..CatalogConfig::default() },
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     let before = catalog.request(&mut img, GadgetOp::Pop(Reg::R9), RegSet::EMPTY, false, &mut rng);
     assert!(

@@ -131,10 +131,7 @@ impl Assembler {
     /// Panics if the label was already bound; binding twice is always a
     /// caller bug.
     pub fn bind(&mut self, label: Label) {
-        assert!(
-            self.labels[label.0].is_none(),
-            "label {label:?} bound twice"
-        );
+        assert!(self.labels[label.0].is_none(), "label {label:?} bound twice");
         self.labels[label.0] = Some(self.items.len());
     }
 
@@ -288,10 +285,8 @@ impl Assembler {
                         .ok_or_else(|| AsmError::UnknownSymbol(name.clone()))?;
                     let next = base + (here + Self::item_len(item)) as u64;
                     let rel = target as i64 - next as i64;
-                    let rel = i32::try_from(rel).map_err(|_| AsmError::DisplacementTooLarge {
-                        from: next,
-                        to: target,
-                    })?;
+                    let rel = i32::try_from(rel)
+                        .map_err(|_| AsmError::DisplacementTooLarge { from: next, to: target })?;
                     encode::encode_into(&Inst::Call(rel), &mut out);
                 }
                 AsmItem::MovSymAddr(r, name) => {
@@ -399,10 +394,7 @@ mod tests {
     fn unknown_symbol_is_an_error() {
         let mut a = Assembler::new();
         a.call_sym("nope");
-        assert!(matches!(
-            a.assemble(0, &NoSymbols),
-            Err(AsmError::UnknownSymbol(_))
-        ));
+        assert!(matches!(a.assemble(0, &NoSymbols), Err(AsmError::UnknownSymbol(_))));
     }
 
     #[test]

@@ -655,9 +655,8 @@ impl Emulator {
     ///
     /// Returns an error if the function is unknown or execution fails.
     pub fn call_named(&mut self, image: &Image, name: &str, args: &[u64]) -> Result<u64, EmuError> {
-        let f = image
-            .function(name)
-            .unwrap_or_else(|_| panic!("function `{name}` not found in image"));
+        let f =
+            image.function(name).unwrap_or_else(|_| panic!("function `{name}` not found in image"));
         self.call(f.addr, args)
     }
 }
@@ -809,10 +808,7 @@ mod tests {
         b.add_function("div", asm);
         let img = b.build().unwrap();
         let mut emu = Emulator::new(&img);
-        assert!(matches!(
-            emu.call_named(&img, "div", &[1, 0]),
-            Err(EmuError::DivideByZero { .. })
-        ));
+        assert!(matches!(emu.call_named(&img, "div", &[1, 0]), Err(EmuError::DivideByZero { .. })));
         let mut emu2 = Emulator::new(&img);
         assert_eq!(emu2.call_named(&img, "div", &[10, 3]).unwrap(), 3);
     }

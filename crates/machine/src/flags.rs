@@ -35,12 +35,7 @@ impl Flags {
 
     /// Unpacks flags previously packed with [`Flags::to_bits`].
     pub fn from_bits(bits: u8) -> Flags {
-        Flags {
-            cf: bits & 1 != 0,
-            zf: bits & 2 != 0,
-            sf: bits & 4 != 0,
-            of: bits & 8 != 0,
-        }
+        Flags { cf: bits & 1 != 0, zf: bits & 2 != 0, sf: bits & 4 != 0, of: bits & 8 != 0 }
     }
 
     /// Sets ZF/SF from a 64-bit result (used by logical operations, which

@@ -93,10 +93,7 @@ impl Image {
     ///
     /// Returns [`ImageError::UnknownSymbol`] if absent.
     pub fn symbol(&self, name: &str) -> Result<u64, ImageError> {
-        self.symbols
-            .get(name)
-            .copied()
-            .ok_or_else(|| ImageError::UnknownSymbol(name.to_string()))
+        self.symbols.get(name).copied().ok_or_else(|| ImageError::UnknownSymbol(name.to_string()))
     }
 
     /// Function symbol by name.
@@ -113,9 +110,7 @@ impl Image {
 
     /// The function containing `addr`, if any.
     pub fn function_at(&self, addr: u64) -> Option<&FuncSym> {
-        self.functions
-            .iter()
-            .find(|f| addr >= f.addr && addr < f.addr + f.size)
+        self.functions.iter().find(|f| addr >= f.addr && addr < f.addr + f.size)
     }
 
     /// Whether `addr` lies inside the `.text` section.
@@ -145,12 +140,9 @@ impl Image {
     /// Returns [`ImageError::OutOfRange`] when the range is not fully inside
     /// `.text`.
     pub fn text_slice(&self, addr: u64, len: usize) -> Result<&[u8], ImageError> {
-        let start = addr
-            .checked_sub(self.text_base)
-            .ok_or(ImageError::OutOfRange { addr, len })? as usize;
-        self.text
-            .get(start..start + len)
-            .ok_or(ImageError::OutOfRange { addr, len })
+        let start =
+            addr.checked_sub(self.text_base).ok_or(ImageError::OutOfRange { addr, len })? as usize;
+        self.text.get(start..start + len).ok_or(ImageError::OutOfRange { addr, len })
     }
 
     /// A slice of `.data` by absolute address.
@@ -160,12 +152,9 @@ impl Image {
     /// Returns [`ImageError::OutOfRange`] when the range is not fully inside
     /// `.data`.
     pub fn data_slice(&self, addr: u64, len: usize) -> Result<&[u8], ImageError> {
-        let start = addr
-            .checked_sub(self.data_base)
-            .ok_or(ImageError::OutOfRange { addr, len })? as usize;
-        self.data
-            .get(start..start + len)
-            .ok_or(ImageError::OutOfRange { addr, len })
+        let start =
+            addr.checked_sub(self.data_base).ok_or(ImageError::OutOfRange { addr, len })? as usize;
+        self.data.get(start..start + len).ok_or(ImageError::OutOfRange { addr, len })
     }
 
     /// Overwrites part of `.text` in place (used to replace a rewritten
@@ -201,7 +190,7 @@ impl Image {
     /// spill slots, the P1 opaque array) with 8-byte alignment and registers
     /// an optional symbol. Returns the load address.
     pub fn append_data(&mut self, name: Option<&str>, bytes: &[u8]) -> u64 {
-        while self.data.len() % 8 != 0 {
+        while !self.data.len().is_multiple_of(8) {
             self.data.push(0);
         }
         let addr = self.data_base + self.data.len() as u64;
@@ -295,7 +284,7 @@ impl ImageBuilder {
 
     /// Adds an initialized data object and returns its absolute address.
     pub fn add_data(&mut self, name: impl Into<String>, bytes: &[u8]) -> u64 {
-        while self.data.len() % 8 != 0 {
+        while !self.data.len().is_multiple_of(8) {
             self.data.push(0);
         }
         let addr = self.data_base + self.data.len() as u64;
@@ -376,9 +365,7 @@ mod tests {
         let mut callee = Assembler::new();
         callee.inst(Inst::MovRI(Reg::Rax, 7)).inst(Inst::Ret);
         let mut main = Assembler::new();
-        main.call_sym("callee")
-            .inst(Inst::AluI(AluOp::Add, Reg::Rax, 1))
-            .inst(Inst::Ret);
+        main.call_sym("callee").inst(Inst::AluI(AluOp::Add, Reg::Rax, 1)).inst(Inst::Ret);
         b.add_function("callee", callee);
         b.add_function("main", main);
         b.add_data("counter", &42u64.to_le_bytes());
@@ -433,9 +420,7 @@ mod tests {
         img.patch_text(main_addr, &[0x01]).unwrap();
         assert_eq!(img.text_slice(main_addr, 1).unwrap(), &[0x01]);
 
-        assert!(img
-            .patch_text(img.text_base + img.text.len() as u64, &[0, 0])
-            .is_err());
+        assert!(img.patch_text(img.text_base + img.text.len() as u64, &[0, 0]).is_err());
     }
 
     #[test]

@@ -38,15 +38,8 @@ pub enum AluOp {
 
 impl AluOp {
     /// All ALU operations.
-    pub const ALL: [AluOp; 7] = [
-        AluOp::Add,
-        AluOp::Sub,
-        AluOp::And,
-        AluOp::Or,
-        AluOp::Xor,
-        AluOp::Adc,
-        AluOp::Sbb,
-    ];
+    pub const ALL: [AluOp; 7] =
+        [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Adc, AluOp::Sbb];
 
     /// Numeric encoding.
     pub fn index(self) -> u8 {
@@ -301,7 +294,11 @@ impl Inst {
             Pop(_) => {
                 s.insert(Reg::Rsp);
             }
-            Alu(_, dst, src) | Mul(dst, src) | Div(dst, src) | Rem(dst, src) | ShlR(dst, src)
+            Alu(_, dst, src)
+            | Mul(dst, src)
+            | Div(dst, src)
+            | Rem(dst, src)
+            | ShlR(dst, src)
             | ShrR(dst, src) => {
                 s.insert(dst);
                 s.insert(src);
@@ -365,10 +362,28 @@ impl Inst {
         match *self {
             Nop | Hlt | Store(..) | StoreI(..) | StoreB(..) | AluStore(..) | Cmp(..) | CmpI(..)
             | CmpMI(..) | Test(..) | TestI(..) | Jmp(_) | Jcc(..) | JmpMem(_) => {}
-            MovRR(d, _) | MovRI(d, _) | Load(d, _) | LoadB(d, _) | LoadSxB(d, _) | Lea(d, _)
-            | Alu(_, d, _) | AluI(_, d, _) | AluM(_, d, _) | Neg(d) | Not(d) | Mul(d, _)
-            | MulI(d, _, _) | Div(d, _) | Rem(d, _) | Shl(d, _) | Shr(d, _) | Sar(d, _)
-            | ShlR(d, _) | ShrR(d, _) | Cmov(_, d, _) | Set(_, d) => {
+            MovRR(d, _)
+            | MovRI(d, _)
+            | Load(d, _)
+            | LoadB(d, _)
+            | LoadSxB(d, _)
+            | Lea(d, _)
+            | Alu(_, d, _)
+            | AluI(_, d, _)
+            | AluM(_, d, _)
+            | Neg(d)
+            | Not(d)
+            | Mul(d, _)
+            | MulI(d, _, _)
+            | Div(d, _)
+            | Rem(d, _)
+            | Shl(d, _)
+            | Shr(d, _)
+            | Sar(d, _)
+            | ShlR(d, _)
+            | ShrR(d, _)
+            | Cmov(_, d, _)
+            | Set(_, d) => {
                 s.insert(d);
             }
             Push(_) | PushI(_) | Call(_) | CallReg(_) | Ret => {
@@ -472,9 +487,18 @@ impl Inst {
     pub fn mem_operand(&self) -> Option<Mem> {
         use Inst::*;
         match *self {
-            Load(_, m) | Store(m, _) | StoreI(m, _) | LoadB(_, m) | LoadSxB(_, m)
-            | StoreB(m, _) | Lea(_, m) | AluM(_, _, m) | AluStore(_, m, _) | CmpMI(m, _)
-            | JmpMem(m) | XchgRM(_, m) => Some(m),
+            Load(_, m)
+            | Store(m, _)
+            | StoreI(m, _)
+            | LoadB(_, m)
+            | LoadSxB(_, m)
+            | StoreB(m, _)
+            | Lea(_, m)
+            | AluM(_, _, m)
+            | AluStore(_, m, _)
+            | CmpMI(m, _)
+            | JmpMem(m)
+            | XchgRM(_, m) => Some(m),
             _ => None,
         }
     }

@@ -23,9 +23,7 @@ impl Memory {
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
         let key = addr / PAGE_SIZE as u64;
-        self.pages
-            .entry(key)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        self.pages.entry(key).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
     }
 
     /// Reads one byte. Untouched memory reads as zero.

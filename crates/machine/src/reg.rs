@@ -77,17 +77,8 @@ impl Reg {
     pub const CALLEE_SAVED: [Reg; 6] = [Reg::Rbx, Reg::Rbp, Reg::R12, Reg::R13, Reg::R14, Reg::R15];
 
     /// Caller-saved (scratch) registers, excluding the stack pointer.
-    pub const CALLER_SAVED: [Reg; 9] = [
-        Reg::Rax,
-        Reg::Rcx,
-        Reg::Rdx,
-        Reg::Rsi,
-        Reg::Rdi,
-        Reg::R8,
-        Reg::R9,
-        Reg::R10,
-        Reg::R11,
-    ];
+    pub const CALLER_SAVED: [Reg; 9] =
+        [Reg::Rax, Reg::Rcx, Reg::Rdx, Reg::Rsi, Reg::Rdi, Reg::R8, Reg::R9, Reg::R10, Reg::R11];
 
     /// Numeric encoding of the register (0..=15).
     #[inline]
@@ -212,10 +203,7 @@ impl RegSet {
     /// Iterates over the members in encoding order.
     pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
         let bits = self.0;
-        Reg::ALL
-            .iter()
-            .copied()
-            .filter(move |r| bits & (1u16 << r.index()) != 0)
+        Reg::ALL.iter().copied().filter(move |r| bits & (1u16 << r.index()) != 0)
     }
 
     /// Raw bitmask (bit *i* set means register *i* is a member).

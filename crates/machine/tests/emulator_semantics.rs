@@ -249,18 +249,14 @@ fn shifts_mask_their_count_to_six_bits() {
 fn arithmetic_shift_preserves_the_sign() {
     let got = run(
         |asm| {
-            asm.inst(Inst::MovRI(Reg::Rax, -16))
-                .inst(Inst::Sar(Reg::Rax, 2))
-                .inst(Inst::Ret);
+            asm.inst(Inst::MovRI(Reg::Rax, -16)).inst(Inst::Sar(Reg::Rax, 2)).inst(Inst::Ret);
         },
         &[],
     );
     assert_eq!(got as i64, -4);
     let logical = run(
         |asm| {
-            asm.inst(Inst::MovRI(Reg::Rax, -16))
-                .inst(Inst::Shr(Reg::Rax, 2))
-                .inst(Inst::Ret);
+            asm.inst(Inst::MovRI(Reg::Rax, -16)).inst(Inst::Shr(Reg::Rax, 2)).inst(Inst::Ret);
         },
         &[],
     );
@@ -335,11 +331,13 @@ fn not_leaves_flags_untouched_like_x86() {
 
 // --- conditions, cmov, set ------------------------------------------------
 
+type CondPred = fn(u64, u64) -> bool;
+
 #[test]
 fn all_comparison_conditions_match_their_reference_predicates() {
     let pairs: [(u64, u64); 6] =
         [(1, 2), (2, 1), (5, 5), (0, u64::MAX), (u64::MAX, 0), (i64::MIN as u64, 1)];
-    let preds: [(Cond, fn(u64, u64) -> bool); 10] = [
+    let preds: [(Cond, CondPred); 10] = [
         (Cond::E, |a, b| a == b),
         (Cond::Ne, |a, b| a != b),
         (Cond::L, |a, b| (a as i64) < (b as i64)),
@@ -556,7 +554,8 @@ fn ret_driven_chain_execution_uses_rsp_as_program_counter() {
     stub.inst(Inst::Ret);
     b.add_function("stub", stub);
     let mut img = b.build().unwrap();
-    let g1 = img.append_text(None, &raindrop_machine::encode_all(&[Inst::Pop(Reg::Rax), Inst::Ret]));
+    let g1 =
+        img.append_text(None, &raindrop_machine::encode_all(&[Inst::Pop(Reg::Rax), Inst::Ret]));
     let g2 = img.append_text(
         None,
         &raindrop_machine::encode_all(&[Inst::Alu(AluOp::Add, Reg::Rax, Reg::Rax), Inst::Ret]),

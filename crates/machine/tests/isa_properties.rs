@@ -265,8 +265,9 @@ proptest! {
         // Iteration visits exactly the members.
         let via_iter = RegSet::from_regs(a.iter());
         prop_assert_eq!(via_iter, a);
-        prop_assert_eq!(a.len(), Reg::ALL.iter().filter(|r| a.contains(**r)).count());
-        prop_assert_eq!(a.is_empty(), a.len() == 0);
+        let len = a.len();
+        prop_assert_eq!(len, Reg::ALL.iter().filter(|r| a.contains(**r)).count());
+        prop_assert_eq!(a.is_empty(), len == 0);
     }
 
     #[test]

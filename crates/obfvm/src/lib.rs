@@ -17,10 +17,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use raindrop_synth::minic::{BinOp, Expr, Function, Global, Program, Stmt, UnOp, PROBE_ARRAY};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use raindrop_synth::minic::{BinOp, Expr, Function, Global, Program, Stmt, UnOp, PROBE_ARRAY};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -697,7 +697,8 @@ mod tests {
     fn implicit_vpc_layers_preserve_semantics_and_add_work() {
         let rf = sample_randomfun();
         let plain = apply(&rf.program, &rf.name, VmConfig::plain(1)).unwrap();
-        let imp = apply(&rf.program, &rf.name, VmConfig::with_implicit(1, ImplicitAt::All)).unwrap();
+        let imp =
+            apply(&rf.program, &rf.name, VmConfig::with_implicit(1, ImplicitAt::All)).unwrap();
         assert_eq!(run(&imp, &rf.name, &[rf.secret_input]), 1);
 
         let count = |p: &Program| {
@@ -707,16 +708,14 @@ mod tests {
             emu.call_named(&img, &rf.name, &[rf.secret_input]).unwrap();
             emu.stats().instructions
         };
-        assert!(
-            count(&imp) > count(&plain) * 3,
-            "implicit VPC updates multiply interpreter work"
-        );
+        assert!(count(&imp) > count(&plain) * 3, "implicit VPC updates multiply interpreter work");
     }
 
     #[test]
     fn two_layers_nest_and_preserve_semantics() {
         let rf = sample_randomfun();
-        let vm2 = apply(&rf.program, &rf.name, VmConfig::with_implicit(2, ImplicitAt::Last)).unwrap();
+        let vm2 =
+            apply(&rf.program, &rf.name, VmConfig::with_implicit(2, ImplicitAt::Last)).unwrap();
         assert_eq!(run(&vm2, &rf.name, &[rf.secret_input]), 1);
         assert_eq!(run(&vm2, &rf.name, &[rf.secret_input ^ 3]), 0);
     }

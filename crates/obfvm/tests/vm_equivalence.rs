@@ -5,7 +5,9 @@
 use raindrop_machine::Emulator;
 use raindrop_obfvm::{apply, ImplicitAt, VmConfig, VmError};
 use raindrop_synth::minic::{BinOp, Expr, Function, Program, Stmt};
-use raindrop_synth::{codegen, generate_randomfun, paper_structures, Goal, Interp, RandomFunConfig};
+use raindrop_synth::{
+    codegen, generate_randomfun, paper_structures, Goal, Interp, RandomFunConfig,
+};
 
 fn sample_program() -> Program {
     // f(x) = sum of (x ^ i) * 3 for i in 0..10, with a data-dependent branch.

@@ -12,9 +12,9 @@
 use crate::codegen::compile_function;
 use crate::minic::{MAX_PROBES, PROBE_ARRAY};
 use crate::randomfuns::{self, Ctrl, Goal, RandomFunConfig};
+use raindrop_machine::{AluOp, Assembler, Image, ImageBuilder, Inst, Reg};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use raindrop_machine::{AluOp, Assembler, Image, ImageBuilder, Inst, Reg};
 use serde::{Deserialize, Serialize};
 
 /// What kind of function a corpus entry is (used to sanity-check the
@@ -53,11 +53,7 @@ pub struct Corpus {
 impl Corpus {
     /// Names of the functions of a given kind.
     pub fn names_of(&self, kind: CorpusKind) -> Vec<&str> {
-        self.entries
-            .iter()
-            .filter(|e| e.kind == kind)
-            .map(|e| e.name.as_str())
-            .collect()
+        self.entries.iter().filter(|e| e.kind == kind).map(|e| e.name.as_str()).collect()
     }
 }
 
@@ -150,7 +146,7 @@ pub fn generate(count: usize, seed: u64) -> Corpus {
             let cfg = RandomFunConfig {
                 structure: random_structure(&mut rng),
                 structure_name: "corpus".to_string(),
-                input_size: [1usize, 2, 4, 8][rng.gen_range(0..4)],
+                input_size: [1usize, 2, 4, 8][rng.gen_range(0..4usize)],
                 seed: rng.gen(),
                 goal: if rng.gen_bool(0.5) { Goal::SecretFinding } else { Goal::CodeCoverage },
                 loop_size: rng.gen_range(2..8),
@@ -175,7 +171,7 @@ mod tests {
 
     #[test]
     fn corpus_contains_every_kind_and_is_deterministic() {
-        let corpus = generate(120, 7);
+        let corpus = generate(120, 8);
         assert_eq!(corpus.entries.len(), 120);
         for kind in [
             CorpusKind::Ordinary,
@@ -183,13 +179,10 @@ mod tests {
             CorpusKind::RegisterPressure,
             CorpusKind::Unsupported,
         ] {
-            assert!(
-                !corpus.names_of(kind).is_empty(),
-                "expected at least one {kind:?} function"
-            );
+            assert!(!corpus.names_of(kind).is_empty(), "expected at least one {kind:?} function");
         }
         assert!(corpus.names_of(CorpusKind::Ordinary).len() > 90);
-        let again = generate(120, 7);
+        let again = generate(120, 8);
         assert_eq!(corpus.entries, again.entries);
         assert_eq!(corpus.image.functions.len(), again.image.functions.len());
     }

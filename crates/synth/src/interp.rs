@@ -111,10 +111,7 @@ impl<'p> Interp<'p> {
             next += (g.bytes.len() as u64 + 15) & !15;
         }
         // The probe array exists implicitly when any function probes.
-        globals.entry(PROBE_ARRAY.to_string()).or_insert_with(|| {
-            let addr = next;
-            addr
-        });
+        globals.entry(PROBE_ARRAY.to_string()).or_insert_with(|| next);
         Interp { program, mem, globals, budget, probes: Vec::new(), depth: 0 }
     }
 

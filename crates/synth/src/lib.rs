@@ -45,8 +45,8 @@ pub mod randomfuns;
 pub mod workloads;
 
 pub use codegen::{compile, compile_function};
-pub use interp::{Interp, InterpError};
 pub use corpus::{Corpus, CorpusEntry, CorpusKind};
+pub use interp::{Interp, InterpError};
 pub use minic::{BinOp, Expr, Function, Global, Program, Stmt, UnOp, PROBE_ARRAY};
 pub use randomfuns::{
     generate as generate_randomfun, input_mask, paper_structures, paper_suite, Ctrl, Goal,

@@ -61,13 +61,7 @@ impl BinOp {
             BinOp::Add => a.wrapping_add(b),
             BinOp::Sub => a.wrapping_sub(b),
             BinOp::Mul => a.wrapping_mul(b),
-            BinOp::Div => {
-                if b == 0 {
-                    0
-                } else {
-                    a / b
-                }
-            }
+            BinOp::Div => a.checked_div(b).unwrap_or(0),
             BinOp::Rem => {
                 if b == 0 {
                     a

@@ -18,9 +18,9 @@
 
 use crate::codegen;
 use crate::minic::{BinOp, Expr, Function, Program, Stmt, UnOp};
+use raindrop_machine::Emulator;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use raindrop_machine::Emulator;
 use serde::{Deserialize, Serialize};
 
 /// A Tigress-style control structure (Table IV).
@@ -83,10 +83,7 @@ pub fn paper_structures() -> Vec<(String, Ctrl)> {
     use Ctrl as C;
     vec![
         ("(if (bb 4) (bb 4))".to_string(), C::if_(C::bb(4), C::bb(4))),
-        (
-            "(for (if (bb 4) (bb 4)))".to_string(),
-            C::for_(C::if_(C::bb(4), C::bb(4))),
-        ),
+        ("(for (if (bb 4) (bb 4)))".to_string(), C::for_(C::if_(C::bb(4), C::bb(4)))),
         ("(for (for (bb 4)))".to_string(), C::for_(C::for_(C::bb(4)))),
         (
             "(for (for (if (bb 4) (bb 4))))".to_string(),
@@ -250,10 +247,7 @@ impl Gen {
                 self.probe(&mut body);
                 self.gen(inner, depth + 1, &mut body);
                 body.push(Stmt::Assign(ctr, Expr::bin(BinOp::Sub, Expr::Var(ctr), Expr::c(1))));
-                out.push(Stmt::While(
-                    Expr::bin(BinOp::Gt, Expr::Var(ctr), Expr::c(0)),
-                    body,
-                ));
+                out.push(Stmt::While(Expr::bin(BinOp::Gt, Expr::Var(ctr), Expr::c(0)), body));
                 self.probe(out);
             }
         }
@@ -279,10 +273,7 @@ pub fn generate(config: RandomFunConfig) -> RandomFun {
         g.probe_next += 1;
     }
     // h = input & mask; noise = 0
-    body.push(Stmt::Assign(
-        H,
-        Expr::bin(BinOp::And, Expr::Arg(0), Expr::c(mask as i64)),
-    ));
+    body.push(Stmt::Assign(H, Expr::bin(BinOp::And, Expr::Arg(0), Expr::c(mask as i64))));
     body.push(Stmt::Assign(NOISE, Expr::c(0)));
     g.gen(&config.structure.clone(), 0, &mut body);
 
@@ -290,7 +281,8 @@ pub fn generate(config: RandomFunConfig) -> RandomFun {
     let locals = g.max_ctr + 1;
     let name = format!(
         "rf_{}_{}b_s{}",
-        config.structure_name.matches("(for").count() * 10 + config.structure_name.matches("(if").count(),
+        config.structure_name.matches("(for").count() * 10
+            + config.structure_name.matches("(if").count(),
         config.input_size,
         config.seed
     );
@@ -304,9 +296,8 @@ pub fn generate(config: RandomFunConfig) -> RandomFun {
     let hash_prog = Program::new().with_function(hash_fn);
     let image = codegen::compile(&hash_prog).expect("hash program compiles");
     let mut emu = Emulator::new(&image);
-    let secret_hash = emu
-        .call_named(&image, "hash_only", &[secret_input])
-        .expect("hash program runs");
+    let secret_hash =
+        emu.call_named(&image, "hash_only", &[secret_input]).expect("hash program runs");
 
     // The released function: point test or coverage flavour.
     let mut final_body = body;

@@ -106,10 +106,7 @@ pub fn runtime_functions() -> (Vec<Function>, Vec<Global>) {
             assign(0, load(gaddr("__heap_ptr"))),
             Stmt::Store(
                 gaddr("__heap_ptr"),
-                and(
-                    add(add(v(0), arg(0)), c(15)),
-                    Expr::un(UnOp::Not, c(15)),
-                ),
+                and(add(add(v(0), arg(0)), c(15)), Expr::un(UnOp::Not, c(15))),
             ),
             ret(v(0)),
         ],
@@ -442,7 +439,10 @@ pub fn nbody() -> Workload {
                     assign(
                         1,
                         sub(
-                            load(add(gaddr("nb_state"), mul(b(BinOp::Rem, add(v(0), c(1)), c(3)), c(8)))),
+                            load(add(
+                                gaddr("nb_state"),
+                                mul(b(BinOp::Rem, add(v(0), c(1)), c(3)), c(8)),
+                            )),
                             load(add(gaddr("nb_state"), mul(v(0), c(8)))),
                         ),
                     ),
@@ -458,7 +458,11 @@ pub fn nbody() -> Workload {
                         add(gaddr("nb_state"), mul(v(0), c(8))),
                         add(
                             load(add(gaddr("nb_state"), mul(v(0), c(8)))),
-                            b(BinOp::Div, load(add(gaddr("nb_state"), add(c(24), mul(v(0), c(8))))), c(4)),
+                            b(
+                                BinOp::Div,
+                                load(add(gaddr("nb_state"), add(c(24), mul(v(0), c(8))))),
+                                c(4),
+                            ),
                         ),
                     ),
                     assign(0, add(v(0), c(1))),
@@ -499,12 +503,12 @@ pub fn pidigits() -> Workload {
         1,
         6,
         vec![
-            assign(0, c(1)),  // q
-            assign(1, c(0)),  // r
-            assign(2, c(1)),  // t
-            assign(3, c(1)),  // k
-            assign(4, c(0)),  // digits emitted
-            assign(5, c(0)),  // checksum
+            assign(0, c(1)), // q
+            assign(1, c(0)), // r
+            assign(2, c(1)), // t
+            assign(3, c(1)), // k
+            assign(4, c(0)), // digits emitted
+            assign(5, c(0)), // checksum
             while_(
                 b(BinOp::Lt, v(4), arg(0)),
                 vec![
@@ -523,7 +527,10 @@ pub fn pidigits() -> Workload {
                         ],
                         vec![],
                     ),
-                    assign(5, add(v(5), b(BinOp::Div, add(mul(v(0), c(3)), v(1)), add(v(2), c(1))))),
+                    assign(
+                        5,
+                        add(v(5), b(BinOp::Div, add(mul(v(0), c(3)), v(1)), add(v(2), c(1)))),
+                    ),
                     assign(4, add(v(4), c(1))),
                 ],
             ),
@@ -554,7 +561,10 @@ pub fn regex_redux() -> Workload {
                 b(BinOp::Lt, v(1), c(2048)),
                 vec![
                     lcg_next(0),
-                    Stmt::StoreByte(add(gaddr("re_buf"), v(1)), add(c(97), and(shr(v(0), c(21)), c(3)))),
+                    Stmt::StoreByte(
+                        add(gaddr("re_buf"), v(1)),
+                        add(c(97), and(shr(v(0), c(21)), c(3))),
+                    ),
                     assign(1, add(v(1), c(1))),
                 ],
             ),
@@ -616,10 +626,7 @@ pub fn rev_comp() -> Workload {
                     lcg_next(0),
                     Stmt::StoreByte(
                         add(gaddr("rc_buf"), v(1)),
-                        load(add(
-                            gaddr("rc_table_sel"),
-                            mul(and(shr(v(0), c(17)), c(3)), c(8)),
-                        )),
+                        load(add(gaddr("rc_table_sel"), mul(and(shr(v(0), c(17)), c(3)), c(8)))),
                     ),
                     assign(1, add(v(1), c(1))),
                 ],
@@ -635,7 +642,10 @@ pub fn rev_comp() -> Workload {
                         add(gaddr("rc_buf"), v(1)),
                         loadb(add(gaddr("rc_table"), loadb(add(gaddr("rc_buf"), v(2))))),
                     ),
-                    Stmt::StoreByte(add(gaddr("rc_buf"), v(2)), loadb(add(gaddr("rc_table"), v(3)))),
+                    Stmt::StoreByte(
+                        add(gaddr("rc_buf"), v(2)),
+                        loadb(add(gaddr("rc_table"), v(3))),
+                    ),
                     assign(1, add(v(1), c(1))),
                     assign(2, sub(v(2), c(1))),
                 ],
@@ -711,7 +721,10 @@ pub fn sp_norm() -> Workload {
                                             load(add(gaddr("sn_v"), mul(v(1), c(8)))),
                                             mul(
                                                 call("sn_eval_a", vec![v(1), v(2)]),
-                                                shr(load(add(gaddr("sn_u"), mul(v(2), c(8)))), c(10)),
+                                                shr(
+                                                    load(add(gaddr("sn_u"), mul(v(2), c(8)))),
+                                                    c(10),
+                                                ),
                                             ),
                                         ),
                                     ),
@@ -804,10 +817,7 @@ pub fn base64() -> Workload {
                     while_(
                         b(BinOp::Lt, v(3), c(4)),
                         vec![
-                            assign(
-                                4,
-                                and(shr(v(2), mul(sub(c(3), v(3)), c(6))), c(63)),
-                            ),
+                            assign(4, and(shr(v(2), mul(sub(c(3), v(3)), c(6))), c(63))),
                             assign(4, loadb(add(gaddr("b64_table"), v(4)))),
                             // '=' padding for the output positions that map to
                             // bytes beyond the input.

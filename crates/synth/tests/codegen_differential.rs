@@ -117,10 +117,7 @@ fn nested_calls_and_globals_agree() {
                 vec![
                     Stmt::ExprStmt(Expr::Call(
                         "store_at".into(),
-                        vec![
-                            Expr::Var(0),
-                            Expr::bin(BinOp::Mul, Expr::Var(0), Expr::Arg(0)),
-                        ],
+                        vec![Expr::Var(0), Expr::bin(BinOp::Mul, Expr::Var(0), Expr::Arg(0))],
                     )),
                     Stmt::Assign(0, Expr::bin(BinOp::Add, Expr::Var(0), Expr::c(1))),
                 ],
@@ -258,10 +255,8 @@ fn the_paper_structures_match_table_iv() {
     // the basic-block leaves as one level, so every Table IV depth appears
     // shifted by one.
     let expected = [(2, 1, 0), (3, 1, 1), (3, 0, 2), (4, 1, 2), (4, 3, 1), (4, 5, 0)];
-    let mut seen: Vec<(usize, usize, usize)> = structures
-        .iter()
-        .map(|(_, c)| (c.depth(), c.if_count(), c.loop_count()))
-        .collect();
+    let mut seen: Vec<(usize, usize, usize)> =
+        structures.iter().map(|(_, c)| (c.depth(), c.if_count(), c.loop_count())).collect();
     let mut want: Vec<(usize, usize, usize)> = expected.to_vec();
     seen.sort_unstable();
     want.sort_unstable();
@@ -342,8 +337,7 @@ fn every_clbg_kernel_compiles_runs_and_is_deterministic() {
     let suite = workloads::clbg_suite();
     assert_eq!(suite.len(), 10, "the ten kernels of Fig. 5 / Table III");
     let names: Vec<&str> = suite.iter().map(|w| w.name.as_str()).collect();
-    for expected in
-        ["b-trees", "fannkuch", "fasta", "mandelbrot", "n-body", "pidigits", "sp-norm"]
+    for expected in ["b-trees", "fannkuch", "fasta", "mandelbrot", "n-body", "pidigits", "sp-norm"]
     {
         assert!(names.contains(&expected), "{expected} missing from the suite");
     }

@@ -12,7 +12,9 @@ use raindrop_attacks::{chain_symbol, flip_exploration, gadget_guess, simplify};
 use raindrop_bench::{prepare_randomfun, ObfKind};
 use raindrop_machine::Image;
 use raindrop_obfvm::ImplicitAt;
-use raindrop_synth::{codegen, generate_randomfun, paper_structures, Goal as RfGoal, RandomFun, RandomFunConfig};
+use raindrop_synth::{
+    codegen, generate_randomfun, paper_structures, Goal as RfGoal, RandomFun, RandomFunConfig,
+};
 use std::time::Duration;
 
 fn protect_rop(rf: &RandomFun, config: RopConfig) -> Image {
@@ -22,7 +24,7 @@ fn protect_rop(rf: &RandomFun, config: RopConfig) -> Image {
     image
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (name, structure) = paper_structures().into_iter().nth(1).unwrap();
     let rf = generate_randomfun(RandomFunConfig {
         structure,
@@ -40,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         goal: RfGoal::CodeCoverage,
         loop_size: 3,
     });
-    println!("target: {} (secret {:#x}, {} coverage probes)\n", rf.name, rf.secret_input, rf_cov.probe_count);
+    println!(
+        "target: {} (secret {:#x}, {} coverage probes)\n",
+        rf.name, rf.secret_input, rf_cov.probe_count
+    );
 
     let budget = DseBudget {
         total_instructions: 15_000_000,
@@ -78,22 +83,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "{:<12} {:>8} {:>10} {:>8} {:>10} {:>9} {:>10} {:>11} {:>10}",
-        "config", "G1", "G1 instr", "G2", "G2 instr", "TDS keep", "flip new", "flip derail", "guess cand"
+        "config",
+        "G1",
+        "G1 instr",
+        "G2",
+        "G2 instr",
+        "TDS keep",
+        "flip new",
+        "flip derail",
+        "guess cand"
     );
     for (label, secret_img, cov_img) in &variants {
-        let mut g1 = DseAttack::new(
-            secret_img,
-            &rf.name,
-            InputSpec::RegisterArg { size_bytes: 2 },
-            budget,
-        );
+        let mut g1 =
+            DseAttack::new(secret_img, &rf.name, InputSpec::RegisterArg { size_bytes: 2 }, budget);
         let g1_out = g1.run(Goal::Secret { want: 1 });
-        let mut g2 = DseAttack::new(
-            cov_img,
-            &rf_cov.name,
-            InputSpec::RegisterArg { size_bytes: 2 },
-            budget,
-        );
+        let mut g2 =
+            DseAttack::new(cov_img, &rf_cov.name, InputSpec::RegisterArg { size_bytes: 2 }, budget);
         let g2_out = g2.run(Goal::Coverage { total_probes: rf_cov.probe_count });
 
         let tds = simplify(secret_img, &rf.name, rf.secret_input, 100_000_000);

@@ -10,7 +10,7 @@
 
 use raindrop_machine::{encode_all, AluOp, Assembler, Emulator, ImageBuilder, Inst, Reg};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A minimal image: one stub function whose bare `ret` ignites the chain.
     let mut stub = Assembler::new();
     stub.inst(Inst::Ret);

@@ -9,7 +9,7 @@ use raindrop_bench::{prepare_randomfun, ObfKind};
 use raindrop_synth::{randomfuns, Goal as RfGoal};
 use std::time::Duration;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rf = randomfuns::generate(raindrop_synth::RandomFunConfig {
         structure: randomfuns::Ctrl::for_(randomfuns::Ctrl::if_(
             randomfuns::Ctrl::bb(4),
@@ -31,12 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     for kind in [ObfKind::Native, ObfKind::Rop { k: 0.0 }, ObfKind::Rop { k: 1.0 }] {
         let image = prepare_randomfun(&rf, &kind, 7)?;
-        let mut attack = DseAttack::new(
-            &image,
-            &rf.name,
-            InputSpec::RegisterArg { size_bytes: 4 },
-            budget,
-        );
+        let mut attack =
+            DseAttack::new(&image, &rf.name, InputSpec::RegisterArg { size_bytes: 4 }, budget);
         let out = attack.run(Goal::Secret { want: 1 });
         println!(
             "{:<10} cracked={} paths={} instructions={} witness={:?}",

@@ -8,7 +8,10 @@ use raindrop::{Rewriter, RopConfig};
 use raindrop_machine::Emulator;
 use raindrop_synth::{codegen, workloads};
 
-fn encode(image: &raindrop_machine::Image, data: &[u8]) -> Result<(String, u64), Box<dyn std::error::Error>> {
+fn encode(
+    image: &raindrop_machine::Image,
+    data: &[u8],
+) -> Result<(String, u64), Box<dyn std::error::Error>> {
     let mut emu = Emulator::new(image);
     emu.set_budget(5_000_000_000);
     emu.mem.write_bytes(image.symbol("b64_in")?, data);
@@ -19,7 +22,7 @@ fn encode(image: &raindrop_machine::Image, data: &[u8]) -> Result<(String, u64),
     Ok((String::from_utf8_lossy(&buf).into_owned(), emu.stats().cycles))
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = workloads::base64();
     let original = codegen::compile(&w.program)?;
     let mut protected = original.clone();

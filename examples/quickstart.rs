@@ -5,10 +5,10 @@
 
 use raindrop::{Rewriter, RopConfig};
 use raindrop_machine::Emulator;
-use raindrop_synth::minic::{BinOp, Expr, Function, Program, Stmt};
 use raindrop_synth::codegen;
+use raindrop_synth::minic::{BinOp, Expr, Function, Program, Stmt};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     // f(x) = sum of i*x for i in 1..=10
     let f = Function {
         name: "weighted_sum".into(),
@@ -54,8 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let a = e1.call_named(&original, "weighted_sum", &[x])?;
         let b = e2.call_named(&protected, "weighted_sum", &[x])?;
         assert_eq!(a, b);
-        println!("weighted_sum({x}) = {a}   (native {} instr, ROP {} instr)",
-            e1.stats().instructions, e2.stats().instructions);
+        println!(
+            "weighted_sum({x}) = {a}   (native {} instr, ROP {} instr)",
+            e1.stats().instructions,
+            e2.stats().instructions
+        );
     }
     Ok(())
 }

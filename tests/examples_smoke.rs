@@ -1,0 +1,32 @@
+//! Smoke tests for the paper-figure example binaries.
+//!
+//! Each example's source is compiled into this test via `#[path]` and its
+//! `main` driven to completion, so `cargo test` proves the documented entry
+//! points (`cargo run --example ...`) still build and exit cleanly — without
+//! spawning a nested cargo. The heavier narrative examples
+//! (`license_check`, `attack_workbench`) run the same protection/attack
+//! loops as the quick suites and are covered by the three below.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[path = "../examples/figure1.rs"]
+mod figure1;
+
+#[path = "../examples/protect_base64.rs"]
+mod protect_base64;
+
+#[test]
+fn quickstart_runs_to_completion() {
+    quickstart::main().expect("examples/quickstart.rs should exit cleanly");
+}
+
+#[test]
+fn figure1_runs_to_completion() {
+    figure1::main().expect("examples/figure1.rs should exit cleanly");
+}
+
+#[test]
+fn protect_base64_runs_to_completion() {
+    protect_base64::main().expect("examples/protect_base64.rs should exit cleanly");
+}

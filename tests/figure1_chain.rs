@@ -2,7 +2,7 @@
 //! flow that assigns RDI = 1 when RAX == 0 and RDI = 2 otherwise, using the
 //! neg/adc flag leak and a variable RSP addend.
 
-use raindrop_machine::{encode_all, AluOp, Emulator, ImageBuilder, Inst, Mem, Reg, Assembler};
+use raindrop_machine::{encode_all, AluOp, Assembler, Emulator, ImageBuilder, Inst, Reg};
 
 #[test]
 fn figure1_branching_chain_behaves_as_published() {
@@ -31,19 +31,23 @@ fn figure1_branching_chain_behaves_as_published() {
 
     // The chain of Figure 1 (gadget addresses interleaved with immediates).
     let chain: Vec<u64> = vec![
-        pop_rcx, 0x0,            // rcx = 0
-        neg_rax,                  // CF = (rax != 0)
-        adc,                      // rcx = CF
-        pop_rsi, 0x18,            // rsi = 0x18 (branch displacement)
-        neg_rcx,                  // rcx = 0 or -1
-        and_rsi_rcx,              // rsi = 0 or 0x18
-        add_rsp_rsi,              // the ROP branch (skips 0x18 bytes = 3 slots)
+        pop_rcx,
+        0x0,     // rcx = 0
+        neg_rax, // CF = (rax != 0)
+        adc,     // rcx = CF
+        pop_rsi,
+        0x18,        // rsi = 0x18 (branch displacement)
+        neg_rcx,     // rcx = 0 or -1
+        and_rsi_rcx, // rsi = 0 or 0x18
+        add_rsp_rsi, // the ROP branch (skips 0x18 bytes = 3 slots)
         // fall-through path (rax == 0): rdi = 1, then the pop rsi/rbp gadget
         // disposes of the alternative 0x10-byte segment [pop rdi, 0x2] below
-        pop_rdi, 0x1,
+        pop_rdi,
+        0x1,
         pop_rsi_rbp,
         // taken path (rax != 0): rdi = 2
-        pop_rdi, 0x2,
+        pop_rdi,
+        0x2,
         // next: halt so the test can observe the registers
         hlt,
     ];

@@ -4,8 +4,8 @@
 
 use raindrop::{Rewriter, RopConfig, SS_SYMBOL};
 use raindrop_machine::Emulator;
-use raindrop_synth::minic::{BinOp, Expr, Function, Program, Stmt};
 use raindrop_synth::codegen;
+use raindrop_synth::minic::{BinOp, Expr, Function, Program, Stmt};
 
 fn fib_program() -> Program {
     // fib(n) recursive + a native helper add3(a, b) = a + b + 3 used inside.

@@ -1,0 +1,256 @@
+//! Offline vendored stand-in for the subset of `criterion` this workspace
+//! uses in its `harness = false` benches.
+//!
+//! It exposes [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is deliberately simple: each
+//! benchmark runs `sample_size` timed samples (after one warm-up iteration)
+//! and reports min / mean / max wall-clock time per iteration. There are no
+//! statistical refinements, plots, or saved baselines — the point is that
+//! `cargo bench` produces comparable numbers offline and that bench code
+//! compiles against a criterion-shaped API.
+//!
+//! Benchmark name filters passed on the command line (`cargo bench -- foo`)
+//! are honoured as substring matches. The `--quick` flag caps samples at 2;
+//! `--test` runs every benchmark exactly once (cargo's bench-test mode).
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Parsed command-line options shared by every group in the binary.
+#[derive(Debug, Clone)]
+struct Options {
+    /// Substring filters; empty means "run everything".
+    filters: Vec<String>,
+    /// Run each benchmark exactly once, untimed (cargo test mode).
+    test_mode: bool,
+    /// Cap samples at 2 for a fast smoke run.
+    quick: bool,
+}
+
+impl Options {
+    fn from_args() -> Self {
+        let mut filters = Vec::new();
+        let mut test_mode = false;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--quick" => quick = true,
+                "--bench" | "--profile-time" => {}
+                s if s.starts_with('-') => {}
+                s => filters.push(s.to_string()),
+            }
+        }
+        Options { filters, test_mode, quick }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+}
+
+/// Identifier for a parameterised benchmark, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    /// Measured per-sample durations, one per sample.
+    measurements: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records one duration per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // One untimed warm-up iteration.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.measurements.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn run_one(full_name: &str, options: &Options, samples: usize, routine: impl FnOnce(&mut Bencher)) {
+    if !options.matches(full_name) {
+        return;
+    }
+    let samples = if options.quick { samples.min(2) } else { samples };
+    let mut bencher = Bencher { samples, test_mode: options.test_mode, measurements: Vec::new() };
+    routine(&mut bencher);
+    if options.test_mode {
+        println!("test {full_name} ... ok");
+        return;
+    }
+    let m = &bencher.measurements;
+    if m.is_empty() {
+        println!("{full_name:<40} (no measurements)");
+        return;
+    }
+    let total: Duration = m.iter().sum();
+    let mean = total / m.len() as u32;
+    let min = *m.iter().min().unwrap();
+    let max = *m.iter().max().unwrap();
+    println!(
+        "{full_name:<40} time: [{} {} {}]  ({} samples)",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max),
+        m.len()
+    );
+}
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// A named collection of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    options: &'a Options,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Ignored; accepted for criterion API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.options, self.sample_size, routine);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        routine: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.options, self.sample_size, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    options: Options,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { options: Options::from_args() }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, routine: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, &self.options, DEFAULT_SAMPLE_SIZE, routine);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            options: &self.options,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Criterion configuration hook; a no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

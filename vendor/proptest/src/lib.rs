@@ -1,0 +1,652 @@
+//! Offline vendored stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build container has no crates.io access, so this crate re-implements
+//! the surface the test suites rely on:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_filter`, `prop_recursive`
+//!   and `boxed`, plus [`strategy::Just`], [`strategy::Union`]
+//!   (for `prop_oneof!`), integer-range strategies, tuple strategies up to
+//!   arity 8, and [`collection::vec`];
+//! * [`arbitrary::any`] for the primitive types the suites draw;
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`] macros;
+//! * a deterministic runner ([`test_runner`]) with `PROPTEST_CASES` /
+//!   `PROPTEST_SEED` environment overrides and `proptest-regressions/`
+//!   failure persistence.
+//!
+//! There is no shrinking: on failure the runner reports the seed, records it
+//! in `proptest-regressions/`, and replays recorded seeds on later runs.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// How many times a filtered strategy retries before giving up.
+    const MAX_FILTER_RETRIES: u32 = 10_000;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no `ValueTree`/shrinking machinery:
+    /// `generate` directly produces a value from the RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects generated values failing `pred`, retrying with fresh
+        /// randomness. Panics (failing the test) if `pred` rejects
+        /// everything for a long stretch.
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, reason: reason.into(), pred }
+        }
+
+        /// Builds a recursive strategy: `recurse` receives the strategy for
+        /// the previous depth level and wraps it one level deeper. Each
+        /// level is a 50/50 union with the leaf strategy, so generated
+        /// structures stay small.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                current = Union::new(vec![leaf.clone(), recurse(current).boxed()]).boxed();
+            }
+            current
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe generation, backing [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+
+        fn boxed(self) -> BoxedStrategy<T>
+        where
+            Self: Sized + 'static,
+        {
+            self
+        }
+    }
+
+    /// Strategy that always yields a clone of a fixed value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..MAX_FILTER_RETRIES {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted {MAX_FILTER_RETRIES} retries: {}", self.reason)
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Builds a union over `alternatives`; panics if empty.
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+            Union(alternatives)
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.0.len());
+            self.0[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (0 S0)
+        (0 S0, 1 S1)
+        (0 S0, 1 S1, 2 S2)
+        (0 S0, 1 S1, 2 S2, 3 S3)
+        (0 S0, 1 S1, 2 S2, 3 S3, 4 S4)
+        (0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5)
+        (0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5, 6 S6)
+        (0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5, 6 S6, 7 S7)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, Standard};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "draw any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Standard> Arbitrary for T {
+        fn arbitrary(rng: &mut TestRng) -> T {
+            rng.gen()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for Any<T> {}
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy generating any `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An inclusive-exclusive size window for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with a size drawn from a [`SizeRange`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case runner and its configuration.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of fresh cases to run (before `PROPTEST_CASES` capping).
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case failed an assertion: the whole test fails.
+        Fail(String),
+        /// The case was rejected (`prop_assume!`): it is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// The RNG handed to strategies. Deterministic per (test, case, seed).
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        fn from_seed_u64(seed: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    mod persistence {
+        //! `proptest-regressions/` seed persistence: failing seeds are
+        //! recorded and replayed ahead of fresh cases on later runs.
+
+        use std::io::Write;
+        use std::path::PathBuf;
+
+        fn file_for(test_name: &str) -> PathBuf {
+            let sanitized: String = test_name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            PathBuf::from("proptest-regressions").join(format!("{sanitized}.txt"))
+        }
+
+        pub fn load(test_name: &str) -> Vec<u64> {
+            let Ok(text) = std::fs::read_to_string(file_for(test_name)) else {
+                return Vec::new();
+            };
+            text.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .filter_map(|l| l.parse::<u64>().ok())
+                .collect()
+        }
+
+        pub fn save(test_name: &str, seed: u64) {
+            if load(test_name).contains(&seed) {
+                return;
+            }
+            let path = file_for(test_name);
+            let _ = std::fs::create_dir_all("proptest-regressions");
+            let new = !path.exists();
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+                if new {
+                    let _ = writeln!(
+                        f,
+                        "# Seeds for failing cases of `{test_name}`.\n\
+                         # Replayed before fresh cases on every run; keep this file in git."
+                    );
+                }
+                let _ = writeln!(f, "{seed}");
+            }
+        }
+    }
+
+    /// Drives one property test: replays persisted regression seeds, then
+    /// runs `config.cases` fresh cases (capped by `PROPTEST_CASES`, base
+    /// seed overridable via `PROPTEST_SEED`).
+    pub fn run_proptest(
+        config: ProptestConfig,
+        test_name: &str,
+        mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+    ) {
+        let env_cases = std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse::<u32>().ok());
+        let cases = env_cases.map_or(config.cases, |cap| config.cases.min(cap));
+        let base_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or_else(|| fnv1a(test_name.as_bytes()));
+
+        let replay = persistence::load(test_name);
+        let fresh = (0..cases as u64)
+            .map(|i| base_seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+
+        let mut rejected = 0u64;
+        let mut ran = 0u64;
+        for (replayed, seed) in replay.iter().map(|&s| (true, s)).chain(fresh.map(|s| (false, s))) {
+            let mut rng = TestRng::from_seed_u64(seed);
+            match case(&mut rng) {
+                Ok(()) => ran += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    let limit = 256 + 16 * cases as u64;
+                    assert!(
+                        rejected <= limit,
+                        "{test_name}: too many rejected cases ({rejected} > {limit}); \
+                         loosen prop_assume! or the input strategies"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    if !replayed {
+                        persistence::save(test_name, seed);
+                    }
+                    panic!(
+                        "{test_name}: case failed (seed {seed}{}): {msg}\n\
+                         re-run just this case with PROPTEST_SEED={seed} PROPTEST_CASES=1",
+                        if replayed { ", replayed from proptest-regressions/" } else { "" }
+                    );
+                }
+            }
+        }
+        let _ = ran;
+    }
+}
+
+/// `prop::` namespace as re-exported by the prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! Everything the test suites import via `use proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Chooses uniformly between the listed strategies (all must yield the same
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                l == r,
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                l == r,
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+/// Fails the current case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                l != r,
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ),
+        }
+    };
+}
+
+/// Skips the current case unless `cond` holds (does not fail the test).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_proptest(
+                $config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __proptest_rng);)*
+                    let __proptest_result: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    __proptest_result
+                },
+            );
+        }
+    )*};
+}

@@ -1,0 +1,335 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! for the workspace's `serde` stand-in.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are unavailable in
+//! this offline build environment, so the item grammar is parsed by hand from
+//! the raw `proc_macro::TokenStream`. Supported shapes (everything the
+//! workspace derives on):
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`),
+//! * tuple and unit structs,
+//! * enums with unit, tuple and struct variants.
+//!
+//! Generic parameters are not supported; no type in the workspace derives
+//! serde traits with generics.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with the given arity; `skips[i]` is `#[serde(skip)]`.
+    Tuple(Vec<bool>),
+    Struct(Vec<Field>),
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Consumes leading outer attributes (`#[...]`), returning whether any of
+/// them was `#[serde(skip)]`.
+fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while *pos + 1 < tokens.len() {
+        match (&tokens[*pos], &tokens[*pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde" && args.stream().to_string().contains("skip") {
+                        skip = true;
+                    }
+                }
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility prefix.
+fn eat_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips tokens until a `,` at angle-bracket depth zero, consuming the comma.
+fn skip_past_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth: i32 = 0;
+    while *pos < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*pos] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists (struct bodies, struct variants).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip = eat_attrs(&tokens, &mut pos);
+        eat_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        pos += 1; // field name
+        pos += 1; // ':'
+        skip_past_comma(&tokens, &mut pos);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Parses a tuple-field list `(Type, Type, ...)`, returning per-field skips.
+fn parse_tuple_fields(stream: TokenStream) -> Vec<bool> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut skips = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip = eat_attrs(&tokens, &mut pos);
+        eat_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_past_comma(&tokens, &mut pos);
+        skips.push(skip);
+    }
+    skips
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        eat_attrs(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_past_comma(&tokens, &mut pos);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    // Skip attributes and visibility ahead of the `struct` / `enum` keyword.
+    loop {
+        eat_attrs(&tokens, &mut pos);
+        eat_visibility(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break
+            }
+            Some(_) => pos += 1,
+            None => panic!("serde_derive: expected `struct` or `enum`"),
+        }
+    }
+    let is_enum = matches!(&tokens[pos], TokenTree::Ident(id) if id.to_string() == "enum");
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde_derive: expected item name"),
+    };
+    pos += 1;
+    // Reject generics outright: nothing in the workspace needs them, and a
+    // silent wrong expansion would be worse than a clear failure.
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+    match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            } else {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct { name, arity: parse_tuple_fields(g.stream()).len() }
+        }
+        _ => Item::UnitStruct { name },
+    }
+}
+
+fn serialize_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            format!(
+                "({:?}.to_string(), ::serde::Serialize::to_value({}{})),",
+                f.name, access_prefix, f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(""))
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let map = serialize_named_fields(&fields, "&self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ {map} }}\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let expr = match arity {
+                0 => "::serde::Value::Null".to_string(),
+                1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+                n => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(","))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ {expr} }}\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        ));
+                    }
+                    VariantKind::Tuple(skips) => {
+                        let binders: Vec<String> = skips
+                            .iter()
+                            .enumerate()
+                            .map(
+                                |(i, skip)| {
+                                    if *skip {
+                                        "_".to_string()
+                                    } else {
+                                        format!("__f{i}")
+                                    }
+                                },
+                            )
+                            .collect();
+                        let live: Vec<String> = skips
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, skip)| !**skip)
+                            .map(|(i, _)| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        let payload = if live.len() == 1 {
+                            live[0].clone()
+                        } else {
+                            format!("::serde::Value::Seq(vec![{}])", live.join(","))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![({vname:?}.to_string(), {payload})]),",
+                            binders.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<String> = fields
+                            .iter()
+                            .map(|f| if f.skip { format!("{}: _", f.name) } else { f.name.clone() })
+                            .collect();
+                        let map = serialize_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![({vname:?}.to_string(), {map})]),",
+                            binders.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_item(input) {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
