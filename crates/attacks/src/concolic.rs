@@ -265,8 +265,10 @@ pub fn shadow_run(
             vec![v]
         }
         InputSpec::MemoryBuffer { addr, len, args } => {
+            let concrete: Vec<u8> =
+                (0..*len).map(|i| input.get(i).copied().unwrap_or(0) as u8).collect();
+            emu.mem.write_bytes(*addr, &concrete);
             for i in 0..*len {
-                emu.mem.write_u8(addr + i as u64, input.get(i).copied().unwrap_or(0) as u8);
                 shadow.bytes.insert(addr + i as u64, SymExpr::input(i));
             }
             args.clone()
@@ -288,12 +290,9 @@ pub fn shadow_run(
     let return_value;
     loop {
         // Peek at the instruction before executing it so operand
-        // expressions can be captured from the pre-state.
-        let mut buf = [0u8; 20];
-        emu.mem.read_bytes(emu.cpu.rip, &mut buf);
-        let decoded = raindrop_machine::decode(&buf)
-            .map(|(i, _)| i)
-            .map_err(|source| EmuError::Decode { addr: emu.cpu.rip, source })?;
+        // expressions can be captured from the pre-state; the peek hits the
+        // emulator's predecoded cache, which the step() right after reuses.
+        let decoded = emu.peek_inst().map(|(i, _)| i)?;
         let pre = PreState::capture(&emu, &shadow, &decoded);
 
         match emu.step()? {

@@ -62,10 +62,10 @@ fn run_once(
     let mut rsp_at_ret = Vec::new();
     let mut leaks_seen = 0usize;
     loop {
-        // Peek to recognize flag-leaking instructions and `ret`s.
-        let mut buf = [0u8; 20];
-        emu.mem.read_bytes(emu.cpu.rip, &mut buf);
-        let inst = raindrop_machine::decode(&buf).map(|(i, _)| i).ok();
+        // Peek to recognize flag-leaking instructions and `ret`s; the peek
+        // goes through the emulator's predecoded cache, so it costs a table
+        // hit rather than a re-decode.
+        let inst = emu.peek_inst().map(|(i, _)| i).ok();
         if let Some(Inst::Ret) = inst {
             rsp_at_ret.push(emu.cpu.reg(Reg::Rsp));
         }

@@ -267,6 +267,33 @@ pub fn is_full_run() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// The `straight_line` dispatch workload shared by the `emu_dispatch`
+/// criterion bench and the `exp_emu_dispatch` driver: `rdi` iterations of a
+/// 64-instruction unrolled register-only ALU kernel (plus the 2-instruction
+/// loop tail), entry `spin`. One builder so both report the same kernel
+/// under the same label.
+pub fn straight_line_image() -> Image {
+    use raindrop_machine::{AluOp, Assembler, Cond, ImageBuilder, Inst, Reg};
+    let mut a = Assembler::new();
+    let top = a.new_label();
+    a.inst(Inst::MovRI(Reg::Rax, 1));
+    a.inst(Inst::MovRI(Reg::Rcx, 3));
+    a.inst(Inst::MovRI(Reg::Rdx, 5));
+    a.bind(top);
+    for _ in 0..16 {
+        a.inst(Inst::Alu(AluOp::Add, Reg::Rax, Reg::Rcx));
+        a.inst(Inst::Alu(AluOp::Xor, Reg::Rcx, Reg::Rdx));
+        a.inst(Inst::Alu(AluOp::Add, Reg::Rdx, Reg::Rax));
+        a.inst(Inst::Shl(Reg::Rax, 1));
+    }
+    a.inst(Inst::AluI(AluOp::Sub, Reg::Rdi, 1));
+    a.jcc(Cond::Ne, top);
+    a.inst(Inst::Ret);
+    let mut b = ImageBuilder::new();
+    b.add_function("spin", a);
+    b.build().expect("straight-line image links")
+}
+
 /// Generates a laptop-scale subset of the 72-function population: one seed
 /// per structure and the two smallest input sizes (quick) or the full 72
 /// (`full`).

@@ -79,4 +79,4 @@ pub use predicates::{P1Instance, P2Adjust, P2Operand, P3Policy};
 pub use rewriter::{ImageReport, RewriteReport, Rewriter};
 pub use roplet::{classify as classify_roplet, Roplet, RopletKind};
 pub use runtime::{RopRuntime, FUNC_RET_SYMBOL, SPILL_SYMBOL, SS_SYMBOL};
-pub use verify::{check_case, check_function, equivalent, TestCase, Verdict};
+pub use verify::{check_case, check_function, equivalent, verify_batch, TestCase, Verdict};

@@ -81,41 +81,50 @@ pub const VERIFY_BUDGET_MULTIPLIER: u64 = 50_000;
 /// originals still leave room for runtime installation and chain dispatch.
 pub const VERIFY_BUDGET_FLOOR: u64 = 2_000_000;
 
-fn run_one(
-    image: &Image,
-    func: &str,
-    case: &TestCase,
-    budget: Option<u64>,
-) -> Result<(u64, Vec<u8>, u64), EmuError> {
-    let mut emu = Emulator::new(image);
-    if let Some(budget) = budget {
-        emu.set_budget(budget);
-    }
-    for (addr, bytes) in &case.memory {
-        emu.mem.write_bytes(*addr, bytes);
-    }
-    let f = image.function(func).expect("function exists").addr;
-    let ret = emu.call(f, &case.args)?;
-    let region = match case.compare_region {
-        Some((addr, len)) => {
-            let mut buf = vec![0u8; len];
-            emu.mem.read_bytes(addr, &mut buf);
-            buf
-        }
-        None => Vec::new(),
-    };
-    Ok((ret, region, emu.stats().instructions))
+/// A warm emulator for one image: the image is loaded (and, as cases run,
+/// its text predecoded) once; every case starts from a pristine snapshot
+/// restored in place.
+struct WarmRunner {
+    emu: Emulator,
+    pristine: raindrop_machine::Snapshot,
+    func_addr: u64,
 }
 
-/// Runs one differential test case against the original and rewritten
-/// images.
-///
-/// The rewritten run's instruction budget is derived from the original
-/// run's measured cost ([`VERIFY_BUDGET_MULTIPLIER`] ×, with a
-/// [`VERIFY_BUDGET_FLOOR`]), so a diverging rewrite fails fast with an
-/// [`Verdict::ExecutionError`] rather than exhausting the emulator default.
-pub fn check_case(original: &Image, rewritten: &Image, func: &str, case: &TestCase) -> Verdict {
-    let orig = match run_one(original, func, case, None) {
+impl WarmRunner {
+    fn new(image: &Image, func: &str) -> WarmRunner {
+        let emu = Emulator::new(image);
+        let pristine = emu.snapshot();
+        let func_addr = image.function(func).expect("function exists").addr;
+        WarmRunner { emu, pristine, func_addr }
+    }
+
+    /// Runs one case from the pristine state; returns the return value, the
+    /// compared region's bytes and the instructions executed.
+    fn run(
+        &mut self,
+        case: &TestCase,
+        budget: Option<u64>,
+    ) -> Result<(u64, Vec<u8>, u64), EmuError> {
+        self.emu.restore(&self.pristine);
+        self.emu.set_budget(budget.unwrap_or(raindrop_machine::DEFAULT_BUDGET));
+        for (addr, bytes) in &case.memory {
+            self.emu.mem.write_bytes(*addr, bytes);
+        }
+        let ret = self.emu.call(self.func_addr, &case.args)?;
+        let region = match case.compare_region {
+            Some((addr, len)) => {
+                let mut buf = vec![0u8; len];
+                self.emu.mem.read_bytes(addr, &mut buf);
+                buf
+            }
+            None => Vec::new(),
+        };
+        Ok((ret, region, self.emu.stats().instructions))
+    }
+}
+
+fn check_one(orig: &mut WarmRunner, new: &mut WarmRunner, case: &TestCase) -> Verdict {
+    let orig = match orig.run(case, None) {
         Ok(v) => v,
         Err(e) => return Verdict::ExecutionError { error: format!("{e}"), in_rewritten: false },
     };
@@ -123,7 +132,7 @@ pub fn check_case(original: &Image, rewritten: &Image, func: &str, case: &TestCa
         .2
         .saturating_mul(VERIFY_BUDGET_MULTIPLIER)
         .clamp(VERIFY_BUDGET_FLOOR, raindrop_machine::DEFAULT_BUDGET);
-    let new = match run_one(rewritten, func, case, Some(budget)) {
+    let new = match new.run(case, Some(budget)) {
         Ok(v) => v,
         Err(e) => return Verdict::ExecutionError { error: format!("{e}"), in_rewritten: true },
     };
@@ -136,14 +145,49 @@ pub fn check_case(original: &Image, rewritten: &Image, func: &str, case: &TestCa
     Verdict::Match { value: orig.0 }
 }
 
+/// Runs one differential test case against the original and rewritten
+/// images.
+///
+/// The rewritten run's instruction budget is derived from the original
+/// run's measured cost ([`VERIFY_BUDGET_MULTIPLIER`] ×, with a
+/// [`VERIFY_BUDGET_FLOOR`]), so a diverging rewrite fails fast with an
+/// [`Verdict::ExecutionError`] rather than exhausting the emulator default.
+/// For more than one case, [`verify_batch`] amortizes image loading and
+/// instruction predecoding across the whole batch.
+pub fn check_case(original: &Image, rewritten: &Image, func: &str, case: &TestCase) -> Verdict {
+    verify_batch(original, rewritten, func, std::slice::from_ref(case)).remove(0)
+}
+
+/// Runs a batch of differential test cases against one original/rewritten
+/// image pair, amortizing per-image setup across the batch: each image is
+/// loaded into a warm emulator **once**, every case is executed from an
+/// in-place snapshot restore, and the predecoded instruction cache filled by
+/// earlier cases stays valid for later ones (text pages revert bit-identical
+/// on restore, so their generations — and the decoded runs tagged with them
+/// — survive).
+///
+/// Verdicts are returned in case order and are identical to running
+/// [`check_case`] per case.
+pub fn verify_batch(
+    original: &Image,
+    rewritten: &Image,
+    func: &str,
+    cases: &[TestCase],
+) -> Vec<Verdict> {
+    let mut orig = WarmRunner::new(original, func);
+    let mut new = WarmRunner::new(rewritten, func);
+    cases.iter().map(|case| check_one(&mut orig, &mut new, case)).collect()
+}
+
 /// Runs a batch of differential test cases; returns the verdicts in order.
+/// (Alias of [`verify_batch`], kept for the original seed API.)
 pub fn check_function(
     original: &Image,
     rewritten: &Image,
     func: &str,
     cases: &[TestCase],
 ) -> Vec<Verdict> {
-    cases.iter().map(|c| check_case(original, rewritten, func, c)).collect()
+    verify_batch(original, rewritten, func, cases)
 }
 
 /// Convenience: `true` iff every case matches.

@@ -8,13 +8,18 @@
 //! and restore its state (used by the multi-path attack tools).
 
 use crate::flags::Flags;
-use crate::image::{Image, HEAP_BASE, RETURN_SENTINEL, STACK_TOP};
+use crate::icache::ICache;
+use crate::image::{Image, HEAP_BASE, HEAP_SIZE, RETURN_SENTINEL, STACK_TOP};
 use crate::inst::{AluOp, Inst, Mem};
-use crate::mem::Memory;
+use crate::mem::{page_key, page_offset, Memory, PAGE_SIZE};
 use crate::reg::Reg;
 use crate::trace::{MemAccess, Trace, TraceEntry};
 use crate::{decode, DecodeError};
 use std::fmt;
+
+/// Bytes the fetch path presents to the decoder (an upper bound on the
+/// encoded length of any instruction).
+const FETCH_WINDOW: usize = 20;
 
 /// Default instruction budget for a single run.
 pub const DEFAULT_BUDGET: u64 = 200_000_000;
@@ -65,6 +70,14 @@ pub enum EmuError {
         /// Address of the faulting instruction.
         addr: u64,
     },
+    /// The guest heap is exhausted: an allocation would move the break past
+    /// the end of the heap region, into the chain/stack space above it.
+    HeapExhausted {
+        /// Requested allocation size in bytes.
+        requested: u64,
+        /// Heap break at the time of the request.
+        brk: u64,
+    },
 }
 
 impl fmt::Display for EmuError {
@@ -75,6 +88,9 @@ impl fmt::Display for EmuError {
                 write!(f, "instruction budget exhausted after {executed} instructions")
             }
             EmuError::DivideByZero { addr } => write!(f, "division by zero at {addr:#x}"),
+            EmuError::HeapExhausted { requested, brk } => {
+                write!(f, "guest heap exhausted: {requested} bytes requested at break {brk:#x}")
+            }
         }
     }
 }
@@ -118,6 +134,7 @@ pub struct Snapshot {
     cpu: Cpu,
     mem: Memory,
     stats: ExecStats,
+    heap_break: u64,
 }
 
 /// The RM64 emulator.
@@ -131,6 +148,8 @@ pub struct Emulator {
     budget: u64,
     trace: Option<Trace>,
     heap_break: u64,
+    icache: ICache,
+    icache_enabled: bool,
 }
 
 impl Emulator {
@@ -149,12 +168,23 @@ impl Emulator {
             budget: DEFAULT_BUDGET,
             trace: None,
             heap_break: HEAP_BASE,
+            icache: ICache::default(),
+            icache_enabled: true,
         }
     }
 
     /// Sets the per-run instruction budget.
     pub fn set_budget(&mut self, budget: u64) {
         self.budget = budget;
+    }
+
+    /// Enables or disables the predecoded instruction cache. Disabled, the
+    /// emulator re-decodes every fetch — the reference slow path that the
+    /// differential stepper tests (and the `emu_dispatch` bench baseline)
+    /// compare the cached fast path against. Results are bit-identical
+    /// either way; only the speed differs.
+    pub fn set_icache_enabled(&mut self, enabled: bool) {
+        self.icache_enabled = enabled;
     }
 
     /// Enables or disables trace recording (starts a fresh trace).
@@ -192,21 +222,45 @@ impl Emulator {
 
     /// Captures a snapshot that [`Emulator::restore`] can later return to.
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot { cpu: self.cpu.clone(), mem: self.mem.clone(), stats: self.stats }
+        Snapshot {
+            cpu: self.cpu.clone(),
+            mem: self.mem.clone(),
+            stats: self.stats,
+            heap_break: self.heap_break,
+        }
     }
 
     /// Restores a snapshot taken with [`Emulator::snapshot`].
+    ///
+    /// Resident pages are reverted in place rather than re-cloned, so a
+    /// restore of a mostly-unchanged memory (the batched differential
+    /// verifier restores between every test case) costs comparisons, not
+    /// allocations — and pages whose contents did not diverge keep their
+    /// write generation, which keeps the predecoded instruction cache warm
+    /// across restores.
     pub fn restore(&mut self, snap: &Snapshot) {
         self.cpu = snap.cpu.clone();
-        self.mem = snap.mem.clone();
+        self.mem.restore_from(&snap.mem);
         self.stats = snap.stats;
+        self.heap_break = snap.heap_break;
     }
 
     /// A simple `sbrk`-style guest heap allocator used by runtime helpers.
-    pub fn heap_alloc(&mut self, size: u64) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::HeapExhausted`] when the allocation would move
+    /// the break past the end of the heap region — continuing would silently
+    /// corrupt the chain/stack space above it.
+    pub fn heap_alloc(&mut self, size: u64) -> Result<u64, EmuError> {
         let addr = (self.heap_break + 15) & !15;
-        self.heap_break = addr + size;
-        addr
+        match addr.checked_add(size) {
+            Some(new_break) if new_break <= HEAP_BASE + HEAP_SIZE => {
+                self.heap_break = new_break;
+                Ok(addr)
+            }
+            _ => Err(EmuError::HeapExhausted { requested: size, brk: self.heap_break }),
+        }
     }
 
     fn effective_addr(&self, m: Mem) -> u64 {
@@ -220,10 +274,48 @@ impl Emulator {
         a
     }
 
-    fn fetch(&self) -> Result<(Inst, usize), EmuError> {
-        let mut buf = [0u8; 20];
-        self.mem.read_bytes(self.cpu.rip, &mut buf);
-        decode(&buf).map_err(|source| EmuError::Decode { addr: self.cpu.rip, source })
+    /// Fetches and decodes the instruction at `rip`, through the predecoded
+    /// cache when enabled.
+    #[inline]
+    fn fetch(&mut self) -> Result<(Inst, usize), EmuError> {
+        let rip = self.cpu.rip;
+        let key = page_key(rip);
+        let off = page_offset(rip);
+        let (gen, page) = self.mem.fetch_page(rip);
+        if self.icache_enabled {
+            if let Some((inst, len)) = self.icache.lookup(key, off, gen) {
+                return Ok((inst, len as usize));
+            }
+        }
+        let decoded = match page {
+            // The fast path decodes straight from the resident page slice.
+            Some(bytes) if PAGE_SIZE - off >= FETCH_WINDOW => decode(&bytes[off..]),
+            // Near a page boundary (or on an untouched page, which reads as
+            // zeros) compose the window byte-buffer across pages.
+            _ => {
+                let mut buf = [0u8; FETCH_WINDOW];
+                self.mem.read_bytes(rip, &mut buf);
+                decode(&buf)
+            }
+        };
+        let (inst, len) = decoded.map_err(|source| EmuError::Decode { addr: rip, source })?;
+        if self.icache_enabled && off + len <= PAGE_SIZE {
+            self.icache.insert(key, off, gen, inst, len as u8);
+        }
+        Ok((inst, len))
+    }
+
+    /// Decodes (without executing) the instruction at the current `rip`,
+    /// through the predecoded cache. Attack tools that interleave shadow
+    /// analyses with stepping use this instead of re-reading and re-decoding
+    /// the fetch window themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::Decode`] when the bytes at `rip` are not an
+    /// instruction.
+    pub fn peek_inst(&mut self) -> Result<(Inst, usize), EmuError> {
+        self.fetch()
     }
 
     fn cost(inst: &Inst) -> u64 {
@@ -249,6 +341,16 @@ impl Emulator {
     ///
     /// Propagates decode faults, division by zero and budget exhaustion.
     pub fn step(&mut self) -> Result<Option<RunExit>, EmuError> {
+        // Monomorphize the hot loop twice so the non-tracing fast path
+        // carries no per-step bookkeeping for the trace structures at all.
+        if self.trace.is_some() {
+            self.step_inner::<true>()
+        } else {
+            self.step_inner::<false>()
+        }
+    }
+
+    fn step_inner<const TRACING: bool>(&mut self) -> Result<Option<RunExit>, EmuError> {
         if self.cpu.rip == RETURN_SENTINEL {
             return Ok(Some(RunExit::Returned(self.cpu.reg(Reg::Rax))));
         }
@@ -258,7 +360,6 @@ impl Emulator {
         let addr = self.cpu.rip;
         let (inst, len) = self.fetch()?;
         let rsp_before = self.cpu.reg(Reg::Rsp);
-        let tracing = self.trace.is_some();
         let mut mem_log: Vec<MemAccess> = Vec::new();
         let mut reg_log: Vec<(Reg, u64)> = Vec::new();
         let mut branch_taken = None;
@@ -274,7 +375,7 @@ impl Emulator {
                 let a = $a;
                 let v = self.mem.read_u64(a);
                 self.stats.mem_reads += 1;
-                if tracing {
+                if TRACING {
                     mem_log.push(MemAccess { addr: a, value: v, size: 8, is_write: false });
                 }
                 v
@@ -286,7 +387,7 @@ impl Emulator {
                 let v = $v;
                 self.mem.write_u64(a, v);
                 self.stats.mem_writes += 1;
-                if tracing {
+                if TRACING {
                     mem_log.push(MemAccess { addr: a, value: v, size: 8, is_write: true });
                 }
             }};
@@ -296,7 +397,7 @@ impl Emulator {
                 let r = $r;
                 let v = $v;
                 self.cpu.set_reg(r, v);
-                if tracing {
+                if TRACING {
                     reg_log.push((r, v));
                 }
             }};
@@ -324,7 +425,7 @@ impl Emulator {
                 let a = self.effective_addr(m);
                 let v = self.mem.read_u8(a) as u64;
                 self.stats.mem_reads += 1;
-                if tracing {
+                if TRACING {
                     mem_log.push(MemAccess { addr: a, value: v, size: 1, is_write: false });
                 }
                 setreg!(d, v);
@@ -333,7 +434,7 @@ impl Emulator {
                 let a = self.effective_addr(m);
                 let v = self.mem.read_u8(a) as i8 as i64 as u64;
                 self.stats.mem_reads += 1;
-                if tracing {
+                if TRACING {
                     mem_log.push(MemAccess { addr: a, value: v, size: 1, is_write: false });
                 }
                 setreg!(d, v);
@@ -343,7 +444,7 @@ impl Emulator {
                 let v = self.cpu.reg(s) as u8;
                 self.mem.write_u8(a, v);
                 self.stats.mem_writes += 1;
-                if tracing {
+                if TRACING {
                     mem_log.push(MemAccess { addr: a, value: v as u64, size: 1, is_write: true });
                 }
             }
@@ -536,18 +637,20 @@ impl Emulator {
             }
         }
 
-        if let Some(trace) = self.trace.as_mut() {
-            trace.entries.push(TraceEntry {
-                index: self.stats.instructions - 1,
-                addr,
-                inst,
-                rsp_before,
-                rsp_after: self.cpu.reg(Reg::Rsp),
-                flags_after: self.cpu.flags,
-                reg_writes: reg_log,
-                mem: mem_log,
-                branch_taken,
-            });
+        if TRACING {
+            if let Some(trace) = self.trace.as_mut() {
+                trace.entries.push(TraceEntry {
+                    index: self.stats.instructions - 1,
+                    addr,
+                    inst,
+                    rsp_before,
+                    rsp_after: self.cpu.reg(Reg::Rsp),
+                    flags_after: self.cpu.flags,
+                    reg_writes: reg_log,
+                    mem: mem_log,
+                    branch_taken,
+                });
+            }
         }
 
         if halted {

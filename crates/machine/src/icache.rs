@@ -1,0 +1,167 @@
+//! Predecoded instruction cache.
+//!
+//! The emulator decodes each fetched instruction **once** per page
+//! generation: decoded instructions are stored in per-page run tables (a
+//! flat `offset → decoded-instruction` map plus the backing vector of
+//! decoded instructions), tagged with the [`Memory`](crate::mem::Memory)
+//! write generation of the page they were decoded from. A write into a
+//! cached page bumps that generation and the next fetch from the page
+//! re-decodes — so self-modifying text is handled exactly, while the
+//! dominant case (immutable text pages driven by `ret`-dispatched ROP
+//! chains) hits the cache ~100% of the time.
+//!
+//! Instructions whose encoding straddles a page boundary are never cached:
+//! their bytes span two pages and a single generation tag could not cover
+//! both. They fall back to the decode-per-fetch slow path, which is exact.
+//!
+//! Like [`Memory`](crate::mem::Memory), the cache keeps its per-page tables
+//! in a flat `Vec` with a `HashMap` index and a one-entry last-page fast
+//! path, so a fetch that stays on the same page as the previous one touches
+//! no hash table at all.
+
+use crate::inst::Inst;
+use crate::mem::PAGE_SIZE;
+use std::collections::HashMap;
+
+/// A decoded instruction and its encoded length in bytes.
+pub(crate) type Decoded = (Inst, u8);
+
+/// Slot sentinel: offset not decoded yet.
+const NO_SLOT: u16 = u16::MAX;
+
+#[derive(Debug, Clone)]
+struct PageRuns {
+    /// Generation of the memory page these runs were decoded from.
+    gen: u64,
+    /// Byte offset → index into `insts`, or [`NO_SLOT`].
+    slots: Box<[u16; PAGE_SIZE]>,
+    /// Decoded instructions, in first-decode order.
+    insts: Vec<Decoded>,
+}
+
+impl PageRuns {
+    fn new(gen: u64) -> PageRuns {
+        PageRuns { gen, slots: Box::new([NO_SLOT; PAGE_SIZE]), insts: Vec::new() }
+    }
+
+    fn clear(&mut self, gen: u64) {
+        self.slots.fill(NO_SLOT);
+        self.insts.clear();
+        self.gen = gen;
+    }
+}
+
+/// The predecoded instruction cache. One per [`Emulator`](crate::Emulator).
+#[derive(Debug, Clone)]
+pub(crate) struct ICache {
+    pages: Vec<PageRuns>,
+    index: HashMap<u64, u32>,
+    /// Last page resolved: `(page key, slot)`; `u64::MAX` when empty.
+    last: (u64, u32),
+}
+
+impl Default for ICache {
+    fn default() -> Self {
+        ICache { pages: Vec::new(), index: HashMap::new(), last: (u64::MAX, 0) }
+    }
+}
+
+impl ICache {
+    /// Resolves (and revalidates) the run table for page `key` at memory
+    /// generation `gen`, creating it on first use.
+    #[inline]
+    fn page_slot(&mut self, key: u64, gen: u64) -> usize {
+        let slot = if self.last.0 == key {
+            self.last.1 as usize
+        } else {
+            match self.index.get(&key) {
+                Some(&s) => {
+                    self.last = (key, s);
+                    s as usize
+                }
+                None => {
+                    let s = self.pages.len();
+                    assert!(s < u32::MAX as usize, "icache page count overflow");
+                    self.pages.push(PageRuns::new(gen));
+                    self.index.insert(key, s as u32);
+                    self.last = (key, s as u32);
+                    return s;
+                }
+            }
+        };
+        let runs = &mut self.pages[slot];
+        if runs.gen != gen {
+            runs.clear(gen);
+        }
+        slot
+    }
+
+    /// Looks up the decoded instruction at (`key`, `off`) if it was decoded
+    /// at memory generation `gen`.
+    #[inline]
+    pub(crate) fn lookup(&mut self, key: u64, off: usize, gen: u64) -> Option<Decoded> {
+        let slot = self.page_slot(key, gen);
+        let runs = &self.pages[slot];
+        let idx = runs.slots[off];
+        if idx == NO_SLOT {
+            return None;
+        }
+        Some(runs.insts[idx as usize])
+    }
+
+    /// Records the decoded instruction at (`key`, `off`) for memory
+    /// generation `gen`. The caller must ensure the instruction's bytes lie
+    /// entirely within the page.
+    #[inline]
+    pub(crate) fn insert(&mut self, key: u64, off: usize, gen: u64, inst: Inst, len: u8) {
+        debug_assert!(off + len as usize <= PAGE_SIZE, "straddling instructions are not cached");
+        let slot = self.page_slot(key, gen);
+        let runs = &mut self.pages[slot];
+        if runs.insts.len() >= NO_SLOT as usize {
+            // A page can hold at most PAGE_SIZE decode starts, which is
+            // below NO_SLOT; this is unreachable but cheap to guard.
+            return;
+        }
+        runs.slots[off] = runs.insts.len() as u16;
+        runs.insts.push((inst, len));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn lookup_miss_then_hit_then_invalidation() {
+        let mut ic = ICache::default();
+        assert_eq!(ic.lookup(3, 5, 1), None);
+        ic.insert(3, 5, 1, Inst::Ret, 1);
+        assert_eq!(ic.lookup(3, 5, 1), Some((Inst::Ret, 1)));
+        // Same page, newer generation: the run table is cleared.
+        assert_eq!(ic.lookup(3, 5, 2), None);
+        // And the old generation is gone too (monotonic tags).
+        assert_eq!(ic.lookup(3, 5, 1), None);
+    }
+
+    #[test]
+    fn pages_are_independent() {
+        let mut ic = ICache::default();
+        ic.insert(1, 0, 1, Inst::Ret, 1);
+        ic.insert(2, 0, 7, Inst::Nop, 1);
+        assert_eq!(ic.lookup(1, 0, 1), Some((Inst::Ret, 1)));
+        assert_eq!(ic.lookup(2, 0, 7), Some((Inst::Nop, 1)));
+        // Invalidating page 2 leaves page 1 alone.
+        assert_eq!(ic.lookup(2, 0, 8), None);
+        assert_eq!(ic.lookup(1, 0, 1), Some((Inst::Ret, 1)));
+    }
+
+    #[test]
+    fn distinct_offsets_coexist_like_unaligned_gadget_decodes() {
+        let mut ic = ICache::default();
+        ic.insert(9, 100, 1, Inst::Pop(Reg::Rax), 2);
+        ic.insert(9, 101, 1, Inst::Ret, 1);
+        assert_eq!(ic.lookup(9, 100, 1), Some((Inst::Pop(Reg::Rax), 2)));
+        assert_eq!(ic.lookup(9, 101, 1), Some((Inst::Ret, 1)));
+    }
+}

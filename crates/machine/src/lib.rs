@@ -41,6 +41,7 @@ pub mod asm;
 pub mod emu;
 pub mod encode;
 pub mod flags;
+mod icache;
 pub mod image;
 pub mod inst;
 pub mod mem;
@@ -56,6 +57,6 @@ pub use image::{
     STACK_SIZE, STACK_TOP, TEXT_BASE,
 };
 pub use inst::{AluOp, Inst, Mem};
-pub use mem::{Memory, PAGE_SIZE};
+pub use mem::{page_key, page_offset, Memory, PAGE_SHIFT, PAGE_SIZE};
 pub use reg::{Reg, RegSet};
 pub use trace::{MemAccess, Trace, TraceEntry};

@@ -703,13 +703,34 @@ fn heap_allocations_are_aligned_and_disjoint() {
     b.add_function("f", asm);
     let img = b.build().unwrap();
     let mut emu = Emulator::new(&img);
-    let a = emu.heap_alloc(24);
-    let b2 = emu.heap_alloc(100);
-    let c = emu.heap_alloc(1);
+    let a = emu.heap_alloc(24).unwrap();
+    let b2 = emu.heap_alloc(100).unwrap();
+    let c = emu.heap_alloc(1).unwrap();
     assert_eq!(a % 16, 0);
     assert_eq!(b2 % 16, 0);
     assert!(b2 >= a + 24);
     assert!(c >= b2 + 100);
+}
+
+#[test]
+fn heap_overflow_is_a_typed_error() {
+    let mut asm = Assembler::new();
+    asm.inst(Inst::Ret);
+    let mut b = ImageBuilder::new();
+    b.add_function("f", asm);
+    let img = b.build().unwrap();
+    let mut emu = Emulator::new(&img);
+    // Exhaust the heap region in two large allocations; the break must
+    // never silently run past HEAP_BASE + HEAP_SIZE into the chain/stack
+    // space above it.
+    let first = emu.heap_alloc(raindrop_machine::HEAP_SIZE - 16).unwrap();
+    assert!(first >= raindrop_machine::HEAP_BASE);
+    let err = emu.heap_alloc(64).unwrap_err();
+    assert!(matches!(err, EmuError::HeapExhausted { requested: 64, .. }), "got {err}");
+    // A huge request can never wrap the break around the address space.
+    assert!(matches!(emu.heap_alloc(u64::MAX).unwrap_err(), EmuError::HeapExhausted { .. }));
+    // Small allocations still succeed after a failed one.
+    assert!(emu.heap_alloc(8).is_ok());
 }
 
 #[test]

@@ -1,0 +1,226 @@
+//! Property tests for the page-slice memory fast path and the predecoded
+//! instruction cache's generation-counter invalidation.
+//!
+//! The memory properties drive the chunked/TLB implementation against a
+//! naive byte-map model (the semantics of the seed implementation); the
+//! icache tests prove that a write into a decoded page forces a re-decode —
+//! the correctness argument that lets text pages be served from the cache
+//! without any explicit invalidation hooks.
+
+use proptest::prelude::*;
+use raindrop_machine::{AluOp, Assembler, Emulator, ImageBuilder, Inst, Memory, Reg, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// The seed memory semantics: a flat byte map, zero default.
+#[derive(Default)]
+struct ModelMem {
+    bytes: HashMap<u64, u8>,
+}
+
+impl ModelMem {
+    fn write(&mut self, addr: u64, data: &[u8]) {
+        for (i, b) in data.iter().enumerate() {
+            self.bytes.insert(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    fn read(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.bytes.get(&addr.wrapping_add(i as u64)).copied().unwrap_or(0))
+            .collect()
+    }
+}
+
+/// One memory operation of the differential property.
+#[derive(Debug, Clone)]
+enum Op {
+    WriteBytes(u64, Vec<u8>),
+    WriteU64(u64, u64),
+    WriteU8(u64, u8),
+}
+
+fn any_addr() -> impl Strategy<Value = u64> {
+    // Bias towards page edges so straddling accesses are common.
+    prop_oneof![
+        0u64..0x8000,
+        (1u64..8).prop_map(|k| k * PAGE_SIZE as u64 - 7),
+        (1u64..8).prop_map(|k| k * PAGE_SIZE as u64 - 1),
+    ]
+}
+
+fn any_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any_addr(), prop::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(a, d)| Op::WriteBytes(a, d)),
+        (any_addr(), any::<u64>()).prop_map(|(a, v)| Op::WriteU64(a, v)),
+        (any_addr(), any::<u8>()).prop_map(|(a, v)| Op::WriteU8(a, v)),
+    ]
+}
+
+proptest! {
+    /// Arbitrary interleavings of scalar/bulk writes at page-edge-biased
+    /// addresses read back identically through every access width, in both
+    /// the fast memory and the byte-map model.
+    #[test]
+    fn chunked_memory_matches_byte_map_model(ops in prop::collection::vec(any_op(), 1..40),
+                                             probe in any_addr()) {
+        let mut mem = Memory::new();
+        let mut model = ModelMem::default();
+        for op in &ops {
+            match op {
+                Op::WriteBytes(a, d) => {
+                    mem.write_bytes(*a, d);
+                    model.write(*a, d);
+                }
+                Op::WriteU64(a, v) => {
+                    mem.write_u64(*a, *v);
+                    model.write(*a, &v.to_le_bytes());
+                }
+                Op::WriteU8(a, v) => {
+                    mem.write_u8(*a, *v);
+                    model.write(*a, &[*v]);
+                }
+            }
+        }
+        // Read back through all widths, including page-straddling spans.
+        for op in &ops {
+            let (addr, len) = match op {
+                Op::WriteBytes(a, d) => (*a, d.len()),
+                Op::WriteU64(a, _) => (*a, 8),
+                Op::WriteU8(a, _) => (*a, 1),
+            };
+            let mut got = vec![0u8; len];
+            mem.read_bytes(addr, &mut got);
+            prop_assert_eq!(&got, &model.read(addr, len));
+        }
+        prop_assert_eq!(mem.read_u64(probe), u64::from_le_bytes(
+            model.read(probe, 8).try_into().unwrap()));
+        prop_assert_eq!(mem.read_u8(probe), model.read(probe, 1)[0]);
+    }
+
+    /// A u64 written across a page boundary is visible byte-wise in both
+    /// pages, and the TLB does not confuse the two pages on readback.
+    #[test]
+    fn straddling_u64_lands_in_both_pages(page in 1u64..16, off in 4089u64..4096,
+                                          v in any::<u64>()) {
+        let addr = page * PAGE_SIZE as u64 + off - PAGE_SIZE as u64;
+        let mut m = Memory::new();
+        m.write_u64(addr, v);
+        prop_assert_eq!(m.read_u64(addr), v);
+        // Alternate far-apart reads to force TLB replacement between probes.
+        for (i, b) in v.to_le_bytes().iter().enumerate() {
+            prop_assert_eq!(m.read_u8(addr + i as u64), *b);
+            prop_assert_eq!(m.read_u8(0xdead_0000 + i as u64), 0);
+        }
+    }
+
+    /// Restore-in-place ("page eviction" back to the snapshot state) must
+    /// not leave stale TLB or cache state: reads after the restore see the
+    /// snapshot contents, including on pages the TLB had just resolved.
+    #[test]
+    fn tlb_sees_through_restore(addr in any_addr(), before in any::<u64>(),
+                                after in any::<u64>()) {
+        let mut emu_mem = Memory::new();
+        emu_mem.write_u64(addr, before);
+        let snap = emu_mem.clone();
+        // Touch the page (TLB now caches it), diverge it, then restore.
+        prop_assert_eq!(emu_mem.read_u64(addr), before);
+        emu_mem.write_u64(addr, after);
+        emu_mem.write_u64(addr ^ 0x10_0000, after);
+        prop_assert_eq!(emu_mem.read_u64(addr), after);
+        emu_mem.restore_from(&snap);
+        prop_assert_eq!(emu_mem.read_u64(addr), before);
+        prop_assert_eq!(emu_mem.read_u64(addr ^ 0x10_0000), 0);
+    }
+}
+
+/// Builds an image whose function loads an immediate and returns; used as
+/// patchable text for the self-modification tests.
+fn mov_ret_image(value: i64) -> (raindrop_machine::Image, u64) {
+    let mut asm = Assembler::new();
+    asm.inst(Inst::MovRI(Reg::Rax, value)).inst(Inst::Ret);
+    let mut b = ImageBuilder::new();
+    b.add_function("f", asm);
+    let img = b.build().unwrap();
+    let addr = img.function("f").unwrap().addr;
+    (img, addr)
+}
+
+#[test]
+fn icache_self_modifying_text_is_re_decoded() {
+    let (img, faddr) = mov_ret_image(1);
+    let mut emu = Emulator::new(&img);
+
+    // First run decodes and caches the text page.
+    assert_eq!(emu.call_named(&img, "f", &[]).unwrap(), 1);
+    // Overwrite the immediate operand of `mov rax, imm64` in guest memory
+    // (opcode byte, register byte, then the 8 little-endian immediate
+    // bytes). A stale icache would keep returning 1.
+    emu.mem.write_u64(faddr + 2, 42);
+    assert_eq!(emu.call_named(&img, "f", &[]).unwrap(), 42, "write invalidated the decoded run");
+
+    // Repatching the same page again re-decodes again.
+    emu.mem.write_u64(faddr + 2, 7);
+    assert_eq!(emu.call_named(&img, "f", &[]).unwrap(), 7);
+}
+
+#[test]
+fn icache_snapshot_restore_rolls_text_back() {
+    let (img, faddr) = mov_ret_image(5);
+    let mut emu = Emulator::new(&img);
+    let snap = emu.snapshot();
+    assert_eq!(emu.call_named(&img, "f", &[]).unwrap(), 5);
+
+    emu.mem.write_u64(faddr + 2, 99);
+    assert_eq!(emu.call_named(&img, "f", &[]).unwrap(), 99);
+
+    // Restoring reverts the patched text; the icache entry tagged with the
+    // patched generation must not survive.
+    emu.restore(&snap);
+    assert_eq!(emu.call_named(&img, "f", &[]).unwrap(), 5);
+}
+
+#[test]
+fn icache_disabled_reference_path_agrees() {
+    // The reference slow path (no cache) and the fast path execute the same
+    // self-modification sequence identically.
+    for enabled in [true, false] {
+        let (img, faddr) = mov_ret_image(3);
+        let mut emu = Emulator::new(&img);
+        emu.set_icache_enabled(enabled);
+        assert_eq!(emu.call_named(&img, "f", &[]).unwrap(), 3);
+        emu.mem.write_u64(faddr + 2, 1234);
+        assert_eq!(emu.call_named(&img, "f", &[]).unwrap(), 1234, "icache={enabled}");
+    }
+}
+
+#[test]
+fn warm_restore_keeps_stats_and_results_reproducible() {
+    // A loopy function executed repeatedly from a restored snapshot gives
+    // identical stats every time (the verify_batch access pattern).
+    let mut asm = Assembler::new();
+    let top = asm.new_label();
+    let done = asm.new_label();
+    asm.inst(Inst::MovRI(Reg::Rax, 0));
+    asm.bind(top);
+    asm.inst(Inst::CmpI(Reg::Rdi, 0));
+    asm.jcc(raindrop_machine::Cond::E, done);
+    asm.inst(Inst::Alu(AluOp::Add, Reg::Rax, Reg::Rdi));
+    asm.inst(Inst::AluI(AluOp::Sub, Reg::Rdi, 1));
+    asm.jmp(top);
+    asm.bind(done);
+    asm.inst(Inst::Ret);
+    let mut b = ImageBuilder::new();
+    b.add_function("sum", asm);
+    let img = b.build().unwrap();
+
+    let mut emu = Emulator::new(&img);
+    let snap = emu.snapshot();
+    let mut stats = Vec::new();
+    for _ in 0..5 {
+        emu.restore(&snap);
+        assert_eq!(emu.call_named(&img, "sum", &[100]).unwrap(), 5050);
+        stats.push(emu.stats());
+    }
+    assert!(stats.windows(2).all(|w| w[0] == w[1]), "stats drift across warm restores");
+}

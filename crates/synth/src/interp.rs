@@ -24,7 +24,8 @@
 //! ```
 
 use crate::minic::{Expr, Function, Program, Stmt, PROBE_ARRAY};
-use std::collections::{BTreeMap, HashMap};
+use raindrop_machine::Memory;
+use std::collections::HashMap;
 
 /// Base address used for globals, mirroring the code generator's data
 /// placement so that address arithmetic on global pointers behaves the same.
@@ -80,8 +81,9 @@ enum Flow {
 #[derive(Debug, Clone)]
 pub struct Interp<'p> {
     program: &'p Program,
-    /// Sparse byte memory.
-    mem: BTreeMap<u64, u8>,
+    /// Sparse paged memory (the same structure the emulator's guest memory
+    /// uses, so bulk accesses are chunked instead of per-byte map probes).
+    mem: Memory,
     globals: HashMap<String, u64>,
     /// Remaining statement/expression budget.
     budget: u64,
@@ -99,15 +101,11 @@ impl<'p> Interp<'p> {
     /// Creates an interpreter with an explicit step budget.
     pub fn with_budget(program: &'p Program, budget: u64) -> Interp<'p> {
         let mut globals = HashMap::new();
-        let mut mem = BTreeMap::new();
+        let mut mem = Memory::new();
         let mut next = GLOBAL_BASE;
         for g in &program.globals {
             globals.insert(g.name.clone(), next);
-            for (i, b) in g.bytes.iter().enumerate() {
-                if *b != 0 {
-                    mem.insert(next + i as u64, *b);
-                }
-            }
+            mem.write_bytes(next, &g.bytes);
             next += (g.bytes.len() as u64 + 15) & !15;
         }
         // The probe array exists implicitly when any function probes.
@@ -132,46 +130,32 @@ impl<'p> Interp<'p> {
 
     /// Reads a 64-bit little-endian value from interpreter memory.
     pub fn read_u64(&self, addr: u64) -> u64 {
-        let mut v = 0u64;
-        for i in 0..8 {
-            v |= (self.read_u8(addr + i) as u64) << (8 * i);
-        }
-        v
+        self.mem.read_u64(addr)
     }
 
     /// Reads one byte from interpreter memory.
     pub fn read_u8(&self, addr: u64) -> u8 {
-        self.mem.get(&addr).copied().unwrap_or(0)
+        self.mem.read_u8(addr)
     }
 
     /// Writes a 64-bit little-endian value to interpreter memory.
     pub fn write_u64(&mut self, addr: u64, value: u64) {
-        for (i, b) in value.to_le_bytes().iter().enumerate() {
-            self.write_u8(addr + i as u64, *b);
-        }
+        self.mem.write_u64(addr, value);
     }
 
     /// Writes one byte to interpreter memory.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        if value == 0 {
-            self.mem.remove(&addr);
-        } else {
-            self.mem.insert(addr, value);
-        }
+        self.mem.write_u8(addr, value);
     }
 
     /// Writes a byte buffer to interpreter memory.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, *b);
-        }
+        self.mem.write_bytes(addr, bytes);
     }
 
     /// Reads `buf.len()` bytes from interpreter memory.
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.read_u8(addr + i as u64);
-        }
+        self.mem.read_bytes(addr, buf);
     }
 
     /// Calls a function by name with up to six arguments and returns its

@@ -1,0 +1,101 @@
+//! Differential stepper: the icache-backed fast path must be bit-identical
+//! to the reference slow path (icache disabled, re-decode every fetch) —
+//! same [`ExecStats`], same [`Trace`] contents, same [`RunExit`] — over
+//! corpus workloads, both native and ROP-rewritten.
+
+use raindrop::{Rewriter, RopConfig};
+use raindrop_machine::{Emulator, Image, Reg, RunExit};
+use raindrop_synth::{codegen, workloads};
+
+/// Runs `entry(args)` to completion and returns (exit, stats, trace).
+fn run_mode(
+    image: &Image,
+    entry: &str,
+    args: &[u64],
+    icache: bool,
+    tracing: bool,
+) -> (RunExit, raindrop_machine::ExecStats, raindrop_machine::Trace) {
+    let mut emu = Emulator::new(image);
+    emu.set_icache_enabled(icache);
+    emu.set_tracing(tracing);
+    emu.set_budget(50_000_000);
+    let f = image.function(entry).expect("entry exists").addr;
+    // Drive the run through step() directly (not run()) so the comparison
+    // covers the exact per-step dispatch the attacks and verifier use.
+    emu.cpu.set_reg(Reg::Rsp, raindrop_machine::STACK_TOP);
+    for (r, v) in Reg::ARGS.iter().zip(args) {
+        emu.cpu.set_reg(*r, *v);
+    }
+    let sp = emu.cpu.reg(Reg::Rsp) - 8;
+    emu.cpu.set_reg(Reg::Rsp, sp);
+    emu.mem.write_u64(sp, raindrop_machine::RETURN_SENTINEL);
+    emu.cpu.rip = f;
+    let exit = loop {
+        if let Some(exit) = emu.step().expect("workload steps cleanly") {
+            break exit;
+        }
+    };
+    (exit, emu.stats(), emu.take_trace())
+}
+
+/// Asserts fast/reference agreement for one image+entry in all four
+/// icache × tracing combinations.
+fn assert_identical(image: &Image, entry: &str, args: &[u64], label: &str) {
+    let (exit_ref, stats_ref, trace_ref) = run_mode(image, entry, args, false, true);
+    let (exit_fast, stats_fast, trace_fast) = run_mode(image, entry, args, true, true);
+    assert_eq!(exit_fast, exit_ref, "{label}: RunExit diverged");
+    assert_eq!(stats_fast, stats_ref, "{label}: ExecStats diverged");
+    assert_eq!(trace_fast.len(), trace_ref.len(), "{label}: trace length diverged");
+    for (a, b) in trace_fast.iter().zip(trace_ref.iter()) {
+        assert_eq!(a, b, "{label}: trace entry {} diverged", a.index);
+    }
+
+    // Non-tracing runs retire the identical instruction stream.
+    let (exit_nt, stats_nt, trace_nt) = run_mode(image, entry, args, true, false);
+    assert_eq!(exit_nt, exit_ref, "{label}: non-tracing RunExit diverged");
+    assert_eq!(stats_nt, stats_ref, "{label}: non-tracing ExecStats diverged");
+    assert!(trace_nt.is_empty(), "{label}: non-tracing run recorded a trace");
+    let (exit_nt_ref, stats_nt_ref, _) = run_mode(image, entry, args, false, false);
+    assert_eq!(exit_nt, exit_nt_ref, "{label}: non-tracing modes diverged");
+    assert_eq!(stats_nt, stats_nt_ref, "{label}: non-tracing stats diverged");
+}
+
+#[test]
+fn native_corpus_workloads_are_bit_identical() {
+    for (w, args) in [
+        (workloads::fannkuch(), vec![7u64]),
+        (workloads::pidigits(), vec![30]),
+        (workloads::fasta(), vec![200]),
+    ] {
+        let image = codegen::compile(&w.program).expect("compiles");
+        assert_identical(&image, &w.entry, &args, &w.name);
+    }
+}
+
+#[test]
+fn rop_rewritten_chain_is_bit_identical() {
+    // The ROP chain is the icache's worst case: unaligned gadget decodes,
+    // dense `ret` dispatch, stack-pivot xchg traffic.
+    let w = workloads::pidigits();
+    let image = codegen::compile(&w.program).expect("compiles");
+    let mut obf = image.clone();
+    let mut rw = Rewriter::new(&mut obf, RopConfig::full().with_seed(7));
+    for f in &w.obfuscate {
+        rw.rewrite_function(&mut obf, f).expect("rewrites");
+    }
+    assert_identical(&obf, &w.entry, &[20], "pidigits-rop-full");
+}
+
+#[test]
+fn halted_exit_is_bit_identical() {
+    // `hlt` exits through a different path than the return sentinel; pin it.
+    use raindrop_machine::{Assembler, ImageBuilder, Inst};
+    let mut asm = Assembler::new();
+    asm.inst(Inst::MovRI(Reg::Rax, 77)).inst(Inst::Hlt);
+    let mut b = ImageBuilder::new();
+    b.add_function("stop", asm);
+    let img = b.build().unwrap();
+    assert_identical(&img, "stop", &[], "hlt-exit");
+    let (exit, _, _) = run_mode(&img, "stop", &[], true, false);
+    assert_eq!(exit, RunExit::Halted);
+}
