@@ -5,7 +5,7 @@
 //! leans on (Ghidra/angr/radare2 for CFG reconstruction, angr for liveness
 //! and symbolic-register discovery):
 //!
-//! * [`cfg`] — control-flow-graph reconstruction from function bytes,
+//! * [`mod@cfg`] — control-flow-graph reconstruction from function bytes,
 //!   including the switch-table heuristic of the paper's appendix;
 //! * [`liveness`] — backward register and condition-flag liveness;
 //! * [`domtree`] — dominator trees;

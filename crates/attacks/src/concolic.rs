@@ -9,13 +9,52 @@
 //! budget runs out. The cost unit is emulated instructions, so the relative
 //! slowdowns caused by ROP chains, P1/P3 and VM interpreters are measured on
 //! the same scale the paper uses wall-clock time for.
+//!
+//! # Fork-point exploration
+//!
+//! The explorer runs in one of two [`ExploreMode`]s. The production mode,
+//! [`ExploreMode::ForkPoint`], captures an emulator [`Snapshot`] plus a
+//! clone of the shadow state at the *first occurrence* of every distinct
+//! symbolic branch along a path. When the generational search flips that
+//! branch, the new frontier entry restores the snapshot, patches every
+//! input-dependent register, memory cell and flag state by re-evaluating its
+//! shadow expression under the new input, and resumes from the fork — the
+//! prefix is never re-executed. Instruction *accounting* still includes the
+//! skipped prefix (the snapshot carries its [`ExecStats`]), so budgets,
+//! outcomes and the frontier schedule are bit-identical to the reference
+//! [`ExploreMode::Rerun`] oracle that re-executes every path from scratch;
+//! only the wall-clock cost drops. [`DseOutcome::emulated_instructions`]
+//! reports the instructions actually stepped.
+//!
+//! Patching is exact only while the shadow tracking is exact. Whenever an
+//! instruction would make input-dependent state escape the shadow (an
+//! oversized expression is concretized, a memory access goes through an
+//! input-dependent address, tainted flags are consumed, a carry chain or a
+//! symbolic divisor shows up), the run sets a *hazard* flag and stops
+//! capturing fork points; flips past that point fall back to a full re-run,
+//! which keeps the two modes equivalent instead of subtly wrong.
+//!
+//! # Constraint caching
+//!
+//! Path constraints are keyed by a canonical byte serialization
+//! ([`Constraint::canonical_key`]). Two cache layers exploit it: duplicated
+//! constraints along one path (ROP chains re-execute the same compare at
+//! many program points) make the flip provably unsatisfiable, so they are
+//! skipped without calling the solver at all; and solver queries are
+//! memoized under their *normalized* form — the sorted set of distinct
+//! prefix keys plus the negated key — so equivalent frontier entries across
+//! paths are solved exactly once.
+//!
+//! [`ExecStats`]: raindrop_machine::ExecStats
+//! [`Snapshot`]: raindrop_machine::Snapshot
 
-use crate::sym::{invert, BinKind, SymExpr, UnKind};
-use raindrop_machine::{AluOp, Cond, EmuError, Emulator, Image, Inst, Reg};
+use crate::sym::{eval_shared, invert_shared, BinKind, EvalMemo, SymExpr, UnKind, VarMemo};
+use raindrop_machine::{AluOp, Cond, EmuError, Emulator, Flags, Image, Inst, Reg, Snapshot};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -23,6 +62,16 @@ use std::time::{Duration, Instant};
 /// standard concolic fallback (§VII-C3 discusses its limits on table
 /// lookups).
 const MAX_EXPR_SIZE: usize = 512;
+
+/// Cap on fork points captured per path: bounds the snapshot memory a
+/// single deep path can pin while its flips wait in the frontier.
+const MAX_FORK_POINTS: usize = 128;
+
+/// Cap on frontier entries that may pin a fork-point snapshot at any one
+/// time. Entries queued past it carry no resume point and fall back to a
+/// re-run — identical results, only slower — so frontier memory stays
+/// bounded by this cap instead of [`DseBudget::max_frontier`].
+const FRONTIER_RESUME_CAP: usize = 4096;
 
 /// How the symbolic input reaches the target function.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,7 +139,7 @@ impl Constraint {
     pub fn outcome(&self, input: &[u64]) -> bool {
         let a = self.lhs.eval(input);
         let b = self.rhs.eval(input);
-        let mut flags = raindrop_machine::Flags::cleared();
+        let mut flags = Flags::cleared();
         if self.flag_is_sub {
             flags.set_sub(a, b, false);
         } else {
@@ -104,6 +153,55 @@ impl Constraint {
     pub fn satisfied_as_recorded(&self, input: &[u64]) -> bool {
         self.outcome(input) == self.taken
     }
+
+    /// [`Constraint::outcome`] evaluated through a shared-subtree memo —
+    /// same result, linear in the *distinct* nodes of the path instead of
+    /// the (heavily shared) tree size.
+    pub fn outcome_shared(&self, input: &[u64], memo: &mut EvalMemo) -> bool {
+        let a = eval_shared(&self.lhs, input, memo);
+        let b = eval_shared(&self.rhs, input, memo);
+        let mut flags = Flags::cleared();
+        if self.flag_is_sub {
+            flags.set_sub(a, b, false);
+        } else {
+            flags.set_logic(a & b);
+        }
+        self.cond.eval(flags)
+    }
+
+    /// [`Constraint::satisfied_as_recorded`] through a shared-subtree memo.
+    pub fn satisfied_as_recorded_shared(&self, input: &[u64], memo: &mut EvalMemo) -> bool {
+        self.outcome_shared(input, memo) == self.taken
+    }
+
+    /// Canonical byte serialization of the constraint.
+    ///
+    /// Structurally equal constraints (same operand expressions, flag
+    /// source, condition and recorded direction) produce equal keys, so the
+    /// key doubles as an exact, collision-free cache handle: along one path
+    /// a repeated key means the flip is unsatisfiable (the prefix already
+    /// pins the branch the recorded way), and across paths equal normalized
+    /// key sets hit the same solver-cache slot.
+    pub fn canonical_key(&self) -> Vec<u8> {
+        constraint_key(&self.lhs, &self.rhs, self.flag_is_sub, self.cond, self.taken)
+    }
+}
+
+fn constraint_key(
+    lhs: &SymExpr,
+    rhs: &SymExpr,
+    flag_is_sub: bool,
+    cond: Cond,
+    taken: bool,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    lhs.write_canonical(&mut out);
+    out.push(0xfe);
+    rhs.write_canonical(&mut out);
+    out.push(flag_is_sub as u8);
+    out.push(cond as u8);
+    out.push(taken as u8);
+    out
 }
 
 /// Result of one shadowed execution.
@@ -119,6 +217,105 @@ pub struct PathRecord {
     pub probes_hit: BTreeSet<u32>,
 }
 
+/// How the real machine flags were computed, in terms of shadow
+/// expressions, so a fork-point restore can replay them exactly for a new
+/// input.
+#[derive(Clone)]
+enum FlagReplay {
+    /// `Flags::set_sub(a, b, false)`.
+    Sub(Rc<SymExpr>, Rc<SymExpr>),
+    /// `Flags::set_add(a, b, false)`.
+    Add(Rc<SymExpr>, Rc<SymExpr>),
+    /// `Flags::set_logic(v)`.
+    Logic(Rc<SymExpr>),
+}
+
+/// Shadow model of the machine flags: the constraint operands (the model
+/// the solver reasons over) plus the exact replay recipe.
+#[derive(Clone)]
+struct FlagShadow {
+    /// Constraint model: left operand.
+    lhs: Rc<SymExpr>,
+    /// Constraint model: right operand.
+    rhs: Rc<SymExpr>,
+    /// Constraint model: subtraction (`cmp`-style) vs AND (`test`-style).
+    is_sub: bool,
+    /// Exact flag computation for fork-point patching.
+    replay: FlagReplay,
+}
+
+impl FlagShadow {
+    fn symbolic(&self) -> bool {
+        self.lhs.is_symbolic() || self.rhs.is_symbolic()
+    }
+
+    /// Whether the constraint model `(lhs, rhs, is_sub)` predicts the real
+    /// branch outcome for `cond` exactly. `cmp`/`test`/`neg`-sourced flags
+    /// are modeled exactly for every condition; ALU add/sub flags are
+    /// modeled as "result vs 0", which is exact only for the ZF-based
+    /// conditions (CF/OF differ from the real computation).
+    fn model_exact_for(&self, cond: Cond) -> bool {
+        match &self.replay {
+            FlagReplay::Logic(_) => true,
+            FlagReplay::Sub(a, b) => {
+                (self.is_sub && Rc::ptr_eq(a, &self.lhs) && Rc::ptr_eq(b, &self.rhs))
+                    || matches!(cond, Cond::E | Cond::Ne)
+            }
+            FlagReplay::Add(..) => matches!(cond, Cond::E | Cond::Ne),
+        }
+    }
+
+    /// The carry-flag value as an expression over the input: `cmp`/`sub`
+    /// flags carry iff `a < b`, `add` flags iff the sum wrapped, logic
+    /// flags never. Lets `adc`/`sbb` (the chain flag-leak idiom) be
+    /// tracked exactly instead of concretized.
+    fn carry_expr(&self) -> Rc<SymExpr> {
+        match &self.replay {
+            FlagReplay::Sub(a, b) => SymExpr::bin(BinKind::Ult, a.clone(), b.clone()),
+            FlagReplay::Add(a, b) => SymExpr::bin(
+                BinKind::Ult,
+                SymExpr::bin(BinKind::Add, a.clone(), b.clone()),
+                a.clone(),
+            ),
+            FlagReplay::Logic(_) => SymExpr::constant(0),
+        }
+    }
+
+    fn replay_into(&self, input: &[u64], flags: &mut Flags) {
+        match &self.replay {
+            FlagReplay::Sub(a, b) => {
+                flags.set_sub(a.eval(input), b.eval(input), false);
+            }
+            FlagReplay::Add(a, b) => {
+                flags.set_add(a.eval(input), b.eval(input), false);
+            }
+            FlagReplay::Logic(v) => flags.set_logic(v.eval(input)),
+        }
+    }
+}
+
+/// Shadow knowledge about the machine flags.
+#[derive(Clone)]
+enum FlagTrack {
+    /// Flags are input-independent.
+    Concrete,
+    /// Flags are described exactly by the carried [`FlagShadow`] (which may
+    /// still be non-symbolic if both operands folded to constants).
+    Exact(FlagShadow),
+    /// Flags depend on the input but are not modeled (e.g. set by a shift
+    /// of a symbolic value). Consuming them is a fork hazard.
+    Tainted,
+}
+
+impl FlagTrack {
+    fn symbolic_shadow(&self) -> Option<&FlagShadow> {
+        match self {
+            FlagTrack::Exact(fs) if fs.symbolic() => Some(fs),
+            _ => None,
+        }
+    }
+}
+
 /// Shadow state: symbolic expressions for registers and memory.
 ///
 /// Memory is tracked at two granularities to keep expressions small: whole
@@ -127,11 +324,19 @@ pub struct PathRecord {
 /// such as base64). A 64-bit reload of a word stored at the same address
 /// returns the original expression unchanged, so values round-tripped
 /// through push/pop or spill slots do not blow up.
+///
+/// The `hazard` flag records that some input-dependent state escaped the
+/// tracking (concretization, symbolic addressing, tainted-flag consumption):
+/// from that point on the state can no longer be reconstructed for a
+/// different input, so fork-point capture stops for the rest of the path.
+#[derive(Clone)]
 struct Shadow {
     regs: [Option<Rc<SymExpr>>; 16],
     words: HashMap<u64, Rc<SymExpr>>,
     bytes: HashMap<u64, Rc<SymExpr>>,
-    flags: Option<(Rc<SymExpr>, Rc<SymExpr>, bool)>,
+    flags: FlagTrack,
+    hazard: bool,
+    hazard_cause: Option<&'static str>,
 }
 
 impl Shadow {
@@ -140,7 +345,16 @@ impl Shadow {
             regs: Default::default(),
             words: HashMap::new(),
             bytes: HashMap::new(),
-            flags: None,
+            flags: FlagTrack::Concrete,
+            hazard: false,
+            hazard_cause: None,
+        }
+    }
+
+    fn set_hazard(&mut self, cause: &'static str) {
+        self.hazard = true;
+        if self.hazard_cause.is_none() {
+            self.hazard_cause = Some(cause);
         }
     }
 
@@ -149,7 +363,19 @@ impl Shadow {
     }
 
     fn set_reg(&mut self, r: Reg, e: Option<Rc<SymExpr>>) {
-        let e = e.filter(|e| e.is_symbolic() && e.size() <= MAX_EXPR_SIZE);
+        let e = match e {
+            Some(e) if e.is_symbolic() => {
+                if e.size() <= MAX_EXPR_SIZE {
+                    Some(e)
+                } else {
+                    // Concretization: the register value still depends on
+                    // the input, but the dependence is dropped.
+                    self.set_hazard("expr-size concretization (register)");
+                    None
+                }
+            }
+            _ => None,
+        };
         self.regs[r.index()] = e;
     }
 
@@ -157,17 +383,26 @@ impl Shadow {
         for i in 0..len {
             self.bytes.remove(&addr.wrapping_add(i));
         }
+        let end = addr.wrapping_add(len);
         for d in 0..8u64 {
             let w = addr.wrapping_sub(d);
             if self.words.contains_key(&w) {
                 // Overlap test: word [w, w+8) vs [addr, addr+len).
-                if w < addr.wrapping_add(len) && addr < w.wrapping_add(8) {
+                if w < end && addr < w.wrapping_add(8) {
                     self.words.remove(&w);
+                    // Dropping a partially-overlapped word loses tracking
+                    // for the bytes outside the cleared range.
+                    if w < addr || w.wrapping_add(8) > end {
+                        self.set_hazard("partial overwrite of tracked word");
+                    }
                 }
             }
         }
         for i in 1..len {
-            self.words.remove(&addr.wrapping_add(i));
+            let w = addr.wrapping_add(i);
+            if self.words.remove(&w).is_some() && w.wrapping_add(8) > end {
+                self.set_hazard("partial overwrite of tracked word");
+            }
         }
     }
 
@@ -196,7 +431,7 @@ impl Shadow {
         SymExpr::constant(concrete as u64)
     }
 
-    fn load64(&self, addr: u64, concrete: u64) -> Rc<SymExpr> {
+    fn load64(&mut self, addr: u64, concrete: u64) -> Rc<SymExpr> {
         if let Some(e) = self.words.get(&addr) {
             return e.clone();
         }
@@ -213,6 +448,7 @@ impl Shadow {
             );
         }
         if acc.size() > MAX_EXPR_SIZE {
+            self.set_hazard("expr-size concretization (load)");
             SymExpr::constant(concrete)
         } else {
             acc
@@ -222,8 +458,12 @@ impl Shadow {
     fn store64(&mut self, addr: u64, expr: Option<Rc<SymExpr>>) {
         self.clear_range(addr, 8);
         if let Some(e) = expr {
-            if e.is_symbolic() && e.size() <= MAX_EXPR_SIZE {
-                self.words.insert(addr, e);
+            if e.is_symbolic() {
+                if e.size() <= MAX_EXPR_SIZE {
+                    self.words.insert(addr, e);
+                } else {
+                    self.set_hazard("expr-size concretization (store64)");
+                }
             }
         }
     }
@@ -231,10 +471,36 @@ impl Shadow {
     fn store8(&mut self, addr: u64, expr: Option<Rc<SymExpr>>) {
         self.clear_range(addr, 1);
         if let Some(e) = expr {
-            if e.is_symbolic() && e.size() <= MAX_EXPR_SIZE {
-                self.bytes.insert(addr, SymExpr::bin(BinKind::And, e, SymExpr::constant(0xff)));
+            if e.is_symbolic() {
+                if e.size() <= MAX_EXPR_SIZE {
+                    self.bytes.insert(addr, SymExpr::bin(BinKind::And, e, SymExpr::constant(0xff)));
+                } else {
+                    self.set_hazard("expr-size concretization (store8)");
+                }
             }
         }
+    }
+}
+
+/// Writes every input-dependent piece of machine state for `input` into a
+/// freshly restored fork-point snapshot: tracked registers, memory words
+/// and bytes are re-evaluated under the new input, and the flags are
+/// replayed through the exact computation that produced them. Used by the
+/// fork-point explorer; valid only while the shadow carries no hazard.
+fn patch_for_input(emu: &mut Emulator, shadow: &Shadow, input: &[u64]) {
+    for r in Reg::ALL {
+        if let Some(e) = &shadow.regs[r.index()] {
+            emu.cpu.set_reg(r, e.eval(input));
+        }
+    }
+    for (addr, e) in &shadow.words {
+        emu.mem.write_u64(*addr, e.eval(input));
+    }
+    for (addr, e) in &shadow.bytes {
+        emu.mem.write_u8(*addr, e.eval(input) as u8);
+    }
+    if let Some(fs) = shadow.flags.symbolic_shadow() {
+        fs.replay_into(input, &mut emu.cpu.flags);
     }
 }
 
@@ -252,88 +518,22 @@ pub fn shadow_run(
     input: &[u64],
     budget: u64,
 ) -> Result<PathRecord, EmuError> {
-    let mut emu = Emulator::new(image);
-    emu.set_budget(budget);
-    let faddr = image.function(func).expect("target exists").addr;
-    let mut shadow = Shadow::new();
-
-    // Seed the concrete input and its shadow.
-    let args: Vec<u64> = match spec {
-        InputSpec::RegisterArg { .. } => {
-            let v = input[0] & spec.var_mask();
-            shadow.set_reg(Reg::Rdi, Some(SymExpr::input(0)));
-            vec![v]
-        }
-        InputSpec::MemoryBuffer { addr, len, args } => {
-            let concrete: Vec<u8> =
-                (0..*len).map(|i| input.get(i).copied().unwrap_or(0) as u8).collect();
-            emu.mem.write_bytes(*addr, &concrete);
-            for i in 0..*len {
-                shadow.bytes.insert(addr + i as u64, SymExpr::input(i));
-            }
-            args.clone()
-        }
-    };
-
-    // Mirror Emulator::call's setup so stepping can be interleaved with the
-    // shadow propagation.
-    emu.cpu.set_reg(Reg::Rsp, raindrop_machine::STACK_TOP);
-    for (r, v) in Reg::ARGS.iter().zip(&args) {
-        emu.cpu.set_reg(*r, *v);
-    }
-    let sp = emu.cpu.reg(Reg::Rsp) - 8;
-    emu.cpu.set_reg(Reg::Rsp, sp);
-    emu.mem.write_u64(sp, raindrop_machine::RETURN_SENTINEL);
-    emu.cpu.rip = faddr;
-
-    let mut constraints = Vec::new();
-    let return_value;
-    loop {
-        // Peek at the instruction before executing it so operand
-        // expressions can be captured from the pre-state; the peek hits the
-        // emulator's predecoded cache, which the step() right after reuses.
-        let decoded = emu.peek_inst().map(|(i, _)| i)?;
-        let pre = PreState::capture(&emu, &shadow, &decoded);
-
-        match emu.step()? {
-            Some(raindrop_machine::RunExit::Returned(v)) => {
-                return_value = v;
-                break;
-            }
-            Some(raindrop_machine::RunExit::Halted) => {
-                return_value = emu.reg(Reg::Rax);
-                break;
-            }
-            None => {}
-        }
-        propagate(&decoded, &pre, &emu, &mut shadow, &mut constraints);
-        if emu.cpu.rip == raindrop_machine::RETURN_SENTINEL {
-            return_value = emu.reg(Reg::Rax);
-            break;
-        }
-    }
-
-    // Probe coverage from the concrete memory.
-    let mut probes_hit = BTreeSet::new();
-    if let Ok(probe_base) = image.symbol(raindrop_synth::PROBE_ARRAY) {
-        for i in 0..raindrop_synth::minic::MAX_PROBES as u32 {
-            if emu.mem.read_u64(probe_base + 8 * i as u64) != 0 {
-                probes_hit.insert(i);
-            }
-        }
-    }
-
-    Ok(PathRecord { return_value, constraints, instructions: emu.stats().instructions, probes_hit })
+    let mut engine = Engine::new(image, func, spec.clone(), false);
+    engine.run_path(input, budget, None).map(|out| out.record)
 }
 
 /// Pre-execution facts an instruction's shadow propagation needs: the
 /// concrete register file before the step (destination registers get
-/// overwritten by it) and the resolved memory-operand address.
+/// overwritten by it), the resolved memory-operand address, and whether the
+/// address itself depends on the input (a fork hazard: under a different
+/// input the access would go elsewhere).
 struct PreState {
     concrete_regs: [u64; 16],
+    flags_before: Flags,
     mem_addr: Option<u64>,
     mem_concrete: u64,
     any_symbolic: bool,
+    addr_symbolic: bool,
 }
 
 impl PreState {
@@ -343,13 +543,16 @@ impl PreState {
             concrete_regs[r.index()] = emu.reg(r);
         }
         let mut any = inst.regs_read().iter().any(|r| shadow.reg_symbolic(r));
+        let mut addr_symbolic = false;
         let mem_addr = inst.mem_operand().map(|m| {
             let mut a = m.disp as i64 as u64;
             if let Some(b) = m.base {
                 a = a.wrapping_add(emu.reg(b));
+                addr_symbolic |= shadow.reg_symbolic(b);
             }
             if let Some(i) = m.index {
                 a = a.wrapping_add(emu.reg(i).wrapping_mul(m.scale as u64));
+                addr_symbolic |= shadow.reg_symbolic(i);
             }
             a
         });
@@ -360,7 +563,14 @@ impl PreState {
                 any = true;
             }
         }
-        PreState { concrete_regs, mem_addr, mem_concrete, any_symbolic: any }
+        PreState {
+            concrete_regs,
+            flags_before: emu.cpu.flags,
+            mem_addr,
+            mem_concrete,
+            any_symbolic: any,
+            addr_symbolic,
+        }
     }
 }
 
@@ -381,6 +591,73 @@ fn alu_kind(op: AluOp) -> BinKind {
     }
 }
 
+/// The carry-in expression an ALU op consumes: `adc`/`sbb` read the carry
+/// flag, everything else ignores it.
+fn alu_carry(op: AluOp, shadow: &mut Shadow, pre: &PreState) -> Option<Rc<SymExpr>> {
+    if matches!(op, AluOp::Adc | AluOp::Sbb) {
+        carry_in_expr(shadow, pre)
+    } else {
+        None
+    }
+}
+
+/// Shadow outcome of a symbolic ALU operation: the result expression
+/// (carry included) and the flag tracking — exact for the carry-less ops,
+/// tainted for `adc`/`sbb` (their flag outputs are not modeled). One
+/// helper so the four ALU addressing forms cannot drift apart.
+fn alu_shadow(
+    op: AluOp,
+    a: Rc<SymExpr>,
+    b: Rc<SymExpr>,
+    carry: Option<Rc<SymExpr>>,
+) -> (Rc<SymExpr>, FlagTrack) {
+    let e = alu_result(op, a.clone(), b.clone(), &carry);
+    let flags = if matches!(op, AluOp::Adc | AluOp::Sbb) {
+        FlagTrack::Tainted
+    } else {
+        alu_flags(op, e.clone(), a, b)
+    };
+    (e, flags)
+}
+
+/// Builds the flag shadow for an ALU-style flag write: the solver model is
+/// "result vs 0 via sub", the replay is the real operand computation.
+fn alu_flags(op: AluOp, result: Rc<SymExpr>, a: Rc<SymExpr>, b: Rc<SymExpr>) -> FlagTrack {
+    let replay = match op {
+        AluOp::Add | AluOp::Adc => FlagReplay::Add(a, b),
+        AluOp::Sub | AluOp::Sbb => FlagReplay::Sub(a, b),
+        AluOp::And | AluOp::Or | AluOp::Xor => FlagReplay::Logic(result.clone()),
+    };
+    FlagTrack::Exact(FlagShadow { lhs: result, rhs: SymExpr::constant(0), is_sub: true, replay })
+}
+
+/// Records the constraint for a flag-consuming instruction (`jcc`, `cmov`,
+/// `setcc`) if the flags are symbolic; marks a hazard when the flags are
+/// tainted (input-dependent but unmodeled) or when the model is inexact for
+/// this condition (the solver would reason over wrong CF/OF semantics).
+fn consume_flags(
+    shadow: &mut Shadow,
+    cond: Cond,
+    taken: bool,
+    constraints: &mut Vec<Constraint>,
+) -> bool {
+    match &shadow.flags {
+        FlagTrack::Tainted => {
+            shadow.set_hazard("tainted-flag branch");
+            false
+        }
+        FlagTrack::Exact(fs) if fs.symbolic() => {
+            let (lhs, rhs, is_sub) = (fs.lhs.clone(), fs.rhs.clone(), fs.is_sub);
+            if !fs.model_exact_for(cond) {
+                shadow.set_hazard("inexact flag model for condition");
+            }
+            constraints.push(Constraint { lhs, rhs, flag_is_sub: is_sub, cond, taken });
+            true
+        }
+        _ => false,
+    }
+}
+
 /// Propagates shadow state across one executed instruction. `emu` holds the
 /// post-state; `pre` holds operand expressions captured before execution.
 fn propagate(
@@ -391,6 +668,21 @@ fn propagate(
     constraints: &mut Vec<Constraint>,
 ) {
     use Inst::*;
+    // Lazy concretization: a symbolic stack pointer is pinned to its
+    // concrete value at its next implicit use, and an input-dependent
+    // effective address is pinned per access. Under the pinned prefix the
+    // shadow's concrete-address tracking stays exact for any input the
+    // solver produces.
+    if uses_rsp(inst) && shadow.reg_symbolic(Reg::Rsp) {
+        let e = op_expr(shadow, pre, Reg::Rsp);
+        constraints.push(pin_constraint(e, pre.concrete_regs[Reg::Rsp.index()]));
+        shadow.set_reg(Reg::Rsp, None);
+    }
+    if pre.addr_symbolic && !matches!(inst, Lea(..)) {
+        let m = inst.mem_operand().expect("addr_symbolic implies a mem operand");
+        let e = addr_expr(shadow, pre, m);
+        constraints.push(pin_constraint(e, pre.mem_addr.expect("resolved")));
+    }
     match *inst {
         MovRR(d, s) => {
             let e = shadow.regs[s.index()].clone();
@@ -426,7 +718,10 @@ fn propagate(
             let e = shadow.regs[s.index()].clone();
             shadow.store8(addr, e);
         }
-        Lea(d, _) => shadow.set_reg(d, None),
+        Lea(d, m) => {
+            let e = if pre.addr_symbolic { Some(addr_expr(shadow, pre, m)) } else { None };
+            shadow.set_reg(d, e);
+        }
         Push(r) => {
             let sp = emu.reg(Reg::Rsp);
             let e = shadow.regs[r.index()].clone();
@@ -443,62 +738,80 @@ fn propagate(
             shadow.set_reg(d, e);
         }
         Alu(op, d, s) => {
-            if pre.any_symbolic {
-                let e =
-                    SymExpr::bin(alu_kind(op), op_expr(shadow, pre, d), op_expr(shadow, pre, s));
-                shadow.flags = Some((e.clone(), SymExpr::constant(0), true));
+            let carry = alu_carry(op, shadow, pre);
+            let carry_sym = carry.as_ref().is_some_and(|c| c.is_symbolic());
+            if pre.any_symbolic || carry_sym {
+                let a = op_expr(shadow, pre, d);
+                let b = op_expr(shadow, pre, s);
+                let (e, flags) = alu_shadow(op, a, b, carry);
+                shadow.flags = flags;
                 shadow.set_reg(d, Some(e));
             } else {
                 shadow.set_reg(d, None);
-                shadow.flags = None;
+                shadow.flags = FlagTrack::Concrete;
             }
         }
         AluI(op, d, imm) => {
-            if shadow.reg_symbolic(d) {
-                let pre_d = op_expr(shadow, pre, d);
-                let e = SymExpr::bin(alu_kind(op), pre_d, SymExpr::constant(imm as i64 as u64));
-                shadow.flags = Some((e.clone(), SymExpr::constant(0), true));
+            let carry = alu_carry(op, shadow, pre);
+            let carry_sym = carry.as_ref().is_some_and(|c| c.is_symbolic());
+            if shadow.reg_symbolic(d) || carry_sym {
+                let a = op_expr(shadow, pre, d);
+                let b = SymExpr::constant(imm as i64 as u64);
+                let (e, flags) = alu_shadow(op, a, b, carry);
+                shadow.flags = flags;
                 shadow.set_reg(d, Some(e));
             } else {
                 shadow.set_reg(d, None);
-                shadow.flags = None;
+                shadow.flags = FlagTrack::Concrete;
             }
         }
         AluM(op, d, _) => {
+            let carry = alu_carry(op, shadow, pre);
+            let carry_sym = carry.as_ref().is_some_and(|c| c.is_symbolic());
             let addr = pre.mem_addr.expect("mem operand");
-            if pre.any_symbolic {
-                let pre_d = op_expr(shadow, pre, d);
-                let m = shadow.load64(addr, pre.mem_concrete);
-                let e = SymExpr::bin(alu_kind(op), pre_d, m);
-                shadow.flags = Some((e.clone(), SymExpr::constant(0), true));
+            if pre.any_symbolic || carry_sym {
+                let a = op_expr(shadow, pre, d);
+                let b = shadow.load64(addr, pre.mem_concrete);
+                let (e, flags) = alu_shadow(op, a, b, carry);
+                shadow.flags = flags;
                 shadow.set_reg(d, Some(e));
             } else {
                 shadow.set_reg(d, None);
-                shadow.flags = None;
+                shadow.flags = FlagTrack::Concrete;
             }
         }
         AluStore(op, _, s) => {
+            let carry = alu_carry(op, shadow, pre);
+            let carry_sym = carry.as_ref().is_some_and(|c| c.is_symbolic());
             let addr = pre.mem_addr.expect("mem operand");
-            if pre.any_symbolic {
-                let m = shadow.load64(addr, pre.mem_concrete);
-                let e = SymExpr::bin(alu_kind(op), m, op_expr(shadow, pre, s));
-                shadow.store64(addr, Some(e.clone()));
-                shadow.flags = Some((e, SymExpr::constant(0), true));
+            if pre.any_symbolic || carry_sym {
+                let a = shadow.load64(addr, pre.mem_concrete);
+                let b = op_expr(shadow, pre, s);
+                let (e, flags) = alu_shadow(op, a, b, carry);
+                shadow.store64(addr, Some(e));
+                shadow.flags = flags;
             } else {
                 shadow.store64(addr, None);
-                shadow.flags = None;
+                shadow.flags = FlagTrack::Concrete;
             }
         }
         Neg(r) => {
             if shadow.reg_symbolic(r) {
                 let pre_r = op_expr(shadow, pre, r);
+                let zero = SymExpr::constant(0);
                 let e = SymExpr::un(UnKind::Neg, pre_r.clone());
-                // neg sets flags as 0 - r.
-                shadow.flags = Some((SymExpr::constant(0), pre_r, true));
+                // neg sets flags as 0 - r, which `Flags::set_neg` matches
+                // bit-exactly, so model and replay coincide.
+                shadow.flags = FlagTrack::Exact(FlagShadow {
+                    lhs: zero.clone(),
+                    rhs: pre_r.clone(),
+                    is_sub: true,
+                    replay: FlagReplay::Sub(zero, pre_r),
+                });
                 shadow.set_reg(r, Some(e));
             } else {
                 shadow.set_reg(r, None);
-                shadow.flags = None;
+                shadow.flags = FlagTrack::Concrete;
             }
         }
         Not(r) => {
@@ -514,10 +827,13 @@ fn propagate(
                 let pre_d = op_expr(shadow, pre, d);
                 let e = SymExpr::bin(BinKind::Mul, pre_d, op_expr(shadow, pre, s));
                 shadow.set_reg(d, Some(e));
+                // The emulator sets flags from the widening product; the
+                // shadow does not model them.
+                shadow.flags = FlagTrack::Tainted;
             } else {
                 shadow.set_reg(d, None);
+                shadow.flags = FlagTrack::Concrete;
             }
-            shadow.flags = None;
         }
         MulI(d, s, imm) => {
             if shadow.reg_symbolic(s) {
@@ -527,12 +843,19 @@ fn propagate(
                     SymExpr::constant(imm as i64 as u64),
                 );
                 shadow.set_reg(d, Some(e));
+                shadow.flags = FlagTrack::Tainted;
             } else {
                 shadow.set_reg(d, None);
+                shadow.flags = FlagTrack::Concrete;
             }
-            shadow.flags = None;
         }
         Div(d, s) | Rem(d, s) => {
+            if shadow.reg_symbolic(s) {
+                // Under a different input the divisor could be zero, where
+                // the emulator faults but the expression language yields
+                // 0/x — the path shapes are not reconstructible.
+                shadow.set_hazard("symbolic divisor");
+            }
             if pre.any_symbolic {
                 let kind = if matches!(inst, Div(..)) { BinKind::Div } else { BinKind::Rem };
                 let pre_d = op_expr(shadow, pre, d);
@@ -552,10 +875,11 @@ fn propagate(
                 let pre_r = op_expr(shadow, pre, r);
                 let e = SymExpr::bin(kind, pre_r, SymExpr::constant(i as u64));
                 shadow.set_reg(r, Some(e));
+                shadow.flags = FlagTrack::Tainted;
             } else {
                 shadow.set_reg(r, None);
+                shadow.flags = FlagTrack::Concrete;
             }
-            shadow.flags = None;
         }
         ShlR(d, s) | ShrR(d, s) => {
             if pre.any_symbolic {
@@ -563,128 +887,141 @@ fn propagate(
                 let pre_d = op_expr(shadow, pre, d);
                 let e = SymExpr::bin(kind, pre_d, op_expr(shadow, pre, s));
                 shadow.set_reg(d, Some(e));
+                shadow.flags = FlagTrack::Tainted;
             } else {
                 shadow.set_reg(d, None);
+                shadow.flags = FlagTrack::Concrete;
             }
-            shadow.flags = None;
         }
         Cmp(a, bb) => {
             if pre.any_symbolic {
-                shadow.flags = Some((op_expr(shadow, pre, a), op_expr(shadow, pre, bb), true));
+                let ea = op_expr(shadow, pre, a);
+                let eb = op_expr(shadow, pre, bb);
+                shadow.flags = FlagTrack::Exact(FlagShadow {
+                    lhs: ea.clone(),
+                    rhs: eb.clone(),
+                    is_sub: true,
+                    replay: FlagReplay::Sub(ea, eb),
+                });
             } else {
-                shadow.flags = None;
+                shadow.flags = FlagTrack::Concrete;
             }
         }
         CmpI(a, imm) => {
             if shadow.reg_symbolic(a) {
-                shadow.flags =
-                    Some((op_expr(shadow, pre, a), SymExpr::constant(imm as i64 as u64), true));
+                let ea = op_expr(shadow, pre, a);
+                let eb = SymExpr::constant(imm as i64 as u64);
+                shadow.flags = FlagTrack::Exact(FlagShadow {
+                    lhs: ea.clone(),
+                    rhs: eb.clone(),
+                    is_sub: true,
+                    replay: FlagReplay::Sub(ea, eb),
+                });
             } else {
-                shadow.flags = None;
+                shadow.flags = FlagTrack::Concrete;
             }
         }
         CmpMI(_, imm) => {
             let addr = pre.mem_addr.expect("mem operand");
             if shadow.mem_symbolic(addr, 8) {
-                shadow.flags = Some((
-                    shadow.load64(addr, pre.mem_concrete),
-                    SymExpr::constant(imm as i64 as u64),
-                    true,
-                ));
+                let ea = shadow.load64(addr, pre.mem_concrete);
+                let eb = SymExpr::constant(imm as i64 as u64);
+                shadow.flags = FlagTrack::Exact(FlagShadow {
+                    lhs: ea.clone(),
+                    rhs: eb.clone(),
+                    is_sub: true,
+                    replay: FlagReplay::Sub(ea, eb),
+                });
             } else {
-                shadow.flags = None;
+                shadow.flags = FlagTrack::Concrete;
             }
         }
         Test(a, bb) => {
             if pre.any_symbolic {
-                shadow.flags = Some((op_expr(shadow, pre, a), op_expr(shadow, pre, bb), false));
+                let ea = op_expr(shadow, pre, a);
+                let eb = op_expr(shadow, pre, bb);
+                let and = SymExpr::bin(BinKind::And, ea.clone(), eb.clone());
+                shadow.flags = FlagTrack::Exact(FlagShadow {
+                    lhs: ea,
+                    rhs: eb,
+                    is_sub: false,
+                    replay: FlagReplay::Logic(and),
+                });
             } else {
-                shadow.flags = None;
+                shadow.flags = FlagTrack::Concrete;
             }
         }
         TestI(a, imm) => {
             if shadow.reg_symbolic(a) {
-                shadow.flags =
-                    Some((op_expr(shadow, pre, a), SymExpr::constant(imm as i64 as u64), false));
+                let ea = op_expr(shadow, pre, a);
+                let eb = SymExpr::constant(imm as i64 as u64);
+                let and = SymExpr::bin(BinKind::And, ea.clone(), eb.clone());
+                shadow.flags = FlagTrack::Exact(FlagShadow {
+                    lhs: ea,
+                    rhs: eb,
+                    is_sub: false,
+                    replay: FlagReplay::Logic(and),
+                });
             } else {
-                shadow.flags = None;
+                shadow.flags = FlagTrack::Concrete;
             }
         }
         Cmov(cond, d, s) => {
             // Model as a select driven by the concrete outcome, but record
-            // the implicit constraint like a branch.
-            if let Some((lhs, rhs, is_sub)) = shadow.flags.clone() {
-                if lhs.is_symbolic() || rhs.is_symbolic() {
-                    constraints.push(Constraint {
-                        lhs,
-                        rhs,
-                        flag_is_sub: is_sub,
-                        cond,
-                        taken: cond.eval(emu.cpu.flags),
-                    });
-                }
-            }
-            if cond.eval(emu.cpu.flags) {
+            // the implicit constraint like a branch; the constraint pins the
+            // selected direction for any input the solver produces.
+            let taken = cond.eval(emu.cpu.flags);
+            consume_flags(shadow, cond, taken, constraints);
+            if taken {
                 let e = shadow.regs[s.index()].clone();
                 shadow.set_reg(d, e);
             }
         }
         Set(cond, d) => {
-            if let Some((lhs, rhs, is_sub)) = shadow.flags.clone() {
-                if lhs.is_symbolic() || rhs.is_symbolic() {
-                    // The produced 0/1 value is expressible for the
-                    // conditions the workloads and the rewriter generate.
-                    let diff = if is_sub {
-                        SymExpr::bin(BinKind::Sub, lhs.clone(), rhs.clone())
-                    } else {
-                        SymExpr::bin(BinKind::And, lhs.clone(), rhs.clone())
-                    };
-                    let e = match cond {
-                        Cond::E => SymExpr::bin(BinKind::Eq, diff, SymExpr::constant(0)),
-                        Cond::Ne => SymExpr::bin(
-                            BinKind::Xor,
-                            SymExpr::bin(BinKind::Eq, diff, SymExpr::constant(0)),
-                            SymExpr::constant(1),
-                        ),
-                        Cond::B => SymExpr::bin(BinKind::Ult, lhs.clone(), rhs.clone()),
-                        Cond::Ae => SymExpr::bin(
-                            BinKind::Xor,
-                            SymExpr::bin(BinKind::Ult, lhs.clone(), rhs.clone()),
-                            SymExpr::constant(1),
-                        ),
-                        Cond::A => SymExpr::bin(BinKind::Ult, rhs.clone(), lhs.clone()),
-                        Cond::Be => SymExpr::bin(
-                            BinKind::Xor,
-                            SymExpr::bin(BinKind::Ult, rhs.clone(), lhs.clone()),
-                            SymExpr::constant(1),
-                        ),
-                        _ => SymExpr::constant(cond.eval(emu.cpu.flags) as u64),
-                    };
-                    constraints.push(Constraint {
-                        lhs,
-                        rhs,
-                        flag_is_sub: is_sub,
-                        cond,
-                        taken: cond.eval(emu.cpu.flags),
-                    });
-                    shadow.set_reg(d, Some(e));
-                    return;
-                }
+            let taken = cond.eval(emu.cpu.flags);
+            if let Some(fs) = shadow.flags.symbolic_shadow() {
+                let (lhs, rhs, is_sub) = (fs.lhs.clone(), fs.rhs.clone(), fs.is_sub);
+                // The produced 0/1 value is expressible for the conditions
+                // the workloads and the rewriter generate; the fallback
+                // conditions pin the concrete outcome via the recorded
+                // constraint, so the constant stays valid for any input
+                // that satisfies the path prefix.
+                let diff = if is_sub {
+                    SymExpr::bin(BinKind::Sub, lhs.clone(), rhs.clone())
+                } else {
+                    SymExpr::bin(BinKind::And, lhs.clone(), rhs.clone())
+                };
+                let e = match cond {
+                    Cond::E => SymExpr::bin(BinKind::Eq, diff, SymExpr::constant(0)),
+                    Cond::Ne => SymExpr::bin(
+                        BinKind::Xor,
+                        SymExpr::bin(BinKind::Eq, diff, SymExpr::constant(0)),
+                        SymExpr::constant(1),
+                    ),
+                    Cond::B => SymExpr::bin(BinKind::Ult, lhs.clone(), rhs.clone()),
+                    Cond::Ae => SymExpr::bin(
+                        BinKind::Xor,
+                        SymExpr::bin(BinKind::Ult, lhs.clone(), rhs.clone()),
+                        SymExpr::constant(1),
+                    ),
+                    Cond::A => SymExpr::bin(BinKind::Ult, rhs.clone(), lhs.clone()),
+                    Cond::Be => SymExpr::bin(
+                        BinKind::Xor,
+                        SymExpr::bin(BinKind::Ult, rhs.clone(), lhs.clone()),
+                        SymExpr::constant(1),
+                    ),
+                    _ => SymExpr::constant(taken as u64),
+                };
+                consume_flags(shadow, cond, taken, constraints);
+                shadow.set_reg(d, Some(e));
+            } else {
+                consume_flags(shadow, cond, taken, constraints);
+                shadow.set_reg(d, None);
             }
-            shadow.set_reg(d, None);
         }
         Jcc(cond, _) => {
-            if let Some((lhs, rhs, is_sub)) = shadow.flags.clone() {
-                if lhs.is_symbolic() || rhs.is_symbolic() {
-                    constraints.push(Constraint {
-                        lhs,
-                        rhs,
-                        flag_is_sub: is_sub,
-                        cond,
-                        taken: cond.eval(emu.cpu.flags),
-                    });
-                }
-            }
+            let taken = cond.eval(emu.cpu.flags);
+            consume_flags(shadow, cond, taken, constraints);
         }
         XchgRR(a, bb) => {
             let ea = shadow.regs[a.index()].clone();
@@ -703,12 +1040,481 @@ fn propagate(
             shadow.store64(addr, er);
             shadow.set_reg(r, em);
         }
-        Call(_) | CallReg(_) => {
+        Call(_) => {
             // The return-address slot is concrete.
             let sp = emu.reg(Reg::Rsp);
             shadow.store64(sp, None);
         }
-        Jmp(_) | JmpReg(_) | JmpMem(_) | Ret | Leave | Nop | Hlt => {}
+        CallReg(r) => {
+            if shadow.reg_symbolic(r) {
+                constraints.push(pin_constraint(op_expr(shadow, pre, r), emu.cpu.rip));
+            }
+            let sp = emu.reg(Reg::Rsp);
+            shadow.store64(sp, None);
+        }
+        JmpReg(r) => {
+            if shadow.reg_symbolic(r) {
+                constraints.push(pin_constraint(op_expr(shadow, pre, r), emu.cpu.rip));
+            }
+        }
+        JmpMem(_) => {
+            let addr = pre.mem_addr.expect("mem operand");
+            if shadow.mem_symbolic(addr, 8) {
+                let target = emu.cpu.rip;
+                let e = shadow.load64(addr, target);
+                constraints.push(pin_constraint(e, target));
+            }
+        }
+        Ret => {
+            let sp = pre.concrete_regs[Reg::Rsp.index()];
+            if shadow.mem_symbolic(sp, 8) {
+                let target = emu.cpu.rip;
+                let e = shadow.load64(sp, target);
+                constraints.push(pin_constraint(e, target));
+            }
+        }
+        Leave => {
+            // rsp := rbp; rbp := [old rbp]. A symbolic rbp is pinned (it
+            // becomes both the new stack pointer and a load address), and
+            // the restored rbp is tracked through the load like any other.
+            let bp = pre.concrete_regs[Reg::Rbp.index()];
+            if shadow.reg_symbolic(Reg::Rbp) {
+                let e = op_expr(shadow, pre, Reg::Rbp);
+                constraints.push(pin_constraint(e, bp));
+            }
+            shadow.set_reg(Reg::Rsp, None);
+            let e = if shadow.mem_symbolic(bp, 8) {
+                Some(shadow.load64(bp, emu.reg(Reg::Rbp)))
+            } else {
+                None
+            };
+            shadow.set_reg(Reg::Rbp, e);
+        }
+        Jmp(_) | Nop | Hlt => {}
+    }
+}
+
+/// The carry-in of an `adc`/`sbb` as a shadow expression: a concrete bit
+/// when the flags are input-independent, the flag shadow's carry-out
+/// expression when they are tracked, `None` (a hazard) when tainted. The
+/// `neg; adc` flag-leak idiom of the chain branch encoding threads the
+/// input through the carry, so modeling it keeps chain targets tracked.
+fn carry_in_expr(shadow: &mut Shadow, pre: &PreState) -> Option<Rc<SymExpr>> {
+    match &shadow.flags {
+        FlagTrack::Concrete => Some(SymExpr::constant(pre.flags_before.cf as u64)),
+        FlagTrack::Exact(fs) => {
+            if fs.symbolic() {
+                Some(fs.carry_expr())
+            } else {
+                Some(SymExpr::constant(pre.flags_before.cf as u64))
+            }
+        }
+        FlagTrack::Tainted => {
+            shadow.set_hazard("tainted carry chain");
+            None
+        }
+    }
+}
+
+/// Builds the result expression of an ALU op, including the carry term of
+/// `adc`/`sbb` (from `carry`), so results match the emulator bit-exactly.
+fn alu_result(
+    op: AluOp,
+    a: Rc<SymExpr>,
+    b: Rc<SymExpr>,
+    carry: &Option<Rc<SymExpr>>,
+) -> Rc<SymExpr> {
+    let base = SymExpr::bin(alu_kind(op), a, b);
+    match (op, carry) {
+        (AluOp::Adc, Some(c)) => SymExpr::bin(BinKind::Add, base, c.clone()),
+        (AluOp::Sbb, Some(c)) => SymExpr::bin(BinKind::Sub, base, c.clone()),
+        _ => base,
+    }
+}
+
+/// A pin constraint: the expression must keep evaluating to the concrete
+/// value observed this run (`cond E`, `taken`), which models the recorded
+/// behaviour exactly. Pins are the lazy-concretization idiom of concolic
+/// engines, recorded wherever an input-dependent value steers execution
+/// rather than flowing through data: indirect control-transfer targets
+/// (ROP chains branch exactly this way — a flag leak feeds the next-gadget
+/// address and a `ret` dispatches it), input-dependent effective
+/// addresses, and a symbolic stack pointer at its next implicit use.
+/// Solving for a *flipped* pin is how the explorer walks chain branches.
+fn pin_constraint(e: Rc<SymExpr>, value: u64) -> Constraint {
+    Constraint {
+        lhs: e,
+        rhs: SymExpr::constant(value),
+        flag_is_sub: true,
+        cond: Cond::E,
+        taken: true,
+    }
+}
+
+/// The effective-address expression of a memory operand, from the shadow
+/// expressions of its base/index registers.
+fn addr_expr(shadow: &Shadow, pre: &PreState, m: raindrop_machine::Mem) -> Rc<SymExpr> {
+    let mut e = SymExpr::constant(m.disp as i64 as u64);
+    if let Some(b) = m.base {
+        e = SymExpr::bin(BinKind::Add, e, op_expr(shadow, pre, b));
+    }
+    if let Some(i) = m.index {
+        e = SymExpr::bin(
+            BinKind::Add,
+            e,
+            SymExpr::bin(BinKind::Mul, op_expr(shadow, pre, i), SymExpr::constant(m.scale as u64)),
+        );
+    }
+    e
+}
+
+/// Whether the instruction uses the stack pointer implicitly; a symbolic
+/// `rsp` is pinned to its concrete value right before such an instruction.
+fn uses_rsp(inst: &Inst) -> bool {
+    matches!(
+        *inst,
+        Inst::Push(_)
+            | Inst::PushI(_)
+            | Inst::Pop(_)
+            | Inst::Call(_)
+            | Inst::CallReg(_)
+            | Inst::Ret
+    )
+}
+
+/// The condition a constraint-recording instruction consumes, if any.
+fn recording_cond(inst: &Inst) -> Option<Cond> {
+    match *inst {
+        Inst::Jcc(c, _) | Inst::Cmov(c, _, _) | Inst::Set(c, _) => Some(c),
+        _ => None,
+    }
+}
+
+/// The canonical key of the constraint `inst` is about to record, if any —
+/// computed before the step so a fork point can be captured at the first
+/// occurrence of each distinct branch. Mirrors exactly what `propagate`
+/// will push after the step.
+fn pre_constraint_key(
+    inst: &Inst,
+    pre: &PreState,
+    shadow: &mut Shadow,
+    emu: &Emulator,
+) -> Option<Vec<u8>> {
+    let pin = |e: &Rc<SymExpr>, target: u64| {
+        Some(constraint_key(e, &SymExpr::constant(target), true, Cond::E, true))
+    };
+    // Mirror propagate's push order: rsp pin, then address pin, then the
+    // flag or control-transfer constraint.
+    if uses_rsp(inst) && shadow.reg_symbolic(Reg::Rsp) {
+        let e = op_expr(shadow, pre, Reg::Rsp);
+        return pin(&e, pre.concrete_regs[Reg::Rsp.index()]);
+    }
+    if pre.addr_symbolic && !matches!(inst, Inst::Lea(..)) {
+        let m = inst.mem_operand().expect("addr_symbolic implies a mem operand");
+        let e = addr_expr(shadow, pre, m);
+        return pin(&e, pre.mem_addr.expect("resolved"));
+    }
+    if let Some(cond) = recording_cond(inst) {
+        let fs = shadow.flags.symbolic_shadow()?;
+        let taken = cond.eval(emu.cpu.flags);
+        return Some(constraint_key(&fs.lhs, &fs.rhs, fs.is_sub, cond, taken));
+    }
+    match *inst {
+        Inst::Ret => {
+            let sp = emu.reg(Reg::Rsp);
+            if shadow.mem_symbolic(sp, 8) {
+                let target = emu.mem.read_u64(sp);
+                let e = shadow.load64(sp, target);
+                return pin(&e, target);
+            }
+            None
+        }
+        Inst::JmpReg(r) | Inst::CallReg(r) => {
+            let e = shadow.regs[r.index()].clone()?;
+            pin(&e, emu.reg(r))
+        }
+        Inst::JmpMem(_) => {
+            let a = pre.mem_addr.expect("jmpmem has a mem operand");
+            if shadow.mem_symbolic(a, 8) {
+                let target = emu.mem.read_u64(a);
+                let e = shadow.load64(a, target);
+                return pin(&e, target);
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// A fork point: the machine and shadow state captured immediately before a
+/// symbolic branch executed. Restoring the snapshot and patching the
+/// tracked state for a new input reproduces exactly the state a fresh run
+/// with that input would have reached here.
+struct ForkPoint {
+    snapshot: Snapshot,
+    shadow: Shadow,
+}
+
+/// The constraints and canonical keys of one explored path, shared (via
+/// `Rc`) by every frontier entry forked off it.
+struct RecordData {
+    constraints: Vec<Constraint>,
+    keys: Vec<Rc<[u8]>>,
+}
+
+/// One shadowed execution plus the fork points captured along it.
+struct PathOutput {
+    record: PathRecord,
+    keys: Vec<Rc<[u8]>>,
+    forks: HashMap<usize, Rc<ForkPoint>>,
+    emulated: u64,
+}
+
+/// A frontier entry: the input to explore and, when a snapshot covers its
+/// prefix, the fork point to resume from.
+struct Pending {
+    input: Vec<u64>,
+    resume: Option<ResumePoint>,
+}
+
+/// Everything a frontier entry needs to resume behind a fork: the captured
+/// fork point, the parent record (whose prefix up to `at` is the resumed
+/// path's prefix by construction), and the parent's candidate cache so the
+/// child's prefix scans are answered by the parent chain.
+#[derive(Clone)]
+struct ResumePoint {
+    fork: Rc<ForkPoint>,
+    parent: Rc<RecordData>,
+    at: usize,
+    parent_fv: Rc<RefCell<FvCache>>,
+}
+
+/// 128-bit FNV-1a-style hash of a canonical constraint key. Normalized
+/// constraint-set cache keys XOR these per-constraint hashes together
+/// (XOR is order-independent, which is exactly the set semantics), so
+/// building the solver-cache key for each flip is O(1) instead of sorting
+/// kilobytes of canonical bytes.
+fn hash128(bytes: &[u8]) -> u128 {
+    let mut lo = 0xcbf29ce484222325u64;
+    let mut hi = 0x9e3779b97f4a7c15u64;
+    for &b in bytes {
+        lo = (lo ^ b as u64).wrapping_mul(0x100000001b3);
+        hi = (hi ^ b as u64).wrapping_mul(0xff51afd7ed558ccd).rotate_left(23);
+    }
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// Per-record candidate evaluator: memoizes, for each candidate input, the
+/// index of the first path constraint it violates (or `len` if none).
+///
+/// Flipping constraint `i` requires the prefix `[..i]` satisfied as
+/// recorded and constraint `i` itself violated — exactly
+/// `first_violated(input) == i` — so the whole prefix check collapses to
+/// one memoized scan per distinct candidate per record. Solver strategies
+/// sweep overlapping candidate sets across the flips of one record (the
+/// exhaustive domain walk literally re-tries the same values at every
+/// flip), which this cache turns from quadratic re-evaluation into one
+/// scan each.
+///
+/// Records of fork-resumed paths chain to their parent's cache: the
+/// child's constraints up to the fork index are the parent's (cloned at
+/// resume time), so a parent lookup answers any violation inside the
+/// shared prefix and the child only ever scans its own suffix.
+struct FvCache {
+    data: Rc<RecordData>,
+    parent: Option<(Rc<RefCell<FvCache>>, usize)>,
+    memo: HashMap<Vec<u64>, usize>,
+}
+
+/// The index of the first constraint of `cell`'s record that `input`
+/// violates, `len` if it satisfies the whole path as recorded.
+fn first_violated(cell: &Rc<RefCell<FvCache>>, input: &[u64]) -> usize {
+    if let Some(&v) = cell.borrow().memo.get(input) {
+        return v;
+    }
+    let parent = cell.borrow().parent.clone();
+    let from = match &parent {
+        Some((pfv, fork)) => {
+            let pv = first_violated(pfv, input);
+            if pv < *fork {
+                cell.borrow_mut().memo.insert(input.to_vec(), pv);
+                return pv;
+            }
+            *fork
+        }
+        None => 0,
+    };
+    let data = cell.borrow().data.clone();
+    let mut eval_memo = EvalMemo::default();
+    let v = data.constraints[from..]
+        .iter()
+        .position(|c| !c.satisfied_as_recorded_shared(input, &mut eval_memo))
+        .map(|p| p + from)
+        .unwrap_or(data.constraints.len());
+    cell.borrow_mut().memo.insert(input.to_vec(), v);
+    v
+}
+
+/// The shadow-execution engine: one warm emulator reused across all paths
+/// of an attack (restored from a pristine post-load snapshot instead of
+/// re-constructed, which keeps the predecoded instruction cache hot), plus
+/// the fork-point capture machinery.
+struct Engine<'a> {
+    image: &'a Image,
+    faddr: u64,
+    spec: InputSpec,
+    emu: Emulator,
+    base: Snapshot,
+    capture: bool,
+}
+
+impl<'a> Engine<'a> {
+    fn new(image: &'a Image, func: &str, spec: InputSpec, capture: bool) -> Engine<'a> {
+        let emu = Emulator::new(image);
+        let base = emu.snapshot();
+        let faddr = image.function(func).expect("target exists").addr;
+        Engine { image, faddr, spec, emu, base, capture }
+    }
+
+    /// Runs one path: fresh from the entry point, or resumed from a fork
+    /// point with all input-dependent state patched for `input`.
+    fn run_path(
+        &mut self,
+        input: &[u64],
+        budget: u64,
+        resume: Option<&ResumePoint>,
+    ) -> Result<PathOutput, EmuError> {
+        let mut constraints: Vec<Constraint>;
+        let mut keys: Vec<Rc<[u8]>>;
+        let mut seen_keys: HashSet<Rc<[u8]>>;
+        let mut shadow;
+        let start_instructions;
+
+        match resume {
+            Some(r) => {
+                self.emu.restore(&r.fork.snapshot);
+                start_instructions = r.fork.snapshot.stats().instructions;
+                shadow = r.fork.shadow.clone();
+                patch_for_input(&mut self.emu, &shadow, input);
+                constraints = r.parent.constraints[..r.at].to_vec();
+                keys = r.parent.keys[..r.at].to_vec();
+                seen_keys = keys.iter().cloned().collect();
+            }
+            None => {
+                self.emu.restore(&self.base);
+                start_instructions = 0;
+                shadow = Shadow::new();
+                constraints = Vec::new();
+                keys = Vec::new();
+                seen_keys = HashSet::new();
+
+                // Seed the concrete input and its shadow.
+                let args: Vec<u64> = match &self.spec {
+                    InputSpec::RegisterArg { .. } => {
+                        let v = input[0] & self.spec.var_mask();
+                        shadow.set_reg(Reg::Rdi, Some(SymExpr::input(0)));
+                        vec![v]
+                    }
+                    InputSpec::MemoryBuffer { addr, len, args } => {
+                        let concrete: Vec<u8> =
+                            (0..*len).map(|i| input.get(i).copied().unwrap_or(0) as u8).collect();
+                        self.emu.mem.write_bytes(*addr, &concrete);
+                        for i in 0..*len {
+                            shadow.bytes.insert(addr + i as u64, SymExpr::input(i));
+                        }
+                        args.clone()
+                    }
+                };
+
+                // Mirror Emulator::call's setup so stepping can be
+                // interleaved with the shadow propagation.
+                self.emu.cpu.set_reg(Reg::Rsp, raindrop_machine::STACK_TOP);
+                for (r, v) in Reg::ARGS.iter().zip(&args) {
+                    self.emu.cpu.set_reg(*r, *v);
+                }
+                let sp = self.emu.cpu.reg(Reg::Rsp) - 8;
+                self.emu.cpu.set_reg(Reg::Rsp, sp);
+                self.emu.mem.write_u64(sp, raindrop_machine::RETURN_SENTINEL);
+                self.emu.cpu.rip = self.faddr;
+            }
+        }
+        self.emu.set_budget(budget);
+
+        let mut forks: HashMap<usize, Rc<ForkPoint>> = HashMap::new();
+        let return_value;
+        loop {
+            // Peek at the instruction before executing it so operand
+            // expressions can be captured from the pre-state; the peek hits
+            // the emulator's predecoded cache, which the step() right after
+            // reuses.
+            let decoded = self.emu.peek_inst().map(|(i, _)| i)?;
+            let pre = PreState::capture(&self.emu, &shadow, &decoded);
+
+            // Capture a fork point before the first occurrence of each
+            // distinct symbolic branch (later occurrences are pinned by the
+            // prefix, so their flips are unsatisfiable and never resumed).
+            if self.capture && !shadow.hazard && forks.len() < MAX_FORK_POINTS {
+                if let Some(key) = pre_constraint_key(&decoded, &pre, &mut shadow, &self.emu) {
+                    if !shadow.hazard && !seen_keys.contains(key.as_slice()) {
+                        forks.insert(
+                            constraints.len(),
+                            Rc::new(ForkPoint {
+                                snapshot: self.emu.snapshot(),
+                                shadow: shadow.clone(),
+                            }),
+                        );
+                    }
+                }
+            }
+            match self.emu.step()? {
+                Some(raindrop_machine::RunExit::Returned(v)) => {
+                    return_value = v;
+                    break;
+                }
+                Some(raindrop_machine::RunExit::Halted) => {
+                    return_value = self.emu.reg(Reg::Rax);
+                    break;
+                }
+                None => {}
+            }
+            propagate(&decoded, &pre, &self.emu, &mut shadow, &mut constraints);
+            while keys.len() < constraints.len() {
+                let k: Rc<[u8]> = constraints[keys.len()].canonical_key().into();
+                seen_keys.insert(k.clone());
+                keys.push(k);
+            }
+            if self.emu.cpu.rip == raindrop_machine::RETURN_SENTINEL {
+                return_value = self.emu.reg(Reg::Rax);
+                break;
+            }
+        }
+
+        // Probe coverage from the concrete memory.
+        let mut probes_hit = BTreeSet::new();
+        if let Ok(probe_base) = self.image.symbol(raindrop_synth::PROBE_ARRAY) {
+            for i in 0..raindrop_synth::minic::MAX_PROBES as u32 {
+                if self.emu.mem.read_u64(probe_base + 8 * i as u64) != 0 {
+                    probes_hit.insert(i);
+                }
+            }
+        }
+
+        let instructions = self.emu.stats().instructions;
+        if std::env::var_os("RAINDROP_DSE_DEBUG").is_some() {
+            eprintln!(
+                "[dse-debug] path constraints={} forks={} hazard={:?} resumed={}",
+                constraints.len(),
+                forks.len(),
+                shadow.hazard_cause,
+                resume.is_some()
+            );
+        }
+        Ok(PathOutput {
+            record: PathRecord { return_value, constraints, instructions, probes_hit },
+            keys,
+            forks,
+            emulated: instructions - start_instructions,
+        })
     }
 }
 
@@ -723,6 +1529,10 @@ pub struct DseBudget {
     pub max_paths: usize,
     /// Wall-clock limit.
     pub max_wall: Duration,
+    /// Maximum number of solver invocations (cache hits are free).
+    pub max_solver_calls: u64,
+    /// Maximum frontier size; candidates solved past it are dropped.
+    pub max_frontier: usize,
 }
 
 impl Default for DseBudget {
@@ -732,6 +1542,8 @@ impl Default for DseBudget {
             per_path_instructions: 4_000_000,
             max_paths: 400,
             max_wall: Duration::from_secs(30),
+            max_solver_calls: 50_000,
+            max_frontier: 50_000,
         }
     }
 }
@@ -751,6 +1563,37 @@ pub enum Goal {
     },
 }
 
+/// Which budget dimension ended an unsuccessful attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DseExhaustion {
+    /// The wall-clock limit ran out.
+    Wall,
+    /// The total instruction budget ran out.
+    Instructions,
+    /// The explored-path cap was reached.
+    Paths,
+    /// The solver-invocation cap was reached.
+    SolverCalls,
+    /// Solved candidates were dropped because the frontier was full.
+    Frontier,
+    /// The frontier drained: no solvable constraint flip was left.
+    SearchSpace,
+}
+
+impl std::fmt::Display for DseExhaustion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DseExhaustion::Wall => "wall clock",
+            DseExhaustion::Instructions => "instruction budget",
+            DseExhaustion::Paths => "path cap",
+            DseExhaustion::SolverCalls => "solver-call cap",
+            DseExhaustion::Frontier => "frontier cap",
+            DseExhaustion::SearchSpace => "search space",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Outcome of a DSE attack.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DseOutcome {
@@ -760,14 +1603,46 @@ pub struct DseOutcome {
     pub witness: Option<Vec<u64>>,
     /// Paths (re-)executed.
     pub paths: usize,
-    /// Total emulated instructions.
+    /// Total emulated instructions, counting snapshot-skipped prefixes (the
+    /// budget currency, identical across explore modes).
     pub instructions: u64,
+    /// Instructions actually stepped by the emulator; lower than
+    /// `instructions` when fork-point restores skipped prefixes.
+    pub emulated_instructions: u64,
+    /// Paths resumed from a fork-point snapshot instead of re-run.
+    pub resumed_paths: usize,
     /// Wall-clock time spent.
     pub wall: Duration,
     /// Probes covered (coverage goal).
     pub probes_covered: usize,
     /// Constraints collected on the longest path.
     pub max_constraints: usize,
+    /// Solver invocations performed.
+    pub solver_calls: u64,
+    /// Solver invocations avoided by the normalized constraint cache.
+    pub solve_cache_hits: u64,
+    /// The budget dimension that ended an unsuccessful attack.
+    pub exhausted: Option<DseExhaustion>,
+}
+
+/// How the explorer reaches the state behind a flipped branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExploreMode {
+    /// Restore the fork-point snapshot and resume (production mode).
+    ForkPoint,
+    /// Re-execute every path from the entry point (the reference oracle the
+    /// differential suite pins [`ExploreMode::ForkPoint`] against).
+    Rerun,
+}
+
+/// Execution log of one attack, for the differential equivalence suite:
+/// both explore modes must produce identical sequences.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DseAudit {
+    /// Inputs explored, in schedule order.
+    pub explored: Vec<Vec<u64>>,
+    /// Inputs pushed to the frontier, in discovery order.
+    pub pushed: Vec<Vec<u64>>,
 }
 
 /// The concolic attacker.
@@ -777,56 +1652,88 @@ pub struct DseAttack<'a> {
     spec: InputSpec,
     budget: DseBudget,
     rng: ChaCha8Rng,
+    mode: ExploreMode,
+    /// Memoized solver queries keyed by the normalized constraint set: the
+    /// XOR of the distinct prefix-constraint hashes plus the negated
+    /// constraint's hash. Equivalent frontier entries across paths (shared
+    /// prefixes of resumed runs in particular) are solved exactly once.
+    solve_cache: HashMap<(u128, u128), Option<Vec<u64>>>,
+    solver_calls: u64,
+    cache_hits: u64,
 }
 
 impl<'a> DseAttack<'a> {
-    /// Creates an attack instance.
+    /// Creates an attack instance (fork-point explore mode).
     pub fn new(image: &'a Image, func: &'a str, spec: InputSpec, budget: DseBudget) -> Self {
         use rand::SeedableRng;
-        DseAttack { image, func, spec, budget, rng: ChaCha8Rng::seed_from_u64(0xa77ac4) }
+        DseAttack {
+            image,
+            func,
+            spec,
+            budget,
+            rng: ChaCha8Rng::seed_from_u64(0xa77ac4),
+            mode: ExploreMode::ForkPoint,
+            solve_cache: HashMap::new(),
+            solver_calls: 0,
+            cache_hits: 0,
+        }
     }
 
-    fn solve(
-        &mut self,
-        prefix: &[Constraint],
-        negated: &Constraint,
-        current: &[u64],
-    ) -> Option<Vec<u64>> {
-        let want_outcome = !negated.taken;
+    /// Selects the explore mode (builder style).
+    pub fn with_mode(mut self, mode: ExploreMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Solves for an input that satisfies `constraints[..i]` as recorded
+    /// and flips `constraints[i]` — i.e. `first_violated(input) == i`.
+    fn solve(&mut self, fv: &Rc<RefCell<FvCache>>, i: usize, current: &[u64]) -> Option<Vec<u64>> {
+        let data = fv.borrow().data.clone();
+        let negated = &data.constraints[i];
         let mask = self.spec.var_mask();
-        let check = |input: &[u64]| {
-            prefix.iter().all(|c| c.satisfied_as_recorded(input))
-                && negated.outcome(input) == want_outcome
-        };
 
         // Strategy 1: inversion of an equality/inequality on a single
-        // variable occurrence.
+        // variable occurrence, through shared-subtree memos (plain `invert`
+        // is quadratic on P3's shared expression chains).
         let mut vars: BTreeSet<usize> = negated.lhs.variables();
         vars.extend(negated.rhs.variables());
         if negated.flag_is_sub {
+            let mut eval = EvalMemo::default();
             for &var in &vars {
-                let rhs_val = negated.rhs.eval(current);
-                if let Some(v) = invert(&negated.lhs, rhs_val, var, current) {
+                let mut vm = VarMemo::default();
+                let rhs_val = eval_shared(&negated.rhs, current, &mut eval);
+                if let Some(v) =
+                    invert_shared(&negated.lhs, rhs_val, var, current, &mut eval, &mut vm)
+                {
                     let mut cand = current.to_vec();
                     cand[var] = v & mask;
-                    if check(&cand) {
+                    if first_violated(fv, &cand) == i {
                         return Some(cand);
                     }
                 }
-                let lhs_val = negated.lhs.eval(current);
-                if let Some(v) = invert(&negated.rhs, lhs_val, var, current) {
+                let lhs_val = eval_shared(&negated.lhs, current, &mut eval);
+                if let Some(v) =
+                    invert_shared(&negated.rhs, lhs_val, var, current, &mut eval, &mut vm)
+                {
                     let mut cand = current.to_vec();
                     cand[var] = v & mask;
-                    if check(&cand) {
+                    if first_violated(fv, &cand) == i {
                         return Some(cand);
                     }
                 }
                 // For strict inequalities try a small neighbourhood around
                 // the equality solution.
-                if let Some(v) = invert(&negated.lhs, rhs_val.wrapping_add(1), var, current) {
+                if let Some(v) = invert_shared(
+                    &negated.lhs,
+                    rhs_val.wrapping_add(1),
+                    var,
+                    current,
+                    &mut eval,
+                    &mut vm,
+                ) {
                     let mut cand = current.to_vec();
                     cand[var] = v & mask;
-                    if check(&cand) {
+                    if first_violated(fv, &cand) == i {
                         return Some(cand);
                     }
                 }
@@ -848,20 +1755,36 @@ impl<'a> DseAttack<'a> {
                 let mut cand = current.to_vec();
                 for v in 0..domain {
                     cand[var] = v;
-                    if check(&cand) {
+                    if first_violated(fv, &cand) == i {
                         return Some(cand);
                     }
                 }
+                // The whole domain of the only involved variable was
+                // enumerated: random search over the same variable cannot
+                // do better, skip it.
+                return None;
             }
         }
 
         // Strategy 3: bounded random search over the involved variables.
+        // The draw count backs off with the flip depth: a random input
+        // almost never satisfies a deep prefix, so deep flips lean on
+        // inversion (strategy 1) and get only a token random budget —
+        // without the backoff a single deep P3 path can sink minutes of
+        // wall time into hopeless draws.
+        let draws = if i < 64 {
+            2000
+        } else if i < 256 {
+            256
+        } else {
+            32
+        };
         let mut cand = current.to_vec();
-        for _ in 0..2000 {
+        for _ in 0..draws {
             for &var in &vars {
                 cand[var] = self.rng.gen::<u64>() & mask;
             }
-            if check(&cand) {
+            if first_violated(fv, &cand) == i {
                 return Some(cand);
             }
         }
@@ -870,85 +1793,199 @@ impl<'a> DseAttack<'a> {
 
     /// Runs the attack.
     pub fn run(&mut self, goal: Goal) -> DseOutcome {
+        self.run_audited(goal).0
+    }
+
+    /// Runs the attack and returns the exploration schedule alongside the
+    /// outcome. The differential suite uses the audit to pin fork-point and
+    /// re-run exploration bit-identical.
+    pub fn run_audited(&mut self, goal: Goal) -> (DseOutcome, DseAudit) {
+        // Per-run statistics: an attack instance can be reused (the solve
+        // cache carries over — its queries are semantically keyed), but
+        // counters and budget enforcement start fresh each run.
+        self.solver_calls = 0;
+        self.cache_hits = 0;
         let start = Instant::now();
         let vars = self.spec.vars();
         let mask = self.spec.var_mask();
-        let mut queue: VecDeque<Vec<u64>> = VecDeque::new();
-        queue.push_back(vec![0u64; vars]);
-        queue.push_back(vec![mask; vars]);
-        let mut seen: BTreeSet<Vec<u64>> = queue.iter().cloned().collect();
+        let capture = self.mode == ExploreMode::ForkPoint;
+        let mut engine = Engine::new(self.image, self.func, self.spec.clone(), capture);
+        let mut audit = DseAudit::default();
+
+        let mut queue: VecDeque<Pending> = VecDeque::new();
+        queue.push_back(Pending { input: vec![0u64; vars], resume: None });
+        queue.push_back(Pending { input: vec![mask; vars], resume: None });
+        let mut seen: BTreeSet<Vec<u64>> = queue.iter().map(|p| p.input.clone()).collect();
 
         let mut total_instructions = 0u64;
+        let mut emulated_instructions = 0u64;
         let mut paths = 0usize;
+        let mut resumed_paths = 0usize;
         let mut covered: BTreeSet<u32> = BTreeSet::new();
         let mut max_constraints = 0usize;
+        let mut exhausted = None;
+        let mut wall_hit = false;
+        let mut solver_capped = false;
+        let mut frontier_dropped = false;
 
-        while let Some(input) = queue.pop_front() {
-            if start.elapsed() > self.budget.max_wall
-                || total_instructions > self.budget.total_instructions
-                || paths > self.budget.max_paths
-            {
+        while let Some(pending) = queue.pop_front() {
+            if start.elapsed() > self.budget.max_wall {
+                exhausted = Some(DseExhaustion::Wall);
                 break;
             }
-            let record = match shadow_run(
-                self.image,
-                self.func,
-                &self.spec,
-                &input,
-                self.budget
-                    .per_path_instructions
-                    .min(self.budget.total_instructions.saturating_sub(total_instructions).max(1)),
-            ) {
-                Ok(r) => r,
+            if total_instructions > self.budget.total_instructions {
+                exhausted = Some(DseExhaustion::Instructions);
+                break;
+            }
+            if paths > self.budget.max_paths {
+                exhausted = Some(DseExhaustion::Paths);
+                break;
+            }
+            let path_budget = self
+                .budget
+                .per_path_instructions
+                .min(self.budget.total_instructions.saturating_sub(total_instructions).max(1));
+            let out = match engine.run_path(&pending.input, path_budget, pending.resume.as_ref()) {
+                Ok(o) => o,
                 Err(_) => continue,
             };
+            if pending.resume.is_some() {
+                resumed_paths += 1;
+            }
             paths += 1;
-            total_instructions += record.instructions;
-            covered.extend(record.probes_hit.iter().copied());
-            max_constraints = max_constraints.max(record.constraints.len());
+            total_instructions += out.record.instructions;
+            emulated_instructions += out.emulated;
+            covered.extend(out.record.probes_hit.iter().copied());
+            max_constraints = max_constraints.max(out.record.constraints.len());
+            audit.explored.push(pending.input.clone());
 
             let done = match goal {
-                Goal::Secret { want } => record.return_value == want,
+                Goal::Secret { want } => out.record.return_value == want,
                 Goal::Coverage { total_probes } => covered.len() as u32 >= total_probes,
             };
             if done {
-                return DseOutcome {
+                let outcome = DseOutcome {
                     success: true,
-                    witness: Some(input),
+                    witness: Some(pending.input),
                     paths,
                     instructions: total_instructions,
+                    emulated_instructions,
+                    resumed_paths,
                     wall: start.elapsed(),
                     probes_covered: covered.len(),
                     max_constraints,
+                    solver_calls: self.solver_calls,
+                    solve_cache_hits: self.cache_hits,
+                    exhausted: None,
                 };
+                return (outcome, audit);
             }
 
             // Generational search: negate each constraint in turn (deepest
             // first so new behaviour near the end of the path is reached
             // quickly, which matters for the final secret check).
-            let n = record.constraints.len();
+            let data = Rc::new(RecordData { constraints: out.record.constraints, keys: out.keys });
+            let n = data.constraints.len();
+            let mut first_at: HashMap<&[u8], usize> = HashMap::with_capacity(n);
+            for (i, k) in data.keys.iter().enumerate() {
+                first_at.entry(k).or_insert(i);
+            }
+            // Per-constraint hashes and the running normalized-set hash of
+            // each prefix (distinct constraints only): the solver-cache key
+            // of flip `i` is O(1) to build.
+            let hashes: Vec<u128> = data.keys.iter().map(|k| hash128(k)).collect();
+            let mut prefix_hash = vec![0u128; n + 1];
+            for i in 0..n {
+                let h = if first_at[data.keys[i].as_ref()] == i { hashes[i] } else { 0 };
+                prefix_hash[i + 1] = prefix_hash[i] ^ h;
+            }
+            // The candidate cache of this record chains to the parent's
+            // when the path was resumed behind a fork (the prefix is the
+            // parent's by construction), so prefix scans are never repeated
+            // down a fork lineage.
+            let fv = Rc::new(RefCell::new(FvCache {
+                data: data.clone(),
+                parent: pending.resume.as_ref().map(|r| (r.parent_fv.clone(), r.at)),
+                memo: HashMap::new(),
+            }));
             for i in (0..n).rev() {
                 if start.elapsed() > self.budget.max_wall {
+                    wall_hit = true;
                     break;
                 }
-                let negated = &record.constraints[i];
-                if let Some(cand) = self.solve(&record.constraints[..i], negated, &input) {
+                // A repeated constraint is pinned the recorded way by its
+                // first occurrence in the prefix: the flip is unsatisfiable,
+                // skip it without consulting the solver.
+                if first_at[data.keys[i].as_ref()] != i {
+                    continue;
+                }
+                // Normalized query: the set of distinct prefix constraints
+                // plus the negated one. Equivalent frontier entries across
+                // paths collapse onto one cache slot.
+                let cache_key = (prefix_hash[i], hashes[i]);
+                let cand = match self.solve_cache.get(&cache_key) {
+                    Some(v) => {
+                        self.cache_hits += 1;
+                        v.clone()
+                    }
+                    None => {
+                        if self.solver_calls >= self.budget.max_solver_calls {
+                            solver_capped = true;
+                            break;
+                        }
+                        self.solver_calls += 1;
+                        let v = self.solve(&fv, i, &pending.input);
+                        self.solve_cache.insert(cache_key, v.clone());
+                        v
+                    }
+                };
+                if let Some(cand) = cand {
                     if seen.insert(cand.clone()) {
-                        queue.push_back(cand);
+                        if queue.len() >= self.budget.max_frontier {
+                            frontier_dropped = true;
+                        } else {
+                            audit.pushed.push(cand.clone());
+                            let resume = if queue.len() < FRONTIER_RESUME_CAP {
+                                out.forks.get(&i).map(|f| ResumePoint {
+                                    fork: f.clone(),
+                                    parent: data.clone(),
+                                    at: i,
+                                    parent_fv: fv.clone(),
+                                })
+                            } else {
+                                None
+                            };
+                            queue.push_back(Pending { input: cand, resume });
+                        }
                     }
                 }
             }
         }
 
-        DseOutcome {
+        let exhausted = exhausted.or(if wall_hit {
+            Some(DseExhaustion::Wall)
+        } else if solver_capped {
+            Some(DseExhaustion::SolverCalls)
+        } else if frontier_dropped {
+            Some(DseExhaustion::Frontier)
+        } else {
+            Some(DseExhaustion::SearchSpace)
+        });
+        let outcome = DseOutcome {
             success: false,
             witness: None,
             paths,
             instructions: total_instructions,
+            emulated_instructions,
+            resumed_paths,
             wall: start.elapsed(),
             probes_covered: covered.len(),
             max_constraints,
-        }
+            solver_calls: self.solver_calls,
+            solve_cache_hits: self.cache_hits,
+            exhausted,
+        };
+        (outcome, audit)
     }
 }
 
@@ -1019,7 +2056,7 @@ mod tests {
     }
 
     #[test]
-    fn budget_exhaustion_reports_failure_gracefully() {
+    fn budget_exhaustion_reports_failure_and_the_dimension() {
         let rf = small_rf(RfGoal::SecretFinding, 8);
         let image = codegen::compile(&rf.program).unwrap();
         let tiny = DseBudget {
@@ -1027,11 +2064,79 @@ mod tests {
             per_path_instructions: 50,
             max_paths: 2,
             max_wall: Duration::from_millis(200),
+            ..DseBudget::default()
         };
         let mut attack =
             DseAttack::new(&image, &rf.name, InputSpec::RegisterArg { size_bytes: 8 }, tiny);
         let outcome = attack.run(Goal::Secret { want: 1 });
         assert!(!outcome.success);
         assert!(outcome.paths <= 3);
+        assert!(outcome.exhausted.is_some(), "failure names the exhausted dimension");
+    }
+
+    #[test]
+    fn fork_and_rerun_modes_explore_identically() {
+        let rf = small_rf(RfGoal::SecretFinding, 2);
+        let image = codegen::compile(&rf.program).unwrap();
+        let budget = DseBudget { max_wall: Duration::from_secs(600), ..DseBudget::default() };
+        let spec = InputSpec::RegisterArg { size_bytes: 2 };
+        let mut fork = DseAttack::new(&image, &rf.name, spec.clone(), budget);
+        let (fork_out, fork_audit) = fork.run_audited(Goal::Secret { want: 1 });
+        let mut rerun =
+            DseAttack::new(&image, &rf.name, spec, budget).with_mode(ExploreMode::Rerun);
+        let (rerun_out, rerun_audit) = rerun.run_audited(Goal::Secret { want: 1 });
+        assert_eq!(fork_audit, rerun_audit, "identical exploration schedules");
+        assert_eq!(fork_out.success, rerun_out.success);
+        assert_eq!(fork_out.witness, rerun_out.witness);
+        assert_eq!(fork_out.paths, rerun_out.paths);
+        assert_eq!(fork_out.instructions, rerun_out.instructions);
+        assert_eq!(rerun_out.resumed_paths, 0);
+        assert_eq!(rerun_out.emulated_instructions, rerun_out.instructions);
+        assert!(
+            fork_out.emulated_instructions <= fork_out.instructions,
+            "snapshot-covered prefixes are never re-executed"
+        );
+    }
+
+    #[test]
+    fn attack_instances_reset_per_run_statistics() {
+        let rf = small_rf(RfGoal::SecretFinding, 1);
+        let image = codegen::compile(&rf.program).unwrap();
+        let mut attack = DseAttack::new(
+            &image,
+            &rf.name,
+            InputSpec::RegisterArg { size_bytes: 1 },
+            DseBudget { max_solver_calls: 50, ..DseBudget::default() },
+        );
+        let first = attack.run(Goal::Secret { want: 1 });
+        let second = attack.run(Goal::Secret { want: 1 });
+        assert_eq!(first.success, second.success, "reuse does not change the outcome");
+        assert!(
+            second.solver_calls <= first.solver_calls,
+            "counters restart (and the carried solve cache can only reduce solving)"
+        );
+    }
+
+    #[test]
+    fn constraint_keys_are_exact_structural_fingerprints() {
+        let a = Constraint {
+            lhs: SymExpr::bin(BinKind::Add, SymExpr::input(0), SymExpr::constant(3)),
+            rhs: SymExpr::constant(0),
+            flag_is_sub: true,
+            cond: Cond::E,
+            taken: true,
+        };
+        let b = Constraint {
+            lhs: SymExpr::bin(BinKind::Add, SymExpr::input(0), SymExpr::constant(3)),
+            rhs: SymExpr::constant(0),
+            flag_is_sub: true,
+            cond: Cond::E,
+            taken: true,
+        };
+        assert_eq!(a.canonical_key(), b.canonical_key(), "structural equality");
+        let flipped = Constraint { taken: false, ..b.clone() };
+        assert_ne!(a.canonical_key(), flipped.canonical_key(), "direction is part of the key");
+        let other_cond = Constraint { cond: Cond::Ne, ..b };
+        assert_ne!(a.canonical_key(), other_cond.canonical_key(), "condition is part of the key");
     }
 }

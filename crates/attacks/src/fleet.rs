@@ -1,0 +1,178 @@
+//! A work-queue fleet that shards attack jobs across worker threads.
+//!
+//! The DSE-bound experiment suites (`exp_table2`, `exp_efficacy`,
+//! `exp_dse_speed`) attack many corpus functions independently; the fleet
+//! runs them thread-per-worker over a shared work queue. Each worker owns
+//! its emulators outright — the fork-point engine inside every
+//! [`DseAttack`] keeps one warm emulator per job and revives it between
+//! paths with [`Snapshot`] restores (and forks of it are cheap, see
+//! [`Emulator::fork`]), so no state is shared and no locking happens on the
+//! hot path; the queue mutex is touched once per job.
+//!
+//! Jobs are deterministic and independent, so under *work-bounded*
+//! budgets (instructions, paths, solver calls) the result of a fleet run
+//! does not depend on the worker count — a 1-worker and an N-worker fleet
+//! produce identical outcomes in identical order (pinned by the
+//! `fleet_results_are_independent_of_worker_count` test). The one caveat
+//! is [`DseBudget::max_wall`]: it measures real time, so oversubscribing
+//! workers past the machine's cores slows every attack down and can push
+//! a wall-bounded attack over its limit that a 1-worker run would finish.
+//! The worker count defaults to the machine's available parallelism and
+//! can be pinned with the `RAINDROP_DSE_WORKERS` environment variable.
+//!
+//! [`Emulator::fork`]: raindrop_machine::Emulator::fork
+//! [`Snapshot`]: raindrop_machine::Snapshot
+
+use crate::concolic::{DseAttack, DseBudget, DseOutcome, ExploreMode, Goal, InputSpec};
+use raindrop_machine::Image;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One DSE job for the fleet: everything needed to mount a self-contained
+/// attack on one function of one prepared image.
+pub struct DseJob {
+    /// Job label carried through to the result (e.g. `"<config>/<fun>"`).
+    pub label: String,
+    /// The prepared (possibly obfuscated) image.
+    pub image: Image,
+    /// Target function name.
+    pub func: String,
+    /// How the symbolic input reaches the target.
+    pub spec: InputSpec,
+    /// Work limits for this attack.
+    pub budget: DseBudget,
+    /// The attack goal.
+    pub goal: Goal,
+    /// Explore mode (fork-point snapshots or the re-run reference oracle).
+    pub mode: ExploreMode,
+}
+
+impl DseJob {
+    /// Convenience constructor using the production fork-point mode.
+    pub fn new(
+        label: impl Into<String>,
+        image: Image,
+        func: impl Into<String>,
+        spec: InputSpec,
+        budget: DseBudget,
+        goal: Goal,
+    ) -> DseJob {
+        DseJob {
+            label: label.into(),
+            image,
+            func: func.into(),
+            spec,
+            budget,
+            goal,
+            mode: ExploreMode::ForkPoint,
+        }
+    }
+}
+
+/// The outcome of one fleet job, tagged with its label.
+#[derive(Debug, Clone)]
+pub struct DseJobResult {
+    /// The label of the job that produced this result.
+    pub label: String,
+    /// The attack outcome.
+    pub outcome: DseOutcome,
+}
+
+/// A thread-per-worker work-queue executor for independent attack jobs.
+pub struct AttackFleet {
+    workers: usize,
+}
+
+impl AttackFleet {
+    /// Creates a fleet with a fixed worker count (clamped to at least 1).
+    pub fn new(workers: usize) -> AttackFleet {
+        AttackFleet { workers: workers.max(1) }
+    }
+
+    /// Creates a fleet sized by `RAINDROP_DSE_WORKERS` if set, otherwise by
+    /// the machine's available parallelism.
+    pub fn from_env() -> AttackFleet {
+        let workers = std::env::var("RAINDROP_DSE_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        AttackFleet::new(workers)
+    }
+
+    /// The number of worker threads this fleet spawns.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` over every item on the worker pool and returns the results
+    /// in item order. Items are handed out through a shared queue, so
+    /// uneven job costs balance automatically; `f` must be deterministic
+    /// per item for fleet runs to be reproducible across worker counts.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let queue: Mutex<VecDeque<(usize, T)>> =
+            Mutex::new(items.into_iter().enumerate().collect());
+        let results: Mutex<Vec<Option<R>>> =
+            Mutex::new(std::iter::repeat_with(|| None).take(n).collect());
+        std::thread::scope(|s| {
+            for _ in 0..self.workers.min(n) {
+                s.spawn(|| loop {
+                    let next = queue.lock().expect("queue lock").pop_front();
+                    match next {
+                        Some((i, item)) => {
+                            let r = f(i, item);
+                            results.lock().expect("results lock")[i] = Some(r);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("fleet workers finished")
+            .into_iter()
+            .map(|r| r.expect("every job ran"))
+            .collect()
+    }
+
+    /// Runs a batch of DSE jobs and returns their outcomes in job order.
+    pub fn run_dse(&self, jobs: Vec<DseJob>) -> Vec<DseJobResult> {
+        self.map(jobs, |_, job| {
+            let mut attack = DseAttack::new(&job.image, &job.func, job.spec.clone(), job.budget)
+                .with_mode(job.mode);
+            let outcome = attack.run(job.goal);
+            DseJobResult { label: job.label, outcome }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order_and_balances_work() {
+        let fleet = AttackFleet::new(4);
+        let items: Vec<u64> = (0..32).collect();
+        let out = fleet.map(items, |i, v| {
+            assert_eq!(i as u64, v);
+            v * 2
+        });
+        assert_eq!(out, (0..32).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_is_clamped_and_env_independent_by_default() {
+        assert_eq!(AttackFleet::new(0).workers(), 1);
+        assert!(AttackFleet::from_env().workers() >= 1);
+    }
+}

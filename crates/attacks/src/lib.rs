@@ -7,9 +7,12 @@
 //! * [`sym`] — the symbolic-expression language and the inversion-based
 //!   solver (the reproduction's stand-in for an SMT backend);
 //! * [`concolic`] — dynamic symbolic execution (the S2E stand-in): shadowed
-//!   concrete runs, path constraints, generational search, goals G1
+//!   concrete runs, path constraints, generational search with fork-point
+//!   snapshot restores and a normalized constraint/solve cache, goals G1
 //!   (secret finding) and G2 (code coverage), all under explicit work
 //!   budgets;
+//! * [`fleet`] — a work-queue [`AttackFleet`] sharding independent DSE jobs
+//!   across worker threads;
 //! * [`tds`] — taint-driven simplification of execution traces (attack
 //!   surface A3);
 //! * [`ropaware`] — ROPMEMU-style flag-flip exploration and
@@ -48,13 +51,16 @@
 #![warn(missing_docs)]
 
 pub mod concolic;
+pub mod fleet;
 pub mod ropaware;
 pub mod sym;
 pub mod tds;
 
 pub use concolic::{
-    shadow_run, Constraint, DseAttack, DseBudget, DseOutcome, Goal, InputSpec, PathRecord,
+    shadow_run, Constraint, DseAttack, DseAudit, DseBudget, DseExhaustion, DseOutcome, ExploreMode,
+    Goal, InputSpec, PathRecord,
 };
+pub use fleet::{AttackFleet, DseJob, DseJobResult};
 pub use ropaware::{chain_symbol, flip_exploration, gadget_guess, FlipReport, GuessReport};
 pub use sym::{invert, BinKind, SymExpr, UnKind};
 pub use tds::{simplify, simplify_trace, TdsReport};

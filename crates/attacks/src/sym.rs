@@ -7,7 +7,7 @@
 //! bounded search rather than an SMT backend, which is the reproduction's
 //! stand-in for angr/S2E's solver (see DESIGN.md).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 
 /// Binary operators of the expression language.
@@ -158,6 +158,76 @@ impl SymExpr {
             SymExpr::Un(_, a) => a.input_occurrences(),
         }
     }
+
+    /// Appends a canonical byte serialization of the expression to `out`.
+    ///
+    /// Two expressions serialize to the same bytes iff they are structurally
+    /// equal, so the encoding can be used as an exact (collision-free) map
+    /// key. The DSE constraint cache keys normalized path-constraint sets
+    /// with it: duplicated constraints along a path collapse to one key, and
+    /// equivalent frontier entries hit the same solver-cache slot.
+    pub fn write_canonical(&self, out: &mut Vec<u8>) {
+        match self {
+            SymExpr::Const(v) => {
+                out.push(0x01);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            SymExpr::Input(i) => {
+                out.push(0x02);
+                out.extend_from_slice(&(*i as u64).to_le_bytes());
+            }
+            SymExpr::Bin(k, a, b) => {
+                out.push(0x03);
+                out.push(*k as u8);
+                a.write_canonical(out);
+                b.write_canonical(out);
+            }
+            SymExpr::Un(k, a) => {
+                out.push(0x04);
+                out.push(*k as u8);
+                a.write_canonical(out);
+            }
+        }
+    }
+}
+
+/// Node-identity evaluation memo for one concrete input assignment.
+///
+/// Shadow execution builds expressions incrementally, so the constraints of
+/// one path share subtrees heavily (a P3-strengthened ROP path measures
+/// ~86× more tree nodes than distinct `Rc` nodes). Evaluating through a
+/// memo keyed by node identity visits every distinct node once, which
+/// turns a full path-constraint scan from a quadratic tree walk into a
+/// linear pass. A memo is only meaningful for a single input — create a
+/// fresh one (or [`EvalMemo::default`]) per candidate.
+#[derive(Default)]
+pub struct EvalMemo {
+    map: HashMap<*const SymExpr, u64>,
+}
+
+/// Evaluates `expr` for `input` through `memo`, sharing work across all
+/// expressions that reference the same nodes. Results are identical to
+/// [`SymExpr::eval`].
+pub fn eval_shared(expr: &Rc<SymExpr>, input: &[u64], memo: &mut EvalMemo) -> u64 {
+    match expr.as_ref() {
+        SymExpr::Const(v) => *v,
+        SymExpr::Input(i) => input.get(*i).copied().unwrap_or(0),
+        _ => {
+            let key = Rc::as_ptr(expr);
+            if let Some(&v) = memo.map.get(&key) {
+                return v;
+            }
+            let v = match expr.as_ref() {
+                SymExpr::Bin(k, a, b) => {
+                    eval_bin(*k, eval_shared(a, input, memo), eval_shared(b, input, memo))
+                }
+                SymExpr::Un(k, a) => eval_un(*k, eval_shared(a, input, memo)),
+                _ => unreachable!("leaves handled above"),
+            };
+            memo.map.insert(key, v);
+            v
+        }
+    }
 }
 
 fn eval_bin(kind: BinKind, a: u64, b: u64) -> u64 {
@@ -283,6 +353,123 @@ pub fn invert(expr: &SymExpr, target: u64, var: usize, input: &[u64]) -> Option<
                 _ => return None,
             };
             invert(sym, new_target, var, input)
+        }
+    }
+}
+
+/// Node-identity memo of "does this subtree mention variable `var`" for
+/// one fixed variable; companion to [`EvalMemo`] for [`invert_shared`].
+#[derive(Default)]
+pub struct VarMemo {
+    map: HashMap<*const SymExpr, bool>,
+}
+
+fn contains_var(expr: &Rc<SymExpr>, var: usize, memo: &mut VarMemo) -> bool {
+    match expr.as_ref() {
+        SymExpr::Const(_) => false,
+        SymExpr::Input(i) => *i == var,
+        _ => {
+            let key = Rc::as_ptr(expr);
+            if let Some(&v) = memo.map.get(&key) {
+                return v;
+            }
+            let v = match expr.as_ref() {
+                SymExpr::Bin(_, a, b) => contains_var(a, var, memo) || contains_var(b, var, memo),
+                SymExpr::Un(_, a) => contains_var(a, var, memo),
+                _ => unreachable!("leaves handled above"),
+            };
+            memo.map.insert(key, v);
+            v
+        }
+    }
+}
+
+/// [`invert`] through shared-subtree memos: identical results, but the
+/// per-node "which side holds the variable" test and the constant-side
+/// evaluation are O(1) amortized instead of a sub-walk each — on the
+/// heavily shared expressions P3 builds, plain `invert` is quadratic and
+/// dominates the solver.
+pub fn invert_shared(
+    expr: &Rc<SymExpr>,
+    target: u64,
+    var: usize,
+    input: &[u64],
+    eval: &mut EvalMemo,
+    vars: &mut VarMemo,
+) -> Option<u64> {
+    match expr.as_ref() {
+        SymExpr::Const(v) => {
+            if *v == target {
+                Some(input.get(var).copied().unwrap_or(0))
+            } else {
+                None
+            }
+        }
+        SymExpr::Input(i) => {
+            if *i == var {
+                Some(target)
+            } else {
+                None
+            }
+        }
+        SymExpr::Un(k, a) => {
+            let new_target = match k {
+                UnKind::Neg => (target as i64).wrapping_neg() as u64,
+                UnKind::Not => !target,
+                UnKind::SextByte => {
+                    let low = target as u8;
+                    if (low as i8 as i64 as u64) == target {
+                        low as u64
+                    } else {
+                        return None;
+                    }
+                }
+            };
+            invert_shared(a, new_target, var, input, eval, vars)
+        }
+        SymExpr::Bin(k, a, b) => {
+            let a_has = contains_var(a, var, vars);
+            let b_has = contains_var(b, var, vars);
+            if a_has == b_has {
+                return None;
+            }
+            let (sym, other_value, var_on_left) = if a_has {
+                (a, eval_shared(b, input, eval), true)
+            } else {
+                (b, eval_shared(a, input, eval), false)
+            };
+            let new_target = match (k, var_on_left) {
+                (BinKind::Add, _) => target.wrapping_sub(other_value),
+                (BinKind::Xor, _) => target ^ other_value,
+                (BinKind::Sub, true) => target.wrapping_add(other_value),
+                (BinKind::Sub, false) => other_value.wrapping_sub(target),
+                (BinKind::Mul, _) => {
+                    if other_value % 2 == 0 {
+                        return None;
+                    }
+                    target.wrapping_mul(mod_inverse(other_value))
+                }
+                (BinKind::And, _) if target & other_value == target => target,
+                (BinKind::Or, _) if other_value & target == other_value => target & !other_value,
+                (BinKind::Shl, true) => {
+                    let s = other_value & 63;
+                    if target.trailing_zeros() as u64 >= s {
+                        target >> s
+                    } else {
+                        return None;
+                    }
+                }
+                (BinKind::Shr, true) => {
+                    let s = other_value & 63;
+                    if target.leading_zeros() as u64 >= s {
+                        target << s
+                    } else {
+                        return None;
+                    }
+                }
+                _ => return None,
+            };
+            invert_shared(sym, new_target, var, input, eval, vars)
         }
     }
 }

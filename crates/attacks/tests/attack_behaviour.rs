@@ -49,6 +49,7 @@ fn quick_budget() -> DseBudget {
         per_path_instructions: 500_000,
         max_paths: 60,
         max_wall: Duration::from_secs(5),
+        ..DseBudget::default()
     }
 }
 

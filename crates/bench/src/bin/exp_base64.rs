@@ -50,8 +50,10 @@ fn main() {
             InputSpec::MemoryBuffer { addr: inp, len: input_len, args: vec![input_len as u64] };
         let mut attack = DseAttack::new(&image, &w.entry, spec, budget);
         let outcome = attack.run(Goal::Secret { want: target });
+        let exhausted =
+            outcome.exhausted.map_or_else(|| "-".to_string(), |e| format!("{e} exhausted"));
         println!(
-            "{:<16} {:>14} {:>10} {:>14}",
+            "{:<16} {:>14} {:>10} {:>14}  [{exhausted}]",
             kind.label(),
             cycles,
             outcome.success,

@@ -3,7 +3,8 @@
 //! P3 against taint-driven simplification.
 
 use raindrop::{Rewriter, RopConfig};
-use raindrop_attacks::concolic::{DseAttack, Goal, InputSpec};
+use raindrop_attacks::concolic::{Goal, InputSpec};
+use raindrop_attacks::fleet::{AttackFleet, DseJob};
 use raindrop_attacks::{chain_symbol, flip_exploration, gadget_guess, simplify};
 use raindrop_bench::*;
 use raindrop_synth::{codegen, randomfuns, Goal as RfGoal};
@@ -38,21 +39,32 @@ fn main() {
     let rf = sample(RfGoal::SecretFinding);
 
     println!("== A1/A3: DSE (secret finding) against P1/P3 ==");
-    for (label, kind) in [
+    let jobs: Vec<DseJob> = [
         ("NATIVE", ObfKind::Native),
         ("ROP-P1 only", ObfKind::Rop { k: 0.0 }),
         ("ROP-P1+P3", ObfKind::Rop { k: 1.0 }),
-    ] {
+    ]
+    .into_iter()
+    .map(|(label, kind)| {
         let image = prepare_randomfun(&rf, &kind, 1).expect("prepare");
-        let mut attack = DseAttack::new(
-            &image,
-            &rf.name,
+        DseJob::new(
+            label,
+            image,
+            rf.name.clone(),
             InputSpec::RegisterArg { size_bytes: rf.config.input_size },
             budget,
+            Goal::Secret { want: 1 },
+        )
+    })
+    .collect();
+    for r in AttackFleet::from_env().run_dse(jobs) {
+        let out = r.outcome;
+        let exhausted = out.exhausted.map_or_else(|| "-".to_string(), |e| format!("{e} exhausted"));
+        println!(
+            "  {:<14} success={} instructions={} [{exhausted}]",
+            r.label, out.success, out.instructions
         );
-        let out = attack.run(Goal::Secret { want: 1 });
-        println!("  {label:<14} success={} instructions={}", out.success, out.instructions);
-        report.dse.push((label.to_string(), out.success, out.instructions));
+        report.dse.push((r.label, out.success, out.instructions));
     }
 
     println!("== A2: flag flipping (ROPMEMU) with and without P2 ==");

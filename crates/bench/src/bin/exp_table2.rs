@@ -16,10 +16,18 @@ fn main() {
         if full { "full" } else { "quick" }
     );
     let rows = run_table2(&secret_funs, &coverage_funs, &configs, budget);
-    println!("{:<14} {:>14} {:>10} {:>18}", "CONFIGURATION", "FOUND", "AVG TIME", "100% POINTS");
+    println!(
+        "{:<14} {:>14} {:>10} {:>18}  EXHAUSTED",
+        "CONFIGURATION", "FOUND", "AVG TIME", "100% POINTS"
+    );
     for r in &rows {
+        let exhausted = if r.exhausted.is_empty() {
+            "-".to_string()
+        } else {
+            r.exhausted.iter().map(|(dim, n)| format!("{dim}: {n}")).collect::<Vec<_>>().join(", ")
+        };
         println!(
-            "{:<14} {:>10}/{:<3} {:>8.1}s {:>14}/{:<3}",
+            "{:<14} {:>10}/{:<3} {:>8.1}s {:>14}/{:<3}  {exhausted}",
             r.config,
             r.secrets_found,
             r.attempted,

@@ -1,7 +1,10 @@
 //! Table III: rewriter statistics per clbg benchmark (program points N,
 //! total gadgets A, unique gadgets B, gadgets per point C) for each ROPk.
+//! The per-(benchmark, k) rewrites are independent, so they run sharded
+//! over the attack fleet's worker pool.
 
 use raindrop::{Rewriter, RopConfig};
+use raindrop_attacks::fleet::AttackFleet;
 use raindrop_bench::*;
 use raindrop_synth::codegen;
 use serde::Serialize;
@@ -19,35 +22,44 @@ struct Row {
 fn main() {
     let full = is_full_run();
     let ks = if full { ropk_fractions() } else { vec![0.0, 0.25, 1.00] };
-    let mut rows = Vec::new();
+    let items: Vec<(raindrop_synth::Workload, f64)> = raindrop_synth::clbg_suite()
+        .into_iter()
+        .flat_map(|w| ks.iter().map(move |k| (w.clone(), *k)).collect::<Vec<_>>())
+        .collect();
+    let rows: Vec<Option<Row>> = AttackFleet::from_env().map(items, |_, (w, k)| {
+        let mut image = match codegen::compile(&w.program) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("{}: {e}", w.name);
+                return None;
+            }
+        };
+        let mut rw = Rewriter::new(&mut image, RopConfig::ropk(k));
+        let report = rw.rewrite_functions(&mut image, w.obfuscate.iter().map(|s| s.as_str()));
+        let n = report.program_points();
+        let stats = report.gadgets;
+        let c = if n > 0 { stats.total_used as f64 / n as f64 } else { 0.0 };
+        Some(Row {
+            benchmark: w.name.clone(),
+            k,
+            program_points: n,
+            total_gadgets: stats.total_used,
+            unique_gadgets: stats.unique_used,
+            gadgets_per_point: c,
+        })
+    });
+    let rows: Vec<Row> = rows.into_iter().flatten().collect();
     println!("{:<14} {:>6} {:>8} {:>8} {:>8} {:>8}", "BENCHMARK", "k", "N", "A", "B", "C");
-    for w in raindrop_synth::clbg_suite() {
-        for k in &ks {
-            let mut image = match codegen::compile(&w.program) {
-                Ok(i) => i,
-                Err(e) => {
-                    eprintln!("{}: {e}", w.name);
-                    continue;
-                }
-            };
-            let mut rw = Rewriter::new(&mut image, RopConfig::ropk(*k));
-            let report = rw.rewrite_functions(&mut image, w.obfuscate.iter().map(|s| s.as_str()));
-            let n = report.program_points();
-            let stats = report.gadgets;
-            let c = if n > 0 { stats.total_used as f64 / n as f64 } else { 0.0 };
-            println!(
-                "{:<14} {:>6.2} {:>8} {:>8} {:>8} {:>8.2}",
-                w.name, k, n, stats.total_used, stats.unique_used, c
-            );
-            rows.push(Row {
-                benchmark: w.name.clone(),
-                k: *k,
-                program_points: n,
-                total_gadgets: stats.total_used,
-                unique_gadgets: stats.unique_used,
-                gadgets_per_point: c,
-            });
-        }
+    for r in &rows {
+        println!(
+            "{:<14} {:>6.2} {:>8} {:>8} {:>8} {:>8.2}",
+            r.benchmark,
+            r.k,
+            r.program_points,
+            r.total_gadgets,
+            r.unique_gadgets,
+            r.gadgets_per_point
+        );
     }
     write_json("exp_table3", &rows);
     let _ = prepare_image; // keep the shared helpers linked for docs

@@ -24,7 +24,8 @@
 #![warn(missing_docs)]
 
 use raindrop::{Rewriter, RopConfig};
-use raindrop_attacks::concolic::{DseAttack, DseBudget, Goal as AttackGoal, InputSpec};
+use raindrop_attacks::concolic::{DseBudget, Goal as AttackGoal, InputSpec};
+use raindrop_attacks::fleet::{AttackFleet, DseJob};
 use raindrop_machine::{Emulator, Image};
 use raindrop_obfvm::{ImplicitAt, VmConfig};
 use raindrop_synth::{codegen, RandomFun, Workload};
@@ -162,6 +163,7 @@ pub fn dse_budget(quick: bool) -> DseBudget {
             per_path_instructions: 2_000_000,
             max_paths: 100,
             max_wall: Duration::from_secs(5),
+            ..DseBudget::default()
         }
     } else {
         DseBudget {
@@ -169,7 +171,104 @@ pub fn dse_budget(quick: bool) -> DseBudget {
             per_path_instructions: 20_000_000,
             max_paths: 2_000,
             max_wall: Duration::from_secs(120),
+            ..DseBudget::default()
         }
+    }
+}
+
+/// One job of the `exp_dse_speed` suite: a prepared image plus the attack
+/// to mount on it. The suite is the DSE-bound slice of the Table II quick
+/// run (three structures, two input sizes, both goals, three
+/// configurations) and must stay stable across PRs — `BENCH_dse.json`
+/// compares wall-clock trajectories over exactly this job list.
+pub struct DseSpeedJob {
+    /// Human-readable job label (`<structure>/<size>/<goal>/<config>`).
+    pub label: String,
+    /// The prepared (possibly obfuscated) image.
+    pub image: Image,
+    /// Target function name.
+    pub func: String,
+    /// How the symbolic input reaches the target.
+    pub spec: InputSpec,
+    /// The attack goal.
+    pub goal: AttackGoal,
+}
+
+/// The fixed job list `exp_dse_speed` measures (see [`DseSpeedJob`]).
+/// `smoke` trims it to a CI-sized subset.
+pub fn dse_speed_suite(smoke: bool) -> Vec<DseSpeedJob> {
+    let structures = raindrop_synth::paper_structures();
+    let picks: &[usize] = if smoke { &[0] } else { &[0, 1, 3] };
+    let sizes: &[usize] = if smoke { &[1] } else { &[1, 4] };
+    let configs: &[ObfKind] = if smoke {
+        &[ObfKind::Native, ObfKind::Rop { k: 1.00 }]
+    } else {
+        &[ObfKind::Native, ObfKind::Rop { k: 0.25 }, ObfKind::Rop { k: 1.00 }]
+    };
+    let mut jobs = Vec::new();
+    for &si in picks {
+        let (name, structure) = &structures[si];
+        for &input_size in sizes {
+            for goal in [raindrop_synth::Goal::SecretFinding, raindrop_synth::Goal::CodeCoverage] {
+                let rf = raindrop_synth::generate_randomfun(raindrop_synth::RandomFunConfig {
+                    structure: structure.clone(),
+                    structure_name: name.clone(),
+                    input_size,
+                    seed: 1,
+                    goal,
+                    loop_size: 3,
+                });
+                for kind in configs {
+                    let image = prepare_randomfun(&rf, kind, 1).expect("suite image prepares");
+                    let goal_label = match goal {
+                        raindrop_synth::Goal::SecretFinding => "secret",
+                        raindrop_synth::Goal::CodeCoverage => "coverage",
+                    };
+                    let attack_goal = match goal {
+                        raindrop_synth::Goal::SecretFinding => AttackGoal::Secret { want: 1 },
+                        raindrop_synth::Goal::CodeCoverage => {
+                            AttackGoal::Coverage { total_probes: rf.probe_count }
+                        }
+                    };
+                    jobs.push(DseSpeedJob {
+                        label: format!(
+                            "s{si}/in{input_size}/{goal_label}/{}",
+                            kind.label().to_lowercase()
+                        ),
+                        image,
+                        func: rf.name.clone(),
+                        spec: InputSpec::RegisterArg { size_bytes: input_size },
+                        goal: attack_goal,
+                    });
+                }
+            }
+        }
+    }
+    jobs
+}
+
+/// The budget `exp_dse_speed` gives every job: the Table II quick budget
+/// plus a solver-work cap (`smoke` shrinks everything so the CI step
+/// finishes in seconds).
+///
+/// The solver cap is what lets defeated attacks terminate on *work* rather
+/// than wall clock: the frozen pre-PR explorer managed ~17 solver calls in
+/// the 5 s wall (the cap never bound — the wall always hit first), so its
+/// baseline numbers are valid under this budget definition, while the
+/// current engine performs the full 600 calls and exits long before the
+/// wall.
+pub fn dse_speed_budget(smoke: bool) -> DseBudget {
+    if smoke {
+        DseBudget {
+            total_instructions: 2_000_000,
+            per_path_instructions: 500_000,
+            max_paths: 40,
+            max_wall: Duration::from_secs(2),
+            max_solver_calls: 200,
+            ..DseBudget::default()
+        }
+    } else {
+        DseBudget { max_solver_calls: 600, ..dse_budget(true) }
     }
 }
 
@@ -187,64 +286,89 @@ pub struct Table2Row {
     pub fully_covered: usize,
     /// Functions attempted.
     pub attempted: usize,
+    /// Exhausted budget dimensions of the failed attacks, with counts.
+    pub exhausted: Vec<(String, usize)>,
 }
 
 /// Runs the Table II experiment over the given random functions and
-/// configurations.
+/// configurations. All attacks of all configurations are sharded over one
+/// [`AttackFleet`] (worker count from `RAINDROP_DSE_WORKERS` or the
+/// machine's parallelism); results are aggregated per configuration.
 pub fn run_table2(
     secret_funs: &[RandomFun],
     coverage_funs: &[RandomFun],
     configs: &[ObfKind],
     budget: DseBudget,
 ) -> Vec<Table2Row> {
-    let mut rows = Vec::new();
-    for kind in configs {
-        let mut secrets_found = 0usize;
-        let mut secret_time = 0.0f64;
-        let mut fully_covered = 0usize;
-        let mut attempted = 0usize;
+    // Job construction: images are prepared up front (cheap next to the
+    // attacks); each job is tagged with its configuration index and goal.
+    let mut jobs = Vec::new();
+    let mut tags = Vec::new();
+    let mut attempted = vec![0usize; configs.len()];
+    for (ci, kind) in configs.iter().enumerate() {
         for (rf_secret, rf_cov) in secret_funs.iter().zip(coverage_funs) {
-            attempted += 1;
-            // G1: secret finding.
+            attempted[ci] += 1;
             if let Ok(image) = prepare_randomfun(rf_secret, kind, 1) {
-                let mut attack = DseAttack::new(
-                    &image,
-                    &rf_secret.name,
+                jobs.push(DseJob::new(
+                    format!("{}/{}/secret", kind.label(), rf_secret.name),
+                    image,
+                    rf_secret.name.clone(),
                     InputSpec::RegisterArg { size_bytes: rf_secret.config.input_size },
                     budget,
-                );
-                let outcome = attack.run(AttackGoal::Secret { want: 1 });
-                if outcome.success {
-                    secrets_found += 1;
-                    secret_time += outcome.wall.as_secs_f64();
-                }
+                    AttackGoal::Secret { want: 1 },
+                ));
+                tags.push((ci, true));
             }
-            // G2: code coverage.
             if let Ok(image) = prepare_randomfun(rf_cov, kind, 1) {
-                let mut attack = DseAttack::new(
-                    &image,
-                    &rf_cov.name,
+                jobs.push(DseJob::new(
+                    format!("{}/{}/coverage", kind.label(), rf_cov.name),
+                    image,
+                    rf_cov.name.clone(),
                     InputSpec::RegisterArg { size_bytes: rf_cov.config.input_size },
                     budget,
-                );
-                let outcome = attack.run(AttackGoal::Coverage { total_probes: rf_cov.probe_count });
-                if outcome.success {
-                    fully_covered += 1;
-                }
+                    AttackGoal::Coverage { total_probes: rf_cov.probe_count },
+                ));
+                tags.push((ci, false));
             }
         }
-        eprintln!("  [{}] done", kind.label());
-        rows.push(Table2Row {
+    }
+
+    let results = AttackFleet::from_env().run_dse(jobs);
+
+    let mut rows: Vec<Table2Row> = configs
+        .iter()
+        .enumerate()
+        .map(|(ci, kind)| Table2Row {
             config: kind.label(),
-            secrets_found,
-            avg_secret_seconds: if secrets_found > 0 {
-                secret_time / secrets_found as f64
+            secrets_found: 0,
+            avg_secret_seconds: 0.0,
+            fully_covered: 0,
+            attempted: attempted[ci],
+            exhausted: Vec::new(),
+        })
+        .collect();
+    let mut secret_time = vec![0.0f64; configs.len()];
+    let mut exhausted: Vec<std::collections::BTreeMap<String, usize>> =
+        vec![Default::default(); configs.len()];
+    for ((ci, is_secret), result) in tags.into_iter().zip(results) {
+        let outcome = result.outcome;
+        if outcome.success {
+            if is_secret {
+                rows[ci].secrets_found += 1;
+                secret_time[ci] += outcome.wall.as_secs_f64();
             } else {
-                0.0
-            },
-            fully_covered,
-            attempted,
-        });
+                rows[ci].fully_covered += 1;
+            }
+        } else if let Some(dim) = outcome.exhausted {
+            *exhausted[ci].entry(dim.to_string()).or_insert(0) += 1;
+        }
+    }
+    for (ci, row) in rows.iter_mut().enumerate() {
+        if row.secrets_found > 0 {
+            row.avg_secret_seconds = secret_time[ci] / row.secrets_found as f64;
+        }
+        row.exhausted = std::mem::take(&mut exhausted[ci]).into_iter().collect();
+        eprintln!("  [{}] done", row.config);
     }
     rows
 }

@@ -129,12 +129,32 @@ impl Cpu {
 }
 
 /// A resumable snapshot of the full machine state.
+///
+/// Snapshots power two multi-path idioms: the batched differential verifier
+/// restores a pristine post-load state between test cases, and the DSE
+/// fork-point explorer captures one at every symbolic branch so a flipped
+/// branch can resume from the fork instead of re-running the whole prefix.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     cpu: Cpu,
     mem: Memory,
     stats: ExecStats,
     heap_break: u64,
+}
+
+impl Snapshot {
+    /// Execution statistics at capture time. A run resumed from this
+    /// snapshot continues counting from here, so instruction accounting
+    /// (and budget exhaustion) stays identical to a run that executed the
+    /// whole prefix — only the wall-clock cost of the prefix is skipped.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Program counter at capture time.
+    pub fn rip(&self) -> u64 {
+        self.cpu.rip
+    }
 }
 
 /// The RM64 emulator.
@@ -243,6 +263,18 @@ impl Emulator {
         self.mem.restore_from(&snap.mem);
         self.stats = snap.stats;
         self.heap_break = snap.heap_break;
+    }
+
+    /// Forks a warm copy of this emulator, sharing nothing.
+    ///
+    /// Cloning is cheap relative to `Emulator::new` + first-touch execution:
+    /// the resident pages are copied as flat slices and the predecoded
+    /// instruction cache comes along warm (per-page write generations
+    /// match), so a forked emulator starts at full dispatch speed. Attack
+    /// fleets use this to stamp out per-worker emulators from one warmed-up
+    /// instance.
+    pub fn fork(&self) -> Emulator {
+        self.clone()
     }
 
     /// A simple `sbrk`-style guest heap allocator used by runtime helpers.

@@ -10,7 +10,7 @@
 //! * condition flags with x86-64 semantics for the `neg`/`adc` flag-leak
 //!   idiom ([`Flags`], [`Cond`]);
 //! * a variable-length byte encoding where `ret` is a single byte and any
-//!   offset can be speculatively decoded ([`encode`], [`decode`]);
+//!   offset can be speculatively decoded ([`mod@encode`], [`decode`]);
 //! * a two-pass [`Assembler`] and linkable [`Image`]s with `.text`/`.data`
 //!   sections and a symbol table;
 //! * an [`Emulator`] with cycle accounting, tracing and snapshots.

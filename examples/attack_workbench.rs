@@ -52,6 +52,7 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
         per_path_instructions: 2_000_000,
         max_paths: 120,
         max_wall: Duration::from_secs(10),
+        ..DseBudget::default()
     };
 
     // The variants under test. ROP configurations are built explicitly so P2

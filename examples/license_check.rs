@@ -28,6 +28,7 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
         per_path_instructions: 2_000_000,
         max_paths: 100,
         max_wall: Duration::from_secs(5),
+        ..DseBudget::default()
     };
     for kind in [ObfKind::Native, ObfKind::Rop { k: 0.0 }, ObfKind::Rop { k: 1.0 }] {
         let image = prepare_randomfun(&rf, &kind, 7)?;

@@ -12,10 +12,13 @@
 //! * [`core`] — the ROP rewriter, strengthening predicates, and runtime;
 //! * [`synth`] — mini-C workload synthesis and RM64 codegen;
 //! * [`obfvm`] — the baseline virtualization obfuscator;
-//! * [`attacks`] — the deobfuscation attack models;
-//! * [`bench`] — experiment drivers for the paper's figures and tables.
+//! * [`attacks`] — the deobfuscation attack models: the fork-point DSE
+//!   engine, the attack fleet, taint slicing, and the ROP-aware tools;
+//! * [`mod@bench`] — experiment drivers for the paper's figures and
+//!   tables.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use raindrop as core;
 pub use raindrop_analysis as analysis;
