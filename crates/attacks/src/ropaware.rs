@@ -233,7 +233,7 @@ mod tests {
             loop_size: 3,
         });
         let mut image = codegen::compile(&rf.program).unwrap();
-        let mut rw = Rewriter::new(&mut image, config);
+        let mut rw = Rewriter::new(config);
         rw.rewrite_function(&mut image, &rf.name).unwrap();
         (image, rf.name, rf.secret_input)
     }

@@ -162,7 +162,7 @@ mod tests {
         // Plain ROP (no P3): the chain adds huge amounts of untainted
         // dispatch that TDS strips away.
         let mut plain = image.clone();
-        let mut rw = Rewriter::new(&mut plain, RopConfig::plain());
+        let mut rw = Rewriter::new(RopConfig::plain());
         rw.rewrite_function(&mut plain, &name).unwrap();
         let plain_report = simplify(&plain, &name, secret, 50_000_000);
         assert!(plain_report.trace_len > 5 * 100, "chains execute many more instructions");
@@ -177,7 +177,7 @@ mod tests {
         // input, so the relevant (non-simplifiable) instruction count grows
         // substantially compared to the plain chain.
         let mut hard = image.clone();
-        let mut rw = Rewriter::new(&mut hard, RopConfig::ropk(1.0));
+        let mut rw = Rewriter::new(RopConfig::ropk(1.0));
         rw.rewrite_function(&mut hard, &name).unwrap();
         let hard_report = simplify(&hard, &name, secret, 50_000_000);
         assert!(

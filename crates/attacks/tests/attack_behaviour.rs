@@ -55,7 +55,7 @@ fn quick_budget() -> DseBudget {
 
 fn rop_protect(rf: &RandomFun, k: f64, seed: u64) -> Image {
     let mut image = codegen::compile(&rf.program).unwrap();
-    let mut rw = Rewriter::new(&mut image, RopConfig::ropk(k).with_seed(seed));
+    let mut rw = Rewriter::new(RopConfig::ropk(k).with_seed(seed));
     rw.rewrite_function(&mut image, &rf.name).unwrap();
     image
 }
@@ -216,7 +216,7 @@ fn flag_flipping_reveals_blocks_without_p2_and_is_stopped_by_p2() {
     let mut plain_img = codegen::compile(&rf.program).unwrap();
     let mut plain_cfg = RopConfig::plain();
     plain_cfg.p1 = Some(Default::default());
-    let mut rw = Rewriter::new(&mut plain_img, plain_cfg.with_seed(23));
+    let mut rw = Rewriter::new(plain_cfg.with_seed(23));
     rw.rewrite_function(&mut plain_img, &rf.name).unwrap();
     let without_p2 = flip_exploration(&plain_img, &rf.name, 1, 50_000_000);
     assert!(without_p2.leak_sites > 0, "branches leak condition flags");
@@ -227,7 +227,7 @@ fn flag_flipping_reveals_blocks_without_p2_and_is_stopped_by_p2() {
     let mut p2_cfg = RopConfig::plain();
     p2_cfg.p1 = Some(Default::default());
     p2_cfg.p2 = true;
-    let mut rw = Rewriter::new(&mut p2_img, p2_cfg.with_seed(23));
+    let mut rw = Rewriter::new(p2_cfg.with_seed(23));
     rw.rewrite_function(&mut p2_img, &rf.name).unwrap();
     let with_p2 = flip_exploration(&p2_img, &rf.name, 1, 50_000_000);
 
@@ -246,7 +246,7 @@ fn gadget_guessing_drowns_in_candidates_under_gadget_confusion() {
         let mut cfg = RopConfig::plain();
         cfg.p1 = Some(Default::default());
         cfg.gadget_confusion = confusion;
-        let mut rw = Rewriter::new(&mut img, cfg.with_seed(31));
+        let mut rw = Rewriter::new(cfg.with_seed(31));
         rw.rewrite_function(&mut img, &rf.name).unwrap();
         img
     };

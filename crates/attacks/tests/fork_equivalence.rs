@@ -45,7 +45,7 @@ fn rf(goal: RfGoal, structure_idx: usize, input_size: usize, seed: u64) -> Rando
 
 fn rop_protect(rf: &RandomFun, k: f64, seed: u64) -> Image {
     let mut image = codegen::compile(&rf.program).unwrap();
-    let mut rw = Rewriter::new(&mut image, RopConfig::ropk(k).with_seed(seed));
+    let mut rw = Rewriter::new(RopConfig::ropk(k).with_seed(seed));
     rw.rewrite_function(&mut image, &rf.name).unwrap();
     image
 }

@@ -65,7 +65,7 @@ fn bench_rewriting_by_fraction(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(format!("k{k:.2}")), &k, |b, &k| {
             b.iter(|| {
                 let mut img = image.clone();
-                let mut rw = Rewriter::new(&mut img, RopConfig::ropk(k).with_seed(1));
+                let mut rw = Rewriter::new(RopConfig::ropk(k).with_seed(1));
                 rw.rewrite_functions(&mut img, w.obfuscate.iter().map(|s| s.as_str()))
             });
         });

@@ -72,7 +72,7 @@ fn bench_verify_batching(c: &mut Criterion) {
     b.add_function("absdiff", a);
     let original = b.build().expect("links");
     let mut obf = original.clone();
-    let mut rw = Rewriter::new(&mut obf, RopConfig::full());
+    let mut rw = Rewriter::new(RopConfig::full());
     rw.rewrite_function(&mut obf, "absdiff").expect("rewrites");
 
     let cases: Vec<TestCase> = (0..32u64).map(|i| TestCase::args(&[i * 7, 100 - i])).collect();

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the chain-materialization hot path:
+//! chain resolution and full per-function materialization, fresh-buffer
+//! mode (per-call allocations, the pre-`MaterializeCtx` behaviour) vs warm
+//! mode (buffers reused across functions, as `Rewriter` now does).
+//!
+//! CI smokes this with `cargo bench --bench materialize -- --test`;
+//! `scripts/regen_bench_materialize.sh` regenerates the committed
+//! `BENCH_materialize.json` trajectory from the `exp_materialize` driver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raindrop::{ChainScratch, MaterializeCtx, ResolvedChain, RopConfig, RopRuntime};
+use raindrop_bench::{many_function_image, synthetic_chain};
+
+const CHAIN_ITEMS: usize = 1024;
+const FUNCS: usize = 64;
+
+fn bench_resolve(c: &mut Criterion) {
+    let chain = synthetic_chain(CHAIN_ITEMS, 0x40_0000);
+    let mut group = c.benchmark_group("chain_resolve");
+    group.bench_function("fresh", |b| {
+        b.iter(|| chain.resolve().expect("resolves").bytes.len());
+    });
+    group.bench_function("warm", |b| {
+        let mut scratch = ChainScratch::default();
+        let mut out = ResolvedChain::default();
+        b.iter(|| {
+            chain.resolve_into(&mut scratch, &mut out).expect("resolves");
+            out.bytes.len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_materialize(c: &mut Criterion) {
+    let chain = synthetic_chain(CHAIN_ITEMS, 0x40_0000);
+    let base = many_function_image(FUNCS);
+    let cfg = RopConfig::full();
+    let names: Vec<String> = (0..FUNCS).map(|i| format!("f{i}")).collect();
+    let mut group = c.benchmark_group("materialize");
+    group.sample_size(20);
+    // Each iteration materializes the chain into every function of a fresh
+    // image clone; the clone cost is identical in both modes, so the delta
+    // between them is pure buffer churn.
+    group.bench_function("fresh_image_sweep", |b| {
+        b.iter(|| {
+            let mut img = base.clone();
+            let rt = RopRuntime::install(&mut img, &cfg);
+            for name in &names {
+                MaterializeCtx::new()
+                    .materialize(&mut img, &rt, name, &chain)
+                    .expect("materializes");
+            }
+            img.data.len()
+        });
+    });
+    group.bench_function("warm_image_sweep", |b| {
+        b.iter(|| {
+            let mut img = base.clone();
+            let rt = RopRuntime::install(&mut img, &cfg);
+            let mut ctx = MaterializeCtx::new();
+            for name in &names {
+                ctx.materialize(&mut img, &rt, name, &chain).expect("materializes");
+            }
+            img.data.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolve, bench_materialize);
+criterion_main!(benches);

@@ -32,7 +32,7 @@ fn bench_rewriter_throughput(c: &mut Criterion) {
     group.bench_function("rewrite_fasta_full", |b| {
         b.iter(|| {
             let mut img = image.clone();
-            let mut rw = Rewriter::new(&mut img, RopConfig::full());
+            let mut rw = Rewriter::new(RopConfig::full());
             rw.rewrite_functions(&mut img, w.obfuscate.iter().map(|s| s.as_str()))
         });
     });

@@ -25,6 +25,8 @@ fn main() {
         ObfKind::Vm { layers: 2, implicit: ImplicitAt::Last },
         ObfKind::Rop { k: 0.0 },
         ObfKind::Rop { k: 1.0 },
+        // The cross-layer composition of §IV-C, one pipeline expression.
+        ObfKind::RopOverVm { k: 1.0, layers: 1, implicit: ImplicitAt::None },
     ];
     let mut rows = Vec::new();
     println!("{:<16} {:>14} {:>10} {:>14}", "CONFIG", "CYCLES", "DSE OK", "DSE INSTR");

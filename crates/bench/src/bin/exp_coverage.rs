@@ -1,11 +1,14 @@
 //! §VII-C1: rewriting coverage over the coreutils-like corpus, with the
 //! failure-class breakdown the paper reports, followed by the paper's
-//! "run the test suite over the obfuscated binaries" check: every
-//! successfully rewritten function is differentially verified against the
-//! original with [`raindrop::verify_batch`] (one warm emulator pair per
-//! function, image load + instruction predecode amortized over the cases).
+//! "run the test suite over the obfuscated binaries" check. The whole
+//! experiment is one [`raindrop::Pipeline`] run: a full-strength
+//! [`RopPass`] plus a [`VerifyPolicy`] that differentially verifies every
+//! successfully rewritten function against the original image over the
+//! zero/small/full-width register corners (one warm emulator pair per
+//! function via `verify_batch`).
 
-use raindrop::{verify_batch, FailureClass, Rewriter, RopConfig, TestCase, Verdict};
+use raindrop::pipeline::{Pipeline, RopPass, VerifyPolicy};
+use raindrop::FailureClass;
 use raindrop_bench::*;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -26,10 +29,16 @@ fn main() {
     let full = is_full_run();
     let count = if full { 1354 } else { 250 };
     let corpus = raindrop_synth::corpus::generate(count, 8);
-    let mut image = corpus.image.clone();
-    let mut rw = Rewriter::new(&mut image, RopConfig::full());
     let names: Vec<&str> = corpus.entries.iter().map(|e| e.name.as_str()).collect();
-    let report = rw.rewrite_functions(&mut image, names.iter().copied());
+    // VerifyPolicy::Batch runs the default register-argument corner cases
+    // (zero, small values, a byte pattern, full 64-bit width).
+    let run = Pipeline::new()
+        .pass(RopPass::full())
+        .verify(VerifyPolicy::Batch)
+        .run_image(&corpus.image, &names)
+        .expect("pipeline runs");
+    let rop = run.report.rop_passes();
+    let report = rop.first().expect("one rop pass");
 
     let mut failures: BTreeMap<String, usize> = BTreeMap::new();
     for (_, reason) in &report.failures {
@@ -44,23 +53,11 @@ fn main() {
         };
         *failures.entry(class).or_default() += 1;
     }
-    // Differential verification of every rewritten function (§VII-C1's
-    // deployability check). Register-argument cases cover the zero, small,
-    // and full-width corners of the input space.
-    let cases: Vec<TestCase> =
-        [0u64, 1, 5, 0xAB, u64::MAX].iter().map(|v| TestCase::args(&[*v])).collect();
-    let mut verified_functions = 0usize;
-    let mut verified_cases = 0usize;
-    let mut verification_mismatches = Vec::new();
-    for r in &report.rewritten {
-        let verdicts = verify_batch(&corpus.image, &image, &r.name, &cases);
-        verified_cases += verdicts.len();
-        if verdicts.iter().all(Verdict::is_match) {
-            verified_functions += 1;
-        } else {
-            verification_mismatches.push(r.name.clone());
-        }
-    }
+
+    let verified_functions = run.report.verify.iter().filter(|v| v.all_match()).count();
+    let verified_cases: usize = run.report.verify.iter().map(|v| v.verdicts.len()).sum();
+    let verification_mismatches: Vec<String> =
+        run.report.verify.iter().filter(|v| !v.all_match()).map(|v| v.function.clone()).collect();
 
     let attempted = report.rewritten.len() + report.failures.len();
     let out = Report {
@@ -91,5 +88,4 @@ fn main() {
         out.verification_mismatches.len()
     );
     write_json("exp_coverage", &out);
-    let _ = is_full_run;
 }

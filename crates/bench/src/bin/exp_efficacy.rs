@@ -1,13 +1,17 @@
 //! §VII-A: per-predicate efficacy — P1/P3 against DSE, P2 against the
 //! ROPMEMU-style flag flipping, gadget confusion against gadget guessing,
-//! P3 against taint-driven simplification.
+//! P3 against taint-driven simplification. The DSE section also mounts the
+//! attack on the cross-layer compositions (`ROP-over-VM`, `VM-over-ROP`)
+//! the pipeline API composes.
 
-use raindrop::{Rewriter, RopConfig};
+use raindrop::pipeline::{Pipeline, RopPass};
+use raindrop::RopConfig;
 use raindrop_attacks::concolic::{Goal, InputSpec};
 use raindrop_attacks::fleet::{AttackFleet, DseJob};
 use raindrop_attacks::{chain_symbol, flip_exploration, gadget_guess, simplify};
 use raindrop_bench::*;
-use raindrop_synth::{codegen, randomfuns, Goal as RfGoal};
+use raindrop_obfvm::ImplicitAt;
+use raindrop_synth::{randomfuns, Goal as RfGoal};
 use serde::Serialize;
 
 #[derive(Serialize, Default)]
@@ -38,11 +42,19 @@ fn main() {
     let mut report = Report::default();
     let rf = sample(RfGoal::SecretFinding);
 
-    println!("== A1/A3: DSE (secret finding) against P1/P3 ==");
+    println!("== A1/A3: DSE (secret finding) against P1/P3 and cross-layer pipelines ==");
     let jobs: Vec<DseJob> = [
-        ("NATIVE", ObfKind::Native),
-        ("ROP-P1 only", ObfKind::Rop { k: 0.0 }),
-        ("ROP-P1+P3", ObfKind::Rop { k: 1.0 }),
+        ("NATIVE".to_string(), ObfKind::Native),
+        ("ROP-P1 only".to_string(), ObfKind::Rop { k: 0.0 }),
+        ("ROP-P1+P3".to_string(), ObfKind::Rop { k: 1.0 }),
+        (
+            ObfKind::RopOverVm { k: 1.0, layers: 1, implicit: ImplicitAt::None }.label(),
+            ObfKind::RopOverVm { k: 1.0, layers: 1, implicit: ImplicitAt::None },
+        ),
+        (
+            ObfKind::VmOverRop { k: 1.0, layers: 1, implicit: ImplicitAt::None }.label(),
+            ObfKind::VmOverRop { k: 1.0, layers: 1, implicit: ImplicitAt::None },
+        ),
     ]
     .into_iter()
     .map(|(label, kind)| {
@@ -71,9 +83,12 @@ fn main() {
     for (label, p2) in [("ROP without P2", false), ("ROP with P2", true)] {
         let mut cfg = RopConfig::plain();
         cfg.p2 = p2;
-        let mut image = codegen::compile(&rf.program).unwrap();
-        let mut rw = Rewriter::new(&mut image, cfg);
-        rw.rewrite_function(&mut image, &rf.name).unwrap();
+        let (image, _) = Pipeline::new()
+            .pass(RopPass::new(cfg))
+            .run_program(&rf.program, &[&rf.name])
+            .expect("pipeline runs")
+            .into_strict()
+            .expect("rewrite succeeds");
         let r = flip_exploration(&image, &rf.name, 0, 100_000_000);
         println!(
             "  {label:<16} leaks={} new_blocks={} derailed={}",
@@ -86,9 +101,12 @@ fn main() {
     for (label, confusion) in [("no confusion", false), ("confusion", true)] {
         let mut cfg = RopConfig::plain();
         cfg.gadget_confusion = confusion;
-        let mut image = codegen::compile(&rf.program).unwrap();
-        let mut rw = Rewriter::new(&mut image, cfg);
-        rw.rewrite_function(&mut image, &rf.name).unwrap();
+        let (image, _) = Pipeline::new()
+            .pass(RopPass::new(cfg))
+            .run_program(&rf.program, &[&rf.name])
+            .expect("pipeline runs")
+            .into_strict()
+            .expect("rewrite succeeds");
         let g = gadget_guess(&image, &chain_symbol(&rf.name));
         println!(
             "  {label:<16} plausible={} unaligned_candidates={}",

@@ -1,18 +1,22 @@
 //! Table III: rewriter statistics per clbg benchmark (program points N,
-//! total gadgets A, unique gadgets B, gadgets per point C) for each ROPk.
-//! The per-(benchmark, k) rewrites are independent, so they run sharded
-//! over the attack fleet's worker pool.
+//! total gadgets A, unique gadgets B, gadgets per point C) for each ROPk,
+//! plus the cross-layer compositions (`ROPk-over-1VM`, `1VM-over-ROPk`)
+//! the pipeline API makes expressible. The per-(benchmark, config) runs are
+//! independent, so they run sharded over the attack fleet's worker pool.
+//!
+//! `--smoke` runs one benchmark under `ROP0.25` and the `ROP0.25-over-1VM`
+//! cross-layer row (the CI composition smoke); `--full` widens the ROPk
+//! sweep.
 
-use raindrop::{Rewriter, RopConfig};
 use raindrop_attacks::fleet::AttackFleet;
 use raindrop_bench::*;
-use raindrop_synth::codegen;
+use raindrop_obfvm::ImplicitAt;
 use serde::Serialize;
 
 #[derive(Serialize)]
 struct Row {
     benchmark: String,
-    k: f64,
+    config: String,
     program_points: u64,
     total_gadgets: u64,
     unique_gadgets: u64,
@@ -21,27 +25,47 @@ struct Row {
 
 fn main() {
     let full = is_full_run();
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let ks = if full { ropk_fractions() } else { vec![0.0, 0.25, 1.00] };
-    let items: Vec<(raindrop_synth::Workload, f64)> = raindrop_synth::clbg_suite()
-        .into_iter()
-        .flat_map(|w| ks.iter().map(move |k| (w.clone(), *k)).collect::<Vec<_>>())
+    let mut configs: Vec<ObfKind> = if smoke {
+        vec![ObfKind::Rop { k: 0.25 }]
+    } else {
+        ks.iter().map(|k| ObfKind::Rop { k: *k }).collect()
+    };
+    // The cross-layer rows: the ROP statistics of a chain rewritten over a
+    // VM interpreter (much larger N) and of a chain hidden underneath one.
+    let cross_k = 0.25;
+    configs.push(ObfKind::RopOverVm { k: cross_k, layers: 1, implicit: ImplicitAt::None });
+    if !smoke {
+        configs.push(ObfKind::VmOverRop { k: cross_k, layers: 1, implicit: ImplicitAt::None });
+    }
+    let suite = raindrop_synth::clbg_suite();
+    let workloads = if smoke { &suite[..1] } else { &suite[..] };
+    let items: Vec<(raindrop_synth::Workload, ObfKind)> = workloads
+        .iter()
+        .flat_map(|w| configs.iter().map(move |c| (w.clone(), c.clone())))
         .collect();
-    let rows: Vec<Option<Row>> = AttackFleet::from_env().map(items, |_, (w, k)| {
-        let mut image = match codegen::compile(&w.program) {
-            Ok(i) => i,
+    let rows: Vec<Option<Row>> = AttackFleet::from_env().map(items, |_, (w, kind)| {
+        let run = match kind.pipeline(1).run_program(&w.program, &w.obfuscate) {
+            Ok(run) => run,
             Err(e) => {
-                eprintln!("{}: {e}", w.name);
+                eprintln!("{} / {}: {e}", w.name, kind.label());
                 return None;
             }
         };
-        let mut rw = Rewriter::new(&mut image, RopConfig::ropk(k));
-        let report = rw.rewrite_functions(&mut image, w.obfuscate.iter().map(|s| s.as_str()));
+        for (func, reason) in &run.report.failures {
+            eprintln!("{} / {}: {func}: {reason}", w.name, kind.label());
+        }
+        // Aggregate over the (single) ROP pass of the composition; native /
+        // pure-VM configurations would have none.
+        let rop = run.report.rop_passes();
+        let report = rop.first()?;
         let n = report.program_points();
         let stats = report.gadgets;
         let c = if n > 0 { stats.total_used as f64 / n as f64 } else { 0.0 };
         Some(Row {
             benchmark: w.name.clone(),
-            k,
+            config: kind.label(),
             program_points: n,
             total_gadgets: stats.total_used,
             unique_gadgets: stats.unique_used,
@@ -49,18 +73,25 @@ fn main() {
         })
     });
     let rows: Vec<Row> = rows.into_iter().flatten().collect();
-    println!("{:<14} {:>6} {:>8} {:>8} {:>8} {:>8}", "BENCHMARK", "k", "N", "A", "B", "C");
+    println!("{:<14} {:<22} {:>8} {:>8} {:>8} {:>8}", "BENCHMARK", "CONFIG", "N", "A", "B", "C");
     for r in &rows {
         println!(
-            "{:<14} {:>6.2} {:>8} {:>8} {:>8} {:>8.2}",
+            "{:<14} {:<22} {:>8} {:>8} {:>8} {:>8.2}",
             r.benchmark,
-            r.k,
+            r.config,
             r.program_points,
             r.total_gadgets,
             r.unique_gadgets,
             r.gadgets_per_point
         );
     }
+    if smoke {
+        assert!(
+            rows.iter().any(|r| r.config.contains("-over-")),
+            "smoke must exercise a cross-layer pipeline row"
+        );
+        println!("[exp_table3] smoke run: exp_table3.json left untouched");
+        return;
+    }
     write_json("exp_table3", &rows);
-    let _ = prepare_image; // keep the shared helpers linked for docs
 }

@@ -11,10 +11,16 @@
 //! |---|---|
 //! | `exp_table2` | Table II — secret finding & code coverage under the Table I configurations |
 //! | `exp_fig5` | Fig. 5 — run-time slowdown of ROPk vs 2VM-IMPlast on the clbg kernels |
-//! | `exp_table3` | Table III — per-benchmark gadget statistics |
+//! | `exp_table3` | Table III — per-benchmark gadget statistics, incl. cross-layer pipeline rows |
 //! | `exp_coverage` | §VII-C1 — rewriting coverage over the corpus |
 //! | `exp_base64` | §VII-C3 — base64 case study |
 //! | `exp_efficacy` | §VII-A — per-predicate efficacy against DSE/TDS/ROP-aware tools |
+//! | `exp_materialize` | — chain materialization throughput (`BENCH_materialize.json`) |
+//!
+//! Every driver composes its obfuscations through [`ObfKind::pipeline`] —
+//! one [`raindrop::Pipeline`] per configuration, including the cross-layer
+//! `ROPk-over-nVM` / `nVM-over-ROPk` rows only that API makes cheap to
+//! express.
 //!
 //! Every driver accepts `--full` for a larger run and defaults to a
 //! laptop-scale quick run (fewer functions, smaller budgets); the scale used
@@ -23,16 +29,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use raindrop::{Rewriter, RopConfig};
+use raindrop::pipeline::{Pipeline, PipelineError, RopPass, VmPass};
 use raindrop_attacks::concolic::{DseBudget, Goal as AttackGoal, InputSpec};
 use raindrop_attacks::fleet::{AttackFleet, DseJob};
 use raindrop_machine::{Emulator, Image};
 use raindrop_obfvm::{ImplicitAt, VmConfig};
-use raindrop_synth::{codegen, RandomFun, Workload};
+use raindrop_synth::{RandomFun, Workload};
 use serde::Serialize;
 use std::time::Duration;
 
-/// An obfuscation configuration of Table I.
+/// An obfuscation configuration of Table I, plus the cross-layer
+/// compositions only the pipeline API makes cheap to express.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum ObfKind {
     /// Unprotected baseline.
@@ -49,15 +56,61 @@ pub enum ObfKind {
         /// Implicit-VPC placement.
         implicit: ImplicitAt,
     },
+    /// `ROPk-over-nVM` — the function is virtualized, then the generated
+    /// interpreter is ROP-rewritten (ROP is the outer layer).
+    RopOverVm {
+        /// P3 fraction `k` of the outer ROP layer.
+        k: f64,
+        /// Number of VM layers underneath.
+        layers: usize,
+        /// Implicit-VPC placement of the VM layers.
+        implicit: ImplicitAt,
+    },
+    /// `nVM-over-ROPk` — the original body is ROP-rewritten and a VM
+    /// interpreter with the public name dispatches into the chain (VM is
+    /// the outer layer).
+    VmOverRop {
+        /// P3 fraction `k` of the inner ROP layer.
+        k: f64,
+        /// Number of VM layers on top.
+        layers: usize,
+        /// Implicit-VPC placement of the VM layers.
+        implicit: ImplicitAt,
+    },
 }
 
 impl ObfKind {
-    /// Table I-style label.
+    /// Table I-style label (cross-layer compositions read outer-first, e.g.
+    /// `ROP1.00-over-1VM`).
     pub fn label(&self) -> String {
         match self {
             ObfKind::Native => "NATIVE".to_string(),
             ObfKind::Rop { k } => format!("ROP{k:.2}"),
             ObfKind::Vm { layers, implicit } => VmConfig::with_implicit(*layers, *implicit).label(),
+            ObfKind::RopOverVm { k, layers, implicit } => {
+                format!("ROP{k:.2}-over-{}", VmConfig::with_implicit(*layers, *implicit).label())
+            }
+            ObfKind::VmOverRop { k, layers, implicit } => {
+                format!("{}-over-ROP{k:.2}", VmConfig::with_implicit(*layers, *implicit).label())
+            }
+        }
+    }
+
+    /// The [`Pipeline`] realizing this configuration, with `seed` threaded
+    /// through every pass. Passes are declared in nesting order (innermost
+    /// first), so `RopOverVm` is `VmPass` then `RopPass`.
+    pub fn pipeline(&self, seed: u64) -> Pipeline {
+        let p = Pipeline::new().seed(seed);
+        match self {
+            ObfKind::Native => p,
+            ObfKind::Rop { k } => p.pass(RopPass::ropk(*k)),
+            ObfKind::Vm { layers, implicit } => p.pass(VmPass::with_implicit(*layers, *implicit)),
+            ObfKind::RopOverVm { k, layers, implicit } => {
+                p.pass(VmPass::with_implicit(*layers, *implicit)).pass(RopPass::ropk(*k))
+            }
+            ObfKind::VmOverRop { k, layers, implicit } => {
+                p.pass(RopPass::ropk(*k)).pass(VmPass::with_implicit(*layers, *implicit))
+            }
         }
     }
 }
@@ -90,62 +143,43 @@ pub fn ropk_fractions() -> Vec<f64> {
 }
 
 /// Errors produced while preparing an obfuscated image.
-#[derive(Debug)]
-pub enum PrepareError {
-    /// VM obfuscation failed.
-    Vm(raindrop_obfvm::VmError),
-    /// Code generation / linking failed.
-    Codegen(raindrop_machine::AsmError),
-    /// ROP rewriting failed.
-    Rewrite(raindrop::RewriteError),
-}
-
-impl std::fmt::Display for PrepareError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PrepareError::Vm(e) => write!(f, "vm obfuscation failed: {e}"),
-            PrepareError::Codegen(e) => write!(f, "code generation failed: {e}"),
-            PrepareError::Rewrite(e) => write!(f, "rop rewriting failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for PrepareError {}
+#[deprecated(note = "pipeline-backed preparation reports `raindrop::PipelineError`")]
+pub type PrepareError = PipelineError;
 
 /// Compiles `program`, applying the obfuscation `kind` to the listed
-/// functions (VM obfuscation happens at the MiniC level before compilation,
-/// ROP rewriting on the compiled image).
+/// functions through the [`Pipeline`] API (VM passes at the MiniC level
+/// before compilation, ROP passes on the compiled image). Strict: any
+/// per-target failure is promoted to an error.
+///
+/// Multi-function ROP preparation follows `Rewriter::rewrite_functions`
+/// semantics: the gadget ranges of *all* scheduled functions are retired up
+/// front, so no chain can reference a gadget destroyed by a later rewrite.
+/// (The pre-pipeline helper retired lazily per function, which could craft
+/// such dangling references; images with ≥ 2 rewritten functions therefore
+/// differ bitwise from its output. Single-function preparation — including
+/// every `BENCH_dse.json` job — is unchanged.)
 pub fn prepare_image(
     program: &raindrop_synth::Program,
     functions: &[String],
     kind: &ObfKind,
     seed: u64,
-) -> Result<Image, PrepareError> {
-    let mut program = program.clone();
-    if let ObfKind::Vm { layers, implicit } = kind {
-        let cfg = VmConfig { layers: *layers, implicit: *implicit, seed };
-        for f in functions {
-            program = raindrop_obfvm::apply(&program, f, cfg).map_err(PrepareError::Vm)?;
-        }
-    }
-    let mut image = codegen::compile(&program).map_err(PrepareError::Codegen)?;
-    if let ObfKind::Rop { k } = kind {
-        let mut rewriter = Rewriter::new(&mut image, RopConfig::ropk(*k).with_seed(seed));
-        for f in functions {
-            rewriter.rewrite_function(&mut image, f).map_err(PrepareError::Rewrite)?;
-        }
-    }
-    Ok(image)
+) -> Result<Image, PipelineError> {
+    let run = kind.pipeline(seed).run_program(program, functions)?;
+    run.into_strict().map(|(image, _)| image)
 }
 
 /// Prepares an image for a [`RandomFun`] under a configuration.
-pub fn prepare_randomfun(rf: &RandomFun, kind: &ObfKind, seed: u64) -> Result<Image, PrepareError> {
+pub fn prepare_randomfun(
+    rf: &RandomFun,
+    kind: &ObfKind,
+    seed: u64,
+) -> Result<Image, PipelineError> {
     prepare_image(&rf.program, std::slice::from_ref(&rf.name), kind, seed)
 }
 
 /// Runs a workload under a configuration and returns the emulated cycle
 /// count (the run-time proxy used for Fig. 5).
-pub fn workload_cycles(w: &Workload, kind: &ObfKind, seed: u64) -> Result<u64, PrepareError> {
+pub fn workload_cycles(w: &Workload, kind: &ObfKind, seed: u64) -> Result<u64, PipelineError> {
     let image = prepare_image(&w.program, &w.obfuscate, kind, seed)?;
     let mut emu = Emulator::new(&image);
     emu.set_budget(20_000_000_000);
@@ -418,6 +452,55 @@ pub fn straight_line_image() -> Image {
     b.build().expect("straight-line image links")
 }
 
+/// A synthetic chain shaped like a crafted one — mostly gadget+imm pairs
+/// with branch deltas, block markers and unaligned confusion padding —
+/// shared by the `materialize` criterion bench and the `exp_materialize`
+/// driver so both measure the same layout under the same label.
+pub fn synthetic_chain(items: usize, gadget_addr: u64) -> raindrop::Chain {
+    use raindrop::{Chain, ChainItem, DeltaTarget};
+    use raindrop_analysis::BlockId;
+    use raindrop_gadgets::GadgetOp;
+    let mut chain = Chain::new();
+    let mut block = 0usize;
+    for i in 0..items {
+        match i % 8 {
+            0 => {
+                chain.items.push(ChainItem::BlockStart(BlockId(block)));
+                block += 1;
+            }
+            1 | 4 | 6 => chain.items.push(ChainItem::Gadget {
+                addr: gadget_addr,
+                junk_pops: usize::from(i % 16 == 4),
+                op: GadgetOp::Unclassified,
+            }),
+            2 | 5 => chain.items.push(ChainItem::Imm(i as u64)),
+            3 => chain.items.push(ChainItem::BranchDelta {
+                target: DeltaTarget::Item(i - 2),
+                anchor: i - 2,
+                bias: 0,
+            }),
+            _ => chain.items.push(ChainItem::Pad(vec![0xAA; 3])),
+        }
+    }
+    chain
+}
+
+/// An image with `funcs` rewritable functions (`f0`..), each big enough for
+/// the pivot stub — the materialization-bench workload image.
+pub fn many_function_image(funcs: usize) -> Image {
+    use raindrop_machine::{Assembler, ImageBuilder, Inst, Reg};
+    let mut b = ImageBuilder::new();
+    for i in 0..funcs {
+        let mut a = Assembler::new();
+        for _ in 0..12 {
+            a.inst(Inst::MovRI(Reg::Rax, 7));
+        }
+        a.inst(Inst::Ret);
+        b.add_function(format!("f{i}"), a);
+    }
+    b.build().expect("image links")
+}
+
 /// Generates a laptop-scale subset of the 72-function population: one seed
 /// per structure and the two smallest input sizes (quick) or the full 72
 /// (`full`).
@@ -476,6 +559,8 @@ mod tests {
             ObfKind::Native,
             ObfKind::Rop { k: 0.0 },
             ObfKind::Vm { layers: 1, implicit: ImplicitAt::None },
+            ObfKind::RopOverVm { k: 0.0, layers: 1, implicit: ImplicitAt::None },
+            ObfKind::VmOverRop { k: 0.0, layers: 1, implicit: ImplicitAt::None },
         ] {
             let image = prepare_randomfun(&rf, &kind, 1).expect("prepares");
             let mut emu = Emulator::new(&image);
@@ -502,6 +587,14 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].secrets_found, 1, "native function cracked");
         assert!(rows[1].secrets_found <= rows[0].secrets_found);
+    }
+
+    #[test]
+    fn cross_layer_labels_read_outer_first() {
+        let rop_over_vm = ObfKind::RopOverVm { k: 1.0, layers: 2, implicit: ImplicitAt::Last };
+        assert_eq!(rop_over_vm.label(), "ROP1.00-over-2VM-IMPlast");
+        let vm_over_rop = ObfKind::VmOverRop { k: 0.25, layers: 1, implicit: ImplicitAt::None };
+        assert_eq!(vm_over_rop.label(), "1VM-over-ROP0.25");
     }
 
     #[test]

@@ -10,7 +10,6 @@
 use raindrop_analysis::BlockId;
 use raindrop_gadgets::GadgetOp;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// What a symbolic branch displacement points at.
@@ -105,12 +104,29 @@ impl fmt::Display for ChainError {
 impl std::error::Error for ChainError {}
 
 /// A fully resolved chain.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResolvedChain {
     /// The raw bytes to place in `.data`.
     pub bytes: Vec<u8>,
     /// Resolved switch patches: `(text address, displacement value)`.
     pub switch_values: Vec<(u64, i64)>,
+}
+
+/// Reusable scratch buffers for [`Chain::resolve_into`].
+///
+/// Resolving a chain needs a per-item offset table and a block-start index;
+/// allocating them per function is the churn the materialization hot path
+/// used to pay. A `ChainScratch` (usually owned by a
+/// [`MaterializeCtx`](crate::materialize::MaterializeCtx)) keeps the buffers
+/// alive across functions — both are capacity-retaining `Vec`s, so
+/// steady-state resolution allocates nothing.
+#[derive(Debug, Default)]
+pub struct ChainScratch {
+    offsets: Vec<usize>,
+    /// First chain-item index of every emitted block, sorted by block for
+    /// binary search (a flat vec rather than a tree map: a `Vec` keeps its
+    /// capacity across `clear()`, and in-place sort/dedup allocate nothing).
+    block_starts: Vec<(BlockId, usize)>,
 }
 
 /// The symbolic chain built by the crafter.
@@ -163,12 +179,15 @@ impl Chain {
     fn target_offset(
         &self,
         offsets: &[usize],
-        block_starts: &BTreeMap<BlockId, usize>,
+        block_starts: &[(BlockId, usize)],
         target: DeltaTarget,
     ) -> Result<usize, ChainError> {
         match target {
             DeltaTarget::Block(b) => {
-                let idx = *block_starts.get(&b).ok_or(ChainError::UnknownBlock(b))?;
+                let idx = block_starts
+                    .binary_search_by_key(&b, |(block, _)| *block)
+                    .map(|pos| block_starts[pos].1)
+                    .map_err(|_| ChainError::UnknownBlock(b))?;
                 Ok(offsets[idx])
             }
             DeltaTarget::Item(i) => offsets.get(i).copied().ok_or(ChainError::UnknownItem(i)),
@@ -184,43 +203,77 @@ impl Chain {
 
     /// Resolves the chain into raw bytes and switch-patch values.
     ///
+    /// Allocates fresh output buffers; the materialization hot path uses
+    /// [`Chain::resolve_into`] with a reused [`ChainScratch`] instead.
+    ///
     /// # Errors
     ///
     /// Fails when a displacement references a missing block/item or an
     /// anchor that is not a gadget item.
     pub fn resolve(&self) -> Result<ResolvedChain, ChainError> {
-        let offsets = self.offsets();
-        let mut block_starts: BTreeMap<BlockId, usize> = BTreeMap::new();
+        let mut scratch = ChainScratch::default();
+        let mut out = ResolvedChain::default();
+        self.resolve_into(&mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Resolves the chain into `out`, reusing the buffers of both `scratch`
+    /// and `out` (they are cleared first). Produces exactly the bytes and
+    /// switch values [`Chain::resolve`] returns, without the per-call
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same failure cases as [`Chain::resolve`]; on error `out` holds a
+    /// partial layout and must not be used.
+    pub fn resolve_into(
+        &self,
+        scratch: &mut ChainScratch,
+        out: &mut ResolvedChain,
+    ) -> Result<(), ChainError> {
+        let ChainScratch { offsets, block_starts } = scratch;
+        offsets.clear();
+        block_starts.clear();
+        let mut off = 0usize;
         for (i, item) in self.items.iter().enumerate() {
+            offsets.push(off);
+            off += item.byte_len();
             if let ChainItem::BlockStart(b) = item {
-                block_starts.entry(*b).or_insert(i);
+                block_starts.push((*b, i));
             }
         }
+        // Sort for binary search; dedup keeps the first (lowest item index)
+        // occurrence of each block, matching the map-entry semantics the
+        // layout always had.
+        block_starts.sort_unstable();
+        block_starts.dedup_by_key(|(b, _)| *b);
 
-        let mut bytes = Vec::with_capacity(self.byte_len());
+        out.bytes.clear();
+        out.bytes.reserve(off);
         for item in &self.items {
             match item {
-                ChainItem::Gadget { addr, .. } => bytes.extend_from_slice(&addr.to_le_bytes()),
-                ChainItem::Imm(v) => bytes.extend_from_slice(&v.to_le_bytes()),
+                ChainItem::Gadget { addr, .. } => out.bytes.extend_from_slice(&addr.to_le_bytes()),
+                ChainItem::Imm(v) => out.bytes.extend_from_slice(&v.to_le_bytes()),
                 ChainItem::BranchDelta { target, anchor, bias } => {
-                    let t = self.target_offset(&offsets, &block_starts, *target)?;
-                    let landing = self.anchor_landing(&offsets, *anchor)?;
+                    let t = self.target_offset(offsets, block_starts, *target)?;
+                    let landing = self.anchor_landing(offsets, *anchor)?;
                     let delta = t as i64 - landing as i64 + bias;
-                    bytes.extend_from_slice(&delta.to_le_bytes());
+                    out.bytes.extend_from_slice(&delta.to_le_bytes());
                 }
                 ChainItem::BlockStart(_) => {}
-                ChainItem::Pad(p) => bytes.extend_from_slice(p),
+                ChainItem::Pad(p) => out.bytes.extend_from_slice(p),
             }
         }
 
-        let mut switch_values = Vec::with_capacity(self.switch_patches.len());
+        out.switch_values.clear();
+        out.switch_values.reserve(self.switch_patches.len());
         for patch in &self.switch_patches {
-            let t = self.target_offset(&offsets, &block_starts, patch.target)?;
-            let landing = self.anchor_landing(&offsets, patch.anchor)?;
-            switch_values.push((patch.text_addr, t as i64 - landing as i64));
+            let t = self.target_offset(offsets, block_starts, patch.target)?;
+            let landing = self.anchor_landing(offsets, patch.anchor)?;
+            out.switch_values.push((patch.text_addr, t as i64 - landing as i64));
         }
 
-        Ok(ResolvedChain { bytes, switch_values })
+        Ok(())
     }
 }
 
@@ -329,6 +382,38 @@ mod tests {
             bias: 0,
         });
         assert_eq!(chain.resolve(), Err(ChainError::BadAnchor(0)));
+    }
+
+    #[test]
+    fn resolve_into_reuses_buffers_and_matches_resolve() {
+        let mut scratch = ChainScratch::default();
+        let mut out = ResolvedChain::default();
+        // Two different chains through the same scratch: the second result
+        // must not be polluted by the first.
+        let chains = [
+            Chain {
+                items: vec![
+                    ChainItem::BlockStart(BlockId(0)),
+                    gadget(0x1000, 0),
+                    ChainItem::BranchDelta {
+                        target: DeltaTarget::Block(BlockId(0)),
+                        anchor: 1,
+                        bias: -3,
+                    },
+                    ChainItem::Pad(vec![0x55; 5]),
+                ],
+                switch_patches: vec![SwitchPatch {
+                    text_addr: 0x4000,
+                    target: DeltaTarget::Block(BlockId(0)),
+                    anchor: 1,
+                }],
+            },
+            Chain { items: vec![gadget(0x2000, 1), ChainItem::Imm(7)], switch_patches: vec![] },
+        ];
+        for chain in &chains {
+            chain.resolve_into(&mut scratch, &mut out).unwrap();
+            assert_eq!(out, chain.resolve().unwrap());
+        }
     }
 
     #[test]

@@ -19,10 +19,15 @@
 //! Gadget confusion (diversified artificial gadgets, disguised immediates,
 //! unaligned RSP updates) additionally defeats byte-pattern scanning.
 //!
+//! Obfuscations compose through the [`pipeline`] module: a [`Pipeline`]
+//! chains [`ObfPass`]es (ROP rewriting, VM layering, or custom passes) in
+//! nesting order, threads one seed through them, and differentially
+//! verifies the result against the unobfuscated baseline.
+//!
 //! # Example
 //!
 //! ```
-//! use raindrop::{RopConfig, Rewriter};
+//! use raindrop::pipeline::{Pipeline, RopPass, VerifyPolicy};
 //! use raindrop_machine::{AluOp, Assembler, Emulator, ImageBuilder, Inst, Reg};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -44,12 +49,17 @@
 //! builder.add_function("double_plus_one", asm);
 //! let original = builder.build()?;
 //!
-//! // Rewrite it into a ROP chain.
-//! let mut obfuscated = original.clone();
-//! let mut rewriter = Rewriter::new(&mut obfuscated, RopConfig::full());
-//! rewriter.rewrite_function(&mut obfuscated, "double_plus_one")?;
+//! // Rewrite it into a ROP chain through the pipeline, with built-in
+//! // differential verification against the original image.
+//! let run = Pipeline::new()
+//!     .pass(RopPass::full())
+//!     .seed(42)
+//!     .verify(VerifyPolicy::Batch)
+//!     .run_image(&original, &["double_plus_one"])?;
+//! assert!(run.report.all_verified());
 //!
 //! // Same observable behaviour.
+//! let obfuscated = run.image;
 //! let mut emu = Emulator::new(&obfuscated);
 //! assert_eq!(emu.call_named(&obfuscated, "double_plus_one", &[20])?, 41);
 //! # Ok(())
@@ -64,19 +74,28 @@ pub mod config;
 pub mod craft;
 pub mod error;
 pub mod materialize;
+pub mod pipeline;
 pub mod predicates;
 pub mod rewriter;
 pub mod roplet;
 pub mod runtime;
 pub mod verify;
 
-pub use chain::{Chain, ChainItem, DeltaTarget, ResolvedChain, SwitchPatch};
+pub use chain::{Chain, ChainItem, ChainScratch, DeltaTarget, ResolvedChain, SwitchPatch};
 pub use config::{P1Config, P3Variant, RopConfig};
 pub use craft::{CraftStats, Crafter};
 pub use error::{FailureClass, RewriteError};
-pub use materialize::{materialize, Materialized};
+#[allow(deprecated)]
+pub use materialize::materialize;
+pub use materialize::{MaterializeCtx, Materialized};
+pub use pipeline::{
+    ObfPass, ObfReport, PassReport, Pipeline, PipelineError, PipelineRun, RopPass, VerifyPolicy,
+    VmPass,
+};
 pub use predicates::{P1Instance, P2Adjust, P2Operand, P3Policy};
 pub use rewriter::{ImageReport, RewriteReport, Rewriter};
 pub use roplet::{classify as classify_roplet, Roplet, RopletKind};
 pub use runtime::{RopRuntime, FUNC_RET_SYMBOL, SPILL_SYMBOL, SS_SYMBOL};
-pub use verify::{check_case, check_function, equivalent, verify_batch, TestCase, Verdict};
+#[allow(deprecated)]
+pub use verify::check_function;
+pub use verify::{check_case, equivalent, verify_batch, TestCase, Verdict};

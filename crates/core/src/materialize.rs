@@ -1,10 +1,18 @@
 //! Materialization (§IV-B3): fixing the chain layout, embedding it in the
 //! binary, and replacing the original function body with the pivoting stub.
+//!
+//! The hot path is [`MaterializeCtx::materialize`]: a reusable context that
+//! keeps the chain-resolution scratch, the resolved-chain buffers, the body
+//! image and the chain-symbol name alive across functions, so materializing
+//! a whole image allocates only what the image itself must grow by. The free
+//! [`materialize`] function remains as a one-shot convenience for callers
+//! that only ever materialize a single chain.
 
-use crate::chain::Chain;
+use crate::chain::{Chain, ChainScratch, ResolvedChain};
 use crate::error::RewriteError;
 use crate::runtime::RopRuntime;
 use raindrop_machine::Image;
+use std::fmt::Write as _;
 
 /// Result of materializing one function's chain.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,58 +25,110 @@ pub struct Materialized {
     pub stub_len: usize,
 }
 
-/// Resolves the chain, appends it to `.data`, patches the original function
-/// with the pivot stub and applies switch-table displacement patches.
+/// Reusable materialization context.
+///
+/// Owns every buffer the per-function materialization step needs — the
+/// [`ChainScratch`] offset/block tables, the resolved chain bytes, the
+/// replacement body and the chain symbol name — and reuses them across
+/// calls. The [`Rewriter`](crate::Rewriter) holds one for the lifetime of an
+/// image rewrite; `Pipeline` runs inherit it through the rewriter.
+#[derive(Debug, Default)]
+pub struct MaterializeCtx {
+    scratch: ChainScratch,
+    resolved: ResolvedChain,
+    body: Vec<u8>,
+    chain_name: String,
+}
+
+impl MaterializeCtx {
+    /// Creates an empty context.
+    pub fn new() -> MaterializeCtx {
+        MaterializeCtx::default()
+    }
+
+    /// Resolves the chain, appends it to `.data`, patches the original
+    /// function with the pivot stub and applies switch-table displacement
+    /// patches. Identical output to the free [`materialize`], but all
+    /// intermediate buffers come from (and return to) this context.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the chain cannot be resolved, the function body cannot
+    /// hold the stub, or a switch patch would overlap the stub.
+    pub fn materialize(
+        &mut self,
+        image: &mut Image,
+        runtime: &RopRuntime,
+        func_name: &str,
+        chain: &Chain,
+    ) -> Result<Materialized, RewriteError> {
+        let func = image.function(func_name)?;
+        let (func_addr, func_size) = (func.addr, func.size);
+        let stub_len = RopRuntime::pivot_stub_len();
+        if func_size < stub_len {
+            return Err(RewriteError::FunctionTooShort { size: func_size, needed: stub_len });
+        }
+
+        chain.resolve_into(&mut self.scratch, &mut self.resolved).map_err(|e| {
+            RewriteError::UnsupportedInstruction {
+                addr: func_addr,
+                inst: format!("chain resolution failed: {e}"),
+            }
+        })?;
+
+        // Switch patches must not collide with the pivot stub we are about
+        // to write over the function entry.
+        for (text_addr, _) in &self.resolved.switch_values {
+            if *text_addr < func_addr + stub_len {
+                return Err(RewriteError::UnsupportedInstruction {
+                    addr: *text_addr,
+                    inst: "switch case overlaps the pivot stub".to_string(),
+                });
+            }
+        }
+
+        self.chain_name.clear();
+        let _ = write!(self.chain_name, "__rop_chain_{func_name}");
+        let chain_addr = image.append_data(Some(&self.chain_name), &self.resolved.bytes);
+
+        // Overwrite the whole original body: pivot stub first, `hlt` filler
+        // for the rest so stray execution traps instead of running stale
+        // code.
+        let stub = runtime.pivot_stub(chain_addr);
+        self.body.clear();
+        self.body.resize(func_size as usize, 0x01u8);
+        self.body[..stub.len()].copy_from_slice(&stub);
+        image.patch_text(func_addr, &self.body)?;
+
+        // Switch displacements are written after the body replacement so
+        // they survive it.
+        for (text_addr, value) in &self.resolved.switch_values {
+            image.patch_text(*text_addr, &value.to_le_bytes())?;
+        }
+
+        Ok(Materialized { chain_addr, chain_len: self.resolved.bytes.len(), stub_len: stub.len() })
+    }
+}
+
+/// One-shot materialization: resolves the chain, appends it to `.data`,
+/// patches the original function with the pivot stub and applies
+/// switch-table displacement patches.
+///
+/// Allocates a fresh [`MaterializeCtx`] per call; loops over many functions
+/// should hold one context and call [`MaterializeCtx::materialize`] instead.
 ///
 /// # Errors
 ///
 /// Fails when the chain cannot be resolved, the function body cannot hold
 /// the stub, or a switch patch would overlap the stub.
+#[deprecated(note = "hold a reusable `MaterializeCtx` and call its `materialize` method")]
 pub fn materialize(
     image: &mut Image,
     runtime: &RopRuntime,
     func_name: &str,
     chain: &Chain,
 ) -> Result<Materialized, RewriteError> {
-    let func = image.function(func_name)?.clone();
-    let stub_len = RopRuntime::pivot_stub_len();
-    if func.size < stub_len {
-        return Err(RewriteError::FunctionTooShort { size: func.size, needed: stub_len });
-    }
-
-    let resolved = chain.resolve().map_err(|e| RewriteError::UnsupportedInstruction {
-        addr: func.addr,
-        inst: format!("chain resolution failed: {e}"),
-    })?;
-
-    // Switch patches must not collide with the pivot stub we are about to
-    // write over the function entry.
-    for (text_addr, _) in &resolved.switch_values {
-        if *text_addr < func.addr + stub_len {
-            return Err(RewriteError::UnsupportedInstruction {
-                addr: *text_addr,
-                inst: "switch case overlaps the pivot stub".to_string(),
-            });
-        }
-    }
-
-    let chain_name = format!("__rop_chain_{func_name}");
-    let chain_addr = image.append_data(Some(&chain_name), &resolved.bytes);
-
-    // Overwrite the whole original body: pivot stub first, `hlt` filler for
-    // the rest so stray execution traps instead of running stale code.
-    let stub = runtime.pivot_stub(chain_addr);
-    let mut body = vec![0x01u8; func.size as usize];
-    body[..stub.len()].copy_from_slice(&stub);
-    image.patch_text(func.addr, &body)?;
-
-    // Switch displacements are written after the body replacement so they
-    // survive it.
-    for (text_addr, value) in &resolved.switch_values {
-        image.patch_text(*text_addr, &value.to_le_bytes())?;
-    }
-
-    Ok(Materialized { chain_addr, chain_len: resolved.bytes.len(), stub_len: stub.len() })
+    MaterializeCtx::new().materialize(image, runtime, func_name, chain)
 }
 
 #[cfg(test)]
@@ -150,7 +210,8 @@ mod tests {
             switch_patches: vec![],
         };
 
-        let m = materialize(&mut img, &rt, "f", &chain).unwrap();
+        let mut ctx = MaterializeCtx::new();
+        let m = ctx.materialize(&mut img, &rt, "f", &chain).unwrap();
         assert!(img.in_data(m.chain_addr));
         assert_eq!(m.chain_len, 10 * 8);
 
@@ -171,8 +232,38 @@ mod tests {
         let rt = RopRuntime::install(&mut img, &cfg);
         let chain = Chain { items: vec![ChainItem::Imm(0)], switch_patches: vec![] };
         assert!(matches!(
-            materialize(&mut img, &rt, "tiny", &chain),
+            MaterializeCtx::new().materialize(&mut img, &rt, "tiny", &chain),
             Err(RewriteError::FunctionTooShort { .. })
         ));
+    }
+
+    /// The deprecated one-shot entry point stays behaviourally identical to
+    /// a fresh context.
+    #[test]
+    #[allow(deprecated)]
+    fn free_function_shim_matches_context() {
+        let base = image_with_big_function();
+        let cfg = RopConfig::default();
+
+        let mut via_ctx = base.clone();
+        let rt_a = RopRuntime::install(&mut via_ctx, &cfg);
+        let pop = via_ctx.append_text(None, &encode_all(&[Inst::Pop(Reg::Rax), Inst::Ret]));
+        let chain = Chain {
+            items: vec![
+                ChainItem::Gadget { addr: pop, junk_pops: 0, op: GadgetOp::Unclassified },
+                ChainItem::Imm(7),
+            ],
+            switch_patches: vec![],
+        };
+        let a = MaterializeCtx::new().materialize(&mut via_ctx, &rt_a, "f", &chain).unwrap();
+
+        let mut via_free = base.clone();
+        let rt_b = RopRuntime::install(&mut via_free, &cfg);
+        let pop_b = via_free.append_text(None, &encode_all(&[Inst::Pop(Reg::Rax), Inst::Ret]));
+        assert_eq!(pop, pop_b);
+        let b = materialize(&mut via_free, &rt_b, "f", &chain).unwrap();
+
+        assert_eq!(a, b);
+        assert_eq!(via_ctx, via_free, "identical images byte for byte");
     }
 }

@@ -8,7 +8,7 @@
 use crate::config::RopConfig;
 use crate::craft::{CraftStats, Crafter};
 use crate::error::RewriteError;
-use crate::materialize::{materialize, Materialized};
+use crate::materialize::{MaterializeCtx, Materialized};
 use crate::runtime::RopRuntime;
 use raindrop_analysis::{cfg, dataflow, liveness};
 use raindrop_gadgets::{GadgetCatalog, GadgetStats};
@@ -61,22 +61,59 @@ impl ImageReport {
     }
 }
 
-/// The ROP rewriter.
-pub struct Rewriter {
-    config: RopConfig,
+/// Per-image state installed into the image on the first rewrite: the
+/// stack-switching runtime and the gadget catalog seeded from the gadgets
+/// already present in unobfuscated code.
+struct Attached {
     runtime: RopRuntime,
     catalog: GadgetCatalog,
+}
+
+/// The ROP rewriter.
+///
+/// A `Rewriter` owns configuration and per-image rewriting state (runtime,
+/// gadget catalog, reusable materialization buffers) but never borrows the
+/// image itself: every method takes the image exactly once. The runtime and
+/// catalog are installed lazily on the first `rewrite_*` call, so a rewriter
+/// must only ever be used with a single image.
+pub struct Rewriter {
+    config: RopConfig,
+    attached: Option<Attached>,
     rewritten: BTreeSet<String>,
+    mat: MaterializeCtx,
 }
 
 impl Rewriter {
-    /// Creates a rewriter for `image`, installing the stack-switching runtime
-    /// and seeding the gadget catalog with the gadgets already present in
-    /// unobfuscated code.
-    pub fn new(image: &mut Image, config: RopConfig) -> Rewriter {
-        let runtime = RopRuntime::install(image, &config);
-        let catalog = GadgetCatalog::from_image(image, config.catalog);
-        Rewriter { config, runtime, catalog, rewritten: BTreeSet::new() }
+    /// Creates a rewriter with the given configuration. The stack-switching
+    /// runtime is installed (and the gadget catalog seeded) into the image
+    /// passed to the first `rewrite_*` call.
+    pub fn new(config: RopConfig) -> Rewriter {
+        Rewriter { config, attached: None, rewritten: BTreeSet::new(), mat: MaterializeCtx::new() }
+    }
+
+    /// Installs the runtime and seeds the catalog on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rewriter is already attached and `image` does not
+    /// carry the installed runtime (i.e. a second, different image was
+    /// passed): the catalog and runtime addresses would be meaningless
+    /// there and the rewrite would corrupt it silently.
+    fn attach(&mut self, image: &mut Image) {
+        match &self.attached {
+            None => {
+                let runtime = RopRuntime::install(image, &self.config);
+                let catalog = GadgetCatalog::from_image(image, self.config.catalog);
+                self.attached = Some(Attached { runtime, catalog });
+            }
+            Some(att) => {
+                assert_eq!(
+                    image.symbol(crate::runtime::SS_SYMBOL).ok(),
+                    Some(att.runtime.ss_addr),
+                    "Rewriter is attached to a different image; use one Rewriter per image"
+                );
+            }
+        }
     }
 
     /// The configuration the rewriter was created with.
@@ -84,14 +121,16 @@ impl Rewriter {
         &self.config
     }
 
-    /// The runtime installed into the image.
-    pub fn runtime(&self) -> &RopRuntime {
-        &self.runtime
+    /// The runtime installed into the image, once a `rewrite_*` call has
+    /// attached the rewriter to one.
+    pub fn runtime(&self) -> Option<&RopRuntime> {
+        self.attached.as_ref().map(|a| &a.runtime)
     }
 
-    /// Gadget-pool statistics accumulated so far.
+    /// Gadget-pool statistics accumulated so far (zero before the first
+    /// rewrite attaches the catalog).
     pub fn gadget_stats(&self) -> GadgetStats {
-        self.catalog.stats()
+        self.attached.as_ref().map(|a| a.catalog.stats()).unwrap_or_default()
     }
 
     /// Rewrites a single function into a self-contained ROP chain.
@@ -109,6 +148,7 @@ impl Rewriter {
         if self.rewritten.contains(name) {
             return Err(RewriteError::AlreadyRewritten { name: name.to_string() });
         }
+        self.attach(image);
         // Size gate first: mirrors the paper's decision to skip functions
         // shorter than the pivoting sequence.
         let func = image.function(name)?.clone();
@@ -117,12 +157,15 @@ impl Rewriter {
             return Err(RewriteError::FunctionTooShort { size: func.size, needed: stub_len });
         }
 
+        let att = self.attached.as_mut().expect("attached above");
+        let runtime = att.runtime;
+
         // Gadgets scanned from inside this function must never be used: the
         // materialization step replaces the body with the pivot stub plus
         // `hlt` filler, which would destroy them. The pool is limited to
         // artificial gadgets and gadgets from parts left unobfuscated
         // (§IV-A1).
-        self.catalog.retire_range(func.addr, func.addr + func.size);
+        att.catalog.retire_range(func.addr, func.addr + func.size);
 
         let graph = cfg::reconstruct(image, name)?;
         let live = liveness::analyze(&graph);
@@ -134,8 +177,8 @@ impl Rewriter {
 
         let crafter = Crafter::new(
             image,
-            &mut self.catalog,
-            &self.runtime,
+            &mut att.catalog,
+            &runtime,
             &self.config,
             &graph,
             &live,
@@ -143,7 +186,7 @@ impl Rewriter {
             seed,
         );
         let (chain, stats, _p1) = crafter.craft()?;
-        let materialized: Materialized = materialize(image, &self.runtime, name, &chain)?;
+        let materialized: Materialized = self.mat.materialize(image, &runtime, name, &chain)?;
 
         self.rewritten.insert(name.to_string());
         Ok(RewriteReport {
@@ -164,13 +207,15 @@ impl Rewriter {
         names: I,
     ) -> ImageReport {
         let names: Vec<&str> = names.into_iter().collect();
+        self.attach(image);
         // Retire the gadgets living inside *any* function scheduled for
         // rewriting up front, so a chain crafted early never references a
         // gadget destroyed when a later function's body is replaced.
+        let att = self.attached.as_mut().expect("attached above");
         for name in &names {
             if let Ok(f) = image.function(name) {
                 let (addr, size) = (f.addr, f.size);
-                self.catalog.retire_range(addr, addr + size);
+                att.catalog.retire_range(addr, addr + size);
             }
         }
         let mut report = ImageReport::default();
@@ -180,7 +225,7 @@ impl Rewriter {
                 Err(e) => report.failures.push((name.to_string(), format!("{e}"))),
             }
         }
-        report.gadgets = self.catalog.stats();
+        report.gadgets = self.gadget_stats();
         report
     }
 }
@@ -229,7 +274,7 @@ mod tests {
     fn check_equivalence(config: RopConfig) {
         let original = sample_image();
         let mut obf = original.clone();
-        let mut rewriter = Rewriter::new(&mut obf, config);
+        let mut rewriter = Rewriter::new(config);
         let report = rewriter.rewrite_function(&mut obf, "f").expect("rewrite succeeds");
         assert!(report.program_points > 0);
         assert!(report.chain_len > 0);
@@ -262,7 +307,7 @@ mod tests {
     #[test]
     fn rewriting_twice_is_rejected() {
         let mut img = sample_image();
-        let mut rw = Rewriter::new(&mut img, RopConfig::plain());
+        let mut rw = Rewriter::new(RopConfig::plain());
         rw.rewrite_function(&mut img, "f").unwrap();
         assert!(matches!(
             rw.rewrite_function(&mut img, "f"),
@@ -271,9 +316,21 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "different image")]
+    fn reusing_a_rewriter_across_images_panics() {
+        let mut first = sample_image();
+        let mut second = sample_image();
+        let mut rw = Rewriter::new(RopConfig::plain());
+        rw.rewrite_function(&mut first, "f").unwrap();
+        // `second` never saw the runtime install; the attach check must
+        // refuse to treat it as the attached image.
+        let _ = rw.rewrite_functions(&mut second, ["f"]);
+    }
+
+    #[test]
     fn image_report_aggregates_coverage() {
         let mut img = sample_image();
-        let mut rw = Rewriter::new(&mut img, RopConfig::plain());
+        let mut rw = Rewriter::new(RopConfig::plain());
         let report = rw.rewrite_functions(&mut img, ["f", "missing"]);
         assert_eq!(report.rewritten.len(), 1);
         assert_eq!(report.failures.len(), 1);

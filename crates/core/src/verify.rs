@@ -181,6 +181,7 @@ pub fn verify_batch(
 
 /// Runs a batch of differential test cases; returns the verdicts in order.
 /// (Alias of [`verify_batch`], kept for the original seed API.)
+#[deprecated(note = "call `verify_batch` (identical behaviour) directly")]
 pub fn check_function(
     original: &Image,
     rewritten: &Image,
@@ -192,7 +193,7 @@ pub fn check_function(
 
 /// Convenience: `true` iff every case matches.
 pub fn equivalent(original: &Image, rewritten: &Image, func: &str, cases: &[TestCase]) -> bool {
-    check_function(original, rewritten, func, cases).iter().all(Verdict::is_match)
+    verify_batch(original, rewritten, func, cases).iter().all(Verdict::is_match)
 }
 
 #[cfg(test)]
@@ -231,7 +232,7 @@ mod tests {
     fn rewritten_function_is_equivalent_on_register_cases() {
         let original = abs_diff_image();
         let mut obf = original.clone();
-        let mut rw = Rewriter::new(&mut obf, RopConfig::full());
+        let mut rw = Rewriter::new(RopConfig::full());
         rw.rewrite_function(&mut obf, "absdiff").unwrap();
         let cases: Vec<TestCase> = [(9u64, 4u64), (4, 9), (0, 0), (u64::MAX, 1)]
             .iter()
@@ -251,7 +252,7 @@ mod tests {
         a.inst(Inst::Ret);
         other_builder.add_function("absdiff", a);
         let other = other_builder.build().unwrap();
-        let verdicts = check_function(&original, &other, "absdiff", &[TestCase::args(&[9, 4])]);
+        let verdicts = verify_batch(&original, &other, "absdiff", &[TestCase::args(&[9, 4])]);
         assert!(matches!(verdicts[0], Verdict::ReturnMismatch { original: 5, rewritten: 1234 }));
         assert!(!verdicts[0].is_match());
     }

@@ -216,7 +216,7 @@ fn every_configuration_preserves_the_diamond_semantics() {
     let original = single_function_image("f", f_diamond);
     for (label, config) in config_matrix() {
         let mut obf = original.clone();
-        let mut rw = Rewriter::new(&mut obf, config);
+        let mut rw = Rewriter::new(config);
         let report = rw.rewrite_function(&mut obf, "f").unwrap_or_else(|e| {
             panic!("{label}: rewrite failed: {e}");
         });
@@ -233,7 +233,7 @@ fn every_configuration_preserves_the_equality_branch_semantics() {
     let original = single_function_image("f", f_equality);
     for (label, config) in config_matrix() {
         let mut obf = original.clone();
-        let mut rw = Rewriter::new(&mut obf, config.clone());
+        let mut rw = Rewriter::new(config.clone());
         let report = rw.rewrite_function(&mut obf, "f").unwrap();
         assert!(equivalent(&original, &obf, "f", &arg_cases()), "{label} diverges");
         if config.p2 {
@@ -250,7 +250,7 @@ fn every_configuration_preserves_the_hash_loop_semantics() {
     let original = single_function_image("f", f_hash_loop);
     for (label, config) in config_matrix() {
         let mut obf = original.clone();
-        let mut rw = Rewriter::new(&mut obf, config);
+        let mut rw = Rewriter::new(config);
         rw.rewrite_function(&mut obf, "f").unwrap();
         for x in [0u64, 1, 0xdead_beef_cafe_f00d, u64::MAX] {
             let mut e_orig = Emulator::new(&original);
@@ -267,7 +267,7 @@ fn rop_code_calls_native_helpers_through_the_stack_switch() {
     let original = build_caller_image();
     for (label, config) in config_matrix() {
         let mut obf = original.clone();
-        let mut rw = Rewriter::new(&mut obf, config);
+        let mut rw = Rewriter::new(config);
         rw.rewrite_function(&mut obf, "caller").unwrap();
         for x in [0u64, 3, 999] {
             let mut emu = Emulator::new(&obf);
@@ -281,7 +281,7 @@ fn recursive_rop_functions_nest_activations_correctly() {
     let original = single_function_image("fact", f_factorial);
     for (label, config) in [("plain", RopConfig::plain()), ("full", RopConfig::full())] {
         let mut obf = original.clone();
-        let mut rw = Rewriter::new(&mut obf, config);
+        let mut rw = Rewriter::new(config);
         rw.rewrite_function(&mut obf, "fact").unwrap();
         for n in [0u64, 1, 2, 5, 10] {
             let mut emu = Emulator::new(&obf);
@@ -299,7 +299,7 @@ fn recursive_rop_functions_nest_activations_correctly() {
 fn rewritten_text_keeps_the_original_function_symbol_but_replaces_its_body() {
     let original = single_function_image("f", f_diamond);
     let mut obf = original.clone();
-    let mut rw = Rewriter::new(&mut obf, RopConfig::full());
+    let mut rw = Rewriter::new(RopConfig::full());
     let report = rw.rewrite_function(&mut obf, "f").unwrap();
     let func = obf.function("f").unwrap();
     assert_eq!(func.addr, original.function("f").unwrap().addr, "entry address is stable");
@@ -321,7 +321,7 @@ fn chain_sizes_grow_with_the_p3_fraction() {
     let mut sizes = Vec::new();
     for k in [0.0, 0.5, 1.0] {
         let mut obf = original.clone();
-        let mut rw = Rewriter::new(&mut obf, RopConfig::ropk(k).with_seed(77));
+        let mut rw = Rewriter::new(RopConfig::ropk(k).with_seed(77));
         let report = rw.rewrite_function(&mut obf, "f").unwrap();
         sizes.push((k, report.chain_len, report.stats.p3_sites));
     }
@@ -336,7 +336,7 @@ fn gadget_confusion_reports_sites_and_keeps_equivalence() {
     let mut with = original.clone();
     let mut config = RopConfig::plain();
     config.gadget_confusion = true;
-    let mut rw = Rewriter::new(&mut with, config);
+    let mut rw = Rewriter::new(config);
     let report = rw.rewrite_function(&mut with, "f").unwrap();
     assert!(report.stats.confusion_sites > 0, "confusion must fire somewhere");
     assert!(equivalent(&original, &with, "f", &arg_cases()));
@@ -347,12 +347,8 @@ fn different_seeds_produce_different_chains_with_identical_behaviour() {
     let original = single_function_image("f", f_diamond);
     let mut obf_a = original.clone();
     let mut obf_b = original.clone();
-    Rewriter::new(&mut obf_a, RopConfig::full().with_seed(1))
-        .rewrite_function(&mut obf_a, "f")
-        .unwrap();
-    Rewriter::new(&mut obf_b, RopConfig::full().with_seed(2))
-        .rewrite_function(&mut obf_b, "f")
-        .unwrap();
+    Rewriter::new(RopConfig::full().with_seed(1)).rewrite_function(&mut obf_a, "f").unwrap();
+    Rewriter::new(RopConfig::full().with_seed(2)).rewrite_function(&mut obf_b, "f").unwrap();
     assert_ne!(obf_a.data, obf_b.data, "chains are diversified across seeds");
     assert!(equivalent(&original, &obf_a, "f", &arg_cases()));
     assert!(equivalent(&original, &obf_b, "f", &arg_cases()));
@@ -363,12 +359,8 @@ fn same_seed_is_fully_reproducible() {
     let original = single_function_image("f", f_diamond);
     let mut obf_a = original.clone();
     let mut obf_b = original.clone();
-    Rewriter::new(&mut obf_a, RopConfig::full().with_seed(9))
-        .rewrite_function(&mut obf_a, "f")
-        .unwrap();
-    Rewriter::new(&mut obf_b, RopConfig::full().with_seed(9))
-        .rewrite_function(&mut obf_b, "f")
-        .unwrap();
+    Rewriter::new(RopConfig::full().with_seed(9)).rewrite_function(&mut obf_a, "f").unwrap();
+    Rewriter::new(RopConfig::full().with_seed(9)).rewrite_function(&mut obf_b, "f").unwrap();
     assert_eq!(obf_a.text, obf_b.text);
     assert_eq!(obf_a.data, obf_b.data);
 }
@@ -382,7 +374,7 @@ fn functions_shorter_than_the_pivot_stub_are_skipped_with_the_right_class() {
         a.inst(Inst::Ret);
     });
     let mut obf = original.clone();
-    let mut rw = Rewriter::new(&mut obf, RopConfig::plain());
+    let mut rw = Rewriter::new(RopConfig::plain());
     let err = rw.rewrite_function(&mut obf, "tiny").unwrap_err();
     assert!(matches!(err, RewriteError::FunctionTooShort { .. }));
     assert_eq!(err.failure_class(), FailureClass::TooShort);
@@ -392,7 +384,7 @@ fn functions_shorter_than_the_pivot_stub_are_skipped_with_the_right_class() {
 fn missing_functions_are_an_image_failure() {
     let original = single_function_image("f", f_diamond);
     let mut obf = original.clone();
-    let mut rw = Rewriter::new(&mut obf, RopConfig::plain());
+    let mut rw = Rewriter::new(RopConfig::plain());
     let err = rw.rewrite_function(&mut obf, "nope").unwrap_err();
     assert!(matches!(err.failure_class(), FailureClass::CfgReconstruction | FailureClass::Other));
 }
@@ -402,7 +394,7 @@ fn the_verifier_detects_a_broken_rewrite() {
     // Simulate a miscompilation by patching the rewritten image's chain.
     let original = single_function_image("f", f_diamond);
     let mut obf = original.clone();
-    let mut rw = Rewriter::new(&mut obf, RopConfig::plain());
+    let mut rw = Rewriter::new(RopConfig::plain());
     let report = rw.rewrite_function(&mut obf, "f").unwrap();
     // Corrupt one immediate slot in the middle of the chain.
     let off = (report.chain_addr - obf.data_base) as usize + report.chain_len / 2;
@@ -417,10 +409,11 @@ fn the_verifier_detects_a_broken_rewrite() {
 }
 
 #[test]
+#[allow(deprecated)] // pins the deprecated shim to verify_batch behaviour
 fn check_function_generates_and_runs_cases() {
     let original = single_function_image("f", f_equality);
     let mut obf = original.clone();
-    let mut rw = Rewriter::new(&mut obf, RopConfig::full());
+    let mut rw = Rewriter::new(RopConfig::full());
     rw.rewrite_function(&mut obf, "f").unwrap();
     let verdicts = raindrop::check_function(&original, &obf, "f", &arg_cases());
     assert_eq!(verdicts.len(), arg_cases().len());
@@ -507,7 +500,7 @@ proptest! {
         };
         let original = single_function_image("f", build);
         let mut obf = original.clone();
-        let mut rw = Rewriter::new(&mut obf, RopConfig::full().with_seed(seed));
+        let mut rw = Rewriter::new(RopConfig::full().with_seed(seed));
         rw.rewrite_function(&mut obf, "f").unwrap();
         for (x, y) in &inputs {
             let mut e1 = Emulator::new(&original);

@@ -624,6 +624,16 @@ pub fn virtualize(
     Ok(Virtualized { interpreter, globals, bytecode_len: compiler.code.len() })
 }
 
+/// Result of [`apply_layers`]: the transformed program plus per-layer
+/// statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Applied {
+    /// The transformed program.
+    pub program: Program,
+    /// Bytecode size produced by each layer, innermost first.
+    pub bytecode_lens: Vec<usize>,
+}
+
 /// Applies `config.layers` layers of virtualization to `func_name` inside
 /// `program`, returning the transformed program.
 ///
@@ -631,6 +641,26 @@ pub fn virtualize(
 ///
 /// Fails when the function is unknown or uses unsupported constructs.
 pub fn apply(program: &Program, func_name: &str, config: VmConfig) -> Result<Program, VmError> {
+    apply_layers(program, func_name, config, 0).map(|a| a.program)
+}
+
+/// Like [`apply`], but numbers the generated layers starting at
+/// `base_layer`, so repeated virtualization of the same function (e.g. two
+/// stacked `VmPass`es in a `raindrop` pipeline) never collides on the
+/// per-layer global names (`__vm<layer>_<func>_code` etc.) or reuses a
+/// layer's opcode shuffle. `apply_layers(p, f, cfg, 0)` is exactly
+/// [`apply`]; implicit-VPC placement (`First`/`Last`) stays relative to this
+/// call's own layers.
+///
+/// # Errors
+///
+/// Fails when the function is unknown or uses unsupported constructs.
+pub fn apply_layers(
+    program: &Program,
+    func_name: &str,
+    config: VmConfig,
+    base_layer: usize,
+) -> Result<Applied, VmError> {
     let mut out = program.clone();
     let idx = out
         .functions
@@ -638,6 +668,7 @@ pub fn apply(program: &Program, func_name: &str, config: VmConfig) -> Result<Pro
         .position(|f| f.name == func_name)
         .ok_or_else(|| VmError::UnknownFunction(func_name.to_string()))?;
     let mut current = out.functions[idx].clone();
+    let mut bytecode_lens = Vec::with_capacity(config.layers);
     for layer in 0..config.layers {
         let implicit = match config.implicit {
             ImplicitAt::None => false,
@@ -645,12 +676,13 @@ pub fn apply(program: &Program, func_name: &str, config: VmConfig) -> Result<Pro
             ImplicitAt::Last => layer == config.layers - 1,
             ImplicitAt::All => true,
         };
-        let virt = virtualize(&current, implicit, config.seed, layer)?;
+        let virt = virtualize(&current, implicit, config.seed, base_layer + layer)?;
         out.globals.extend(virt.globals);
+        bytecode_lens.push(virt.bytecode_len);
         current = virt.interpreter;
     }
     out.functions[idx] = current;
-    Ok(out)
+    Ok(Applied { program: out, bytecode_lens })
 }
 
 #[cfg(test)]
@@ -726,6 +758,22 @@ mod tests {
         let baseline = run(&w.program, &w.entry, &w.args);
         let vm = apply(&w.program, "sp_norm_main", VmConfig::plain(1)).unwrap();
         assert_eq!(run(&vm, &w.entry, &w.args), baseline);
+    }
+
+    #[test]
+    fn stacked_apply_layers_offset_prefixes_and_preserve_semantics() {
+        let rf = sample_randomfun();
+        let first = apply_layers(&rf.program, &rf.name, VmConfig::plain(1), 0).unwrap();
+        assert_eq!(first.program, apply(&rf.program, &rf.name, VmConfig::plain(1)).unwrap());
+        assert_eq!(first.bytecode_lens.len(), 1);
+        let second = apply_layers(&first.program, &rf.name, VmConfig::plain(1), 1).unwrap();
+        let names: Vec<&String> = second.program.globals.iter().map(|g| &g.name).collect();
+        assert!(names.iter().any(|n| n.starts_with("__vm0_")));
+        assert!(names.iter().any(|n| n.starts_with("__vm1_")));
+        let unique: std::collections::BTreeSet<&&String> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "layer prefixes never collide");
+        assert_eq!(run(&second.program, &rf.name, &[rf.secret_input]), 1);
+        assert_eq!(run(&second.program, &rf.name, &[rf.secret_input ^ 1]), 0);
     }
 
     #[test]

@@ -175,7 +175,7 @@ fn vm_and_rop_obfuscation_compose_like_section_iv_c_claims() {
     let vm = apply(&program, "target", VmConfig::plain(1)).unwrap();
     let mut image = codegen::compile(&vm).unwrap();
     let original = image.clone();
-    let mut rewriter = Rewriter::new(&mut image, RopConfig::ropk(0.05).with_seed(3));
+    let mut rewriter = Rewriter::new(RopConfig::ropk(0.05).with_seed(3));
     rewriter.rewrite_function(&mut image, "target").unwrap();
     for x in [0u64, 7, 12345] {
         let mut e_vm = Emulator::new(&original);

@@ -19,7 +19,7 @@ use std::time::Duration;
 
 fn protect_rop(rf: &RandomFun, config: RopConfig) -> Image {
     let mut image = codegen::compile(&rf.program).expect("compiles");
-    let mut rw = Rewriter::new(&mut image, config);
+    let mut rw = Rewriter::new(config);
     rw.rewrite_function(&mut image, &rf.name).expect("rewrites");
     image
 }

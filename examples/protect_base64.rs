@@ -26,7 +26,7 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = workloads::base64();
     let original = codegen::compile(&w.program)?;
     let mut protected = original.clone();
-    let mut rewriter = Rewriter::new(&mut protected, RopConfig::full());
+    let mut rewriter = Rewriter::new(RopConfig::full());
     rewriter.rewrite_function(&mut protected, "base64_encode")?;
 
     for input in [b"Man".as_slice(), b"light work.".as_slice()] {

@@ -1,9 +1,10 @@
-//! Quickstart: compile a small function, rewrite it into a ROP chain, run
-//! both, and show what the binary looks like afterwards.
+//! Quickstart: compile a small function, rewrite it into a ROP chain
+//! through the `Pipeline` builder, run both, and show what the binary looks
+//! like afterwards.
 //!
 //! Run with `cargo run -p raindrop-bench --example quickstart`.
 
-use raindrop::{Rewriter, RopConfig};
+use raindrop::pipeline::{Pipeline, RopPass, VerifyPolicy};
 use raindrop_machine::Emulator;
 use raindrop_synth::codegen;
 use raindrop_synth::minic::{BinOp, Expr, Function, Program, Stmt};
@@ -37,9 +38,16 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = Program::new().with_function(f);
     let original = codegen::compile(&program)?;
 
-    let mut protected = original.clone();
-    let mut rewriter = Rewriter::new(&mut protected, RopConfig::full());
-    let report = rewriter.rewrite_function(&mut protected, "weighted_sum")?;
+    // One pipeline: full-strength ROP rewriting plus built-in differential
+    // verification against the unobfuscated baseline.
+    let run = Pipeline::new()
+        .pass(RopPass::full())
+        .verify(VerifyPolicy::Batch)
+        .run_program(&program, &["weighted_sum"])?;
+    let protected = run.image.clone();
+    assert!(run.report.all_verified(), "pipeline verification must pass");
+    let rop = run.report.rop_passes();
+    let report = &rop.first().expect("one rop pass").rewritten[0];
 
     println!("original .text: {} bytes", original.text.len());
     println!("protected .text: {} bytes (artificial gadgets appended)", protected.text.len());

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_materialize.json — the chain-materialization perf
+# trajectory.
+#
+# Runs the exp_materialize driver (release build), which measures chain
+# resolution and full per-function materialization in fresh-buffer mode
+# (per-call allocations) and warm mode (one reusable MaterializeCtx) and
+# rewrites BENCH_materialize.json in the repository root. The pre-change
+# baseline (free `materialize` before MaterializeCtx existed) is embedded in
+# the driver and carried over unchanged, so the file always keeps the
+# trajectory's origin.
+#
+# Run from the repository root:
+#   sh scripts/regen_bench_materialize.sh
+#
+# Future PRs that move materialization performance should re-run this and
+# commit the refreshed JSON.
+set -eu
+
+cd "$(dirname "$0")/.."
+cargo run --release -p raindrop-bench --bin exp_materialize
+echo "BENCH_materialize.json refreshed."

@@ -9,7 +9,8 @@
 //! * [`machine`] — the RM64 machine model, encoder, and emulator;
 //! * [`gadgets`] — gadget scanning, synthesis, and the diversified catalog;
 //! * [`analysis`] — CFG / liveness / dominator analyses;
-//! * [`core`] — the ROP rewriter, strengthening predicates, and runtime;
+//! * [`core`] — the ROP rewriter, strengthening predicates, runtime, and
+//!   the composable obfuscation pipeline (`raindrop::pipeline`);
 //! * [`synth`] — mini-C workload synthesis and RM64 codegen;
 //! * [`obfvm`] — the baseline virtualization obfuscator;
 //! * [`attacks`] — the deobfuscation attack models: the fork-point DSE

@@ -29,7 +29,7 @@ fn rop_over_vm_obfuscated_code_still_works() {
     let vm_program =
         raindrop_obfvm::apply(&rf.program, &rf.name, raindrop_obfvm::VmConfig::plain(1)).unwrap();
     let mut image = codegen::compile(&vm_program).unwrap();
-    let mut rw = Rewriter::new(&mut image, RopConfig::ropk(0.25));
+    let mut rw = Rewriter::new(RopConfig::ropk(0.25));
     rw.rewrite_function(&mut image, &rf.name).unwrap();
     let mut emu = Emulator::new(&image);
     emu.set_budget(2_000_000_000);
@@ -72,7 +72,7 @@ proptest! {
         let rf = sample_rf(seed, 2, Goal::CodeCoverage);
         let original = codegen::compile(&rf.program).unwrap();
         let mut protected = original.clone();
-        let mut rw = Rewriter::new(&mut protected, RopConfig::full());
+        let mut rw = Rewriter::new(RopConfig::full());
         rw.rewrite_function(&mut protected, &rf.name).unwrap();
         let cases: Vec<TestCase> = inputs
             .iter()

@@ -71,7 +71,7 @@ fn rop_to_native_and_rop_to_rop_calls_with_recursion() {
     // Rewrite fib and driver, keep add3 native: the driver chain calls both
     // a ROP function (fib, recursive) and a native one (add3).
     let mut protected = original.clone();
-    let mut rw = Rewriter::new(&mut protected, RopConfig::full());
+    let mut rw = Rewriter::new(RopConfig::full());
     rw.rewrite_function(&mut protected, "fib").unwrap();
     rw.rewrite_function(&mut protected, "driver").unwrap();
 

@@ -79,7 +79,7 @@ fn rop_rewritten_chain_is_bit_identical() {
     let w = workloads::pidigits();
     let image = codegen::compile(&w.program).expect("compiles");
     let mut obf = image.clone();
-    let mut rw = Rewriter::new(&mut obf, RopConfig::full().with_seed(7));
+    let mut rw = Rewriter::new(RopConfig::full().with_seed(7));
     for f in &w.obfuscate {
         rw.rewrite_function(&mut obf, f).expect("rewrites");
     }
