@@ -2,12 +2,13 @@
 //!
 //! The DSE-bound experiment suites (`exp_table2`, `exp_efficacy`,
 //! `exp_dse_speed`) attack many corpus functions independently; the fleet
-//! runs them thread-per-worker over a shared work queue. Each worker owns
-//! its emulators outright — the fork-point engine inside every
+//! runs them over the shared scheduling core in `raindrop-sched` — the same
+//! work-stealing primitives that drive the protection server. Each worker
+//! owns its emulators outright — the fork-point engine inside every
 //! [`DseAttack`] keeps one warm emulator per job and revives it between
 //! paths with [`Snapshot`] restores (and forks of it are cheap, see
 //! [`Emulator::fork`]), so no state is shared and no locking happens on the
-//! hot path; the queue mutex is touched once per job.
+//! hot path; the queue is touched once per job.
 //!
 //! Jobs are deterministic and independent, so under *work-bounded*
 //! budgets (instructions, paths, solver calls) the result of a fleet run
@@ -25,8 +26,6 @@
 
 use crate::concolic::{DseAttack, DseBudget, DseOutcome, ExploreMode, Goal, InputSpec};
 use raindrop_machine::Image;
-use std::collections::VecDeque;
-use std::sync::Mutex;
 
 /// One DSE job for the fleet: everything needed to mount a self-contained
 /// attack on one function of one prepared image.
@@ -67,6 +66,15 @@ impl DseJob {
             mode: ExploreMode::ForkPoint,
         }
     }
+
+    /// Runs this job to completion (self-contained; used by the fleet and
+    /// directly submittable to a [`raindrop_sched::Scheduler`]).
+    pub fn run(self) -> DseJobResult {
+        let mut attack = DseAttack::new(&self.image, &self.func, self.spec.clone(), self.budget)
+            .with_mode(self.mode);
+        let outcome = attack.run(self.goal);
+        DseJobResult { label: self.label, outcome }
+    }
 }
 
 /// The outcome of one fleet job, tagged with its label.
@@ -78,7 +86,9 @@ pub struct DseJobResult {
     pub outcome: DseOutcome,
 }
 
-/// A thread-per-worker work-queue executor for independent attack jobs.
+/// A work-stealing executor for independent attack jobs: a thin veneer over
+/// [`raindrop_sched::scoped_map`], kept for its batch-oriented API and its
+/// `RAINDROP_DSE_WORKERS` sizing convention.
 pub struct AttackFleet {
     workers: usize,
 }
@@ -104,54 +114,22 @@ impl AttackFleet {
         self.workers
     }
 
-    /// Runs `f` over every item on the worker pool and returns the results
-    /// in item order. Items are handed out through a shared queue, so
-    /// uneven job costs balance automatically; `f` must be deterministic
-    /// per item for fleet runs to be reproducible across worker counts.
+    /// Runs `f` over every item on a temporary work-stealing pool and
+    /// returns the results in item order (see
+    /// [`raindrop_sched::scoped_map`]); `f` must be deterministic per item
+    /// for fleet runs to be reproducible across worker counts.
     pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
-        let n = items.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let queue: Mutex<VecDeque<(usize, T)>> =
-            Mutex::new(items.into_iter().enumerate().collect());
-        let results: Mutex<Vec<Option<R>>> =
-            Mutex::new(std::iter::repeat_with(|| None).take(n).collect());
-        std::thread::scope(|s| {
-            for _ in 0..self.workers.min(n) {
-                s.spawn(|| loop {
-                    let next = queue.lock().expect("queue lock").pop_front();
-                    match next {
-                        Some((i, item)) => {
-                            let r = f(i, item);
-                            results.lock().expect("results lock")[i] = Some(r);
-                        }
-                        None => break,
-                    }
-                });
-            }
-        });
-        results
-            .into_inner()
-            .expect("fleet workers finished")
-            .into_iter()
-            .map(|r| r.expect("every job ran"))
-            .collect()
+        raindrop_sched::scoped_map(self.workers, items, f)
     }
 
     /// Runs a batch of DSE jobs and returns their outcomes in job order.
     pub fn run_dse(&self, jobs: Vec<DseJob>) -> Vec<DseJobResult> {
-        self.map(jobs, |_, job| {
-            let mut attack = DseAttack::new(&job.image, &job.func, job.spec.clone(), job.budget)
-                .with_mode(job.mode);
-            let outcome = attack.run(job.goal);
-            DseJobResult { label: job.label, outcome }
-        })
+        self.map(jobs, |_, job| job.run())
     }
 }
 

@@ -142,10 +142,6 @@ pub fn ropk_fractions() -> Vec<f64> {
     vec![0.0, 0.05, 0.25, 0.50, 0.75, 1.00]
 }
 
-/// Errors produced while preparing an obfuscated image.
-#[deprecated(note = "pipeline-backed preparation reports `raindrop::PipelineError`")]
-pub type PrepareError = PipelineError;
-
 /// Compiles `program`, applying the obfuscation `kind` to the listed
 /// functions through the [`Pipeline`] API (VM passes at the MiniC level
 /// before compilation, ROP passes on the compiled image). Strict: any

@@ -79,23 +79,21 @@ pub mod predicates;
 pub mod rewriter;
 pub mod roplet;
 pub mod runtime;
+pub mod stable;
 pub mod verify;
 
 pub use chain::{Chain, ChainItem, ChainScratch, DeltaTarget, ResolvedChain, SwitchPatch};
 pub use config::{P1Config, P3Variant, RopConfig};
 pub use craft::{CraftStats, Crafter};
 pub use error::{FailureClass, RewriteError};
-#[allow(deprecated)]
-pub use materialize::materialize;
 pub use materialize::{MaterializeCtx, Materialized};
 pub use pipeline::{
-    ObfPass, ObfReport, PassReport, Pipeline, PipelineError, PipelineRun, RopPass, VerifyPolicy,
-    VmPass,
+    ObfConfig, ObfPass, ObfReport, PassReport, PassSpec, Pipeline, PipelineError, PipelineRun,
+    PipelineWarm, RopPass, VerifyPolicy, VmPass,
 };
 pub use predicates::{P1Instance, P2Adjust, P2Operand, P3Policy};
 pub use rewriter::{ImageReport, RewriteReport, Rewriter};
 pub use roplet::{classify as classify_roplet, Roplet, RopletKind};
 pub use runtime::{RopRuntime, FUNC_RET_SYMBOL, SPILL_SYMBOL, SS_SYMBOL};
-#[allow(deprecated)]
-pub use verify::check_function;
+pub use stable::{stable_hash_bytes, FieldBag, StableHasher};
 pub use verify::{check_case, equivalent, verify_batch, TestCase, Verdict};

@@ -4,9 +4,7 @@
 //! The hot path is [`MaterializeCtx::materialize`]: a reusable context that
 //! keeps the chain-resolution scratch, the resolved-chain buffers, the body
 //! image and the chain-symbol name alive across functions, so materializing
-//! a whole image allocates only what the image itself must grow by. The free
-//! [`materialize`] function remains as a one-shot convenience for callers
-//! that only ever materialize a single chain.
+//! a whole image allocates only what the image itself must grow by.
 
 use crate::chain::{Chain, ChainScratch, ResolvedChain};
 use crate::error::RewriteError;
@@ -48,8 +46,8 @@ impl MaterializeCtx {
 
     /// Resolves the chain, appends it to `.data`, patches the original
     /// function with the pivot stub and applies switch-table displacement
-    /// patches. Identical output to the free [`materialize`], but all
-    /// intermediate buffers come from (and return to) this context.
+    /// patches. All intermediate buffers come from (and return to) this
+    /// context, so repeated calls reuse warm allocations.
     ///
     /// # Errors
     ///
@@ -108,27 +106,6 @@ impl MaterializeCtx {
 
         Ok(Materialized { chain_addr, chain_len: self.resolved.bytes.len(), stub_len: stub.len() })
     }
-}
-
-/// One-shot materialization: resolves the chain, appends it to `.data`,
-/// patches the original function with the pivot stub and applies
-/// switch-table displacement patches.
-///
-/// Allocates a fresh [`MaterializeCtx`] per call; loops over many functions
-/// should hold one context and call [`MaterializeCtx::materialize`] instead.
-///
-/// # Errors
-///
-/// Fails when the chain cannot be resolved, the function body cannot hold
-/// the stub, or a switch patch would overlap the stub.
-#[deprecated(note = "hold a reusable `MaterializeCtx` and call its `materialize` method")]
-pub fn materialize(
-    image: &mut Image,
-    runtime: &RopRuntime,
-    func_name: &str,
-    chain: &Chain,
-) -> Result<Materialized, RewriteError> {
-    MaterializeCtx::new().materialize(image, runtime, func_name, chain)
 }
 
 #[cfg(test)]
@@ -237,33 +214,41 @@ mod tests {
         ));
     }
 
-    /// The deprecated one-shot entry point stays behaviourally identical to
-    /// a fresh context.
+    /// A context that already materialized another chain behaves exactly
+    /// like a fresh one — reuse only recycles scratch buffers.
     #[test]
-    #[allow(deprecated)]
-    fn free_function_shim_matches_context() {
+    fn reused_context_matches_fresh_context() {
         let base = image_with_big_function();
         let cfg = RopConfig::default();
 
-        let mut via_ctx = base.clone();
-        let rt_a = RopRuntime::install(&mut via_ctx, &cfg);
-        let pop = via_ctx.append_text(None, &encode_all(&[Inst::Pop(Reg::Rax), Inst::Ret]));
-        let chain = Chain {
-            items: vec![
-                ChainItem::Gadget { addr: pop, junk_pops: 0, op: GadgetOp::Unclassified },
-                ChainItem::Imm(7),
-            ],
-            switch_patches: vec![],
+        let build = |image: &mut Image| {
+            let rt = RopRuntime::install(image, &cfg);
+            let pop = image.append_text(None, &encode_all(&[Inst::Pop(Reg::Rax), Inst::Ret]));
+            let chain = Chain {
+                items: vec![
+                    ChainItem::Gadget { addr: pop, junk_pops: 0, op: GadgetOp::Unclassified },
+                    ChainItem::Imm(7),
+                ],
+                switch_patches: vec![],
+            };
+            (rt, chain)
         };
-        let a = MaterializeCtx::new().materialize(&mut via_ctx, &rt_a, "f", &chain).unwrap();
 
-        let mut via_free = base.clone();
-        let rt_b = RopRuntime::install(&mut via_free, &cfg);
-        let pop_b = via_free.append_text(None, &encode_all(&[Inst::Pop(Reg::Rax), Inst::Ret]));
-        assert_eq!(pop, pop_b);
-        let b = materialize(&mut via_free, &rt_b, "f", &chain).unwrap();
+        let mut via_fresh = base.clone();
+        let (rt_a, chain_a) = build(&mut via_fresh);
+        let a = MaterializeCtx::new().materialize(&mut via_fresh, &rt_a, "f", &chain_a).unwrap();
+
+        // Warm the context on a throwaway image first, then reuse it.
+        let mut ctx = MaterializeCtx::new();
+        let mut scratch = base.clone();
+        let (rt_s, chain_s) = build(&mut scratch);
+        ctx.materialize(&mut scratch, &rt_s, "f", &chain_s).unwrap();
+
+        let mut via_warm = base.clone();
+        let (rt_b, chain_b) = build(&mut via_warm);
+        let b = ctx.materialize(&mut via_warm, &rt_b, "f", &chain_b).unwrap();
 
         assert_eq!(a, b);
-        assert_eq!(via_ctx, via_free, "identical images byte for byte");
+        assert_eq!(via_fresh, via_warm, "identical images byte for byte");
     }
 }

@@ -56,13 +56,16 @@
 //! # }
 //! ```
 
-use crate::config::RopConfig;
+use crate::config::{P3Variant, RopConfig};
+use crate::materialize::MaterializeCtx;
 use crate::rewriter::{ImageReport, Rewriter};
+use crate::stable::{FieldBag, StableHasher};
 use crate::verify::{verify_batch, TestCase, Verdict};
 use raindrop_machine::{AsmError, Image};
 use raindrop_obfvm::{ImplicitAt, VmConfig};
 use raindrop_synth::codegen;
 use raindrop_synth::minic::{Expr, Function, Program, Stmt};
+use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -156,6 +159,32 @@ pub struct ImageCtx<'a> {
     pub targets: &'a [String],
     /// Per-target failures (stage name, reason).
     pub failures: &'a mut Vec<(String, String)>,
+    /// Warm materialization buffers shared across passes and — through
+    /// [`Pipeline::run_program_with`] — across whole pipeline runs. Passes
+    /// that materialize chains should route through this instead of
+    /// allocating fresh scratch; reuse never changes output bytes.
+    pub mat: &'a mut MaterializeCtx,
+}
+
+/// Reusable scratch state threaded through pipeline runs.
+///
+/// A `PipelineWarm` owns the allocation-heavy buffers a run needs (today:
+/// the [`MaterializeCtx`] behind every ROP pass). One-shot callers never
+/// see it — [`Pipeline::run_program`] creates a fresh one per run — but a
+/// long-running service holds one per worker and passes it to
+/// [`Pipeline::run_program_with`] so consecutive protection jobs reuse warm
+/// buffers. Reuse is invisible in the output: runs with a warm state are
+/// bit-identical to fresh runs (pinned by `warm_state_reuse_is_invisible`).
+#[derive(Debug, Default)]
+pub struct PipelineWarm {
+    mat: MaterializeCtx,
+}
+
+impl PipelineWarm {
+    /// Fresh (cold) scratch state.
+    pub fn new() -> PipelineWarm {
+        PipelineWarm::default()
+    }
 }
 
 /// What a pass did, for the [`ObfReport`].
@@ -395,8 +424,10 @@ impl ObfPass for RopPass {
         image: &mut Image,
         cx: &mut ImageCtx<'_>,
     ) -> Result<PassDetail, PipelineError> {
-        let mut rewriter = Rewriter::new(self.effective_config(cx.seed));
+        let mut rewriter =
+            Rewriter::new(self.effective_config(cx.seed)).with_mat_ctx(std::mem::take(cx.mat));
         let report = rewriter.rewrite_functions(image, cx.targets.iter().map(String::as_str));
+        *cx.mat = rewriter.take_mat_ctx();
         cx.failures.extend(report.failures.iter().cloned());
         Ok(PassDetail::Rop(report))
     }
@@ -538,6 +569,171 @@ pub fn wrap_rop_target(
     Ok(())
 }
 
+/// One pass of a declarative [`ObfConfig`] chain.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum PassSpec {
+    /// ROP rewriting with this configuration.
+    Rop(RopConfig),
+    /// VM virtualization with this configuration.
+    Vm(VmConfig),
+}
+
+impl PassSpec {
+    /// Table I-style label of this pass.
+    pub fn label(&self) -> String {
+        match self {
+            PassSpec::Rop(cfg) => RopPass::new(cfg.clone()).label(),
+            PassSpec::Vm(cfg) => cfg.label(),
+        }
+    }
+
+    /// The canonical field bag this pass hashes to. Per-pass RNG seeds are
+    /// deliberately excluded: the artifact key carries the seed as its own
+    /// component, so two requests differing only in seed share a config
+    /// hash (and still get distinct artifacts).
+    fn fields(&self) -> FieldBag {
+        let mut bag = FieldBag::new();
+        match self {
+            PassSpec::Rop(cfg) => {
+                bag.put_str("kind", "rop");
+                bag.put_f64("p3_fraction", cfg.p3_fraction);
+                bag.put_str(
+                    "p3_variant",
+                    match cfg.p3_variant {
+                        P3Variant::ForLoop => "for_loop",
+                        P3Variant::ArrayUpdate => "array_update",
+                        P3Variant::Mixed => "mixed",
+                    },
+                );
+                let p1 = cfg.p1.map(|p1| {
+                    let mut b = FieldBag::new();
+                    b.put_u64("n", p1.n as u64)
+                        .put_u64("s", p1.s as u64)
+                        .put_u64("p", p1.p as u64)
+                        .put_u64("m", p1.m);
+                    b
+                });
+                bag.put_opt_bag("p1", p1.as_ref());
+                bag.put_bool("p2", cfg.p2);
+                bag.put_bool("gadget_confusion", cfg.gadget_confusion);
+                let mut catalog = FieldBag::new();
+                catalog
+                    .put_f64("diversity", cfg.catalog.diversity)
+                    .put_u64("max_variants_per_op", cfg.catalog.max_variants_per_op as u64)
+                    .put_u64("scan_max_insts", cfg.catalog.scan.max_insts as u64)
+                    .put_u64("scan_max_lookback", cfg.catalog.scan.max_lookback as u64)
+                    .put_u64("synth_max_junk", cfg.catalog.synth.max_junk as u64)
+                    .put_f64("synth_junk_prob", cfg.catalog.synth.junk_prob);
+                bag.put_bag("catalog", &catalog);
+                bag.put_u64("max_rop_depth", cfg.max_rop_depth as u64);
+                bag.put_u64("spill_slots", cfg.spill_slots as u64);
+            }
+            PassSpec::Vm(cfg) => {
+                bag.put_str("kind", "vm");
+                bag.put_u64("layers", cfg.layers as u64);
+                bag.put_str(
+                    "implicit",
+                    match cfg.implicit {
+                        ImplicitAt::None => "none",
+                        ImplicitAt::First => "first",
+                        ImplicitAt::Last => "last",
+                        ImplicitAt::All => "all",
+                    },
+                );
+            }
+        }
+        bag
+    }
+}
+
+/// A declarative, *hashable* pipeline configuration: the pass chain in
+/// nesting order (innermost first), without seeds.
+///
+/// This is the serializable half of a protection request — what the server
+/// stores, hashes into artifact keys and turns into an executable
+/// [`Pipeline`] with [`ObfConfig::pipeline`]. [`ObfConfig::config_hash`]
+/// is *stable*: derived from a canonical name-sorted field encoding (see
+/// [`crate::stable`]), so struct-field reordering can never silently remap
+/// stored artifacts, while any semantic change to a knob does.
+///
+/// # Example
+///
+/// ```
+/// use raindrop::pipeline::ObfConfig;
+/// use raindrop::RopConfig;
+/// use raindrop_obfvm::VmConfig;
+///
+/// // ROP over 1VM, declared innermost-first.
+/// let config = ObfConfig::new().vm(VmConfig::plain(1)).rop(RopConfig::ropk(0.25));
+/// assert_eq!(config.label(), "ROP0.25-over-1VM");
+/// // The hash ignores per-pass seeds: the request seed is keyed separately.
+/// let reseeded =
+///     ObfConfig::new().vm(VmConfig::plain(1)).rop(RopConfig::ropk(0.25).with_seed(99));
+/// assert_eq!(config.config_hash(), reseeded.config_hash());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ObfConfig {
+    /// Passes in nesting order: the first pass is the innermost layer.
+    pub passes: Vec<PassSpec>,
+}
+
+impl ObfConfig {
+    /// An empty configuration (protecting with it is the identity).
+    pub fn new() -> ObfConfig {
+        ObfConfig::default()
+    }
+
+    /// Appends a ROP pass (builder style; its `seed` field is ignored by
+    /// [`ObfConfig::pipeline`] and [`ObfConfig::config_hash`]).
+    pub fn rop(mut self, cfg: RopConfig) -> ObfConfig {
+        self.passes.push(PassSpec::Rop(cfg));
+        self
+    }
+
+    /// Appends a VM pass (builder style; its `seed` field is ignored by
+    /// [`ObfConfig::pipeline`] and [`ObfConfig::config_hash`]).
+    pub fn vm(mut self, cfg: VmConfig) -> ObfConfig {
+        self.passes.push(PassSpec::Vm(cfg));
+        self
+    }
+
+    /// Builds the executable [`Pipeline`], threading `seed` into every
+    /// pass (per-pass seed fields in the specs are overridden — the seed is
+    /// an artifact-key component, not part of the configuration).
+    pub fn pipeline(&self, seed: u64) -> Pipeline {
+        let mut p = Pipeline::new().seed(seed);
+        for spec in &self.passes {
+            p = match spec {
+                PassSpec::Rop(cfg) => p.pass(RopPass::new(cfg.clone().with_seed(seed))),
+                PassSpec::Vm(cfg) => p.pass(VmPass::new(VmConfig { seed, ..*cfg })),
+            };
+        }
+        p
+    }
+
+    /// Outer-first composition label (`ROP0.25-over-1VM`, `NATIVE` when
+    /// empty), matching the experiment drivers' row labels.
+    pub fn label(&self) -> String {
+        if self.passes.is_empty() {
+            return "NATIVE".to_string();
+        }
+        let outer_first: Vec<String> = self.passes.iter().rev().map(PassSpec::label).collect();
+        outer_first.join("-over-")
+    }
+
+    /// The stable 128-bit configuration hash — one third of the artifact
+    /// store key. Pass *order* is semantic (nesting) and therefore part of
+    /// the hash; per-pass seeds are not (see [`PassSpec`]).
+    pub fn config_hash(&self) -> u128 {
+        let mut h = StableHasher::new();
+        h.write(b"obfconfig/v1;");
+        for spec in &self.passes {
+            h.write(format!("pass={:032x};", spec.fields().digest()).as_bytes());
+        }
+        h.finish()
+    }
+}
+
 /// The pipeline builder: passes in nesting order, one seed, one verify
 /// policy. See the [module docs](self) for the execution model.
 #[derive(Default)]
@@ -597,6 +793,23 @@ impl Pipeline {
         &self,
         program: &Program,
         targets: &[S],
+    ) -> Result<PipelineRun, PipelineError> {
+        self.run_program_with(program, targets, &mut PipelineWarm::new())
+    }
+
+    /// [`run_program`](Pipeline::run_program) with caller-owned warm
+    /// scratch state, for services that run many pipelines and want to
+    /// amortize buffer allocations across runs. Output is bit-identical to
+    /// a cold run.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`run_program`](Pipeline::run_program).
+    pub fn run_program_with<S: AsRef<str>>(
+        &self,
+        program: &Program,
+        targets: &[S],
+        warm: &mut PipelineWarm,
     ) -> Result<PipelineRun, PipelineError> {
         let total_start = Instant::now();
         let targets: Vec<String> = targets.iter().map(|s| s.as_ref().to_string()).collect();
@@ -680,7 +893,7 @@ impl Pipeline {
             (VerifyPolicy::None, _) | (_, true) => None,
             (_, false) => Some(image.clone()),
         };
-        self.run_image_jobs(&mut image, image_jobs, &public_of, &mut failures, &mut reports)?;
+        self.run_image_jobs(&mut image, image_jobs, &public_of, &mut failures, &mut reports, warm)?;
 
         // Map stage-name failures back to public names.
         let failures: Vec<(String, String)> = failures
@@ -728,6 +941,21 @@ impl Pipeline {
         image: &Image,
         targets: &[S],
     ) -> Result<PipelineRun, PipelineError> {
+        self.run_image_with(image, targets, &mut PipelineWarm::new())
+    }
+
+    /// [`run_image`](Pipeline::run_image) with caller-owned warm scratch
+    /// state (see [`Pipeline::run_program_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`run_image`](Pipeline::run_image).
+    pub fn run_image_with<S: AsRef<str>>(
+        &self,
+        image: &Image,
+        targets: &[S],
+        warm: &mut PipelineWarm,
+    ) -> Result<PipelineRun, PipelineError> {
         let total_start = Instant::now();
         if let Some(pass) = self.passes.iter().find(|p| p.stage() == Stage::Source) {
             return Err(PipelineError::SourcePassOnImage { pass: pass.label() });
@@ -754,6 +982,7 @@ impl Pipeline {
             &BTreeMap::new(),
             &mut failures,
             &mut reports,
+            warm,
         )?;
 
         let verify_start = Instant::now();
@@ -783,6 +1012,7 @@ impl Pipeline {
         public_of: &BTreeMap<String, String>,
         failures: &mut Vec<(String, String)>,
         reports: &mut [Option<PassReport>],
+        warm: &mut PipelineWarm,
     ) -> Result<(), PipelineError> {
         let public = |name: &String| public_of.get(name).unwrap_or(name).clone();
         for (i, stage_targets) in jobs {
@@ -806,7 +1036,8 @@ impl Pipeline {
                 continue;
             }
             let start = Instant::now();
-            let mut cx = ImageCtx { seed: self.seed, targets: &stage_targets, failures };
+            let mut cx =
+                ImageCtx { seed: self.seed, targets: &stage_targets, failures, mat: &mut warm.mat };
             let detail = self.passes[i].run_image(image, &mut cx)?;
             reports[i] = Some(PassReport {
                 label: self.passes[i].label(),
@@ -1035,5 +1266,77 @@ mod tests {
         assert!(rop.gadgets.total_used > 0);
         assert!(report.all_verified());
         assert!(report.total_wall >= report.compile_wall);
+    }
+
+    #[test]
+    fn obf_config_hash_ignores_seeds_but_not_knobs_or_order() {
+        let base = ObfConfig::new().vm(VmConfig::plain(1)).rop(RopConfig::ropk(0.25));
+
+        // Per-pass seeds are key components, not configuration.
+        let reseeded = ObfConfig::new()
+            .vm(VmConfig { seed: 0xDEAD, ..VmConfig::plain(1) })
+            .rop(RopConfig::ropk(0.25).with_seed(0xBEEF));
+        assert_eq!(base.config_hash(), reseeded.config_hash());
+
+        // Every semantic knob must perturb the hash.
+        let k = ObfConfig::new().vm(VmConfig::plain(1)).rop(RopConfig::ropk(0.5));
+        assert_ne!(base.config_hash(), k.config_hash());
+        let layers = ObfConfig::new().vm(VmConfig::plain(2)).rop(RopConfig::ropk(0.25));
+        assert_ne!(base.config_hash(), layers.config_hash());
+        let implicit = ObfConfig::new()
+            .vm(VmConfig::with_implicit(1, ImplicitAt::Last))
+            .rop(RopConfig::ropk(0.25));
+        assert_ne!(base.config_hash(), implicit.config_hash());
+
+        // Nesting order is semantic: ROP-over-VM != VM-over-ROP.
+        let swapped = ObfConfig::new().rop(RopConfig::ropk(0.25)).vm(VmConfig::plain(1));
+        assert_ne!(base.config_hash(), swapped.config_hash());
+
+        // And the hash itself is pinned, so a format change (which would
+        // silently remap every stored artifact) fails loudly here.
+        assert_eq!(base.config_hash(), 0x0719_f939_7885_37ff_bc78_3fad_7764_900b_u128);
+    }
+
+    #[test]
+    fn obf_config_labels_match_driver_naming() {
+        assert_eq!(ObfConfig::new().label(), "NATIVE");
+        let c = ObfConfig::new().vm(VmConfig::plain(2)).rop(RopConfig::ropk(0.25));
+        assert_eq!(c.label(), "ROP0.25-over-2VM");
+        let v = ObfConfig::new().rop(RopConfig::full()).vm(VmConfig::plain(1));
+        assert_eq!(v.label(), "1VM-over-ROP1.00");
+    }
+
+    #[test]
+    fn obf_config_pipeline_matches_hand_built_pipeline() {
+        let p = sample_program();
+        let config = ObfConfig::new().vm(VmConfig::plain(1)).rop(RopConfig::ropk(0.25));
+        let via_config = config.pipeline(9).run_program(&p, &["f"]).unwrap();
+        let via_hand = Pipeline::new()
+            .pass(VmPass::new(VmConfig { seed: 9, ..VmConfig::plain(1) }))
+            .pass(RopPass::new(RopConfig::ropk(0.25).with_seed(9)))
+            .seed(9)
+            .run_program(&p, &["f"])
+            .unwrap();
+        assert_eq!(via_config.image, via_hand.image, "identical images byte for byte");
+    }
+
+    #[test]
+    fn warm_state_reuse_is_invisible() {
+        // The server's per-worker warm state must be undetectable in the
+        // output: a pipeline run through a context that already protected
+        // other programs is bit-identical to a cold run.
+        let p = sample_program();
+        let config = ObfConfig::new().rop(RopConfig::full());
+
+        let cold = config.pipeline(5).run_program(&p, &["f"]).unwrap();
+
+        let mut warm = PipelineWarm::new();
+        // Dirty the warm state on different programs/configs first.
+        let other = ObfConfig::new().vm(VmConfig::plain(1)).rop(RopConfig::ropk(1.0));
+        other.pipeline(11).run_program_with(&p, &["f"], &mut warm).unwrap();
+        config.pipeline(3).run_program_with(&p, &["f"], &mut warm).unwrap();
+
+        let reused = config.pipeline(5).run_program_with(&p, &["f"], &mut warm).unwrap();
+        assert_eq!(cold.image, reused.image, "warm context changed the output image");
     }
 }

@@ -121,6 +121,22 @@ impl Rewriter {
         &self.config
     }
 
+    /// Seeds the rewriter with an existing warm [`MaterializeCtx`], so its
+    /// materialization buffers are reused instead of reallocated. Output is
+    /// bit-identical to a fresh context; only allocation churn changes.
+    pub fn with_mat_ctx(mut self, ctx: MaterializeCtx) -> Rewriter {
+        self.mat = ctx;
+        self
+    }
+
+    /// Takes the materialization buffers back out of the rewriter (leaving
+    /// a fresh default context behind), so a caller that owns warm state —
+    /// e.g. a protection-server worker — can carry them to the next
+    /// rewriter.
+    pub fn take_mat_ctx(&mut self) -> MaterializeCtx {
+        std::mem::take(&mut self.mat)
+    }
+
     /// The runtime installed into the image, once a `rewrite_*` call has
     /// attached the rewriter to one.
     pub fn runtime(&self) -> Option<&RopRuntime> {

@@ -179,18 +179,6 @@ pub fn verify_batch(
     cases.iter().map(|case| check_one(&mut orig, &mut new, case)).collect()
 }
 
-/// Runs a batch of differential test cases; returns the verdicts in order.
-/// (Alias of [`verify_batch`], kept for the original seed API.)
-#[deprecated(note = "call `verify_batch` (identical behaviour) directly")]
-pub fn check_function(
-    original: &Image,
-    rewritten: &Image,
-    func: &str,
-    cases: &[TestCase],
-) -> Vec<Verdict> {
-    verify_batch(original, rewritten, func, cases)
-}
-
 /// Convenience: `true` iff every case matches.
 pub fn equivalent(original: &Image, rewritten: &Image, func: &str, cases: &[TestCase]) -> bool {
     verify_batch(original, rewritten, func, cases).iter().all(Verdict::is_match)

@@ -409,13 +409,12 @@ fn the_verifier_detects_a_broken_rewrite() {
 }
 
 #[test]
-#[allow(deprecated)] // pins the deprecated shim to verify_batch behaviour
-fn check_function_generates_and_runs_cases() {
+fn verify_batch_generates_and_runs_cases() {
     let original = single_function_image("f", f_equality);
     let mut obf = original.clone();
     let mut rw = Rewriter::new(RopConfig::full());
     rw.rewrite_function(&mut obf, "f").unwrap();
-    let verdicts = raindrop::check_function(&original, &obf, "f", &arg_cases());
+    let verdicts = raindrop::verify_batch(&original, &obf, "f", &arg_cases());
     assert_eq!(verdicts.len(), arg_cases().len());
     assert!(verdicts.iter().all(Verdict::is_match));
 }

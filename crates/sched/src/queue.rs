@@ -1,0 +1,206 @@
+//! The work-stealing queue underneath [`Scheduler`](crate::Scheduler) and
+//! [`scoped_map`](crate::scoped_map).
+//!
+//! One [`WorkQueue`] serves a fixed set of workers. Jobs enter either
+//! through the *injector* — a priority heap shared by every worker — or
+//! through a worker's *local* deque ([`WorkQueue::push_local`], used to
+//! pre-shard a batch). A worker takes, in order: the front of its own local
+//! deque, the highest-priority injector job, then the *back* of the longest
+//! other local deque (a steal). Stealing is what keeps stragglers from
+//! idling the rest of the pool: a worker stuck on one expensive job simply
+//! loses the rest of its shard to its peers.
+//!
+//! All queue state sits behind one mutex; workers touch it once per job, so
+//! for the job granularities this workspace schedules (whole protection
+//! pipelines, whole DSE attacks) contention is immaterial.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// A prioritized injector entry. Ordered by descending priority, then FIFO
+/// (ascending submission sequence); the job payload never participates in
+/// the ordering.
+struct HeapEntry<J> {
+    prio: i32,
+    seq: u64,
+    job: J,
+}
+
+impl<J> PartialEq for HeapEntry<J> {
+    fn eq(&self, other: &Self) -> bool {
+        self.prio == other.prio && self.seq == other.seq
+    }
+}
+impl<J> Eq for HeapEntry<J> {}
+impl<J> PartialOrd for HeapEntry<J> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<J> Ord for HeapEntry<J> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: higher priority wins, earlier sequence
+        // breaks ties (hence the reversed seq comparison).
+        self.prio.cmp(&other.prio).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct State<J> {
+    injector: BinaryHeap<HeapEntry<J>>,
+    locals: Vec<VecDeque<J>>,
+    closed: bool,
+    seq: u64,
+    stolen: u64,
+}
+
+/// A blocking multi-producer work-stealing queue for a fixed worker set.
+///
+/// This is the sharding core generalized out of the original
+/// `AttackFleet`: the fleet's single shared `VecDeque` becomes the injector,
+/// and per-worker deques plus stealing are what let pre-sharded batches
+/// rebalance around stragglers.
+pub struct WorkQueue<J> {
+    state: Mutex<State<J>>,
+    signal: Condvar,
+}
+
+impl<J> WorkQueue<J> {
+    /// Creates a queue for `workers` workers (clamped to at least 1).
+    pub fn new(workers: usize) -> WorkQueue<J> {
+        let workers = workers.max(1);
+        WorkQueue {
+            state: Mutex::new(State {
+                injector: BinaryHeap::new(),
+                locals: (0..workers).map(|_| VecDeque::new()).collect(),
+                closed: false,
+                seq: 0,
+                stolen: 0,
+            }),
+            signal: Condvar::new(),
+        }
+    }
+
+    /// The number of workers this queue was sized for.
+    pub fn workers(&self) -> usize {
+        self.state.lock().expect("queue lock").locals.len()
+    }
+
+    /// Pushes a job onto the shared injector with the given priority
+    /// (higher runs first; equal priorities run FIFO). No-op after
+    /// [`close`](WorkQueue::close).
+    pub fn push(&self, prio: i32, job: J) {
+        let mut st = self.state.lock().expect("queue lock");
+        if st.closed {
+            return;
+        }
+        let seq = st.seq;
+        st.seq += 1;
+        st.injector.push(HeapEntry { prio, seq, job });
+        drop(st);
+        self.signal.notify_one();
+    }
+
+    /// Pushes a job onto `worker`'s local deque (back). Used to pre-shard a
+    /// batch; stealing rebalances whatever sharding gets wrong.
+    pub fn push_local(&self, worker: usize, job: J) {
+        let mut st = self.state.lock().expect("queue lock");
+        if st.closed {
+            return;
+        }
+        st.locals[worker].push_back(job);
+        drop(st);
+        self.signal.notify_one();
+    }
+
+    /// Closes the queue: no further pushes are accepted, and once the
+    /// remaining jobs drain, every blocked [`pop`](WorkQueue::pop) returns
+    /// `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.signal.notify_all();
+    }
+
+    /// Blocking dequeue for `worker`: own local front, then the injector,
+    /// then a steal from the back of the longest other local deque. Returns
+    /// `None` only when the queue is closed and fully drained.
+    pub fn pop(&self, worker: usize) -> Option<J> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = st.locals[worker].pop_front() {
+                return Some(job);
+            }
+            if let Some(entry) = st.injector.pop() {
+                return Some(entry.job);
+            }
+            let victim = (0..st.locals.len())
+                .filter(|&v| v != worker)
+                .max_by_key(|&v| st.locals[v].len())
+                .filter(|&v| !st.locals[v].is_empty());
+            if let Some(v) = victim {
+                let job = st.locals[v].pop_back().expect("victim non-empty");
+                st.stolen += 1;
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.signal.wait(st).expect("queue lock");
+        }
+    }
+
+    /// Number of jobs that were stolen from another worker's local deque.
+    pub fn stolen(&self) -> u64 {
+        self.state.lock().expect("queue lock").stolen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priorities_run_high_first_and_fifo_within() {
+        let q: WorkQueue<u32> = WorkQueue::new(1);
+        q.push(0, 1);
+        q.push(5, 2);
+        q.push(5, 3);
+        q.push(-1, 4);
+        q.close();
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop(0)).collect();
+        assert_eq!(order, vec![2, 3, 1, 4]);
+    }
+
+    #[test]
+    fn local_jobs_are_stolen_when_a_worker_never_shows_up() {
+        let q: WorkQueue<u32> = WorkQueue::new(2);
+        q.push_local(1, 10);
+        q.push_local(1, 11);
+        q.close();
+        // Worker 0 drains worker 1's shard from the back.
+        assert_eq!(q.pop(0), Some(11));
+        assert_eq!(q.pop(0), Some(10));
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.stolen(), 2);
+    }
+
+    #[test]
+    fn own_local_beats_injector_beats_steal() {
+        let q: WorkQueue<u32> = WorkQueue::new(2);
+        q.push_local(0, 1);
+        q.push(100, 2);
+        q.push_local(1, 3);
+        q.close();
+        assert_eq!(q.pop(0), Some(1), "own local first");
+        assert_eq!(q.pop(0), Some(2), "then injector");
+        assert_eq!(q.pop(0), Some(3), "then steal");
+    }
+
+    #[test]
+    fn pushes_after_close_are_dropped() {
+        let q: WorkQueue<u32> = WorkQueue::new(1);
+        q.close();
+        q.push(0, 1);
+        q.push_local(0, 2);
+        assert_eq!(q.pop(0), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! A versioned binary codec for [`Image`] artifacts.
+//!
+//! The vendored `serde_json` stand-in is serialize-only, so stored
+//! artifacts use a hand-rolled binary format instead: every variable-length
+//! field is length-prefixed (u64 little-endian), integers are little-endian
+//! fixed width, and the whole blob opens with a magic and a format version
+//! so a store written by a future codec is recognized (and migrated or
+//! rejected) rather than misparsed.
+//!
+//! Decoding is strict — any length that does not add up, any trailing
+//! bytes, any bad magic — returns a [`CodecError`], which the store treats
+//! as a cache miss. Encode-then-decode is the identity (pinned by the
+//! round-trip tests); two structurally equal images encode to identical
+//! bytes because every field is written in a canonical order.
+
+use raindrop_machine::{FuncSym, Image};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Magic prefix of an encoded image blob.
+pub const IMAGE_MAGIC: [u8; 4] = *b"RDIM";
+/// Current image codec version.
+pub const IMAGE_CODEC_VERSION: u32 = 1;
+
+/// Why a blob failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The blob does not start with [`IMAGE_MAGIC`].
+    BadMagic,
+    /// The blob's codec version has no decoder (and no migration supplied
+    /// one).
+    UnsupportedVersion(u32),
+    /// A length prefix points past the end of the blob.
+    Truncated,
+    /// The blob decodes but leaves trailing bytes.
+    TrailingBytes(usize),
+    /// A string field is not valid UTF-8.
+    BadString,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "blob does not start with the image magic"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported image codec version {v}"),
+            CodecError::Truncated => write!(f, "blob is truncated"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the image"),
+            CodecError::BadString => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// Encodes an image into a self-contained, canonical byte blob.
+pub fn encode_image(image: &Image) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        4 + 4 + 8 * 4 + image.text.len() + image.data.len() + 64 * image.symbols.len(),
+    );
+    out.extend_from_slice(&IMAGE_MAGIC);
+    out.extend_from_slice(&IMAGE_CODEC_VERSION.to_le_bytes());
+    put_u64(&mut out, image.text_base);
+    put_bytes(&mut out, &image.text);
+    put_u64(&mut out, image.data_base);
+    put_bytes(&mut out, &image.data);
+    put_u64(&mut out, image.symbols.len() as u64);
+    for (name, addr) in &image.symbols {
+        put_str(&mut out, name);
+        put_u64(&mut out, *addr);
+    }
+    put_u64(&mut out, image.functions.len() as u64);
+    for f in &image.functions {
+        put_str(&mut out, &f.name);
+        put_u64(&mut out, f.addr);
+        put_u64(&mut out, f.size);
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u64()?;
+        let len = usize::try_from(len).map_err(|_| CodecError::Truncated)?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        String::from_utf8(self.bytes()?).map_err(|_| CodecError::BadString)
+    }
+}
+
+/// Decodes a blob produced by [`encode_image`]. Strict: every byte must be
+/// accounted for.
+pub fn decode_image(blob: &[u8]) -> Result<Image, CodecError> {
+    let mut r = Reader { buf: blob, pos: 0 };
+    if r.take(4)? != IMAGE_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != IMAGE_CODEC_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let text_base = r.u64()?;
+    let text = r.bytes()?;
+    let data_base = r.u64()?;
+    let data = r.bytes()?;
+    let n_symbols = r.u64()?;
+    let mut symbols = BTreeMap::new();
+    for _ in 0..n_symbols {
+        let name = r.string()?;
+        let addr = r.u64()?;
+        symbols.insert(name, addr);
+    }
+    let n_functions = r.u64()?;
+    let mut functions = Vec::new();
+    for _ in 0..n_functions {
+        let name = r.string()?;
+        let addr = r.u64()?;
+        let size = r.u64()?;
+        functions.push(FuncSym { name, addr, size });
+    }
+    if r.pos != blob.len() {
+        return Err(CodecError::TrailingBytes(blob.len() - r.pos));
+    }
+    Ok(Image { text_base, text, data_base, data, symbols, functions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> Image {
+        let mut symbols = BTreeMap::new();
+        symbols.insert("f".to_string(), 0x1000);
+        symbols.insert("__rop_ss".to_string(), 0x4000);
+        Image {
+            text_base: 0x1000,
+            text: vec![0x90; 37],
+            data_base: 0x4000,
+            data: (0..=255u8).collect(),
+            symbols,
+            functions: vec![FuncSym { name: "f".into(), addr: 0x1000, size: 37 }],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let img = sample_image();
+        let blob = encode_image(&img);
+        assert_eq!(decode_image(&blob).unwrap(), img);
+    }
+
+    #[test]
+    fn equal_images_encode_identically() {
+        let a = encode_image(&sample_image());
+        let b = encode_image(&sample_image());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let blob = encode_image(&sample_image());
+        for cut in [0, 3, 4, 7, 8, blob.len() / 2, blob.len() - 1] {
+            assert!(decode_image(&blob[..cut]).is_err(), "cut at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut blob = encode_image(&sample_image());
+        blob[0] ^= 0xff;
+        assert_eq!(decode_image(&blob), Err(CodecError::BadMagic));
+        let mut blob = encode_image(&sample_image());
+        blob[4] = 99;
+        assert_eq!(decode_image(&blob), Err(CodecError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut blob = encode_image(&sample_image());
+        blob.push(0);
+        assert_eq!(decode_image(&blob), Err(CodecError::TrailingBytes(1)));
+    }
+}

@@ -1,0 +1,42 @@
+//! # raindrop-server
+//!
+//! Protection-as-a-service: a long-running obfuscation server that feeds
+//! [`ProtectRequest`]s through the shared `raindrop-sched` scheduler and
+//! persists results in a content-addressed, versioned [`ArtifactStore`].
+//!
+//! The request lifecycle:
+//!
+//! ```text
+//! ProtectRequest { program, targets, config, seed }
+//!        │ key = (source_hash, config_hash, seed)
+//!        ▼
+//!   Scheduler (N workers, each holding a warm PipelineWarm)
+//!        │
+//!        ├─ store.get(key) hit ──► Protected { cache_hit: true }   (no pipeline run)
+//!        │
+//!        └─ miss ─► config.pipeline(seed).run_program_with(..)
+//!                      │ store.put(key, image)
+//!                      ▼
+//!                 Protected { cache_hit: false }
+//! ```
+//!
+//! Cache hits are byte-identical to fresh pipeline runs: warm worker state
+//! is scratch-only, the codec is canonical, and every blob is checksummed —
+//! a damaged store entry demotes to a miss and is recomputed, never served
+//! wrong. See [`store`] for the on-disk layout and the migration hooks, and
+//! [`codec`] for the artifact encoding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod server;
+pub mod store;
+
+pub use codec::{decode_image, encode_image, CodecError, IMAGE_CODEC_VERSION};
+pub use server::{
+    source_hash, ProtectError, ProtectRequest, ProtectWorker, Protected, Server, ServerStats,
+};
+pub use store::{
+    ArtifactKey, ArtifactStore, Migration, StoreConfig, StoreError, StoreStats, STORE_VERSION,
+};

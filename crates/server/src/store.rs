@@ -1,0 +1,512 @@
+//! The content-addressed artifact store.
+//!
+//! Protection results are keyed by [`ArtifactKey`] — `(source hash, config
+//! hash, seed)` — and persisted in a two-file, append-only layout under one
+//! directory:
+//!
+//! ```text
+//! <dir>/index.rds   "RDSI" + u32 version, then append-only records:
+//!                   [tag][key][blob_off][blob_len][blob_crc][rec_crc]
+//!                   tag 1 = put, tag 2 = evict (offsets zero)
+//! <dir>/blobs.rds   "RDSB" + u32 version, then raw image blobs
+//!                   (see `codec`), appended back to back
+//! ```
+//!
+//! Every index record carries its own checksum (`rec_crc`) and the checksum
+//! of the blob it points at (`blob_crc`). Corruption is therefore *local*:
+//! a torn or damaged tail record stops replay at the last good record, a
+//! flipped blob byte fails its checksum on [`get`](ArtifactStore::get) —
+//! both surface as cache misses, never as wrong artifacts (pinned by the
+//! `store_roundtrip` suite).
+//!
+//! The files are version-stamped. Opening a store written at an older
+//! version walks the [`Migration`] hooks registered for that version chain
+//! and rewrites the store at the current version; an unbridgeable version
+//! starts fresh (an artifact store is a cache — losing it costs time, not
+//! correctness).
+//!
+//! Eviction is FIFO by insertion order, driven by a byte budget
+//! ([`StoreConfig::max_blob_bytes`]). Evict records only mark entries dead;
+//! [`compact`](ArtifactStore::compact) rewrites both files to drop dead
+//! bytes, and runs automatically when dead bytes outgrow live bytes.
+
+use crate::codec::{decode_image, encode_image};
+use raindrop::stable_hash_bytes;
+use raindrop_machine::Image;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of `index.rds`.
+pub const INDEX_MAGIC: [u8; 4] = *b"RDSI";
+/// Magic prefix of `blobs.rds`.
+pub const BLOBS_MAGIC: [u8; 4] = *b"RDSB";
+/// Current on-disk store format version.
+pub const STORE_VERSION: u32 = 1;
+
+const TAG_PUT: u8 = 1;
+const TAG_EVICT: u8 = 2;
+/// tag + source(16) + config(16) + seed(8) + off(8) + len(8) + blob_crc(8)
+/// + rec_crc(8).
+const RECORD_LEN: usize = 1 + 16 + 16 + 8 + 8 + 8 + 8 + 8;
+
+/// The cache key of one protection artifact.
+///
+/// * `source_hash` — stable hash of the protected program *and* the target
+///   list (the same program protected for different targets is a different
+///   artifact);
+/// * `config_hash` — [`raindrop::ObfConfig::config_hash`], which excludes
+///   per-pass seeds;
+/// * `seed` — the request seed, threaded into every pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArtifactKey {
+    /// Stable hash of the source program + target list.
+    pub source_hash: u128,
+    /// Stable hash of the obfuscation configuration (seed-independent).
+    pub config_hash: u128,
+    /// The protection seed.
+    pub seed: u64,
+}
+
+impl fmt::Display for ArtifactKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}-{:032x}-{:016x}", self.source_hash, self.config_hash, self.seed)
+    }
+}
+
+/// A migration hook bridging one store version to the next.
+///
+/// Registered hooks are applied in version order when an older store is
+/// opened: each live blob of a version-`source_version()` store is passed
+/// through [`migrate_blob`](Migration::migrate_blob) and the store is
+/// rewritten at `source_version() + 1`. Returning `None` drops that blob
+/// (it will be recomputed on demand — the store is a cache).
+pub trait Migration {
+    /// The store version this hook upgrades *from*.
+    fn source_version(&self) -> u32;
+    /// Rewrites one blob into the next version's format.
+    fn migrate_blob(&self, blob: &[u8]) -> Option<Vec<u8>>;
+}
+
+/// Store construction knobs.
+#[derive(Debug, Clone, Default)]
+pub struct StoreConfig {
+    /// FIFO-evict oldest artifacts once live blob bytes exceed this
+    /// (`None` = unbounded).
+    pub max_blob_bytes: Option<u64>,
+}
+
+/// Aggregate store statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Artifacts currently retrievable.
+    pub live_entries: u64,
+    /// Bytes of live blobs.
+    pub live_bytes: u64,
+    /// Bytes of dead (evicted/overwritten) blobs awaiting compaction.
+    pub dead_bytes: u64,
+    /// Successful [`get`](ArtifactStore::get) calls.
+    pub hits: u64,
+    /// [`get`](ArtifactStore::get) calls that found nothing.
+    pub misses: u64,
+    /// Hits invalidated by checksum/decode failure (served as misses).
+    pub corrupt: u64,
+    /// Entries evicted by the FIFO byte budget.
+    pub evictions: u64,
+    /// Times the files were compacted.
+    pub compactions: u64,
+}
+
+/// Errors from store I/O (corruption is *not* an error — it demotes to a
+/// miss; these are real filesystem failures).
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    off: u64,
+    len: u64,
+    blob_crc: u64,
+    /// Monotonic insertion sequence — the FIFO eviction order.
+    seq: u64,
+}
+
+/// The content-addressed, versioned artifact store. See the [module
+/// docs](self) for the on-disk layout and corruption model.
+///
+/// # Example
+///
+/// ```no_run
+/// use raindrop_server::{ArtifactKey, ArtifactStore, StoreConfig};
+///
+/// # fn main() -> Result<(), raindrop_server::StoreError> {
+/// let mut store = ArtifactStore::open("/tmp/raindrop-store", StoreConfig::default())?;
+/// let key = ArtifactKey { source_hash: 1, config_hash: 2, seed: 3 };
+/// if store.get(&key)?.is_none() {
+///     let image = expensive_protection_run();
+///     store.put(&key, &image)?;
+/// }
+/// assert!(store.get(&key)?.is_some(), "subsequent requests hit the cache");
+/// # Ok(())
+/// # }
+/// # fn expensive_protection_run() -> raindrop_machine::Image { unimplemented!() }
+/// ```
+pub struct ArtifactStore {
+    dir: PathBuf,
+    config: StoreConfig,
+    index: File,
+    blobs: File,
+    entries: BTreeMap<ArtifactKey, Entry>,
+    next_seq: u64,
+    stats: StoreStats,
+}
+
+fn crc64(bytes: &[u8]) -> u64 {
+    stable_hash_bytes(bytes) as u64
+}
+
+fn encode_record(tag: u8, key: &ArtifactKey, off: u64, len: u64, blob_crc: u64) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(RECORD_LEN);
+    rec.push(tag);
+    rec.extend_from_slice(&key.source_hash.to_le_bytes());
+    rec.extend_from_slice(&key.config_hash.to_le_bytes());
+    rec.extend_from_slice(&key.seed.to_le_bytes());
+    rec.extend_from_slice(&off.to_le_bytes());
+    rec.extend_from_slice(&len.to_le_bytes());
+    rec.extend_from_slice(&blob_crc.to_le_bytes());
+    let rec_crc = crc64(&rec);
+    rec.extend_from_slice(&rec_crc.to_le_bytes());
+    rec
+}
+
+/// A parsed index record.
+struct Record {
+    tag: u8,
+    key: ArtifactKey,
+    off: u64,
+    len: u64,
+    blob_crc: u64,
+}
+
+fn decode_record(bytes: &[u8]) -> Option<Record> {
+    if bytes.len() != RECORD_LEN {
+        return None;
+    }
+    let (body, crc_bytes) = bytes.split_at(RECORD_LEN - 8);
+    let stored_crc = u64::from_le_bytes(crc_bytes.try_into().ok()?);
+    if crc64(body) != stored_crc {
+        return None;
+    }
+    let tag = body[0];
+    if tag != TAG_PUT && tag != TAG_EVICT {
+        return None;
+    }
+    let u128_at = |o: usize| u128::from_le_bytes(body[o..o + 16].try_into().expect("16 bytes"));
+    let u64_at = |o: usize| u64::from_le_bytes(body[o..o + 8].try_into().expect("8 bytes"));
+    Some(Record {
+        tag,
+        key: ArtifactKey { source_hash: u128_at(1), config_hash: u128_at(17), seed: u64_at(33) },
+        off: u64_at(41),
+        len: u64_at(49),
+        blob_crc: u64_at(57),
+    })
+}
+
+fn write_header(file: &mut File, magic: [u8; 4], version: u32) -> Result<(), StoreError> {
+    file.write_all(&magic)?;
+    file.write_all(&version.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads a file header; `None` when missing/torn/wrong magic.
+fn read_header(bytes: &[u8], magic: [u8; 4]) -> Option<u32> {
+    if bytes.len() < 8 || bytes[..4] != magic {
+        return None;
+    }
+    Some(u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")))
+}
+
+impl ArtifactStore {
+    /// Opens (or creates) a store in `dir` with no migrations registered.
+    pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> Result<ArtifactStore, StoreError> {
+        ArtifactStore::open_with_migrations(dir, config, &[])
+    }
+
+    /// Opens (or creates) a store in `dir`. A store written at an older
+    /// format version is upgraded through `migrations` (see [`Migration`]);
+    /// with no bridging chain the store restarts empty.
+    pub fn open_with_migrations(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+        migrations: &[&dyn Migration],
+    ) -> Result<ArtifactStore, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let index_path = dir.join("index.rds");
+        let blobs_path = dir.join("blobs.rds");
+
+        // Replay whatever is on disk (tolerating any corruption) into the
+        // in-memory table, migrating across versions if needed.
+        let index_bytes = std::fs::read(&index_path).unwrap_or_default();
+        let blob_bytes = std::fs::read(&blobs_path).unwrap_or_default();
+        let disk_version = read_header(&index_bytes, INDEX_MAGIC)
+            .filter(|v| read_header(&blob_bytes, BLOBS_MAGIC) == Some(*v));
+        let mut replayed: Vec<(ArtifactKey, Vec<u8>)> = Vec::new();
+        if let Some(mut version) = disk_version {
+            let mut live: BTreeMap<ArtifactKey, (u64, u64, u64)> = BTreeMap::new();
+            let mut order: Vec<ArtifactKey> = Vec::new();
+            let mut pos = 8;
+            while pos + RECORD_LEN <= index_bytes.len() {
+                let Some(rec) = decode_record(&index_bytes[pos..pos + RECORD_LEN]) else {
+                    break; // torn/corrupt tail: everything after is a miss
+                };
+                pos += RECORD_LEN;
+                match rec.tag {
+                    TAG_PUT => {
+                        if live.insert(rec.key, (rec.off, rec.len, rec.blob_crc)).is_none() {
+                            order.push(rec.key);
+                        }
+                    }
+                    _ => {
+                        live.remove(&rec.key);
+                    }
+                }
+            }
+            for key in order {
+                let Some((off, len, blob_crc)) = live.get(&key).copied() else { continue };
+                let (off, len) = (off as usize, len as usize);
+                let Some(end) = off.checked_add(len).filter(|e| *e <= blob_bytes.len()) else {
+                    continue; // blob out of range: miss
+                };
+                let blob = &blob_bytes[off..end];
+                if crc64(blob) != blob_crc {
+                    continue; // damaged blob: miss
+                }
+                replayed.push((key, blob.to_vec()));
+            }
+            // Walk the migration chain up to the current version; a gap in
+            // the chain abandons the old contents (cache, not database).
+            while version < STORE_VERSION {
+                match migrations.iter().find(|m| m.source_version() == version) {
+                    Some(m) => {
+                        replayed = replayed
+                            .into_iter()
+                            .filter_map(|(k, blob)| m.migrate_blob(&blob).map(|b| (k, b)))
+                            .collect();
+                        version += 1;
+                    }
+                    None => {
+                        replayed.clear();
+                        break;
+                    }
+                }
+            }
+            if version > STORE_VERSION {
+                replayed.clear(); // written by a future format
+            }
+        }
+
+        // Rewrite both files from the replayed state: this compacts dead
+        // bytes for free and stamps the current version.
+        let mut index = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&index_path)?;
+        let mut blobs = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&blobs_path)?;
+        write_header(&mut index, INDEX_MAGIC, STORE_VERSION)?;
+        write_header(&mut blobs, BLOBS_MAGIC, STORE_VERSION)?;
+        let mut store = ArtifactStore {
+            dir,
+            config,
+            index,
+            blobs,
+            entries: BTreeMap::new(),
+            next_seq: 0,
+            stats: StoreStats::default(),
+        };
+        for (key, blob) in replayed {
+            store.append_blob(&key, &blob)?;
+        }
+        store.flush()?;
+        // Replay artifacts are inventory, not traffic: forget counters.
+        store.stats = StoreStats {
+            live_entries: store.entries.len() as u64,
+            live_bytes: store.live_bytes(),
+            ..StoreStats::default()
+        };
+        Ok(store)
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn live_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.len).sum()
+    }
+
+    fn append_blob(&mut self, key: &ArtifactKey, blob: &[u8]) -> Result<(), StoreError> {
+        let off = self.blobs.seek(SeekFrom::End(0))?;
+        self.blobs.write_all(blob)?;
+        let blob_crc = crc64(blob);
+        let rec = encode_record(TAG_PUT, key, off, blob.len() as u64, blob_crc);
+        self.index.seek(SeekFrom::End(0))?;
+        self.index.write_all(&rec)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(old) =
+            self.entries.insert(*key, Entry { off, len: blob.len() as u64, blob_crc, seq })
+        {
+            self.stats.dead_bytes += old.len;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        self.blobs.flush()?;
+        self.index.flush()?;
+        Ok(())
+    }
+
+    /// Stores `image` under `key` (overwriting any previous artifact),
+    /// enforcing the FIFO byte budget and auto-compacting when dead bytes
+    /// outgrow live bytes.
+    pub fn put(&mut self, key: &ArtifactKey, image: &Image) -> Result<(), StoreError> {
+        let blob = encode_image(image);
+        self.append_blob(key, &blob)?;
+        if let Some(budget) = self.config.max_blob_bytes {
+            while self.live_bytes() > budget && self.entries.len() > 1 {
+                let oldest = *self.entries.iter().min_by_key(|(_, e)| e.seq).expect("non-empty").0;
+                self.evict(&oldest)?;
+            }
+        }
+        if self.stats.dead_bytes > self.live_bytes() {
+            self.compact()?;
+        }
+        self.flush()?;
+        self.stats.live_entries = self.entries.len() as u64;
+        self.stats.live_bytes = self.live_bytes();
+        Ok(())
+    }
+
+    /// Marks `key` dead (its blob bytes are reclaimed by the next
+    /// [`compact`](ArtifactStore::compact)).
+    pub fn evict(&mut self, key: &ArtifactKey) -> Result<bool, StoreError> {
+        let Some(entry) = self.entries.remove(key) else { return Ok(false) };
+        let rec = encode_record(TAG_EVICT, key, 0, 0, 0);
+        self.index.seek(SeekFrom::End(0))?;
+        self.index.write_all(&rec)?;
+        self.stats.dead_bytes += entry.len;
+        self.stats.evictions += 1;
+        self.stats.live_entries = self.entries.len() as u64;
+        self.stats.live_bytes = self.live_bytes();
+        Ok(true)
+    }
+
+    /// Retrieves the artifact stored under `key`. Damaged records or blobs
+    /// demote to a miss (and the entry is dropped so the damage is not
+    /// re-read).
+    pub fn get(&mut self, key: &ArtifactKey) -> Result<Option<Image>, StoreError> {
+        let Some(entry) = self.entries.get(key).copied() else {
+            self.stats.misses += 1;
+            return Ok(None);
+        };
+        let mut blob = vec![0u8; entry.len as usize];
+        let ok = self
+            .blobs
+            .seek(SeekFrom::Start(entry.off))
+            .and_then(|_| self.blobs.read_exact(&mut blob))
+            .is_ok();
+        let image =
+            if ok && crc64(&blob) == entry.blob_crc { decode_image(&blob).ok() } else { None };
+        match image {
+            Some(image) => {
+                self.stats.hits += 1;
+                Ok(Some(image))
+            }
+            None => {
+                self.entries.remove(key);
+                self.stats.corrupt += 1;
+                self.stats.misses += 1;
+                self.stats.live_entries = self.entries.len() as u64;
+                self.stats.live_bytes = self.live_bytes();
+                Ok(None)
+            }
+        }
+    }
+
+    /// Whether `key` currently has a (believed-live) artifact.
+    pub fn contains(&self, key: &ArtifactKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Rewrites both files keeping only live entries, reclaiming dead blob
+    /// bytes and collapsing the index to one record per artifact.
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        let mut ordered: Vec<(ArtifactKey, Entry)> =
+            self.entries.iter().map(|(k, e)| (*k, *e)).collect();
+        ordered.sort_by_key(|(_, e)| e.seq);
+        let mut kept: Vec<(ArtifactKey, Vec<u8>)> = Vec::with_capacity(ordered.len());
+        for (key, entry) in ordered {
+            let mut blob = vec![0u8; entry.len as usize];
+            let ok = self
+                .blobs
+                .seek(SeekFrom::Start(entry.off))
+                .and_then(|_| self.blobs.read_exact(&mut blob))
+                .is_ok();
+            if ok && crc64(&blob) == entry.blob_crc {
+                kept.push((key, blob));
+            }
+        }
+        self.index.set_len(0)?;
+        self.index.seek(SeekFrom::Start(0))?;
+        self.blobs.set_len(0)?;
+        self.blobs.seek(SeekFrom::Start(0))?;
+        write_header(&mut self.index, INDEX_MAGIC, STORE_VERSION)?;
+        write_header(&mut self.blobs, BLOBS_MAGIC, STORE_VERSION)?;
+        self.entries.clear();
+        for (key, blob) in kept {
+            self.append_blob(&key, &blob)?;
+        }
+        self.flush()?;
+        self.stats.dead_bytes = 0;
+        self.stats.compactions += 1;
+        self.stats.live_entries = self.entries.len() as u64;
+        self.stats.live_bytes = self.live_bytes();
+        Ok(())
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> StoreStats {
+        self.stats.clone()
+    }
+}

@@ -1,0 +1,142 @@
+//! Server-level guarantees: duplicate requests are served from the store
+//! with no pipeline re-execution, artifacts survive restarts, and results
+//! are independent of the worker count (the RNG-audit mirror of the attack
+//! fleet's `fleet_results_are_independent_of_worker_count`).
+
+use raindrop::pipeline::ObfConfig;
+use raindrop::RopConfig;
+use raindrop_machine::Image;
+use raindrop_obfvm::VmConfig;
+use raindrop_server::{ProtectRequest, Server, StoreConfig};
+use raindrop_synth::minic::{BinOp, Expr, Function, Program, Stmt};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "raindrop-server-test-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// f(x) = (x + c) ^ (x >> 1), parameterized so different `c`s give
+/// different programs (and so different source hashes).
+fn program(c: u64) -> Program {
+    Program::new().with_function(Function {
+        name: "f".into(),
+        params: 1,
+        locals: 0,
+        body: vec![Stmt::Return(Expr::bin(
+            BinOp::Xor,
+            Expr::bin(BinOp::Add, Expr::Arg(0), Expr::c(c as i64)),
+            Expr::bin(BinOp::Shr, Expr::Arg(0), Expr::c(1)),
+        ))],
+    })
+}
+
+fn request(c: u64, config: ObfConfig, seed: u64) -> ProtectRequest {
+    ProtectRequest { program: program(c), targets: vec!["f".into()], config, seed }
+}
+
+/// A mixed batch: two programs × two configs × two seeds.
+fn request_matrix() -> Vec<ProtectRequest> {
+    let mut out = Vec::new();
+    for c in [3, 17] {
+        for config in [
+            ObfConfig::new().rop(RopConfig::ropk(0.25)),
+            ObfConfig::new().vm(VmConfig::plain(1)).rop(RopConfig::ropk(1.0)),
+        ] {
+            for seed in [7, 8] {
+                out.push(request(c, config.clone(), seed));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn duplicate_request_is_served_from_store_without_rerunning() {
+    let dir = fresh_dir("dup");
+    let server = Server::start(2, &dir, StoreConfig::default()).unwrap();
+    let req = request(3, ObfConfig::new().rop(RopConfig::ropk(0.25)), 7);
+
+    let first = server.submit(req.clone()).wait().expect_completed().unwrap();
+    assert!(!first.cache_hit, "cold request must run the pipeline");
+
+    let second = server.submit(req).wait().expect_completed().unwrap();
+    assert!(second.cache_hit, "duplicate request must come from the store");
+    assert_eq!(first.image, second.image, "cache hit must be byte-identical");
+    assert_eq!(first.key, second.key);
+
+    let stats = server.stats();
+    assert_eq!(stats.pipeline_runs, 1, "the pipeline ran exactly once: {stats:?}");
+    assert_eq!(stats.cache_hits, 1, "{stats:?}");
+    assert_eq!(stats.requests, 2);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn artifacts_survive_server_restart() {
+    let dir = fresh_dir("restart");
+    let req = request(17, ObfConfig::new().rop(RopConfig::full()), 5);
+    let cold = {
+        let server = Server::start(2, &dir, StoreConfig::default()).unwrap();
+        let r = server.submit(req.clone()).wait().expect_completed().unwrap();
+        server.shutdown();
+        r
+    };
+    let server = Server::start(2, &dir, StoreConfig::default()).unwrap();
+    let warm = server.submit(req).wait().expect_completed().unwrap();
+    assert!(warm.cache_hit, "a restarted server serves persisted artifacts");
+    assert_eq!(warm.image, cold.image, "byte-identical across restart");
+    assert_eq!(server.stats().pipeline_runs, 0, "no recomputation after restart");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn results_are_independent_of_worker_count() {
+    // The RNG audit: protection seeds travel inside requests and worker
+    // contexts hold scratch only, so a 1-worker server and an N-worker
+    // server must produce identical artifacts for an identical batch.
+    let run = |workers: usize| -> Vec<Image> {
+        let dir = fresh_dir("workers");
+        let server = Server::start(workers, &dir, StoreConfig::default()).unwrap();
+        let handles: Vec<_> = request_matrix().into_iter().map(|r| server.submit(r)).collect();
+        let images =
+            handles.into_iter().map(|h| h.wait().expect_completed().unwrap().image).collect();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+        images
+    };
+    let solo = run(1);
+    let fleet = run(4);
+    assert_eq!(solo.len(), fleet.len());
+    for (i, (a, b)) in solo.iter().zip(&fleet).enumerate() {
+        assert_eq!(a, b, "request {i}: worker count perturbed the artifact");
+    }
+}
+
+#[test]
+fn failing_targets_surface_as_errors_not_artifacts() {
+    let dir = fresh_dir("fail");
+    let server = Server::start(1, &dir, StoreConfig::default()).unwrap();
+    let req = ProtectRequest {
+        program: program(3),
+        targets: vec!["nope".into()],
+        config: ObfConfig::new().rop(RopConfig::ropk(0.25)),
+        seed: 1,
+    };
+    let out = server.submit(req).wait().expect_completed();
+    assert!(out.is_err(), "unknown target must fail");
+    let stats = server.stats();
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.store.live_entries, 0, "failures are never cached");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
