@@ -1,14 +1,15 @@
 //! Concolic (dynamic symbolic) execution — the reproduction's S2E stand-in.
 //!
 //! A shadow executor runs the target function concretely on the RM64
-//! emulator while propagating [`SymExpr`]s for registers and memory bytes
-//! that depend on the attacker-controlled input. Every conditional branch
-//! whose flags depend on the input yields a path constraint; the DSE driver
-//! performs generational search — negate one constraint at a time, ask the
-//! solver for an input, re-execute — until the goal is reached or the work
-//! budget runs out. The cost unit is emulated instructions, so the relative
-//! slowdowns caused by ROP chains, P1/P3 and VM interpreters are measured on
-//! the same scale the paper uses wall-clock time for.
+//! emulator while propagating arena-interned expressions ([`ExprId`]s) for
+//! registers and memory bytes that depend on the attacker-controlled input.
+//! Every conditional branch whose flags depend on the input yields a path
+//! [`Constraint`]; the DSE driver performs generational search — negate one
+//! constraint at a time, ask the [`Solver`] for an input, re-execute — until
+//! the goal is reached or the work budget runs out. The cost unit is
+//! emulated instructions, so the relative slowdowns caused by ROP chains,
+//! P1/P3 and VM interpreters are measured on the same scale the paper uses
+//! wall-clock time for.
 //!
 //! # Fork-point exploration
 //!
@@ -32,36 +33,45 @@
 //! input-dependent address, tainted flags are consumed, a carry chain or a
 //! symbolic divisor shows up), the run sets a *hazard* flag and stops
 //! capturing fork points; flips past that point fall back to a full re-run,
-//! which keeps the two modes equivalent instead of subtly wrong.
+//! which keeps the two modes equivalent instead of subtly wrong. The first
+//! hazard of each path is reported (cause plus the number of distinct
+//! branch constraints recorded before it) and aggregated per cause into
+//! [`DseOutcome::hazard_causes`], so a suite where expression-size
+//! concretization caps symbolic depth is visible as such instead of
+//! folding silently into "defeated".
 //!
 //! # Constraint caching
 //!
-//! Path constraints are keyed by a canonical byte serialization
-//! ([`Constraint::canonical_key`]). Two cache layers exploit it: duplicated
-//! constraints along one path (ROP chains re-execute the same compare at
-//! many program points) make the flip provably unsatisfiable, so they are
-//! skipped without calling the solver at all; and solver queries are
-//! memoized under their *normalized* form — the sorted set of distinct
-//! prefix keys plus the negated key — so equivalent frontier entries across
-//! paths are solved exactly once.
+//! All expressions of one attack live in a single hash-consed [`ExprArena`]
+//! owned by the engine, so a [`Constraint`] — a `Copy` struct of interned
+//! ids — *is* its own exact structural key. Two cache layers exploit that:
+//! duplicated constraints along one path (ROP chains re-execute the same
+//! compare at many program points) make the flip provably unsatisfiable, so
+//! they are skipped without calling the solver at all; and solver queries
+//! are memoized under their *normalized* form — a duplicate-safe
+//! [`SetDigest`] of the distinct prefix-constraint structural hashes plus
+//! the negated constraint's hash — so equivalent frontier entries across
+//! paths (and across runs: structural hashes are arena-independent) are
+//! solved exactly once.
 //!
 //! [`ExecStats`]: raindrop_machine::ExecStats
 //! [`Snapshot`]: raindrop_machine::Snapshot
 
-use crate::sym::{eval_shared, invert_shared, BinKind, EvalMemo, SymExpr, UnKind, VarMemo};
-use raindrop_machine::{AluOp, Cond, EmuError, Emulator, Flags, Image, Inst, Reg, Snapshot};
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use crate::solver::{Constraint, SearchSolver, SetDigest, Solver, VarDomain};
+use crate::sym::{BinKind, EvalMemo, ExprArena, ExprId, UnKind};
+use raindrop_machine::{AluOp, Cond, EmuError, Emulator, Image, Inst, Reg, Snapshot};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-/// Cap on shadow-expression size; larger expressions are concretized, the
-/// standard concolic fallback (§VII-C3 discusses its limits on table
-/// lookups).
-const MAX_EXPR_SIZE: usize = 512;
+/// Cap on shadow-expression size, measured as the *DAG size* (distinct
+/// arena nodes reachable — the real memory footprint); larger expressions
+/// are concretized, the standard concolic fallback (§VII-C3 discusses its
+/// limits on table lookups). The previous representation measured the
+/// unrolled tree, ~86× larger than the node graph on P3-strengthened
+/// chains, which tripped this hazard after only ~a hundred branches.
+const MAX_EXPR_NODES: usize = 4096;
 
 /// Cap on fork points captured per path: bounds the snapshot memory a
 /// single deep path can pin while its flips wait in the frontier.
@@ -117,91 +127,18 @@ impl InputSpec {
             InputSpec::MemoryBuffer { .. } => 0xff,
         }
     }
-}
 
-/// One recorded path constraint.
-#[derive(Debug, Clone)]
-pub struct Constraint {
-    /// Left flag operand.
-    pub lhs: Rc<SymExpr>,
-    /// Right flag operand.
-    pub rhs: Rc<SymExpr>,
-    /// Whether the flags came from a subtraction (`cmp`) or an AND (`test`).
-    pub flag_is_sub: bool,
-    /// The branch condition.
-    pub cond: Cond,
-    /// Whether the branch was taken in the recorded execution.
-    pub taken: bool,
-}
-
-impl Constraint {
-    /// Evaluates the branch outcome for a concrete input assignment.
-    pub fn outcome(&self, input: &[u64]) -> bool {
-        let a = self.lhs.eval(input);
-        let b = self.rhs.eval(input);
-        let mut flags = Flags::cleared();
-        if self.flag_is_sub {
-            flags.set_sub(a, b, false);
-        } else {
-            flags.set_logic(a & b);
-        }
-        self.cond.eval(flags)
+    /// The solver-facing variable domain.
+    pub fn domain(&self) -> VarDomain {
+        let exhaustive = match self {
+            InputSpec::RegisterArg { size_bytes } if *size_bytes <= 2 => {
+                Some(1u64 << (8 * *size_bytes))
+            }
+            InputSpec::MemoryBuffer { .. } => Some(256),
+            _ => None,
+        };
+        VarDomain { vars: self.vars(), mask: self.var_mask(), exhaustive }
     }
-
-    /// Whether the constraint holds in the direction observed at record
-    /// time for the given input.
-    pub fn satisfied_as_recorded(&self, input: &[u64]) -> bool {
-        self.outcome(input) == self.taken
-    }
-
-    /// [`Constraint::outcome`] evaluated through a shared-subtree memo —
-    /// same result, linear in the *distinct* nodes of the path instead of
-    /// the (heavily shared) tree size.
-    pub fn outcome_shared(&self, input: &[u64], memo: &mut EvalMemo) -> bool {
-        let a = eval_shared(&self.lhs, input, memo);
-        let b = eval_shared(&self.rhs, input, memo);
-        let mut flags = Flags::cleared();
-        if self.flag_is_sub {
-            flags.set_sub(a, b, false);
-        } else {
-            flags.set_logic(a & b);
-        }
-        self.cond.eval(flags)
-    }
-
-    /// [`Constraint::satisfied_as_recorded`] through a shared-subtree memo.
-    pub fn satisfied_as_recorded_shared(&self, input: &[u64], memo: &mut EvalMemo) -> bool {
-        self.outcome_shared(input, memo) == self.taken
-    }
-
-    /// Canonical byte serialization of the constraint.
-    ///
-    /// Structurally equal constraints (same operand expressions, flag
-    /// source, condition and recorded direction) produce equal keys, so the
-    /// key doubles as an exact, collision-free cache handle: along one path
-    /// a repeated key means the flip is unsatisfiable (the prefix already
-    /// pins the branch the recorded way), and across paths equal normalized
-    /// key sets hit the same solver-cache slot.
-    pub fn canonical_key(&self) -> Vec<u8> {
-        constraint_key(&self.lhs, &self.rhs, self.flag_is_sub, self.cond, self.taken)
-    }
-}
-
-fn constraint_key(
-    lhs: &SymExpr,
-    rhs: &SymExpr,
-    flag_is_sub: bool,
-    cond: Cond,
-    taken: bool,
-) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64);
-    lhs.write_canonical(&mut out);
-    out.push(0xfe);
-    rhs.write_canonical(&mut out);
-    out.push(flag_is_sub as u8);
-    out.push(cond as u8);
-    out.push(taken as u8);
-    out
 }
 
 /// Result of one shadowed execution.
@@ -215,29 +152,44 @@ pub struct PathRecord {
     pub instructions: u64,
     /// Probe indices observed set after the run.
     pub probes_hit: BTreeSet<u32>,
+    /// The first hazard that stopped exact shadow tracking, if any.
+    pub hazard_cause: Option<&'static str>,
+    /// Distinct branch constraints recorded before the first hazard (the
+    /// whole path's distinct count when no hazard occurred): the depth to
+    /// which the explorer can still fork exactly.
+    pub branches_pre_hazard: usize,
+}
+
+/// One shadowed execution together with the arena its constraint
+/// expressions live in (returned by [`shadow_run`]).
+pub struct ShadowRun {
+    /// The expression arena every [`Constraint`] id of `record` points into.
+    pub arena: ExprArena,
+    /// The recorded path.
+    pub record: PathRecord,
 }
 
 /// How the real machine flags were computed, in terms of shadow
 /// expressions, so a fork-point restore can replay them exactly for a new
 /// input.
-#[derive(Clone)]
+#[derive(Clone, Copy)]
 enum FlagReplay {
     /// `Flags::set_sub(a, b, false)`.
-    Sub(Rc<SymExpr>, Rc<SymExpr>),
+    Sub(ExprId, ExprId),
     /// `Flags::set_add(a, b, false)`.
-    Add(Rc<SymExpr>, Rc<SymExpr>),
+    Add(ExprId, ExprId),
     /// `Flags::set_logic(v)`.
-    Logic(Rc<SymExpr>),
+    Logic(ExprId),
 }
 
 /// Shadow model of the machine flags: the constraint operands (the model
 /// the solver reasons over) plus the exact replay recipe.
-#[derive(Clone)]
+#[derive(Clone, Copy)]
 struct FlagShadow {
     /// Constraint model: left operand.
-    lhs: Rc<SymExpr>,
+    lhs: ExprId,
     /// Constraint model: right operand.
-    rhs: Rc<SymExpr>,
+    rhs: ExprId,
     /// Constraint model: subtraction (`cmp`-style) vs AND (`test`-style).
     is_sub: bool,
     /// Exact flag computation for fork-point patching.
@@ -245,20 +197,21 @@ struct FlagShadow {
 }
 
 impl FlagShadow {
-    fn symbolic(&self) -> bool {
-        self.lhs.is_symbolic() || self.rhs.is_symbolic()
+    fn symbolic(&self, arena: &ExprArena) -> bool {
+        arena.is_symbolic(self.lhs) || arena.is_symbolic(self.rhs)
     }
 
     /// Whether the constraint model `(lhs, rhs, is_sub)` predicts the real
     /// branch outcome for `cond` exactly. `cmp`/`test`/`neg`-sourced flags
     /// are modeled exactly for every condition; ALU add/sub flags are
     /// modeled as "result vs 0", which is exact only for the ZF-based
-    /// conditions (CF/OF differ from the real computation).
+    /// conditions (CF/OF differ from the real computation). Interned ids
+    /// make the operand comparison structural.
     fn model_exact_for(&self, cond: Cond) -> bool {
-        match &self.replay {
+        match self.replay {
             FlagReplay::Logic(_) => true,
             FlagReplay::Sub(a, b) => {
-                (self.is_sub && Rc::ptr_eq(a, &self.lhs) && Rc::ptr_eq(b, &self.rhs))
+                (self.is_sub && a == self.lhs && b == self.rhs)
                     || matches!(cond, Cond::E | Cond::Ne)
             }
             FlagReplay::Add(..) => matches!(cond, Cond::E | Cond::Ne),
@@ -269,33 +222,38 @@ impl FlagShadow {
     /// flags carry iff `a < b`, `add` flags iff the sum wrapped, logic
     /// flags never. Lets `adc`/`sbb` (the chain flag-leak idiom) be
     /// tracked exactly instead of concretized.
-    fn carry_expr(&self) -> Rc<SymExpr> {
-        match &self.replay {
-            FlagReplay::Sub(a, b) => SymExpr::bin(BinKind::Ult, a.clone(), b.clone()),
-            FlagReplay::Add(a, b) => SymExpr::bin(
-                BinKind::Ult,
-                SymExpr::bin(BinKind::Add, a.clone(), b.clone()),
-                a.clone(),
-            ),
-            FlagReplay::Logic(_) => SymExpr::constant(0),
+    fn carry_expr(&self, arena: &mut ExprArena) -> ExprId {
+        match self.replay {
+            FlagReplay::Sub(a, b) => arena.bin(BinKind::Ult, a, b),
+            FlagReplay::Add(a, b) => {
+                let sum = arena.bin(BinKind::Add, a, b);
+                arena.bin(BinKind::Ult, sum, a)
+            }
+            FlagReplay::Logic(_) => arena.constant(0),
         }
     }
 
-    fn replay_into(&self, input: &[u64], flags: &mut Flags) {
-        match &self.replay {
+    fn replay_into(
+        &self,
+        arena: &ExprArena,
+        input: &[u64],
+        memo: &mut EvalMemo,
+        flags: &mut raindrop_machine::Flags,
+    ) {
+        match self.replay {
             FlagReplay::Sub(a, b) => {
-                flags.set_sub(a.eval(input), b.eval(input), false);
+                flags.set_sub(arena.eval(a, input, memo), arena.eval(b, input, memo), false);
             }
             FlagReplay::Add(a, b) => {
-                flags.set_add(a.eval(input), b.eval(input), false);
+                flags.set_add(arena.eval(a, input, memo), arena.eval(b, input, memo), false);
             }
-            FlagReplay::Logic(v) => flags.set_logic(v.eval(input)),
+            FlagReplay::Logic(v) => flags.set_logic(arena.eval(v, input, memo)),
         }
     }
 }
 
 /// Shadow knowledge about the machine flags.
-#[derive(Clone)]
+#[derive(Clone, Copy)]
 enum FlagTrack {
     /// Flags are input-independent.
     Concrete,
@@ -308,9 +266,9 @@ enum FlagTrack {
 }
 
 impl FlagTrack {
-    fn symbolic_shadow(&self) -> Option<&FlagShadow> {
+    fn symbolic_shadow(&self, arena: &ExprArena) -> Option<FlagShadow> {
         match self {
-            FlagTrack::Exact(fs) if fs.symbolic() => Some(fs),
+            FlagTrack::Exact(fs) if fs.symbolic(arena) => Some(*fs),
             _ => None,
         }
     }
@@ -331,9 +289,9 @@ impl FlagTrack {
 /// different input, so fork-point capture stops for the rest of the path.
 #[derive(Clone)]
 struct Shadow {
-    regs: [Option<Rc<SymExpr>>; 16],
-    words: HashMap<u64, Rc<SymExpr>>,
-    bytes: HashMap<u64, Rc<SymExpr>>,
+    regs: [Option<ExprId>; 16],
+    words: HashMap<u64, ExprId>,
+    bytes: HashMap<u64, ExprId>,
     flags: FlagTrack,
     hazard: bool,
     hazard_cause: Option<&'static str>,
@@ -362,10 +320,10 @@ impl Shadow {
         self.regs[r.index()].is_some()
     }
 
-    fn set_reg(&mut self, r: Reg, e: Option<Rc<SymExpr>>) {
+    fn set_reg(&mut self, arena: &mut ExprArena, r: Reg, e: Option<ExprId>) {
         let e = match e {
-            Some(e) if e.is_symbolic() => {
-                if e.size() <= MAX_EXPR_SIZE {
+            Some(e) if arena.is_symbolic(e) => {
+                if !arena.dag_oversize(e, MAX_EXPR_NODES) {
                     Some(e)
                 } else {
                     // Concretization: the register value still depends on
@@ -414,52 +372,49 @@ impl Shadow {
             })
     }
 
-    fn mem_byte(&self, addr: u64, concrete: u8) -> Rc<SymExpr> {
-        if let Some(e) = self.bytes.get(&addr) {
-            return e.clone();
+    fn mem_byte(&self, arena: &mut ExprArena, addr: u64, concrete: u8) -> ExprId {
+        if let Some(&e) = self.bytes.get(&addr) {
+            return e;
         }
         for d in 0..8u64 {
             let w = addr.wrapping_sub(d);
-            if let Some(e) = self.words.get(&w) {
-                return SymExpr::bin(
-                    BinKind::And,
-                    SymExpr::bin(BinKind::Shr, e.clone(), SymExpr::constant(8 * d)),
-                    SymExpr::constant(0xff),
-                );
+            if let Some(&e) = self.words.get(&w) {
+                let shift = arena.constant(8 * d);
+                let shr = arena.bin(BinKind::Shr, e, shift);
+                let mask = arena.constant(0xff);
+                return arena.bin(BinKind::And, shr, mask);
             }
         }
-        SymExpr::constant(concrete as u64)
+        arena.constant(concrete as u64)
     }
 
-    fn load64(&mut self, addr: u64, concrete: u64) -> Rc<SymExpr> {
-        if let Some(e) = self.words.get(&addr) {
-            return e.clone();
+    fn load64(&mut self, arena: &mut ExprArena, addr: u64, concrete: u64) -> ExprId {
+        if let Some(&e) = self.words.get(&addr) {
+            return e;
         }
         if !self.mem_symbolic(addr, 8) {
-            return SymExpr::constant(concrete);
+            return arena.constant(concrete);
         }
-        let mut acc = SymExpr::constant(0);
+        let mut acc = arena.constant(0);
         for i in 0..8u64 {
-            let byte = self.mem_byte(addr + i, (concrete >> (8 * i)) as u8);
-            acc = SymExpr::bin(
-                BinKind::Or,
-                acc,
-                SymExpr::bin(BinKind::Shl, byte, SymExpr::constant(8 * i)),
-            );
+            let byte = self.mem_byte(arena, addr + i, (concrete >> (8 * i)) as u8);
+            let shift = arena.constant(8 * i);
+            let shl = arena.bin(BinKind::Shl, byte, shift);
+            acc = arena.bin(BinKind::Or, acc, shl);
         }
-        if acc.size() > MAX_EXPR_SIZE {
+        if arena.dag_oversize(acc, MAX_EXPR_NODES) {
             self.set_hazard("expr-size concretization (load)");
-            SymExpr::constant(concrete)
+            arena.constant(concrete)
         } else {
             acc
         }
     }
 
-    fn store64(&mut self, addr: u64, expr: Option<Rc<SymExpr>>) {
+    fn store64(&mut self, arena: &mut ExprArena, addr: u64, expr: Option<ExprId>) {
         self.clear_range(addr, 8);
         if let Some(e) = expr {
-            if e.is_symbolic() {
-                if e.size() <= MAX_EXPR_SIZE {
+            if arena.is_symbolic(e) {
+                if !arena.dag_oversize(e, MAX_EXPR_NODES) {
                     self.words.insert(addr, e);
                 } else {
                     self.set_hazard("expr-size concretization (store64)");
@@ -468,12 +423,14 @@ impl Shadow {
         }
     }
 
-    fn store8(&mut self, addr: u64, expr: Option<Rc<SymExpr>>) {
+    fn store8(&mut self, arena: &mut ExprArena, addr: u64, expr: Option<ExprId>) {
         self.clear_range(addr, 1);
         if let Some(e) = expr {
-            if e.is_symbolic() {
-                if e.size() <= MAX_EXPR_SIZE {
-                    self.bytes.insert(addr, SymExpr::bin(BinKind::And, e, SymExpr::constant(0xff)));
+            if arena.is_symbolic(e) {
+                if !arena.dag_oversize(e, MAX_EXPR_NODES) {
+                    let mask = arena.constant(0xff);
+                    let masked = arena.bin(BinKind::And, e, mask);
+                    self.bytes.insert(addr, masked);
                 } else {
                     self.set_hazard("expr-size concretization (store8)");
                 }
@@ -487,25 +444,36 @@ impl Shadow {
 /// and bytes are re-evaluated under the new input, and the flags are
 /// replayed through the exact computation that produced them. Used by the
 /// fork-point explorer; valid only while the shadow carries no hazard.
-fn patch_for_input(emu: &mut Emulator, shadow: &Shadow, input: &[u64]) {
+/// One shared [`EvalMemo`] serves the whole patch: every expression is
+/// evaluated under the same input, so shared subterms across registers,
+/// words and bytes are computed once.
+fn patch_for_input(
+    emu: &mut Emulator,
+    arena: &ExprArena,
+    shadow: &Shadow,
+    input: &[u64],
+    memo: &mut EvalMemo,
+) {
+    memo.reset();
     for r in Reg::ALL {
-        if let Some(e) = &shadow.regs[r.index()] {
-            emu.cpu.set_reg(r, e.eval(input));
+        if let Some(e) = shadow.regs[r.index()] {
+            emu.cpu.set_reg(r, arena.eval(e, input, memo));
         }
     }
     for (addr, e) in &shadow.words {
-        emu.mem.write_u64(*addr, e.eval(input));
+        emu.mem.write_u64(*addr, arena.eval(*e, input, memo));
     }
     for (addr, e) in &shadow.bytes {
-        emu.mem.write_u8(*addr, e.eval(input) as u8);
+        emu.mem.write_u8(*addr, arena.eval(*e, input, memo) as u8);
     }
-    if let Some(fs) = shadow.flags.symbolic_shadow() {
-        fs.replay_into(input, &mut emu.cpu.flags);
+    if let Some(fs) = shadow.flags.symbolic_shadow(arena) {
+        fs.replay_into(arena, input, memo, &mut emu.cpu.flags);
     }
 }
 
 /// Runs the target once with a concrete input while recording symbolic path
-/// constraints.
+/// constraints. Returns the record together with the arena that owns its
+/// constraint expressions.
 ///
 /// # Errors
 ///
@@ -517,9 +485,10 @@ pub fn shadow_run(
     spec: &InputSpec,
     input: &[u64],
     budget: u64,
-) -> Result<PathRecord, EmuError> {
+) -> Result<ShadowRun, EmuError> {
     let mut engine = Engine::new(image, func, spec.clone(), false);
-    engine.run_path(input, budget, None).map(|out| out.record)
+    let record = engine.run_path(input, budget, None)?.record;
+    Ok(ShadowRun { arena: engine.arena, record })
 }
 
 /// Pre-execution facts an instruction's shadow propagation needs: the
@@ -529,7 +498,7 @@ pub fn shadow_run(
 /// input the access would go elsewhere).
 struct PreState {
     concrete_regs: [u64; 16],
-    flags_before: Flags,
+    flags_before: raindrop_machine::Flags,
     mem_addr: Option<u64>,
     mem_concrete: u64,
     any_symbolic: bool,
@@ -575,10 +544,11 @@ impl PreState {
 }
 
 /// The expression a register held before the instruction executed.
-fn op_expr(shadow: &Shadow, pre: &PreState, r: Reg) -> Rc<SymExpr> {
-    shadow.regs[r.index()]
-        .clone()
-        .unwrap_or_else(|| SymExpr::constant(pre.concrete_regs[r.index()]))
+fn op_expr(arena: &mut ExprArena, shadow: &Shadow, pre: &PreState, r: Reg) -> ExprId {
+    match shadow.regs[r.index()] {
+        Some(e) => e,
+        None => arena.constant(pre.concrete_regs[r.index()]),
+    }
 }
 
 fn alu_kind(op: AluOp) -> BinKind {
@@ -593,9 +563,14 @@ fn alu_kind(op: AluOp) -> BinKind {
 
 /// The carry-in expression an ALU op consumes: `adc`/`sbb` read the carry
 /// flag, everything else ignores it.
-fn alu_carry(op: AluOp, shadow: &mut Shadow, pre: &PreState) -> Option<Rc<SymExpr>> {
+fn alu_carry(
+    op: AluOp,
+    arena: &mut ExprArena,
+    shadow: &mut Shadow,
+    pre: &PreState,
+) -> Option<ExprId> {
     if matches!(op, AluOp::Adc | AluOp::Sbb) {
-        carry_in_expr(shadow, pre)
+        carry_in_expr(arena, shadow, pre)
     } else {
         None
     }
@@ -606,29 +581,31 @@ fn alu_carry(op: AluOp, shadow: &mut Shadow, pre: &PreState) -> Option<Rc<SymExp
 /// tainted for `adc`/`sbb` (their flag outputs are not modeled). One
 /// helper so the four ALU addressing forms cannot drift apart.
 fn alu_shadow(
+    arena: &mut ExprArena,
     op: AluOp,
-    a: Rc<SymExpr>,
-    b: Rc<SymExpr>,
-    carry: Option<Rc<SymExpr>>,
-) -> (Rc<SymExpr>, FlagTrack) {
-    let e = alu_result(op, a.clone(), b.clone(), &carry);
+    a: ExprId,
+    b: ExprId,
+    carry: Option<ExprId>,
+) -> (ExprId, FlagTrack) {
+    let e = alu_result(arena, op, a, b, carry);
     let flags = if matches!(op, AluOp::Adc | AluOp::Sbb) {
         FlagTrack::Tainted
     } else {
-        alu_flags(op, e.clone(), a, b)
+        alu_flags(arena, op, e, a, b)
     };
     (e, flags)
 }
 
 /// Builds the flag shadow for an ALU-style flag write: the solver model is
 /// "result vs 0 via sub", the replay is the real operand computation.
-fn alu_flags(op: AluOp, result: Rc<SymExpr>, a: Rc<SymExpr>, b: Rc<SymExpr>) -> FlagTrack {
+fn alu_flags(arena: &mut ExprArena, op: AluOp, result: ExprId, a: ExprId, b: ExprId) -> FlagTrack {
     let replay = match op {
         AluOp::Add | AluOp::Adc => FlagReplay::Add(a, b),
         AluOp::Sub | AluOp::Sbb => FlagReplay::Sub(a, b),
-        AluOp::And | AluOp::Or | AluOp::Xor => FlagReplay::Logic(result.clone()),
+        AluOp::And | AluOp::Or | AluOp::Xor => FlagReplay::Logic(result),
     };
-    FlagTrack::Exact(FlagShadow { lhs: result, rhs: SymExpr::constant(0), is_sub: true, replay })
+    let zero = arena.constant(0);
+    FlagTrack::Exact(FlagShadow { lhs: result, rhs: zero, is_sub: true, replay })
 }
 
 /// Records the constraint for a flag-consuming instruction (`jcc`, `cmov`,
@@ -636,22 +613,28 @@ fn alu_flags(op: AluOp, result: Rc<SymExpr>, a: Rc<SymExpr>, b: Rc<SymExpr>) -> 
 /// tainted (input-dependent but unmodeled) or when the model is inexact for
 /// this condition (the solver would reason over wrong CF/OF semantics).
 fn consume_flags(
+    arena: &ExprArena,
     shadow: &mut Shadow,
     cond: Cond,
     taken: bool,
     constraints: &mut Vec<Constraint>,
 ) -> bool {
-    match &shadow.flags {
+    match shadow.flags {
         FlagTrack::Tainted => {
             shadow.set_hazard("tainted-flag branch");
             false
         }
-        FlagTrack::Exact(fs) if fs.symbolic() => {
-            let (lhs, rhs, is_sub) = (fs.lhs.clone(), fs.rhs.clone(), fs.is_sub);
+        FlagTrack::Exact(fs) if fs.symbolic(arena) => {
             if !fs.model_exact_for(cond) {
                 shadow.set_hazard("inexact flag model for condition");
             }
-            constraints.push(Constraint { lhs, rhs, flag_is_sub: is_sub, cond, taken });
+            constraints.push(Constraint {
+                lhs: fs.lhs,
+                rhs: fs.rhs,
+                flag_is_sub: fs.is_sub,
+                cond,
+                taken,
+            });
             true
         }
         _ => false,
@@ -664,6 +647,7 @@ fn propagate(
     inst: &Inst,
     pre: &PreState,
     emu: &Emulator,
+    arena: &mut ExprArena,
     shadow: &mut Shadow,
     constraints: &mut Vec<Constraint>,
 ) {
@@ -674,178 +658,178 @@ fn propagate(
     // shadow's concrete-address tracking stays exact for any input the
     // solver produces.
     if uses_rsp(inst) && shadow.reg_symbolic(Reg::Rsp) {
-        let e = op_expr(shadow, pre, Reg::Rsp);
-        constraints.push(pin_constraint(e, pre.concrete_regs[Reg::Rsp.index()]));
-        shadow.set_reg(Reg::Rsp, None);
+        let e = op_expr(arena, shadow, pre, Reg::Rsp);
+        constraints.push(pin_constraint(arena, e, pre.concrete_regs[Reg::Rsp.index()]));
+        shadow.set_reg(arena, Reg::Rsp, None);
     }
     if pre.addr_symbolic && !matches!(inst, Lea(..)) {
         let m = inst.mem_operand().expect("addr_symbolic implies a mem operand");
-        let e = addr_expr(shadow, pre, m);
-        constraints.push(pin_constraint(e, pre.mem_addr.expect("resolved")));
+        let e = addr_expr(arena, shadow, pre, m);
+        constraints.push(pin_constraint(arena, e, pre.mem_addr.expect("resolved")));
     }
     match *inst {
         MovRR(d, s) => {
-            let e = shadow.regs[s.index()].clone();
-            shadow.set_reg(d, e);
+            let e = shadow.regs[s.index()];
+            shadow.set_reg(arena, d, e);
         }
-        MovRI(d, _) => shadow.set_reg(d, None),
+        MovRI(d, _) => shadow.set_reg(arena, d, None),
         Load(d, _) => {
             let addr = pre.mem_addr.expect("load has mem");
-            let e = shadow.load64(addr, emu.reg(d));
-            shadow.set_reg(d, Some(e));
+            let e = shadow.load64(arena, addr, emu.reg(d));
+            shadow.set_reg(arena, d, Some(e));
         }
         LoadB(d, _) | LoadSxB(d, _) => {
             let addr = pre.mem_addr.expect("load has mem");
-            let byte = shadow.mem_byte(addr, emu.mem.read_u8(addr));
-            let e = if matches!(inst, LoadSxB(..)) {
-                SymExpr::un(UnKind::SextByte, byte)
-            } else {
-                byte
-            };
-            shadow.set_reg(d, Some(e));
+            let byte = shadow.mem_byte(arena, addr, emu.mem.read_u8(addr));
+            let e =
+                if matches!(inst, LoadSxB(..)) { arena.un(UnKind::SextByte, byte) } else { byte };
+            shadow.set_reg(arena, d, Some(e));
         }
         Store(_, s) => {
             let addr = pre.mem_addr.expect("store has mem");
-            let e = shadow.regs[s.index()].clone();
-            shadow.store64(addr, e);
+            let e = shadow.regs[s.index()];
+            shadow.store64(arena, addr, e);
         }
         StoreI(_, _) => {
             let addr = pre.mem_addr.expect("store has mem");
-            shadow.store64(addr, None);
+            shadow.store64(arena, addr, None);
         }
         StoreB(_, s) => {
             let addr = pre.mem_addr.expect("store has mem");
-            let e = shadow.regs[s.index()].clone();
-            shadow.store8(addr, e);
+            let e = shadow.regs[s.index()];
+            shadow.store8(arena, addr, e);
         }
         Lea(d, m) => {
-            let e = if pre.addr_symbolic { Some(addr_expr(shadow, pre, m)) } else { None };
-            shadow.set_reg(d, e);
+            let e = if pre.addr_symbolic { Some(addr_expr(arena, shadow, pre, m)) } else { None };
+            shadow.set_reg(arena, d, e);
         }
         Push(r) => {
             let sp = emu.reg(Reg::Rsp);
-            let e = shadow.regs[r.index()].clone();
-            shadow.store64(sp, e);
+            let e = shadow.regs[r.index()];
+            shadow.store64(arena, sp, e);
         }
         PushI(_) => {
             let sp = emu.reg(Reg::Rsp);
-            shadow.store64(sp, None);
+            shadow.store64(arena, sp, None);
         }
         Pop(d) => {
             let sp = emu.reg(Reg::Rsp).wrapping_sub(8);
-            let e =
-                if shadow.mem_symbolic(sp, 8) { Some(shadow.load64(sp, emu.reg(d))) } else { None };
-            shadow.set_reg(d, e);
+            let e = if shadow.mem_symbolic(sp, 8) {
+                Some(shadow.load64(arena, sp, emu.reg(d)))
+            } else {
+                None
+            };
+            shadow.set_reg(arena, d, e);
         }
         Alu(op, d, s) => {
-            let carry = alu_carry(op, shadow, pre);
-            let carry_sym = carry.as_ref().is_some_and(|c| c.is_symbolic());
+            let carry = alu_carry(op, arena, shadow, pre);
+            let carry_sym = carry.is_some_and(|c| arena.is_symbolic(c));
             if pre.any_symbolic || carry_sym {
-                let a = op_expr(shadow, pre, d);
-                let b = op_expr(shadow, pre, s);
-                let (e, flags) = alu_shadow(op, a, b, carry);
+                let a = op_expr(arena, shadow, pre, d);
+                let b = op_expr(arena, shadow, pre, s);
+                let (e, flags) = alu_shadow(arena, op, a, b, carry);
                 shadow.flags = flags;
-                shadow.set_reg(d, Some(e));
+                shadow.set_reg(arena, d, Some(e));
             } else {
-                shadow.set_reg(d, None);
+                shadow.set_reg(arena, d, None);
                 shadow.flags = FlagTrack::Concrete;
             }
         }
         AluI(op, d, imm) => {
-            let carry = alu_carry(op, shadow, pre);
-            let carry_sym = carry.as_ref().is_some_and(|c| c.is_symbolic());
+            let carry = alu_carry(op, arena, shadow, pre);
+            let carry_sym = carry.is_some_and(|c| arena.is_symbolic(c));
             if shadow.reg_symbolic(d) || carry_sym {
-                let a = op_expr(shadow, pre, d);
-                let b = SymExpr::constant(imm as i64 as u64);
-                let (e, flags) = alu_shadow(op, a, b, carry);
+                let a = op_expr(arena, shadow, pre, d);
+                let b = arena.constant(imm as i64 as u64);
+                let (e, flags) = alu_shadow(arena, op, a, b, carry);
                 shadow.flags = flags;
-                shadow.set_reg(d, Some(e));
+                shadow.set_reg(arena, d, Some(e));
             } else {
-                shadow.set_reg(d, None);
+                shadow.set_reg(arena, d, None);
                 shadow.flags = FlagTrack::Concrete;
             }
         }
         AluM(op, d, _) => {
-            let carry = alu_carry(op, shadow, pre);
-            let carry_sym = carry.as_ref().is_some_and(|c| c.is_symbolic());
+            let carry = alu_carry(op, arena, shadow, pre);
+            let carry_sym = carry.is_some_and(|c| arena.is_symbolic(c));
             let addr = pre.mem_addr.expect("mem operand");
             if pre.any_symbolic || carry_sym {
-                let a = op_expr(shadow, pre, d);
-                let b = shadow.load64(addr, pre.mem_concrete);
-                let (e, flags) = alu_shadow(op, a, b, carry);
+                let a = op_expr(arena, shadow, pre, d);
+                let b = shadow.load64(arena, addr, pre.mem_concrete);
+                let (e, flags) = alu_shadow(arena, op, a, b, carry);
                 shadow.flags = flags;
-                shadow.set_reg(d, Some(e));
+                shadow.set_reg(arena, d, Some(e));
             } else {
-                shadow.set_reg(d, None);
+                shadow.set_reg(arena, d, None);
                 shadow.flags = FlagTrack::Concrete;
             }
         }
         AluStore(op, _, s) => {
-            let carry = alu_carry(op, shadow, pre);
-            let carry_sym = carry.as_ref().is_some_and(|c| c.is_symbolic());
+            let carry = alu_carry(op, arena, shadow, pre);
+            let carry_sym = carry.is_some_and(|c| arena.is_symbolic(c));
             let addr = pre.mem_addr.expect("mem operand");
             if pre.any_symbolic || carry_sym {
-                let a = shadow.load64(addr, pre.mem_concrete);
-                let b = op_expr(shadow, pre, s);
-                let (e, flags) = alu_shadow(op, a, b, carry);
-                shadow.store64(addr, Some(e));
+                let a = shadow.load64(arena, addr, pre.mem_concrete);
+                let b = op_expr(arena, shadow, pre, s);
+                let (e, flags) = alu_shadow(arena, op, a, b, carry);
+                shadow.store64(arena, addr, Some(e));
                 shadow.flags = flags;
             } else {
-                shadow.store64(addr, None);
+                shadow.store64(arena, addr, None);
                 shadow.flags = FlagTrack::Concrete;
             }
         }
         Neg(r) => {
             if shadow.reg_symbolic(r) {
-                let pre_r = op_expr(shadow, pre, r);
-                let zero = SymExpr::constant(0);
-                let e = SymExpr::un(UnKind::Neg, pre_r.clone());
+                let pre_r = op_expr(arena, shadow, pre, r);
+                let zero = arena.constant(0);
+                let e = arena.un(UnKind::Neg, pre_r);
                 // neg sets flags as 0 - r, which `Flags::set_neg` matches
                 // bit-exactly, so model and replay coincide.
                 shadow.flags = FlagTrack::Exact(FlagShadow {
-                    lhs: zero.clone(),
-                    rhs: pre_r.clone(),
+                    lhs: zero,
+                    rhs: pre_r,
                     is_sub: true,
                     replay: FlagReplay::Sub(zero, pre_r),
                 });
-                shadow.set_reg(r, Some(e));
+                shadow.set_reg(arena, r, Some(e));
             } else {
-                shadow.set_reg(r, None);
+                shadow.set_reg(arena, r, None);
                 shadow.flags = FlagTrack::Concrete;
             }
         }
         Not(r) => {
             if shadow.reg_symbolic(r) {
-                let pre_r = op_expr(shadow, pre, r);
-                shadow.set_reg(r, Some(SymExpr::un(UnKind::Not, pre_r)));
+                let pre_r = op_expr(arena, shadow, pre, r);
+                let e = arena.un(UnKind::Not, pre_r);
+                shadow.set_reg(arena, r, Some(e));
             } else {
-                shadow.set_reg(r, None);
+                shadow.set_reg(arena, r, None);
             }
         }
         Mul(d, s) => {
             if pre.any_symbolic {
-                let pre_d = op_expr(shadow, pre, d);
-                let e = SymExpr::bin(BinKind::Mul, pre_d, op_expr(shadow, pre, s));
-                shadow.set_reg(d, Some(e));
+                let pre_d = op_expr(arena, shadow, pre, d);
+                let pre_s = op_expr(arena, shadow, pre, s);
+                let e = arena.bin(BinKind::Mul, pre_d, pre_s);
+                shadow.set_reg(arena, d, Some(e));
                 // The emulator sets flags from the widening product; the
                 // shadow does not model them.
                 shadow.flags = FlagTrack::Tainted;
             } else {
-                shadow.set_reg(d, None);
+                shadow.set_reg(arena, d, None);
                 shadow.flags = FlagTrack::Concrete;
             }
         }
         MulI(d, s, imm) => {
             if shadow.reg_symbolic(s) {
-                let e = SymExpr::bin(
-                    BinKind::Mul,
-                    op_expr(shadow, pre, s),
-                    SymExpr::constant(imm as i64 as u64),
-                );
-                shadow.set_reg(d, Some(e));
+                let pre_s = op_expr(arena, shadow, pre, s);
+                let k = arena.constant(imm as i64 as u64);
+                let e = arena.bin(BinKind::Mul, pre_s, k);
+                shadow.set_reg(arena, d, Some(e));
                 shadow.flags = FlagTrack::Tainted;
             } else {
-                shadow.set_reg(d, None);
+                shadow.set_reg(arena, d, None);
                 shadow.flags = FlagTrack::Concrete;
             }
         }
@@ -858,11 +842,12 @@ fn propagate(
             }
             if pre.any_symbolic {
                 let kind = if matches!(inst, Div(..)) { BinKind::Div } else { BinKind::Rem };
-                let pre_d = op_expr(shadow, pre, d);
-                let e = SymExpr::bin(kind, pre_d, op_expr(shadow, pre, s));
-                shadow.set_reg(d, Some(e));
+                let pre_d = op_expr(arena, shadow, pre, d);
+                let pre_s = op_expr(arena, shadow, pre, s);
+                let e = arena.bin(kind, pre_d, pre_s);
+                shadow.set_reg(arena, d, Some(e));
             } else {
-                shadow.set_reg(d, None);
+                shadow.set_reg(arena, d, None);
             }
         }
         Shl(r, i) | Shr(r, i) | Sar(r, i) => {
@@ -872,34 +857,36 @@ fn propagate(
                     Shr(..) => BinKind::Shr,
                     _ => BinKind::Sar,
                 };
-                let pre_r = op_expr(shadow, pre, r);
-                let e = SymExpr::bin(kind, pre_r, SymExpr::constant(i as u64));
-                shadow.set_reg(r, Some(e));
+                let pre_r = op_expr(arena, shadow, pre, r);
+                let k = arena.constant(i as u64);
+                let e = arena.bin(kind, pre_r, k);
+                shadow.set_reg(arena, r, Some(e));
                 shadow.flags = FlagTrack::Tainted;
             } else {
-                shadow.set_reg(r, None);
+                shadow.set_reg(arena, r, None);
                 shadow.flags = FlagTrack::Concrete;
             }
         }
         ShlR(d, s) | ShrR(d, s) => {
             if pre.any_symbolic {
                 let kind = if matches!(inst, ShlR(..)) { BinKind::Shl } else { BinKind::Shr };
-                let pre_d = op_expr(shadow, pre, d);
-                let e = SymExpr::bin(kind, pre_d, op_expr(shadow, pre, s));
-                shadow.set_reg(d, Some(e));
+                let pre_d = op_expr(arena, shadow, pre, d);
+                let pre_s = op_expr(arena, shadow, pre, s);
+                let e = arena.bin(kind, pre_d, pre_s);
+                shadow.set_reg(arena, d, Some(e));
                 shadow.flags = FlagTrack::Tainted;
             } else {
-                shadow.set_reg(d, None);
+                shadow.set_reg(arena, d, None);
                 shadow.flags = FlagTrack::Concrete;
             }
         }
         Cmp(a, bb) => {
             if pre.any_symbolic {
-                let ea = op_expr(shadow, pre, a);
-                let eb = op_expr(shadow, pre, bb);
+                let ea = op_expr(arena, shadow, pre, a);
+                let eb = op_expr(arena, shadow, pre, bb);
                 shadow.flags = FlagTrack::Exact(FlagShadow {
-                    lhs: ea.clone(),
-                    rhs: eb.clone(),
+                    lhs: ea,
+                    rhs: eb,
                     is_sub: true,
                     replay: FlagReplay::Sub(ea, eb),
                 });
@@ -909,11 +896,11 @@ fn propagate(
         }
         CmpI(a, imm) => {
             if shadow.reg_symbolic(a) {
-                let ea = op_expr(shadow, pre, a);
-                let eb = SymExpr::constant(imm as i64 as u64);
+                let ea = op_expr(arena, shadow, pre, a);
+                let eb = arena.constant(imm as i64 as u64);
                 shadow.flags = FlagTrack::Exact(FlagShadow {
-                    lhs: ea.clone(),
-                    rhs: eb.clone(),
+                    lhs: ea,
+                    rhs: eb,
                     is_sub: true,
                     replay: FlagReplay::Sub(ea, eb),
                 });
@@ -924,11 +911,11 @@ fn propagate(
         CmpMI(_, imm) => {
             let addr = pre.mem_addr.expect("mem operand");
             if shadow.mem_symbolic(addr, 8) {
-                let ea = shadow.load64(addr, pre.mem_concrete);
-                let eb = SymExpr::constant(imm as i64 as u64);
+                let ea = shadow.load64(arena, addr, pre.mem_concrete);
+                let eb = arena.constant(imm as i64 as u64);
                 shadow.flags = FlagTrack::Exact(FlagShadow {
-                    lhs: ea.clone(),
-                    rhs: eb.clone(),
+                    lhs: ea,
+                    rhs: eb,
                     is_sub: true,
                     replay: FlagReplay::Sub(ea, eb),
                 });
@@ -938,9 +925,9 @@ fn propagate(
         }
         Test(a, bb) => {
             if pre.any_symbolic {
-                let ea = op_expr(shadow, pre, a);
-                let eb = op_expr(shadow, pre, bb);
-                let and = SymExpr::bin(BinKind::And, ea.clone(), eb.clone());
+                let ea = op_expr(arena, shadow, pre, a);
+                let eb = op_expr(arena, shadow, pre, bb);
+                let and = arena.bin(BinKind::And, ea, eb);
                 shadow.flags = FlagTrack::Exact(FlagShadow {
                     lhs: ea,
                     rhs: eb,
@@ -953,9 +940,9 @@ fn propagate(
         }
         TestI(a, imm) => {
             if shadow.reg_symbolic(a) {
-                let ea = op_expr(shadow, pre, a);
-                let eb = SymExpr::constant(imm as i64 as u64);
-                let and = SymExpr::bin(BinKind::And, ea.clone(), eb.clone());
+                let ea = op_expr(arena, shadow, pre, a);
+                let eb = arena.constant(imm as i64 as u64);
+                let and = arena.bin(BinKind::And, ea, eb);
                 shadow.flags = FlagTrack::Exact(FlagShadow {
                     lhs: ea,
                     rhs: eb,
@@ -971,106 +958,110 @@ fn propagate(
             // the implicit constraint like a branch; the constraint pins the
             // selected direction for any input the solver produces.
             let taken = cond.eval(emu.cpu.flags);
-            consume_flags(shadow, cond, taken, constraints);
+            consume_flags(arena, shadow, cond, taken, constraints);
             if taken {
-                let e = shadow.regs[s.index()].clone();
-                shadow.set_reg(d, e);
+                let e = shadow.regs[s.index()];
+                shadow.set_reg(arena, d, e);
             }
         }
         Set(cond, d) => {
             let taken = cond.eval(emu.cpu.flags);
-            if let Some(fs) = shadow.flags.symbolic_shadow() {
-                let (lhs, rhs, is_sub) = (fs.lhs.clone(), fs.rhs.clone(), fs.is_sub);
+            if let Some(fs) = shadow.flags.symbolic_shadow(arena) {
                 // The produced 0/1 value is expressible for the conditions
                 // the workloads and the rewriter generate; the fallback
                 // conditions pin the concrete outcome via the recorded
                 // constraint, so the constant stays valid for any input
                 // that satisfies the path prefix.
-                let diff = if is_sub {
-                    SymExpr::bin(BinKind::Sub, lhs.clone(), rhs.clone())
+                let diff = if fs.is_sub {
+                    arena.bin(BinKind::Sub, fs.lhs, fs.rhs)
                 } else {
-                    SymExpr::bin(BinKind::And, lhs.clone(), rhs.clone())
+                    arena.bin(BinKind::And, fs.lhs, fs.rhs)
                 };
+                let zero = arena.constant(0);
+                let one = arena.constant(1);
                 let e = match cond {
-                    Cond::E => SymExpr::bin(BinKind::Eq, diff, SymExpr::constant(0)),
-                    Cond::Ne => SymExpr::bin(
-                        BinKind::Xor,
-                        SymExpr::bin(BinKind::Eq, diff, SymExpr::constant(0)),
-                        SymExpr::constant(1),
-                    ),
-                    Cond::B => SymExpr::bin(BinKind::Ult, lhs.clone(), rhs.clone()),
-                    Cond::Ae => SymExpr::bin(
-                        BinKind::Xor,
-                        SymExpr::bin(BinKind::Ult, lhs.clone(), rhs.clone()),
-                        SymExpr::constant(1),
-                    ),
-                    Cond::A => SymExpr::bin(BinKind::Ult, rhs.clone(), lhs.clone()),
-                    Cond::Be => SymExpr::bin(
-                        BinKind::Xor,
-                        SymExpr::bin(BinKind::Ult, rhs.clone(), lhs.clone()),
-                        SymExpr::constant(1),
-                    ),
-                    _ => SymExpr::constant(taken as u64),
+                    Cond::E => arena.bin(BinKind::Eq, diff, zero),
+                    Cond::Ne => {
+                        let eq = arena.bin(BinKind::Eq, diff, zero);
+                        arena.bin(BinKind::Xor, eq, one)
+                    }
+                    Cond::B => arena.bin(BinKind::Ult, fs.lhs, fs.rhs),
+                    Cond::Ae => {
+                        let ult = arena.bin(BinKind::Ult, fs.lhs, fs.rhs);
+                        arena.bin(BinKind::Xor, ult, one)
+                    }
+                    Cond::A => arena.bin(BinKind::Ult, fs.rhs, fs.lhs),
+                    Cond::Be => {
+                        let ult = arena.bin(BinKind::Ult, fs.rhs, fs.lhs);
+                        arena.bin(BinKind::Xor, ult, one)
+                    }
+                    _ => arena.constant(taken as u64),
                 };
-                consume_flags(shadow, cond, taken, constraints);
-                shadow.set_reg(d, Some(e));
+                consume_flags(arena, shadow, cond, taken, constraints);
+                shadow.set_reg(arena, d, Some(e));
             } else {
-                consume_flags(shadow, cond, taken, constraints);
-                shadow.set_reg(d, None);
+                consume_flags(arena, shadow, cond, taken, constraints);
+                shadow.set_reg(arena, d, None);
             }
         }
         Jcc(cond, _) => {
             let taken = cond.eval(emu.cpu.flags);
-            consume_flags(shadow, cond, taken, constraints);
+            consume_flags(arena, shadow, cond, taken, constraints);
         }
         XchgRR(a, bb) => {
-            let ea = shadow.regs[a.index()].clone();
-            let eb = shadow.regs[bb.index()].clone();
-            shadow.set_reg(a, eb);
-            shadow.set_reg(bb, ea);
+            let ea = shadow.regs[a.index()];
+            let eb = shadow.regs[bb.index()];
+            shadow.set_reg(arena, a, eb);
+            shadow.set_reg(arena, bb, ea);
         }
         XchgRM(r, _) => {
             let addr = pre.mem_addr.expect("mem operand");
-            let er = shadow.regs[r.index()].clone();
+            let er = shadow.regs[r.index()];
             let em = if shadow.mem_symbolic(addr, 8) {
-                Some(shadow.load64(addr, emu.reg(r)))
+                Some(shadow.load64(arena, addr, emu.reg(r)))
             } else {
                 None
             };
-            shadow.store64(addr, er);
-            shadow.set_reg(r, em);
+            shadow.store64(arena, addr, er);
+            shadow.set_reg(arena, r, em);
         }
         Call(_) => {
             // The return-address slot is concrete.
             let sp = emu.reg(Reg::Rsp);
-            shadow.store64(sp, None);
+            shadow.store64(arena, sp, None);
         }
         CallReg(r) => {
             if shadow.reg_symbolic(r) {
-                constraints.push(pin_constraint(op_expr(shadow, pre, r), emu.cpu.rip));
+                let e = op_expr(arena, shadow, pre, r);
+                let pin = pin_constraint(arena, e, emu.cpu.rip);
+                constraints.push(pin);
             }
             let sp = emu.reg(Reg::Rsp);
-            shadow.store64(sp, None);
+            shadow.store64(arena, sp, None);
         }
         JmpReg(r) => {
             if shadow.reg_symbolic(r) {
-                constraints.push(pin_constraint(op_expr(shadow, pre, r), emu.cpu.rip));
+                let e = op_expr(arena, shadow, pre, r);
+                let pin = pin_constraint(arena, e, emu.cpu.rip);
+                constraints.push(pin);
             }
         }
         JmpMem(_) => {
             let addr = pre.mem_addr.expect("mem operand");
             if shadow.mem_symbolic(addr, 8) {
                 let target = emu.cpu.rip;
-                let e = shadow.load64(addr, target);
-                constraints.push(pin_constraint(e, target));
+                let e = shadow.load64(arena, addr, target);
+                let pin = pin_constraint(arena, e, target);
+                constraints.push(pin);
             }
         }
         Ret => {
             let sp = pre.concrete_regs[Reg::Rsp.index()];
             if shadow.mem_symbolic(sp, 8) {
                 let target = emu.cpu.rip;
-                let e = shadow.load64(sp, target);
-                constraints.push(pin_constraint(e, target));
+                let e = shadow.load64(arena, sp, target);
+                let pin = pin_constraint(arena, e, target);
+                constraints.push(pin);
             }
         }
         Leave => {
@@ -1079,16 +1070,17 @@ fn propagate(
             // the restored rbp is tracked through the load like any other.
             let bp = pre.concrete_regs[Reg::Rbp.index()];
             if shadow.reg_symbolic(Reg::Rbp) {
-                let e = op_expr(shadow, pre, Reg::Rbp);
-                constraints.push(pin_constraint(e, bp));
+                let e = op_expr(arena, shadow, pre, Reg::Rbp);
+                let pin = pin_constraint(arena, e, bp);
+                constraints.push(pin);
             }
-            shadow.set_reg(Reg::Rsp, None);
+            shadow.set_reg(arena, Reg::Rsp, None);
             let e = if shadow.mem_symbolic(bp, 8) {
-                Some(shadow.load64(bp, emu.reg(Reg::Rbp)))
+                Some(shadow.load64(arena, bp, emu.reg(Reg::Rbp)))
             } else {
                 None
             };
-            shadow.set_reg(Reg::Rbp, e);
+            shadow.set_reg(arena, Reg::Rbp, e);
         }
         Jmp(_) | Nop | Hlt => {}
     }
@@ -1099,14 +1091,14 @@ fn propagate(
 /// expression when they are tracked, `None` (a hazard) when tainted. The
 /// `neg; adc` flag-leak idiom of the chain branch encoding threads the
 /// input through the carry, so modeling it keeps chain targets tracked.
-fn carry_in_expr(shadow: &mut Shadow, pre: &PreState) -> Option<Rc<SymExpr>> {
-    match &shadow.flags {
-        FlagTrack::Concrete => Some(SymExpr::constant(pre.flags_before.cf as u64)),
+fn carry_in_expr(arena: &mut ExprArena, shadow: &mut Shadow, pre: &PreState) -> Option<ExprId> {
+    match shadow.flags {
+        FlagTrack::Concrete => Some(arena.constant(pre.flags_before.cf as u64)),
         FlagTrack::Exact(fs) => {
-            if fs.symbolic() {
-                Some(fs.carry_expr())
+            if fs.symbolic(arena) {
+                Some(fs.carry_expr(arena))
             } else {
-                Some(SymExpr::constant(pre.flags_before.cf as u64))
+                Some(arena.constant(pre.flags_before.cf as u64))
             }
         }
         FlagTrack::Tainted => {
@@ -1119,15 +1111,16 @@ fn carry_in_expr(shadow: &mut Shadow, pre: &PreState) -> Option<Rc<SymExpr>> {
 /// Builds the result expression of an ALU op, including the carry term of
 /// `adc`/`sbb` (from `carry`), so results match the emulator bit-exactly.
 fn alu_result(
+    arena: &mut ExprArena,
     op: AluOp,
-    a: Rc<SymExpr>,
-    b: Rc<SymExpr>,
-    carry: &Option<Rc<SymExpr>>,
-) -> Rc<SymExpr> {
-    let base = SymExpr::bin(alu_kind(op), a, b);
+    a: ExprId,
+    b: ExprId,
+    carry: Option<ExprId>,
+) -> ExprId {
+    let base = arena.bin(alu_kind(op), a, b);
     match (op, carry) {
-        (AluOp::Adc, Some(c)) => SymExpr::bin(BinKind::Add, base, c.clone()),
-        (AluOp::Sbb, Some(c)) => SymExpr::bin(BinKind::Sub, base, c.clone()),
+        (AluOp::Adc, Some(c)) => arena.bin(BinKind::Add, base, c),
+        (AluOp::Sbb, Some(c)) => arena.bin(BinKind::Sub, base, c),
         _ => base,
     }
 }
@@ -1141,29 +1134,29 @@ fn alu_result(
 /// address and a `ret` dispatches it), input-dependent effective
 /// addresses, and a symbolic stack pointer at its next implicit use.
 /// Solving for a *flipped* pin is how the explorer walks chain branches.
-fn pin_constraint(e: Rc<SymExpr>, value: u64) -> Constraint {
-    Constraint {
-        lhs: e,
-        rhs: SymExpr::constant(value),
-        flag_is_sub: true,
-        cond: Cond::E,
-        taken: true,
-    }
+fn pin_constraint(arena: &mut ExprArena, e: ExprId, value: u64) -> Constraint {
+    let rhs = arena.constant(value);
+    Constraint { lhs: e, rhs, flag_is_sub: true, cond: Cond::E, taken: true }
 }
 
 /// The effective-address expression of a memory operand, from the shadow
 /// expressions of its base/index registers.
-fn addr_expr(shadow: &Shadow, pre: &PreState, m: raindrop_machine::Mem) -> Rc<SymExpr> {
-    let mut e = SymExpr::constant(m.disp as i64 as u64);
+fn addr_expr(
+    arena: &mut ExprArena,
+    shadow: &Shadow,
+    pre: &PreState,
+    m: raindrop_machine::Mem,
+) -> ExprId {
+    let mut e = arena.constant(m.disp as i64 as u64);
     if let Some(b) = m.base {
-        e = SymExpr::bin(BinKind::Add, e, op_expr(shadow, pre, b));
+        let eb = op_expr(arena, shadow, pre, b);
+        e = arena.bin(BinKind::Add, e, eb);
     }
     if let Some(i) = m.index {
-        e = SymExpr::bin(
-            BinKind::Add,
-            e,
-            SymExpr::bin(BinKind::Mul, op_expr(shadow, pre, i), SymExpr::constant(m.scale as u64)),
-        );
+        let ei = op_expr(arena, shadow, pre, i);
+        let scale = arena.constant(m.scale as u64);
+        let scaled = arena.bin(BinKind::Mul, ei, scale);
+        e = arena.bin(BinKind::Add, e, scaled);
     }
     e
 }
@@ -1190,55 +1183,54 @@ fn recording_cond(inst: &Inst) -> Option<Cond> {
     }
 }
 
-/// The canonical key of the constraint `inst` is about to record, if any —
-/// computed before the step so a fork point can be captured at the first
-/// occurrence of each distinct branch. Mirrors exactly what `propagate`
-/// will push after the step.
-fn pre_constraint_key(
+/// The constraint `inst` is about to record, if any — computed before the
+/// step so a fork point can be captured at the first occurrence of each
+/// distinct branch. Mirrors exactly what `propagate` will push after the
+/// step; interning makes the returned `Constraint` directly comparable to
+/// recorded ones.
+fn pre_constraint(
     inst: &Inst,
     pre: &PreState,
+    arena: &mut ExprArena,
     shadow: &mut Shadow,
     emu: &Emulator,
-) -> Option<Vec<u8>> {
-    let pin = |e: &Rc<SymExpr>, target: u64| {
-        Some(constraint_key(e, &SymExpr::constant(target), true, Cond::E, true))
-    };
+) -> Option<Constraint> {
     // Mirror propagate's push order: rsp pin, then address pin, then the
     // flag or control-transfer constraint.
     if uses_rsp(inst) && shadow.reg_symbolic(Reg::Rsp) {
-        let e = op_expr(shadow, pre, Reg::Rsp);
-        return pin(&e, pre.concrete_regs[Reg::Rsp.index()]);
+        let e = op_expr(arena, shadow, pre, Reg::Rsp);
+        return Some(pin_constraint(arena, e, pre.concrete_regs[Reg::Rsp.index()]));
     }
     if pre.addr_symbolic && !matches!(inst, Inst::Lea(..)) {
         let m = inst.mem_operand().expect("addr_symbolic implies a mem operand");
-        let e = addr_expr(shadow, pre, m);
-        return pin(&e, pre.mem_addr.expect("resolved"));
+        let e = addr_expr(arena, shadow, pre, m);
+        return Some(pin_constraint(arena, e, pre.mem_addr.expect("resolved")));
     }
     if let Some(cond) = recording_cond(inst) {
-        let fs = shadow.flags.symbolic_shadow()?;
+        let fs = shadow.flags.symbolic_shadow(arena)?;
         let taken = cond.eval(emu.cpu.flags);
-        return Some(constraint_key(&fs.lhs, &fs.rhs, fs.is_sub, cond, taken));
+        return Some(Constraint { lhs: fs.lhs, rhs: fs.rhs, flag_is_sub: fs.is_sub, cond, taken });
     }
     match *inst {
         Inst::Ret => {
             let sp = emu.reg(Reg::Rsp);
             if shadow.mem_symbolic(sp, 8) {
                 let target = emu.mem.read_u64(sp);
-                let e = shadow.load64(sp, target);
-                return pin(&e, target);
+                let e = shadow.load64(arena, sp, target);
+                return Some(pin_constraint(arena, e, target));
             }
             None
         }
         Inst::JmpReg(r) | Inst::CallReg(r) => {
-            let e = shadow.regs[r.index()].clone()?;
-            pin(&e, emu.reg(r))
+            let e = shadow.regs[r.index()]?;
+            Some(pin_constraint(arena, e, emu.reg(r)))
         }
         Inst::JmpMem(_) => {
             let a = pre.mem_addr.expect("jmpmem has a mem operand");
             if shadow.mem_symbolic(a, 8) {
                 let target = emu.mem.read_u64(a);
-                let e = shadow.load64(a, target);
-                return pin(&e, target);
+                let e = shadow.load64(arena, a, target);
+                return Some(pin_constraint(arena, e, target));
             }
             None
         }
@@ -1255,17 +1247,16 @@ struct ForkPoint {
     shadow: Shadow,
 }
 
-/// The constraints and canonical keys of one explored path, shared (via
-/// `Rc`) by every frontier entry forked off it.
+/// The constraints of one explored path, shared (via `Rc`) by every
+/// frontier entry forked off it. Constraints are their own exact keys, so
+/// no parallel key vector is carried anymore.
 struct RecordData {
     constraints: Vec<Constraint>,
-    keys: Vec<Rc<[u8]>>,
 }
 
 /// One shadowed execution plus the fork points captured along it.
 struct PathOutput {
     record: PathRecord,
-    keys: Vec<Rc<[u8]>>,
     forks: HashMap<usize, Rc<ForkPoint>>,
     emulated: u64,
 }
@@ -1278,86 +1269,19 @@ struct Pending {
 }
 
 /// Everything a frontier entry needs to resume behind a fork: the captured
-/// fork point, the parent record (whose prefix up to `at` is the resumed
-/// path's prefix by construction), and the parent's candidate cache so the
-/// child's prefix scans are answered by the parent chain.
+/// fork point and the parent record (whose prefix up to `at` is the
+/// resumed path's prefix by construction).
 #[derive(Clone)]
 struct ResumePoint {
     fork: Rc<ForkPoint>,
     parent: Rc<RecordData>,
     at: usize,
-    parent_fv: Rc<RefCell<FvCache>>,
-}
-
-/// 128-bit FNV-1a-style hash of a canonical constraint key. Normalized
-/// constraint-set cache keys XOR these per-constraint hashes together
-/// (XOR is order-independent, which is exactly the set semantics), so
-/// building the solver-cache key for each flip is O(1) instead of sorting
-/// kilobytes of canonical bytes.
-fn hash128(bytes: &[u8]) -> u128 {
-    let mut lo = 0xcbf29ce484222325u64;
-    let mut hi = 0x9e3779b97f4a7c15u64;
-    for &b in bytes {
-        lo = (lo ^ b as u64).wrapping_mul(0x100000001b3);
-        hi = (hi ^ b as u64).wrapping_mul(0xff51afd7ed558ccd).rotate_left(23);
-    }
-    ((hi as u128) << 64) | lo as u128
-}
-
-/// Per-record candidate evaluator: memoizes, for each candidate input, the
-/// index of the first path constraint it violates (or `len` if none).
-///
-/// Flipping constraint `i` requires the prefix `[..i]` satisfied as
-/// recorded and constraint `i` itself violated — exactly
-/// `first_violated(input) == i` — so the whole prefix check collapses to
-/// one memoized scan per distinct candidate per record. Solver strategies
-/// sweep overlapping candidate sets across the flips of one record (the
-/// exhaustive domain walk literally re-tries the same values at every
-/// flip), which this cache turns from quadratic re-evaluation into one
-/// scan each.
-///
-/// Records of fork-resumed paths chain to their parent's cache: the
-/// child's constraints up to the fork index are the parent's (cloned at
-/// resume time), so a parent lookup answers any violation inside the
-/// shared prefix and the child only ever scans its own suffix.
-struct FvCache {
-    data: Rc<RecordData>,
-    parent: Option<(Rc<RefCell<FvCache>>, usize)>,
-    memo: HashMap<Vec<u64>, usize>,
-}
-
-/// The index of the first constraint of `cell`'s record that `input`
-/// violates, `len` if it satisfies the whole path as recorded.
-fn first_violated(cell: &Rc<RefCell<FvCache>>, input: &[u64]) -> usize {
-    if let Some(&v) = cell.borrow().memo.get(input) {
-        return v;
-    }
-    let parent = cell.borrow().parent.clone();
-    let from = match &parent {
-        Some((pfv, fork)) => {
-            let pv = first_violated(pfv, input);
-            if pv < *fork {
-                cell.borrow_mut().memo.insert(input.to_vec(), pv);
-                return pv;
-            }
-            *fork
-        }
-        None => 0,
-    };
-    let data = cell.borrow().data.clone();
-    let mut eval_memo = EvalMemo::default();
-    let v = data.constraints[from..]
-        .iter()
-        .position(|c| !c.satisfied_as_recorded_shared(input, &mut eval_memo))
-        .map(|p| p + from)
-        .unwrap_or(data.constraints.len());
-    cell.borrow_mut().memo.insert(input.to_vec(), v);
-    v
 }
 
 /// The shadow-execution engine: one warm emulator reused across all paths
 /// of an attack (restored from a pristine post-load snapshot instead of
-/// re-constructed, which keeps the predecoded instruction cache hot), plus
+/// re-constructed, which keeps the predecoded instruction cache hot), one
+/// hash-consed expression arena shared by every path's constraints, plus
 /// the fork-point capture machinery.
 struct Engine<'a> {
     image: &'a Image,
@@ -1366,6 +1290,8 @@ struct Engine<'a> {
     emu: Emulator,
     base: Snapshot,
     capture: bool,
+    arena: ExprArena,
+    patch_memo: EvalMemo,
 }
 
 impl<'a> Engine<'a> {
@@ -1373,7 +1299,16 @@ impl<'a> Engine<'a> {
         let emu = Emulator::new(image);
         let base = emu.snapshot();
         let faddr = image.function(func).expect("target exists").addr;
-        Engine { image, faddr, spec, emu, base, capture }
+        Engine {
+            image,
+            faddr,
+            spec,
+            emu,
+            base,
+            capture,
+            arena: ExprArena::new(),
+            patch_memo: EvalMemo::default(),
+        }
     }
 
     /// Runs one path: fresh from the entry point, or resumed from a fork
@@ -1385,8 +1320,7 @@ impl<'a> Engine<'a> {
         resume: Option<&ResumePoint>,
     ) -> Result<PathOutput, EmuError> {
         let mut constraints: Vec<Constraint>;
-        let mut keys: Vec<Rc<[u8]>>;
-        let mut seen_keys: HashSet<Rc<[u8]>>;
+        let mut seen: HashSet<Constraint>;
         let mut shadow;
         let start_instructions;
 
@@ -1395,24 +1329,23 @@ impl<'a> Engine<'a> {
                 self.emu.restore(&r.fork.snapshot);
                 start_instructions = r.fork.snapshot.stats().instructions;
                 shadow = r.fork.shadow.clone();
-                patch_for_input(&mut self.emu, &shadow, input);
+                patch_for_input(&mut self.emu, &self.arena, &shadow, input, &mut self.patch_memo);
                 constraints = r.parent.constraints[..r.at].to_vec();
-                keys = r.parent.keys[..r.at].to_vec();
-                seen_keys = keys.iter().cloned().collect();
+                seen = constraints.iter().copied().collect();
             }
             None => {
                 self.emu.restore(&self.base);
                 start_instructions = 0;
                 shadow = Shadow::new();
                 constraints = Vec::new();
-                keys = Vec::new();
-                seen_keys = HashSet::new();
+                seen = HashSet::new();
 
                 // Seed the concrete input and its shadow.
                 let args: Vec<u64> = match &self.spec {
                     InputSpec::RegisterArg { .. } => {
                         let v = input[0] & self.spec.var_mask();
-                        shadow.set_reg(Reg::Rdi, Some(SymExpr::input(0)));
+                        let x = self.arena.input(0);
+                        shadow.set_reg(&mut self.arena, Reg::Rdi, Some(x));
                         vec![v]
                     }
                     InputSpec::MemoryBuffer { addr, len, args } => {
@@ -1420,7 +1353,8 @@ impl<'a> Engine<'a> {
                             (0..*len).map(|i| input.get(i).copied().unwrap_or(0) as u8).collect();
                         self.emu.mem.write_bytes(*addr, &concrete);
                         for i in 0..*len {
-                            shadow.bytes.insert(addr + i as u64, SymExpr::input(i));
+                            let x = self.arena.input(i);
+                            shadow.bytes.insert(addr + i as u64, x);
                         }
                         args.clone()
                     }
@@ -1441,6 +1375,15 @@ impl<'a> Engine<'a> {
         self.emu.set_budget(budget);
 
         let mut forks: HashMap<usize, Rc<ForkPoint>> = HashMap::new();
+        // First-hazard accounting, checked at the post-instruction
+        // checkpoint so it is identical in both explore modes (fork-mode
+        // pre-constraint probing can set the flag a moment earlier within
+        // the same instruction, but `propagate` raises the same cause
+        // before the checkpoint; an instruction that exits the run never
+        // reaches `propagate`, so its probing is excluded deliberately).
+        let mut hazard_cause: Option<&'static str> = None;
+        let mut branches_pre_hazard: Option<usize> = None;
+        let mut keyed = constraints.len();
         let return_value;
         loop {
             // Peek at the instruction before executing it so operand
@@ -1454,8 +1397,10 @@ impl<'a> Engine<'a> {
             // distinct symbolic branch (later occurrences are pinned by the
             // prefix, so their flips are unsatisfiable and never resumed).
             if self.capture && !shadow.hazard && forks.len() < MAX_FORK_POINTS {
-                if let Some(key) = pre_constraint_key(&decoded, &pre, &mut shadow, &self.emu) {
-                    if !shadow.hazard && !seen_keys.contains(key.as_slice()) {
+                if let Some(c) =
+                    pre_constraint(&decoded, &pre, &mut self.arena, &mut shadow, &self.emu)
+                {
+                    if !shadow.hazard && !seen.contains(&c) {
                         forks.insert(
                             constraints.len(),
                             Rc::new(ForkPoint {
@@ -1477,17 +1422,21 @@ impl<'a> Engine<'a> {
                 }
                 None => {}
             }
-            propagate(&decoded, &pre, &self.emu, &mut shadow, &mut constraints);
-            while keys.len() < constraints.len() {
-                let k: Rc<[u8]> = constraints[keys.len()].canonical_key().into();
-                seen_keys.insert(k.clone());
-                keys.push(k);
+            propagate(&decoded, &pre, &self.emu, &mut self.arena, &mut shadow, &mut constraints);
+            while keyed < constraints.len() {
+                seen.insert(constraints[keyed]);
+                keyed += 1;
+            }
+            if hazard_cause.is_none() && shadow.hazard {
+                hazard_cause = shadow.hazard_cause;
+                branches_pre_hazard = Some(seen.len());
             }
             if self.emu.cpu.rip == raindrop_machine::RETURN_SENTINEL {
                 return_value = self.emu.reg(Reg::Rax);
                 break;
             }
         }
+        let branches_pre_hazard = branches_pre_hazard.unwrap_or(seen.len());
 
         // Probe coverage from the concrete memory.
         let mut probes_hit = BTreeSet::new();
@@ -1502,16 +1451,25 @@ impl<'a> Engine<'a> {
         let instructions = self.emu.stats().instructions;
         if std::env::var_os("RAINDROP_DSE_DEBUG").is_some() {
             eprintln!(
-                "[dse-debug] path constraints={} forks={} hazard={:?} resumed={}",
+                "[dse-debug] path constraints={} distinct={} forks={} hazard={:?} pre_hazard={} arena={} resumed={}",
                 constraints.len(),
+                seen.len(),
                 forks.len(),
-                shadow.hazard_cause,
+                hazard_cause,
+                branches_pre_hazard,
+                self.arena.len(),
                 resume.is_some()
             );
         }
         Ok(PathOutput {
-            record: PathRecord { return_value, constraints, instructions, probes_hit },
-            keys,
+            record: PathRecord {
+                return_value,
+                constraints,
+                instructions,
+                probes_hit,
+                hazard_cause,
+                branches_pre_hazard,
+            },
             forks,
             emulated: instructions - start_instructions,
         })
@@ -1621,6 +1579,17 @@ pub struct DseOutcome {
     pub solver_calls: u64,
     /// Solver invocations avoided by the normalized constraint cache.
     pub solve_cache_hits: u64,
+    /// Paths whose shadow tracking hit a hazard, counted per first cause
+    /// and sorted by cause name. Expression-size concretizations capping
+    /// symbolic depth show up here instead of folding silently into
+    /// "defeated".
+    #[serde(default)]
+    pub hazard_causes: Vec<(String, u64)>,
+    /// The largest number of distinct branch constraints any path recorded
+    /// before its first hazard (its whole distinct count when hazard-free):
+    /// the depth to which the explorer forked exactly.
+    #[serde(default)]
+    pub max_branches_pre_hazard: usize,
     /// The budget dimension that ended an unsuccessful attack.
     pub exhausted: Option<DseExhaustion>,
 }
@@ -1651,28 +1620,32 @@ pub struct DseAttack<'a> {
     func: &'a str,
     spec: InputSpec,
     budget: DseBudget,
-    rng: ChaCha8Rng,
     mode: ExploreMode,
-    /// Memoized solver queries keyed by the normalized constraint set: the
-    /// XOR of the distinct prefix-constraint hashes plus the negated
-    /// constraint's hash. Equivalent frontier entries across paths (shared
-    /// prefixes of resumed runs in particular) are solved exactly once.
-    solve_cache: HashMap<(u128, u128), Option<Vec<u64>>>,
+    /// The feasibility backend behind the generational search.
+    solver: Box<dyn Solver>,
+    /// Memoized solver queries keyed by the normalized constraint set: a
+    /// duplicate-safe [`SetDigest`] of the distinct prefix-constraint
+    /// structural hashes, plus the negated constraint's hash. Equivalent
+    /// frontier entries across paths (shared prefixes of resumed runs in
+    /// particular) are solved exactly once; the hashes are
+    /// arena-independent, so the cache stays valid across runs of one
+    /// attack instance.
+    solve_cache: HashMap<(u128, u128, u128), Option<Vec<u64>>>,
     solver_calls: u64,
     cache_hits: u64,
 }
 
 impl<'a> DseAttack<'a> {
-    /// Creates an attack instance (fork-point explore mode).
+    /// Creates an attack instance (fork-point explore mode, built-in
+    /// [`SearchSolver`] backend).
     pub fn new(image: &'a Image, func: &'a str, spec: InputSpec, budget: DseBudget) -> Self {
-        use rand::SeedableRng;
         DseAttack {
             image,
             func,
             spec,
             budget,
-            rng: ChaCha8Rng::seed_from_u64(0xa77ac4),
             mode: ExploreMode::ForkPoint,
+            solver: Box::new(SearchSolver::new()),
             solve_cache: HashMap::new(),
             solver_calls: 0,
             cache_hits: 0,
@@ -1685,110 +1658,11 @@ impl<'a> DseAttack<'a> {
         self
     }
 
-    /// Solves for an input that satisfies `constraints[..i]` as recorded
-    /// and flips `constraints[i]` — i.e. `first_violated(input) == i`.
-    fn solve(&mut self, fv: &Rc<RefCell<FvCache>>, i: usize, current: &[u64]) -> Option<Vec<u64>> {
-        let data = fv.borrow().data.clone();
-        let negated = &data.constraints[i];
-        let mask = self.spec.var_mask();
-
-        // Strategy 1: inversion of an equality/inequality on a single
-        // variable occurrence, through shared-subtree memos (plain `invert`
-        // is quadratic on P3's shared expression chains).
-        let mut vars: BTreeSet<usize> = negated.lhs.variables();
-        vars.extend(negated.rhs.variables());
-        if negated.flag_is_sub {
-            let mut eval = EvalMemo::default();
-            for &var in &vars {
-                let mut vm = VarMemo::default();
-                let rhs_val = eval_shared(&negated.rhs, current, &mut eval);
-                if let Some(v) =
-                    invert_shared(&negated.lhs, rhs_val, var, current, &mut eval, &mut vm)
-                {
-                    let mut cand = current.to_vec();
-                    cand[var] = v & mask;
-                    if first_violated(fv, &cand) == i {
-                        return Some(cand);
-                    }
-                }
-                let lhs_val = eval_shared(&negated.lhs, current, &mut eval);
-                if let Some(v) =
-                    invert_shared(&negated.rhs, lhs_val, var, current, &mut eval, &mut vm)
-                {
-                    let mut cand = current.to_vec();
-                    cand[var] = v & mask;
-                    if first_violated(fv, &cand) == i {
-                        return Some(cand);
-                    }
-                }
-                // For strict inequalities try a small neighbourhood around
-                // the equality solution.
-                if let Some(v) = invert_shared(
-                    &negated.lhs,
-                    rhs_val.wrapping_add(1),
-                    var,
-                    current,
-                    &mut eval,
-                    &mut vm,
-                ) {
-                    let mut cand = current.to_vec();
-                    cand[var] = v & mask;
-                    if first_violated(fv, &cand) == i {
-                        return Some(cand);
-                    }
-                }
-            }
-        }
-
-        // Strategy 2: exhaustive search when the involved domain is small
-        // (single byte-sized variable, or a 1/2-byte register argument).
-        if vars.len() == 1 {
-            let var = *vars.iter().next().expect("non-empty");
-            let domain: u64 = match &self.spec {
-                InputSpec::RegisterArg { size_bytes } if *size_bytes <= 2 => {
-                    1u64 << (8 * *size_bytes)
-                }
-                InputSpec::MemoryBuffer { .. } => 256,
-                _ => 0,
-            };
-            if domain > 0 {
-                let mut cand = current.to_vec();
-                for v in 0..domain {
-                    cand[var] = v;
-                    if first_violated(fv, &cand) == i {
-                        return Some(cand);
-                    }
-                }
-                // The whole domain of the only involved variable was
-                // enumerated: random search over the same variable cannot
-                // do better, skip it.
-                return None;
-            }
-        }
-
-        // Strategy 3: bounded random search over the involved variables.
-        // The draw count backs off with the flip depth: a random input
-        // almost never satisfies a deep prefix, so deep flips lean on
-        // inversion (strategy 1) and get only a token random budget —
-        // without the backoff a single deep P3 path can sink minutes of
-        // wall time into hopeless draws.
-        let draws = if i < 64 {
-            2000
-        } else if i < 256 {
-            256
-        } else {
-            32
-        };
-        let mut cand = current.to_vec();
-        for _ in 0..draws {
-            for &var in &vars {
-                cand[var] = self.rng.gen::<u64>() & mask;
-            }
-            if first_violated(fv, &cand) == i {
-                return Some(cand);
-            }
-        }
-        None
+    /// Replaces the feasibility backend (builder style). The default is the
+    /// built-in [`SearchSolver`]; any [`Solver`] implementation slots in.
+    pub fn with_solver(mut self, solver: Box<dyn Solver>) -> Self {
+        self.solver = solver;
+        self
     }
 
     /// Runs the attack.
@@ -1801,13 +1675,16 @@ impl<'a> DseAttack<'a> {
     /// re-run exploration bit-identical.
     pub fn run_audited(&mut self, goal: Goal) -> (DseOutcome, DseAudit) {
         // Per-run statistics: an attack instance can be reused (the solve
-        // cache carries over — its queries are semantically keyed), but
-        // counters and budget enforcement start fresh each run.
+        // cache carries over — its keys are arena-independent structural
+        // hashes), but counters, budget enforcement and the solver's
+        // id-keyed state start fresh each run.
         self.solver_calls = 0;
         self.cache_hits = 0;
+        self.solver.begin_run();
         let start = Instant::now();
         let vars = self.spec.vars();
         let mask = self.spec.var_mask();
+        let domain = self.spec.domain();
         let capture = self.mode == ExploreMode::ForkPoint;
         let mut engine = Engine::new(self.image, self.func, self.spec.clone(), capture);
         let mut audit = DseAudit::default();
@@ -1823,6 +1700,8 @@ impl<'a> DseAttack<'a> {
         let mut resumed_paths = 0usize;
         let mut covered: BTreeSet<u32> = BTreeSet::new();
         let mut max_constraints = 0usize;
+        let mut hazard_counts: HashMap<&'static str, u64> = HashMap::new();
+        let mut max_branches_pre_hazard = 0usize;
         let mut exhausted = None;
         let mut wall_hit = false;
         let mut solver_capped = false;
@@ -1857,6 +1736,10 @@ impl<'a> DseAttack<'a> {
             emulated_instructions += out.emulated;
             covered.extend(out.record.probes_hit.iter().copied());
             max_constraints = max_constraints.max(out.record.constraints.len());
+            if let Some(cause) = out.record.hazard_cause {
+                *hazard_counts.entry(cause).or_insert(0) += 1;
+            }
+            max_branches_pre_hazard = max_branches_pre_hazard.max(out.record.branches_pre_hazard);
             audit.explored.push(pending.input.clone());
 
             let done = match goal {
@@ -1876,6 +1759,8 @@ impl<'a> DseAttack<'a> {
                     max_constraints,
                     solver_calls: self.solver_calls,
                     solve_cache_hits: self.cache_hits,
+                    hazard_causes: sorted_hazards(&hazard_counts),
+                    max_branches_pre_hazard,
                     exhausted: None,
                 };
                 return (outcome, audit);
@@ -1884,30 +1769,26 @@ impl<'a> DseAttack<'a> {
             // Generational search: negate each constraint in turn (deepest
             // first so new behaviour near the end of the path is reached
             // quickly, which matters for the final secret check).
-            let data = Rc::new(RecordData { constraints: out.record.constraints, keys: out.keys });
+            let data = Rc::new(RecordData { constraints: out.record.constraints });
             let n = data.constraints.len();
-            let mut first_at: HashMap<&[u8], usize> = HashMap::with_capacity(n);
-            for (i, k) in data.keys.iter().enumerate() {
-                first_at.entry(k).or_insert(i);
+            let mut first_at: HashMap<Constraint, usize> = HashMap::with_capacity(n);
+            for (i, c) in data.constraints.iter().enumerate() {
+                first_at.entry(*c).or_insert(i);
             }
-            // Per-constraint hashes and the running normalized-set hash of
-            // each prefix (distinct constraints only): the solver-cache key
-            // of flip `i` is O(1) to build.
-            let hashes: Vec<u128> = data.keys.iter().map(|k| hash128(k)).collect();
-            let mut prefix_hash = vec![0u128; n + 1];
+            // Per-constraint structural hashes and the running normalized
+            // set digest of each prefix (distinct constraints only): the
+            // solver-cache key of flip `i` is O(1) to build — and, unlike
+            // a bare XOR, cannot collapse when a constraint repeats.
+            let hashes: Vec<u128> =
+                data.constraints.iter().map(|c| c.structural_hash(&engine.arena)).collect();
+            let mut prefix = vec![SetDigest::empty(); n + 1];
             for i in 0..n {
-                let h = if first_at[data.keys[i].as_ref()] == i { hashes[i] } else { 0 };
-                prefix_hash[i + 1] = prefix_hash[i] ^ h;
+                prefix[i + 1] = if first_at[&data.constraints[i]] == i {
+                    prefix[i].with(hashes[i])
+                } else {
+                    prefix[i]
+                };
             }
-            // The candidate cache of this record chains to the parent's
-            // when the path was resumed behind a fork (the prefix is the
-            // parent's by construction), so prefix scans are never repeated
-            // down a fork lineage.
-            let fv = Rc::new(RefCell::new(FvCache {
-                data: data.clone(),
-                parent: pending.resume.as_ref().map(|r| (r.parent_fv.clone(), r.at)),
-                memo: HashMap::new(),
-            }));
             for i in (0..n).rev() {
                 if start.elapsed() > self.budget.max_wall {
                     wall_hit = true;
@@ -1916,13 +1797,14 @@ impl<'a> DseAttack<'a> {
                 // A repeated constraint is pinned the recorded way by its
                 // first occurrence in the prefix: the flip is unsatisfiable,
                 // skip it without consulting the solver.
-                if first_at[data.keys[i].as_ref()] != i {
+                if first_at[&data.constraints[i]] != i {
                     continue;
                 }
                 // Normalized query: the set of distinct prefix constraints
                 // plus the negated one. Equivalent frontier entries across
                 // paths collapse onto one cache slot.
-                let cache_key = (prefix_hash[i], hashes[i]);
+                let (dig_sum, dig_xor) = prefix[i].key();
+                let cache_key = (dig_sum, dig_xor, hashes[i]);
                 let cand = match self.solve_cache.get(&cache_key) {
                     Some(v) => {
                         self.cache_hits += 1;
@@ -1934,7 +1816,14 @@ impl<'a> DseAttack<'a> {
                             break;
                         }
                         self.solver_calls += 1;
-                        let v = self.solve(&fv, i, &pending.input);
+                        let mut query = data.constraints[..=i].to_vec();
+                        query[i].taken = !query[i].taken;
+                        let v = self.solver.feasible(
+                            &mut engine.arena,
+                            &query,
+                            &domain,
+                            &pending.input,
+                        );
                         self.solve_cache.insert(cache_key, v.clone());
                         v
                     }
@@ -1950,7 +1839,6 @@ impl<'a> DseAttack<'a> {
                                     fork: f.clone(),
                                     parent: data.clone(),
                                     at: i,
-                                    parent_fv: fv.clone(),
                                 })
                             } else {
                                 None
@@ -1983,10 +1871,19 @@ impl<'a> DseAttack<'a> {
             max_constraints,
             solver_calls: self.solver_calls,
             solve_cache_hits: self.cache_hits,
+            hazard_causes: sorted_hazards(&hazard_counts),
+            max_branches_pre_hazard,
             exhausted,
         };
         (outcome, audit)
     }
+}
+
+/// The per-cause hazard counts as a deterministically ordered list.
+fn sorted_hazards(counts: &HashMap<&'static str, u64>) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = counts.iter().map(|(k, n)| (k.to_string(), *n)).collect();
+    v.sort();
+    v
 }
 
 #[cfg(test)]
@@ -2010,14 +1907,27 @@ mod tests {
         let rf = small_rf(RfGoal::SecretFinding, 4);
         let image = codegen::compile(&rf.program).unwrap();
         let spec = InputSpec::RegisterArg { size_bytes: 4 };
-        let rec = shadow_run(&image, &rf.name, &spec, &[0], 10_000_000).unwrap();
+        let run = shadow_run(&image, &rf.name, &spec, &[0], 10_000_000).unwrap();
+        let rec = &run.record;
         assert_eq!(rec.return_value, 0, "input 0 is (almost surely) not the secret");
         assert!(!rec.constraints.is_empty(), "branches on the input were recorded");
         assert!(rec.instructions > 0);
         // Constraints must be consistent with the concrete run.
+        let mut memo = EvalMemo::default();
         for c in &rec.constraints {
-            assert!(c.satisfied_as_recorded(&[0]));
+            assert!(c.satisfied_as_recorded(&run.arena, &[0], &mut memo));
         }
+    }
+
+    #[test]
+    fn hazard_free_paths_report_their_full_branch_depth() {
+        let rf = small_rf(RfGoal::SecretFinding, 4);
+        let image = codegen::compile(&rf.program).unwrap();
+        let spec = InputSpec::RegisterArg { size_bytes: 4 };
+        let run = shadow_run(&image, &rf.name, &spec, &[0], 10_000_000).unwrap();
+        assert_eq!(run.record.hazard_cause, None, "native code stays fully symbolic");
+        let distinct: HashSet<Constraint> = run.record.constraints.iter().copied().collect();
+        assert_eq!(run.record.branches_pre_hazard, distinct.len());
     }
 
     #[test]
@@ -2090,6 +2000,8 @@ mod tests {
         assert_eq!(fork_out.witness, rerun_out.witness);
         assert_eq!(fork_out.paths, rerun_out.paths);
         assert_eq!(fork_out.instructions, rerun_out.instructions);
+        assert_eq!(fork_out.hazard_causes, rerun_out.hazard_causes);
+        assert_eq!(fork_out.max_branches_pre_hazard, rerun_out.max_branches_pre_hazard);
         assert_eq!(rerun_out.resumed_paths, 0);
         assert_eq!(rerun_out.emulated_instructions, rerun_out.instructions);
         assert!(
@@ -2119,24 +2031,38 @@ mod tests {
 
     #[test]
     fn constraint_keys_are_exact_structural_fingerprints() {
-        let a = Constraint {
-            lhs: SymExpr::bin(BinKind::Add, SymExpr::input(0), SymExpr::constant(3)),
-            rhs: SymExpr::constant(0),
-            flag_is_sub: true,
-            cond: Cond::E,
-            taken: true,
+        let mut arena = ExprArena::new();
+        let x3 = {
+            let x = arena.input(0);
+            let c = arena.constant(3);
+            arena.bin(BinKind::Add, x, c)
         };
-        let b = Constraint {
-            lhs: SymExpr::bin(BinKind::Add, SymExpr::input(0), SymExpr::constant(3)),
-            rhs: SymExpr::constant(0),
-            flag_is_sub: true,
-            cond: Cond::E,
-            taken: true,
-        };
-        assert_eq!(a.canonical_key(), b.canonical_key(), "structural equality");
-        let flipped = Constraint { taken: false, ..b.clone() };
-        assert_ne!(a.canonical_key(), flipped.canonical_key(), "direction is part of the key");
+        let zero = arena.zero();
+        let a = Constraint { lhs: x3, rhs: zero, flag_is_sub: true, cond: Cond::E, taken: true };
+        let b = Constraint { lhs: x3, rhs: zero, flag_is_sub: true, cond: Cond::E, taken: true };
+        assert_eq!(a.structural_hash(&arena), b.structural_hash(&arena), "structural equality");
+        let flipped = Constraint { taken: false, ..b };
+        assert_ne!(
+            a.structural_hash(&arena),
+            flipped.structural_hash(&arena),
+            "direction is part of the key"
+        );
         let other_cond = Constraint { cond: Cond::Ne, ..b };
-        assert_ne!(a.canonical_key(), other_cond.canonical_key(), "condition is part of the key");
+        assert_ne!(
+            a.structural_hash(&arena),
+            other_cond.structural_hash(&arena),
+            "condition is part of the key"
+        );
+        // And the hash does not depend on the arena the ids live in.
+        let mut other = ExprArena::new();
+        let _pad = other.constant(99);
+        let y3 = {
+            let x = other.input(0);
+            let c = other.constant(3);
+            other.bin(BinKind::Add, x, c)
+        };
+        let z = other.zero();
+        let c2 = Constraint { lhs: y3, rhs: z, flag_is_sub: true, cond: Cond::E, taken: true };
+        assert_eq!(a.structural_hash(&arena), c2.structural_hash(&other));
     }
 }

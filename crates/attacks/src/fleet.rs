@@ -7,8 +7,11 @@
 //! owns its emulators outright — the fork-point engine inside every
 //! [`DseAttack`] keeps one warm emulator per job and revives it between
 //! paths with [`Snapshot`] restores (and forks of it are cheap, see
-//! [`Emulator::fork`]), so no state is shared and no locking happens on the
-//! hot path; the queue is touched once per job.
+//! [`Emulator::fork`]), and each attack owns its hash-consed expression
+//! arena and solver outright (`ExprId`s never cross a job boundary; the
+//! solve cache's structural-hash keys are arena-independent but private to
+//! the attack), so no state is shared and no locking happens on the hot
+//! path; the queue is touched once per job.
 //!
 //! Jobs are deterministic and independent, so under *work-bounded*
 //! budgets (instructions, paths, solver calls) the result of a fleet run

@@ -4,8 +4,13 @@
 //! deobfuscation techniques §III and §VII of the paper measure the
 //! obfuscation against.
 //!
-//! * [`sym`] — the symbolic-expression language and the inversion-based
-//!   solver (the reproduction's stand-in for an SMT backend);
+//! * [`sym`] — the symbolic-expression language: a hash-consed arena of
+//!   interned [`ExprId`] nodes with algebraic simplification at
+//!   construction time, plus the inversion helper the search solver leans
+//!   on;
+//! * [`solver`] — the [`Solver`] trait fronting constraint feasibility, the
+//!   built-in inversion-plus-random [`SearchSolver`] backend, and the
+//!   duplicate-safe [`SetDigest`] used for solve-cache keys;
 //! * [`concolic`] — dynamic symbolic execution (the S2E stand-in): shadowed
 //!   concrete runs, path constraints, generational search with fork-point
 //!   snapshot restores and a normalized constraint/solve cache, goals G1
@@ -53,14 +58,16 @@
 pub mod concolic;
 pub mod fleet;
 pub mod ropaware;
+pub mod solver;
 pub mod sym;
 pub mod tds;
 
 pub use concolic::{
-    shadow_run, Constraint, DseAttack, DseAudit, DseBudget, DseExhaustion, DseOutcome, ExploreMode,
-    Goal, InputSpec, PathRecord,
+    shadow_run, DseAttack, DseAudit, DseBudget, DseExhaustion, DseOutcome, ExploreMode, Goal,
+    InputSpec, PathRecord, ShadowRun,
 };
 pub use fleet::{AttackFleet, DseJob, DseJobResult};
 pub use ropaware::{chain_symbol, flip_exploration, gadget_guess, FlipReport, GuessReport};
-pub use sym::{invert, BinKind, SymExpr, UnKind};
+pub use solver::{Assignment, Constraint, SearchSolver, SetDigest, Solver, VarDomain};
+pub use sym::{invert, BinKind, EvalMemo, ExprArena, ExprId, UnKind};
 pub use tds::{simplify, simplify_trace, TdsReport};

@@ -9,7 +9,7 @@ use std::time::Duration;
 use raindrop::{Rewriter, RopConfig};
 use raindrop_attacks::concolic::{DseAttack, DseBudget, Goal as AttackGoal, InputSpec};
 use raindrop_attacks::{
-    chain_symbol, flip_exploration, gadget_guess, invert, simplify, BinKind, SymExpr,
+    chain_symbol, flip_exploration, gadget_guess, invert, simplify, BinKind, EvalMemo, ExprArena,
 };
 use raindrop_machine::{Emulator, Image};
 use raindrop_obfvm::{apply, ImplicitAt, VmConfig};
@@ -279,19 +279,23 @@ fn missing_chain_symbols_yield_an_empty_guess_report() {
 
 #[test]
 fn the_inversion_solver_handles_the_affine_and_xor_shapes_randomfuns_use() {
+    let mut arena = ExprArena::new();
+    let mut memo = EvalMemo::default();
+    let x = arena.input(0);
     // x + 17 == 59  →  x = 42
-    let x = SymExpr::input(0);
-    let add = SymExpr::bin(BinKind::Add, x.clone(), SymExpr::constant(17));
-    assert_eq!(invert(&add, 59, 0, &[0]), Some(42));
+    let c17 = arena.constant(17);
+    let add = arena.bin(BinKind::Add, x, c17);
+    assert_eq!(invert(&mut arena, add, 59, 0, &[0], &mut memo), Some(42));
     // x ^ 0xff == 0x12  →  x = 0xed
-    let xor = SymExpr::bin(BinKind::Xor, x.clone(), SymExpr::constant(0xff));
-    assert_eq!(invert(&xor, 0x12, 0, &[0]), Some(0xed));
+    let cff = arena.constant(0xff);
+    let xor = arena.bin(BinKind::Xor, x, cff);
+    assert_eq!(invert(&mut arena, xor, 0x12, 0, &[0], &mut memo), Some(0xed));
     // (x * 3) + 5 == 3*14+5 → x = 14 (odd multiplier is invertible mod 2^64)
-    let affine = SymExpr::bin(
-        BinKind::Add,
-        SymExpr::bin(BinKind::Mul, x, SymExpr::constant(3)),
-        SymExpr::constant(5),
-    );
-    let inverted = invert(&affine, 3 * 14 + 5, 0, &[0]).expect("solvable");
-    assert_eq!(affine.eval(&[inverted]), 3 * 14 + 5);
+    let c3 = arena.constant(3);
+    let mul = arena.bin(BinKind::Mul, x, c3);
+    let c5 = arena.constant(5);
+    let affine = arena.bin(BinKind::Add, mul, c5);
+    let inverted = invert(&mut arena, affine, 3 * 14 + 5, 0, &[0], &mut memo).expect("solvable");
+    memo.reset();
+    assert_eq!(arena.eval(affine, &[inverted], &mut memo), 3 * 14 + 5);
 }

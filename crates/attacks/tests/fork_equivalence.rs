@@ -81,6 +81,14 @@ fn assert_equivalent(
     assert_eq!(fork_out.max_constraints, rerun_out.max_constraints, "[{label}] same records");
     assert_eq!(fork_out.solver_calls, rerun_out.solver_calls, "[{label}] same solver schedule");
     assert_eq!(fork_out.exhausted, rerun_out.exhausted, "[{label}] same exhaustion dimension");
+    assert_eq!(
+        fork_out.hazard_causes, rerun_out.hazard_causes,
+        "[{label}] same per-cause hazard counts"
+    );
+    assert_eq!(
+        fork_out.max_branches_pre_hazard, rerun_out.max_branches_pre_hazard,
+        "[{label}] same pre-hazard branch depth"
+    );
 
     // The reference oracle executes everything; the fork engine must never
     // execute more, and never re-execute a snapshot-covered prefix.

@@ -1,0 +1,199 @@
+//! Property suite pinning the structural-hash constraint keys to the
+//! serialization-based reference keys they replaced.
+//!
+//! The solve cache and the constraint-dedup sets key expressions by their
+//! 128-bit structural hash instead of a full canonical serialization; the
+//! whole point is to never pay O(tree) for a key on a shared DAG. That is
+//! only sound if the hash behaves like the serialization: equal canonical
+//! bytes must imply equal hashes (soundness of interning — in fact this
+//! direction is exact by construction), and unequal bytes must imply
+//! unequal hashes on everything we can throw at it (a collision audit;
+//! 128-bit hashes make accidental collisions astronomically unlikely, and
+//! any systematic construction error shows up immediately under heavy
+//! subterm sharing).
+
+use proptest::prelude::*;
+use raindrop_attacks::solver::Constraint;
+use raindrop_attacks::sym::{BinKind, ExprArena, ExprId, UnKind};
+use raindrop_machine::Cond;
+use std::collections::HashMap;
+
+const BINS: [BinKind; 13] = [
+    BinKind::Add,
+    BinKind::Sub,
+    BinKind::Mul,
+    BinKind::Div,
+    BinKind::Rem,
+    BinKind::And,
+    BinKind::Or,
+    BinKind::Xor,
+    BinKind::Shl,
+    BinKind::Shr,
+    BinKind::Sar,
+    BinKind::Eq,
+    BinKind::Ult,
+];
+const UNS: [UnKind; 3] = [UnKind::Neg, UnKind::Not, UnKind::SextByte];
+
+/// One DAG-construction step. Child references index into the pool of
+/// already-built nodes (modulo its size), which produces heavy subterm
+/// sharing: late nodes reference early ones many times over.
+#[derive(Debug, Clone)]
+enum Step {
+    Const(u64),
+    Input(usize),
+    Bin(usize, usize, usize),
+    Un(usize, usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        // Small constants collide with simplification identities (0, 1,
+        // u64::MAX) on purpose — the interesting keys are post-simplify.
+        (0u64..4).prop_map(Step::Const),
+        any::<u64>().prop_map(Step::Const),
+        (0usize..3).prop_map(Step::Input),
+        (0usize..BINS.len(), any::<usize>(), any::<usize>())
+            .prop_map(|(k, a, b)| Step::Bin(k, a, b)),
+        (0usize..UNS.len(), any::<usize>()).prop_map(|(k, a)| Step::Un(k, a)),
+    ]
+}
+
+/// Replays a step program into the arena, returning every built id.
+fn build(arena: &mut ExprArena, steps: &[Step]) -> Vec<ExprId> {
+    let mut pool: Vec<ExprId> = vec![arena.input(0)];
+    for step in steps {
+        let id = match step {
+            Step::Const(c) => arena.constant(*c),
+            Step::Input(v) => arena.input(*v),
+            Step::Bin(k, a, b) => {
+                let a = pool[a % pool.len()];
+                let b = pool[b % pool.len()];
+                arena.bin(BINS[k % BINS.len()], a, b)
+            }
+            Step::Un(k, a) => {
+                let a = pool[a % pool.len()];
+                arena.un(UNS[k % UNS.len()], a)
+            }
+        };
+        pool.push(id);
+    }
+    pool
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Equal canonical bytes ⇔ equal structural hash, across every pair of
+    /// nodes in a randomly built, heavily shared DAG.
+    #[test]
+    fn structural_hashes_agree_with_canonical_serialization(
+        steps in proptest::collection::vec(step_strategy(), 1..120),
+    ) {
+        let mut arena = ExprArena::new();
+        let pool = build(&mut arena, &steps);
+        // Canonical bytes are the retained reference key: an exact
+        // pre-order serialization of the (simplified) term.
+        let mut by_bytes: HashMap<Vec<u8>, (ExprId, u128)> = HashMap::new();
+        for &id in &pool {
+            let mut bytes = Vec::new();
+            arena.write_canonical(id, &mut bytes);
+            let hash = arena.structural_hash(id);
+            match by_bytes.get(&bytes) {
+                Some(&(prev, prev_hash)) => {
+                    // Equal serialization ⇒ equal hash — and, because the
+                    // arena interns, the very same id.
+                    prop_assert_eq!(hash, prev_hash, "hash must be a function of the bytes");
+                    prop_assert_eq!(id, prev, "structurally equal terms intern to one id");
+                }
+                None => {
+                    by_bytes.insert(bytes, (id, hash));
+                }
+            }
+        }
+        // Collision audit: distinct serializations must have distinct
+        // hashes (a collision here is either a construction bug or a
+        // ~2^-64 freak event worth knowing about either way).
+        let mut by_hash: HashMap<u128, &Vec<u8>> = HashMap::new();
+        for (bytes, &(_, hash)) in &by_bytes {
+            if let Some(other) = by_hash.insert(hash, bytes) {
+                prop_assert_eq!(
+                    other, bytes,
+                    "structural-hash collision between distinct canonical terms"
+                );
+            }
+        }
+    }
+
+    /// The same program replayed into two different arenas (one pre-warmed
+    /// with unrelated nodes so all the ids differ) yields identical hashes
+    /// and identical canonical bytes: keys are arena-independent, which is
+    /// what lets the solve cache survive across runs.
+    #[test]
+    fn keys_are_arena_independent(
+        steps in proptest::collection::vec(step_strategy(), 1..60),
+        warm in 0u64..8,
+    ) {
+        let mut a = ExprArena::new();
+        let mut b = ExprArena::new();
+        for i in 0..warm {
+            b.constant(0xdead_0000 + i);
+            b.input(60 + i as usize);
+        }
+        let pa = build(&mut a, &steps);
+        let pb = build(&mut b, &steps);
+        for (&ia, &ib) in pa.iter().zip(&pb) {
+            prop_assert_eq!(a.structural_hash(ia), b.structural_hash(ib));
+            let mut ba = Vec::new();
+            let mut bb = Vec::new();
+            a.write_canonical(ia, &mut ba);
+            b.write_canonical(ib, &mut bb);
+            prop_assert_eq!(ba, bb);
+        }
+    }
+
+    /// Constraint keys discriminate every component: operands, flag
+    /// semantics, condition, and direction — mirrored against the
+    /// serialization-based reference key.
+    #[test]
+    fn constraint_keys_match_their_canonical_bytes(
+        steps in proptest::collection::vec(step_strategy(), 2..40),
+        flag_is_sub in any::<bool>(),
+        taken in any::<bool>(),
+        cond_pick in 0usize..4,
+    ) {
+        let mut arena = ExprArena::new();
+        let pool = build(&mut arena, &steps);
+        let conds = [Cond::E, Cond::Ne, Cond::B, Cond::Ae];
+        let mut by_bytes: HashMap<Vec<u8>, u128> = HashMap::new();
+        let mut by_hash: HashMap<u128, Vec<u8>> = HashMap::new();
+        for i in 0..pool.len().saturating_sub(1) {
+            for &(f, t, c) in &[
+                (flag_is_sub, taken, conds[cond_pick]),
+                (!flag_is_sub, taken, conds[cond_pick]),
+                (flag_is_sub, !taken, conds[cond_pick]),
+                (flag_is_sub, taken, conds[(cond_pick + 1) % conds.len()]),
+            ] {
+                let con = Constraint {
+                    lhs: pool[i],
+                    rhs: pool[i + 1],
+                    flag_is_sub: f,
+                    cond: c,
+                    taken: t,
+                };
+                let bytes = con.canonical_bytes(&arena);
+                let hash = con.structural_hash(&arena);
+                if let Some(&prev) = by_bytes.get(&bytes) {
+                    prop_assert_eq!(hash, prev);
+                } else {
+                    by_bytes.insert(bytes.clone(), hash);
+                }
+                if let Some(prev_bytes) = by_hash.get(&hash) {
+                    prop_assert_eq!(prev_bytes, &bytes, "constraint-key collision");
+                } else {
+                    by_hash.insert(hash, bytes);
+                }
+            }
+        }
+    }
+}

@@ -72,9 +72,25 @@ fn main() {
     for r in AttackFleet::from_env().run_dse(jobs) {
         let out = r.outcome;
         let exhausted = out.exhausted.map_or_else(|| "-".to_string(), |e| format!("{e} exhausted"));
+        // Why a defeated attack was defeated: which shadow-tracking hazard
+        // (if any) first forced concretization, and how many distinct
+        // branches the explorer forked before that point.
+        let hazards = if out.hazard_causes.is_empty() {
+            "none".to_string()
+        } else {
+            out.hazard_causes
+                .iter()
+                .map(|(cause, n)| format!("{cause} x{n}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
         println!(
             "  {:<14} success={} instructions={} [{exhausted}]",
             r.label, out.success, out.instructions
+        );
+        println!(
+            "  {:<14}   hazards: {hazards}; branches before first hazard: {}",
+            "", out.max_branches_pre_hazard
         );
         report.dse.push((r.label, out.success, out.instructions));
     }

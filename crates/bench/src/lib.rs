@@ -302,6 +302,80 @@ pub fn dse_speed_budget(smoke: bool) -> DseBudget {
     }
 }
 
+/// The depth-stress workload: a deep P3-heavy ROP chain (`ROP1.00` over a
+/// 200-iteration loop with a branch per iteration) whose shadow run builds
+/// long dependent expression chains. Under the tree-counted size hazard
+/// this workload concretized after a handful of forked branches; the
+/// DAG-counted arena keeps it symbolic far deeper. `exp_dse_speed
+/// --depth-stress` measures how many distinct branches the explorer forks
+/// before the first expression-size hazard.
+pub fn depth_stress_randomfun() -> RandomFun {
+    raindrop_synth::generate_randomfun(raindrop_synth::RandomFunConfig {
+        structure: raindrop_synth::randomfuns::Ctrl::for_(raindrop_synth::randomfuns::Ctrl::if_(
+            raindrop_synth::randomfuns::Ctrl::bb(4),
+            raindrop_synth::randomfuns::Ctrl::bb(4),
+        )),
+        structure_name: "(for (if (bb 4) (bb 4)))".into(),
+        input_size: 4,
+        seed: 7,
+        goal: raindrop_synth::Goal::SecretFinding,
+        loop_size: depth_stress_loop_size(false),
+    })
+}
+
+/// The loop trip count of the depth-stress workload (`smoke` shrinks it so
+/// the CI step finishes in seconds while still crossing the old tree-size
+/// hazard threshold).
+pub fn depth_stress_loop_size(smoke: bool) -> u64 {
+    if smoke {
+        40
+    } else {
+        200
+    }
+}
+
+/// A CI-sized variant of [`depth_stress_randomfun`].
+pub fn depth_stress_randomfun_smoke() -> RandomFun {
+    raindrop_synth::generate_randomfun(raindrop_synth::RandomFunConfig {
+        structure: raindrop_synth::randomfuns::Ctrl::for_(raindrop_synth::randomfuns::Ctrl::if_(
+            raindrop_synth::randomfuns::Ctrl::bb(4),
+            raindrop_synth::randomfuns::Ctrl::bb(4),
+        )),
+        structure_name: "(for (if (bb 4) (bb 4)))".into(),
+        input_size: 4,
+        seed: 7,
+        goal: raindrop_synth::Goal::SecretFinding,
+        loop_size: depth_stress_loop_size(true),
+    })
+}
+
+/// The budget of the depth-stress run: generous instruction/wall room (one
+/// deep path through a ROP1.00 chain costs tens of millions of guest
+/// instructions) with tight path/solver caps, because the measurement is
+/// about how deep the *first* paths stay symbolic, not about cracking the
+/// secret.
+pub fn depth_stress_budget(smoke: bool) -> DseBudget {
+    if smoke {
+        DseBudget {
+            total_instructions: 120_000_000,
+            per_path_instructions: 12_000_000,
+            max_paths: 6,
+            max_wall: Duration::from_secs(20),
+            max_solver_calls: 60,
+            ..DseBudget::default()
+        }
+    } else {
+        DseBudget {
+            total_instructions: 600_000_000,
+            per_path_instructions: 60_000_000,
+            max_paths: 12,
+            max_wall: Duration::from_secs(60),
+            max_solver_calls: 300,
+            ..DseBudget::default()
+        }
+    }
+}
+
 /// One Table II row: secret-finding and coverage results for a
 /// configuration.
 #[derive(Debug, Clone, Serialize)]

@@ -4,10 +4,13 @@
 # Runs the exp_dse_speed driver (release build), which measures the fixed
 # dse_speed_suite job list under the re-run reference oracle and the
 # fork-point engine (1 worker and a fleet sized by RAINDROP_DSE_WORKERS /
-# the machine's parallelism) and rewrites BENCH_dse.json in the repository
-# root. The frozen pre-PR baseline (the seed explorer before fork-point
-# snapshots and constraint caching) is embedded in the driver and carried
-# over unchanged, so the file always keeps the trajectory's origin.
+# the machine's parallelism), runs the depth-stress workload (symbolic
+# fork depth before the first expression-size hazard, against the frozen
+# tree-counted baseline), and rewrites BENCH_dse.json in the repository
+# root. The frozen baselines (the seed explorer before fork-point
+# snapshots and constraint caching; the tree-counted depth-stress run
+# before the hash-consed arena) are embedded in the driver and carried
+# over unchanged, so the file always keeps the trajectory's origins.
 #
 # Run from the repository root:
 #   sh scripts/regen_bench_dse.sh
