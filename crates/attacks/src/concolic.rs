@@ -61,7 +61,7 @@ use crate::solver::{Constraint, SearchSolver, SetDigest, Solver, VarDomain};
 use crate::sym::{BinKind, EvalMemo, ExprArena, ExprId, UnKind};
 use raindrop_machine::{AluOp, Cond, EmuError, Emulator, Image, Inst, Reg, Snapshot};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -1606,7 +1606,7 @@ pub enum ExploreMode {
 
 /// Execution log of one attack, for the differential equivalence suite:
 /// both explore modes must produce identical sequences.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DseAudit {
     /// Inputs explored, in schedule order.
     pub explored: Vec<Vec<u64>>,
@@ -1674,96 +1674,290 @@ impl<'a> DseAttack<'a> {
     /// outcome. The differential suite uses the audit to pin fork-point and
     /// re-run exploration bit-identical.
     pub fn run_audited(&mut self, goal: Goal) -> (DseOutcome, DseAudit) {
-        // Per-run statistics: an attack instance can be reused (the solve
-        // cache carries over — its keys are arena-independent structural
-        // hashes), but counters, budget enforcement and the solver's
-        // id-keyed state start fresh each run.
-        self.solver_calls = 0;
-        self.cache_hits = 0;
-        self.solver.begin_run();
-        let start = Instant::now();
-        let vars = self.spec.vars();
-        let mask = self.spec.var_mask();
-        let domain = self.spec.domain();
-        let capture = self.mode == ExploreMode::ForkPoint;
-        let mut engine = Engine::new(self.image, self.func, self.spec.clone(), capture);
-        let mut audit = DseAudit::default();
+        DseExplorer::start(self, goal).advance(None).expect("unbounded advance runs to completion")
+    }
+}
 
+/// One persisted solve-cache entry: the arena-independent structural
+/// digest key `(set, negated, goal)` and the cached solver answer.
+pub type SolveCacheEntry = ((u128, u128, u128), Option<Vec<u64>>);
+
+/// The serialized frontier of a paused attack: everything a *fresh process*
+/// needs to continue exploration with identical results. Fork-point
+/// [`Snapshot`] state is deliberately not serialized — restored frontier
+/// entries re-run their path from the entry point, which the
+/// `FRONTIER_RESUME_CAP` fallback contract already pins result-identical
+/// (only [`DseOutcome::resumed_paths`], `emulated_instructions` and `wall`
+/// differ after a resume; every verdict-bearing field matches).
+///
+/// [`Snapshot`]: raindrop_machine::Snapshot
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseFrontier {
+    /// Pending inputs in schedule order (resume points dropped).
+    pub queue: Vec<Vec<u64>>,
+    /// Every input ever scheduled — the frontier dedup set, sorted.
+    pub seen: Vec<Vec<u64>>,
+    /// The normalized solver cache, sorted by key. Keys are
+    /// arena-independent structural digests, so they survive the arena
+    /// rebuild on resume.
+    pub solve_cache: Vec<SolveCacheEntry>,
+    /// The exploration schedule so far.
+    pub audit: DseAudit,
+    /// Paths explored so far.
+    pub paths: usize,
+    /// Paths resumed from a fork point so far.
+    pub resumed_paths: usize,
+    /// Accounted instructions so far (the budget currency).
+    pub total_instructions: u64,
+    /// Instructions actually stepped so far.
+    pub emulated_instructions: u64,
+    /// Coverage probes hit so far.
+    pub covered: Vec<u32>,
+    /// Longest constraint sequence of any explored path.
+    pub max_constraints: usize,
+    /// Per-cause hazard counts, sorted by cause.
+    pub hazard_causes: Vec<(String, u64)>,
+    /// Deepest exact fork depth seen (see
+    /// [`DseOutcome::max_branches_pre_hazard`]).
+    pub max_branches_pre_hazard: usize,
+    /// Solver invocations so far.
+    pub solver_calls: u64,
+    /// Solver invocations avoided by the cache so far.
+    pub solve_cache_hits: u64,
+    /// Sticky flag: the wall clock expired inside a flip sweep.
+    pub wall_hit: bool,
+    /// Sticky flag: the solver-call cap was hit.
+    pub solver_capped: bool,
+    /// Sticky flag: solved candidates were dropped by the frontier cap.
+    pub frontier_dropped: bool,
+    /// RNG draws the solver has consumed ([`Solver::rng_draws`]): a fresh
+    /// solver fast-forwards here so the random stream continues exactly.
+    pub rng_draws: u64,
+    /// Wall time accumulated before this checkpoint.
+    pub wall: Duration,
+}
+
+/// An in-flight exploration that can pause at path boundaries and
+/// serialize its [`DseFrontier`] for checkpointing.
+///
+/// [`DseAttack::run_audited`] is exactly `DseExplorer::start` followed by
+/// one unbounded [`advance`](DseExplorer::advance); campaign jobs instead
+/// advance in bounded slices, checkpoint the frontier between slices, and
+/// — after a crash — [`resume`](DseExplorer::resume) from the last
+/// persisted frontier with identical verdicts.
+pub struct DseExplorer<'a, 'b> {
+    attack: &'b mut DseAttack<'a>,
+    goal: Goal,
+    engine: Engine<'a>,
+    domain: VarDomain,
+    audit: DseAudit,
+    queue: VecDeque<Pending>,
+    seen: BTreeSet<Vec<u64>>,
+    total_instructions: u64,
+    emulated_instructions: u64,
+    paths: usize,
+    resumed_paths: usize,
+    covered: BTreeSet<u32>,
+    max_constraints: usize,
+    hazards: BTreeMap<String, u64>,
+    max_branches_pre_hazard: usize,
+    wall_hit: bool,
+    solver_capped: bool,
+    frontier_dropped: bool,
+    /// Wall time accumulated by earlier slices/processes (before `start`).
+    wall_base: Duration,
+    start: Instant,
+}
+
+impl<'a, 'b> DseExplorer<'a, 'b> {
+    /// Starts a fresh exploration of `attack` toward `goal`.
+    ///
+    /// Per-run statistics reset here: an attack instance can be reused (the
+    /// solve cache carries over — its keys are arena-independent structural
+    /// hashes), but counters, budget enforcement and the solver's id-keyed
+    /// state start fresh each run.
+    pub fn start(attack: &'b mut DseAttack<'a>, goal: Goal) -> DseExplorer<'a, 'b> {
+        attack.solver_calls = 0;
+        attack.cache_hits = 0;
+        attack.solver.begin_run();
+        let vars = attack.spec.vars();
+        let mask = attack.spec.var_mask();
+        let domain = attack.spec.domain();
+        let capture = attack.mode == ExploreMode::ForkPoint;
+        let engine = Engine::new(attack.image, attack.func, attack.spec.clone(), capture);
         let mut queue: VecDeque<Pending> = VecDeque::new();
         queue.push_back(Pending { input: vec![0u64; vars], resume: None });
         queue.push_back(Pending { input: vec![mask; vars], resume: None });
-        let mut seen: BTreeSet<Vec<u64>> = queue.iter().map(|p| p.input.clone()).collect();
+        let seen: BTreeSet<Vec<u64>> = queue.iter().map(|p| p.input.clone()).collect();
+        DseExplorer {
+            attack,
+            goal,
+            engine,
+            domain,
+            audit: DseAudit::default(),
+            queue,
+            seen,
+            total_instructions: 0,
+            emulated_instructions: 0,
+            paths: 0,
+            resumed_paths: 0,
+            covered: BTreeSet::new(),
+            max_constraints: 0,
+            hazards: BTreeMap::new(),
+            max_branches_pre_hazard: 0,
+            wall_hit: false,
+            solver_capped: false,
+            frontier_dropped: false,
+            wall_base: Duration::ZERO,
+            start: Instant::now(),
+        }
+    }
 
-        let mut total_instructions = 0u64;
-        let mut emulated_instructions = 0u64;
-        let mut paths = 0usize;
-        let mut resumed_paths = 0usize;
-        let mut covered: BTreeSet<u32> = BTreeSet::new();
-        let mut max_constraints = 0usize;
-        let mut hazard_counts: HashMap<&'static str, u64> = HashMap::new();
-        let mut max_branches_pre_hazard = 0usize;
+    /// Rebuilds a paused exploration from its serialized frontier. The
+    /// expression arena and emulator are reconstructed from scratch (their
+    /// contents are a deterministic function of the explored inputs);
+    /// restored frontier entries carry no fork-point snapshots, so their
+    /// first execution is a full re-run — same results, more stepped
+    /// instructions.
+    pub fn resume(
+        attack: &'b mut DseAttack<'a>,
+        goal: Goal,
+        frontier: &DseFrontier,
+    ) -> DseExplorer<'a, 'b> {
+        attack.solver_calls = frontier.solver_calls;
+        attack.cache_hits = frontier.solve_cache_hits;
+        attack.solver.begin_run();
+        attack.solver.fast_forward(frontier.rng_draws);
+        attack.solve_cache = frontier.solve_cache.iter().cloned().collect();
+        let domain = attack.spec.domain();
+        let capture = attack.mode == ExploreMode::ForkPoint;
+        let engine = Engine::new(attack.image, attack.func, attack.spec.clone(), capture);
+        DseExplorer {
+            goal,
+            engine,
+            domain,
+            audit: frontier.audit.clone(),
+            queue: frontier
+                .queue
+                .iter()
+                .map(|input| Pending { input: input.clone(), resume: None })
+                .collect(),
+            seen: frontier.seen.iter().cloned().collect(),
+            total_instructions: frontier.total_instructions,
+            emulated_instructions: frontier.emulated_instructions,
+            paths: frontier.paths,
+            resumed_paths: frontier.resumed_paths,
+            covered: frontier.covered.iter().copied().collect(),
+            max_constraints: frontier.max_constraints,
+            hazards: frontier.hazard_causes.iter().cloned().collect(),
+            max_branches_pre_hazard: frontier.max_branches_pre_hazard,
+            wall_hit: frontier.wall_hit,
+            solver_capped: frontier.solver_capped,
+            frontier_dropped: frontier.frontier_dropped,
+            wall_base: frontier.wall,
+            start: Instant::now(),
+            attack,
+        }
+    }
+
+    /// Frontier entries currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total wall time of this exploration, including earlier slices.
+    fn elapsed(&self) -> Duration {
+        self.wall_base + self.start.elapsed()
+    }
+
+    /// Serializes the current frontier. Only meaningful between
+    /// [`advance`](DseExplorer::advance) slices.
+    pub fn frontier(&self) -> DseFrontier {
+        let mut solve_cache: Vec<SolveCacheEntry> =
+            self.attack.solve_cache.iter().map(|(k, v)| (*k, v.clone())).collect();
+        solve_cache.sort();
+        DseFrontier {
+            queue: self.queue.iter().map(|p| p.input.clone()).collect(),
+            seen: self.seen.iter().cloned().collect(),
+            solve_cache,
+            audit: self.audit.clone(),
+            paths: self.paths,
+            resumed_paths: self.resumed_paths,
+            total_instructions: self.total_instructions,
+            emulated_instructions: self.emulated_instructions,
+            covered: self.covered.iter().copied().collect(),
+            max_constraints: self.max_constraints,
+            hazard_causes: self.hazards.iter().map(|(k, n)| (k.clone(), *n)).collect(),
+            max_branches_pre_hazard: self.max_branches_pre_hazard,
+            solver_calls: self.attack.solver_calls,
+            solve_cache_hits: self.attack.cache_hits,
+            wall_hit: self.wall_hit,
+            solver_capped: self.solver_capped,
+            frontier_dropped: self.frontier_dropped,
+            rng_draws: self.attack.solver.rng_draws(),
+            wall: self.elapsed(),
+        }
+    }
+
+    /// Explores up to `slice` further frontier entries (`None` =
+    /// unbounded). Returns the finished attack's outcome and audit, or
+    /// `None` when the slice cap paused the exploration with work left —
+    /// checkpoint via [`frontier`](DseExplorer::frontier) and call again.
+    pub fn advance(&mut self, slice: Option<usize>) -> Option<(DseOutcome, DseAudit)> {
+        let mut ran = 0usize;
         let mut exhausted = None;
-        let mut wall_hit = false;
-        let mut solver_capped = false;
-        let mut frontier_dropped = false;
-
-        while let Some(pending) = queue.pop_front() {
-            if start.elapsed() > self.budget.max_wall {
+        loop {
+            if slice.is_some_and(|cap| ran >= cap) && !self.queue.is_empty() {
+                return None;
+            }
+            let Some(pending) = self.queue.pop_front() else { break };
+            ran += 1;
+            if self.elapsed() > self.attack.budget.max_wall {
                 exhausted = Some(DseExhaustion::Wall);
                 break;
             }
-            if total_instructions > self.budget.total_instructions {
+            if self.total_instructions > self.attack.budget.total_instructions {
                 exhausted = Some(DseExhaustion::Instructions);
                 break;
             }
-            if paths > self.budget.max_paths {
+            if self.paths > self.attack.budget.max_paths {
                 exhausted = Some(DseExhaustion::Paths);
                 break;
             }
-            let path_budget = self
-                .budget
-                .per_path_instructions
-                .min(self.budget.total_instructions.saturating_sub(total_instructions).max(1));
-            let out = match engine.run_path(&pending.input, path_budget, pending.resume.as_ref()) {
-                Ok(o) => o,
-                Err(_) => continue,
-            };
+            let path_budget = self.attack.budget.per_path_instructions.min(
+                self.attack
+                    .budget
+                    .total_instructions
+                    .saturating_sub(self.total_instructions)
+                    .max(1),
+            );
+            let out =
+                match self.engine.run_path(&pending.input, path_budget, pending.resume.as_ref()) {
+                    Ok(o) => o,
+                    Err(_) => continue,
+                };
             if pending.resume.is_some() {
-                resumed_paths += 1;
+                self.resumed_paths += 1;
             }
-            paths += 1;
-            total_instructions += out.record.instructions;
-            emulated_instructions += out.emulated;
-            covered.extend(out.record.probes_hit.iter().copied());
-            max_constraints = max_constraints.max(out.record.constraints.len());
+            self.paths += 1;
+            self.total_instructions += out.record.instructions;
+            self.emulated_instructions += out.emulated;
+            self.covered.extend(out.record.probes_hit.iter().copied());
+            self.max_constraints = self.max_constraints.max(out.record.constraints.len());
             if let Some(cause) = out.record.hazard_cause {
-                *hazard_counts.entry(cause).or_insert(0) += 1;
+                *self.hazards.entry(cause.to_string()).or_insert(0) += 1;
             }
-            max_branches_pre_hazard = max_branches_pre_hazard.max(out.record.branches_pre_hazard);
-            audit.explored.push(pending.input.clone());
+            self.max_branches_pre_hazard =
+                self.max_branches_pre_hazard.max(out.record.branches_pre_hazard);
+            self.audit.explored.push(pending.input.clone());
 
-            let done = match goal {
+            let done = match self.goal {
                 Goal::Secret { want } => out.record.return_value == want,
-                Goal::Coverage { total_probes } => covered.len() as u32 >= total_probes,
+                Goal::Coverage { total_probes } => self.covered.len() as u32 >= total_probes,
             };
             if done {
-                let outcome = DseOutcome {
-                    success: true,
-                    witness: Some(pending.input),
-                    paths,
-                    instructions: total_instructions,
-                    emulated_instructions,
-                    resumed_paths,
-                    wall: start.elapsed(),
-                    probes_covered: covered.len(),
-                    max_constraints,
-                    solver_calls: self.solver_calls,
-                    solve_cache_hits: self.cache_hits,
-                    hazard_causes: sorted_hazards(&hazard_counts),
-                    max_branches_pre_hazard,
-                    exhausted: None,
-                };
-                return (outcome, audit);
+                let outcome = self.outcome(true, Some(pending.input), None);
+                return Some((outcome, self.audit.clone()));
             }
 
             // Generational search: negate each constraint in turn (deepest
@@ -1780,7 +1974,7 @@ impl<'a> DseAttack<'a> {
             // solver-cache key of flip `i` is O(1) to build — and, unlike
             // a bare XOR, cannot collapse when a constraint repeats.
             let hashes: Vec<u128> =
-                data.constraints.iter().map(|c| c.structural_hash(&engine.arena)).collect();
+                data.constraints.iter().map(|c| c.structural_hash(&self.engine.arena)).collect();
             let mut prefix = vec![SetDigest::empty(); n + 1];
             for i in 0..n {
                 prefix[i + 1] = if first_at[&data.constraints[i]] == i {
@@ -1790,8 +1984,8 @@ impl<'a> DseAttack<'a> {
                 };
             }
             for i in (0..n).rev() {
-                if start.elapsed() > self.budget.max_wall {
-                    wall_hit = true;
+                if self.elapsed() > self.attack.budget.max_wall {
+                    self.wall_hit = true;
                     break;
                 }
                 // A repeated constraint is pinned the recorded way by its
@@ -1805,36 +1999,36 @@ impl<'a> DseAttack<'a> {
                 // paths collapse onto one cache slot.
                 let (dig_sum, dig_xor) = prefix[i].key();
                 let cache_key = (dig_sum, dig_xor, hashes[i]);
-                let cand = match self.solve_cache.get(&cache_key) {
+                let cand = match self.attack.solve_cache.get(&cache_key) {
                     Some(v) => {
-                        self.cache_hits += 1;
+                        self.attack.cache_hits += 1;
                         v.clone()
                     }
                     None => {
-                        if self.solver_calls >= self.budget.max_solver_calls {
-                            solver_capped = true;
+                        if self.attack.solver_calls >= self.attack.budget.max_solver_calls {
+                            self.solver_capped = true;
                             break;
                         }
-                        self.solver_calls += 1;
+                        self.attack.solver_calls += 1;
                         let mut query = data.constraints[..=i].to_vec();
                         query[i].taken = !query[i].taken;
-                        let v = self.solver.feasible(
-                            &mut engine.arena,
+                        let v = self.attack.solver.feasible(
+                            &mut self.engine.arena,
                             &query,
-                            &domain,
+                            &self.domain,
                             &pending.input,
                         );
-                        self.solve_cache.insert(cache_key, v.clone());
+                        self.attack.solve_cache.insert(cache_key, v.clone());
                         v
                     }
                 };
                 if let Some(cand) = cand {
-                    if seen.insert(cand.clone()) {
-                        if queue.len() >= self.budget.max_frontier {
-                            frontier_dropped = true;
+                    if self.seen.insert(cand.clone()) {
+                        if self.queue.len() >= self.attack.budget.max_frontier {
+                            self.frontier_dropped = true;
                         } else {
-                            audit.pushed.push(cand.clone());
-                            let resume = if queue.len() < FRONTIER_RESUME_CAP {
+                            self.audit.pushed.push(cand.clone());
+                            let resume = if self.queue.len() < FRONTIER_RESUME_CAP {
                                 out.forks.get(&i).map(|f| ResumePoint {
                                     fork: f.clone(),
                                     parent: data.clone(),
@@ -1843,47 +2037,48 @@ impl<'a> DseAttack<'a> {
                             } else {
                                 None
                             };
-                            queue.push_back(Pending { input: cand, resume });
+                            self.queue.push_back(Pending { input: cand, resume });
                         }
                     }
                 }
             }
         }
 
-        let exhausted = exhausted.or(if wall_hit {
+        let exhausted = exhausted.or(if self.wall_hit {
             Some(DseExhaustion::Wall)
-        } else if solver_capped {
+        } else if self.solver_capped {
             Some(DseExhaustion::SolverCalls)
-        } else if frontier_dropped {
+        } else if self.frontier_dropped {
             Some(DseExhaustion::Frontier)
         } else {
             Some(DseExhaustion::SearchSpace)
         });
-        let outcome = DseOutcome {
-            success: false,
-            witness: None,
-            paths,
-            instructions: total_instructions,
-            emulated_instructions,
-            resumed_paths,
-            wall: start.elapsed(),
-            probes_covered: covered.len(),
-            max_constraints,
-            solver_calls: self.solver_calls,
-            solve_cache_hits: self.cache_hits,
-            hazard_causes: sorted_hazards(&hazard_counts),
-            max_branches_pre_hazard,
-            exhausted,
-        };
-        (outcome, audit)
+        Some((self.outcome(false, None, exhausted), self.audit.clone()))
     }
-}
 
-/// The per-cause hazard counts as a deterministically ordered list.
-fn sorted_hazards(counts: &HashMap<&'static str, u64>) -> Vec<(String, u64)> {
-    let mut v: Vec<(String, u64)> = counts.iter().map(|(k, n)| (k.to_string(), *n)).collect();
-    v.sort();
-    v
+    fn outcome(
+        &self,
+        success: bool,
+        witness: Option<Vec<u64>>,
+        exhausted: Option<DseExhaustion>,
+    ) -> DseOutcome {
+        DseOutcome {
+            success,
+            witness,
+            paths: self.paths,
+            instructions: self.total_instructions,
+            emulated_instructions: self.emulated_instructions,
+            resumed_paths: self.resumed_paths,
+            wall: self.elapsed(),
+            probes_covered: self.covered.len(),
+            max_constraints: self.max_constraints,
+            solver_calls: self.attack.solver_calls,
+            solve_cache_hits: self.attack.cache_hits,
+            hazard_causes: self.hazards.iter().map(|(k, n)| (k.clone(), *n)).collect(),
+            max_branches_pre_hazard: self.max_branches_pre_hazard,
+            exhausted,
+        }
+    }
 }
 
 #[cfg(test)]

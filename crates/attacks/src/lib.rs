@@ -18,6 +18,9 @@
 //!   budgets;
 //! * [`fleet`] — a work-queue [`AttackFleet`] sharding independent DSE jobs
 //!   across worker threads;
+//! * [`campaign`] — a checkpointed, resumable [`Campaign`] driver over many
+//!   DSE jobs: durable crc-sealed checkpoints, kill-and-resume convergence,
+//!   bounded retry, straggler demotion and a fault-injection harness;
 //! * [`tds`] — taint-driven simplification of execution traces (attack
 //!   surface A3);
 //! * [`ropaware`] — ROPMEMU-style flag-flip exploration and
@@ -55,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod concolic;
 pub mod fleet;
 pub mod ropaware;
@@ -62,9 +66,13 @@ pub mod solver;
 pub mod sym;
 pub mod tds;
 
+pub use campaign::{
+    job_fingerprint, replay_log, Campaign, CampaignConfig, CampaignJobReport, CampaignReport,
+    CampaignStats, CampaignStatus, CheckpointRecord, FaultPlan, JobState,
+};
 pub use concolic::{
-    shadow_run, DseAttack, DseAudit, DseBudget, DseExhaustion, DseOutcome, ExploreMode, Goal,
-    InputSpec, PathRecord, ShadowRun,
+    shadow_run, DseAttack, DseAudit, DseBudget, DseExhaustion, DseExplorer, DseFrontier,
+    DseOutcome, ExploreMode, Goal, InputSpec, PathRecord, ShadowRun,
 };
 pub use fleet::{AttackFleet, DseJob, DseJobResult};
 pub use ropaware::{chain_symbol, flip_exploration, gadget_guess, FlipReport, GuessReport};

@@ -155,6 +155,18 @@ pub trait Solver {
     /// arena: previously seen [`ExprId`]s are meaningless). Implementations
     /// drop any id-keyed state here.
     fn begin_run(&mut self) {}
+
+    /// RNG draws consumed since construction. Checkpointing a paused attack
+    /// records this; stateless/deterministic backends keep the default 0.
+    fn rng_draws(&self) -> u64 {
+        0
+    }
+
+    /// Fast-forwards a *freshly constructed* backend to the state after
+    /// `draws` RNG draws, so a resumed attack continues the exact random
+    /// stream the checkpointed run would have used. Only moves forward;
+    /// backends without RNG state ignore it.
+    fn fast_forward(&mut self, _draws: u64) {}
 }
 
 /// The built-in search backend: inversion along invertible operator
@@ -172,6 +184,10 @@ pub trait Solver {
 /// re-evaluation into one scan each.
 pub struct SearchSolver {
     rng: ChaCha8Rng,
+    /// RNG draws consumed so far — the only live state a checkpoint must
+    /// carry: the memos below are pure caches, losing them on resume never
+    /// changes an answer, but replaying a different random stream would.
+    draws: u64,
     /// The as-recorded constraint sequence the current flip sweep walks
     /// (the longest query seen, with its last constraint unflipped);
     /// shorter queries of the same sweep are its prefixes.
@@ -197,6 +213,7 @@ impl SearchSolver {
         use rand::SeedableRng;
         SearchSolver {
             rng: ChaCha8Rng::seed_from_u64(0xa77ac4),
+            draws: 0,
             record: Vec::new(),
             memo: HashMap::new(),
             eval_hint: EvalMemo::default(),
@@ -336,6 +353,7 @@ impl Solver for SearchSolver {
         let mut cand = hint.to_vec();
         for _ in 0..draws {
             for &var in &vars {
+                self.draws += 1;
                 cand[var] = self.rng.gen::<u64>() & mask;
             }
             if self.first_violated(arena, &cand) == i {
@@ -348,6 +366,17 @@ impl Solver for SearchSolver {
     fn begin_run(&mut self) {
         self.record.clear();
         self.memo.clear();
+    }
+
+    fn rng_draws(&self) -> u64 {
+        self.draws
+    }
+
+    fn fast_forward(&mut self, draws: u64) {
+        for _ in self.draws..draws {
+            let _: u64 = self.rng.gen();
+        }
+        self.draws = self.draws.max(draws);
     }
 }
 

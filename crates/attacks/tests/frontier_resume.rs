@@ -1,0 +1,222 @@
+//! Pause/checkpoint/resume determinism of the sliced [`DseExplorer`].
+//!
+//! A campaign job advances its explorer in bounded path slices and
+//! serializes the [`DseFrontier`] between slices; a crash loses the
+//! process but not the frontier. These tests pin the core contract the
+//! campaign layer builds on: an exploration chopped into slices — with the
+//! frontier round-tripped through its serialized form and resumed in a
+//! *fresh* attack instance each time, as after a kill — produces the same
+//! verdicts, witnesses, schedules and counters as one uninterrupted run.
+//! Only `wall`, `emulated_instructions` and `resumed_paths` may differ
+//! (resumed entries re-run their prefix instead of restoring a snapshot).
+
+use raindrop::{Rewriter, RopConfig};
+use raindrop_attacks::concolic::{
+    DseAttack, DseAudit, DseBudget, DseExplorer, DseFrontier, DseOutcome, Goal, InputSpec,
+};
+use raindrop_machine::Image;
+use raindrop_synth::{codegen, generate_randomfun, paper_structures, Goal as RfGoal, RandomFun};
+use std::time::Duration;
+
+/// Work-bounded budget: wall clock effectively off, so slicing cannot
+/// change which budget dimension ends the run.
+fn logical_budget() -> DseBudget {
+    DseBudget {
+        total_instructions: 4_000_000,
+        per_path_instructions: 500_000,
+        max_paths: 40,
+        max_wall: Duration::from_secs(3600),
+        max_solver_calls: 2_000,
+        ..DseBudget::default()
+    }
+}
+
+fn rf(goal: RfGoal, structure_idx: usize, input_size: usize, seed: u64) -> RandomFun {
+    let (name, structure) = paper_structures().into_iter().nth(structure_idx).unwrap();
+    generate_randomfun(raindrop_synth::RandomFunConfig {
+        structure,
+        structure_name: name,
+        input_size,
+        seed,
+        goal,
+        loop_size: 2,
+    })
+}
+
+/// Runs the attack uninterrupted, then sliced: every `slice` paths the
+/// frontier is serialized to JSON, the attack instance is dropped (the
+/// simulated kill — arena, emulator, snapshots, solver all gone), and a
+/// fresh instance resumes from the deserialized frontier. Returns both
+/// results and the number of kills survived.
+fn run_sliced_with_kills(
+    image: &Image,
+    func: &str,
+    spec: InputSpec,
+    goal: Goal,
+    slice: usize,
+) -> ((DseOutcome, DseAudit), (DseOutcome, DseAudit), usize) {
+    let budget = logical_budget();
+    let uninterrupted = DseAttack::new(image, func, spec.clone(), budget).run_audited(goal);
+
+    let mut saved: Option<DseFrontier> = None;
+    let mut kills = 0usize;
+    let sliced = loop {
+        let mut attack = DseAttack::new(image, func, spec.clone(), budget);
+        let mut explorer = match &saved {
+            None => DseExplorer::start(&mut attack, goal),
+            Some(frontier) => DseExplorer::resume(&mut attack, goal, frontier),
+        };
+        match explorer.advance(Some(slice)) {
+            Some(done) => break done,
+            None => {
+                // Round-trip the frontier through its wire format so the
+                // test proves the *serialized* state is sufficient, not the
+                // in-memory explorer.
+                let json = serde_json::to_string(&explorer.frontier()).unwrap();
+                saved = Some(serde_json::from_str(&json).unwrap());
+                kills += 1;
+            }
+        }
+    };
+    (uninterrupted, sliced, kills)
+}
+
+fn assert_same_verdict(label: &str, a: &(DseOutcome, DseAudit), b: &(DseOutcome, DseAudit)) {
+    let (ao, aa) = a;
+    let (bo, ba) = b;
+    assert_eq!(ao.success, bo.success, "[{label}] same verdict");
+    assert_eq!(ao.witness, bo.witness, "[{label}] same discovered witness");
+    assert_eq!(ao.paths, bo.paths, "[{label}] same path count");
+    assert_eq!(ao.instructions, bo.instructions, "[{label}] same accounted instructions");
+    assert_eq!(ao.probes_covered, bo.probes_covered, "[{label}] same coverage");
+    assert_eq!(ao.max_constraints, bo.max_constraints, "[{label}] same longest record");
+    assert_eq!(ao.solver_calls, bo.solver_calls, "[{label}] same solver schedule");
+    assert_eq!(ao.solve_cache_hits, bo.solve_cache_hits, "[{label}] same cache behaviour");
+    assert_eq!(ao.hazard_causes, bo.hazard_causes, "[{label}] same hazard accounting");
+    assert_eq!(ao.max_branches_pre_hazard, bo.max_branches_pre_hazard, "[{label}] same fork depth");
+    assert_eq!(ao.exhausted, bo.exhausted, "[{label}] same exhaustion dimension");
+    assert_eq!(aa, ba, "[{label}] same exploration schedule");
+}
+
+#[test]
+fn killed_and_resumed_exploration_matches_uninterrupted_native() {
+    // Slice of 1: the process dies after *every* explored path — the
+    // harshest checkpoint-boundary kill schedule.
+    let f = rf(RfGoal::SecretFinding, 0, 4, 2);
+    let image = codegen::compile(&f.program).unwrap();
+    let (full, sliced, kills) = run_sliced_with_kills(
+        &image,
+        &f.name,
+        InputSpec::RegisterArg { size_bytes: 4 },
+        Goal::Secret { want: 1 },
+        1,
+    );
+    assert!(kills >= 2, "the workload spans several slices (got {kills} kills)");
+    assert_same_verdict("native/secret", &full, &sliced);
+}
+
+#[test]
+fn killed_and_resumed_exploration_matches_uninterrupted_coverage() {
+    let f = rf(RfGoal::CodeCoverage, 4, 2, 8);
+    let image = codegen::compile(&f.program).unwrap();
+    let (full, sliced, kills) = run_sliced_with_kills(
+        &image,
+        &f.name,
+        InputSpec::RegisterArg { size_bytes: 2 },
+        Goal::Coverage { total_probes: f.probe_count },
+        1,
+    );
+    assert!(kills >= 1, "coverage goal spans at least one kill");
+    assert_same_verdict("native/coverage", &full, &sliced);
+}
+
+#[test]
+fn killed_and_resumed_exploration_matches_uninterrupted_rop() {
+    let f = rf(RfGoal::SecretFinding, 0, 1, 9);
+    let mut image = codegen::compile(&f.program).unwrap();
+    let mut rw = Rewriter::new(RopConfig::ropk(1.0).with_seed(9));
+    rw.rewrite_function(&mut image, &f.name).unwrap();
+    let (full, sliced, _kills) = run_sliced_with_kills(
+        &image,
+        &f.name,
+        InputSpec::RegisterArg { size_bytes: 1 },
+        Goal::Secret { want: 1 },
+        1,
+    );
+    assert_same_verdict("rop1.0/secret", &full, &sliced);
+}
+
+#[test]
+fn killed_and_resumed_exploration_matches_uninterrupted_when_defeated() {
+    // A path cap the workload exceeds: both runs must end unsuccessful on
+    // the same exhaustion dimension with identical counters.
+    let f = rf(RfGoal::SecretFinding, 3, 4, 7);
+    let image = codegen::compile(&f.program).unwrap();
+    let budget = DseBudget { max_paths: 2, ..logical_budget() };
+    let spec = InputSpec::RegisterArg { size_bytes: 4 };
+    let goal = Goal::Secret { want: 1 };
+    let uninterrupted = DseAttack::new(&image, &f.name, spec.clone(), budget).run_audited(goal);
+    assert!(!uninterrupted.0.success, "path cap defeats this attack");
+
+    let mut saved: Option<DseFrontier> = None;
+    let sliced = loop {
+        let mut attack = DseAttack::new(&image, &f.name, spec.clone(), budget);
+        let mut explorer = match &saved {
+            None => DseExplorer::start(&mut attack, goal),
+            Some(frontier) => DseExplorer::resume(&mut attack, goal, frontier),
+        };
+        match explorer.advance(Some(1)) {
+            Some(done) => break done,
+            None => saved = Some(explorer.frontier()),
+        }
+    };
+    assert_same_verdict("defeated/path-cap", &uninterrupted, &sliced);
+}
+
+#[test]
+fn outcome_and_audit_round_trip_through_both_wire_formats() {
+    // A real (not hand-built) result: exercised fields include witness,
+    // hazard accounting and the audit's per-path schedule.
+    let f = rf(RfGoal::SecretFinding, 0, 4, 2);
+    let image = codegen::compile(&f.program).unwrap();
+    let (outcome, audit) =
+        DseAttack::new(&image, &f.name, InputSpec::RegisterArg { size_bytes: 4 }, logical_budget())
+            .run_audited(Goal::Secret { want: 1 });
+    assert!(outcome.success, "workload produces a rich outcome");
+    assert!(!audit.explored.is_empty(), "audit carries a schedule");
+
+    // The human-readable campaign/bench format.
+    let json = serde_json::to_string(&outcome).unwrap();
+    let outcome_back: DseOutcome = serde_json::from_str(&json).unwrap();
+    assert_eq!(outcome, outcome_back, "DseOutcome JSON round-trip is lossless");
+    let json = serde_json::to_string(&audit).unwrap();
+    let audit_back: DseAudit = serde_json::from_str(&json).unwrap();
+    assert_eq!(audit, audit_back, "DseAudit JSON round-trip is lossless");
+
+    // The binary checkpoint-record format the campaign log persists.
+    let bytes = raindrop_server::recfile::encode_payload(&outcome);
+    let outcome_back: DseOutcome =
+        raindrop_server::recfile::decode_payload(&bytes).expect("payload decodes");
+    assert_eq!(outcome, outcome_back, "DseOutcome binary round-trip is lossless");
+    let bytes = raindrop_server::recfile::encode_payload(&audit);
+    let audit_back: DseAudit =
+        raindrop_server::recfile::decode_payload(&bytes).expect("payload decodes");
+    assert_eq!(audit, audit_back, "DseAudit binary round-trip is lossless");
+}
+
+#[test]
+fn frontier_round_trips_exactly_through_json() {
+    let f = rf(RfGoal::SecretFinding, 0, 4, 2);
+    let image = codegen::compile(&f.program).unwrap();
+    let budget = logical_budget();
+    let mut attack =
+        DseAttack::new(&image, &f.name, InputSpec::RegisterArg { size_bytes: 4 }, budget);
+    let mut explorer = DseExplorer::start(&mut attack, Goal::Secret { want: 1 });
+    assert!(explorer.advance(Some(1)).is_none(), "workload is larger than one path");
+    let frontier = explorer.frontier();
+    assert!(!frontier.queue.is_empty(), "paused with pending work");
+    assert!(frontier.paths > 0, "slice did real work");
+    let json = serde_json::to_string(&frontier).unwrap();
+    let back: DseFrontier = serde_json::from_str(&json).unwrap();
+    assert_eq!(frontier, back, "frontier wire format is lossless");
+}

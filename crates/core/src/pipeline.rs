@@ -197,8 +197,10 @@ pub enum PassDetail {
     Vm(VmReport),
     /// A custom [`ObfPass`] implementation without structured statistics.
     Custom,
-    /// The pass was skipped because every one of its targets had already
-    /// failed an earlier pass; the image was left untouched by it.
+    /// The pass was skipped — either every one of its targets had already
+    /// failed an earlier pass, or a per-pass restriction
+    /// ([`Pipeline::only`]) excluded every target of this run. The image
+    /// was left untouched by it.
     Skipped,
 }
 
@@ -675,6 +677,13 @@ impl PassSpec {
 pub struct ObfConfig {
     /// Passes in nesting order: the first pass is the innermost layer.
     pub passes: Vec<PassSpec>,
+    /// Per-pass target restrictions, parallel to `passes` (shorter vectors
+    /// are padded with `None`). `None` applies the pass to the whole run
+    /// target list; `Some(set)` intersects with it — see
+    /// [`ObfConfig::only`]. Restrictions are set semantics and participate
+    /// in [`ObfConfig::config_hash`] only when present, so unrestricted
+    /// configurations keep their historical hashes.
+    pub pass_targets: Vec<Option<Vec<String>>>,
 }
 
 impl ObfConfig {
@@ -687,6 +696,7 @@ impl ObfConfig {
     /// [`ObfConfig::pipeline`] and [`ObfConfig::config_hash`]).
     pub fn rop(mut self, cfg: RopConfig) -> ObfConfig {
         self.passes.push(PassSpec::Rop(cfg));
+        self.pass_targets.push(None);
         self
     }
 
@@ -694,19 +704,40 @@ impl ObfConfig {
     /// [`ObfConfig::pipeline`] and [`ObfConfig::config_hash`]).
     pub fn vm(mut self, cfg: VmConfig) -> ObfConfig {
         self.passes.push(PassSpec::Vm(cfg));
+        self.pass_targets.push(None);
+        self
+    }
+
+    /// Restricts the most recently appended pass to `targets`, so one run
+    /// can protect disjoint function subsets with different configurations
+    /// (e.g. VM-virtualize `f` while ROP-rewriting `g`). Set semantics:
+    /// order and duplicates are ignored; names absent from a run's target
+    /// list simply never match. A pass whose restriction excludes every run
+    /// target is recorded as [`PassDetail::Skipped`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when no pass has been appended yet.
+    pub fn only<S: AsRef<str>>(mut self, targets: &[S]) -> ObfConfig {
+        let slot = self.pass_targets.last_mut().expect("`only` must follow a pass");
+        *slot = Some(normalize_targets(targets));
         self
     }
 
     /// Builds the executable [`Pipeline`], threading `seed` into every
     /// pass (per-pass seed fields in the specs are overridden — the seed is
-    /// an artifact-key component, not part of the configuration).
+    /// an artifact-key component, not part of the configuration) and
+    /// carrying over per-pass target restrictions.
     pub fn pipeline(&self, seed: u64) -> Pipeline {
         let mut p = Pipeline::new().seed(seed);
-        for spec in &self.passes {
+        for (i, spec) in self.passes.iter().enumerate() {
             p = match spec {
                 PassSpec::Rop(cfg) => p.pass(RopPass::new(cfg.clone().with_seed(seed))),
                 PassSpec::Vm(cfg) => p.pass(VmPass::new(VmConfig { seed, ..*cfg })),
             };
+            if let Some(only) = self.pass_targets.get(i).and_then(Option::as_ref) {
+                p = p.only(only);
+            }
         }
         p
     }
@@ -727,11 +758,26 @@ impl ObfConfig {
     pub fn config_hash(&self) -> u128 {
         let mut h = StableHasher::new();
         h.write(b"obfconfig/v1;");
-        for spec in &self.passes {
+        for (i, spec) in self.passes.iter().enumerate() {
             h.write(format!("pass={:032x};", spec.fields().digest()).as_bytes());
+            // A restriction is part of the configuration (the same pass
+            // chain over different subsets produces different artifacts),
+            // but an *absent* restriction hashes to nothing so historical
+            // unrestricted hashes stay valid.
+            if let Some(only) = self.pass_targets.get(i).and_then(Option::as_ref) {
+                h.write(format!("only={};", normalize_targets(only).join(",")).as_bytes());
+            }
         }
         h.finish()
     }
+}
+
+/// Canonicalizes a target-restriction list: sorted, deduplicated.
+fn normalize_targets<S: AsRef<str>>(targets: &[S]) -> Vec<String> {
+    let mut list: Vec<String> = targets.iter().map(|s| s.as_ref().to_string()).collect();
+    list.sort();
+    list.dedup();
+    list
 }
 
 /// The pipeline builder: passes in nesting order, one seed, one verify
@@ -739,8 +785,21 @@ impl ObfConfig {
 #[derive(Default)]
 pub struct Pipeline {
     passes: Vec<Box<dyn ObfPass>>,
+    /// Per-pass target restrictions, parallel to `passes` (see
+    /// [`Pipeline::only`]).
+    restrictions: Vec<Option<Vec<String>>>,
     seed: Option<u64>,
     verify: VerifyPolicy,
+}
+
+/// Queued image-stage work for one pass: which stage names it transforms,
+/// and whether the run had any live targets when the job was planned (a
+/// requested-but-empty job is reported [`PassDetail::Skipped`] instead of
+/// invoking the pass).
+struct ImageJob {
+    index: usize,
+    targets: Vec<String>,
+    requested: bool,
 }
 
 impl Pipeline {
@@ -759,13 +818,40 @@ impl Pipeline {
     /// per-target failure.
     pub fn pass(mut self, pass: impl ObfPass + 'static) -> Pipeline {
         self.passes.push(Box::new(pass));
+        self.restrictions.push(None);
         self
     }
 
     /// Appends an already-boxed pass (useful when composing dynamically).
     pub fn boxed_pass(mut self, pass: Box<dyn ObfPass>) -> Pipeline {
         self.passes.push(pass);
+        self.restrictions.push(None);
         self
+    }
+
+    /// Restricts the most recently appended pass to `targets`: when the
+    /// pipeline runs, that pass only touches the run targets also named
+    /// here. Set semantics — order and duplicates are ignored, and names
+    /// absent from the run's target list simply never match. A pass whose
+    /// restriction excludes every run target is recorded as
+    /// [`PassDetail::Skipped`] and leaves the program/image untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no pass has been appended yet.
+    pub fn only<S: AsRef<str>>(mut self, targets: &[S]) -> Pipeline {
+        let slot = self.restrictions.last_mut().expect("`only` must follow a pass");
+        *slot = Some(normalize_targets(targets));
+        self
+    }
+
+    /// The subset of `list` the pass at `index` may touch under its
+    /// restriction (all of it when unrestricted).
+    fn restricted(&self, index: usize, list: &[String]) -> Vec<String> {
+        match self.restrictions.get(index).and_then(Option::as_ref) {
+            Some(only) => list.iter().filter(|t| only.contains(*t)).cloned().collect(),
+            None => list.to_vec(),
+        }
     }
 
     /// Threads one seed deterministically through every pass that was not
@@ -829,21 +915,34 @@ impl Pipeline {
         // target name for reporting.
         let mut public_of: BTreeMap<String, String> = BTreeMap::new();
         let mut active: Vec<String> = targets.clone();
-        let mut image_jobs: Vec<(usize, Vec<String>)> = Vec::new();
+        let mut image_jobs: Vec<ImageJob> = Vec::new();
         let mut source_mutated = false;
         let mut reports: Vec<Option<PassReport>> = Vec::new();
         reports.resize_with(self.passes.len(), || None);
 
         // Phase A: walk passes in nesting order, applying source transforms
         // (including wrapper splits for image passes that must end up below
-        // later source passes) and queueing image-stage work.
+        // later source passes) and queueing image-stage work. Each pass sees
+        // only the still-active targets its restriction admits.
         for (i, pass) in self.passes.iter().enumerate() {
             match pass.stage() {
                 Stage::Source => {
+                    let snapshot = self.restricted(i, &active);
+                    if snapshot.is_empty() && !active.is_empty() {
+                        // The restriction excluded every live target: do not
+                        // run the pass (it could still mutate the program)
+                        // and do not force a baseline recompile.
+                        reports[i] = Some(PassReport {
+                            label: pass.label(),
+                            stage: Stage::Source,
+                            wall: Duration::ZERO,
+                            detail: PassDetail::Skipped,
+                        });
+                        continue;
+                    }
                     source_mutated = true;
                     let before = failures.len();
                     let start = Instant::now();
-                    let snapshot = active.clone();
                     let mut cx = SourceCtx {
                         seed: self.seed,
                         targets: &snapshot,
@@ -862,11 +961,12 @@ impl Pipeline {
                     active.retain(|t| !failed.contains(t));
                 }
                 Stage::Image => {
+                    let pass_active = self.restricted(i, &active);
                     let needs_split =
                         self.passes[i + 1..].iter().any(|p| p.stage() == Stage::Source);
                     let stage_targets = if needs_split {
-                        let mut inner_names = Vec::with_capacity(active.len());
-                        for t in &active {
+                        let mut inner_names = Vec::with_capacity(pass_active.len());
+                        for t in &pass_active {
                             let inner = rop_inner_name(i, t);
                             wrap_rop_target(&mut working, t, &inner)?;
                             public_of.insert(inner.clone(), t.clone());
@@ -875,9 +975,13 @@ impl Pipeline {
                         source_mutated = source_mutated || !inner_names.is_empty();
                         inner_names
                     } else {
-                        active.clone()
+                        pass_active
                     };
-                    image_jobs.push((i, stage_targets));
+                    image_jobs.push(ImageJob {
+                        index: i,
+                        targets: stage_targets,
+                        requested: !active.is_empty(),
+                    });
                 }
             }
         }
@@ -974,8 +1078,13 @@ impl Pipeline {
         let mut failures: Vec<(String, String)> = Vec::new();
         let mut reports: Vec<Option<PassReport>> = Vec::new();
         reports.resize_with(self.passes.len(), || None);
-        let image_jobs: Vec<(usize, Vec<String>)> =
-            (0..self.passes.len()).map(|i| (i, targets.clone())).collect();
+        let image_jobs: Vec<ImageJob> = (0..self.passes.len())
+            .map(|i| ImageJob {
+                index: i,
+                targets: self.restricted(i, &targets),
+                requested: !targets.is_empty(),
+            })
+            .collect();
         self.run_image_jobs(
             &mut working,
             image_jobs,
@@ -1008,25 +1117,26 @@ impl Pipeline {
     fn run_image_jobs(
         &self,
         image: &mut Image,
-        jobs: Vec<(usize, Vec<String>)>,
+        jobs: Vec<ImageJob>,
         public_of: &BTreeMap<String, String>,
         failures: &mut Vec<(String, String)>,
         reports: &mut [Option<PassReport>],
         warm: &mut PipelineWarm,
     ) -> Result<(), PipelineError> {
         let public = |name: &String| public_of.get(name).unwrap_or(name).clone();
-        for (i, stage_targets) in jobs {
+        for ImageJob { index: i, targets: stage_targets, requested } in jobs {
             // Drop targets that already failed (under any stage name mapping
             // to the same public function) in an earlier pass, so one
             // failure never cascades into duplicate entries.
-            let had_targets = !stage_targets.is_empty();
             let failed: Vec<String> = failures.iter().map(|(n, _)| public(n)).collect();
             let stage_targets: Vec<String> =
                 stage_targets.into_iter().filter(|t| !failed.contains(&public(t))).collect();
-            if stage_targets.is_empty() && had_targets {
-                // Every target already failed: invoking the pass anyway
-                // would still mutate the image (e.g. a RopPass installs its
-                // runtime on attach), diverging from the direct sequence.
+            if stage_targets.is_empty() && requested {
+                // The run had targets but none survive for this pass (all
+                // failed earlier, or the pass restriction excluded them):
+                // invoking the pass anyway would still mutate the image
+                // (e.g. a RopPass installs its runtime on attach),
+                // diverging from the direct sequence.
                 reports[i] = Some(PassReport {
                     label: self.passes[i].label(),
                     stage: Stage::Image,
@@ -1080,6 +1190,7 @@ impl fmt::Debug for Pipeline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Pipeline")
             .field("passes", &self.passes.iter().map(|p| p.label()).collect::<Vec<_>>())
+            .field("restrictions", &self.restrictions)
             .field("seed", &self.seed)
             .field("verify", &self.verify)
             .finish()
@@ -1338,5 +1449,125 @@ mod tests {
 
         let reused = config.pipeline(5).run_program_with(&p, &["f"], &mut warm).unwrap();
         assert_eq!(cold.image, reused.image, "warm context changed the output image");
+    }
+
+    /// Two independent functions: `f` as in [`sample_program`], plus
+    /// `g(x) = (x + 11) ^ 0x21`.
+    fn two_function_program() -> Program {
+        sample_program().with_function(Function {
+            name: "g".into(),
+            params: 1,
+            locals: 0,
+            body: vec![Stmt::Return(Expr::bin(
+                BinOp::Xor,
+                Expr::bin(BinOp::Add, Expr::Arg(0), Expr::c(11)),
+                Expr::c(0x21),
+            ))],
+        })
+    }
+
+    fn reference_g(x: u64) -> u64 {
+        x.wrapping_add(11) ^ 0x21
+    }
+
+    #[test]
+    fn per_pass_restrictions_protect_disjoint_subsets() {
+        // One run, two disjoint protections: virtualize `f`, ROP-rewrite
+        // `g`. Each pass must touch only its own subset.
+        let p = two_function_program();
+        let run = Pipeline::new()
+            .pass(VmPass::plain(1))
+            .only(&["f"])
+            .pass(RopPass::ropk(1.0))
+            .only(&["g"])
+            .seed(3)
+            .verify(VerifyPolicy::Batch)
+            .run_program(&p, &["f", "g"])
+            .unwrap();
+        assert!(run.report.failures.is_empty(), "{:?}", run.report.failures);
+        assert!(run.report.all_verified());
+        let vm = run.report.passes[0].vm().expect("vm detail");
+        let vm_targets: Vec<&str> = vm.functions.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(vm_targets, ["f"], "VM pass touched exactly its subset");
+        let rop = run.report.passes[1].rop().expect("rop detail");
+        let rop_targets: Vec<&str> = rop.rewritten.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(rop_targets, ["g"], "ROP pass touched exactly its subset");
+        for x in [0u64, 9, 1000] {
+            assert_eq!(run_f(&run.image, x), reference(x), "f({x})");
+            let mut emu = Emulator::new(&run.image);
+            emu.set_budget(2_000_000_000);
+            assert_eq!(emu.call_named(&run.image, "g", &[x]).unwrap(), reference_g(x), "g({x})");
+        }
+    }
+
+    #[test]
+    fn restriction_excluding_every_target_skips_the_pass() {
+        let p = sample_program();
+        // Image-stage pass restricted to a function this run never targets:
+        // skipped, and the output is the plain compile.
+        let run = Pipeline::new()
+            .pass(RopPass::ropk(1.0))
+            .only(&["g"])
+            .seed(1)
+            .run_program(&p, &["f"])
+            .unwrap();
+        assert_eq!(run.report.passes[0].detail, PassDetail::Skipped);
+        assert_eq!(run.image, codegen::compile(&p).unwrap(), "image untouched");
+
+        // Source-stage pass likewise — and the skip must not force a
+        // wrapper split or baseline recompile.
+        let run = Pipeline::new()
+            .pass(VmPass::plain(1))
+            .only(&["g"])
+            .seed(1)
+            .run_program(&p, &["f"])
+            .unwrap();
+        assert_eq!(run.report.passes[0].detail, PassDetail::Skipped);
+        assert_eq!(run.image, codegen::compile(&p).unwrap(), "program untouched");
+    }
+
+    #[test]
+    fn obf_config_restrictions_hash_and_thread_into_pipelines() {
+        let base = ObfConfig::new().vm(VmConfig::plain(1)).rop(RopConfig::ropk(0.25));
+        let restricted = ObfConfig::new()
+            .vm(VmConfig::plain(1))
+            .only(&["f"])
+            .rop(RopConfig::ropk(0.25))
+            .only(&["g"]);
+
+        // A restriction is semantic: same chain over different subsets
+        // yields different artifacts.
+        assert_ne!(base.config_hash(), restricted.config_hash());
+        // ...and which pass carries which subset matters.
+        let swapped = ObfConfig::new()
+            .vm(VmConfig::plain(1))
+            .only(&["g"])
+            .rop(RopConfig::ropk(0.25))
+            .only(&["f"]);
+        assert_ne!(restricted.config_hash(), swapped.config_hash());
+
+        // Restrictions are sets: order and duplicates are not semantic.
+        let a = ObfConfig::new().rop(RopConfig::ropk(0.25)).only(&["b", "a"]);
+        let b = ObfConfig::new().rop(RopConfig::ropk(0.25)).only(&["a", "b", "a"]);
+        assert_eq!(a.config_hash(), b.config_hash());
+
+        // pipeline() threads the restrictions: config-driven equals
+        // hand-built, byte for byte.
+        let p = two_function_program();
+        let config = ObfConfig::new()
+            .vm(VmConfig::plain(1))
+            .only(&["f"])
+            .rop(RopConfig::ropk(1.0))
+            .only(&["g"]);
+        let via_config = config.pipeline(9).run_program(&p, &["f", "g"]).unwrap();
+        let via_hand = Pipeline::new()
+            .pass(VmPass::new(VmConfig { seed: 9, ..VmConfig::plain(1) }))
+            .only(&["f"])
+            .pass(RopPass::new(RopConfig::ropk(1.0).with_seed(9)))
+            .only(&["g"])
+            .seed(9)
+            .run_program(&p, &["f", "g"])
+            .unwrap();
+        assert_eq!(via_config.image, via_hand.image, "identical images byte for byte");
     }
 }

@@ -110,7 +110,6 @@ struct JobShared {
     cancelled: Arc<AtomicBool>,
     slot: Mutex<Slot>,
     done: Condvar,
-    submitted: Instant,
 }
 
 impl JobShared {
@@ -126,6 +125,30 @@ pub struct JobHandle<R> {
     _result: PhantomData<fn() -> R>,
 }
 
+impl<R> std::fmt::Debug for JobHandle<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match *self.shared.slot.lock().expect("job slot") {
+            Slot::Pending => "pending",
+            Slot::Done(..) => "done",
+            Slot::Taken => "taken",
+        };
+        f.debug_struct("JobHandle").field("state", &state).finish()
+    }
+}
+
+fn decode_outcome<R: Any + Send>(
+    result: Option<Box<dyn Any + Send>>,
+    panic: Option<String>,
+) -> JobOutcome<R> {
+    match (result, panic) {
+        (Some(boxed), _) => {
+            JobOutcome::Completed(*boxed.downcast::<R>().expect("job result type matches submit"))
+        }
+        (None, Some(msg)) => JobOutcome::Panicked(msg),
+        (None, None) => JobOutcome::Cancelled,
+    }
+}
+
 impl<R: Any + Send> JobHandle<R> {
     /// Blocks until the job finishes and returns its outcome and stats.
     pub fn wait(self) -> JobDone<R> {
@@ -133,14 +156,7 @@ impl<R: Any + Send> JobHandle<R> {
         loop {
             match std::mem::replace(&mut *slot, Slot::Taken) {
                 Slot::Done(result, stats, panic) => {
-                    let outcome = match (result, panic) {
-                        (Some(boxed), _) => JobOutcome::Completed(
-                            *boxed.downcast::<R>().expect("job result type matches submit"),
-                        ),
-                        (None, Some(msg)) => JobOutcome::Panicked(msg),
-                        (None, None) => JobOutcome::Cancelled,
-                    };
-                    return JobDone { outcome, stats };
+                    return JobDone { outcome: decode_outcome(result, panic), stats };
                 }
                 pending => {
                     *slot = pending;
@@ -148,6 +164,32 @@ impl<R: Any + Send> JobHandle<R> {
                 }
             }
         }
+    }
+
+    /// Waits for the job for at most `timeout`. On timeout the handle comes
+    /// back in `Err` — nothing is lost, the caller can keep polling, cancel,
+    /// or [`Scheduler::requeue`] the job later.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<JobDone<R>, JobHandle<R>> {
+        let deadline = Instant::now() + timeout;
+        {
+            let mut slot = self.shared.slot.lock().expect("job slot");
+            loop {
+                match std::mem::replace(&mut *slot, Slot::Taken) {
+                    Slot::Done(result, stats, panic) => {
+                        return Ok(JobDone { outcome: decode_outcome(result, panic), stats });
+                    }
+                    pending => {
+                        *slot = pending;
+                        let Some(remaining) = deadline.checked_duration_since(Instant::now())
+                        else {
+                            break;
+                        };
+                        slot = self.shared.done.wait_timeout(slot, remaining).expect("job slot").0;
+                    }
+                }
+            }
+        }
+        Err(self)
     }
 
     /// Requests cancellation. A job still queued is dropped unrun (its
@@ -167,6 +209,9 @@ struct QueuedJob<C> {
     #[allow(clippy::type_complexity)]
     fun: Box<dyn FnOnce(&mut C, &JobCtl) -> Box<dyn Any + Send> + Send>,
     shared: Arc<JobShared>,
+    /// When this attempt entered the queue (a requeued job restarts the
+    /// clock — queued time is a property of the attempt, not the handle).
+    submitted: Instant,
 }
 
 #[derive(Default)]
@@ -283,7 +328,6 @@ impl<C: WorkerCtx> Scheduler<C> {
             cancelled: Arc::new(AtomicBool::new(false)),
             slot: Mutex::new(Slot::Pending),
             done: Condvar::new(),
-            submitted: Instant::now(),
         });
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         self.queue.push(
@@ -291,9 +335,52 @@ impl<C: WorkerCtx> Scheduler<C> {
             QueuedJob {
                 fun: Box::new(move |ctx, ctl| Box::new(f(ctx, ctl)) as Box<dyn Any + Send>),
                 shared: Arc::clone(&shared),
+                submitted: Instant::now(),
             },
         );
         JobHandle { shared, _result: PhantomData }
+    }
+
+    /// Resubmits work *under an existing handle* at a new priority: the
+    /// straggler-defense path. Blocks until the handle's current attempt
+    /// settles (typically instantly — the caller has just seen it time out
+    /// and cancelled it), returns that superseded outcome, clears the
+    /// cancellation flag and queues `f` as the handle's next attempt.
+    /// `handle.wait()` afterwards observes the new attempt, so callers
+    /// holding the handle never notice the job changed queues — "requeue at
+    /// a different priority without losing the handle".
+    pub fn requeue<R, F>(&self, handle: &JobHandle<R>, priority: i32, f: F) -> JobDone<R>
+    where
+        R: Any + Send,
+        F: FnOnce(&mut C, &JobCtl) -> R + Send + 'static,
+    {
+        let superseded = {
+            let mut slot = handle.shared.slot.lock().expect("job slot");
+            loop {
+                match std::mem::replace(&mut *slot, Slot::Pending) {
+                    Slot::Done(result, stats, panic) => {
+                        break JobDone { outcome: decode_outcome(result, panic), stats };
+                    }
+                    pending => {
+                        *slot = pending;
+                        slot = handle.shared.done.wait(slot).expect("job slot");
+                    }
+                }
+            }
+            // Guard dropped here with the slot reset to Pending: the handle
+            // is live again before the new attempt can possibly finish.
+        };
+        handle.shared.cancelled.store(false, Ordering::Relaxed);
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue.push(
+            priority,
+            QueuedJob {
+                fun: Box::new(move |ctx, ctl| Box::new(f(ctx, ctl)) as Box<dyn Any + Send>),
+                shared: Arc::clone(&handle.shared),
+                submitted: Instant::now(),
+            },
+        );
+        superseded
     }
 
     /// Aggregate statistics so far.
@@ -331,7 +418,7 @@ fn worker_loop<C: WorkerCtx>(worker: usize, queue: &WorkQueue<QueuedJob<C>>, cou
     let mut ctx = C::create(worker);
     while let Some(job) = queue.pop(worker) {
         let started = Instant::now();
-        let queued = started.duration_since(job.shared.submitted);
+        let queued = started.duration_since(job.submitted);
         if job.shared.cancelled.load(Ordering::Relaxed) {
             counters.cancelled.fetch_add(1, Ordering::Relaxed);
             job.shared.finish(None, JobStats { queued, run: Duration::ZERO, worker }, None);
@@ -479,6 +566,67 @@ mod tests {
         let done = sched.submit(|_, _| std::thread::sleep(Duration::from_millis(2))).wait();
         assert!(done.stats.run >= Duration::from_millis(2));
         assert_eq!(done.stats.worker, 0);
+    }
+
+    #[test]
+    fn wait_timeout_returns_the_handle_then_the_result() {
+        let sched: Scheduler<()> = Scheduler::new(1);
+        let gate = Arc::new(AtomicBool::new(false));
+        let job_gate = Arc::clone(&gate);
+        let handle = sched.submit(move |_, _| {
+            while !job_gate.load(Ordering::Relaxed) {
+                std::thread::yield_now();
+            }
+            7u32
+        });
+        // Gated job cannot finish: the timeout path must fire and hand the
+        // handle back intact.
+        let handle = match handle.wait_timeout(Duration::from_millis(5)) {
+            Ok(_) => panic!("job finished while gated"),
+            Err(h) => h,
+        };
+        gate.store(true, Ordering::Relaxed);
+        // Released: a generous timeout now observes completion.
+        let done = handle.wait_timeout(Duration::from_secs(60)).expect("job released");
+        assert!(matches!(done.outcome, JobOutcome::Completed(7)));
+    }
+
+    #[test]
+    fn requeue_reuses_the_handle_at_a_new_priority() {
+        let sched: Scheduler<()> = Scheduler::new(1);
+        let gate = Arc::new(AtomicBool::new(false));
+        let blocker_gate = Arc::clone(&gate);
+        let blocker = sched.submit(move |_, _| {
+            while !blocker_gate.load(Ordering::Relaxed) {
+                std::thread::yield_now();
+            }
+        });
+        // The straggler is cancelled while queued behind the blocker…
+        let straggler: JobHandle<u32> = sched.submit(|_, _| 1);
+        straggler.cancel();
+        let low: JobHandle<&str> = sched.submit_prio(0, |_, _| "low ran");
+        gate.store(true, Ordering::Relaxed);
+        blocker.wait().expect_completed();
+        // …requeue returns the superseded (cancelled) attempt and schedules
+        // the replacement above the other queued work.
+        let superseded = sched.requeue(&straggler, 9, |_, _| 2);
+        assert!(matches!(superseded.outcome, JobOutcome::Cancelled));
+        // The original handle observes the new attempt's result.
+        assert_eq!(straggler.wait().expect_completed(), 2);
+        assert_eq!(low.wait().expect_completed(), "low ran");
+        let stats = sched.stats();
+        assert_eq!((stats.submitted, stats.cancelled), (4, 1));
+    }
+
+    #[test]
+    fn requeue_after_completion_runs_a_fresh_attempt() {
+        let sched: Scheduler<()> = Scheduler::new(1);
+        let handle: JobHandle<u32> = sched.submit(|_, _| 10);
+        // First attempt settles on its own; requeue hands back its result
+        // and the handle then waits on the second attempt.
+        let first = sched.requeue(&handle, 0, |_, _| 20);
+        assert!(matches!(first.outcome, JobOutcome::Completed(10)));
+        assert_eq!(handle.wait().expect_completed(), 20);
     }
 
     #[test]

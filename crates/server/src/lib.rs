@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod recfile;
 pub mod server;
 pub mod store;
 

@@ -1,0 +1,375 @@
+//! Shared versioned + crc64 record-file helpers.
+//!
+//! Both durable formats in this workspace — the [`ArtifactStore`] index
+//! (`index.rds`/`blobs.rds`) and the attack-campaign checkpoint log — follow
+//! the same discipline: a 4-byte magic + `u32` version header, append-only
+//! records each sealed with a trailing crc64, and *tolerant replay* that
+//! stops at the first torn or damaged record instead of failing the whole
+//! file. This module is the single home of that format logic:
+//!
+//! * [`crc64`], [`write_header`], [`read_header`] — the shared primitives;
+//! * [`seal_record`] / [`open_record`] — fixed-size records (the store's
+//!   index knows its record length out of band);
+//! * [`frame_record`] / [`FramedReader`] — length-prefixed variable-size
+//!   records (campaign checkpoints carry serialized frontiers of arbitrary
+//!   size);
+//! * [`encode_value`] / [`decode_value`] — a canonical binary encoding of
+//!   the vendored-serde [`Value`] data model, so any
+//!   `Serialize + Deserialize` type can travel inside a record body
+//!   ([`encode_payload`] / [`decode_payload`]).
+//!
+//! Corruption is always *local and fail-safe*: a record that does not
+//! checksum clean is indistinguishable from end-of-file, and a payload that
+//! does not decode is `None` — callers demote both to "recompute", never to
+//! wrong data.
+//!
+//! [`ArtifactStore`]: crate::ArtifactStore
+
+use raindrop::stable_hash_bytes;
+use serde::{Deserialize, Serialize, Value};
+use std::fs::File;
+use std::io::Write;
+
+/// Byte length of the `magic + version` file header.
+pub const HEADER_LEN: usize = 8;
+
+/// The checksum sealing every record: the workspace stable hash narrowed to
+/// 64 bits. Not cryptographic — it guards against torn writes and bit rot,
+/// not adversaries.
+pub fn crc64(bytes: &[u8]) -> u64 {
+    stable_hash_bytes(bytes) as u64
+}
+
+/// Writes a `magic + u32 version` header at the file's current position.
+pub fn write_header(file: &mut File, magic: [u8; 4], version: u32) -> std::io::Result<()> {
+    file.write_all(&magic)?;
+    file.write_all(&version.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads a file header; `None` when missing/torn/wrong magic.
+pub fn read_header(bytes: &[u8], magic: [u8; 4]) -> Option<u32> {
+    if bytes.len() < HEADER_LEN || bytes[..4] != magic {
+        return None;
+    }
+    Some(u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")))
+}
+
+/// Seals a fixed-size record body with its trailing crc64. The caller owns
+/// the body layout; the on-disk record is `body ++ crc64(body)`.
+pub fn seal_record(mut body: Vec<u8>) -> Vec<u8> {
+    let crc = crc64(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    body
+}
+
+/// Opens a fixed-size sealed record: verifies the trailing crc64 and
+/// returns the body, or `None` for torn/damaged bytes.
+pub fn open_record(record: &[u8]) -> Option<&[u8]> {
+    if record.len() < 8 {
+        return None;
+    }
+    let (body, crc_bytes) = record.split_at(record.len() - 8);
+    let stored = u64::from_le_bytes(crc_bytes.try_into().expect("8 bytes"));
+    (crc64(body) == stored).then_some(body)
+}
+
+/// Frames a variable-size record: `u32 len ++ body ++ crc64(len ++ body)`.
+pub fn frame_record(body: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(4 + body.len() + 8);
+    rec.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    rec.extend_from_slice(body);
+    let crc = crc64(&rec);
+    rec.extend_from_slice(&crc.to_le_bytes());
+    rec
+}
+
+/// Iterates the framed records of a byte buffer, stopping at the first
+/// torn, truncated or damaged record (tolerant replay: everything after a
+/// bad record is treated as never written).
+pub struct FramedReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FramedReader<'a> {
+    /// Starts reading at `start` (typically [`HEADER_LEN`]).
+    pub fn new(bytes: &'a [u8], start: usize) -> FramedReader<'a> {
+        FramedReader { bytes, pos: start.min(bytes.len()) }
+    }
+
+    /// The offset of the next unread byte — after iteration ends, the
+    /// position replay stopped at (file length when the log was clean).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+}
+
+impl<'a> Iterator for FramedReader<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let rest = &self.bytes[self.pos..];
+        if rest.len() < 12 {
+            return None; // not even len + crc: torn tail
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        let total = 4usize.checked_add(len)?.checked_add(8)?;
+        if total > rest.len() {
+            return None; // truncated record
+        }
+        let framed = &rest[..total];
+        let (sealed, crc_bytes) = framed.split_at(total - 8);
+        let stored = u64::from_le_bytes(crc_bytes.try_into().expect("8 bytes"));
+        if crc64(sealed) != stored {
+            return None; // damaged record: stop replay here
+        }
+        self.pos += total;
+        Some(&sealed[4..])
+    }
+}
+
+// --- canonical binary Value codec -------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_I64: u8 = 2;
+const TAG_U64: u8 = 3;
+const TAG_F64: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_SEQ: u8 = 6;
+const TAG_MAP: u8 = 7;
+
+/// Nesting depth cap for [`decode_value`]: deeper (i.e. corrupt) input
+/// errors instead of overflowing the stack.
+const MAX_DECODE_DEPTH: usize = 128;
+
+/// Appends the canonical binary encoding of `v` to `out`: a 1-byte tag,
+/// then little-endian scalars / `u32`-length-prefixed strings, sequences
+/// and maps. The encoding is deterministic — equal values encode to equal
+/// bytes — which is what lets record contents participate in crc64 checks
+/// and content hashes.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(*b as u8);
+        }
+        Value::I64(n) => {
+            out.push(TAG_I64);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::U64(n) => {
+            out.push(TAG_U64);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::F64(x) => {
+            out.push(TAG_F64);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_str(s, out);
+        }
+        Value::Seq(items) => {
+            out.push(TAG_SEQ);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Map(entries) => {
+            out.push(TAG_MAP);
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (k, v) in entries {
+                put_str(k, out);
+                encode_value(v, out);
+            }
+        }
+    }
+}
+
+fn put_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Decodes a canonical binary [`Value`], requiring the buffer to be exactly
+/// one encoded value. `None` for any malformed input.
+pub fn decode_value(bytes: &[u8]) -> Option<Value> {
+    let mut pos = 0usize;
+    let v = decode_at(bytes, &mut pos, 0)?;
+    (pos == bytes.len()).then_some(v)
+}
+
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+    let end = pos.checked_add(n)?;
+    if end > bytes.len() {
+        return None;
+    }
+    let slice = &bytes[*pos..end];
+    *pos = end;
+    Some(slice)
+}
+
+fn take_str(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    let len = u32::from_le_bytes(take(bytes, pos, 4)?.try_into().expect("4 bytes")) as usize;
+    let raw = take(bytes, pos, len)?;
+    String::from_utf8(raw.to_vec()).ok()
+}
+
+fn decode_at(bytes: &[u8], pos: &mut usize, depth: usize) -> Option<Value> {
+    if depth > MAX_DECODE_DEPTH {
+        return None;
+    }
+    let tag = *take(bytes, pos, 1)?.first()?;
+    match tag {
+        TAG_NULL => Some(Value::Null),
+        TAG_BOOL => match take(bytes, pos, 1)?[0] {
+            0 => Some(Value::Bool(false)),
+            1 => Some(Value::Bool(true)),
+            _ => None,
+        },
+        TAG_I64 => {
+            Some(Value::I64(i64::from_le_bytes(take(bytes, pos, 8)?.try_into().expect("8 bytes"))))
+        }
+        TAG_U64 => {
+            Some(Value::U64(u64::from_le_bytes(take(bytes, pos, 8)?.try_into().expect("8 bytes"))))
+        }
+        TAG_F64 => Some(Value::F64(f64::from_bits(u64::from_le_bytes(
+            take(bytes, pos, 8)?.try_into().expect("8 bytes"),
+        )))),
+        TAG_STR => take_str(bytes, pos).map(Value::Str),
+        TAG_SEQ => {
+            let count =
+                u32::from_le_bytes(take(bytes, pos, 4)?.try_into().expect("4 bytes")) as usize;
+            // Every element costs at least one tag byte; a count beyond the
+            // remaining input is corrupt, not a huge allocation.
+            if count > bytes.len().saturating_sub(*pos) {
+                return None;
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(decode_at(bytes, pos, depth + 1)?);
+            }
+            Some(Value::Seq(items))
+        }
+        TAG_MAP => {
+            let count =
+                u32::from_le_bytes(take(bytes, pos, 4)?.try_into().expect("4 bytes")) as usize;
+            if count > bytes.len().saturating_sub(*pos) {
+                return None;
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let k = take_str(bytes, pos)?;
+                let v = decode_at(bytes, pos, depth + 1)?;
+                entries.push((k, v));
+            }
+            Some(Value::Map(entries))
+        }
+        _ => None,
+    }
+}
+
+/// Serializes any `Serialize` type to its canonical binary encoding.
+pub fn encode_payload<T: Serialize>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_value(&value.to_value(), &mut out);
+    out
+}
+
+/// Rebuilds a `Deserialize` type from its canonical binary encoding.
+/// `None` for malformed bytes or a shape mismatch — corruption demotes,
+/// never panics.
+pub fn decode_payload<T: Deserialize>(bytes: &[u8]) -> Option<T> {
+    T::from_value(&decode_value(bytes)?).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealed_records_round_trip_and_reject_damage() {
+        let rec = seal_record(b"hello record".to_vec());
+        assert_eq!(open_record(&rec), Some(&b"hello record"[..]));
+        for i in 0..rec.len() {
+            let mut bad = rec.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(open_record(&bad), None, "flipped byte {i} must not verify");
+        }
+        assert_eq!(open_record(&rec[..rec.len() - 1]), None, "truncated");
+    }
+
+    #[test]
+    fn framed_replay_stops_at_first_bad_record() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&frame_record(b"one"));
+        log.extend_from_slice(&frame_record(b"two"));
+        log.extend_from_slice(&frame_record(b"three"));
+        let all: Vec<&[u8]> = FramedReader::new(&log, 0).collect();
+        assert_eq!(all, vec![&b"one"[..], &b"two"[..], &b"three"[..]]);
+
+        // Damage the middle record: replay keeps the head, drops the tail.
+        let first_len = frame_record(b"one").len();
+        let mut bad = log.clone();
+        bad[first_len + 6] ^= 0xff;
+        let mut rd = FramedReader::new(&bad, 0);
+        assert_eq!(rd.next(), Some(&b"one"[..]));
+        assert_eq!(rd.next(), None);
+        assert_eq!(rd.pos(), first_len, "replay stopped at the damage");
+
+        // A torn tail (partial record) is end-of-file.
+        let torn = &log[..log.len() - 3];
+        let head: Vec<&[u8]> = FramedReader::new(torn, 0).collect();
+        assert_eq!(head, vec![&b"one"[..], &b"two"[..]]);
+    }
+
+    #[test]
+    fn value_codec_round_trips_every_variant() {
+        let v = Value::Map(vec![
+            ("null".into(), Value::Null),
+            ("b".into(), Value::Bool(true)),
+            ("i".into(), Value::I64(-42)),
+            ("u".into(), Value::U64(u64::MAX)),
+            ("f".into(), Value::F64(1.5)),
+            ("s".into(), Value::Str("héllo".into())),
+            ("seq".into(), Value::Seq(vec![Value::U64(1), Value::Str("x".into())])),
+            ("map".into(), Value::Map(vec![("k".into(), Value::I64(0))])),
+        ]);
+        let mut bytes = Vec::new();
+        encode_value(&v, &mut bytes);
+        assert_eq!(decode_value(&bytes), Some(v));
+    }
+
+    #[test]
+    fn value_codec_rejects_malformed_input() {
+        assert_eq!(decode_value(&[]), None);
+        assert_eq!(decode_value(&[99]), None, "unknown tag");
+        assert_eq!(decode_value(&[TAG_BOOL, 2]), None, "bad bool");
+        assert_eq!(decode_value(&[TAG_U64, 1, 2]), None, "short scalar");
+        assert_eq!(decode_value(&[TAG_SEQ, 0xff, 0xff, 0xff, 0xff]), None, "absurd count");
+        let mut ok = Vec::new();
+        encode_value(&Value::U64(7), &mut ok);
+        ok.push(0);
+        assert_eq!(decode_value(&ok), None, "trailing bytes");
+        // Deep nesting beyond the cap decodes to None instead of crashing.
+        let mut deep = Vec::new();
+        for _ in 0..200 {
+            deep.push(TAG_SEQ);
+            deep.extend_from_slice(&1u32.to_le_bytes());
+        }
+        deep.push(TAG_NULL);
+        assert_eq!(decode_value(&deep), None);
+    }
+
+    #[test]
+    fn typed_payloads_round_trip() {
+        let data: Vec<(u64, String)> = vec![(1, "a".into()), (2, "b".into())];
+        let bytes = encode_payload(&data);
+        assert_eq!(decode_payload::<Vec<(u64, String)>>(&bytes), Some(data));
+        assert_eq!(decode_payload::<Vec<(u64, String)>>(b"junk"), None);
+    }
+}

@@ -31,7 +31,7 @@
 //! bytes, and runs automatically when dead bytes outgrow live bytes.
 
 use crate::codec::{decode_image, encode_image};
-use raindrop::stable_hash_bytes;
+use crate::recfile::{self, crc64};
 use raindrop_machine::Image;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -182,10 +182,6 @@ pub struct ArtifactStore {
     stats: StoreStats,
 }
 
-fn crc64(bytes: &[u8]) -> u64 {
-    stable_hash_bytes(bytes) as u64
-}
-
 fn encode_record(tag: u8, key: &ArtifactKey, off: u64, len: u64, blob_crc: u64) -> Vec<u8> {
     let mut rec = Vec::with_capacity(RECORD_LEN);
     rec.push(tag);
@@ -195,9 +191,7 @@ fn encode_record(tag: u8, key: &ArtifactKey, off: u64, len: u64, blob_crc: u64) 
     rec.extend_from_slice(&off.to_le_bytes());
     rec.extend_from_slice(&len.to_le_bytes());
     rec.extend_from_slice(&blob_crc.to_le_bytes());
-    let rec_crc = crc64(&rec);
-    rec.extend_from_slice(&rec_crc.to_le_bytes());
-    rec
+    recfile::seal_record(rec)
 }
 
 /// A parsed index record.
@@ -213,11 +207,7 @@ fn decode_record(bytes: &[u8]) -> Option<Record> {
     if bytes.len() != RECORD_LEN {
         return None;
     }
-    let (body, crc_bytes) = bytes.split_at(RECORD_LEN - 8);
-    let stored_crc = u64::from_le_bytes(crc_bytes.try_into().ok()?);
-    if crc64(body) != stored_crc {
-        return None;
-    }
+    let body = recfile::open_record(bytes)?;
     let tag = body[0];
     if tag != TAG_PUT && tag != TAG_EVICT {
         return None;
@@ -233,19 +223,7 @@ fn decode_record(bytes: &[u8]) -> Option<Record> {
     })
 }
 
-fn write_header(file: &mut File, magic: [u8; 4], version: u32) -> Result<(), StoreError> {
-    file.write_all(&magic)?;
-    file.write_all(&version.to_le_bytes())?;
-    Ok(())
-}
-
-/// Reads a file header; `None` when missing/torn/wrong magic.
-fn read_header(bytes: &[u8], magic: [u8; 4]) -> Option<u32> {
-    if bytes.len() < 8 || bytes[..4] != magic {
-        return None;
-    }
-    Some(u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")))
-}
+use recfile::{read_header, write_header};
 
 impl ArtifactStore {
     /// Opens (or creates) a store in `dir` with no migrations registered.
@@ -276,7 +254,7 @@ impl ArtifactStore {
         if let Some(mut version) = disk_version {
             let mut live: BTreeMap<ArtifactKey, (u64, u64, u64)> = BTreeMap::new();
             let mut order: Vec<ArtifactKey> = Vec::new();
-            let mut pos = 8;
+            let mut pos = recfile::HEADER_LEN;
             while pos + RECORD_LEN <= index_bytes.len() {
                 let Some(rec) = decode_record(&index_bytes[pos..pos + RECORD_LEN]) else {
                     break; // torn/corrupt tail: everything after is a miss

@@ -1,15 +1,18 @@
 //! Offline vendored stand-in for the subset of `serde` this workspace uses.
 //!
-//! The workspace derives `Serialize`/`Deserialize` on plain data types and
-//! renders reports with `serde_json::to_string_pretty`. This crate provides:
+//! The workspace derives `Serialize`/`Deserialize` on plain data types,
+//! renders reports with `serde_json::to_string_pretty`, and round-trips
+//! checkpoint state through the [`Value`] data model. This crate provides:
 //!
 //! * a self-describing [`Value`] tree (the only serialization data model),
 //! * a [`Serialize`] trait (`to_value`) with impls for the std types the
 //!   workspace serializes,
-//! * a marker [`Deserialize`] trait (nothing in the workspace deserializes),
+//! * a [`Deserialize`] trait (`from_value`) mirroring every `Serialize`
+//!   impl, so derived types round-trip `T -> Value -> T`,
 //! * re-exported `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
-//!   from the vendored `serde_derive` proc-macro crate. The derive honours
-//!   `#[serde(skip)]` on fields.
+//!   from the vendored `serde_derive` proc-macro crate. The derives honour
+//!   `#[serde(skip)]` (field omitted on write, defaulted on read) and
+//!   `#[serde(default)]` (field defaulted when its key is missing).
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -36,17 +39,67 @@ pub enum Value {
     Map(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks up a key in a [`Value::Map`]; `None` for other variants or
+    /// missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
 /// Types that can be turned into a serialized [`Value`] tree.
 pub trait Serialize {
     /// Converts `self` into the serialization data model.
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait mirroring `serde::Deserialize`.
+/// Deserialization error: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with a preformatted message.
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+
+    /// "expected X while deserializing T".
+    pub fn expected(what: &str, ty: &str) -> DeError {
+        DeError(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// A required field was absent from the map.
+    pub fn missing_field(ty: &str, field: &str) -> DeError {
+        DeError(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// An enum tag did not name any variant.
+    pub fn unknown_variant(ty: &str, got: &str) -> DeError {
+        DeError(format!("unknown variant `{got}` of {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be rebuilt from a serialized [`Value`] tree.
 ///
-/// The workspace never deserializes anything, so the derive only has to
-/// satisfy trait bounds; there is no method surface.
-pub trait Deserialize: Sized {}
+/// Every [`Serialize`] impl in this crate has a matching `Deserialize` that
+/// accepts exactly what `to_value` produces (plus the obvious widenings:
+/// integers accept either integer variant when in range, floats accept
+/// integers). Derived impls mirror the derived `to_value` shape.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from the serialization data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
 
 // --- primitive impls --------------------------------------------------------------
 
@@ -55,7 +108,17 @@ macro_rules! impl_ser_signed {
         impl Serialize for $t {
             fn to_value(&self) -> Value { Value::I64(*self as i64) }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::expected("in-range integer", stringify!($t))),
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::expected("in-range integer", stringify!($t))),
+                    _ => Err(DeError::expected("integer", stringify!($t))),
+                }
+            }
+        }
     )*};
 }
 impl_ser_signed!(i8, i16, i32, i64, isize);
@@ -65,45 +128,124 @@ macro_rules! impl_ser_unsigned {
         impl Serialize for $t {
             fn to_value(&self) -> Value { Value::U64(*self as u64) }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::expected("in-range integer", stringify!($t))),
+                    Value::I64(n) => u64::try_from(*n)
+                        .ok()
+                        .and_then(|n| <$t>::try_from(n).ok())
+                        .ok_or_else(|| DeError::expected("in-range integer", stringify!($t))),
+                    _ => Err(DeError::expected("integer", stringify!($t))),
+                }
+            }
+        }
     )*};
 }
 impl_ser_unsigned!(u8, u16, u32, u64, usize);
+
+// 128-bit integers exceed the I64/U64 variants; they travel as decimal
+// strings (the checkpoint format stores solve-cache digests this way).
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => s.parse().map_err(|_| DeError::expected("decimal string", "u128")),
+            Value::U64(n) => Ok(*n as u128),
+            _ => Err(DeError::expected("decimal string", "u128")),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => s.parse().map_err(|_| DeError::expected("decimal string", "i128")),
+            Value::I64(n) => Ok(*n as i128),
+            Value::U64(n) => Ok(*n as i128),
+            _ => Err(DeError::expected("decimal string", "i128")),
+        }
+    }
+}
 
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::F64(*self)
     }
 }
-impl Deserialize for f64 {}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            _ => Err(DeError::expected("number", "f64")),
+        }
+    }
+}
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::F64(*self as f64)
     }
 }
-impl Deserialize for f32 {}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
     }
 }
-impl Deserialize for bool {}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
 
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
     }
 }
-impl Deserialize for char {}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            _ => Err(DeError::expected("single-char string", "char")),
+        }
+    }
+}
 
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
     }
 }
-impl Deserialize for String {}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
 
 impl Serialize for str {
     fn to_value(&self) -> Value {
@@ -116,7 +258,14 @@ impl Serialize for () {
         Value::Null
     }
 }
-impl Deserialize for () {}
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", "()")),
+        }
+    }
+}
 
 // --- reference / container impls --------------------------------------------------
 
@@ -131,7 +280,11 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
         (**self).to_value()
     }
 }
-impl<T: Deserialize> Deserialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
 
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
@@ -141,14 +294,28 @@ impl<T: Serialize> Serialize for Option<T> {
         }
     }
 }
-impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("sequence", "Vec")),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
@@ -161,7 +328,12 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        items.try_into().map_err(|_| DeError::expected("sequence of exact length", "array"))
+    }
+}
 
 impl<K: std::fmt::Display, V: Serialize> Serialize for HashMap<K, V> {
     fn to_value(&self) -> Value {
@@ -172,10 +344,48 @@ impl<K: std::fmt::Display, V: Serialize> Serialize for HashMap<K, V> {
         Value::Map(entries)
     }
 }
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: std::str::FromStr + Eq + std::hash::Hash,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key =
+                        k.parse().map_err(|_| DeError::expected("parsable key", "HashMap"))?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            _ => Err(DeError::expected("map", "HashMap")),
+        }
+    }
+}
 
 impl<K: std::fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
         Value::Map(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+impl<K, V> Deserialize for BTreeMap<K, V>
+where
+    K: std::str::FromStr + Ord,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key =
+                        k.parse().map_err(|_| DeError::expected("parsable key", "BTreeMap"))?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            _ => Err(DeError::expected("map", "BTreeMap")),
+        }
     }
 }
 
@@ -186,7 +396,17 @@ macro_rules! impl_ser_tuple {
                 Value::Seq(vec![$(self.$n.to_value()),+])
             }
         }
-        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const ARITY: usize = [$($n),+].len();
+                match v {
+                    Value::Seq(items) if items.len() == ARITY => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    _ => Err(DeError::expected("sequence of tuple arity", "tuple")),
+                }
+            }
+        }
     )*};
 }
 impl_ser_tuple! {
@@ -201,10 +421,82 @@ impl Serialize for Value {
         self.clone()
     }
 }
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
 
 impl Serialize for std::time::Duration {
     fn to_value(&self) -> Value {
         Value::F64(self.as_secs_f64())
     }
 }
-impl Deserialize for std::time::Duration {}
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let secs =
+            f64::from_value(v).map_err(|_| DeError::expected("seconds as a number", "Duration"))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(DeError::expected("finite non-negative seconds", "Duration"));
+        }
+        Ok(std::time::Duration::from_secs_f64(secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&(-7i32).to_value()), Ok(-7));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_string().to_value()), Ok("hi".to_string()));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        let big = 0x1234_5678_9abc_def0_1122_3344_5566_7788u128;
+        assert_eq!(u128::from_value(&big.to_value()), Ok(big));
+    }
+
+    #[test]
+    fn integer_widening_and_range_checks() {
+        assert_eq!(u8::from_value(&Value::I64(200)), Ok(200));
+        assert!(u8::from_value(&Value::I64(-1)).is_err());
+        assert!(u8::from_value(&Value::U64(256)).is_err());
+        assert_eq!(i64::from_value(&Value::U64(5)), Ok(5));
+        assert!(i8::from_value(&Value::U64(u64::MAX)).is_err());
+        assert_eq!(f64::from_value(&Value::U64(3)), Ok(3.0));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs = vec![vec![1u64, 2], vec![3]];
+        assert_eq!(Vec::<Vec<u64>>::from_value(&xs.to_value()), Ok(xs));
+        let pair = (7u64, "x".to_string());
+        assert_eq!(<(u64, String)>::from_value(&pair.to_value()), Ok(pair));
+        let opt: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&opt.to_value()), Ok(None));
+        assert_eq!(Option::<u64>::from_value(&Some(4u64).to_value()), Ok(Some(4)));
+        let arr = [1u8, 2, 3];
+        assert_eq!(<[u8; 3]>::from_value(&arr.to_value()), Ok(arr));
+        let mut map = BTreeMap::new();
+        map.insert("k".to_string(), 9u64);
+        assert_eq!(BTreeMap::<String, u64>::from_value(&map.to_value()), Ok(map));
+    }
+
+    #[test]
+    fn duration_round_trips_and_rejects_garbage() {
+        let d = std::time::Duration::from_millis(1500);
+        assert_eq!(std::time::Duration::from_value(&d.to_value()), Ok(d));
+        assert!(std::time::Duration::from_value(&Value::Str("x".into())).is_err());
+        assert!(std::time::Duration::from_value(&Value::F64(-1.0)).is_err());
+    }
+
+    #[test]
+    fn type_mismatches_error_instead_of_defaulting() {
+        assert!(Vec::<u64>::from_value(&Value::Bool(true)).is_err());
+        assert!(bool::from_value(&Value::Null).is_err());
+        assert!(<[u8; 2]>::from_value(&[1u8].to_value()).is_err());
+        assert!(<(u64, u64)>::from_value(&(1u64,).to_value()).is_err());
+    }
+}

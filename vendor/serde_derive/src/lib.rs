@@ -6,12 +6,17 @@
 //! the raw `proc_macro::TokenStream`. Supported shapes (everything the
 //! workspace derives on):
 //!
-//! * structs with named fields (honouring `#[serde(skip)]`),
+//! * structs with named fields (honouring `#[serde(skip)]` and
+//!   `#[serde(default)]`),
 //! * tuple and unit structs,
 //! * enums with unit, tuple and struct variants.
 //!
-//! Generic parameters are not supported; no type in the workspace derives
-//! serde traits with generics.
+//! `Deserialize` generates a real `from_value` that mirrors the derived
+//! `to_value` shape exactly: named structs read from a key map (missing keys
+//! error unless the field is `#[serde(default)]`; `#[serde(skip)]` fields are
+//! always defaulted), enums dispatch on the variant tag. Generic parameters
+//! are not supported; no type in the workspace derives serde traits with
+//! generics.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -19,6 +24,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 /// One parsed enum variant.
@@ -41,10 +47,11 @@ enum Item {
     Enum { name: String, variants: Vec<Variant> },
 }
 
-/// Consumes leading outer attributes (`#[...]`), returning whether any of
-/// them was `#[serde(skip)]`.
-fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+/// Consumes leading outer attributes (`#[...]`), returning whether any was
+/// `#[serde(skip)]` and whether any was `#[serde(default)]`.
+fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> (bool, bool) {
     let mut skip = false;
+    let mut default = false;
     while *pos + 1 < tokens.len() {
         match (&tokens[*pos], &tokens[*pos + 1]) {
             (TokenTree::Punct(p), TokenTree::Group(g))
@@ -54,8 +61,14 @@ fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
                 if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
                     (inner.first(), inner.get(1))
                 {
-                    if id.to_string() == "serde" && args.stream().to_string().contains("skip") {
-                        skip = true;
+                    if id.to_string() == "serde" {
+                        let args = args.stream().to_string();
+                        if args.contains("skip") {
+                            skip = true;
+                        }
+                        if args.contains("default") {
+                            default = true;
+                        }
                     }
                 }
                 *pos += 2;
@@ -63,7 +76,7 @@ fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
             _ => break,
         }
     }
-    skip
+    (skip, default)
 }
 
 /// Consumes an optional `pub` / `pub(...)` visibility prefix.
@@ -105,7 +118,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut pos = 0;
     while pos < tokens.len() {
-        let skip = eat_attrs(&tokens, &mut pos);
+        let (skip, default) = eat_attrs(&tokens, &mut pos);
         eat_visibility(&tokens, &mut pos);
         let name = match tokens.get(pos) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -114,7 +127,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         pos += 1; // field name
         pos += 1; // ':'
         skip_past_comma(&tokens, &mut pos);
-        fields.push(Field { name, skip });
+        fields.push(Field { name, skip, default });
     }
     fields
 }
@@ -125,7 +138,7 @@ fn parse_tuple_fields(stream: TokenStream) -> Vec<bool> {
     let mut skips = Vec::new();
     let mut pos = 0;
     while pos < tokens.len() {
-        let skip = eat_attrs(&tokens, &mut pos);
+        let (skip, _) = eat_attrs(&tokens, &mut pos);
         eat_visibility(&tokens, &mut pos);
         if pos >= tokens.len() {
             break;
@@ -321,15 +334,181 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     body.parse().expect("serde_derive: generated impl failed to parse")
 }
 
+/// Field initializers for a named-field map read: present keys deserialize,
+/// missing keys default (`#[serde(default)]`) or error; `#[serde(skip)]`
+/// fields always default.
+fn deserialize_named_fields(ty: &str, fields: &[Field], map_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                return format!("{}: ::std::default::Default::default(),", f.name);
+            }
+            let fallback = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("return Err(::serde::DeError::missing_field({ty:?}, {:?}))", f.name)
+            };
+            format!(
+                "{name}: match {map_var}.iter().find(|__e| __e.0 == {name:?}) {{\
+                     Some(__e) => ::serde::Deserialize::from_value(&__e.1)?,\
+                     None => {fallback},\
+                 }},",
+                name = f.name,
+            )
+        })
+        .collect()
+}
+
+/// Constructor expression for a tuple variant/struct payload: live fields
+/// read from the payload (a single bare value when exactly one field is
+/// live, a `Seq` otherwise), skipped fields defaulted.
+fn deserialize_tuple_payload(path: &str, skips: &[bool], payload_var: &str) -> String {
+    let live: Vec<usize> = skips.iter().enumerate().filter(|(_, s)| !**s).map(|(i, _)| i).collect();
+    if live.len() == 1 {
+        let args: Vec<String> = skips
+            .iter()
+            .map(|s| {
+                if *s {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!("::serde::Deserialize::from_value({payload_var})?")
+                }
+            })
+            .collect();
+        return format!("Ok({path}({}))", args.join(","));
+    }
+    let mut next = 0usize;
+    let args: Vec<String> = skips
+        .iter()
+        .map(|s| {
+            if *s {
+                "::std::default::Default::default()".to_string()
+            } else {
+                let idx = next;
+                next += 1;
+                format!("::serde::Deserialize::from_value(&__xs[{idx}])?")
+            }
+        })
+        .collect();
+    format!(
+        "match {payload_var} {{\
+             ::serde::Value::Seq(__xs) if __xs.len() == {n} => Ok({path}({args})),\
+             _ => Err(::serde::DeError::expected(\"variant payload sequence\", {path:?})),\
+         }}",
+        n = live.len(),
+        args = args.join(","),
+    )
+}
+
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let name = match parse_item(input) {
-        Item::NamedStruct { name, .. }
-        | Item::TupleStruct { name, .. }
-        | Item::UnitStruct { name }
-        | Item::Enum { name, .. } => name,
+    let body = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let inits = deserialize_named_fields(&name, &fields, "__m");
+            // Bind the map only when some field reads from it, to keep the
+            // generated code warning-free.
+            let binder = if fields.iter().any(|f| !f.skip) { "__m" } else { "_" };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         match __v {{\
+                             ::serde::Value::Map({binder}) => Ok({name} {{ {inits} }}),\
+                             _ => Err(::serde::DeError::expected(\"map\", {name:?})),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = match arity {
+                0 => format!("Ok({name}())"),
+                1 => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+                n => {
+                    let args: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__xs[{i}])?"))
+                        .collect();
+                    format!(
+                        "match __v {{\
+                             ::serde::Value::Seq(__xs) if __xs.len() == {n} => Ok({name}({args})),\
+                             _ => Err(::serde::DeError::expected(\"sequence\", {name:?})),\
+                         }}",
+                        args = args.join(","),
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         {body}\
+                     }}\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\
+                 fn from_value(_: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                     Ok({name})\
+                 }}\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in &variants {
+                let vname = &v.name;
+                let path = format!("{name}::{vname}");
+                match &v.kind {
+                    VariantKind::Unit => {
+                        str_arms.push_str(&format!("{vname:?} => Ok({path}),"));
+                    }
+                    VariantKind::Tuple(skips) => {
+                        let body = deserialize_tuple_payload(&path, skips, "__p");
+                        map_arms.push_str(&format!("{vname:?} => {{ {body} }},"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits = deserialize_named_fields(&path, fields, "__fm");
+                        let binder = if fields.iter().any(|f| !f.skip) { "__fm" } else { "_" };
+                        map_arms.push_str(&format!(
+                            "{vname:?} => match __p {{\
+                                 ::serde::Value::Map({binder}) => Ok({path} {{ {inits} }}),\
+                                 _ => Err(::serde::DeError::expected(\"field map\", {path:?})),\
+                             }},"
+                        ));
+                    }
+                }
+            }
+            // Enums with payload-free variants never serialize to a map;
+            // omit the map arm entirely so the payload binding can't go
+            // unused in the generated code.
+            let map_arm = if map_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Map(__m) if __m.len() == 1 => {{\
+                         let __p = &__m[0].1;\
+                         match __m[0].0.as_str() {{\
+                             {map_arms}\
+                             __other => Err(::serde::DeError::unknown_variant({name:?}, __other)),\
+                         }}\
+                     }},"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         match __v {{\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\
+                                 {str_arms}\
+                                 __other => Err(::serde::DeError::unknown_variant({name:?}, __other)),\
+                             }},\
+                             {map_arm}\
+                             _ => Err(::serde::DeError::expected(\"variant tag\", {name:?})),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
     };
-    format!("impl ::serde::Deserialize for {name} {{}}")
-        .parse()
-        .expect("serde_derive: generated impl failed to parse")
+    body.parse().expect("serde_derive: generated impl failed to parse")
 }

@@ -1,8 +1,8 @@
 //! Offline vendored stand-in for the subset of `serde_json` this workspace
-//! uses: [`to_string`] / [`to_string_pretty`] over the vendored `serde`
-//! [`Value`] data model.
+//! uses: [`to_string`] / [`to_string_pretty`] and [`from_str`] /
+//! [`from_value`] over the vendored `serde` [`Value`] data model.
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 
 /// Serialization error. The vendored data model is infallible, so this is
 /// only ever constructed for non-finite floats, which JSON cannot represent.
@@ -123,6 +123,239 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     Ok(out)
 }
 
+/// Rebuilds a `T` from an already-parsed [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value).map_err(|e| Error(e.to_string()))
+}
+
+/// Parses JSON text into a `T` (parse to [`Value`], then
+/// [`Deserialize::from_value`]).
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    from_value(&value_from_str(text)?)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+pub fn value_from_str(text: &str) -> Result<Value> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+/// Nesting depth cap for the recursive-descent parser: deeper input errors
+/// instead of overflowing the stack.
+const MAX_PARSE_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(Error("maximum nesting depth exceeded".into()));
+        }
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => {
+                            return Err(Error(format!("expected `,` or `]` at byte {}", self.pos)))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.value(depth + 1)?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => {
+                            return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos)))
+                        }
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(Error(format!("unexpected character at byte {}", self.pos))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Some(rest) = text.strip_prefix('-') {
+                // `-0` parses as float-free but still needs the sign kept.
+                if let Ok(n) = rest.parse::<u64>() {
+                    if n <= i64::MAX as u64 + 1 {
+                        return Ok(Value::I64((n as i64).wrapping_neg()));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: expect `\uXXXX` low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(Error("invalid low surrogate".into()));
+                                }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid unicode escape".into()))?,
+                            );
+                        }
+                        _ => return Err(Error(format!("invalid escape at byte {}", self.pos - 1))),
+                    }
+                }
+                _ => {
+                    // Re-scan the full UTF-8 character from the byte stream.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error("truncated unicode escape".into()));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error("invalid unicode escape".into()))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error("invalid unicode escape".into()))?;
+        self.pos += 4;
+        Ok(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +386,49 @@ mod tests {
     #[test]
     fn whole_floats_keep_a_decimal_point() {
         assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+
+    #[test]
+    fn parser_round_trips_rendered_values() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Seq(vec![Value::Bool(true), Value::Null, Value::I64(-3)])),
+            ("c".into(), Value::Str("x\"y\\z\nnl\ttab \u{1f600} ok".into())),
+            ("d".into(), Value::F64(1.5)),
+            ("e".into(), Value::F64(-2.25e-3)),
+            ("big".into(), Value::U64(u64::MAX)),
+            ("min".into(), Value::I64(i64::MIN)),
+        ]);
+        assert_eq!(value_from_str(&to_string(&v).unwrap()).unwrap(), v);
+        assert_eq!(value_from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_surrogate_pairs() {
+        assert_eq!(
+            value_from_str(r#""\u0041\u00e9\ud83d\ude00\/""#).unwrap(),
+            Value::Str("Aé😀/".into())
+        );
+        assert_eq!(value_from_str("\"\\u000b\"").unwrap(), Value::Str("\u{000b}".into()));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(value_from_str("").is_err());
+        assert!(value_from_str("{").is_err());
+        assert!(value_from_str("[1,]").is_err());
+        assert!(value_from_str("[1] x").is_err());
+        assert!(value_from_str("\"\\ud800\"").is_err(), "lone high surrogate");
+        assert!(value_from_str("nul").is_err());
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(value_from_str(&deep).is_err(), "depth cap");
+    }
+
+    #[test]
+    fn typed_from_str_round_trips() {
+        let xs: Vec<(u64, String)> = vec![(1, "a".into()), (2, "b\"c".into())];
+        let text = to_string(&xs).unwrap();
+        assert_eq!(from_str::<Vec<(u64, String)>>(&text).unwrap(), xs);
+        assert!(from_str::<Vec<u64>>("{\"not\":\"a seq\"}").is_err());
     }
 }
