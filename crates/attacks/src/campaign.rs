@@ -273,6 +273,58 @@ impl CampaignReport {
     pub fn completed(&self) -> bool {
         self.status == CampaignStatus::Completed
     }
+
+    /// Groups job outcomes by workload class (the `class/` prefix of each
+    /// label, see [`class_of_label`]), in first-appearance order. Jobs
+    /// without a class prefix are grouped under `"unclassified"`.
+    pub fn class_summary(&self) -> Vec<ClassOutcomes> {
+        let mut out: Vec<ClassOutcomes> = Vec::new();
+        for job in &self.jobs {
+            let class = class_of_label(&job.label).unwrap_or("unclassified");
+            let entry = match out.iter_mut().find(|c| c.class == class) {
+                Some(e) => e,
+                None => {
+                    out.push(ClassOutcomes {
+                        class: class.to_string(),
+                        jobs: 0,
+                        finished: 0,
+                        defeated: 0,
+                    });
+                    out.last_mut().unwrap()
+                }
+            };
+            entry.jobs += 1;
+            if let Some(outcome) = job.outcome() {
+                entry.finished += 1;
+                if outcome.success {
+                    entry.defeated += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Aggregated attack outcomes for one workload class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ClassOutcomes {
+    /// Class name (label prefix).
+    pub class: String,
+    /// Jobs submitted under this class.
+    pub jobs: usize,
+    /// Jobs that reached a terminal outcome.
+    pub finished: usize,
+    /// Finished jobs whose goal was reached (the obfuscation was defeated).
+    pub defeated: usize,
+}
+
+/// The workload class a job label belongs to: the segment before the first
+/// `/` of a `class/program/config` label, or `None` for unprefixed labels.
+pub fn class_of_label(label: &str) -> Option<&str> {
+    match label.split_once('/') {
+        Some((class, _)) if !class.is_empty() => Some(class),
+        _ => None,
+    }
 }
 
 /// The identity of a job for resume purposes: any change to what the job
@@ -750,5 +802,67 @@ fn terminal_wall(state: Option<&JobState>) -> Option<Duration> {
     match state {
         Some(JobState::Done { outcome, .. }) => Some(outcome.wall),
         _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn done(label: &str, success: bool) -> CampaignJobReport {
+        let outcome = DseOutcome {
+            success,
+            witness: None,
+            paths: 1,
+            instructions: 1,
+            emulated_instructions: 1,
+            resumed_paths: 0,
+            wall: Duration::ZERO,
+            probes_covered: 0,
+            max_constraints: 0,
+            solver_calls: 0,
+            solve_cache_hits: 0,
+            hazard_causes: Vec::new(),
+            max_branches_pre_hazard: 0,
+            exhausted: None,
+        };
+        CampaignJobReport {
+            label: label.to_string(),
+            state: JobState::Done { outcome, audit: DseAudit::default() },
+        }
+    }
+
+    #[test]
+    fn labels_resolve_to_their_class_prefix() {
+        assert_eq!(class_of_label("database/db-hash/rop-1.0"), Some("database"));
+        assert_eq!(class_of_label("application/app-crc/native"), Some("application"));
+        assert_eq!(class_of_label("no-prefix-label"), None);
+        assert_eq!(class_of_label("/degenerate"), None);
+    }
+
+    #[test]
+    fn class_summary_groups_outcomes_by_label_prefix() {
+        let report = CampaignReport {
+            status: CampaignStatus::Completed,
+            jobs: vec![
+                done("database/db-hash/native", true),
+                done("database/db-btree/rop-1.0", false),
+                done("application/app-crc/native", true),
+                CampaignJobReport {
+                    label: "database/db-hash/vm2".into(),
+                    state: JobState::Pending,
+                },
+                done("bare-label", true),
+            ],
+            stats: CampaignStats::default(),
+        };
+        let summary = report.class_summary();
+        assert_eq!(summary.len(), 3);
+        assert_eq!(summary[0].class, "database");
+        assert_eq!((summary[0].jobs, summary[0].finished, summary[0].defeated), (3, 2, 1));
+        assert_eq!(summary[1].class, "application");
+        assert_eq!((summary[1].jobs, summary[1].finished, summary[1].defeated), (1, 1, 1));
+        assert_eq!(summary[2].class, "unclassified");
+        assert_eq!(summary[2].jobs, 1);
     }
 }

@@ -3,6 +3,11 @@
 //! P3 against taint-driven simplification. The DSE section also mounts the
 //! attack on the cross-layer compositions (`ROP-over-VM`, `VM-over-ROP`)
 //! the pipeline API composes.
+//!
+//! `--class <name>` replaces the default random-function target with every
+//! generated program of the named workload class (seed 1): the same four
+//! attack families then run against each class program, with the DSE goal
+//! set to each program's reference checksum.
 
 use raindrop::pipeline::{Pipeline, RopPass};
 use raindrop::RopConfig;
@@ -36,14 +41,60 @@ fn sample(goal: RfGoal) -> raindrop_synth::RandomFun {
     })
 }
 
+/// One attack target: a program, the function the obfuscations rewrite
+/// (also the entry point), and the inputs/goal of each attack family.
+struct Target {
+    /// Label prefix ("" for the default random function, so the default
+    /// report keeps its historical labels).
+    prefix: String,
+    program: raindrop_synth::Program,
+    func: String,
+    input_size: usize,
+    /// Input for the flag-flipping exploration.
+    flip_input: u64,
+    /// Input for the taint-driven simplification run.
+    tds_input: u64,
+    /// The secret-finding goal value.
+    want: u64,
+}
+
+fn targets() -> Vec<Target> {
+    match class_filter() {
+        None => {
+            let rf = sample(RfGoal::SecretFinding);
+            vec![Target {
+                prefix: String::new(),
+                func: rf.name.clone(),
+                input_size: rf.config.input_size,
+                flip_input: 0,
+                tds_input: rf.secret_input,
+                want: 1,
+                program: rf.program,
+            }]
+        }
+        Some(class) => raindrop_synth::classes::generate(class, 1)
+            .into_iter()
+            .map(|cp| Target {
+                prefix: format!("{}/{}/", class.name(), cp.workload.name),
+                func: cp.workload.entry.clone(),
+                input_size: 1,
+                flip_input: cp.workload.args[0],
+                tds_input: cp.workload.args[0],
+                want: cp.reference_value(),
+                program: cp.workload.program.clone(),
+            })
+            .collect(),
+    }
+}
+
 fn main() {
     let full = is_full_run();
     let budget = dse_budget(!full);
     let mut report = Report::default();
-    let rf = sample(RfGoal::SecretFinding);
+    let targets = targets();
 
     println!("== A1/A3: DSE (secret finding) against P1/P3 and cross-layer pipelines ==");
-    let jobs: Vec<DseJob> = [
+    let configs = [
         ("NATIVE".to_string(), ObfKind::Native),
         ("ROP-P1 only".to_string(), ObfKind::Rop { k: 0.0 }),
         ("ROP-P1+P3".to_string(), ObfKind::Rop { k: 1.0 }),
@@ -55,20 +106,24 @@ fn main() {
             ObfKind::VmOverRop { k: 1.0, layers: 1, implicit: ImplicitAt::None }.label(),
             ObfKind::VmOverRop { k: 1.0, layers: 1, implicit: ImplicitAt::None },
         ),
-    ]
-    .into_iter()
-    .map(|(label, kind)| {
-        let image = prepare_randomfun(&rf, &kind, 1).expect("prepare");
-        DseJob::new(
-            label,
-            image,
-            rf.name.clone(),
-            InputSpec::RegisterArg { size_bytes: rf.config.input_size },
-            budget,
-            Goal::Secret { want: 1 },
-        )
-    })
-    .collect();
+    ];
+    let jobs: Vec<DseJob> = targets
+        .iter()
+        .flat_map(|t| {
+            configs.iter().map(|(label, kind)| {
+                let image = prepare_image(&t.program, std::slice::from_ref(&t.func), kind, 1)
+                    .expect("prepare");
+                DseJob::new(
+                    format!("{}{label}", t.prefix),
+                    image,
+                    t.func.clone(),
+                    InputSpec::RegisterArg { size_bytes: t.input_size },
+                    budget,
+                    Goal::Secret { want: t.want },
+                )
+            })
+        })
+        .collect();
     for r in AttackFleet::from_env().run_dse(jobs) {
         let out = r.outcome;
         let exhausted = out.exhausted.map_or_else(|| "-".to_string(), |e| format!("{e} exhausted"));
@@ -96,50 +151,63 @@ fn main() {
     }
 
     println!("== A2: flag flipping (ROPMEMU) with and without P2 ==");
-    for (label, p2) in [("ROP without P2", false), ("ROP with P2", true)] {
-        let mut cfg = RopConfig::plain();
-        cfg.p2 = p2;
-        let (image, _) = Pipeline::new()
-            .pass(RopPass::new(cfg))
-            .run_program(&rf.program, &[&rf.name])
-            .expect("pipeline runs")
-            .into_strict()
-            .expect("rewrite succeeds");
-        let r = flip_exploration(&image, &rf.name, 0, 100_000_000);
-        println!(
-            "  {label:<16} leaks={} new_blocks={} derailed={}",
-            r.leak_sites, r.new_blocks, r.derailed_runs
-        );
-        report.flip.push((label.to_string(), r.leak_sites, r.new_blocks, r.derailed_runs));
+    for t in &targets {
+        for (label, p2) in [("ROP without P2", false), ("ROP with P2", true)] {
+            let mut cfg = RopConfig::plain();
+            cfg.p2 = p2;
+            let (image, _) = Pipeline::new()
+                .pass(RopPass::new(cfg))
+                .run_program(&t.program, &[&t.func])
+                .expect("pipeline runs")
+                .into_strict()
+                .expect("rewrite succeeds");
+            let r = flip_exploration(&image, &t.func, t.flip_input, 100_000_000);
+            let label = format!("{}{label}", t.prefix);
+            println!(
+                "  {label:<16} leaks={} new_blocks={} derailed={}",
+                r.leak_sites, r.new_blocks, r.derailed_runs
+            );
+            report.flip.push((label, r.leak_sites, r.new_blocks, r.derailed_runs));
+        }
     }
 
     println!("== A1: gadget guessing with and without confusion ==");
-    for (label, confusion) in [("no confusion", false), ("confusion", true)] {
-        let mut cfg = RopConfig::plain();
-        cfg.gadget_confusion = confusion;
-        let (image, _) = Pipeline::new()
-            .pass(RopPass::new(cfg))
-            .run_program(&rf.program, &[&rf.name])
-            .expect("pipeline runs")
-            .into_strict()
-            .expect("rewrite succeeds");
-        let g = gadget_guess(&image, &chain_symbol(&rf.name));
-        println!(
-            "  {label:<16} plausible={} unaligned_candidates={}",
-            g.plausible_pointers, g.unaligned_candidates
-        );
-        report.guess.push((label.to_string(), g.plausible_pointers, g.unaligned_candidates));
+    for t in &targets {
+        for (label, confusion) in [("no confusion", false), ("confusion", true)] {
+            let mut cfg = RopConfig::plain();
+            cfg.gadget_confusion = confusion;
+            let (image, _) = Pipeline::new()
+                .pass(RopPass::new(cfg))
+                .run_program(&t.program, &[&t.func])
+                .expect("pipeline runs")
+                .into_strict()
+                .expect("rewrite succeeds");
+            let g = gadget_guess(&image, &chain_symbol(&t.func));
+            let label = format!("{}{label}", t.prefix);
+            println!(
+                "  {label:<16} plausible={} unaligned_candidates={}",
+                g.plausible_pointers, g.unaligned_candidates
+            );
+            report.guess.push((label, g.plausible_pointers, g.unaligned_candidates));
+        }
     }
 
     println!("== A3: taint-driven simplification against P3 ==");
-    for (label, kind) in
-        [("ROP plain", ObfKind::Rop { k: 0.0 }), ("ROP P3 k=1", ObfKind::Rop { k: 1.0 })]
-    {
-        let image = prepare_randomfun(&rf, &kind, 1).expect("prepare");
-        let t = simplify(&image, &rf.name, rf.secret_input, 200_000_000);
-        println!("  {label:<14} trace={} relevant={}", t.trace_len, t.relevant);
-        report.tds.push((label.to_string(), t.trace_len, t.relevant));
+    for t in &targets {
+        for (label, kind) in
+            [("ROP plain", ObfKind::Rop { k: 0.0 }), ("ROP P3 k=1", ObfKind::Rop { k: 1.0 })]
+        {
+            let image = prepare_image(&t.program, std::slice::from_ref(&t.func), &kind, 1)
+                .expect("prepare");
+            let r = simplify(&image, &t.func, t.tds_input, 200_000_000);
+            let label = format!("{}{label}", t.prefix);
+            println!("  {label:<14} trace={} relevant={}", r.trace_len, r.relevant);
+            report.tds.push((label, r.trace_len, r.relevant));
+        }
     }
 
-    write_json("exp_efficacy", &report);
+    match class_filter() {
+        Some(class) => write_json(&format!("exp_efficacy_{}", class.name()), &report),
+        None => write_json("exp_efficacy", &report),
+    }
 }

@@ -6,7 +6,9 @@
 //!
 //! `--smoke` runs one benchmark under `ROP0.25` and the `ROP0.25-over-1VM`
 //! cross-layer row (the CI composition smoke); `--full` widens the ROPk
-//! sweep.
+//! sweep; `--class <name>` swaps the clbg suite for the named workload
+//! class's generated programs (seed 1) so the gadget statistics can be
+//! re-read per class.
 
 use raindrop_attacks::fleet::AttackFleet;
 use raindrop_bench::*;
@@ -39,7 +41,11 @@ fn main() {
     if !smoke {
         configs.push(ObfKind::VmOverRop { k: cross_k, layers: 1, implicit: ImplicitAt::None });
     }
-    let suite = raindrop_synth::clbg_suite();
+    let class = class_filter();
+    let suite = match class {
+        Some(class) => class_workload_list(class, 1),
+        None => raindrop_synth::clbg_suite(),
+    };
     let workloads = if smoke { &suite[..1] } else { &suite[..] };
     let items: Vec<(raindrop_synth::Workload, ObfKind)> = workloads
         .iter()
@@ -91,6 +97,12 @@ fn main() {
             "smoke must exercise a cross-layer pipeline row"
         );
         println!("[exp_table3] smoke run: exp_table3.json left untouched");
+        return;
+    }
+    if let Some(class) = class {
+        // Class-filtered runs are ad-hoc re-reads; keep the canonical clbg
+        // report file untouched.
+        write_json(&format!("exp_table3_{}", class.name()), &rows);
         return;
     }
     write_json("exp_table3", &rows);

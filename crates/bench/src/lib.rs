@@ -477,6 +477,32 @@ pub fn run_table2(
     rows
 }
 
+/// Parses the optional `--class <name>` filter shared by `exp_workloads`,
+/// `exp_table3` and `exp_efficacy`: restricts a run to one registered
+/// workload class. Unknown class names abort with the list of valid ones.
+pub fn class_filter() -> Option<raindrop_synth::ClassId> {
+    let args: Vec<String> = std::env::args().collect();
+    let pos = args.iter().position(|a| a == "--class")?;
+    let name = args.get(pos + 1).unwrap_or_else(|| {
+        eprintln!("--class requires a class name");
+        std::process::exit(2);
+    });
+    match raindrop_synth::ClassId::from_name(name) {
+        Some(class) => Some(class),
+        None => {
+            let known: Vec<&str> =
+                raindrop_synth::ClassId::all().into_iter().map(|c| c.name()).collect();
+            eprintln!("unknown workload class {name:?}; known classes: {}", known.join(", "));
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The runnable workloads of one class at `seed`, in generation order.
+pub fn class_workload_list(class: raindrop_synth::ClassId, seed: u64) -> Vec<Workload> {
+    raindrop_synth::classes::generate(class, seed).into_iter().map(|cp| cp.workload).collect()
+}
+
 /// Writes a JSON report next to the textual output.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = format!("{name}.json");

@@ -57,6 +57,19 @@ impl Corpus {
     }
 }
 
+/// Deterministic FNV-1a tag for a named RNG stream. Seeding
+/// `ChaCha8Rng::seed_from_u64(seed ^ stream_tag(name))` gives each consumer
+/// its own stream derived from one user-facing seed, so different generators
+/// never share (and can never perturb) each other's draws.
+pub fn stream_tag(name: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in name {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
 fn random_structure(rng: &mut ChaCha8Rng) -> Ctrl {
     let structures = randomfuns::paper_structures();
     let (_, s) = &structures[rng.gen_range(0..structures.len())];
@@ -131,7 +144,14 @@ pub fn generate(count: usize, seed: u64) -> Corpus {
     let mut entries = Vec::with_capacity(count);
 
     for i in 0..count {
+        // Exactly two draws from the shared stream per entry — the kind roll
+        // and a payload sub-seed — regardless of which kind is chosen. Any
+        // per-kind randomness comes from a sub-RNG seeded with the payload,
+        // so a generator that changes how much randomness it consumes cannot
+        // shift the kinds (or payloads) of later entries. The regression
+        // tests below pin this discipline.
         let roll: f64 = rng.gen();
+        let payload: u64 = rng.gen();
         let (name, kind, asm) = if roll < 0.088 {
             (format!("corpus_tiny_{i}"), CorpusKind::Tiny, tiny_function())
         } else if roll < 0.118 {
@@ -143,13 +163,15 @@ pub fn generate(count: usize, seed: u64) -> Corpus {
         } else if roll < 0.132 {
             (format!("corpus_indirect_{i}"), CorpusKind::Unsupported, unsupported_function())
         } else {
+            use rand::SeedableRng as _;
+            let mut sub = ChaCha8Rng::seed_from_u64(payload ^ stream_tag(b"corpus-ordinary"));
             let cfg = RandomFunConfig {
-                structure: random_structure(&mut rng),
+                structure: random_structure(&mut sub),
                 structure_name: "corpus".to_string(),
-                input_size: [1usize, 2, 4, 8][rng.gen_range(0..4usize)],
-                seed: rng.gen(),
-                goal: if rng.gen_bool(0.5) { Goal::SecretFinding } else { Goal::CodeCoverage },
-                loop_size: rng.gen_range(2..8),
+                input_size: [1usize, 2, 4, 8][sub.gen_range(0..4usize)],
+                seed: sub.gen(),
+                goal: if sub.gen_bool(0.5) { Goal::SecretFinding } else { Goal::CodeCoverage },
+                loop_size: sub.gen_range(2..8),
             };
             let rf = randomfuns::generate(cfg);
             let mut f = rf.program.functions[0].clone();
@@ -185,6 +207,70 @@ mod tests {
         let again = generate(120, 8);
         assert_eq!(corpus.entries, again.entries);
         assert_eq!(corpus.image.functions.len(), again.image.functions.len());
+    }
+
+    fn kind_fingerprint(count: usize, seed: u64) -> String {
+        generate(count, seed)
+            .entries
+            .iter()
+            .map(|e| match e.kind {
+                CorpusKind::Ordinary => 'O',
+                CorpusKind::Tiny => 'T',
+                CorpusKind::RegisterPressure => 'P',
+                CorpusKind::Unsupported => 'U',
+            })
+            .collect()
+    }
+
+    /// The kind sequence is a pure function of the two fixed draws per
+    /// entry: simulating that discipline with an independent RNG must match
+    /// what `generate` actually produced. If any generator started pulling
+    /// extra randomness from the shared stream, this (and the frozen table
+    /// below) would catch the silent shift in later entries' kinds.
+    #[test]
+    fn kind_stream_uses_exactly_two_draws_per_entry() {
+        use rand::SeedableRng;
+        for seed in [0u64, 1, 8, 99] {
+            let corpus = generate(48, seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for (i, entry) in corpus.entries.iter().enumerate() {
+                let roll: f64 = rng.gen();
+                let _payload: u64 = rng.gen();
+                let expect = if roll < 0.088 {
+                    CorpusKind::Tiny
+                } else if roll < 0.118 {
+                    CorpusKind::RegisterPressure
+                } else if roll < 0.132 {
+                    CorpusKind::Unsupported
+                } else {
+                    CorpusKind::Ordinary
+                };
+                assert_eq!(entry.kind, expect, "seed {seed}, entry {i}");
+            }
+        }
+    }
+
+    /// Frozen seed→kind-fingerprint table. These strings may only change in
+    /// a commit that *deliberately* changes the corpus stream discipline;
+    /// any other diff here means an unrelated generator perturbed the shared
+    /// RNG stream.
+    #[test]
+    fn kind_fingerprints_are_frozen() {
+        let table = [
+            (3u64, "OOOTOOOOOOOOOOTOOOOOTOPOOOOOOOTO"),
+            (8u64, "OOOOOOOTPTOOOOOOOOOOTOOOOOOOOOOO"),
+            (21u64, "OOOOOOOTOOOTOTOOTTOOOTOOOOTOOOOT"),
+            (77u64, "OTOOOOOOUOOOOOOTOTOOOOOOOTOOTOPO"),
+        ];
+        for (seed, want) in table {
+            assert_eq!(kind_fingerprint(32, seed), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stream_tags_separate_named_streams() {
+        assert_ne!(stream_tag(b"corpus-ordinary"), stream_tag(b"application"));
+        assert_eq!(stream_tag(b"database"), stream_tag(b"database"));
     }
 
     #[test]

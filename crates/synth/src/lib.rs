@@ -11,7 +11,10 @@
 //! * [`workloads`] — the ten clbg shootout kernels (Fig. 5 / Table III) and
 //!   the base64 case study (§VII-C3), plus the bump-allocator runtime;
 //! * [`corpus`] — the coreutils-like corpus for the rewriting-coverage
-//!   experiment (§VII-C1).
+//!   experiment (§VII-C1);
+//! * [`classes`] — the named workload-class registry (headline benchmark
+//!   classes plus runnable-but-excluded adversarial worst cases) with seeded
+//!   generators and per-program reference semantics.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod classes;
 pub mod codegen;
 pub mod corpus;
 pub mod interp;
@@ -44,6 +48,7 @@ pub mod minic;
 pub mod randomfuns;
 pub mod workloads;
 
+pub use classes::{ClassId, ClassProgram, ClassSpec};
 pub use codegen::{compile, compile_function};
 pub use corpus::{Corpus, CorpusEntry, CorpusKind};
 pub use interp::{Interp, InterpError};

@@ -32,61 +32,61 @@ pub struct Workload {
 
 // --- tiny expression DSL -------------------------------------------------
 
-fn c(v: i64) -> Expr {
+pub(crate) fn c(v: i64) -> Expr {
     Expr::Const(v)
 }
-fn v(i: usize) -> Expr {
+pub(crate) fn v(i: usize) -> Expr {
     Expr::Var(i)
 }
-fn arg(i: usize) -> Expr {
+pub(crate) fn arg(i: usize) -> Expr {
     Expr::Arg(i)
 }
-fn b(op: BinOp, x: Expr, y: Expr) -> Expr {
+pub(crate) fn b(op: BinOp, x: Expr, y: Expr) -> Expr {
     Expr::bin(op, x, y)
 }
-fn add(x: Expr, y: Expr) -> Expr {
+pub(crate) fn add(x: Expr, y: Expr) -> Expr {
     b(BinOp::Add, x, y)
 }
-fn sub(x: Expr, y: Expr) -> Expr {
+pub(crate) fn sub(x: Expr, y: Expr) -> Expr {
     b(BinOp::Sub, x, y)
 }
-fn mul(x: Expr, y: Expr) -> Expr {
+pub(crate) fn mul(x: Expr, y: Expr) -> Expr {
     b(BinOp::Mul, x, y)
 }
-fn and(x: Expr, y: Expr) -> Expr {
+pub(crate) fn and(x: Expr, y: Expr) -> Expr {
     b(BinOp::And, x, y)
 }
-fn xor(x: Expr, y: Expr) -> Expr {
+pub(crate) fn xor(x: Expr, y: Expr) -> Expr {
     b(BinOp::Xor, x, y)
 }
-fn shr(x: Expr, y: Expr) -> Expr {
+pub(crate) fn shr(x: Expr, y: Expr) -> Expr {
     b(BinOp::Shr, x, y)
 }
-fn load(a: Expr) -> Expr {
+pub(crate) fn load(a: Expr) -> Expr {
     Expr::Load(Box::new(a))
 }
-fn loadb(a: Expr) -> Expr {
+pub(crate) fn loadb(a: Expr) -> Expr {
     Expr::LoadByte(Box::new(a))
 }
-fn call(name: &str, args: Vec<Expr>) -> Expr {
+pub(crate) fn call(name: &str, args: Vec<Expr>) -> Expr {
     Expr::Call(name.to_string(), args)
 }
-fn gaddr(name: &str) -> Expr {
+pub(crate) fn gaddr(name: &str) -> Expr {
     Expr::GlobalAddr(name.to_string())
 }
-fn assign(i: usize, e: Expr) -> Stmt {
+pub(crate) fn assign(i: usize, e: Expr) -> Stmt {
     Stmt::Assign(i, e)
 }
-fn ret(e: Expr) -> Stmt {
+pub(crate) fn ret(e: Expr) -> Stmt {
     Stmt::Return(e)
 }
-fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
+pub(crate) fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
     Stmt::While(cond, body)
 }
-fn if_(cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+pub(crate) fn if_(cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
     Stmt::If(cond, then, els)
 }
-fn func(name: &str, params: usize, locals: usize, body: Vec<Stmt>) -> Function {
+pub(crate) fn func(name: &str, params: usize, locals: usize, body: Vec<Stmt>) -> Function {
     Function { name: name.to_string(), params, locals, body }
 }
 
@@ -115,7 +115,7 @@ pub fn runtime_functions() -> (Vec<Function>, Vec<Global>) {
     (vec![malloc, free], vec![heap_ptr])
 }
 
-fn with_runtime(mut functions: Vec<Function>, mut globals: Vec<Global>) -> Program {
+pub(crate) fn with_runtime(mut functions: Vec<Function>, mut globals: Vec<Global>) -> Program {
     let (rt_f, rt_g) = runtime_functions();
     functions.extend(rt_f);
     globals.extend(rt_g);

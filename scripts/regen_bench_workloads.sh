@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_workloads.json — per-class overhead and attack outcomes
+# over the workload-class corpus.
+#
+# Runs the exp_workloads driver (release build) with the worst-case classes
+# included: every class registered in crates/synth/src/classes.rs is
+# measured (native cycles, ROP/2VM overhead ratios, native-vs-ROP DSE
+# outcomes against each program's point-test wrapper) and reported
+# Oxidalloc-style — the benchmark classes form the headline section, the
+# adversarial classes (`adversarial-icache`, `adversarial-depth`) are
+# reported in a separate worst_case section and are never averaged into
+# headline numbers.
+#
+# Run from the repository root:
+#   sh scripts/regen_bench_workloads.sh
+#
+# Pass --full for the wider configuration sweep and the full DSE budget.
+# Future PRs that add a workload class or move obfuscation overhead should
+# re-run this and commit the refreshed JSON.
+set -eu
+
+cd "$(dirname "$0")/.."
+cargo run --release -p raindrop-bench --bin exp_workloads -- --include-worst-case "$@"
+echo "BENCH_workloads.json refreshed."

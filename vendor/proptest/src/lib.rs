@@ -14,8 +14,13 @@
 //!   `PROPTEST_SEED` environment overrides and `proptest-regressions/`
 //!   failure persistence.
 //!
-//! There is no shrinking: on failure the runner reports the seed, records it
-//! in `proptest-regressions/`, and replays recorded seeds on later runs.
+//! Shrinking is minimal: integer-range, `Vec`, tuple and `prop_filter`
+//! strategies propose smaller failing inputs via [`strategy::Strategy::shrink`]
+//! and the runner greedily re-tests candidates before reporting. Failure
+//! persistence is unchanged from the pre-shrinking runner: the *original*
+//! failing seed is recorded in `proptest-regressions/` and replayed on later
+//! runs (replaying the seed regenerates the unshrunk case, which shrinks
+//! again deterministically).
 
 pub mod strategy {
     //! Value-generation strategies.
@@ -29,14 +34,24 @@ pub mod strategy {
 
     /// A generator of values of type `Self::Value`.
     ///
-    /// Unlike real proptest there is no `ValueTree`/shrinking machinery:
-    /// `generate` directly produces a value from the RNG.
+    /// Unlike real proptest there is no `ValueTree` machinery: `generate`
+    /// directly produces a value from the RNG, and [`Strategy::shrink`]
+    /// proposes simpler candidates from a failing value after the fact.
     pub trait Strategy {
         /// The type of generated values.
         type Value;
 
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Proposes strictly simpler candidates for a failing `value`, most
+        /// aggressive first. Every candidate must be a value this strategy
+        /// could itself have generated (so invariants encoded in the
+        /// strategy keep holding during shrinking). The default is no
+        /// candidates, which disables shrinking for the strategy.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         /// Maps generated values through `f`.
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -95,11 +110,15 @@ pub mod strategy {
     /// Object-safe generation, backing [`BoxedStrategy`].
     trait DynStrategy<T> {
         fn generate_dyn(&self, rng: &mut TestRng) -> T;
+        fn shrink_dyn(&self, value: &T) -> Vec<T>;
     }
 
     impl<S: Strategy> DynStrategy<S::Value> for S {
         fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
             self.generate(rng)
+        }
+        fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+            self.shrink(value)
         }
     }
 
@@ -117,6 +136,10 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> T {
             self.0.generate_dyn(rng)
+        }
+
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.0.shrink_dyn(value)
         }
 
         fn boxed(self) -> BoxedStrategy<T>
@@ -174,6 +197,12 @@ pub mod strategy {
             }
             panic!("prop_filter exhausted {MAX_FILTER_RETRIES} retries: {}", self.reason)
         }
+
+        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            // Candidates the filter would have rejected at generation time
+            // must not reappear during shrinking.
+            self.inner.shrink(value).into_iter().filter(|v| (self.pred)(v)).collect()
+        }
     }
 
     /// Uniform choice between alternative strategies (`prop_oneof!`).
@@ -202,6 +231,26 @@ pub mod strategy {
         }
     }
 
+    /// Candidates between `lo` and a failing value `v`, most aggressive
+    /// first: the lower bound itself, the midpoint, then `v`'s immediate
+    /// predecessor. Arithmetic is i128-widened so every vendored integer
+    /// type (including full-range `u64`/`i64`) is safe from overflow.
+    pub(crate) fn shrink_int_toward(lo: i128, v: i128) -> Vec<i128> {
+        if v <= lo {
+            return Vec::new();
+        }
+        let mut out = vec![lo];
+        let mid = lo + (v - lo) / 2;
+        if mid != lo {
+            out.push(mid);
+        }
+        let prev = v - 1;
+        if prev != lo && prev != mid {
+            out.push(prev);
+        }
+        out
+    }
+
     macro_rules! impl_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for core::ops::Range<$t> {
@@ -209,23 +258,55 @@ pub mod strategy {
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.gen_range(self.clone())
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int_toward(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
                 type Value = $t;
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.gen_range(self.clone())
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int_toward(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
             }
         )*};
     }
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    /// The empty tuple strategy, so that [`crate::proptest!`] bodies with no
+    /// `arg in strategy` bindings still go through the shrinking runner.
+    impl Strategy for () {
+        type Value = ();
+        fn generate(&self, _rng: &mut TestRng) {}
+    }
+
     macro_rules! impl_tuple_strategy {
         ($(($($n:tt $s:ident),+))*) => {$(
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone),+
+            {
                 type Value = ($($s::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$n.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // One component at a time, the others held fixed.
+                    let mut out = Vec::new();
+                    $(for candidate in self.$n.shrink(&value.$n) {
+                        let mut next = value.clone();
+                        next.$n = candidate;
+                        out.push(next);
+                    })+
+                    out
                 }
             }
         )*};
@@ -326,12 +407,40 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            // Length reductions first (never below the strategy's minimum
+            // size), then element-wise simplification at each position.
+            let min = self.size.lo;
+            let mut out = Vec::new();
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                let half = min + (value.len() - min) / 2;
+                if half != min && half != value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 != min && value.len() - 1 != half {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            for (i, element) in value.iter().enumerate() {
+                for candidate in self.element.shrink(element) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -345,8 +454,12 @@ pub mod collection {
 pub mod test_runner {
     //! The deterministic case runner and its configuration.
 
+    use crate::strategy::Strategy;
     use rand::rngs::StdRng;
     use rand::{RngCore, SeedableRng};
+
+    /// Global cap on re-executions of the property during one shrink.
+    const MAX_SHRINK_ATTEMPTS: u32 = 512;
 
     /// Runner configuration; only `cases` is honoured.
     #[derive(Clone, Debug)]
@@ -463,6 +576,76 @@ pub mod test_runner {
                 let _ = writeln!(f, "{seed}");
             }
         }
+    }
+
+    /// Greedily minimises a failing `value`: keeps replacing it with the
+    /// first [`Strategy::shrink`] candidate that still fails, until no
+    /// candidate fails or `MAX_SHRINK_ATTEMPTS` (512) re-executions are spent.
+    /// Returns the minimal failing value, its failure message, and the
+    /// number of successful shrink steps taken. Rejected candidates
+    /// (`prop_assume!`) are skipped, not treated as passes.
+    pub fn shrink_to_minimal<S: Strategy>(
+        strategy: &S,
+        mut value: S::Value,
+        mut message: String,
+        case: &mut impl FnMut(S::Value) -> TestCaseResult,
+    ) -> (S::Value, String, u32)
+    where
+        S::Value: Clone,
+    {
+        let mut steps = 0u32;
+        let mut attempts = 0u32;
+        'minimise: loop {
+            for candidate in strategy.shrink(&value) {
+                if attempts >= MAX_SHRINK_ATTEMPTS {
+                    break 'minimise;
+                }
+                attempts += 1;
+                if let Err(TestCaseError::Fail(msg)) = case(candidate.clone()) {
+                    value = candidate;
+                    message = msg;
+                    steps += 1;
+                    continue 'minimise;
+                }
+            }
+            break;
+        }
+        (value, message, steps)
+    }
+
+    /// Like [`run_proptest`], but generation is split from execution so
+    /// failing inputs can be shrunk: `strategy` produces the case value,
+    /// `case` runs the property on it. Seed scheduling, rejection
+    /// accounting and `proptest-regressions/` persistence are identical to
+    /// [`run_proptest`] — the recorded seed is always the one that
+    /// generated the *original* (unshrunk) failure, so replays regenerate
+    /// and re-shrink it deterministically.
+    pub fn run_proptest_shrink<S: Strategy>(
+        config: ProptestConfig,
+        test_name: &str,
+        strategy: &S,
+        mut case: impl FnMut(S::Value) -> TestCaseResult,
+    ) where
+        S::Value: Clone,
+    {
+        run_proptest(config, test_name, |rng| {
+            let value = strategy.generate(rng);
+            match case(value.clone()) {
+                Err(TestCaseError::Fail(message)) => {
+                    let (_, message, steps) =
+                        shrink_to_minimal(strategy, value, message, &mut case);
+                    Err(TestCaseError::Fail(if steps == 0 {
+                        message
+                    } else {
+                        format!(
+                            "{message}\n(input shrunk {steps} steps; the prop_assert \
+                                 values above are from the minimal failing case)"
+                        )
+                    }))
+                }
+                other => other,
+            }
+        })
     }
 
     /// Drives one property test: replays persisted regression seeds, then
@@ -635,11 +818,17 @@ macro_rules! __proptest_impl {
     )*) => {$(
         $(#[$meta])*
         fn $name() {
-            $crate::test_runner::run_proptest(
+            // All bindings fold into one tuple strategy so the runner can
+            // shrink the whole input vector; generation order (and hence
+            // the RNG stream behind persisted seeds) matches the old
+            // per-binding sequential draws exactly.
+            let __proptest_strategy = ($(($strategy),)*);
+            $crate::test_runner::run_proptest_shrink(
                 $config,
                 concat!(module_path!(), "::", stringify!($name)),
-                |__proptest_rng| {
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __proptest_rng);)*
+                &__proptest_strategy,
+                |__proptest_value| {
+                    let ($($arg,)*) = __proptest_value;
                     let __proptest_result: $crate::test_runner::TestCaseResult = (|| {
                         $body
                         ::std::result::Result::Ok(())
@@ -649,4 +838,123 @@ macro_rules! __proptest_impl {
             );
         }
     )*};
+}
+
+#[cfg(test)]
+mod shrink_tests {
+    //! Direct-call shrinking tests. These never go through `run_proptest`,
+    //! so they cannot touch `proptest-regressions/`.
+
+    use crate::collection::vec;
+    use crate::strategy::Strategy;
+    use crate::test_runner::{shrink_to_minimal, TestCaseError, TestCaseResult};
+
+    #[test]
+    fn integer_ranges_shrink_toward_their_lower_bound() {
+        assert_eq!((0u64..100).shrink(&57), vec![0, 28, 56]);
+        assert_eq!((10u8..=200).shrink(&12), vec![10, 11]);
+        assert_eq!((-8i32..8).shrink(&-8), Vec::<i32>::new());
+        assert_eq!((0usize..4).shrink(&1), vec![0]);
+        // Full-width extremes must not overflow the candidate arithmetic.
+        assert_eq!((0u64..=u64::MAX).shrink(&u64::MAX)[0], 0);
+        assert_eq!((i64::MIN..=i64::MAX).shrink(&i64::MAX)[0], i64::MIN);
+    }
+
+    #[test]
+    fn shrink_candidates_stay_inside_their_range() {
+        for value in [3u8, 14, 99, 200] {
+            for candidate in (3u8..=200).shrink(&value) {
+                assert!((3..=200).contains(&candidate), "{candidate} escaped the range");
+                assert!(candidate < value, "{candidate} is not simpler than {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn vec_shrinking_reduces_length_without_violating_the_minimum() {
+        let strategy = vec(0u8..=255, 2..=8);
+        let candidates = strategy.shrink(&::std::vec![9, 9, 9, 9, 9, 9]);
+        assert!(candidates.contains(&::std::vec![9, 9]), "truncation to the minimum size");
+        assert!(candidates.contains(&::std::vec![9, 9, 9, 9]), "truncation to half");
+        assert!(candidates.contains(&::std::vec![9, 9, 9, 9, 9]), "dropping the last element");
+        assert!(candidates.contains(&::std::vec![0, 9, 9, 9, 9, 9]), "element-wise shrink");
+        assert!(candidates.iter().all(|c| c.len() >= 2), "minimum size respected");
+        assert!(strategy.shrink(&::std::vec![0, 0]).is_empty(), "minimal vec has no candidates");
+    }
+
+    #[test]
+    fn filtered_strategies_never_propose_rejected_candidates() {
+        let strategy = (0u32..100).prop_filter("even only", |v| v % 2 == 0);
+        let candidates = strategy.shrink(&88);
+        assert!(!candidates.is_empty());
+        assert!(candidates.iter().all(|v| v % 2 == 0), "odd candidate leaked: {candidates:?}");
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let strategy = (0u8..10, 5i64..50);
+        for (a, b) in strategy.shrink(&(7, 20)) {
+            assert!(
+                (a, b) == (7, 20) || (a == 7) != (b == 20),
+                "candidate ({a}, {b}) changed both components at once"
+            );
+        }
+        assert!(strategy.shrink(&(0, 5)).is_empty());
+    }
+
+    #[test]
+    fn shrink_to_minimal_finds_the_boundary_of_a_threshold_failure() {
+        // Property: "value < 10". The minimal counterexample is exactly 10.
+        let mut runs = 0u32;
+        let mut case = |v: u64| -> TestCaseResult {
+            runs += 1;
+            if v >= 10 {
+                Err(TestCaseError::fail(format!("{v} too big")))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, message, steps) =
+            shrink_to_minimal(&(0u64..1000), 857, "857 too big".to_string(), &mut case);
+        assert_eq!(minimal, 10);
+        assert_eq!(message, "10 too big");
+        assert!(steps > 0 && runs < 100, "greedy bisection should converge fast (ran {runs})");
+    }
+
+    #[test]
+    fn shrink_to_minimal_minimises_vectors_and_their_elements() {
+        // Property: no element may be >= 5. Minimal: the shortest allowed
+        // vector whose first element is exactly 5.
+        let strategy = vec(0u8..=255, 1..=16);
+        let mut case = |v: Vec<u8>| -> TestCaseResult {
+            if v.iter().any(|&b| b >= 5) {
+                Err(TestCaseError::fail(format!("{v:?} contains a big element")))
+            } else {
+                Ok(())
+            }
+        };
+        let start = ::std::vec![200, 1, 77, 3, 250, 9, 8, 7];
+        let message = "seed failure".to_string();
+        let (minimal, _, _) = shrink_to_minimal(&strategy, start, message, &mut case);
+        assert_eq!(minimal, ::std::vec![5]);
+    }
+
+    #[test]
+    fn shrinking_respects_prop_assume_rejections() {
+        // Rejected candidates must neither terminate the shrink nor be
+        // accepted as the minimal case.
+        let strategy = 0u32..100;
+        let mut case = |v: u32| -> TestCaseResult {
+            if v % 2 == 1 {
+                Err(TestCaseError::reject("odd values are assumed away"))
+            } else if v >= 40 {
+                Err(TestCaseError::fail(format!("{v}")))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, _, _) = shrink_to_minimal(&strategy, 80, "80".to_string(), &mut case);
+        assert_eq!(minimal % 2, 0, "a rejected candidate was accepted");
+        assert_eq!(minimal, 40);
+    }
 }
