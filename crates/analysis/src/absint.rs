@@ -1,0 +1,693 @@
+//! Gadget-semantics summaries and stack-delta abstract interpretation over
+//! ROP chain data.
+//!
+//! This module is the *attacker's* static model of a chain-encoded function
+//! (the evaluation of §VII-B: what Ghidra/angr-class tooling can recover
+//! without running anything). It deliberately sees only what a static tool
+//! sees — the raw bytes of the image. The symbolic chain the rewriter kept
+//! for its own audit (`raindrop::chain::Chain`) is *not* consulted here.
+//!
+//! Two layers:
+//!
+//! * [`GadgetSummary`] — a per-gadget transfer function computed from the
+//!   decoded instruction sequence at a text address: stack delta, pop
+//!   destinations in order, read/written registers, flag effects, memory
+//!   accesses, and how the gadget transfers control onwards.
+//! * [`ChainWalker`] — a worklist abstract interpreter that treats the
+//!   stack pointer as a symbolic offset into the chain and tracks
+//!   register contents as [`AbsVal`] constants. Unconditional in-chain
+//!   branches (`pop t, δ; add rsp, t`) are followed because `t` is a
+//!   known constant; conditional branches fork both the cmov-taken and
+//!   fall-through values; anything data-dependent (the P1 opaque-array
+//!   loads, input-derived cmovs) degrades to [`AbsVal::Unknown`] and halts
+//!   that path — which is precisely the paper's point.
+
+use crate::cfg;
+use raindrop_machine::{decode, AluOp, Image, Inst, Reg, RegSet};
+use std::collections::BTreeSet;
+
+/// Upper bound on the instructions decoded per gadget. Real gadgets are a
+/// handful of instructions; hitting the bound means we are decoding
+/// something that is not a gadget.
+const MAX_GADGET_INSTS: usize = 32;
+
+/// Upper bound on gadget executions per walk, so constant loops and
+/// corrupted chains terminate (forked paths share the budget).
+const MAX_WALK_GADGETS: usize = 1 << 16;
+
+/// How a decoded gadget hands control onwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GadgetExit {
+    /// Ends in `ret`: control continues at the next chain slot.
+    Ret,
+    /// Ends in `jmp reg` (the stack-switching native-call gadget).
+    JmpReg(Reg),
+}
+
+/// A static transfer-function summary of one gadget, computed purely from
+/// the bytes at its address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GadgetSummary {
+    /// Address of the first instruction.
+    pub addr: u64,
+    /// The decoded instructions, excluding the terminating `ret`/`jmp reg`.
+    pub insts: Vec<Inst>,
+    /// Destination registers of the `pop` instructions, in execution order.
+    pub pops: Vec<Reg>,
+    /// Chain slots the gadget consumes beyond its own address word — the
+    /// static part of its stack delta. `add rsp, reg` contributes
+    /// dynamically and is reported via [`GadgetSummary::sp_add`].
+    pub static_slots: usize,
+    /// The register an `add rsp, reg` adds to the stack pointer, if the
+    /// gadget performs one (the ROP branch primitive).
+    pub sp_add: Option<Reg>,
+    /// `mov rsp, [reg]` — the unpivot that ends a chain.
+    pub sp_load: bool,
+    /// Registers read by any instruction of the gadget (excluding `rsp`).
+    pub reads: RegSet,
+    /// Registers written by any instruction of the gadget (excluding `rsp`).
+    pub writes: RegSet,
+    /// Whether any instruction writes the condition flags.
+    pub writes_flags: bool,
+    /// Whether any instruction reads the condition flags (cmov/setcc).
+    pub reads_flags: bool,
+    /// Whether the gadget loads from non-stack memory.
+    pub mem_reads: bool,
+    /// Whether the gadget stores to non-stack memory.
+    pub mem_writes: bool,
+    /// How the gadget exits.
+    pub exit: GadgetExit,
+}
+
+/// Why a [`GadgetSummary`] could not be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SummaryError {
+    /// The address is outside the image's text section.
+    OutsideText(u64),
+    /// A byte sequence that does not decode as an instruction.
+    Undecodable {
+        /// Address of the offending bytes.
+        addr: u64,
+    },
+    /// No `ret`/`jmp reg` within the instruction-count cap
+    /// (`MAX_GADGET_INSTS`).
+    NoExit(u64),
+}
+
+/// Decodes the instruction sequence at `addr` and summarizes its transfer
+/// function.
+///
+/// # Errors
+///
+/// Fails when `addr` is outside text, the bytes do not decode, or no
+/// `ret`/`jmp reg` terminator is found within a small bound.
+pub fn summarize(image: &Image, addr: u64) -> Result<GadgetSummary, SummaryError> {
+    if !image.in_text(addr) {
+        return Err(SummaryError::OutsideText(addr));
+    }
+    let mut insts = Vec::new();
+    let mut at = addr;
+    let exit = loop {
+        if insts.len() >= MAX_GADGET_INSTS {
+            return Err(SummaryError::NoExit(addr));
+        }
+        let remaining = (image.text_base + image.text.len() as u64).saturating_sub(at);
+        let slice = image
+            .text_slice(at, remaining.min(16) as usize)
+            .map_err(|_| SummaryError::OutsideText(at))?;
+        let (inst, len) = decode(slice).map_err(|_| SummaryError::Undecodable { addr: at })?;
+        at += len as u64;
+        match inst {
+            Inst::Ret => break GadgetExit::Ret,
+            Inst::JmpReg(r) => break GadgetExit::JmpReg(r),
+            _ => insts.push(inst),
+        }
+    };
+
+    let mut summary = GadgetSummary {
+        addr,
+        pops: Vec::new(),
+        static_slots: 0,
+        sp_add: None,
+        sp_load: false,
+        reads: RegSet::EMPTY,
+        writes: RegSet::EMPTY,
+        writes_flags: false,
+        reads_flags: false,
+        mem_reads: false,
+        mem_writes: false,
+        exit,
+        insts: Vec::new(),
+    };
+    for inst in &insts {
+        match *inst {
+            Inst::Pop(dst) => {
+                summary.pops.push(dst);
+                summary.static_slots += 1;
+            }
+            Inst::Alu(AluOp::Add, Reg::Rsp, src) => summary.sp_add = Some(src),
+            Inst::Load(Reg::Rsp, _) => summary.sp_load = true,
+            _ => {}
+        }
+        summary.reads = summary.reads.union(inst.regs_read());
+        summary.writes = summary.writes.union(inst.regs_written());
+        summary.writes_flags |= inst.writes_flags();
+        summary.reads_flags |= inst.reads_flags();
+        let mem = inst.touches_memory();
+        match inst {
+            Inst::Store(..) | Inst::StoreI(..) | Inst::StoreB(..) | Inst::AluStore(..) => {
+                summary.mem_writes |= mem;
+            }
+            Inst::XchgRM(..) => {
+                summary.mem_reads |= mem;
+                summary.mem_writes |= mem;
+            }
+            _ => summary.mem_reads |= mem,
+        }
+    }
+    summary.reads.remove(Reg::Rsp);
+    summary.writes.remove(Reg::Rsp);
+    summary.insts = insts;
+    Ok(summary)
+}
+
+/// An abstract register value tracked by the walker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// A known 64-bit constant (read from the chain or computed from
+    /// constants).
+    Const(u64),
+    /// Anything else: input-dependent, memory-dependent, or joined.
+    Unknown,
+}
+
+impl AbsVal {
+    /// The constant, if known.
+    pub fn constant(self) -> Option<u64> {
+        match self {
+            AbsVal::Const(v) => Some(v),
+            AbsVal::Unknown => None,
+        }
+    }
+}
+
+/// Why one abstract path of the walk stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// `mov rsp, [reg]` — the unpivot back to native code; a normal end.
+    Unpivot,
+    /// `xchg rsp, [..]; jmp reg` — a stack-switched native call. The walker
+    /// cannot know where the chain resumes without running the call.
+    NativeCall,
+    /// `add rsp, reg` with an unknown register: an opaque branch (P1
+    /// displacement, input-dependent cmov, …). The static horizon.
+    OpaqueBranch {
+        /// Chain offset of the branching gadget's address word.
+        offset: u64,
+    },
+    /// The next slot's gadget address did not summarize (not text, not
+    /// decodable, no terminator).
+    BadGadget {
+        /// Chain offset of the offending slot.
+        offset: u64,
+        /// The value that was not a usable gadget address.
+        value: u64,
+    },
+    /// The walk left the chain's byte range.
+    OutOfChain {
+        /// The out-of-range chain offset.
+        offset: i64,
+    },
+    /// The per-walk gadget budget was exhausted (cycle protection).
+    Budget,
+}
+
+/// Statistics of one blind chain walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainWalk {
+    /// Distinct chain offsets whose gadget was visited.
+    pub visited: usize,
+    /// Total gadget executions across all forked paths.
+    pub steps: usize,
+    /// Primary instructions recovered along visited gadgets (the material
+    /// a lifter could hand to a decompiler).
+    pub recovered_insts: usize,
+    /// Every reason any path stopped, deduplicated.
+    pub stops: Vec<StopReason>,
+    /// Whether any path reached the unpivot (a complete straight-line
+    /// reconstruction exists).
+    pub reached_unpivot: bool,
+}
+
+impl ChainWalk {
+    /// Whether the walk hit an opaque branch anywhere — the static
+    /// analysis horizon the paper's predicates are designed to force.
+    pub fn hit_opaque(&self) -> bool {
+        self.stops.iter().any(|s| matches!(s, StopReason::OpaqueBranch { .. }))
+    }
+}
+
+#[derive(Clone)]
+struct WalkState {
+    /// Byte offset of the next slot to execute, relative to the chain base.
+    offset: i64,
+    regs: [AbsVal; 16],
+}
+
+/// A stack-delta abstract interpreter over chain bytes in an image.
+///
+/// The stack pointer is symbolic: `chain_base + offset`. Forks happen on
+/// `cmov` (both values) so plain P2-free conditional branches explore both
+/// arms when their displacements are constants.
+pub struct ChainWalker<'a> {
+    image: &'a Image,
+    chain_addr: u64,
+    chain_len: usize,
+}
+
+impl<'a> ChainWalker<'a> {
+    /// A walker over `chain_len` bytes of chain data at `chain_addr`.
+    pub fn new(image: &'a Image, chain_addr: u64, chain_len: usize) -> ChainWalker<'a> {
+        ChainWalker { image, chain_addr, chain_len }
+    }
+
+    fn slot(&self, offset: i64) -> Option<u64> {
+        if offset < 0 || offset as usize + 8 > self.chain_len {
+            return None;
+        }
+        let bytes = self.image.data_slice(self.chain_addr + offset as u64, 8).ok()?;
+        Some(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    /// Runs the abstract walk from the chain entry (offset 0).
+    pub fn walk(&self) -> ChainWalk {
+        let mut work = vec![WalkState { offset: 0, regs: [AbsVal::Unknown; 16] }];
+        let mut visited: BTreeSet<i64> = BTreeSet::new();
+        let mut recovered: BTreeSet<u64> = BTreeSet::new();
+        let mut stops: Vec<StopReason> = Vec::new();
+        let mut steps = 0usize;
+        let mut reached_unpivot = false;
+        let stop = |stops: &mut Vec<StopReason>, r: StopReason| {
+            if !stops.contains(&r) {
+                stops.push(r);
+            }
+        };
+
+        while let Some(mut state) = work.pop() {
+            loop {
+                if steps >= MAX_WALK_GADGETS {
+                    stop(&mut stops, StopReason::Budget);
+                    break;
+                }
+                let Some(gaddr) = self.slot(state.offset) else {
+                    stop(&mut stops, StopReason::OutOfChain { offset: state.offset });
+                    break;
+                };
+                let summary = match summarize(self.image, gaddr) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        stop(
+                            &mut stops,
+                            StopReason::BadGadget { offset: state.offset as u64, value: gaddr },
+                        );
+                        break;
+                    }
+                };
+                steps += 1;
+                let first_visit = visited.insert(state.offset);
+                if first_visit {
+                    recovered.insert(summary.addr);
+                }
+                let branch_offset = state.offset as u64;
+                // `ret` consumed the address word.
+                state.offset += 8;
+                // Re-walking an already visited offset only continues if
+                // we still have budget; constants are path-sensitive so we
+                // cannot memoize states, but the budget bounds the work.
+                let forks = self.apply(&summary, &mut state);
+                for f in forks {
+                    work.push(f);
+                }
+                if summary.sp_load {
+                    reached_unpivot = true;
+                    stop(&mut stops, StopReason::Unpivot);
+                    break;
+                }
+                if let GadgetExit::JmpReg(_) = summary.exit {
+                    stop(&mut stops, StopReason::NativeCall);
+                    break;
+                }
+                if let Some(src) = summary.sp_add {
+                    match state.regs[src.index()] {
+                        AbsVal::Const(delta) => {
+                            state.offset += delta as i64;
+                        }
+                        AbsVal::Unknown => {
+                            stop(&mut stops, StopReason::OpaqueBranch { offset: branch_offset });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        ChainWalk {
+            visited: visited.len(),
+            steps,
+            recovered_insts: recovered
+                .iter()
+                .filter_map(|addr| summarize(self.image, *addr).ok())
+                .map(|s| s.insts.len())
+                .sum(),
+            stops,
+            reached_unpivot,
+        }
+    }
+
+    /// Applies one gadget's transfer function to `state`, consuming pop
+    /// slots and interpreting constant-foldable register operations.
+    /// Returns forked states (cmov with a known flag-free condition is
+    /// forked both ways).
+    fn apply(&self, summary: &GadgetSummary, state: &mut WalkState) -> Vec<WalkState> {
+        let mut forks = Vec::new();
+        for inst in &summary.insts {
+            match *inst {
+                Inst::Pop(dst) => {
+                    let v = self.slot(state.offset);
+                    state.regs[dst.index()] = v.map(AbsVal::Const).unwrap_or(AbsVal::Unknown);
+                    state.offset += 8;
+                }
+                Inst::MovRR(dst, src) => {
+                    state.regs[dst.index()] = state.regs[src.index()];
+                }
+                Inst::MovRI(dst, imm) => {
+                    state.regs[dst.index()] = AbsVal::Const(imm as u64);
+                }
+                Inst::Alu(op, dst, src) => {
+                    let v = match (state.regs[dst.index()], state.regs[src.index()]) {
+                        (AbsVal::Const(a), AbsVal::Const(b)) => {
+                            alu_const(op, a, b).map(AbsVal::Const).unwrap_or(AbsVal::Unknown)
+                        }
+                        _ => AbsVal::Unknown,
+                    };
+                    if dst != Reg::Rsp {
+                        state.regs[dst.index()] = v;
+                    }
+                }
+                Inst::Mul(dst, src) => {
+                    state.regs[dst.index()] =
+                        match (state.regs[dst.index()], state.regs[src.index()]) {
+                            (AbsVal::Const(a), AbsVal::Const(b)) => {
+                                AbsVal::Const(a.wrapping_mul(b))
+                            }
+                            _ => AbsVal::Unknown,
+                        };
+                }
+                Inst::Rem(dst, src) => {
+                    state.regs[dst.index()] =
+                        match (state.regs[dst.index()], state.regs[src.index()]) {
+                            (AbsVal::Const(a), AbsVal::Const(b)) if b != 0 => AbsVal::Const(a % b),
+                            _ => AbsVal::Unknown,
+                        };
+                }
+                Inst::Cmov(_, dst, src) => {
+                    // The flag state is not tracked: fork the taken value,
+                    // keep the untaken value on this path.
+                    let mut taken = state.clone();
+                    taken.regs[dst.index()] = taken.regs[src.index()];
+                    forks.push(taken);
+                }
+                Inst::Set(_, dst) => {
+                    // setcc materializes an unknown 0/1: fork both.
+                    let mut one = state.clone();
+                    one.regs[dst.index()] = AbsVal::Const(1);
+                    forks.push(one);
+                    state.regs[dst.index()] = AbsVal::Const(0);
+                }
+                _ => {
+                    // Loads (the P1 array!), stores, xchg, shifts through
+                    // memory — anything else degrades its destinations.
+                    for dst in inst.regs_written().iter() {
+                        if dst != Reg::Rsp {
+                            state.regs[dst.index()] = AbsVal::Unknown;
+                        }
+                    }
+                }
+            }
+        }
+        forks
+    }
+}
+
+/// Constant-folds one register-register ALU operation, when its result is
+/// deterministic.
+fn alu_const(op: AluOp, a: u64, b: u64) -> Option<u64> {
+    Some(match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        _ => return None,
+    })
+}
+
+/// Instruction-recovery score of one function body: the multiset fraction
+/// of the original's decoded instructions that a linear-sweep disassembly
+/// of the (possibly obfuscated) body recovers.
+///
+/// Native bodies score 1.0 against themselves; a ROP-rewritten body is a
+/// pivot stub over `hlt` filler and scores ≈ 0. A VM interpreter body
+/// *recalls* most of the original's generic instruction multiset (any
+/// large body contains plenty of `mov`/`add`/`push`), so the recall
+/// fraction alone overstates what was recovered there — [`precision`]
+/// (`matched / decoded`) collapses for the interpreter's thousands of
+/// unrelated instructions and is the discriminating number.
+///
+/// [`precision`]: RecoveryScore::precision
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryScore {
+    /// Instructions in the original (ground-truth) body.
+    pub original: usize,
+    /// Instructions a linear sweep decodes from the obfuscated body.
+    pub decoded: usize,
+    /// Multiset-intersection size between the two instruction lists.
+    pub matched: usize,
+    /// Whether CFG reconstruction succeeded on the obfuscated body.
+    pub cfg_ok: bool,
+    /// Basic blocks the CFG reconstruction found (0 when it failed).
+    pub cfg_blocks: usize,
+}
+
+impl RecoveryScore {
+    /// Recall — `matched / original` (1.0 for an empty original).
+    pub fn fraction(&self) -> f64 {
+        if self.original == 0 {
+            return 1.0;
+        }
+        self.matched as f64 / self.original as f64
+    }
+
+    /// Precision — `matched / decoded` (0.0 when nothing decodes). Near
+    /// 1.0 on a native body, near 0 when the sweep decodes a large body
+    /// that is not the original (a VM interpreter).
+    pub fn precision(&self) -> f64 {
+        if self.decoded == 0 {
+            return 0.0;
+        }
+        self.matched as f64 / self.decoded as f64
+    }
+}
+
+/// Linear-sweep decode of a function body, stopping at the first
+/// undecodable byte (what objdump-style tooling recovers).
+fn sweep(image: &Image, func: &str) -> Vec<Inst> {
+    let Ok(bytes) = image.function_bytes(func) else { return Vec::new() };
+    let mut insts = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        match decode(&bytes[at..]) {
+            Ok((inst, len)) => {
+                insts.push(inst);
+                at += len;
+            }
+            Err(_) => break,
+        }
+    }
+    insts
+}
+
+/// Scores what a static disassembler recovers of `func`'s original
+/// instruction stream from the `obfuscated` image, against the ground
+/// truth in `original`.
+pub fn recovery_score(original: &Image, obfuscated: &Image, func: &str) -> RecoveryScore {
+    let truth = sweep(original, func);
+    let got = sweep(obfuscated, func);
+    let mut remaining = got.clone();
+    let mut matched = 0usize;
+    for inst in &truth {
+        if let Some(i) = remaining.iter().position(|g| g == inst) {
+            remaining.swap_remove(i);
+            matched += 1;
+        }
+    }
+    let (cfg_ok, cfg_blocks) = match cfg::reconstruct(obfuscated, func) {
+        Ok(graph) => (true, graph.len()),
+        Err(_) => (false, 0),
+    };
+    RecoveryScore { original: truth.len(), decoded: got.len(), matched, cfg_ok, cfg_blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raindrop_machine::{encode_all, Assembler, Cond, ImageBuilder, Mem};
+
+    fn image_with(insts: &[Inst]) -> (Image, u64) {
+        let mut a = Assembler::new();
+        a.inst(Inst::Ret);
+        let mut b = ImageBuilder::new();
+        b.add_function("stub", a);
+        let mut img = b.build().unwrap();
+        let addr = img.append_text(None, &encode_all(insts));
+        (img, addr)
+    }
+
+    #[test]
+    fn summarize_classifies_pop_gadgets() {
+        let (img, addr) = image_with(&[Inst::Pop(Reg::Rax), Inst::Pop(Reg::Rcx), Inst::Ret]);
+        let s = summarize(&img, addr).unwrap();
+        assert_eq!(s.pops, vec![Reg::Rax, Reg::Rcx]);
+        assert_eq!(s.static_slots, 2);
+        assert_eq!(s.exit, GadgetExit::Ret);
+        assert!(s.writes.contains(Reg::Rax) && s.writes.contains(Reg::Rcx));
+        assert!(!s.writes.contains(Reg::Rsp), "rsp is implicit, not reported");
+    }
+
+    #[test]
+    fn summarize_detects_branch_and_unpivot_shapes() {
+        let (img, branch) = image_with(&[Inst::Alu(AluOp::Add, Reg::Rsp, Reg::R10), Inst::Ret]);
+        assert_eq!(summarize(&img, branch).unwrap().sp_add, Some(Reg::R10));
+        let (img2, unpivot) = image_with(&[Inst::Load(Reg::Rsp, Mem::base(Reg::R10)), Inst::Ret]);
+        assert!(summarize(&img2, unpivot).unwrap().sp_load);
+    }
+
+    #[test]
+    fn summarize_rejects_non_gadget_bytes() {
+        let mut a = Assembler::new();
+        a.inst(Inst::Ret);
+        let mut b = ImageBuilder::new();
+        b.add_function("stub", a);
+        let mut img = b.build().unwrap();
+        let addr = img.append_text(None, &[0xFF; 8]);
+        assert!(matches!(summarize(&img, addr), Err(SummaryError::Undecodable { .. })));
+        assert!(matches!(summarize(&img, 5), Err(SummaryError::OutsideText(5))));
+    }
+
+    /// A hand-built straight-line chain with one unconditional branch is
+    /// fully reconstructed: the branch displacement is a chain constant.
+    #[test]
+    fn walker_follows_constant_branches_to_the_unpivot() {
+        let (mut img, pop_rax) = image_with(&[Inst::Pop(Reg::Rax), Inst::Ret]);
+        let pop_r10 = img.append_text(None, &encode_all(&[Inst::Pop(Reg::R10), Inst::Ret]));
+        let branch = img.append_text(
+            None,
+            &encode_all(&[Inst::Alu(AluOp::Add, Reg::Rsp, Reg::R10), Inst::Ret]),
+        );
+        let unpivot = img.append_text(
+            None,
+            &encode_all(&[Inst::Load(Reg::Rsp, Mem::base(Reg::R10)), Inst::Ret]),
+        );
+
+        // Layout: [pop_rax][42][pop_r10][16][branch] .. skipped 16 bytes ..
+        // [pop_r10][junk][unpivot]
+        let mut chain: Vec<u64> = vec![pop_rax, 42, pop_r10, 16, branch, 0xDEAD, 0xBEEF];
+        chain.extend([pop_r10, 0x1000, unpivot]);
+        let bytes: Vec<u8> = chain.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let chain_addr = img.append_data(Some("chain"), &bytes);
+
+        let walk = ChainWalker::new(&img, chain_addr, bytes.len()).walk();
+        assert!(walk.reached_unpivot, "stops: {:?}", walk.stops);
+        assert!(!walk.hit_opaque());
+        // pop_rax, pop_r10, branch, pop_r10, unpivot (the two junk slots
+        // were skipped by the branch).
+        assert_eq!(walk.visited, 5);
+    }
+
+    /// A displacement routed through a memory load (the P1 idiom) is the
+    /// walker's horizon: the branch register is unknown.
+    #[test]
+    fn walker_stops_at_opaque_branches() {
+        let (mut img, pop_r11) = image_with(&[Inst::Pop(Reg::R11), Inst::Ret]);
+        let load = img.append_text(
+            None,
+            &encode_all(&[Inst::Load(Reg::R10, Mem::base(Reg::R11)), Inst::Ret]),
+        );
+        let branch = img.append_text(
+            None,
+            &encode_all(&[Inst::Alu(AluOp::Add, Reg::Rsp, Reg::R10), Inst::Ret]),
+        );
+
+        let array = img.append_data(Some("opaque"), &8u64.to_le_bytes());
+        let chain: Vec<u64> = vec![pop_r11, array, load, branch, 0, 0];
+        let bytes: Vec<u8> = chain.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let chain_addr = img.append_data(Some("chain"), &bytes);
+
+        let walk = ChainWalker::new(&img, chain_addr, bytes.len()).walk();
+        assert!(walk.hit_opaque(), "stops: {:?}", walk.stops);
+        assert!(!walk.reached_unpivot);
+    }
+
+    /// cmov forks both arms, so a two-way constant branch visits both
+    /// targets (the shape `pop t1, δ; pop t2, 0; cmovcc t1, t2; add rsp, t1`).
+    #[test]
+    fn walker_forks_conditional_branches() {
+        let (mut img, pop_r10) = image_with(&[Inst::Pop(Reg::R10), Inst::Ret]);
+        let pop_r11 = img.append_text(None, &encode_all(&[Inst::Pop(Reg::R11), Inst::Ret]));
+        let cmov_branch = img.append_text(
+            None,
+            &encode_all(&[
+                Inst::Cmov(Cond::E, Reg::R10, Reg::R11),
+                Inst::Alu(AluOp::Add, Reg::Rsp, Reg::R10),
+                Inst::Ret,
+            ]),
+        );
+        let unpivot = img.append_text(
+            None,
+            &encode_all(&[Inst::Load(Reg::Rsp, Mem::base(Reg::R10)), Inst::Ret]),
+        );
+
+        // taken arm (δ=0) lands on the first unpivot; fall-through arm
+        // (δ=8) skips it and lands on the second.
+        let chain: Vec<u64> = vec![pop_r10, 8, pop_r11, 0, cmov_branch, unpivot, unpivot, 0xFFF7];
+        let bytes: Vec<u8> = chain.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let chain_addr = img.append_data(Some("chain"), &bytes);
+
+        let walk = ChainWalker::new(&img, chain_addr, bytes.len()).walk();
+        assert!(walk.reached_unpivot);
+        assert!(walk.steps >= 5, "both arms explored: {walk:?}");
+    }
+
+    #[test]
+    fn recovery_is_total_on_native_and_zero_on_garbage() {
+        let mut a = Assembler::new();
+        a.inst(Inst::MovRI(Reg::Rax, 7));
+        a.inst(Inst::Alu(AluOp::Add, Reg::Rax, Reg::Rdi));
+        a.inst(Inst::Ret);
+        let mut b = ImageBuilder::new();
+        b.add_function("f", a);
+        let original = b.build().unwrap();
+
+        let native = recovery_score(&original, &original, "f");
+        assert_eq!(native.fraction(), 1.0);
+        assert!(native.cfg_ok);
+
+        let mut wiped = original.clone();
+        let addr = wiped.function("f").unwrap().addr;
+        let size = wiped.function("f").unwrap().size;
+        wiped.patch_text(addr, &vec![0x01u8; size as usize]).unwrap();
+        let obf = recovery_score(&original, &wiped, "f");
+        assert_eq!(obf.matched, 0);
+        assert_eq!(obf.fraction(), 0.0);
+    }
+}

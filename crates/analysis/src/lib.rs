@@ -5,6 +5,8 @@
 //! leans on (Ghidra/angr/radare2 for CFG reconstruction, angr for liveness
 //! and symbolic-register discovery):
 //!
+//! * [`absint`] — gadget-semantics summaries and stack-delta abstract
+//!   interpretation over ROP chain data (the attacker's static model);
 //! * [`mod@cfg`] — control-flow-graph reconstruction from function bytes,
 //!   including the switch-table heuristic of the paper's appendix;
 //! * [`liveness`] — backward register and condition-flag liveness;
@@ -34,11 +36,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod cfg;
 pub mod dataflow;
 pub mod domtree;
 pub mod liveness;
 
+pub use absint::{
+    recovery_score, summarize, AbsVal, ChainWalk, ChainWalker, GadgetExit, GadgetSummary,
+    RecoveryScore, StopReason, SummaryError,
+};
 pub use cfg::{BasicBlock, BlockId, Cfg, CfgError, FuncCode, Terminator};
 pub use dataflow::{input_derived, InputDerived};
 pub use domtree::{compute as dominators, DomTree};

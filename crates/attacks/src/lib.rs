@@ -24,7 +24,10 @@
 //! * [`tds`] — taint-driven simplification of execution traces (attack
 //!   surface A3);
 //! * [`ropaware`] — ROPMEMU-style flag-flip exploration and
-//!   ROPDissector-style gadget guessing (attack surfaces A2/A1).
+//!   ROPDissector-style gadget guessing (attack surfaces A2/A1);
+//! * [`static_lift`] — the strongest static attacker: per-gadget semantic
+//!   summaries walked with a symbolic stack pointer, stopped only by the
+//!   paper's opaque predicates (attack surface A1, done properly).
 //!
 //! # Example
 //!
@@ -63,6 +66,7 @@ pub mod concolic;
 pub mod fleet;
 pub mod ropaware;
 pub mod solver;
+pub mod static_lift;
 pub mod sym;
 pub mod tds;
 
@@ -77,5 +81,6 @@ pub use concolic::{
 pub use fleet::{AttackFleet, DseJob, DseJobResult};
 pub use ropaware::{chain_symbol, flip_exploration, gadget_guess, FlipReport, GuessReport};
 pub use solver::{Assignment, Constraint, SearchSolver, SetDigest, Solver, VarDomain};
+pub use static_lift::{lift_function, lift_image, LiftReport};
 pub use sym::{invert, BinKind, EvalMemo, ExprArena, ExprId, UnKind};
 pub use tds::{simplify, simplify_trace, TdsReport};

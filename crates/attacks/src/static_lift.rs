@@ -1,0 +1,143 @@
+//! Static chain lifting — attack surface A1 taken seriously.
+//!
+//! [`crate::ropaware::gadget_guess`] models a byte-pattern scanner; this
+//! module models the *next* attacker up: one who found the chain blob,
+//! lifted every gadget to a transfer-function summary
+//! ([`raindrop_analysis::absint::summarize`]) and now walks the chain with
+//! a symbolic stack pointer ([`ChainWalker`]) to reconstruct the hidden
+//! instruction stream without executing it.
+//!
+//! Against a chain with constant branch displacements the walk forks at
+//! every conditional and reconstructs the whole program. Against the
+//! paper's P1 predicate the branch displacement is an opaque array load —
+//! the walker meets `add rsp, reg` with an unknown register and stops at
+//! [`StopReason::OpaqueBranch`]: the static horizon the obfuscation is
+//! designed to force. [`lift_function`] packages that outcome per function
+//! so the experiment drivers can tabulate it next to
+//! [`recovery_score`]-style instruction recovery.
+
+use raindrop_analysis::absint::{ChainWalk, ChainWalker};
+use raindrop_machine::Image;
+use serde::{Deserialize, Serialize};
+
+pub use raindrop_analysis::absint::{recovery_score, RecoveryScore, StopReason};
+
+/// Outcome of statically lifting one function's ROP chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiftReport {
+    /// The function whose chain was lifted.
+    pub function: String,
+    /// Bytes attributed to the chain blob (to the next data symbol).
+    pub chain_bytes: usize,
+    /// Distinct chain slots whose gadget the walk visited.
+    pub visited: usize,
+    /// Total gadget executions across all forked paths.
+    pub steps: usize,
+    /// Primary instructions recovered along visited gadgets.
+    pub recovered_insts: usize,
+    /// Whether any path reached the unpivot (full reconstruction).
+    pub reached_unpivot: bool,
+    /// Whether any path hit an opaque branch — the P1/P2 static horizon.
+    pub hit_opaque: bool,
+}
+
+/// Locates `__rop_chain_{func}` in `image` and walks it abstractly.
+///
+/// Returns `None` when the chain symbol is absent (the function was not
+/// ROP-rewritten, or the attacker guessed the wrong name). The chain
+/// extent is estimated the same way a real attacker would: from the
+/// symbol to the next data symbol, or the end of `.data`.
+pub fn lift_function(image: &Image, func: &str) -> Option<LiftReport> {
+    let addr = image.symbol(&crate::ropaware::chain_symbol(func)).ok()?;
+    let start = (addr - image.data_base) as usize;
+    let end = image
+        .symbols
+        .values()
+        .copied()
+        .filter(|a| image.in_data(*a) && *a > addr)
+        .min()
+        .map(|a| (a - image.data_base) as usize)
+        .unwrap_or(image.data.len());
+    let chain_bytes = end - start;
+    let walk = ChainWalker::new(image, addr, chain_bytes).walk();
+    Some(report(func, chain_bytes, &walk))
+}
+
+/// Lifts every `__rop_chain_*` symbol in the image, sorted by function
+/// name — what an attacker does after a symbol scan, with no knowledge of
+/// which functions were scheduled for rewriting (inner-layer chains of
+/// cross-layer compositions are found too).
+pub fn lift_image(image: &Image) -> Vec<LiftReport> {
+    let mut funcs: Vec<&str> =
+        image.symbols.keys().filter_map(|name| name.strip_prefix("__rop_chain_")).collect();
+    funcs.sort_unstable();
+    funcs.into_iter().filter_map(|f| lift_function(image, f)).collect()
+}
+
+fn report(func: &str, chain_bytes: usize, walk: &ChainWalk) -> LiftReport {
+    LiftReport {
+        function: func.to_string(),
+        chain_bytes,
+        visited: walk.visited,
+        steps: walk.steps,
+        recovered_insts: walk.recovered_insts,
+        reached_unpivot: walk.reached_unpivot,
+        hit_opaque: walk.hit_opaque(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raindrop::{Rewriter, RopConfig};
+    use raindrop_synth::codegen;
+    use raindrop_synth::minic::{BinOp, Expr, Function, Program, Stmt};
+
+    fn program() -> Program {
+        // f(x) = if x < 10 { x * 3 } else { x - 2 }: one conditional, so
+        // the walk has something to fork (or be stopped) on.
+        Program {
+            functions: vec![Function {
+                name: "f".into(),
+                params: 1,
+                locals: 0,
+                body: vec![Stmt::If(
+                    Expr::bin(BinOp::Lt, Expr::Arg(0), Expr::Const(10)),
+                    vec![Stmt::Return(Expr::bin(BinOp::Mul, Expr::Arg(0), Expr::Const(3)))],
+                    vec![Stmt::Return(Expr::bin(BinOp::Sub, Expr::Arg(0), Expr::Const(2)))],
+                )],
+            }],
+            globals: vec![],
+        }
+    }
+
+    fn obfuscated(config: RopConfig) -> Image {
+        let mut image = codegen::compile(&program()).unwrap();
+        Rewriter::new(config).rewrite_function(&mut image, "f").unwrap();
+        image
+    }
+
+    #[test]
+    fn plain_chains_lift_and_full_strength_chains_hit_the_horizon() {
+        let mut plain = RopConfig::plain();
+        plain.p1 = None;
+        plain.p2 = false;
+        let open = lift_function(&obfuscated(plain), "f").unwrap();
+        assert!(open.visited > 0 && open.recovered_insts > 0, "{open:?}");
+
+        let shielded = lift_function(&obfuscated(RopConfig::full()), "f").unwrap();
+        assert!(
+            shielded.hit_opaque,
+            "P1/P2 must stop the abstract walk at an opaque branch: {shielded:?}"
+        );
+        // The horizon is real: the shielded walk must not reconstruct a
+        // complete straight-line chain.
+        assert!(!shielded.reached_unpivot, "{shielded:?}");
+    }
+
+    #[test]
+    fn unrewritten_functions_have_no_chain_to_lift() {
+        let image = codegen::compile(&program()).unwrap();
+        assert_eq!(lift_function(&image, "f"), None);
+    }
+}

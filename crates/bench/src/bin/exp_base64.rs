@@ -1,6 +1,9 @@
 //! §VII-C3: the base64 case study — DSE secret recovery effort and run-time
 //! cost across configurations.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use raindrop_attacks::concolic::{DseAttack, Goal, InputSpec};
 use raindrop_bench::*;
 use raindrop_obfvm::ImplicitAt;

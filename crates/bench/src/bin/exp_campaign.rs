@@ -21,6 +21,9 @@
 //! `--smoke` runs a CI-sized corpus through the same scripted
 //! kill-and-resume cycle and all assertions, without rewriting the JSON.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use raindrop::{Rewriter, RopConfig};
 use raindrop_attacks::campaign::{Campaign, CampaignConfig, CampaignReport, FaultPlan};
 use raindrop_attacks::concolic::{DseAttack, DseAudit, DseBudget, DseOutcome, Goal, InputSpec};

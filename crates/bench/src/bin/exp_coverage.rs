@@ -7,6 +7,9 @@
 //! zero/small/full-width register corners (one warm emulator pair per
 //! function via `verify_batch`).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use raindrop::pipeline::{Pipeline, RopPass, VerifyPolicy};
 use raindrop::FailureClass;
 use raindrop_bench::*;

@@ -9,6 +9,9 @@
 //! attack families then run against each class program, with the DSE goal
 //! set to each program's reference checksum.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use raindrop::pipeline::{Pipeline, RopPass};
 use raindrop::RopConfig;
 use raindrop_attacks::concolic::{Goal, InputSpec};

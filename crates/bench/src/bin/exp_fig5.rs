@@ -1,6 +1,9 @@
 //! Figure 5: run-time overhead of ROPk on the clbg kernels, normalized to
 //! the 2VM-IMPlast baseline.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use raindrop_bench::*;
 use raindrop_obfvm::ImplicitAt;
 use serde::Serialize;

@@ -15,6 +15,9 @@
 //! ones, server stats add up, and shutdown drains cleanly. The JSON is not
 //! rewritten in smoke mode.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use raindrop::pipeline::ObfConfig;
 use raindrop::RopConfig;
 use raindrop_bench::write_json;

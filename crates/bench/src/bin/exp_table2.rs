@@ -1,5 +1,8 @@
 //! Table II: successful attacks per configuration (secret finding + coverage).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use raindrop_bench::*;
 use raindrop_synth::Goal;
 

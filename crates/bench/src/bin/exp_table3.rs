@@ -10,6 +10,9 @@
 //! class's generated programs (seed 1) so the gadget statistics can be
 //! re-read per class.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use raindrop_attacks::fleet::AttackFleet;
 use raindrop_bench::*;
 use raindrop_obfvm::ImplicitAt;

@@ -15,6 +15,9 @@
 //!   generates programs, agrees with its reference interpreter on the
 //!   emulator, and survives a quick ROP differential check; writes nothing.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use raindrop::{equivalent, TestCase};
 use raindrop_attacks::campaign::class_of_label;
 use raindrop_attacks::concolic::{Goal, InputSpec};

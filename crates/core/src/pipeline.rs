@@ -57,10 +57,14 @@
 //! ```
 
 use crate::config::{P3Variant, RopConfig};
+use crate::lint::{lint_program, RewriteLint};
 use crate::materialize::MaterializeCtx;
 use crate::rewriter::{ImageReport, Rewriter};
 use crate::stable::{FieldBag, StableHasher};
-use crate::verify::{verify_batch, TestCase, Verdict};
+use crate::verify::{
+    audit_rop_image, audit_symbols, audit_vm_code, verify_batch, StaticDiagnostic, TestCase,
+    Verdict,
+};
 use raindrop_machine::{AsmError, Image};
 use raindrop_obfvm::{ImplicitAt, VmConfig};
 use raindrop_synth::codegen;
@@ -212,6 +216,26 @@ pub struct VmReport {
     /// Per-function results: `(public name, bytecode bytes per layer,
     /// innermost first)`.
     pub functions: Vec<(String, Vec<usize>)>,
+    /// The effective seed the pass virtualized with (drives each layer's
+    /// opcode shuffle; the static audit re-derives the assignment from it).
+    pub seed: u64,
+    /// Snapshot of every bytecode blob the pass emitted, so the static
+    /// audit can byte-compare and re-decode them in the final image.
+    pub code: Vec<VmCode>,
+}
+
+/// One bytecode blob a [`VmPass`] emitted (see [`VmReport::code`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmCode {
+    /// Public name of the virtualized function.
+    pub function: String,
+    /// Absolute layer number (accounts for layers stacked by earlier
+    /// passes).
+    pub layer: usize,
+    /// The blob's `.data` symbol (`__vm<layer>_<func>_code`).
+    pub symbol: String,
+    /// The bytecode bytes as compiled.
+    pub bytes: Vec<u8>,
 }
 
 /// One entry of [`ObfReport::passes`].
@@ -261,6 +285,16 @@ impl VerifyOutcome {
     }
 }
 
+/// Static-audit findings of one pass (see [`Pipeline::static_audit`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditEntry {
+    /// The audited pass's label (or `"image"` for the whole-image symbol
+    /// audit appended after the per-pass entries).
+    pub pass: String,
+    /// Diagnostics the audit raised (empty on a healthy image).
+    pub diagnostics: Vec<StaticDiagnostic>,
+}
+
 /// The unified report of a pipeline run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ObfReport {
@@ -272,6 +306,14 @@ pub struct ObfReport {
     /// Differential verification outcomes (empty under
     /// [`VerifyPolicy::None`]).
     pub verify: Vec<VerifyOutcome>,
+    /// Static-audit findings, one entry per pass plus a final `"image"`
+    /// entry (populated under [`VerifyPolicy::Static`], empty otherwise).
+    pub audit: Vec<AuditEntry>,
+    /// Pre-flight source lints on the rewrite targets (populated under
+    /// [`VerifyPolicy::Static`] when the input was a program). Lints are
+    /// advisory — they predict per-target rewrite failures, they do not
+    /// make [`ObfReport::audit_clean`] false.
+    pub lints: Vec<RewriteLint>,
     /// Wall-clock time of the source→image compilation step (zero when the
     /// input was already an image).
     pub compile_wall: Duration,
@@ -290,6 +332,16 @@ impl ObfReport {
     /// Whether verification ran and every target matched on every case.
     pub fn all_verified(&self) -> bool {
         !self.verify.is_empty() && self.verify.iter().all(VerifyOutcome::all_match)
+    }
+
+    /// Whether the static audit ran and raised no diagnostic.
+    pub fn audit_clean(&self) -> bool {
+        !self.audit.is_empty() && self.audit.iter().all(|e| e.diagnostics.is_empty())
+    }
+
+    /// Every static-audit diagnostic, across all passes.
+    pub fn audit_diagnostics(&self) -> impl Iterator<Item = &StaticDiagnostic> {
+        self.audit.iter().flat_map(|e| e.diagnostics.iter())
     }
 }
 
@@ -358,6 +410,14 @@ pub trait ObfPass {
         _cx: &mut ImageCtx<'_>,
     ) -> Result<PassDetail, PipelineError> {
         Err(PipelineError::WrongStage { pass: self.label() })
+    }
+
+    /// Statically audits what this pass emitted into the final `image`,
+    /// given the [`PassDetail`] its `run_*` hook returned. Runs under
+    /// [`VerifyPolicy::Static`] (and via [`Pipeline::static_audit`]); the
+    /// default has nothing to check.
+    fn static_audit(&self, _image: &Image, _detail: &PassDetail) -> Vec<StaticDiagnostic> {
+        Vec::new()
     }
 }
 
@@ -433,6 +493,13 @@ impl ObfPass for RopPass {
         cx.failures.extend(report.failures.iter().cloned());
         Ok(PassDetail::Rop(report))
     }
+
+    fn static_audit(&self, image: &Image, detail: &PassDetail) -> Vec<StaticDiagnostic> {
+        match detail {
+            PassDetail::Rop(report) => audit_rop_image(image, report),
+            _ => Vec::new(),
+        }
+    }
 }
 
 /// VM virtualization as a pipeline pass (wraps
@@ -492,11 +559,27 @@ impl ObfPass for VmPass {
         cx: &mut SourceCtx<'_>,
     ) -> Result<PassDetail, PipelineError> {
         let config = self.effective_config(cx.seed);
-        let mut report = VmReport { layers: config.layers, functions: Vec::new() };
+        let mut report = VmReport {
+            layers: config.layers,
+            functions: Vec::new(),
+            seed: config.seed,
+            code: Vec::new(),
+        };
         for target in cx.targets {
             let base = cx.vm_layers.get(target).copied().unwrap_or(0);
             match raindrop_obfvm::apply_layers(program, target, config, base) {
                 Ok(applied) => {
+                    for l in 0..config.layers {
+                        let symbol = raindrop_obfvm::vm_code_symbol(base + l, target);
+                        if let Some(g) = applied.program.globals.iter().find(|g| g.name == symbol) {
+                            report.code.push(VmCode {
+                                function: target.clone(),
+                                layer: base + l,
+                                symbol,
+                                bytes: g.bytes.clone(),
+                            });
+                        }
+                    }
                     *program = applied.program;
                     *cx.vm_layers.entry(target.clone()).or_insert(0) += config.layers;
                     report.functions.push((target.clone(), applied.bytecode_lens));
@@ -507,6 +590,17 @@ impl ObfPass for VmPass {
             }
         }
         Ok(PassDetail::Vm(report))
+    }
+
+    fn static_audit(&self, image: &Image, detail: &PassDetail) -> Vec<StaticDiagnostic> {
+        match detail {
+            PassDetail::Vm(report) => report
+                .code
+                .iter()
+                .flat_map(|c| audit_vm_code(image, &c.symbol, &c.bytes, report.seed, c.layer))
+                .collect(),
+            _ => Vec::new(),
+        }
     }
 }
 
@@ -522,6 +616,13 @@ pub enum VerifyPolicy {
     Batch,
     /// Differential verification over caller-provided cases.
     Cases(Vec<TestCase>),
+    /// Zero-emulation static audit: every emitted chain is re-resolved and
+    /// checked gadget-by-gadget, every VM bytecode blob byte-compared and
+    /// re-decoded, and the symbol table bounds-checked — populating
+    /// [`ObfReport::audit`] (and, for program inputs, pre-flight
+    /// [`ObfReport::lints`]) instead of running test cases. See
+    /// [`ObfReport::audit_clean`].
+    Static,
 }
 
 /// The register-argument corner cases [`VerifyPolicy::Batch`] runs: zero,
@@ -908,6 +1009,13 @@ impl Pipeline {
             }
         }
 
+        // Pre-flight lint under the static policy: flag target shapes the
+        // rewriter is known to mishandle before any pass runs.
+        let lints = match self.verify {
+            VerifyPolicy::Static => lint_program(program, &targets),
+            _ => Vec::new(),
+        };
+
         let mut working = program.clone();
         let mut failures: Vec<(String, String)> = Vec::new();
         let mut vm_layers: BTreeMap<String, usize> = BTreeMap::new();
@@ -1020,17 +1128,21 @@ impl Pipeline {
         };
         let verify_wall = verify_start.elapsed();
 
-        Ok(PipelineRun {
-            image,
-            report: ObfReport {
-                passes: reports.into_iter().flatten().collect(),
-                failures,
-                verify,
-                compile_wall,
-                verify_wall,
-                total_wall: total_start.elapsed(),
-            },
-        })
+        let mut report = ObfReport {
+            passes: reports.into_iter().flatten().collect(),
+            failures,
+            verify,
+            audit: Vec::new(),
+            lints,
+            compile_wall,
+            verify_wall,
+            total_wall: Duration::ZERO,
+        };
+        if matches!(self.verify, VerifyPolicy::Static) {
+            report.audit = self.static_audit(&image, &report);
+        }
+        report.total_wall = total_start.elapsed();
+        Ok(PipelineRun { image, report })
     }
 
     /// Runs the pipeline on an already-compiled image. Source-stage passes
@@ -1101,17 +1213,21 @@ impl Pipeline {
         };
         let verify_wall = verify_start.elapsed();
 
-        Ok(PipelineRun {
-            image: working,
-            report: ObfReport {
-                passes: reports.into_iter().flatten().collect(),
-                failures,
-                verify,
-                compile_wall: Duration::ZERO,
-                verify_wall,
-                total_wall: total_start.elapsed(),
-            },
-        })
+        let mut report = ObfReport {
+            passes: reports.into_iter().flatten().collect(),
+            failures,
+            verify,
+            audit: Vec::new(),
+            lints: Vec::new(),
+            compile_wall: Duration::ZERO,
+            verify_wall,
+            total_wall: Duration::ZERO,
+        };
+        if matches!(self.verify, VerifyPolicy::Static) {
+            report.audit = self.static_audit(&working, &report);
+        }
+        report.total_wall = total_start.elapsed();
+        Ok(PipelineRun { image: working, report })
     }
 
     fn run_image_jobs(
@@ -1161,10 +1277,28 @@ impl Pipeline {
 
     fn verify_cases(&self) -> Option<Vec<TestCase>> {
         match &self.verify {
-            VerifyPolicy::None => None,
+            VerifyPolicy::None | VerifyPolicy::Static => None,
             VerifyPolicy::Batch => Some(default_verify_cases()),
             VerifyPolicy::Cases(cases) => Some(cases.clone()),
         }
+    }
+
+    /// Statically audits `image` against a run's report: each pass checks
+    /// what it emitted (chains, bytecode) via [`ObfPass::static_audit`],
+    /// plus a final whole-image symbol audit. This is what
+    /// [`VerifyPolicy::Static`] runs; it is public so callers can re-audit
+    /// an image later (e.g. after deserializing it, or to pin that a
+    /// deliberately corrupted copy is flagged).
+    pub fn static_audit(&self, image: &Image, report: &ObfReport) -> Vec<AuditEntry> {
+        let mut out = Vec::new();
+        for (pass, pr) in self.passes.iter().zip(&report.passes) {
+            out.push(AuditEntry {
+                pass: pr.label.clone(),
+                diagnostics: pass.static_audit(image, &pr.detail),
+            });
+        }
+        out.push(AuditEntry { pass: "image".to_string(), diagnostics: audit_symbols(image) });
+        out
     }
 
     fn run_verification(
@@ -1268,6 +1402,99 @@ mod tests {
         assert!(run.image.symbol(&format!("__rop_chain_{inner}")).is_ok());
         // And the public entry is the VM interpreter (bytecode global).
         assert!(run.image.symbol("__vm0_f_code").is_ok());
+    }
+
+    #[test]
+    fn static_policy_audits_cross_layer_runs_clean() {
+        let p = sample_program();
+        for (label, pipeline) in [
+            ("rop", Pipeline::new().pass(RopPass::full()).seed(5)),
+            ("rop-over-vm", Pipeline::new().pass(VmPass::plain(1)).pass(RopPass::full()).seed(5)),
+            ("vm-over-rop", Pipeline::new().pass(RopPass::full()).pass(VmPass::plain(1)).seed(5)),
+        ] {
+            let run = pipeline.verify(VerifyPolicy::Static).run_program(&p, &["f"]).unwrap();
+            assert!(run.report.failures.is_empty(), "{label}: {:?}", run.report.failures);
+            assert!(run.report.verify.is_empty(), "{label}: static policy never emulates");
+            assert!(
+                run.report.audit_clean(),
+                "{label}: {:?}",
+                run.report.audit_diagnostics().collect::<Vec<_>>()
+            );
+            assert!(run.report.lints.is_empty(), "{label}");
+        }
+    }
+
+    #[test]
+    fn static_audit_flags_flipped_bytecode_and_chain_words() {
+        let p = sample_program();
+        let pipeline = Pipeline::new()
+            .pass(VmPass::plain(1))
+            .pass(RopPass::full())
+            .seed(5)
+            .verify(VerifyPolicy::Static);
+        let run = pipeline.run_program(&p, &["f"]).unwrap();
+        assert!(run.report.audit_clean());
+
+        // Flip one byte of the VM bytecode blob.
+        let mut corrupted = run.image.clone();
+        let code_addr = corrupted.symbol("__vm0_f_code").unwrap();
+        let off = (code_addr - corrupted.data_base) as usize;
+        corrupted.data[off] ^= 0xFF;
+        let audit = pipeline.static_audit(&corrupted, &run.report);
+        assert!(
+            audit.iter().flat_map(|e| &e.diagnostics).any(|d| matches!(
+                d,
+                StaticDiagnostic::BytecodeMismatch { .. } | StaticDiagnostic::BytecodeDecode { .. }
+            )),
+            "{audit:?}"
+        );
+
+        // Flip one word of the ROP chain.
+        let mut corrupted = run.image.clone();
+        let chain_addr = corrupted.symbol("__rop_chain_f").unwrap();
+        let off = (chain_addr - corrupted.data_base) as usize;
+        corrupted.data[off] ^= 0x04;
+        let audit = pipeline.static_audit(&corrupted, &run.report);
+        assert!(
+            audit
+                .iter()
+                .flat_map(|e| &e.diagnostics)
+                .any(|d| matches!(d, StaticDiagnostic::ChainBytesMismatch { .. })),
+            "{audit:?}"
+        );
+    }
+
+    #[test]
+    fn static_policy_lints_zero_arg_call_targets() {
+        let mut p = sample_program();
+        p = p.with_function(Function {
+            name: "zero".into(),
+            params: 0,
+            locals: 0,
+            body: vec![Stmt::Return(Expr::c(3))],
+        });
+        p = p.with_function(Function {
+            name: "caller".into(),
+            params: 1,
+            locals: 0,
+            body: vec![Stmt::Return(Expr::Call("zero".into(), vec![]))],
+        });
+        let run = Pipeline::new()
+            .pass(RopPass::plain())
+            .seed(1)
+            .verify(VerifyPolicy::Static)
+            .run_program(&p, &["caller"])
+            .unwrap();
+        assert_eq!(
+            run.report.lints,
+            vec![crate::lint::RewriteLint::ZeroArgCall {
+                function: "caller".into(),
+                callee: "zero".into(),
+                sites: 1,
+            }]
+        );
+        // The lint predicted the mid-rewrite failure.
+        assert!(!run.report.failures.is_empty());
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct RewriteReport {
     pub chain_len: usize,
     /// Number of basic blocks in the reconstructed CFG.
     pub blocks: usize,
+    /// The symbolic chain that was materialized at
+    /// [`chain_addr`](RewriteReport::chain_addr). Retained so the static
+    /// audit ([`crate::verify::audit_rop_function`]) can re-resolve it and
+    /// prove the emitted bytes well-formed without any emulation.
+    pub chain: crate::chain::Chain,
 }
 
 /// Aggregate report over a whole image (deployability experiment §VII-C1 and
@@ -212,6 +217,7 @@ impl Rewriter {
             chain_addr: materialized.chain_addr,
             chain_len: materialized.chain_len,
             blocks: graph.len(),
+            chain,
         })
     }
 

@@ -6,8 +6,13 @@
 //! inputs in two emulators and compare return values (and, optionally, the
 //! contents of a designated memory region such as an output buffer).
 
-use raindrop_machine::{EmuError, Emulator, Image};
+use crate::chain::ChainItem;
+use crate::rewriter::{ImageReport, RewriteReport};
+use raindrop_analysis::absint::{summarize, GadgetExit, GadgetSummary};
+use raindrop_gadgets::GadgetOp;
+use raindrop_machine::{EmuError, Emulator, Image, Reg};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// One differential test case.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -184,6 +189,523 @@ pub fn equivalent(original: &Image, rewritten: &Image, func: &str, cases: &[Test
     verify_batch(original, rewritten, func, cases).iter().all(Verdict::is_match)
 }
 
+// ---------------------------------------------------------------------------
+// Static image audit (zero-emulation verification)
+// ---------------------------------------------------------------------------
+
+/// One finding of the static image audit.
+///
+/// The audit proves an emitted image well-formed without running anything:
+/// it re-resolves the symbolic chain a [`RewriteReport`] retained and checks
+/// the emitted bytes, gadget shapes and stack layout against it, re-decodes
+/// every VM bytecode blob, and bounds-checks the symbol table. Any
+/// diagnostic on a pipeline-produced image means the image was corrupted (or
+/// the obfuscator miscompiled) — the differential suites would fail too,
+/// but the audit localizes *where* at zero execution cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StaticDiagnostic {
+    /// A symbol the audit needed does not exist in the image.
+    MissingSymbol {
+        /// The absent symbol name.
+        name: String,
+    },
+    /// The retained symbolic chain no longer resolves.
+    ChainResolve {
+        /// The rewritten function.
+        function: String,
+        /// Rendered [`crate::chain::ChainError`].
+        error: String,
+    },
+    /// The chain symbol points somewhere other than the reported address.
+    ChainAddrMismatch {
+        /// The rewritten function.
+        function: String,
+        /// Where the `__rop_chain_*` symbol points.
+        symbol: u64,
+        /// Where the report says the chain was materialized.
+        reported: u64,
+    },
+    /// The re-resolved chain has a different size than the emitted one.
+    ChainLenMismatch {
+        /// The rewritten function.
+        function: String,
+        /// Re-resolved byte length.
+        resolved: usize,
+        /// Reported (emitted) byte length.
+        reported: usize,
+    },
+    /// A byte of the emitted chain differs from the re-resolved chain.
+    ChainBytesMismatch {
+        /// The rewritten function.
+        function: String,
+        /// First differing chain offset.
+        offset: usize,
+    },
+    /// A switch-table displacement patched into `.text` differs from the
+    /// re-resolved value.
+    SwitchPatchMismatch {
+        /// The rewritten function.
+        function: String,
+        /// The patched text address.
+        text_addr: u64,
+    },
+    /// A chain slot references an address that is not a usable gadget
+    /// (outside text, undecodable, or missing a `ret`/`jmp reg` exit).
+    GadgetUnusable {
+        /// The rewritten function.
+        function: String,
+        /// Chain item index of the gadget slot.
+        item: usize,
+        /// The referenced address.
+        addr: u64,
+        /// What went wrong decoding it.
+        reason: String,
+    },
+    /// A chain gadget lives inside a body the rewriter replaced (its bytes
+    /// are pivot stub + filler now, or scheduled to become that).
+    GadgetInRewrittenBody {
+        /// The rewritten function whose chain references the gadget.
+        function: String,
+        /// Chain item index of the gadget slot.
+        item: usize,
+        /// The referenced address.
+        addr: u64,
+        /// The function whose (replaced) body contains it.
+        owner: String,
+    },
+    /// The gadget at a chain slot consumes a different number of stack
+    /// slots than the chain layout recorded for it.
+    GadgetShapeMismatch {
+        /// The rewritten function.
+        function: String,
+        /// Chain item index of the gadget slot.
+        item: usize,
+        /// The referenced address.
+        addr: u64,
+        /// Slots the chain layout budgets (junk pops + operand pop).
+        expected_slots: usize,
+        /// Slots the decoded gadget actually consumes.
+        found_slots: usize,
+    },
+    /// The decoded gadget does not contain the primary instruction the
+    /// chain requested it for.
+    MissingPrimaryOp {
+        /// The rewritten function.
+        function: String,
+        /// Chain item index of the gadget slot.
+        item: usize,
+        /// The referenced address.
+        addr: u64,
+        /// The requested operation (rendered).
+        op: String,
+    },
+    /// A gadget's operand slots are not backed by data items: the stack
+    /// delta does not balance against the chain layout.
+    StackImbalance {
+        /// The rewritten function.
+        function: String,
+        /// Chain item index of the gadget slot.
+        item: usize,
+        /// Operand slots the decoded gadget consumes.
+        needed: usize,
+        /// Data items actually following it in the layout.
+        available: usize,
+    },
+    /// A gadget's junk side effects overwrite a register the next gadget's
+    /// primary operation reads.
+    GadgetClobbersSuccessor {
+        /// The rewritten function.
+        function: String,
+        /// Chain item index of the clobbering gadget.
+        item: usize,
+        /// The clobbered register.
+        reg: Reg,
+    },
+    /// A gadget's junk side effects overwrite the condition flags the next
+    /// gadget's primary operation (`cmov`/`setcc`) reads.
+    GadgetClobbersFlags {
+        /// The rewritten function.
+        function: String,
+        /// Chain item index of the clobbering gadget.
+        item: usize,
+    },
+    /// An emitted VM bytecode blob differs from what the VM pass recorded.
+    BytecodeMismatch {
+        /// The bytecode's `.data` symbol.
+        symbol: String,
+        /// First differing byte offset.
+        offset: usize,
+    },
+    /// An emitted VM bytecode blob does not decode fully with in-bounds
+    /// jump targets.
+    BytecodeDecode {
+        /// The bytecode's `.data` symbol.
+        symbol: String,
+        /// Rendered [`raindrop_obfvm::BytecodeError`].
+        error: String,
+    },
+    /// A symbol points outside both the text and data sections.
+    SymbolOutOfBounds {
+        /// The dangling symbol.
+        name: String,
+        /// Where it points.
+        addr: u64,
+    },
+    /// A function's `[addr, addr+size)` range is not contained in text.
+    FunctionOutOfBounds {
+        /// The function name.
+        name: String,
+        /// Function start address.
+        addr: u64,
+        /// Function size in bytes.
+        size: u64,
+    },
+}
+
+impl fmt::Display for StaticDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use StaticDiagnostic::*;
+        match self {
+            MissingSymbol { name } => write!(f, "symbol `{name}` is missing"),
+            ChainResolve { function, error } => {
+                write!(f, "{function}: retained chain no longer resolves: {error}")
+            }
+            ChainAddrMismatch { function, symbol, reported } => write!(
+                f,
+                "{function}: chain symbol points at {symbol:#x}, report says {reported:#x}"
+            ),
+            ChainLenMismatch { function, resolved, reported } => {
+                write!(f, "{function}: chain resolves to {resolved} bytes, report says {reported}")
+            }
+            ChainBytesMismatch { function, offset } => {
+                write!(f, "{function}: emitted chain differs at offset {offset}")
+            }
+            SwitchPatchMismatch { function, text_addr } => {
+                write!(f, "{function}: switch patch at {text_addr:#x} differs")
+            }
+            GadgetUnusable { function, item, addr, reason } => {
+                write!(f, "{function}: item {item} references {addr:#x}: {reason}")
+            }
+            GadgetInRewrittenBody { function, item, addr, owner } => {
+                write!(f, "{function}: item {item} references {addr:#x} inside rewritten `{owner}`")
+            }
+            GadgetShapeMismatch { function, item, addr, expected_slots, found_slots } => write!(
+                f,
+                "{function}: item {item} gadget {addr:#x} consumes {found_slots} slots, \
+                 layout budgets {expected_slots}"
+            ),
+            MissingPrimaryOp { function, item, addr, op } => {
+                write!(f, "{function}: item {item} gadget {addr:#x} lacks its primary op `{op}`")
+            }
+            StackImbalance { function, item, needed, available } => write!(
+                f,
+                "{function}: item {item} needs {needed} operand slots, {available} follow"
+            ),
+            GadgetClobbersSuccessor { function, item, reg } => {
+                write!(f, "{function}: item {item} junk clobbers successor input {reg}")
+            }
+            GadgetClobbersFlags { function, item } => {
+                write!(f, "{function}: item {item} junk clobbers flags its successor reads")
+            }
+            BytecodeMismatch { symbol, offset } => {
+                write!(f, "bytecode `{symbol}` differs at offset {offset}")
+            }
+            BytecodeDecode { symbol, error } => {
+                write!(f, "bytecode `{symbol}` does not decode: {error}")
+            }
+            SymbolOutOfBounds { name, addr } => {
+                write!(f, "symbol `{name}` points outside the image ({addr:#x})")
+            }
+            FunctionOutOfBounds { name, addr, size } => {
+                write!(f, "function `{name}` [{addr:#x}, +{size}) is not contained in text")
+            }
+        }
+    }
+}
+
+/// Audits every chain a ROP pass emitted into `image`.
+///
+/// Convenience over [`audit_rop_function`]: the replaced-body ranges are
+/// derived from the report (every function the pass rewrote *or* scheduled
+/// and failed — the crafter retires gadgets from all scheduled bodies up
+/// front, so a chain referencing any of them is a miscompilation).
+pub fn audit_rop_image(image: &Image, report: &ImageReport) -> Vec<StaticDiagnostic> {
+    let mut ranges: Vec<(String, u64, u64)> = Vec::new();
+    let scheduled = report
+        .rewritten
+        .iter()
+        .map(|r| r.name.as_str())
+        .chain(report.failures.iter().map(|(n, _)| n.as_str()));
+    for name in scheduled {
+        if let Ok(func) = image.function(name) {
+            ranges.push((name.to_string(), func.addr, func.addr + func.size));
+        }
+    }
+    let mut out = Vec::new();
+    for rewrite in &report.rewritten {
+        out.extend(audit_rop_function(image, rewrite, &ranges));
+    }
+    out
+}
+
+/// Statically audits one rewritten function's emitted chain against the
+/// symbolic chain its [`RewriteReport`] retained.
+///
+/// Checks, in order: the chain symbol exists and matches the report; the
+/// chain re-resolves to exactly the emitted bytes; every switch-table patch
+/// matches the text; every gadget slot references a decodable, retained
+/// gadget of the recorded shape; operand slots are backed by data items
+/// (stack deltas balance); and no gadget's junk side effects clobber a
+/// register (or the flags) its successor's primary operation reads.
+///
+/// `rewritten` lists `(owner, start, end)` body ranges replaced (or
+/// scheduled for replacement) by the same rewriter — chain gadgets must not
+/// live inside any of them.
+pub fn audit_rop_function(
+    image: &Image,
+    report: &RewriteReport,
+    rewritten: &[(String, u64, u64)],
+) -> Vec<StaticDiagnostic> {
+    let function = report.name.clone();
+    let mut out = Vec::new();
+
+    // 1. The chain data must be exactly what the symbolic chain resolves to.
+    let chain_symbol = format!("__rop_chain_{function}");
+    match image.symbol(&chain_symbol) {
+        Err(_) => out.push(StaticDiagnostic::MissingSymbol { name: chain_symbol }),
+        Ok(addr) if addr != report.chain_addr => {
+            out.push(StaticDiagnostic::ChainAddrMismatch {
+                function: function.clone(),
+                symbol: addr,
+                reported: report.chain_addr,
+            });
+        }
+        Ok(_) => {}
+    }
+    let resolved = match report.chain.resolve() {
+        Ok(r) => r,
+        Err(e) => {
+            out.push(StaticDiagnostic::ChainResolve { function, error: e.to_string() });
+            return out;
+        }
+    };
+    if resolved.bytes.len() != report.chain_len {
+        out.push(StaticDiagnostic::ChainLenMismatch {
+            function: function.clone(),
+            resolved: resolved.bytes.len(),
+            reported: report.chain_len,
+        });
+    }
+    match image.data_slice(report.chain_addr, resolved.bytes.len()) {
+        Ok(emitted) => {
+            if let Some(offset) = emitted.iter().zip(&resolved.bytes).position(|(a, b)| a != b) {
+                out.push(StaticDiagnostic::ChainBytesMismatch {
+                    function: function.clone(),
+                    offset,
+                });
+            }
+        }
+        Err(_) => {
+            out.push(StaticDiagnostic::ChainBytesMismatch { function: function.clone(), offset: 0 })
+        }
+    }
+    for (text_addr, disp) in &resolved.switch_values {
+        let expected = (*disp as u64).to_le_bytes();
+        match image.text_slice(*text_addr, 8) {
+            Ok(bytes) if bytes == expected => {}
+            _ => out.push(StaticDiagnostic::SwitchPatchMismatch {
+                function: function.clone(),
+                text_addr: *text_addr,
+            }),
+        }
+    }
+
+    // 2. Per-gadget checks over the chain layout. `prev` carries the last
+    // fall-through gadget of the current basic block, for the clobber check.
+    let mut prev: Option<(usize, GadgetSummary, GadgetOp)> = None;
+    for (item_idx, item) in report.chain.items.iter().enumerate() {
+        let ChainItem::Gadget { addr, junk_pops, op } = item else {
+            if matches!(item, ChainItem::BlockStart(_) | ChainItem::Pad(_)) {
+                // Control does not fall through block boundaries or padding.
+                prev = None;
+            }
+            continue;
+        };
+        let summary = match summarize(image, *addr) {
+            Ok(s) => s,
+            Err(e) => {
+                out.push(StaticDiagnostic::GadgetUnusable {
+                    function: function.clone(),
+                    item: item_idx,
+                    addr: *addr,
+                    reason: format!("{e:?}"),
+                });
+                prev = None;
+                continue;
+            }
+        };
+        for (owner, start, end) in rewritten {
+            if *addr >= *start && *addr < *end {
+                out.push(StaticDiagnostic::GadgetInRewrittenBody {
+                    function: function.clone(),
+                    item: item_idx,
+                    addr: *addr,
+                    owner: owner.clone(),
+                });
+            }
+        }
+
+        // Shape: the gadget consumes exactly the slots the layout budgets —
+        // its junk pops plus the operand pop when the op *is* a pop.
+        let expected_slots = junk_pops + usize::from(matches!(op, GadgetOp::Pop(_)));
+        if summary.static_slots != expected_slots {
+            out.push(StaticDiagnostic::GadgetShapeMismatch {
+                function: function.clone(),
+                item: item_idx,
+                addr: *addr,
+                expected_slots,
+                found_slots: summary.static_slots,
+            });
+        }
+        let primary = op.primary_inst();
+        if let Some(ref pi) = primary {
+            if !summary.insts.contains(pi) {
+                out.push(StaticDiagnostic::MissingPrimaryOp {
+                    function: function.clone(),
+                    item: item_idx,
+                    addr: *addr,
+                    op: op.to_string(),
+                });
+            }
+        }
+
+        // Stack balance: each consumed slot must be backed by a data item.
+        let following = report.chain.items[item_idx + 1..]
+            .iter()
+            .take_while(|i| matches!(i, ChainItem::Imm(_) | ChainItem::BranchDelta { .. }))
+            .count();
+        if following < summary.static_slots {
+            out.push(StaticDiagnostic::StackImbalance {
+                function: function.clone(),
+                item: item_idx,
+                needed: summary.static_slots,
+                available: following,
+            });
+        }
+
+        // Clobber: junk side effects of the previous fall-through gadget
+        // must not overwrite what this gadget's primary operation consumes.
+        // Junk *before* the previous gadget's primary is harmless when the
+        // primary itself rewrites the clobbered register/flags (e.g. the
+        // `pop r9; not r9; sub r11, rcx` shape: the sub re-establishes the
+        // flags a following `setcc` reads).
+        if let (Some((prev_idx, prev_sum, prev_op)), Some(ref pi)) = (&prev, &primary) {
+            if let Some(prev_pi) = prev_op.primary_inst() {
+                let mut needs = pi.regs_read();
+                needs.remove(Reg::Rsp);
+                let mut primary_seen = false;
+                for inst in &prev_sum.insts {
+                    if !primary_seen && *inst == prev_pi {
+                        primary_seen = true;
+                        continue;
+                    }
+                    let mut junk_writes = inst.regs_written();
+                    junk_writes.remove(Reg::Rsp);
+                    for reg in junk_writes.intersection(needs).iter() {
+                        if !primary_seen && prev_pi.regs_written().contains(reg) {
+                            continue;
+                        }
+                        out.push(StaticDiagnostic::GadgetClobbersSuccessor {
+                            function: function.clone(),
+                            item: *prev_idx,
+                            reg,
+                        });
+                    }
+                    if inst.writes_flags()
+                        && pi.reads_flags()
+                        && (primary_seen || !prev_pi.writes_flags())
+                    {
+                        out.push(StaticDiagnostic::GadgetClobbersFlags {
+                            function: function.clone(),
+                            item: *prev_idx,
+                        });
+                    }
+                }
+            }
+        }
+
+        // A branching / native-call / unpivoting gadget does not fall
+        // through to the next layout item.
+        let diverts = summary.sp_add.is_some()
+            || summary.sp_load
+            || matches!(summary.exit, GadgetExit::JmpReg(_));
+        prev = if diverts { None } else { Some((item_idx, summary, *op)) };
+    }
+    out
+}
+
+/// Statically audits one VM bytecode blob: the `.data` symbol exists, holds
+/// exactly the bytes the VM pass recorded, and decodes fully with in-bounds
+/// jump targets under this layer's opcode assignment.
+///
+/// `seed` and `layer` are the virtualizer's effective seed and the blob's
+/// absolute layer number (see [`raindrop_obfvm::decode_program`]).
+pub fn audit_vm_code(
+    image: &Image,
+    symbol: &str,
+    expected: &[u8],
+    seed: u64,
+    layer: usize,
+) -> Vec<StaticDiagnostic> {
+    let mut out = Vec::new();
+    let addr = match image.symbol(symbol) {
+        Ok(a) => a,
+        Err(_) => {
+            out.push(StaticDiagnostic::MissingSymbol { name: symbol.to_string() });
+            return out;
+        }
+    };
+    let emitted = match image.data_slice(addr, expected.len()) {
+        Ok(bytes) => bytes,
+        Err(_) => {
+            out.push(StaticDiagnostic::SymbolOutOfBounds { name: symbol.to_string(), addr });
+            return out;
+        }
+    };
+    if let Some(offset) = emitted.iter().zip(expected).position(|(a, b)| a != b) {
+        out.push(StaticDiagnostic::BytecodeMismatch { symbol: symbol.to_string(), offset });
+    }
+    if let Err(e) = raindrop_obfvm::decode_program(emitted, seed, layer) {
+        out.push(StaticDiagnostic::BytecodeDecode {
+            symbol: symbol.to_string(),
+            error: e.to_string(),
+        });
+    }
+    out
+}
+
+/// Bounds-checks the image's symbol table: every symbol points into text or
+/// data, and every function range is contained in text.
+pub fn audit_symbols(image: &Image) -> Vec<StaticDiagnostic> {
+    let mut out = Vec::new();
+    for (name, addr) in &image.symbols {
+        if !image.in_text(*addr) && !image.in_data(*addr) {
+            out.push(StaticDiagnostic::SymbolOutOfBounds { name: name.clone(), addr: *addr });
+        }
+    }
+    let text_end = image.text_base + image.text.len() as u64;
+    for func in &image.functions {
+        if !image.in_text(func.addr) || func.addr + func.size > text_end {
+            out.push(StaticDiagnostic::FunctionOutOfBounds {
+                name: func.name.clone(),
+                addr: func.addr,
+                size: func.size,
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +782,44 @@ mod tests {
         let case = TestCase { args: vec![0xAB], memory: vec![], compare_region: Some((global, 8)) };
         let verdict = check_case(&original, &original, "store", &case);
         assert!(verdict.is_match());
+    }
+
+    #[test]
+    fn static_audit_is_clean_on_a_full_strength_rewrite() {
+        let original = abs_diff_image();
+        let mut obf = original.clone();
+        let mut rw = Rewriter::new(RopConfig::full());
+        let report = rw.rewrite_function(&mut obf, "absdiff").unwrap();
+        let func = obf.function("absdiff").unwrap().clone();
+        let ranges = [("absdiff".to_string(), func.addr, func.addr + func.size)];
+        let diags = audit_rop_function(&obf, &report, &ranges);
+        assert!(diags.is_empty(), "healthy rewrite flagged: {diags:?}");
+        assert!(audit_symbols(&obf).is_empty());
+    }
+
+    #[test]
+    fn static_audit_flags_a_flipped_chain_word() {
+        let original = abs_diff_image();
+        let mut obf = original.clone();
+        let mut rw = Rewriter::new(RopConfig::full());
+        let report = rw.rewrite_function(&mut obf, "absdiff").unwrap();
+        let off = (report.chain_addr - obf.data_base) as usize + 8;
+        obf.data[off] ^= 0x40;
+        let diags = audit_rop_function(&obf, &report, &[]);
+        assert!(
+            diags.iter().any(|d| matches!(d, StaticDiagnostic::ChainBytesMismatch { .. })),
+            "flip not flagged: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn static_audit_flags_dangling_symbols() {
+        let mut image = abs_diff_image();
+        image.symbols.insert("dangling".into(), 0xDEAD_0000_0000);
+        let diags = audit_symbols(&image);
+        assert!(
+            matches!(&diags[..], [StaticDiagnostic::SymbolOutOfBounds { name, .. }] if name == "dangling")
+        );
     }
 
     #[test]

@@ -624,6 +624,167 @@ pub fn virtualize(
     Ok(Virtualized { interpreter, globals, bytecode_len: compiler.code.len() })
 }
 
+/// The `.data` symbol holding the bytecode of `func`'s virtualization at
+/// `layer` (see [`apply_layers`] for how layers are numbered).
+pub fn vm_code_symbol(layer: usize, func: &str) -> String {
+    format!("__vm{layer}_{func}_code")
+}
+
+/// One decoded bytecode instruction of a virtualized function.
+///
+/// The opcode *byte* is layer-specific (randomly assigned per layer), so the
+/// decoded view names the logical operation instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedInst {
+    /// Byte offset of the opcode within the bytecode blob.
+    pub off: usize,
+    /// Total encoded length (opcode byte + operand bytes).
+    pub len: usize,
+    /// Logical operation name (e.g. `pushc`, `bin.Add`, `jz`).
+    pub name: String,
+    /// Immediate/index operand, when the operation carries one.
+    pub operand: Option<u64>,
+    /// Absolute bytecode target, for `jmp`/`jz`.
+    pub jump_target: Option<u32>,
+}
+
+/// Why a bytecode blob failed to decode. Any of these on an emitted blob
+/// means the image is corrupted: the compiler only produces well-formed
+/// streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BytecodeError {
+    /// A byte that is not an assigned opcode of this layer's instruction
+    /// set.
+    UnknownOpcode {
+        /// Offset of the byte.
+        off: usize,
+        /// The unassigned byte value.
+        opcode: u8,
+    },
+    /// The blob ends in the middle of an operand.
+    Truncated {
+        /// Offset of the truncated instruction's opcode.
+        off: usize,
+    },
+    /// A `jmp`/`jz` target that is not an instruction boundary (or is out
+    /// of bounds).
+    BadJumpTarget {
+        /// Offset of the jump instruction.
+        off: usize,
+        /// The invalid target.
+        target: u32,
+    },
+}
+
+impl std::fmt::Display for BytecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BytecodeError::UnknownOpcode { off, opcode } => {
+                write!(f, "unknown opcode {opcode:#04x} at offset {off}")
+            }
+            BytecodeError::Truncated { off } => {
+                write!(f, "bytecode truncated inside the instruction at offset {off}")
+            }
+            BytecodeError::BadJumpTarget { off, target } => {
+                write!(f, "jump at offset {off} targets {target}, not an instruction boundary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BytecodeError {}
+
+fn op_name(op: Op) -> String {
+    match op {
+        Op::PushConst => "pushc".into(),
+        Op::LoadLocal => "loadl".into(),
+        Op::StoreLocal => "storel".into(),
+        Op::Arg => "arg".into(),
+        Op::GlobalAddr => "gaddr".into(),
+        Op::Bin(b) => format!("bin.{b:?}"),
+        Op::Un(u) => format!("un.{u:?}"),
+        Op::Load8 => "load8".into(),
+        Op::Load1 => "load1".into(),
+        Op::Store8 => "store8".into(),
+        Op::Store1 => "store1".into(),
+        Op::Jmp => "jmp".into(),
+        Op::Jz => "jz".into(),
+        Op::Ret => "ret".into(),
+        Op::Call => "call".into(),
+        Op::Probe => "probe".into(),
+    }
+}
+
+fn operand_len(op: Op) -> usize {
+    match op {
+        Op::PushConst => 8,
+        Op::LoadLocal | Op::StoreLocal | Op::Arg | Op::GlobalAddr | Op::Call | Op::Probe => 1,
+        Op::Jmp | Op::Jz => 4,
+        _ => 0,
+    }
+}
+
+/// Rebuilds the per-layer opcode assignment and fully decodes a bytecode
+/// blob, validating that every `jmp`/`jz` target is an in-bounds
+/// instruction boundary.
+///
+/// `seed` and `layer` must match what produced the blob ([`virtualize`]'s
+/// parameters; for pipeline-produced images, the pass's effective seed and
+/// the function's absolute layer number). This is the defensive static
+/// audit's view of a VM blob — no interpretation happens.
+///
+/// # Errors
+///
+/// Fails on the first unassigned opcode byte, truncated operand, or
+/// out-of-boundary jump target.
+pub fn decode_program(
+    bytes: &[u8],
+    seed: u64,
+    layer: usize,
+) -> Result<Vec<DecodedInst>, BytecodeError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (layer as u64).wrapping_mul(0x9E37_79B9));
+    let mut opcode_bytes: Vec<u8> = (0..=255u8).collect();
+    opcode_bytes.shuffle(&mut rng);
+    let mut op_of: HashMap<u8, Op> = HashMap::new();
+    for (op, byte) in all_ops().iter().copied().zip(opcode_bytes) {
+        op_of.insert(byte, op);
+    }
+
+    let mut insts = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let opcode = bytes[off];
+        let op = *op_of.get(&opcode).ok_or(BytecodeError::UnknownOpcode { off, opcode })?;
+        let olen = operand_len(op);
+        if off + 1 + olen > bytes.len() {
+            return Err(BytecodeError::Truncated { off });
+        }
+        let operand_bytes = &bytes[off + 1..off + 1 + olen];
+        let operand = match olen {
+            1 => Some(operand_bytes[0] as u64),
+            4 => Some(u32::from_le_bytes(operand_bytes.try_into().expect("4 bytes")) as u64),
+            8 => Some(u64::from_le_bytes(operand_bytes.try_into().expect("8 bytes"))),
+            _ => None,
+        };
+        let jump_target = match op {
+            Op::Jmp | Op::Jz => Some(operand.expect("jump carries a u32") as u32),
+            _ => None,
+        };
+        insts.push(DecodedInst { off, len: 1 + olen, name: op_name(op), operand, jump_target });
+        off += 1 + olen;
+    }
+
+    let boundaries: std::collections::HashSet<u32> = insts.iter().map(|i| i.off as u32).collect();
+    for inst in &insts {
+        if let Some(target) = inst.jump_target {
+            if !boundaries.contains(&target) {
+                return Err(BytecodeError::BadJumpTarget { off: inst.off, target });
+            }
+        }
+    }
+    Ok(insts)
+}
+
 /// Result of [`apply_layers`]: the transformed program plus per-layer
 /// statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -710,6 +871,21 @@ mod tests {
             goal: randomfuns::Goal::SecretFinding,
             loop_size: 4,
         })
+    }
+
+    #[test]
+    fn emitted_bytecode_decodes_fully_with_valid_jumps() {
+        let rf = sample_randomfun();
+        let func = rf.program.function(&rf.name).unwrap();
+        let virt = virtualize(func, false, 0x7161, 0).unwrap();
+        let code = &virt.globals[0].bytes;
+        assert_eq!(virt.globals[0].name, vm_code_symbol(0, &rf.name));
+        let insts = decode_program(code, 0x7161, 0).unwrap();
+        assert_eq!(insts.iter().map(|i| i.len).sum::<usize>(), code.len());
+        assert!(insts.iter().any(|i| i.jump_target.is_some()), "loops compile to jumps");
+        // A different layer has a different random instruction set; its
+        // decoder rejects this blob (deterministic for these fixed seeds).
+        assert!(decode_program(code, 0x7161, 1).is_err());
     }
 
     #[test]

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_static.json — the static attack surface over the
+# workload-class corpus.
+#
+# Runs the exp_static driver (release build): every registered class is
+# measured under NATIVE, ROP1.00, 2VM-IMPlast and both cross-layer
+# compositions. Per configuration it reports linear-sweep instruction
+# recall and precision against the native ground truth, CFG-reconstruction
+# success, and the abstract chain-lifting stats (chains found, opaque-
+# branch horizon hits, primary instructions recovered). Every obfuscated
+# image is produced under VerifyPolicy::Static, so a dirty static audit
+# fails the regeneration.
+#
+# Run from the repository root:
+#   sh scripts/regen_bench_static.sh
+#
+# Future PRs that change chain layout, gadget shapes, the opaque
+# predicates or the VM interpreter should re-run this and commit the
+# refreshed JSON.
+set -eu
+
+cd "$(dirname "$0")/.."
+cargo run --release -p raindrop-bench --bin exp_static -- "$@"
+echo "BENCH_static.json refreshed."
